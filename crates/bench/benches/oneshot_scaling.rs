@@ -1,0 +1,63 @@
+//! Criterion bench: one-shot scheduler runtime vs deployment size.
+//!
+//! Complements the figures (which measure *quality*) with the wall-clock
+//! story: the PTAS pays for its k² shiftings and per-square DP, the
+//! graph-only algorithms run in near-linear time, Colorwave is the
+//! cheapest, the exact solver is exponential (benchmarked only at n = 25).
+
+use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use rfid_core::{AlgorithmKind, OneShotInput, make_scheduler};
+use rfid_model::interference::interference_graph;
+use rfid_model::{Coverage, RadiusModel, Scenario, ScenarioKind, TagSet};
+use std::hint::black_box;
+
+fn scenario(n_readers: usize) -> Scenario {
+    Scenario {
+        kind: ScenarioKind::UniformRandom,
+        n_readers,
+        // Keep tag density constant: 24 tags per reader (paper: 1200/50).
+        n_tags: n_readers * 24,
+        region_side: 100.0,
+        radius_model: RadiusModel::PoissonPair {
+            lambda_interference: 14.0,
+            lambda_interrogation: 6.0,
+        },
+    }
+}
+
+fn bench_oneshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oneshot");
+    group.sample_size(10);
+    for &n in &[25usize, 50, 100, 200] {
+        let d = scenario(n).generate(1);
+        let cov = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let unread = TagSet::all_unread(d.n_tags());
+        for kind in AlgorithmKind::paper_lineup() {
+            group.bench_with_input(BenchmarkId::new(kind.label(), n), &n, |b, _| {
+                b.iter(|| {
+                    let input = OneShotInput::new(&d, &cov, &g, &unread);
+                    let mut s = make_scheduler(kind, 7);
+                    black_box(s.schedule(black_box(&input)))
+                })
+            });
+        }
+    }
+    // Exact solver only at the smallest size — it is the exponential
+    // reference, not a contender.
+    let d = scenario(25).generate(1);
+    let cov = Coverage::build(&d);
+    let g = interference_graph(&d);
+    let unread = TagSet::all_unread(d.n_tags());
+    group.bench_function(BenchmarkId::new("exact", 25usize), |b| {
+        b.iter(|| {
+            let input = OneShotInput::new(&d, &cov, &g, &unread);
+            let mut s = make_scheduler(AlgorithmKind::Exact, 7);
+            black_box(s.schedule(black_box(&input)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_oneshot);
+criterion_main!(benches);

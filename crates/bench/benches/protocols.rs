@@ -1,0 +1,44 @@
+//! Criterion bench: link-layer tag-arbitration throughput — the substrate
+//! the paper's "slot long enough to read ≥ 1 tag" assumption delegates to.
+
+use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rfid_protocols::{AntiCollisionProtocol, FramedAloha, QProtocol, TreeWalking};
+use std::hint::black_box;
+
+fn population(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect()
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inventory");
+    for &n in &[20usize, 100, 500] {
+        let tags = population(n);
+        group.bench_with_input(BenchmarkId::new("aloha_adaptive", n), &n, |b, _| {
+            let p = FramedAloha::default();
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(9);
+                black_box(p.inventory(black_box(&tags), &mut rng))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tree_walking", n), &n, |b, _| {
+            let p = TreeWalking::default();
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(9);
+                black_box(p.inventory(black_box(&tags), &mut rng))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gen2_q", n), &n, |b, _| {
+            let p = QProtocol::default();
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(9);
+                black_box(p.inventory(black_box(&tags), &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Criterion bench: extension kernels — multi-channel greedy, local-search
+//! improvement, Q-learning training, growth-function diagnostics and the
+//! full end-to-end covering schedule.
+
+use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use rfid_core::{
+    AlgorithmKind, MultiChannelGreedy, OneShotInput, QLearningScheduler, greedy_covering_schedule,
+    improve_schedule, make_scheduler,
+};
+use rfid_core::OneShotScheduler;
+use rfid_model::interference::interference_graph;
+use rfid_model::{Coverage, RadiusModel, Scenario, ScenarioKind, TagSet};
+use std::hint::black_box;
+
+fn paper_deployment(seed: u64) -> rfid_model::Deployment {
+    Scenario {
+        kind: ScenarioKind::UniformRandom,
+        n_readers: 50,
+        n_tags: 1200,
+        region_side: 100.0,
+        radius_model: RadiusModel::PoissonPair {
+            lambda_interference: 14.0,
+            lambda_interrogation: 6.0,
+        },
+    }
+    .generate(seed)
+}
+
+fn bench_multichannel(c: &mut Criterion) {
+    let d = paper_deployment(1);
+    let cov = Coverage::build(&d);
+    let g = interference_graph(&d);
+    let unread = TagSet::all_unread(d.n_tags());
+    let mut group = c.benchmark_group("multichannel");
+    for &channels in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(channels), &channels, |b, &k| {
+            b.iter(|| {
+                let input = OneShotInput::new(&d, &cov, &g, &unread);
+                black_box(MultiChannelGreedy::new(k).schedule(black_box(&input)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_local_search(c: &mut Criterion) {
+    let d = paper_deployment(2);
+    let cov = Coverage::build(&d);
+    let g = interference_graph(&d);
+    let unread = TagSet::all_unread(d.n_tags());
+    let input = OneShotInput::new(&d, &cov, &g, &unread);
+    let start = make_scheduler(AlgorithmKind::Colorwave, 0).schedule(&input);
+    c.bench_function("local_search_from_colorwave", |b| {
+        b.iter(|| {
+            let input = OneShotInput::new(&d, &cov, &g, &unread);
+            black_box(improve_schedule(black_box(&input), &start))
+        })
+    });
+}
+
+fn bench_qlearning(c: &mut Criterion) {
+    let d = paper_deployment(3);
+    let cov = Coverage::build(&d);
+    let g = interference_graph(&d);
+    let unread = TagSet::all_unread(d.n_tags());
+    let mut group = c.benchmark_group("qlearning");
+    group.sample_size(10);
+    group.bench_function("train_300_episodes", |b| {
+        b.iter(|| {
+            let input = OneShotInput::new(&d, &cov, &g, &unread);
+            black_box(QLearningScheduler::seeded(7).schedule(black_box(&input)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_growth_diagnostics(c: &mut Criterion) {
+    let d = paper_deployment(4);
+    let g = interference_graph(&d);
+    c.bench_function("growth_function_r3", |b| {
+        b.iter(|| black_box(rfid_graph::growth_function(black_box(&g), 3)))
+    });
+}
+
+fn bench_full_mcs(c: &mut Criterion) {
+    let d = paper_deployment(5);
+    let cov = Coverage::build(&d);
+    let g = interference_graph(&d);
+    let mut group = c.benchmark_group("covering_schedule");
+    group.sample_size(10);
+    for kind in [AlgorithmKind::LocalGreedy, AlgorithmKind::HillClimbing] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let mut s = make_scheduler(kind, 0);
+                black_box(greedy_covering_schedule(&d, &cov, &g, s.as_mut(), 100_000))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_multichannel,
+    bench_local_search,
+    bench_qlearning,
+    bench_growth_diagnostics,
+    bench_full_mcs
+);
+criterion_main!(benches);

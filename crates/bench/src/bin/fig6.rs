@@ -1,0 +1,20 @@
+//! Figure 6: covering-schedule size vs λ_R (λ_r fixed at 6).
+//!
+//! Paper expectation: Algorithm 1 needs the fewest slots, then Algorithm 2,
+//! then Algorithm 3; all three beat Colorwave and GHC across the range.
+
+use rfid_bench::{Cli, FIXED_LAMBDA_SMALL_R, lambda_interference_grid, run_figure};
+use rfid_sim::SweepAxis;
+
+fn main() {
+    let cli = Cli::parse();
+    run_figure(
+        &cli,
+        "fig6",
+        "Figure 6 — covering-schedule size (slots) vs λ_R, λ_r = 6",
+        SweepAxis::Interference,
+        lambda_interference_grid(),
+        FIXED_LAMBDA_SMALL_R,
+        true,
+    );
+}

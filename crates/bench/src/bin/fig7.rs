@@ -1,0 +1,17 @@
+//! Figure 7: covering-schedule size vs λ_r (λ_R fixed at 14).
+
+use rfid_bench::{Cli, FIXED_LAMBDA_R, lambda_interrogation_grid, run_figure};
+use rfid_sim::SweepAxis;
+
+fn main() {
+    let cli = Cli::parse();
+    run_figure(
+        &cli,
+        "fig7",
+        "Figure 7 — covering-schedule size (slots) vs λ_r, λ_R = 14",
+        SweepAxis::Interrogation,
+        lambda_interrogation_grid(),
+        FIXED_LAMBDA_R,
+        true,
+    );
+}

@@ -1,0 +1,17 @@
+//! Figure 9: one-shot well-covered tags vs λ_R (λ_r fixed at 6).
+
+use rfid_bench::{Cli, FIXED_LAMBDA_SMALL_R, lambda_interference_grid, run_figure};
+use rfid_sim::SweepAxis;
+
+fn main() {
+    let cli = Cli::parse();
+    run_figure(
+        &cli,
+        "fig9",
+        "Figure 9 — one-shot well-covered tags vs λ_R, λ_r = 6",
+        SweepAxis::Interference,
+        lambda_interference_grid(),
+        FIXED_LAMBDA_SMALL_R,
+        false,
+    );
+}

@@ -1,0 +1,67 @@
+//! Scalability experiment — the paper's closing claim, tested.
+//!
+//! "All the algorithms proposed in this paper are well suited for
+//! practical implementation … especially for large scale RFID systems."
+//! This binary grows the deployment at constant density (24 tags per
+//! reader, region scaled so the mean interference degree stays flat) and
+//! measures one-shot weight and wall-clock per scheduler, plus Algorithm
+//! 3's message volume — the quantities that must stay sane for the claim
+//! to hold.
+
+use rfid_core::{AlgorithmKind, OneShotInput, OneShotScheduler, make_scheduler};
+use rfid_model::interference::interference_graph;
+use rfid_model::{Coverage, RadiusModel, Scenario, ScenarioKind, TagSet};
+use std::time::Instant;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[usize] = if quick { &[25, 50] } else { &[25, 50, 100, 200, 400] };
+    const TRIALS: u64 = 3;
+    println!("## Scalability — constant density (region side ∝ √n, 24 tags/reader)\n");
+    println!("| n readers | algorithm | one-shot weight | runtime ms | msgs (alg3) |");
+    println!("|---|---|---|---|---|");
+    for &n in sizes {
+        // side ∝ √n keeps reader density (and the interference degree)
+        // constant: 50 readers ↔ 100×100.
+        let side = 100.0 * (n as f64 / 50.0).sqrt();
+        let scenario = Scenario {
+            kind: ScenarioKind::UniformRandom,
+            n_readers: n,
+            n_tags: n * 24,
+            region_side: side,
+            radius_model: RadiusModel::PoissonPair {
+                lambda_interference: 14.0,
+                lambda_interrogation: 6.0,
+            },
+        };
+        for kind in AlgorithmKind::paper_lineup() {
+            let mut weight = 0.0;
+            let mut ms = 0.0;
+            let mut msgs: Option<u64> = None;
+            for seed in 0..TRIALS {
+                let d = scenario.generate(seed);
+                let c = Coverage::build(&d);
+                let g = interference_graph(&d);
+                let unread = TagSet::all_unread(d.n_tags());
+                let input = OneShotInput::new(&d, &c, &g, &unread);
+                let mut s = make_scheduler(kind, seed);
+                let t0 = Instant::now();
+                let set = s.schedule(&input);
+                ms += t0.elapsed().as_secs_f64() * 1e3;
+                assert!(d.is_feasible(&set));
+                weight += input.weight_of(&set) as f64;
+                if let Some(stats) = s.comm_stats() {
+                    *msgs.get_or_insert(0) += stats.messages;
+                }
+            }
+            let t = TRIALS as f64;
+            println!(
+                "| {n} | {} | {:.0} | {:.1} | {} |",
+                kind.label(),
+                weight / t,
+                ms / t,
+                msgs.map_or("—".to_string(), |m| format!("{:.0}", m as f64 / t)),
+            );
+        }
+    }
+}

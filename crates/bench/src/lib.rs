@@ -1,0 +1,183 @@
+//! # rfid-bench
+//!
+//! Benchmark harness: one binary per evaluation figure of the paper plus an
+//! ablation binary, and Criterion micro-benchmarks for the kernels.
+//!
+//! | Binary | Paper artefact | Metric | Sweep |
+//! |---|---|---|---|
+//! | `fig6` | Figure 6 | covering-schedule size | λ_R, λ_r fixed |
+//! | `fig7` | Figure 7 | covering-schedule size | λ_r, λ_R fixed |
+//! | `fig8` | Figure 8 | one-shot well-covered tags | λ_r, λ_R fixed |
+//! | `fig9` | Figure 9 | one-shot well-covered tags | λ_R, λ_r fixed |
+//! | `ablation` | — | design-choice studies (k, ρ, augmentation, exact ratio, message cost) | various |
+//!
+//! Every binary prints a Markdown table (quoted in EXPERIMENTS.md) and
+//! writes `results/<name>.csv` + `results/<name>.json`.
+
+use rfid_core::AlgorithmKind;
+use rfid_model::{Scenario, ScenarioKind};
+use rfid_sim::{SweepAxis, SweepConfig, aggregate_series, run_sweep};
+use std::path::PathBuf;
+
+/// Paper §VI defaults.
+pub const PAPER_READERS: usize = 50;
+pub const PAPER_TAGS: usize = 1200;
+pub const PAPER_REGION: f64 = 100.0;
+/// The fixed λ values used when the other axis sweeps.
+pub const FIXED_LAMBDA_R: f64 = 14.0;
+pub const FIXED_LAMBDA_SMALL_R: f64 = 6.0;
+
+/// Sweep grids.
+pub fn lambda_interference_grid() -> Vec<f64> {
+    vec![8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0]
+}
+
+pub fn lambda_interrogation_grid() -> Vec<f64> {
+    vec![3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]
+}
+
+/// CLI options shared by the figure binaries.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Seeded trials per sweep point (paper-quality default 20; `--quick`
+    /// drops to 3 with a smaller deployment for smoke testing).
+    pub trials: usize,
+    pub quick: bool,
+    pub threads: Option<usize>,
+    pub out_dir: PathBuf,
+}
+
+impl Cli {
+    /// Parses `--trials N`, `--threads N`, `--quick`, `--out-dir PATH`.
+    pub fn parse() -> Cli {
+        let mut cli = Cli {
+            trials: 20,
+            quick: false,
+            threads: None,
+            out_dir: PathBuf::from("results"),
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--trials" => {
+                    i += 1;
+                    cli.trials = args[i].parse().expect("--trials takes a number");
+                }
+                "--threads" => {
+                    i += 1;
+                    cli.threads = Some(args[i].parse().expect("--threads takes a number"));
+                }
+                "--out-dir" => {
+                    i += 1;
+                    cli.out_dir = PathBuf::from(&args[i]);
+                }
+                "--quick" => cli.quick = true,
+                other => panic!("unknown argument {other}"),
+            }
+            i += 1;
+        }
+        if cli.quick {
+            cli.trials = cli.trials.min(3);
+        }
+        cli
+    }
+
+    /// The evaluation scenario (smaller under `--quick`).
+    pub fn scenario(&self) -> Scenario {
+        Scenario {
+            kind: ScenarioKind::UniformRandom,
+            n_readers: if self.quick { 20 } else { PAPER_READERS },
+            n_tags: if self.quick { 300 } else { PAPER_TAGS },
+            region_side: PAPER_REGION,
+            radius_model: rfid_model::RadiusModel::paper_default(),
+        }
+    }
+}
+
+/// Runs one figure end to end: sweep, aggregate, print, persist.
+pub fn run_figure(
+    cli: &Cli,
+    name: &str,
+    title: &str,
+    axis: SweepAxis,
+    values: Vec<f64>,
+    fixed_lambda: f64,
+    measure_mcs: bool,
+) {
+    let config = SweepConfig {
+        scenario: cli.scenario(),
+        axis,
+        values,
+        fixed_lambda,
+        algorithms: AlgorithmKind::paper_lineup().to_vec(),
+        trials: cli.trials,
+        base_seed: 42,
+        measure_mcs,
+        measure_oneshot: !measure_mcs,
+        threads: cli.threads,
+    };
+    let started = std::time::Instant::now();
+    let trials = run_sweep(&config);
+    let x_of = |t: &rfid_sim::TrialRecord| match axis {
+        SweepAxis::Interference => t.lambda_interference,
+        SweepAxis::Interrogation => t.lambda_interrogation,
+    };
+    let metric = |t: &rfid_sim::TrialRecord| {
+        if measure_mcs {
+            t.mcs_size.map(|v| v as f64)
+        } else {
+            t.oneshot_weight.map(|v| v as f64)
+        }
+    };
+    let series: Vec<(&str, Vec<rfid_sim::SeriesPoint>)> = AlgorithmKind::paper_lineup()
+        .iter()
+        .map(|k| (k.label(), aggregate_series(&trials, k.label(), x_of, metric)))
+        .collect();
+    let x_label = match axis {
+        SweepAxis::Interference => "λ_R",
+        SweepAxis::Interrogation => "λ_r",
+    };
+    let table = rfid_sim::table::markdown_figure(title, x_label, &series);
+    println!("{table}");
+    println!(
+        "({} trials/point, {} readers, {} tags, {:.1}s)",
+        cli.trials,
+        config.scenario.n_readers,
+        config.scenario.n_tags,
+        started.elapsed().as_secs_f64()
+    );
+    rfid_sim::table::write_csv(&cli.out_dir.join(format!("{name}.csv")), &series)
+        .expect("write csv");
+    rfid_sim::table::write_json(&cli.out_dir.join(format!("{name}.json")), &series)
+        .expect("write json");
+    // Also persist scheduler runtimes for the scalability discussion.
+    let runtime_series: Vec<(&str, Vec<rfid_sim::SeriesPoint>)> = AlgorithmKind::paper_lineup()
+        .iter()
+        .map(|k| {
+            (
+                k.label(),
+                aggregate_series(&trials, k.label(), x_of, |t| Some(t.runtime_ms)),
+            )
+        })
+        .collect();
+    rfid_sim::table::write_csv(
+        &cli.out_dir.join(format!("{name}_runtime_ms.csv")),
+        &runtime_series,
+    )
+    .expect("write runtime csv");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_match_paper_bands() {
+        assert!(lambda_interference_grid().iter().all(|&l| (8.0..=20.0).contains(&l)));
+        assert!(lambda_interrogation_grid().iter().all(|&l| (3.0..=9.0).contains(&l)));
+        // r ≤ R plausibility: the interrogation grid never exceeds the
+        // fixed interference mean.
+        assert!(lambda_interrogation_grid().iter().all(|&l| l < FIXED_LAMBDA_R));
+    }
+}

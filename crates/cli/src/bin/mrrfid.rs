@@ -1,0 +1,13 @@
+//! The `mrrfid` command-line binary (thin shell around `rfid_cli`).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = rfid_cli::parse(&args).and_then(rfid_cli::run);
+    match outcome {
+        Ok(text) => print!("{text}"),
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,719 @@
+#![warn(missing_docs)]
+//! # rfid-cli
+//!
+//! Command-line front end: generate deployments, run schedulers, inspect
+//! derived structures and render SVG snapshots without writing any Rust.
+//!
+//! ```text
+//! mrrfid generate --readers 50 --tags 1200 --seed 42 --out depl.json
+//! mrrfid inspect  --deployment depl.json
+//! mrrfid schedule --deployment depl.json --algorithm alg1 --mode mcs
+//! mrrfid render   --deployment depl.json --algorithm alg2 --out slot.svg
+//! ```
+//!
+//! The library half hosts the parse/dispatch logic so it is unit-testable;
+//! the `mrrfid` binary is a thin `main`.
+
+use rfid_core::{AlgorithmKind, OneShotInput, OneShotScheduler, greedy_covering_schedule, make_scheduler};
+use rfid_sim::{SweepAxis, SweepConfig, aggregate_series, run_sweep};
+use rfid_model::interference::interference_graph;
+use rfid_model::{Coverage, Deployment, RadiusModel, Scenario, ScenarioKind, TagSet};
+use std::collections::BTreeMap;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a deployment and write it as JSON.
+    Generate {
+        /// Number of readers.
+        readers: usize,
+        /// Number of tags.
+        tags: usize,
+        /// Deployment seed.
+        seed: u64,
+        /// Poisson mean of interference radii λ_R.
+        lambda_interference: f64,
+        /// Poisson mean of interrogation radii λ_r.
+        lambda_interrogation: f64,
+        /// Side length of the square region.
+        region: f64,
+        /// Output path.
+        out: String,
+    },
+    /// Print derived statistics of a stored deployment.
+    Inspect {
+        /// Deployment JSON path.
+        deployment: String,
+    },
+    /// Run a scheduler on a stored deployment.
+    Schedule {
+        /// Deployment JSON path.
+        deployment: String,
+        /// Which algorithm to run.
+        algorithm: AlgorithmKind,
+        /// Seed for randomised algorithms.
+        seed: u64,
+        /// Run the full covering schedule instead of a single slot.
+        mcs: bool,
+        /// Optional path to save the covering schedule as JSON.
+        out: Option<String>,
+    },
+    /// Render a one-shot activation as SVG.
+    Render {
+        /// Deployment JSON path.
+        deployment: String,
+        /// Which algorithm to run.
+        algorithm: AlgorithmKind,
+        /// Seed for randomised algorithms.
+        seed: u64,
+        /// SVG output path.
+        out: String,
+    },
+    /// Print structural statistics of a stored deployment.
+    Stats {
+        /// Deployment JSON path.
+        deployment: String,
+    },
+    /// Verify a stored covering schedule against a deployment.
+    Verify {
+        /// Deployment JSON path.
+        deployment: String,
+        /// Schedule JSON path (written by `schedule --mode mcs --out …`).
+        schedule: String,
+    },
+    /// Run a λ sweep and print a paper-style figure table.
+    Sweep {
+        /// Which λ varies.
+        axis: SweepAxis,
+        /// The swept λ values.
+        values: Vec<f64>,
+        /// The other axis' fixed λ.
+        fixed: f64,
+        /// Trials per point.
+        trials: usize,
+        /// `true` = covering-schedule size, `false` = one-shot weight.
+        mcs: bool,
+        /// Readers per deployment.
+        readers: usize,
+        /// Tags per deployment.
+        tags: usize,
+    },
+    /// Print Algorithm 3's execution trace on a stored deployment.
+    Trace {
+        /// Deployment JSON path.
+        deployment: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Usage text shown by `mrrfid help` and on parse errors.
+pub const USAGE: &str = "\
+mrrfid — multi-reader RFID activation scheduling (IPDPS'11 reproduction)
+
+USAGE:
+  mrrfid generate --out FILE [--readers N] [--tags M] [--seed S]
+                  [--lambda-interference λR] [--lambda-interrogation λr]
+                  [--region SIDE]
+  mrrfid inspect  --deployment FILE
+  mrrfid schedule --deployment FILE [--algorithm NAME] [--seed S] [--mode oneshot|mcs]
+  mrrfid render   --deployment FILE --out FILE.svg [--algorithm NAME] [--seed S]
+  mrrfid sweep    [--axis interrogation|interference] [--values 3,5,7,9]
+                  [--fixed 14] [--trials 5] [--metric oneshot|mcs]
+                  [--readers 50] [--tags 1200]
+  mrrfid trace    --deployment FILE
+  mrrfid stats    --deployment FILE
+  mrrfid verify   --deployment FILE --schedule FILE
+  mrrfid help
+
+ALGORITHMS: alg1 (PTAS) | alg2 (centralized) | alg3 (distributed)
+            ca (Colorwave) | ghc (hill climbing) | exact
+";
+
+fn parse_algorithm(s: &str) -> Result<AlgorithmKind, String> {
+    Ok(match s {
+        "alg1" | "ptas" => AlgorithmKind::Ptas,
+        "alg2" | "central" => AlgorithmKind::LocalGreedy,
+        "alg3" | "distributed" => AlgorithmKind::Distributed,
+        "ca" | "colorwave" => AlgorithmKind::Colorwave,
+        "ghc" => AlgorithmKind::HillClimbing,
+        "exact" => AlgorithmKind::Exact,
+        other => return Err(format!("unknown algorithm '{other}'")),
+    })
+}
+
+fn flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
+    let mut map = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        map.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(map)
+}
+
+fn get_parse<T: std::str::FromStr>(
+    flags: &BTreeMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+    }
+}
+
+/// Parses a full argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "generate" => {
+            let f = flags(rest)?;
+            Ok(Command::Generate {
+                readers: get_parse(&f, "readers", 50)?,
+                tags: get_parse(&f, "tags", 1200)?,
+                seed: get_parse(&f, "seed", 42)?,
+                lambda_interference: get_parse(&f, "lambda-interference", 14.0)?,
+                lambda_interrogation: get_parse(&f, "lambda-interrogation", 6.0)?,
+                region: get_parse(&f, "region", 100.0)?,
+                out: f.get("out").cloned().ok_or("generate requires --out")?,
+            })
+        }
+        "inspect" => {
+            let f = flags(rest)?;
+            Ok(Command::Inspect {
+                deployment: f.get("deployment").cloned().ok_or("inspect requires --deployment")?,
+            })
+        }
+        "schedule" => {
+            let f = flags(rest)?;
+            let mode = f.get("mode").map(String::as_str).unwrap_or("oneshot");
+            if mode != "oneshot" && mode != "mcs" {
+                return Err(format!("--mode must be oneshot or mcs, got '{mode}'"));
+            }
+            Ok(Command::Schedule {
+                deployment: f.get("deployment").cloned().ok_or("schedule requires --deployment")?,
+                algorithm: parse_algorithm(f.get("algorithm").map(String::as_str).unwrap_or("alg2"))?,
+                seed: get_parse(&f, "seed", 0)?,
+                mcs: mode == "mcs",
+                out: f.get("out").cloned(),
+            })
+        }
+        "render" => {
+            let f = flags(rest)?;
+            Ok(Command::Render {
+                deployment: f.get("deployment").cloned().ok_or("render requires --deployment")?,
+                algorithm: parse_algorithm(f.get("algorithm").map(String::as_str).unwrap_or("alg2"))?,
+                seed: get_parse(&f, "seed", 0)?,
+                out: f.get("out").cloned().ok_or("render requires --out")?,
+            })
+        }
+        "sweep" => {
+            let f = flags(rest)?;
+            let axis = match f.get("axis").map(String::as_str).unwrap_or("interrogation") {
+                "interrogation" => SweepAxis::Interrogation,
+                "interference" => SweepAxis::Interference,
+                other => return Err(format!("--axis must be interrogation|interference, got '{other}'")),
+            };
+            let values: Vec<f64> = f
+                .get("values")
+                .map(String::as_str)
+                .unwrap_or("3,5,7,9")
+                .split(',')
+                .map(|v| v.trim().parse().map_err(|_| format!("bad λ value '{v}'")))
+                .collect::<Result<_, _>>()?;
+            let metric = f.get("metric").map(String::as_str).unwrap_or("oneshot");
+            if metric != "oneshot" && metric != "mcs" {
+                return Err(format!("--metric must be oneshot or mcs, got '{metric}'"));
+            }
+            Ok(Command::Sweep {
+                axis,
+                values,
+                fixed: get_parse(&f, "fixed", 14.0)?,
+                trials: get_parse(&f, "trials", 5)?,
+                mcs: metric == "mcs",
+                readers: get_parse(&f, "readers", 50)?,
+                tags: get_parse(&f, "tags", 1200)?,
+            })
+        }
+        "trace" => {
+            let f = flags(rest)?;
+            Ok(Command::Trace {
+                deployment: f.get("deployment").cloned().ok_or("trace requires --deployment")?,
+            })
+        }
+        "stats" => {
+            let f = flags(rest)?;
+            Ok(Command::Stats {
+                deployment: f.get("deployment").cloned().ok_or("stats requires --deployment")?,
+            })
+        }
+        "verify" => {
+            let f = flags(rest)?;
+            Ok(Command::Verify {
+                deployment: f.get("deployment").cloned().ok_or("verify requires --deployment")?,
+                schedule: f.get("schedule").cloned().ok_or("verify requires --schedule")?,
+            })
+        }
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+fn load_deployment(path: &str) -> Result<Deployment, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&body).map_err(|e| format!("parse {path}: {e}"))
+}
+
+/// Executes a command; returns the text to print.
+pub fn run(cmd: Command) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Generate {
+            readers,
+            tags,
+            seed,
+            lambda_interference,
+            lambda_interrogation,
+            region,
+            out,
+        } => {
+            let d = Scenario {
+                kind: ScenarioKind::UniformRandom,
+                n_readers: readers,
+                n_tags: tags,
+                region_side: region,
+                radius_model: RadiusModel::PoissonPair { lambda_interference, lambda_interrogation },
+            }
+            .generate(seed);
+            let json = serde_json::to_string(&d).map_err(|e| e.to_string())?;
+            std::fs::write(&out, json).map_err(|e| format!("write {out}: {e}"))?;
+            Ok(format!("wrote {readers} readers / {tags} tags (seed {seed}) to {out}\n"))
+        }
+        Command::Inspect { deployment } => {
+            let d = load_deployment(&deployment)?;
+            let g = interference_graph(&d);
+            let c = Coverage::build(&d);
+            let mean_deg =
+                if d.n_readers() == 0 { 0.0 } else { 2.0 * g.m() as f64 / d.n_readers() as f64 };
+            let (_, components) = rfid_graph::connected_components(&g);
+            let growth = rfid_graph::growth_function(&g, 3);
+            Ok(format!(
+                "readers:            {}\n\
+                 tags:               {}\n\
+                 region:             {:.0}×{:.0}\n\
+                 interference edges: {} (mean degree {:.2}, {} components)\n\
+                 clustering coeff:   {:.3}\n\
+                 growth f(0..3):     {:?} (growth-bounded ⇒ small, ≈(r+1)²)\n\
+                 coverable tags:     {} ({} unreachable)\n",
+                d.n_readers(),
+                d.n_tags(),
+                d.region().width(),
+                d.region().height(),
+                g.m(),
+                mean_deg,
+                components,
+                rfid_graph::clustering_coefficient(&g),
+                growth,
+                c.coverable_count(),
+                d.n_tags() - c.coverable_count(),
+            ))
+        }
+        Command::Schedule { deployment, algorithm, seed, mcs, out: save } => {
+            let d = load_deployment(&deployment)?;
+            let c = Coverage::build(&d);
+            let g = interference_graph(&d);
+            let mut scheduler = make_scheduler(algorithm, seed);
+            if mcs {
+                let schedule = greedy_covering_schedule(&d, &c, &g, scheduler.as_mut(), 1_000_000);
+                if let Some(path) = &save {
+                    let json = serde_json::to_string(&schedule).map_err(|e| e.to_string())?;
+                    std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+                }
+                let mut out = format!(
+                    "{}: {} slots, {} tags served, {} unreachable\n",
+                    algorithm.label(),
+                    schedule.size(),
+                    schedule.tags_served(),
+                    schedule.uncoverable.len()
+                );
+                for (i, slot) in schedule.slots.iter().enumerate() {
+                    out.push_str(&format!(
+                        "  slot {:>3}: {:>2} readers, {:>4} tags{}\n",
+                        i,
+                        slot.active.len(),
+                        slot.served.len(),
+                        if slot.fallback { "  [fallback]" } else { "" }
+                    ));
+                }
+                Ok(out)
+            } else {
+                let unread = TagSet::all_unread(d.n_tags());
+                let input = OneShotInput::new(&d, &c, &g, &unread);
+                let set = scheduler.schedule(&input);
+                Ok(format!(
+                    "{}: {} readers active, w(X) = {}\nactive: {:?}\n",
+                    algorithm.label(),
+                    set.len(),
+                    input.weight_of(&set),
+                    set
+                ))
+            }
+        }
+        Command::Stats { deployment } => {
+            let d = load_deployment(&deployment)?;
+            let c = Coverage::build(&d);
+            let g = interference_graph(&d);
+            let stats = rfid_model::deployment_stats(&d, &c, &g);
+            let mut out = String::new();
+            out.push_str(&format!("mean tag coverage:      {:.2} readers/tag\n", stats.mean_coverage));
+            out.push_str(&format!("overlap fraction:       {:.3} (tags at RRc risk)\n", stats.overlap_fraction));
+            out.push_str(&format!("mean interference deg:  {:.2}\n", stats.mean_degree));
+            out.push_str(&format!("interrogation density:  {:.2}× region area\n", stats.interrogation_density));
+            out.push_str("coverage histogram (tags covered by k readers):\n");
+            for (k, &count) in stats.coverage_histogram.iter().enumerate() {
+                if count > 0 {
+                    out.push_str(&format!("  k={k:>2}: {count}\n"));
+                }
+            }
+            out.push_str("interference degree histogram:\n");
+            for (k, &count) in stats.degree_histogram.iter().enumerate() {
+                if count > 0 {
+                    out.push_str(&format!("  d={k:>2}: {count}\n"));
+                }
+            }
+            Ok(out)
+        }
+        Command::Verify { deployment, schedule } => {
+            let d = load_deployment(&deployment)?;
+            let body = std::fs::read_to_string(&schedule)
+                .map_err(|e| format!("read {schedule}: {e}"))?;
+            let sched: rfid_core::CoveringSchedule =
+                serde_json::from_str(&body).map_err(|e| format!("parse {schedule}: {e}"))?;
+            match rfid_core::verify_covering_schedule(&d, &sched) {
+                Ok(()) => Ok(format!(
+                    "OK: {} slots, {} tags served, {} uncoverable — schedule is sound\n",
+                    sched.size(),
+                    sched.tags_served(),
+                    sched.uncoverable.len()
+                )),
+                Err(v) => Err(format!("schedule INVALID: {v:?}")),
+            }
+        }
+        Command::Sweep { axis, values, fixed, trials, mcs, readers, tags } => {
+            let config = SweepConfig {
+                scenario: Scenario {
+                    kind: ScenarioKind::UniformRandom,
+                    n_readers: readers,
+                    n_tags: tags,
+                    region_side: 100.0,
+                    radius_model: RadiusModel::paper_default(),
+                },
+                axis,
+                values,
+                fixed_lambda: fixed,
+                algorithms: AlgorithmKind::paper_lineup().to_vec(),
+                trials,
+                base_seed: 42,
+                measure_mcs: mcs,
+                measure_oneshot: !mcs,
+                threads: None,
+            };
+            let records = run_sweep(&config);
+            let x_of = move |t: &rfid_sim::TrialRecord| match axis {
+                SweepAxis::Interference => t.lambda_interference,
+                SweepAxis::Interrogation => t.lambda_interrogation,
+            };
+            let metric = move |t: &rfid_sim::TrialRecord| {
+                if mcs { t.mcs_size.map(|v| v as f64) } else { t.oneshot_weight.map(|v| v as f64) }
+            };
+            let series: Vec<(&str, Vec<rfid_sim::SeriesPoint>)> = AlgorithmKind::paper_lineup()
+                .iter()
+                .map(|k| (k.label(), aggregate_series(&records, k.label(), x_of, metric)))
+                .collect();
+            let title = if mcs { "covering-schedule size" } else { "one-shot well-covered tags" };
+            let x_label = match axis {
+                SweepAxis::Interference => "λ_R",
+                SweepAxis::Interrogation => "λ_r",
+            };
+            Ok(rfid_sim::table::markdown_figure(title, x_label, &series))
+        }
+        Command::Trace { deployment } => {
+            let d = load_deployment(&deployment)?;
+            let c = Coverage::build(&d);
+            let g = interference_graph(&d);
+            let unread = TagSet::all_unread(d.n_tags());
+            let input = OneShotInput::new(&d, &c, &g, &unread);
+            let mut s = rfid_core::DistributedScheduler::default();
+            let set = s.schedule(&input);
+            let mut out = format!(
+                "Algorithm 3 on {} readers: {} activated, w(X) = {}\n\n",
+                d.n_readers(),
+                set.len(),
+                input.weight_of(&set)
+            );
+            for (round, event) in s.last_trace.unwrap_or_default() {
+                use rfid_core::distributed::TraceEvent::*;
+                let line = match event {
+                    HeadElected { node, members, removed } => format!(
+                        "round {round:>3}: reader {node:>3} elected head — Γ has {members} members, retires {removed} readers"
+                    ),
+                    ColoredRed { node, head } => {
+                        format!("round {round:>3}: reader {node:>3} → RED (activated by head {head})")
+                    }
+                    ColoredBlack { node, head } => {
+                        format!("round {round:>3}: reader {node:>3} → BLACK (suppressed by head {head})")
+                    }
+                };
+                out.push_str(&line);
+                out.push('\n');
+            }
+            Ok(out)
+        }
+        Command::Render { deployment, algorithm, seed, out } => {
+            let d = load_deployment(&deployment)?;
+            let c = Coverage::build(&d);
+            let g = interference_graph(&d);
+            let unread = TagSet::all_unread(d.n_tags());
+            let input = OneShotInput::new(&d, &c, &g, &unread);
+            let set = make_scheduler(algorithm, seed).schedule(&input);
+            let served = rfid_model::WeightEvaluator::new(&c).well_covered(&set, &unread);
+            let svg = rfid_sim::render_svg(&d, &c, &set, &served, &rfid_sim::RenderOptions::default());
+            std::fs::write(&out, svg).map_err(|e| format!("write {out}: {e}"))?;
+            Ok(format!(
+                "rendered {} ({} active readers, {} tags served) to {out}\n",
+                algorithm.label(),
+                set.len(),
+                served.len()
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_generate_with_defaults() {
+        let cmd = parse(&argv("generate --out /tmp/x.json")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                readers: 50,
+                tags: 1200,
+                seed: 42,
+                lambda_interference: 14.0,
+                lambda_interrogation: 6.0,
+                region: 100.0,
+                out: "/tmp/x.json".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parses_schedule_modes_and_algorithms() {
+        let cmd = parse(&argv("schedule --deployment d.json --algorithm alg3 --mode mcs")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Schedule {
+                deployment: "d.json".into(),
+                algorithm: AlgorithmKind::Distributed,
+                seed: 0,
+                mcs: true,
+                out: None
+            }
+        );
+        assert!(parse(&argv("schedule --deployment d.json --mode nope")).is_err());
+        assert!(parse(&argv("schedule --deployment d.json --algorithm nope")).is_err());
+    }
+
+    #[test]
+    fn missing_required_flags_error() {
+        assert!(parse(&argv("generate")).is_err());
+        assert!(parse(&argv("inspect")).is_err());
+        assert!(parse(&argv("render --deployment d.json")).is_err());
+    }
+
+    #[test]
+    fn unknown_command_shows_usage() {
+        let err = parse(&argv("frobnicate")).unwrap_err();
+        assert!(err.contains("USAGE"));
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn end_to_end_generate_inspect_schedule_render() {
+        let dir = std::env::temp_dir().join("rfid_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let depl = dir.join("d.json").to_string_lossy().into_owned();
+        let svg = dir.join("d.svg").to_string_lossy().into_owned();
+
+        let out = run(parse(&argv(&format!(
+            "generate --readers 12 --tags 80 --seed 7 --out {depl}"
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("12 readers"));
+
+        let out = run(parse(&argv(&format!("inspect --deployment {depl}"))).unwrap()).unwrap();
+        assert!(out.contains("readers:            12"));
+        assert!(out.contains("tags:               80"));
+
+        let out = run(parse(&argv(&format!(
+            "schedule --deployment {depl} --algorithm ghc --mode mcs"
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("slots"));
+
+        let out = run(parse(&argv(&format!(
+            "render --deployment {depl} --algorithm alg2 --out {svg}"
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("rendered"));
+        let body = std::fs::read_to_string(&svg).unwrap();
+        assert!(body.starts_with("<svg"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_errors_are_readable() {
+        let err = run(Command::Inspect { deployment: "/nonexistent/x.json".into() }).unwrap_err();
+        assert!(err.contains("read /nonexistent/x.json"));
+    }
+}
+
+#[cfg(test)]
+mod sweep_trace_tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_sweep_with_values() {
+        let cmd = parse(&argv(
+            "sweep --axis interference --values 8,10 --fixed 6 --trials 2 --metric mcs --readers 10 --tags 50",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Sweep { axis, values, fixed, trials, mcs, readers, tags } => {
+                assert_eq!(axis, SweepAxis::Interference);
+                assert_eq!(values, vec![8.0, 10.0]);
+                assert_eq!(fixed, 6.0);
+                assert_eq!(trials, 2);
+                assert!(mcs);
+                assert_eq!((readers, tags), (10, 50));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_bad_inputs() {
+        assert!(parse(&argv("sweep --axis sideways")).is_err());
+        assert!(parse(&argv("sweep --metric nope")).is_err());
+        assert!(parse(&argv("sweep --values 3,x")).is_err());
+    }
+
+    #[test]
+    fn sweep_runs_end_to_end() {
+        let out = run(parse(&argv(
+            "sweep --values 5,7 --trials 1 --readers 10 --tags 60",
+        ))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("λ_r"));
+        assert!(out.contains("alg1-ptas"));
+        assert!(out.contains("| 5.0 |"));
+    }
+
+    #[test]
+    fn trace_runs_end_to_end() {
+        let dir = std::env::temp_dir().join("rfid_cli_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let depl = dir.join("d.json").to_string_lossy().into_owned();
+        run(parse(&argv(&format!("generate --readers 15 --tags 100 --seed 3 --out {depl}")))
+            .unwrap())
+        .unwrap();
+        let out = run(parse(&argv(&format!("trace --deployment {depl}"))).unwrap()).unwrap();
+        assert!(out.contains("Algorithm 3"));
+        assert!(out.contains("elected head"));
+        assert!(out.contains("RED"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[cfg(test)]
+mod stats_verify_tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn stats_verify_roundtrip() {
+        let dir = std::env::temp_dir().join("rfid_cli_verify_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let depl = dir.join("d.json").to_string_lossy().into_owned();
+        let sched = dir.join("s.json").to_string_lossy().into_owned();
+
+        run(parse(&argv(&format!("generate --readers 12 --tags 80 --seed 4 --out {depl}")))
+            .unwrap())
+        .unwrap();
+
+        let out = run(parse(&argv(&format!("stats --deployment {depl}"))).unwrap()).unwrap();
+        assert!(out.contains("mean tag coverage"));
+        assert!(out.contains("coverage histogram"));
+
+        run(parse(&argv(&format!(
+            "schedule --deployment {depl} --algorithm ghc --mode mcs --out {sched}"
+        )))
+        .unwrap())
+        .unwrap();
+        let out = run(parse(&argv(&format!(
+            "verify --deployment {depl} --schedule {sched}"
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.starts_with("OK:"), "{out}");
+
+        // Tamper with the schedule: verification must fail loudly.
+        let body = std::fs::read_to_string(&sched).unwrap();
+        let mut parsed: rfid_core::CoveringSchedule = serde_json::from_str(&body).unwrap();
+        if let Some(slot) = parsed.slots.first_mut() {
+            slot.served.clear();
+        }
+        std::fs::write(&sched, serde_json::to_string(&parsed).unwrap()).unwrap();
+        let err = run(parse(&argv(&format!(
+            "verify --deployment {depl} --schedule {sched}"
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.contains("INVALID"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_flags_error() {
+        assert!(parse(&argv("stats")).is_err());
+        assert!(parse(&argv("verify --deployment d.json")).is_err());
+    }
+}

@@ -1,0 +1,293 @@
+//! Colorwave baseline (CA) — Waldrop, Engels, Sarma, WCNC 2003 (paper ref
+//! \[21\]).
+//!
+//! Colorwave's Distributed Color Selection (DCS) colours the interference
+//! graph by repeated randomised conflict resolution: every reader holds a
+//! colour (time slot id) in `[0, max_colors)`; when two neighbours share a
+//! colour, one of them "kicks" — re-draws a fresh random colour — and the
+//! process repeats until the colouring is proper (or a round budget runs
+//! out, after which deterministic first-fit repairs the leftovers so the
+//! output is always a valid schedule).
+//!
+//! For the one-shot comparison we give the baseline its best case: the
+//! returned activation is the colour class with the largest Definition-3
+//! weight. (Each colour class of a proper colouring is an independent set
+//! of the interference graph, hence a feasible scheduling set.)
+
+use crate::scheduler::{OneShotInput, OneShotScheduler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rfid_graph::Csr;
+use rfid_model::{ReaderId, WeightEvaluator};
+
+/// The Colorwave (CA) baseline scheduler.
+#[derive(Debug, Clone)]
+pub struct Colorwave {
+    /// Colour-space size; `None` = max degree + 1 (always sufficient).
+    pub max_colors: Option<usize>,
+    /// Rounds of randomised conflict resolution before deterministic
+    /// repair.
+    pub max_rounds: usize,
+    rng: StdRng,
+}
+
+impl Colorwave {
+    /// Creates the baseline with a seeded RNG (reproducible runs).
+    pub fn seeded(seed: u64) -> Self {
+        Colorwave { max_colors: None, max_rounds: 200, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// WCNC'03 VDCS (Variable-DCS): start from a small colour space and
+    /// let the conflict rate steer its size — grow it when more than
+    /// `up_threshold` of readers kicked this round, shrink it when fewer
+    /// than `down_threshold` did. Returns `(coloring, final_color_count)`;
+    /// the colouring is always proper (deterministic repair as in DCS).
+    pub fn color_vdcs(
+        &mut self,
+        graph: &Csr,
+        up_threshold: f64,
+        down_threshold: f64,
+    ) -> (Vec<usize>, usize) {
+        assert!(
+            0.0 <= down_threshold && down_threshold < up_threshold && up_threshold <= 1.0,
+            "need 0 ≤ down < up ≤ 1"
+        );
+        let n = graph.n();
+        if n == 0 {
+            return (Vec::new(), 0);
+        }
+        let mut colors = 2usize;
+        let cap = graph.max_degree() + 1;
+        let mut color: Vec<usize> = (0..n).map(|_| self.rng.random_range(0..colors)).collect();
+        for _ in 0..self.max_rounds {
+            let mut kicked = vec![false; n];
+            let mut any = false;
+            for (a, b) in graph.edges() {
+                if color[a] == color[b] {
+                    any = true;
+                    kicked[a.min(b)] = true;
+                }
+            }
+            if !any {
+                return (color, colors);
+            }
+            let kick_rate = kicked.iter().filter(|&&k| k).count() as f64 / n as f64;
+            if kick_rate > up_threshold && colors < cap {
+                colors += 1;
+            } else if kick_rate < down_threshold && colors > 2 {
+                colors -= 1;
+                // colours may now be out of range; redraw the overflowers
+                for c in color.iter_mut() {
+                    if *c >= colors {
+                        *c = self.rng.random_range(0..colors);
+                    }
+                }
+            }
+            for v in 0..n {
+                if kicked[v] {
+                    color[v] = self.rng.random_range(0..colors);
+                }
+            }
+        }
+        // Deterministic repair (may exceed `colors`).
+        for v in 0..n {
+            let clash = graph.neighbors(v).iter().any(|&t| color[t as usize] == color[v]);
+            if clash {
+                let used: std::collections::BTreeSet<usize> =
+                    graph.neighbors(v).iter().map(|&t| color[t as usize]).collect();
+                color[v] = (0..).find(|c| !used.contains(c)).expect("some colour is free");
+            }
+        }
+        let used = color.iter().copied().max().unwrap_or(0) + 1;
+        (color, used)
+    }
+
+    /// Runs DCS and returns a proper colouring of `graph`.
+    pub fn color(&mut self, graph: &Csr) -> Vec<usize> {
+        let n = graph.n();
+        let colors = self.max_colors.unwrap_or(graph.max_degree() + 1).max(1);
+        let mut color: Vec<usize> = (0..n).map(|_| self.rng.random_range(0..colors)).collect();
+        for _ in 0..self.max_rounds {
+            // Collect conflicted readers; the lower-id endpoint of each
+            // conflicted edge kicks (re-draws) — the WCNC paper resolves by
+            // "the reader that detects the collision first"; with
+            // synchronous rounds we break the symmetry by id.
+            let mut kicked = vec![false; n];
+            let mut any = false;
+            for (a, b) in graph.edges() {
+                if color[a] == color[b] {
+                    any = true;
+                    kicked[a.min(b)] = true;
+                }
+            }
+            if !any {
+                return color;
+            }
+            for v in 0..n {
+                if kicked[v] {
+                    color[v] = self.rng.random_range(0..colors);
+                }
+            }
+        }
+        // Round budget exhausted: repair remaining conflicts first-fit so
+        // the colouring is proper (may exceed `colors`).
+        for v in 0..n {
+            let clash = graph.neighbors(v).iter().any(|&t| color[t as usize] == color[v]);
+            if clash {
+                let used: std::collections::BTreeSet<usize> =
+                    graph.neighbors(v).iter().map(|&t| color[t as usize]).collect();
+                color[v] = (0..).find(|c| !used.contains(c)).expect("some colour is free");
+            }
+        }
+        color
+    }
+}
+
+impl OneShotScheduler for Colorwave {
+    fn name(&self) -> &'static str {
+        "ca-colorwave"
+    }
+
+    fn schedule(&mut self, input: &OneShotInput<'_>) -> Vec<ReaderId> {
+        let n = input.deployment.n_readers();
+        if n == 0 {
+            return Vec::new();
+        }
+        let color = self.color(input.graph);
+        let num_colors = color.iter().copied().max().unwrap_or(0) + 1;
+        let mut classes: Vec<Vec<ReaderId>> = vec![Vec::new(); num_colors];
+        for v in 0..n {
+            classes[color[v]].push(v);
+        }
+        // Best colour class by weight (generous reading of the baseline).
+        let mut weights = WeightEvaluator::new(input.coverage);
+        classes
+            .into_iter()
+            .max_by_key(|class| {
+                (
+                    weights.weight(class, input.unread),
+                    std::cmp::Reverse(class.first().copied().unwrap_or(usize::MAX)),
+                )
+            })
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_graph::is_proper_coloring;
+    use rfid_model::interference::interference_graph;
+    use rfid_model::scenario::{Scenario, ScenarioKind};
+    use rfid_model::{Coverage, RadiusModel, TagSet};
+
+    fn scenario(n_readers: usize, seed: u64) -> rfid_model::Deployment {
+        Scenario {
+            kind: ScenarioKind::UniformRandom,
+            n_readers,
+            n_tags: 100,
+            region_side: 100.0,
+            radius_model: RadiusModel::PoissonPair {
+                lambda_interference: 15.0,
+                lambda_interrogation: 7.0,
+            },
+        }
+        .generate(seed)
+    }
+
+    #[test]
+    fn coloring_is_always_proper() {
+        for seed in 0..5 {
+            let d = scenario(40, seed);
+            let g = interference_graph(&d);
+            let mut cw = Colorwave::seeded(seed);
+            let color = cw.color(&g);
+            assert!(is_proper_coloring(&g, &color), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn tiny_round_budget_still_proper_via_repair() {
+        let d = scenario(40, 1);
+        let g = interference_graph(&d);
+        let mut cw = Colorwave::seeded(1);
+        cw.max_rounds = 0; // force deterministic repair path
+        let color = cw.color(&g);
+        assert!(is_proper_coloring(&g, &color));
+    }
+
+    #[test]
+    fn vdcs_is_proper_and_often_leaner_than_dcs() {
+        let mut leaner = 0;
+        for seed in 0..6 {
+            let d = scenario(40, seed);
+            let g = interference_graph(&d);
+            let mut cw = Colorwave::seeded(seed);
+            let (coloring, used) = cw.color_vdcs(&g, 0.15, 0.02);
+            assert!(is_proper_coloring(&g, &coloring), "seed {seed}");
+            assert!(used >= rfid_graph::coloring::num_colors(&coloring).min(used));
+            if used < g.max_degree() + 1 {
+                leaner += 1;
+            }
+        }
+        assert!(leaner >= 3, "VDCS should usually need fewer colours than Δ+1 ({leaner}/6)");
+    }
+
+    #[test]
+    fn vdcs_handles_degenerate_graphs() {
+        let empty = rfid_graph::Csr::from_edges(0, &[]);
+        let mut cw = Colorwave::seeded(0);
+        assert_eq!(cw.color_vdcs(&empty, 0.2, 0.05), (vec![], 0));
+        let edgeless = rfid_graph::Csr::from_edges(5, &[]);
+        let (coloring, _) = cw.color_vdcs(&edgeless, 0.2, 0.05);
+        assert!(is_proper_coloring(&edgeless, &coloring));
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 ≤ down < up")]
+    fn vdcs_rejects_bad_thresholds() {
+        let g = rfid_graph::Csr::from_edges(2, &[(0, 1)]);
+        let _ = Colorwave::seeded(0).color_vdcs(&g, 0.1, 0.5);
+    }
+
+    #[test]
+    fn schedule_is_feasible_and_nonempty() {
+        let d = scenario(40, 2);
+        let g = interference_graph(&d);
+        let c = Coverage::build(&d);
+        let unread = TagSet::all_unread(d.n_tags());
+        let input = OneShotInput::new(&d, &c, &g, &unread);
+        let mut cw = Colorwave::seeded(2);
+        let set = cw.schedule(&input);
+        assert!(!set.is_empty());
+        assert!(d.is_feasible(&set));
+    }
+
+    #[test]
+    fn seeded_runs_reproduce() {
+        let d = scenario(30, 3);
+        let g = interference_graph(&d);
+        let c = Coverage::build(&d);
+        let unread = TagSet::all_unread(d.n_tags());
+        let input = OneShotInput::new(&d, &c, &g, &unread);
+        let a = Colorwave::seeded(7).schedule(&input);
+        let b = Colorwave::seeded(7).schedule(&input);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_graph_schedules_nothing() {
+        let d = rfid_model::Deployment::new(
+            rfid_geometry::Rect::square(1.0),
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+        );
+        let g = interference_graph(&d);
+        let c = Coverage::build(&d);
+        let unread = TagSet::all_unread(0);
+        let input = OneShotInput::new(&d, &c, &g, &unread);
+        assert!(Colorwave::seeded(0).schedule(&input).is_empty());
+    }
+}

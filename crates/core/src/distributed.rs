@@ -1,0 +1,841 @@
+//! Algorithm 3 — **distributed** scheduling without location information
+//! (paper Section V-B), executed on the `rfid-netsim` message-passing
+//! substrate.
+//!
+//! Every reader runs the same state machine over the interference graph:
+//!
+//! 1. **Gather** (`2c+2` rounds): incremental flooding of node records
+//!    (id, neighbour list, covered-unread-tag list) so each reader learns
+//!    its `(2c+2)`-hop neighbourhood `N(v)^{2c+2}`.
+//! 2. **Election**: a White reader whose `(singleton weight, id)` is
+//!    maximal among the non-eliminated readers it knows becomes a
+//!    *coordinator* (head). Because any two readers within `2c+2` hops know
+//!    each other after gathering, simultaneous heads are always more than
+//!    `2c+2` hops apart — their local solutions cannot interfere.
+//! 3. **Local MWFS**: the head runs the same ρ-growth as Algorithm 2
+//!    (`Γ_0, Γ_1, …` until `w(Γ_{r+1}) < ρ·w(Γ_r)`, capped at `c`) on its
+//!    *local* reconstructed subgraph, then floods
+//!    `RESULT(Γ_{r̄}, N^{r̄+1})` with TTL `r̄+1+2c+2` — exactly far enough
+//!    that every reader whose ball overlaps the removed region hears it.
+//! 4. **Colouring**: a reader in `Γ_{r̄}` turns **Red** (activated), a
+//!    reader in `N^{r̄+1} ∖ Γ_{r̄}` turns **Black** (suppressed); every
+//!    other recipient deletes the eliminated readers from its knowledge and
+//!    re-checks the election condition.
+//!
+//! Theorem 6: the Red set is a feasible scheduling set with
+//! `w(X) ≥ w(OPT)/ρ`.
+
+use crate::local_greedy::grow_local_mwfs;
+use crate::scheduler::{OneShotInput, OneShotScheduler};
+use rfid_graph::Csr;
+use rfid_model::{Coverage, ReaderId, TagSet};
+use rfid_netsim::{Envelope, NetStats, Network, Node, Outbox, Payload};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One reader's gossiped self-description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct NodeRecord {
+    id: u32,
+    neighbors: Vec<u32>,
+    /// Unread tags inside this reader's interrogation region at slot start.
+    tags: Vec<u32>,
+}
+
+/// Protocol messages.
+#[derive(Debug, Clone)]
+enum Msg {
+    /// Incremental knowledge flooding during the gather phase.
+    Info(Vec<NodeRecord>),
+    /// A coordinator's announcement.
+    Result { head: u32, members: Vec<u32>, removed: Vec<u32>, ttl: u32 },
+}
+
+impl Payload for Msg {
+    fn size_bytes(&self) -> usize {
+        match self {
+            Msg::Info(records) => records
+                .iter()
+                .map(|r| 4 + 4 * r.neighbors.len() + 4 * r.tags.len())
+                .sum(),
+            Msg::Result { members, removed, .. } => 8 + 4 * members.len() + 4 * removed.len(),
+        }
+    }
+}
+
+/// Reader colour per the paper's Algorithm 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Color {
+    White,
+    Red,
+    Black,
+}
+
+/// One observable protocol event, for the execution trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `node` won the election and announced (members, removed sizes).
+    HeadElected {
+        /// Electing reader.
+        node: u32,
+        /// Size of the announced Γ.
+        members: usize,
+        /// Size of the removed ball.
+        removed: usize,
+    },
+    /// `node` turned Red (activated) because of `head`'s announcement.
+    ColoredRed {
+        /// Affected reader.
+        node: u32,
+        /// Announcing coordinator.
+        head: u32,
+    },
+    /// `node` turned Black (suppressed) because of `head`'s announcement.
+    ColoredBlack {
+        /// Affected reader.
+        node: u32,
+        /// Announcing coordinator.
+        head: u32,
+    },
+}
+
+/// The per-reader state machine.
+struct ReaderAgent {
+    id: u32,
+    rho: f64,
+    c: u32,
+    gather_rounds: u64,
+    color: Color,
+    /// Everything this reader knows: id → record.
+    knowledge: BTreeMap<u32, NodeRecord>,
+    /// Records to flood next round (first learned last round).
+    fresh: Vec<NodeRecord>,
+    /// Readers known to be Red/Black somewhere.
+    eliminated: BTreeSet<u32>,
+    /// Result announcements already forwarded (by head id).
+    forwarded: BTreeSet<u32>,
+    /// Fault injection: stop participating from this round on.
+    crash_at: Option<u64>,
+    /// Set once the crash round has been reached.
+    crashed: bool,
+    /// Observable events with their round, for the execution trace.
+    events: Vec<(u64, TraceEvent)>,
+}
+
+impl ReaderAgent {
+    fn new(record: NodeRecord, rho: f64, c: u32) -> Self {
+        let gather_rounds = (2 * c + 2) as u64;
+        ReaderAgent {
+            id: record.id,
+            rho,
+            c,
+            gather_rounds,
+            color: Color::White,
+            knowledge: BTreeMap::from([(record.id, record.clone())]),
+            fresh: vec![record],
+            eliminated: BTreeSet::new(),
+            forwarded: BTreeSet::new(),
+            crash_at: None,
+            crashed: false,
+            events: Vec::new(),
+        }
+    }
+
+    fn singleton_weight(&self, id: u32) -> usize {
+        self.knowledge.get(&id).map_or(0, |r| r.tags.len())
+    }
+
+    /// The election predicate: strictly maximal `(weight, id)` among known,
+    /// non-eliminated readers. Strict total order (ids unique) means two
+    /// mutually-known readers can never both win.
+    fn is_local_max(&self) -> bool {
+        let mine = (self.singleton_weight(self.id), self.id);
+        self.knowledge
+            .keys()
+            .filter(|&&u| u != self.id && !self.eliminated.contains(&u))
+            .all(|&u| (self.singleton_weight(u), u) < mine)
+    }
+
+    /// Reconstructs the local alive subgraph and runs the ρ-growth on it.
+    /// Returns `(Γ_{r̄}, removed ball N^{r̄+1})` in global ids.
+    ///
+    /// A zero-weight head (no unread tag anywhere in its view — possible
+    /// only when every reader it knows is equally empty) activates nobody
+    /// but still retires its neighbourhood so the protocol terminates.
+    fn compute_local_solution(&self) -> (Vec<u32>, Vec<u32>) {
+        // Local relabelling of alive (non-eliminated) known readers.
+        let alive_ids: Vec<u32> = self
+            .knowledge
+            .keys()
+            .copied()
+            .filter(|u| !self.eliminated.contains(u))
+            .collect();
+        let local_of: BTreeMap<u32, usize> =
+            alive_ids.iter().enumerate().map(|(l, &g)| (g, l)).collect();
+        let mut edges = Vec::new();
+        let mut tag_local: BTreeMap<u32, usize> = BTreeMap::new();
+        for &g in &alive_ids {
+            let rec = &self.knowledge[&g];
+            for &nb in &rec.neighbors {
+                if let Some(&lnb) = local_of.get(&nb) {
+                    let l = local_of[&g];
+                    if l < lnb {
+                        edges.push((l, lnb));
+                    }
+                }
+            }
+            for &t in &rec.tags {
+                let next = tag_local.len();
+                tag_local.entry(t).or_insert(next);
+            }
+        }
+        let graph = Csr::from_edges(alive_ids.len(), &edges);
+        let mut tag_readers = vec![Vec::new(); tag_local.len()];
+        for &g in &alive_ids {
+            for &t in &self.knowledge[&g].tags {
+                tag_readers[tag_local[&t]].push(local_of[&g] as u32);
+            }
+        }
+        let coverage = Coverage::from_lists(alive_ids.len(), tag_readers);
+        let unread = TagSet::all_unread(tag_local.len());
+        let alive = vec![true; alive_ids.len()];
+        let me = local_of[&self.id];
+        let (gamma, r) =
+            grow_local_mwfs(&graph, &coverage, &unread, me, &alive, self.rho, self.c);
+        // Removed ball N^{r̄+1}(me) over the alive local graph.
+        let removed_local =
+            crate::local_greedy::ball_restricted(&graph, me, r + 1, &alive);
+        let members: Vec<u32> = if self.singleton_weight(self.id) == 0 {
+            Vec::new()
+        } else {
+            gamma.iter().map(|&l| alive_ids[l]).collect()
+        };
+        let removed: Vec<u32> = removed_local.iter().map(|&l| alive_ids[l]).collect();
+        (members, removed)
+    }
+
+    fn apply_result(&mut self, round: u64, head: u32, members: &[u32], removed: &[u32]) {
+        for &u in members.iter().chain(removed.iter()) {
+            self.eliminated.insert(u);
+        }
+        if members.contains(&self.id) && self.color == Color::White {
+            self.color = Color::Red;
+            self.events.push((round, TraceEvent::ColoredRed { node: self.id, head }));
+        } else if removed.contains(&self.id) && self.color == Color::White {
+            self.color = Color::Black;
+            self.events.push((round, TraceEvent::ColoredBlack { node: self.id, head }));
+        }
+    }
+
+    /// Builds, applies and returns this head's announcement.
+    fn announce(&mut self, round: u64) -> Msg {
+        let (members, removed) = self.compute_local_solution();
+        let r_bar_plus_1 = self.c + 1; // conservative: r̄ ≤ c
+        let ttl = r_bar_plus_1 + 2 * self.c + 2;
+        self.events.push((
+            round,
+            TraceEvent::HeadElected {
+                node: self.id,
+                members: members.len(),
+                removed: removed.len(),
+            },
+        ));
+        self.apply_result(round, self.id, &members, &removed);
+        debug_assert!(self.color != Color::White, "head must colour itself");
+        self.forwarded.insert(self.id);
+        Msg::Result { head: self.id, members, removed, ttl }
+    }
+}
+
+impl Node for ReaderAgent {
+    type Msg = Msg;
+
+    fn step(&mut self, round: u64, inbox: &[Envelope<Msg>], out: &mut Outbox<Msg>) {
+        // --- Fault injection: a crashed reader is dark — it neither
+        // ingests nor relays nor announces.
+        if self.crash_at.is_some_and(|at| round >= at) {
+            self.crashed = true;
+            return;
+        }
+        // --- Ingest ------------------------------------------------------
+        let mut results_to_forward: Vec<Msg> = Vec::new();
+        for env in inbox {
+            match &env.msg {
+                Msg::Info(records) => {
+                    for rec in records {
+                        if !self.knowledge.contains_key(&rec.id) {
+                            self.knowledge.insert(rec.id, rec.clone());
+                            self.fresh.push(rec.clone());
+                        }
+                    }
+                }
+                Msg::Result { head, members, removed, ttl } => {
+                    if self.forwarded.insert(*head) {
+                        self.apply_result(round, *head, members, removed);
+                        if *ttl > 1 {
+                            results_to_forward.push(Msg::Result {
+                                head: *head,
+                                members: members.clone(),
+                                removed: removed.clone(),
+                                ttl: ttl - 1,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // --- Relay results (all colours relay; the radio still works) ----
+        for msg in results_to_forward {
+            out.broadcast(msg);
+        }
+        // --- Gather phase: flood fresh records ---------------------------
+        if round < self.gather_rounds {
+            if !self.fresh.is_empty() {
+                let batch = std::mem::take(&mut self.fresh);
+                out.broadcast(Msg::Info(batch));
+            }
+            return;
+        }
+        self.fresh.clear();
+        // --- Election + announcement -------------------------------------
+        if self.color == Color::White && self.is_local_max() {
+            let msg = self.announce(round);
+            out.broadcast(msg);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.color != Color::White || self.crashed
+    }
+}
+
+/// Algorithm 3 packaged as a [`OneShotScheduler`].
+///
+/// The simulation statistics of the most recent run (rounds, messages,
+/// bytes) are kept in [`last_stats`](Self::last_stats) for the
+/// communication-cost ablation.
+#[derive(Debug, Clone, Default)]
+pub struct DistributedScheduler {
+    /// Growth threshold ρ; `None` → 1.1 (matching [`crate::LocalGreedy`]).
+    pub rho: Option<f64>,
+    /// Growth cap `c`; `None` → 3.
+    pub c: Option<u32>,
+    /// Unreliable links: `(drop probability, seed)`. Under loss, gathered
+    /// knowledge and result floods may be incomplete; the carrier-sense
+    /// repair (below) keeps the output feasible while the robustness
+    /// ablation measures the weight degradation.
+    pub loss: Option<(f64, u64)>,
+    /// Fault injection: `(reader, round)` pairs — the reader goes dark
+    /// from that round on (crash-stop model).
+    pub crashes: Vec<(ReaderId, u64)>,
+    /// Bounded asynchrony: `(max extra rounds, seed)` — each message is
+    /// delayed by an extra uniform number of rounds. The synchronous
+    /// gather phase then sees *incomplete* neighbourhoods, so the
+    /// carrier-sense repair may engage; the output stays feasible.
+    pub delay: Option<(u64, u64)>,
+    /// Stats of the last `schedule` call.
+    pub last_stats: Option<NetStats>,
+    /// Execution trace of the last `schedule` call: `(round, event)`,
+    /// sorted by round then node.
+    pub last_trace: Option<Vec<(u64, TraceEvent)>>,
+}
+
+impl DistributedScheduler {
+    /// Creates a scheduler with explicit parameters.
+    pub fn with_params(rho: f64, c: u32) -> Self {
+        DistributedScheduler {
+            rho: Some(rho),
+            c: Some(c),
+            loss: None,
+            crashes: Vec::new(),
+            delay: None,
+            last_stats: None,
+            last_trace: None,
+        }
+    }
+
+    /// Enables the unreliable-link model.
+    pub fn with_loss(mut self, p: f64, seed: u64) -> Self {
+        self.loss = Some((p, seed));
+        self
+    }
+}
+
+impl OneShotScheduler for DistributedScheduler {
+    fn name(&self) -> &'static str {
+        "alg3-distributed"
+    }
+
+    fn comm_stats(&self) -> Option<NetStats> {
+        self.last_stats
+    }
+
+    fn schedule(&mut self, input: &OneShotInput<'_>) -> Vec<ReaderId> {
+        let rho = self.rho.unwrap_or(1.1);
+        let c = self.c.unwrap_or(3);
+        assert!(rho > 1.0, "ρ must exceed 1");
+        let n = input.deployment.n_readers();
+        if n == 0 {
+            self.last_stats = Some(NetStats::default());
+            return Vec::new();
+        }
+        // Each reader's initial record: direct neighbours + its unread tags.
+        let agents: Vec<ReaderAgent> = (0..n)
+            .map(|v| {
+                let tags: Vec<u32> = input
+                    .coverage
+                    .tags_of(v)
+                    .iter()
+                    .copied()
+                    .filter(|&t| input.unread.is_unread(t as usize))
+                    .collect();
+                let record = NodeRecord {
+                    id: v as u32,
+                    neighbors: input.graph.neighbors(v).to_vec(),
+                    tags,
+                };
+                let mut agent = ReaderAgent::new(record, rho, c);
+                agent.crash_at = self
+                    .crashes
+                    .iter()
+                    .find(|&&(r, _)| r == v)
+                    .map(|&(_, at)| at);
+                agent
+            })
+            .collect();
+        let mut net = Network::new(input.graph.clone(), agents);
+        if let Some((p, seed)) = self.loss {
+            net = net.with_loss(p, seed);
+        }
+        if let Some((max_extra, seed)) = self.delay {
+            net = net.with_delay(max_extra, seed);
+        }
+        // Generous round budget: gather + (heads are elected at least every
+        // O(TTL) rounds and at least one reader is eliminated per head).
+        let budget = (2 * c as u64 + 2) + (n as u64 + 1) * (3 * c as u64 + 5) + 16;
+        net.run_until_quiescent(budget);
+        assert!(
+            self.loss.is_some()
+                || !self.crashes.is_empty()
+                || self.delay.is_some()
+                || net.is_quiescent(),
+            "distributed protocol failed to converge within {budget} rounds"
+        );
+        let (agents, stats) = net.into_parts();
+        self.last_stats = Some(stats);
+        let mut trace: Vec<(u64, TraceEvent)> = agents
+            .iter()
+            .flat_map(|a| a.events.iter().cloned())
+            .collect();
+        trace.sort_by_key(|(round, e)| {
+            let node = match e {
+                TraceEvent::HeadElected { node, .. }
+                | TraceEvent::ColoredRed { node, .. }
+                | TraceEvent::ColoredBlack { node, .. } => *node,
+            };
+            (*round, node)
+        });
+        self.last_trace = Some(trace);
+        // A reader that actually went dark during the protocol cannot
+        // transmit: exclude it from the activation even if it was Red
+        // before crashing. (A crash scheduled beyond convergence never
+        // fired and changes nothing.)
+        let mut x: Vec<ReaderId> = agents
+            .iter()
+            .filter(|a| a.color == Color::Red && !a.crashed)
+            .map(|a| a.id as ReaderId)
+            .collect();
+        x.sort_unstable();
+        // Carrier-sense activation repair. On reliable links this is a
+        // no-op (the protocol's invariants make the Red set independent);
+        // with lossy links two Red readers may be mutually unaware, and a
+        // real reader would detect the jam at power-up: the lighter-weight
+        // endpoint defers (turns itself off for this slot).
+        let mut weights = rfid_model::WeightEvaluator::new(input.coverage);
+        loop {
+            let mut drop: Option<ReaderId> = None;
+            'scan: for (i, &a) in x.iter().enumerate() {
+                for &b in &x[i + 1..] {
+                    if input.graph.has_edge(a, b) {
+                        let (wa, wb) = (
+                            weights.singleton_weight(a, input.unread),
+                            weights.singleton_weight(b, input.unread),
+                        );
+                        drop = Some(if wa <= wb { a } else { b });
+                        break 'scan;
+                    }
+                }
+            }
+            match drop {
+                Some(v) => {
+                    debug_assert!(
+                        self.loss.is_some() || !self.crashes.is_empty() || self.delay.is_some(),
+                        "repair must be a no-op on reliable links"
+                    );
+                    x.retain(|&u| u != v);
+                }
+                None => break,
+            }
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_model::interference::interference_graph;
+    use rfid_model::scenario::{Scenario, ScenarioKind};
+    use rfid_model::{Coverage, RadiusModel, WeightEvaluator};
+
+    fn paper_like(n_readers: usize, seed: u64) -> rfid_model::Deployment {
+        Scenario {
+            kind: ScenarioKind::UniformRandom,
+            n_readers,
+            n_tags: 300,
+            region_side: 100.0,
+            radius_model: RadiusModel::PoissonPair {
+                lambda_interference: 14.0,
+                lambda_interrogation: 6.0,
+            },
+        }
+        .generate(seed)
+    }
+
+    #[test]
+    fn converges_and_is_feasible() {
+        for seed in 0..6 {
+            let d = paper_like(40, seed);
+            let c = Coverage::build(&d);
+            let g = interference_graph(&d);
+            let unread = TagSet::all_unread(d.n_tags());
+            let input = OneShotInput::new(&d, &c, &g, &unread);
+            let mut s = DistributedScheduler::default();
+            let set = s.schedule(&input);
+            assert!(d.is_feasible(&set), "seed {seed}: {set:?}");
+            assert!(!set.is_empty(), "seed {seed}");
+            let stats = s.last_stats.unwrap();
+            assert!(stats.messages > 0);
+        }
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let d = paper_like(30, 9);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let unread = TagSet::all_unread(d.n_tags());
+        let input = OneShotInput::new(&d, &c, &g, &unread);
+        let a = DistributedScheduler::default().schedule_twice(&input);
+        assert_eq!(a.0, a.1);
+    }
+
+    impl DistributedScheduler {
+        fn schedule_twice(mut self, input: &OneShotInput<'_>) -> (Vec<usize>, Vec<usize>) {
+            let x = self.schedule(input);
+            let y = self.schedule(input);
+            (x, y)
+        }
+    }
+
+    #[test]
+    fn matches_centralized_on_disconnected_singletons() {
+        // No interference at all: every reader is its own head and the
+        // answer is every reader with positive weight.
+        let d = Scenario {
+            kind: ScenarioKind::LatticeReaders,
+            n_readers: 9,
+            n_tags: 50,
+            region_side: 90.0,
+            radius_model: RadiusModel::Fixed { interference: 4.0, interrogation: 4.0 },
+        }
+        .generate(0);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        assert_eq!(g.m(), 0, "lattice spacing 30 ≫ interference 4");
+        let unread = TagSet::all_unread(d.n_tags());
+        let input = OneShotInput::new(&d, &c, &g, &unread);
+        let dist = DistributedScheduler::default().schedule(&input);
+        let mut weights = WeightEvaluator::new(&c);
+        let expect: Vec<usize> = (0..9)
+            .filter(|&v| weights.singleton_weight(v, &unread) > 0)
+            .collect();
+        assert_eq!(dist, expect);
+    }
+
+    #[test]
+    fn respects_theorem6_bound_against_exact() {
+        for seed in 0..4 {
+            let d = paper_like(13, seed);
+            let c = Coverage::build(&d);
+            let g = interference_graph(&d);
+            let unread = TagSet::all_unread(d.n_tags());
+            let input = OneShotInput::new(&d, &c, &g, &unread);
+            let rho = 1.25;
+            let set = DistributedScheduler::with_params(rho, 4).schedule(&input);
+            let opt = crate::exact::ExactScheduler::default().schedule(&input);
+            let w_set = input.weight_of(&set) as f64;
+            let w_opt = input.weight_of(&opt) as f64;
+            assert!(
+                w_set + 1e-9 >= w_opt / rho,
+                "seed {seed}: w = {w_set} < {w_opt}/ρ"
+            );
+        }
+    }
+
+    #[test]
+    fn message_cost_grows_with_c() {
+        let d = paper_like(35, 2);
+        let cov = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let unread = TagSet::all_unread(d.n_tags());
+        let input = OneShotInput::new(&d, &cov, &g, &unread);
+        let mut small = DistributedScheduler::with_params(1.25, 1);
+        let mut big = DistributedScheduler::with_params(1.25, 4);
+        small.schedule(&input);
+        big.schedule(&input);
+        // The gather phase alone takes 2c+2 rounds, so a larger c always
+        // costs more rounds; byte volume saturates once the knowledge flood
+        // covers the component, so rounds are the stable monotone metric.
+        assert!(
+            big.last_stats.unwrap().rounds > small.last_stats.unwrap().rounds,
+            "larger c must run more rounds"
+        );
+    }
+
+    #[test]
+    fn empty_deployment() {
+        let d = rfid_model::Deployment::new(
+            rfid_geometry::Rect::square(1.0),
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+        );
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let unread = TagSet::all_unread(0);
+        let input = OneShotInput::new(&d, &c, &g, &unread);
+        assert!(DistributedScheduler::default().schedule(&input).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod loss_tests {
+    use super::*;
+    use rfid_model::interference::interference_graph;
+    use rfid_model::scenario::{Scenario, ScenarioKind};
+    use rfid_model::{Coverage, RadiusModel};
+
+    fn setup(seed: u64) -> (rfid_model::Deployment, Coverage, Csr) {
+        let d = Scenario {
+            kind: ScenarioKind::UniformRandom,
+            n_readers: 30,
+            n_tags: 400,
+            region_side: 100.0,
+            radius_model: RadiusModel::PoissonPair {
+                lambda_interference: 14.0,
+                lambda_interrogation: 6.0,
+            },
+        }
+        .generate(seed);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        (d, c, g)
+    }
+
+    #[test]
+    fn output_is_feasible_under_any_loss_rate() {
+        for &p in &[0.05, 0.2, 0.5, 0.9] {
+            for seed in 0..3u64 {
+                let (d, c, g) = setup(seed);
+                let unread = TagSet::all_unread(d.n_tags());
+                let input = OneShotInput::new(&d, &c, &g, &unread);
+                let set = DistributedScheduler::default().with_loss(p, seed).schedule(&input);
+                assert!(d.is_feasible(&set), "p={p} seed={seed}: {set:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_loss_matches_reliable_run() {
+        let (d, c, g) = setup(0);
+        let unread = TagSet::all_unread(d.n_tags());
+        let input = OneShotInput::new(&d, &c, &g, &unread);
+        let reliable = DistributedScheduler::default().schedule(&input);
+        let zero_loss = DistributedScheduler::default().with_loss(0.0, 1).schedule(&input);
+        assert_eq!(reliable, zero_loss);
+    }
+
+    #[test]
+    fn drops_are_accounted() {
+        let (d, c, g) = setup(1);
+        let unread = TagSet::all_unread(d.n_tags());
+        let input = OneShotInput::new(&d, &c, &g, &unread);
+        let mut s = DistributedScheduler::default().with_loss(0.3, 7);
+        s.schedule(&input);
+        let stats = s.last_stats.unwrap();
+        assert!(stats.dropped > 0);
+        assert!(stats.dropped < stats.messages);
+    }
+
+    #[test]
+    fn weight_degrades_gracefully_not_catastrophically() {
+        // Mean over seeds: 20% loss should keep most of the weight.
+        let mut clean = 0usize;
+        let mut lossy = 0usize;
+        for seed in 0..5u64 {
+            let (d, c, g) = setup(seed);
+            let unread = TagSet::all_unread(d.n_tags());
+            let input = OneShotInput::new(&d, &c, &g, &unread);
+            clean += input.weight_of(&DistributedScheduler::default().schedule(&input));
+            lossy += input
+                .weight_of(&DistributedScheduler::default().with_loss(0.2, seed).schedule(&input));
+        }
+        assert!(
+            lossy * 2 >= clean,
+            "20% loss should retain ≥ half the weight ({lossy} vs {clean})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod trace_and_crash_tests {
+    use super::*;
+    use rfid_model::interference::interference_graph;
+    use rfid_model::scenario::{Scenario, ScenarioKind};
+    use rfid_model::{Coverage, RadiusModel};
+
+    fn setup(seed: u64) -> (rfid_model::Deployment, Coverage, Csr) {
+        let d = Scenario {
+            kind: ScenarioKind::UniformRandom,
+            n_readers: 30,
+            n_tags: 400,
+            region_side: 100.0,
+            radius_model: RadiusModel::PoissonPair {
+                lambda_interference: 14.0,
+                lambda_interrogation: 6.0,
+            },
+        }
+        .generate(seed);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        (d, c, g)
+    }
+
+    #[test]
+    fn trace_is_complete_and_consistent() {
+        let (d, c, g) = setup(0);
+        let unread = TagSet::all_unread(d.n_tags());
+        let input = OneShotInput::new(&d, &c, &g, &unread);
+        let mut s = DistributedScheduler::default();
+        let set = s.schedule(&input);
+        let trace = s.last_trace.clone().unwrap();
+        assert!(!trace.is_empty());
+        // Every activated reader has exactly one ColoredRed event.
+        let red_events: Vec<u32> = trace
+            .iter()
+            .filter_map(|(_, e)| match e {
+                TraceEvent::ColoredRed { node, .. } => Some(*node),
+                _ => None,
+            })
+            .collect();
+        let mut red_sorted: Vec<usize> = red_events.iter().map(|&n| n as usize).collect();
+        red_sorted.sort_unstable();
+        assert_eq!(red_sorted, set);
+        // Heads announce non-empty removals and rounds are ordered.
+        assert!(trace.windows(2).all(|w| w[0].0 <= w[1].0));
+        let heads = trace
+            .iter()
+            .filter(|(_, e)| matches!(e, TraceEvent::HeadElected { .. }))
+            .count();
+        assert!(heads >= 1);
+        // Head elections happen only after the gather phase (2c+2 = 8).
+        for (round, e) in &trace {
+            if matches!(e, TraceEvent::HeadElected { .. }) {
+                assert!(*round >= 8, "head elected during gather at round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn crashed_readers_never_activate() {
+        let (d, c, g) = setup(1);
+        let unread = TagSet::all_unread(d.n_tags());
+        let input = OneShotInput::new(&d, &c, &g, &unread);
+        // Crash the globally heaviest reader before it can announce.
+        let mut weights = rfid_model::WeightEvaluator::new(&c);
+        let heaviest = (0..d.n_readers())
+            .max_by_key(|&v| weights.singleton_weight(v, &unread))
+            .unwrap();
+        let mut s = DistributedScheduler::default();
+        s.crashes = vec![(heaviest, 0)];
+        let set = s.schedule(&input);
+        assert!(!set.contains(&heaviest));
+        assert!(d.is_feasible(&set));
+    }
+
+    #[test]
+    fn late_crash_changes_little() {
+        let (d, c, g) = setup(2);
+        let unread = TagSet::all_unread(d.n_tags());
+        let input = OneShotInput::new(&d, &c, &g, &unread);
+        let clean = DistributedScheduler::default().schedule(&input);
+        let mut s = DistributedScheduler::default();
+        s.crashes = vec![(0, 10_000)]; // far beyond convergence
+        let with_late_crash = s.schedule(&input);
+        assert_eq!(clean, with_late_crash);
+    }
+
+    #[test]
+    fn mass_crash_still_yields_feasible_output() {
+        let (d, c, g) = setup(3);
+        let unread = TagSet::all_unread(d.n_tags());
+        let input = OneShotInput::new(&d, &c, &g, &unread);
+        let mut s = DistributedScheduler::default();
+        // A third of the fleet dies mid-gather.
+        s.crashes = (0..10).map(|v| (v, 3u64)).collect();
+        let set = s.schedule(&input);
+        assert!(d.is_feasible(&set));
+        for v in 0..10 {
+            assert!(!set.contains(&v), "crashed reader {v} activated");
+        }
+    }
+}
+
+#[cfg(test)]
+mod delay_tests {
+    use super::*;
+    use rfid_model::interference::interference_graph;
+    use rfid_model::scenario::{Scenario, ScenarioKind};
+    use rfid_model::{Coverage, RadiusModel};
+
+    #[test]
+    fn feasible_under_bounded_asynchrony() {
+        for seed in 0..4u64 {
+            let d = Scenario {
+                kind: ScenarioKind::UniformRandom,
+                n_readers: 30,
+                n_tags: 400,
+                region_side: 100.0,
+                radius_model: RadiusModel::PoissonPair {
+                    lambda_interference: 14.0,
+                    lambda_interrogation: 6.0,
+                },
+            }
+            .generate(seed);
+            let c = Coverage::build(&d);
+            let g = interference_graph(&d);
+            let unread = TagSet::all_unread(d.n_tags());
+            let input = OneShotInput::new(&d, &c, &g, &unread);
+            let mut s = DistributedScheduler::default();
+            s.delay = Some((3, seed));
+            let set = s.schedule(&input);
+            assert!(d.is_feasible(&set), "seed {seed}: {set:?}");
+            // asynchrony costs some weight but not everything
+            let clean = DistributedScheduler::default().schedule(&input);
+            let w_delay = input.weight_of(&set) as f64;
+            let w_clean = input.weight_of(&clean) as f64;
+            assert!(w_delay >= 0.4 * w_clean, "seed {seed}: {w_delay} vs {w_clean}");
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Exact maximum weighted feasible scheduling set by branch and bound.
+//!
+//! The weight `w(X)` is sub-additive, not additive, so this is *not* plain
+//! maximum-weight independent set. The solver branches include/exclude over
+//! candidates sorted by singleton weight and prunes with the sub-additivity
+//! bound `w(X ∪ Y) ≤ w(X) + Σ_{v∈Y} w({v})`: once the current weight plus
+//! the remaining singleton mass cannot beat the incumbent, the branch dies.
+//!
+//! Exponential in the worst case — it is the paper's implicit "enumeration"
+//! primitive: Algorithm 2/3 call it on small `r`-hop neighbourhoods, the
+//! PTAS calls it inside grid squares, tests call it for ground truth on
+//! instances up to a few dozen readers.
+
+use crate::scheduler::{OneShotInput, OneShotScheduler};
+use rfid_graph::Csr;
+use rfid_model::{Coverage, IncrementalWeight, ReaderId, TagSet, WeightEvaluator};
+
+/// Budget on branch-and-bound node expansions. When exceeded the search
+/// returns the best set found so far (anytime behaviour) — on the paper's
+/// instance sizes the budget is never reached.
+pub const DEFAULT_NODE_BUDGET: u64 = 20_000_000;
+
+/// Best `X ⊆ candidates` such that `X ∪ base` is feasible, maximising
+/// `w(X ∪ base)`.
+///
+/// * `graph` must be the interference graph of the deployment behind
+///   `coverage`; feasibility is checked through it.
+/// * `base` is a feasible context set (disjoint from `candidates`); its
+///   members are fixed "on" and participate in RRc weight interactions.
+///   Pass `&[]` for a plain MWFS.
+///
+/// Returns the chosen subset of `candidates` only (not including `base`),
+/// sorted ascending.
+pub fn exact_mwfs_restricted(
+    coverage: &Coverage,
+    graph: &Csr,
+    unread: &TagSet,
+    candidates: &[ReaderId],
+    base: &[ReaderId],
+) -> Vec<ReaderId> {
+    exact_mwfs_budgeted(coverage, graph, unread, candidates, base, DEFAULT_NODE_BUDGET).0
+}
+
+/// As [`exact_mwfs_restricted`], also reporting whether the search completed
+/// within the node budget (`true`) or returned an anytime best (`false`).
+pub fn exact_mwfs_budgeted(
+    coverage: &Coverage,
+    graph: &Csr,
+    unread: &TagSet,
+    candidates: &[ReaderId],
+    base: &[ReaderId],
+    node_budget: u64,
+) -> (Vec<ReaderId>, bool) {
+    debug_assert!(graph.is_independent_set(base), "base must be feasible");
+    let mut weights = WeightEvaluator::new(coverage);
+
+    // Keep only candidates independent of every base reader, with their
+    // singleton weights; order by descending singleton weight (ties by id)
+    // so strong sets are found early and the bound bites.
+    let mut cands: Vec<(ReaderId, usize)> = candidates
+        .iter()
+        .copied()
+        .filter(|&v| base.iter().all(|&b| b != v && !graph.has_edge(b, v)))
+        .map(|v| (v, weights.singleton_weight(v, unread)))
+        .collect();
+    cands.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    cands.dedup_by_key(|c| c.0);
+
+    // Suffix singleton-mass for the sub-additive upper bound.
+    let mut suffix: Vec<usize> = vec![0; cands.len() + 1];
+    for i in (0..cands.len()).rev() {
+        suffix[i] = suffix[i + 1] + cands[i].1;
+    }
+
+    let mut inc = IncrementalWeight::new(coverage, unread);
+    for &b in base {
+        inc.add(b);
+    }
+    let base_weight = inc.weight();
+
+    struct Search<'a> {
+        graph: &'a Csr,
+        cands: &'a [(ReaderId, usize)],
+        suffix: &'a [usize],
+        inc: IncrementalWeight<'a>,
+        chosen: Vec<ReaderId>,
+        best: Vec<ReaderId>,
+        best_w: usize,
+        nodes: u64,
+        budget: u64,
+        complete: bool,
+    }
+
+    impl Search<'_> {
+        fn go(&mut self, idx: usize) {
+            self.nodes += 1;
+            if self.nodes > self.budget {
+                self.complete = false;
+                return;
+            }
+            let w = self.inc.weight();
+            if w > self.best_w {
+                self.best_w = w;
+                self.best = self.chosen.clone();
+            }
+            if idx >= self.cands.len() || w + self.suffix[idx] <= self.best_w {
+                return;
+            }
+            let (v, _) = self.cands[idx];
+            // Include v if independent from everything chosen so far.
+            let ok = self.chosen.iter().all(|&u| !self.graph.has_edge(u, v));
+            if ok {
+                self.inc.add(v);
+                self.chosen.push(v);
+                self.go(idx + 1);
+                self.chosen.pop();
+                self.inc.remove(v);
+            }
+            // Exclude v.
+            self.go(idx + 1);
+        }
+    }
+
+    let mut search = Search {
+        graph,
+        cands: &cands,
+        suffix: &suffix,
+        inc,
+        chosen: Vec::new(),
+        best: Vec::new(),
+        best_w: base_weight,
+        nodes: 0,
+        budget: node_budget,
+        complete: true,
+    };
+    search.go(0);
+    let mut best = search.best;
+    best.sort_unstable();
+    (best, search.complete)
+}
+
+/// The exact algorithm packaged as a [`OneShotScheduler`] (ground truth for
+/// tests and the approximation-ratio ablation; exponential — keep `n`
+/// small).
+#[derive(Debug, Clone, Default)]
+pub struct ExactScheduler {
+    /// Optional override of the node budget.
+    pub node_budget: Option<u64>,
+}
+
+impl OneShotScheduler for ExactScheduler {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn schedule(&mut self, input: &OneShotInput<'_>) -> Vec<ReaderId> {
+        let all: Vec<ReaderId> = (0..input.deployment.n_readers()).collect();
+        exact_mwfs_budgeted(
+            input.coverage,
+            input.graph,
+            input.unread,
+            &all,
+            &[],
+            self.node_budget.unwrap_or(DEFAULT_NODE_BUDGET),
+        )
+        .0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_geometry::{Point, Rect};
+    use rfid_model::interference::interference_graph;
+    use rfid_model::{Coverage, Deployment};
+
+    /// The Figure-2 deployment: exact MWFS must prefer {A, C} over
+    /// {A, B, C}.
+    fn figure2() -> (Deployment, Coverage, Csr) {
+        let d = Deployment::new(
+            Rect::new(-10.0, -10.0, 40.0, 10.0),
+            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(20.0, 0.0)],
+            vec![9.0, 9.0, 9.0],
+            vec![6.0, 7.0, 6.0],
+            vec![
+                Point::new(-3.0, 0.0),
+                Point::new(5.0, 0.0),
+                Point::new(15.0, 0.0),
+                Point::new(23.0, 0.0),
+                Point::new(10.0, 0.0),
+            ],
+        );
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        (d, c, g)
+    }
+
+    #[test]
+    fn figure2_optimum_drops_the_middle_reader() {
+        let (d, c, g) = figure2();
+        let unread = TagSet::all_unread(5);
+        let best = exact_mwfs_restricted(&c, &g, &unread, &[0, 1, 2], &[]);
+        assert_eq!(best, vec![0, 2]);
+        assert!(d.is_feasible(&best));
+    }
+
+    #[test]
+    fn base_context_changes_the_optimum() {
+        let (_, c, g) = figure2();
+        let unread = TagSet::all_unread(5);
+        // With B fixed on, adding A and C costs their overlap tags with B:
+        // w({A,B,C}) = 3 vs w({B,A}) = 3, w({B,C}) = 3, w({B}) = 3 — all tie;
+        // solver may return any subset achieving 3. Just check feasible +
+        // weight.
+        let best = exact_mwfs_restricted(&c, &g, &unread, &[0, 2], &[1]);
+        let mut whole = best.clone();
+        whole.push(1);
+        let mut w = WeightEvaluator::new(&c);
+        assert_eq!(w.weight(&whole, &unread), 3);
+    }
+
+    #[test]
+    fn adjacent_candidates_to_base_are_dropped() {
+        let (_, c, g) = figure2();
+        // Make readers adjacent by re-using graph from a tighter deployment:
+        // here just verify via API: candidates equal to base are filtered.
+        let unread = TagSet::all_unread(5);
+        let best = exact_mwfs_restricted(&c, &g, &unread, &[1], &[1]);
+        assert!(best.is_empty());
+    }
+
+    #[test]
+    fn exhaustive_cross_check_small_random() {
+        use rfid_model::scenario::{Scenario, ScenarioKind};
+        use rfid_model::RadiusModel;
+        for seed in 0..5u64 {
+            let d = Scenario {
+                kind: ScenarioKind::UniformRandom,
+                n_readers: 10,
+                n_tags: 60,
+                region_side: 60.0,
+                radius_model: RadiusModel::PoissonPair {
+                    lambda_interference: 12.0,
+                    lambda_interrogation: 6.0,
+                },
+            }
+            .generate(seed);
+            let c = Coverage::build(&d);
+            let g = interference_graph(&d);
+            let unread = TagSet::all_unread(d.n_tags());
+            let all: Vec<usize> = (0..10).collect();
+            let best = exact_mwfs_restricted(&c, &g, &unread, &all, &[]);
+            assert!(d.is_feasible(&best), "seed {seed}");
+            let mut w = WeightEvaluator::new(&c);
+            let best_w = w.weight(&best, &unread);
+            // Brute force all 2^10 subsets.
+            let mut brute = 0usize;
+            for mask in 0u32..(1 << 10) {
+                let set: Vec<usize> = (0..10).filter(|&i| mask >> i & 1 == 1).collect();
+                if g.is_independent_set(&set) {
+                    brute = brute.max(w.weight(&set, &unread));
+                }
+            }
+            assert_eq!(best_w, brute, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let (_, c, g) = figure2();
+        let unread = TagSet::all_unread(5);
+        let (set, complete) =
+            exact_mwfs_budgeted(&c, &g, &unread, &[0, 1, 2], &[], 2);
+        assert!(!complete);
+        // Anytime: whatever came back is feasible.
+        assert!(g.is_independent_set(&set));
+    }
+
+    #[test]
+    fn empty_candidates_yield_empty_set() {
+        let (_, c, g) = figure2();
+        let unread = TagSet::all_unread(5);
+        assert!(exact_mwfs_restricted(&c, &g, &unread, &[], &[]).is_empty());
+    }
+
+    #[test]
+    fn scheduler_wrapper_runs() {
+        let (d, c, g) = figure2();
+        let unread = TagSet::all_unread(5);
+        let input = OneShotInput::new(&d, &c, &g, &unread);
+        let mut s = ExactScheduler::default();
+        let set = s.schedule(&input);
+        assert_eq!(set, vec![0, 2]);
+        assert_eq!(input.weight_of(&set), 4);
+    }
+
+    use rfid_model::WeightEvaluator;
+}

@@ -1,0 +1,166 @@
+//! Greedy Hill-Climbing baseline (GHC, paper Section VI).
+//!
+//! "At each step, we select a reader to add to current active reader set,
+//! in order to maximize the incremental weight together with other active
+//! readers at this time-slot. Then we keep adding the reader to the active
+//! set one by one recursively until the weight starts to decrease (the
+//! incremental weight becomes negative) due to various collisions."
+//!
+//! Feasibility is maintained throughout: only readers independent from the
+//! current active set are candidates (an RTc-violating addition would zero
+//! out a victim reader, which the incremental weight model cannot express —
+//! and the paper's feasible-set definition forbids it anyway).
+
+use crate::scheduler::{OneShotInput, OneShotScheduler};
+use rfid_model::{IncrementalWeight, ReaderId};
+
+/// The GHC baseline scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct HillClimbing {
+    /// When `true`, stop only when the best incremental weight is strictly
+    /// negative (the paper's literal rule, admitting zero-gain additions);
+    /// when `false` (default), stop at non-positive increments — a slightly
+    /// stronger variant that avoids pointless RRc exposure.
+    pub admit_zero_gain: bool,
+}
+
+impl OneShotScheduler for HillClimbing {
+    fn name(&self) -> &'static str {
+        "ghc"
+    }
+
+    fn schedule(&mut self, input: &OneShotInput<'_>) -> Vec<ReaderId> {
+        let n = input.deployment.n_readers();
+        let mut inc = IncrementalWeight::new(input.coverage, input.unread);
+        let mut blocked = vec![false; n]; // adjacent to the active set
+        loop {
+            // Best feasible addition by incremental weight; ties by id.
+            let mut best: Option<(isize, ReaderId)> = None;
+            for v in 0..n {
+                if blocked[v] || inc.is_active(v) {
+                    continue;
+                }
+                let delta = inc.delta_if_added(v);
+                if best.is_none_or(|(bd, _)| delta > bd) {
+                    best = Some((delta, v));
+                }
+            }
+            let Some((delta, v)) = best else { break };
+            let stop = if self.admit_zero_gain { delta < 0 } else { delta <= 0 };
+            if stop {
+                break;
+            }
+            inc.add(v);
+            for &t in input.graph.neighbors(v) {
+                blocked[t as usize] = true;
+            }
+        }
+        let mut out = inc.active().to_vec();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_geometry::{Point, Rect};
+    use rfid_model::interference::interference_graph;
+    use rfid_model::{Coverage, Deployment, TagSet};
+
+    fn figure2() -> (Deployment, Coverage) {
+        let d = Deployment::new(
+            Rect::new(-10.0, -10.0, 40.0, 10.0),
+            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(20.0, 0.0)],
+            vec![9.0, 9.0, 9.0],
+            vec![6.0, 7.0, 6.0],
+            vec![
+                Point::new(-3.0, 0.0),
+                Point::new(5.0, 0.0),
+                Point::new(15.0, 0.0),
+                Point::new(23.0, 0.0),
+                Point::new(10.0, 0.0),
+            ],
+        );
+        let c = Coverage::build(&d);
+        (d, c)
+    }
+
+    #[test]
+    fn figure2_ghc_gets_stuck_on_the_middle_reader() {
+        // GHC picks B first (singleton weight 3 beats A/C's 2). Adding A or
+        // C then has increment 0 (one fresh tag, one overlap loss), so the
+        // climb stalls at weight 3 either way — strictly worse than the
+        // optimum {A, C} with weight 4. This is the local-optimum failure
+        // the paper's Figure 2 illustrates.
+        let (d, c) = figure2();
+        let g = interference_graph(&d);
+        let unread = TagSet::all_unread(5);
+        let input = OneShotInput::new(&d, &c, &g, &unread);
+        let strict = HillClimbing::default().schedule(&input);
+        assert_eq!(strict, vec![1]);
+        assert_eq!(input.weight_of(&strict), 3);
+        let literal = HillClimbing { admit_zero_gain: true }.schedule(&input);
+        assert_eq!(literal, vec![0, 1, 2]);
+        assert_eq!(input.weight_of(&literal), 3);
+        assert!(d.is_feasible(&literal));
+    }
+
+    #[test]
+    fn never_adds_interfering_readers() {
+        // Two overlapping readers: only one can be active.
+        let d = Deployment::new(
+            Rect::square(20.0),
+            vec![Point::new(5.0, 5.0), Point::new(8.0, 5.0)],
+            vec![6.0, 6.0],
+            vec![3.0, 3.0],
+            vec![Point::new(5.0, 5.0), Point::new(8.0, 6.0), Point::new(9.0, 5.0)],
+        );
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let unread = TagSet::all_unread(3);
+        let input = OneShotInput::new(&d, &c, &g, &unread);
+        let set = HillClimbing::default().schedule(&input);
+        assert_eq!(set.len(), 1);
+        assert!(d.is_feasible(&set));
+    }
+
+    #[test]
+    fn empty_when_no_tags() {
+        let d = Deployment::new(
+            Rect::square(10.0),
+            vec![Point::new(5.0, 5.0)],
+            vec![2.0],
+            vec![1.0],
+            vec![],
+        );
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let unread = TagSet::all_unread(0);
+        let input = OneShotInput::new(&d, &c, &g, &unread);
+        let set = HillClimbing::default().schedule(&input);
+        assert!(set.is_empty(), "no positive increment exists without tags");
+    }
+
+    #[test]
+    fn zero_gain_variant_may_add_more_readers() {
+        // A reader covering only already-read tags has delta 0: the literal
+        // paper rule admits it, the default rejects it.
+        let d = Deployment::new(
+            Rect::square(40.0),
+            vec![Point::new(5.0, 5.0), Point::new(30.0, 30.0)],
+            vec![4.0, 4.0],
+            vec![2.0, 2.0],
+            vec![Point::new(5.0, 5.0), Point::new(30.0, 30.0)],
+        );
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let mut unread = TagSet::all_unread(2);
+        unread.mark_read(1); // reader 1's only tag is gone
+        let input = OneShotInput::new(&d, &c, &g, &unread);
+        let strict = HillClimbing::default().schedule(&input);
+        assert_eq!(strict, vec![0]);
+        let lax = HillClimbing { admit_zero_gain: true }.schedule(&input);
+        assert_eq!(lax, vec![0, 1]);
+    }
+}

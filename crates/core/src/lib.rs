@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+//! # rfid-core
+//!
+//! The paper's contribution: one-shot reader-activation schedulers and the
+//! greedy minimum-covering-schedule driver built on them.
+//!
+//! ## One-shot schedulers (Maximum Weighted Feasible Scheduling set)
+//!
+//! | Module | Paper | Assumptions |
+//! |---|---|---|
+//! | [`ptas`] | Algorithm 1 | central entity, locations known, arbitrary radii |
+//! | [`local_greedy`] | Algorithm 2 | central entity, **no** locations (interference graph only) |
+//! | [`distributed`] | Algorithm 3 | **no** central entity, no locations |
+//! | [`colorwave`] | CA baseline \[21\] | distributed colouring |
+//! | [`hill_climbing`] | GHC baseline | centralized greedy |
+//! | [`exact`] | — | exponential ground truth for tests/ablations |
+//!
+//! All implement [`OneShotScheduler`]; every returned set is a *feasible
+//! scheduling set* (pairwise independent readers — no RTc), and its quality
+//! is the Definition-3 weight `w(X)`: unread tags covered by exactly one
+//! activated reader.
+//!
+//! ## Covering schedules (MCS)
+//!
+//! [`mcs::greedy_covering_schedule`] iterates a one-shot scheduler slot by
+//! slot, marking well-covered tags as served, until every coverable tag has
+//! been read — the paper's `log n`-approximation backbone (Theorem 1).
+
+pub mod colorwave;
+pub mod distributed;
+pub mod exact;
+pub mod hill_climbing;
+pub mod local_greedy;
+pub mod local_search;
+pub mod mcs;
+pub mod multichannel;
+pub mod ptas;
+pub mod qlearning;
+pub mod scheduler;
+pub mod verify;
+
+pub use colorwave::Colorwave;
+pub use distributed::DistributedScheduler;
+pub use exact::ExactScheduler;
+pub use hill_climbing::HillClimbing;
+pub use local_greedy::LocalGreedy;
+pub use local_search::{ImprovementReport, improve_schedule};
+pub use mcs::{CoveringSchedule, SlotRecord, greedy_covering_schedule};
+pub use multichannel::{ChannelAssignment, MultiChannelGreedy, MultiChannelSchedule, multichannel_covering_schedule};
+pub use qlearning::QLearningScheduler;
+pub use ptas::PtasScheduler;
+pub use scheduler::{AlgorithmKind, OneShotInput, OneShotScheduler, make_scheduler};
+pub use verify::{ScheduleViolation, verify_covering_schedule};

@@ -1,0 +1,278 @@
+//! Algorithm 2 — centralized reader-activation scheduling **without
+//! location information** (paper Section V-A).
+//!
+//! Only the interference graph `G` is assumed (obtainable from an RF site
+//! survey); no coordinates. Following Sakai–Togasaki–Yamazaki's greedy for
+//! maximum-weight independent sets on growth-bounded graphs:
+//!
+//! 1. pick the reader `v` with the maximum weight "by activating it alone"
+//!    (its singleton weight);
+//! 2. compute local MWFS `Γ_r(v)` inside the `r`-hop neighbourhood
+//!    `N(v)^r`, growing `r` while `w(Γ_{r+1}) ≥ ρ·w(Γ_r)` (`ρ = 1 + ε`);
+//!    the growth stops at `r̄`, which Theorem 3 bounds by a constant `c(ρ)`;
+//! 3. commit `Γ_{r̄}` to the answer, delete `N(v)^{r̄+1}` from the graph
+//!    (the extra hop guarantees the union over rounds stays feasible), and
+//!    repeat until no reader remains.
+//!
+//! Theorem 4: the result is a feasible scheduling set of weight at least
+//! `w(OPT)/ρ`.
+//!
+//! Local MWFS computation uses the exact branch-and-bound of
+//! [`crate::exact`] on the (small, growth-bounded) hop ball — the paper's
+//! "by enumeration".
+
+use crate::exact::exact_mwfs_restricted;
+use crate::scheduler::{OneShotInput, OneShotScheduler};
+use rfid_graph::Csr;
+use rfid_model::{Coverage, ReaderId, TagSet, WeightEvaluator};
+
+/// Algorithm 2 configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalGreedy {
+    /// Growth threshold `ρ = 1 + ε > 1`. Larger ρ stops the hop growth
+    /// earlier (cheaper, weaker guarantee `w ≥ OPT/ρ`).
+    pub rho: f64,
+    /// Hard cap `c` on the growth radius `r̄` (Theorem 3 guarantees a
+    /// constant bound exists; this is its concrete value).
+    pub max_hops: u32,
+}
+
+impl Default for LocalGreedy {
+    fn default() -> Self {
+        LocalGreedy { rho: 1.1, max_hops: 3 }
+    }
+}
+
+/// `N(v)^r` within the alive-induced subgraph: hop distances only traverse
+/// alive nodes. Sorted ascending. `src` must be alive.
+pub(crate) fn ball_restricted(g: &Csr, src: usize, r: u32, alive: &[bool]) -> Vec<usize> {
+    debug_assert!(alive[src]);
+    let mut dist = vec![u32::MAX; g.n()];
+    let mut queue = std::collections::VecDeque::new();
+    let mut out = vec![src];
+    dist[src] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v];
+        if d == r {
+            continue;
+        }
+        for &t in g.neighbors(v) {
+            let t = t as usize;
+            if alive[t] && dist[t] == u32::MAX {
+                dist[t] = d + 1;
+                out.push(t);
+                queue.push_back(t);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// The shared growth step of Algorithms 2 and 3: starting from seed `v`,
+/// grows `Γ_0, Γ_1, …` until the ρ-growth condition fails or `max_hops` is
+/// reached. Returns `(Γ_{r̄}, r̄)`.
+///
+/// `alive` restricts both the hop balls and the MWFS candidate pool.
+pub(crate) fn grow_local_mwfs(
+    graph: &Csr,
+    coverage: &Coverage,
+    unread: &TagSet,
+    v: ReaderId,
+    alive: &[bool],
+    rho: f64,
+    max_hops: u32,
+) -> (Vec<ReaderId>, u32) {
+    let mut weights = WeightEvaluator::new(coverage);
+    // Γ_0 = MWFS within N(v)^0 = {v}.
+    let mut cur = vec![v];
+    let mut cur_w = weights.singleton_weight(v, unread);
+    let mut r = 0u32;
+    while r < max_hops {
+        let ball = ball_restricted(graph, v, r + 1, alive);
+        let next = exact_mwfs_restricted(coverage, graph, unread, &ball, &[]);
+        let next_w = weights.weight(&next, unread);
+        if (next_w as f64) >= rho * cur_w as f64 && next_w > 0 {
+            cur = next;
+            cur_w = next_w;
+            r += 1;
+        } else {
+            break;
+        }
+    }
+    (cur, r)
+}
+
+impl OneShotScheduler for LocalGreedy {
+    fn name(&self) -> &'static str {
+        "alg2-central"
+    }
+
+    fn schedule(&mut self, input: &OneShotInput<'_>) -> Vec<ReaderId> {
+        assert!(self.rho > 1.0, "ρ must exceed 1 (ρ = 1 + ε, ε > 0)");
+        let n = input.deployment.n_readers();
+        let graph = input.graph;
+        let mut weights = WeightEvaluator::new(input.coverage);
+        let singleton = weights.all_singleton_weights(input.unread);
+        let mut alive = vec![true; n];
+        let mut x: Vec<ReaderId> = Vec::new();
+        loop {
+            // Heaviest alive reader by singleton weight. Ties break towards
+            // the higher id — the same strict (weight, id) order the
+            // distributed election uses, so Algorithms 2 and 3 coincide
+            // when the distributed view covers the whole graph.
+            let mut seed: Option<(usize, ReaderId)> = None;
+            for v in 0..n {
+                if alive[v] && seed.is_none_or(|(w, _)| singleton[v] >= w) {
+                    seed = Some((singleton[v], v));
+                }
+            }
+            let Some((w, v)) = seed else { break };
+            if w == 0 {
+                // No alive reader covers any unread tag; by sub-additivity
+                // nothing of positive weight remains anywhere.
+                break;
+            }
+            let (gamma, r) =
+                grow_local_mwfs(graph, input.coverage, input.unread, v, &alive, self.rho, self.max_hops);
+            x.extend_from_slice(&gamma);
+            // Remove N(v)^{r̄+1} from the (alive-induced) graph.
+            for u in ball_restricted(graph, v, r + 1, &alive) {
+                alive[u] = false;
+            }
+        }
+        x.sort_unstable();
+        x.dedup();
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_geometry::{Point, Rect};
+    use rfid_model::interference::interference_graph;
+    use rfid_model::scenario::{Scenario, ScenarioKind};
+    use rfid_model::{Coverage, Deployment, RadiusModel};
+
+    fn paper_like(n_readers: usize, seed: u64) -> Deployment {
+        Scenario {
+            kind: ScenarioKind::UniformRandom,
+            n_readers,
+            n_tags: 300,
+            region_side: 100.0,
+            radius_model: RadiusModel::PoissonPair {
+                lambda_interference: 14.0,
+                lambda_interrogation: 6.0,
+            },
+        }
+        .generate(seed)
+    }
+
+    #[test]
+    fn figure2_finds_the_optimum() {
+        let d = Deployment::new(
+            Rect::new(-10.0, -10.0, 40.0, 10.0),
+            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(20.0, 0.0)],
+            vec![9.0, 9.0, 9.0],
+            vec![6.0, 7.0, 6.0],
+            vec![
+                Point::new(-3.0, 0.0),
+                Point::new(5.0, 0.0),
+                Point::new(15.0, 0.0),
+                Point::new(23.0, 0.0),
+                Point::new(10.0, 0.0),
+            ],
+        );
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let unread = rfid_model::TagSet::all_unread(5);
+        let input = OneShotInput::new(&d, &c, &g, &unread);
+        // The three readers are pairwise independent → the 1-hop ball of the
+        // heaviest (B) is just {B}… but with no edges every ball is a
+        // singleton, so the algorithm processes each reader separately and
+        // returns all three. Weight 3 — here the interference graph carries
+        // no geometry, and that is exactly the information Algorithm 2 lacks
+        // versus Algorithm 1.
+        let set = LocalGreedy::default().schedule(&input);
+        assert!(d.is_feasible(&set));
+        assert_eq!(set, vec![0, 1, 2]);
+        assert_eq!(input.weight_of(&set), 3);
+    }
+
+    #[test]
+    fn output_is_always_feasible() {
+        for seed in 0..8 {
+            let d = paper_like(40, seed);
+            let c = Coverage::build(&d);
+            let g = interference_graph(&d);
+            let unread = rfid_model::TagSet::all_unread(d.n_tags());
+            let input = OneShotInput::new(&d, &c, &g, &unread);
+            let set = LocalGreedy::default().schedule(&input);
+            assert!(d.is_feasible(&set), "seed {seed}: {set:?}");
+            assert!(!set.is_empty());
+        }
+    }
+
+    #[test]
+    fn respects_theorem4_bound_against_exact() {
+        // w(X) ≥ w(OPT)/ρ on instances small enough for the exact solver.
+        for seed in 0..5 {
+            let d = paper_like(14, seed);
+            let c = Coverage::build(&d);
+            let g = interference_graph(&d);
+            let unread = rfid_model::TagSet::all_unread(d.n_tags());
+            let input = OneShotInput::new(&d, &c, &g, &unread);
+            let rho = 1.25;
+            let set = LocalGreedy { rho, max_hops: 4 }.schedule(&input);
+            let opt = crate::exact::ExactScheduler::default().schedule(&input);
+            let w_set = input.weight_of(&set) as f64;
+            let w_opt = input.weight_of(&opt) as f64;
+            assert!(
+                w_set + 1e-9 >= w_opt / rho,
+                "seed {seed}: {w_set} < {w_opt}/ρ"
+            );
+        }
+    }
+
+    #[test]
+    fn larger_rho_never_grows_farther() {
+        let d = paper_like(40, 3);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let unread = rfid_model::TagSet::all_unread(d.n_tags());
+        let alive = vec![true; d.n_readers()];
+        let mut weights = WeightEvaluator::new(&c);
+        let singleton = weights.all_singleton_weights(&unread);
+        let v = (0..d.n_readers()).max_by_key(|&v| singleton[v]).unwrap();
+        let (_, r_small) = grow_local_mwfs(&g, &c, &unread, v, &alive, 1.05, 5);
+        let (_, r_big) = grow_local_mwfs(&g, &c, &unread, v, &alive, 2.0, 5);
+        assert!(r_big <= r_small, "ρ=2 grew farther ({r_big}) than ρ=1.05 ({r_small})");
+    }
+
+    #[test]
+    fn no_tags_schedules_nothing() {
+        let d = Deployment::new(
+            Rect::square(10.0),
+            vec![Point::new(2.0, 2.0), Point::new(8.0, 8.0)],
+            vec![2.0, 2.0],
+            vec![1.0, 1.0],
+            vec![],
+        );
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let unread = rfid_model::TagSet::all_unread(0);
+        let input = OneShotInput::new(&d, &c, &g, &unread);
+        assert!(LocalGreedy::default().schedule(&input).is_empty());
+    }
+
+    #[test]
+    fn restricted_ball_ignores_dead_nodes() {
+        // path 0-1-2-3; with node 1 dead, 0's 2-hop ball is just {0}.
+        let g = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let alive = [true, false, true, true];
+        assert_eq!(ball_restricted(&g, 0, 2, &alive), vec![0]);
+        assert_eq!(ball_restricted(&g, 2, 1, &alive), vec![2, 3]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Survive-disk computation and the relevant-square tree.
+
+use rfid_geometry::{Disk, HierarchicalGrid, LevelAssignment, Rect, Shifting, SquareId};
+use rfid_model::{Deployment, ReaderId};
+use std::collections::BTreeMap;
+
+/// The survivors of one `(r, s)`-shifting, organised as a forest of
+/// *relevant squares* (squares owning at least one surviving disk of their
+/// own level).
+#[derive(Debug)]
+pub struct Survivors {
+    /// The shifted grid the tree lives on.
+    pub grid: HierarchicalGrid,
+    /// Scaled interference disk of every surviving reader.
+    pub disks: BTreeMap<ReaderId, Disk>,
+    /// The relevant-square forest.
+    pub tree: SquareTree,
+}
+
+/// Forest of relevant squares: each node records the surviving disks homed
+/// there and its relevant descendants (children skip non-relevant levels —
+/// a child's nearest relevant proper ancestor is its tree parent).
+#[derive(Debug, Default)]
+pub struct SquareTree {
+    nodes: BTreeMap<SquareId, SquareNode>,
+    roots: Vec<SquareId>,
+}
+
+#[derive(Debug, Default)]
+struct SquareNode {
+    /// Survivors of level `square.level` homed in this square.
+    own: Vec<ReaderId>,
+    children: Vec<SquareId>,
+}
+
+impl SquareTree {
+    /// `true` iff there are no relevant squares (nothing survived).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Root squares (pairwise disjoint regions), sorted.
+    pub fn roots(&self) -> &[SquareId] {
+        &self.roots
+    }
+
+    /// Survivors of the square's own level homed here.
+    pub fn own_disks(&self, sq: SquareId) -> &[ReaderId] {
+        &self.nodes[&sq].own
+    }
+
+    /// Tree children (relevant squares whose nearest relevant ancestor is
+    /// `sq`), sorted.
+    pub fn children(&self, sq: SquareId) -> &[SquareId] {
+        &self.nodes[&sq].children
+    }
+
+    /// Number of relevant squares.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Computes survivors and their square forest for one shifting.
+///
+/// `candidates` are global reader ids; `levels` must have been built from
+/// the candidates' interference radii **in the same order**.
+pub fn compute_survivors(
+    deployment: &Deployment,
+    candidates: &[ReaderId],
+    levels: &LevelAssignment,
+    shift: Shifting,
+) -> Survivors {
+    assert_eq!(candidates.len(), levels.levels.len(), "levels must match candidates");
+    let grid = HierarchicalGrid::new(levels.k, shift);
+    let mut disks = BTreeMap::new();
+    let mut by_square: BTreeMap<SquareId, Vec<ReaderId>> = BTreeMap::new();
+    for (ci, &v) in candidates.iter().enumerate() {
+        let level = levels.levels[ci];
+        let disk = levels.scale_disk(
+            deployment.reader_positions()[v],
+            deployment.interference_radii()[v],
+        );
+        if grid.survives(&disk, level) {
+            let home = grid.home_square(&disk, level);
+            by_square.entry(home).or_default().push(v);
+            disks.insert(v, disk);
+        }
+    }
+    // Assemble the forest: for every relevant square, walk the parent chain
+    // to its nearest relevant proper ancestor.
+    let mut tree = SquareTree::default();
+    for (&sq, own) in &by_square {
+        tree.nodes.entry(sq).or_default().own = own.clone();
+    }
+    let squares: Vec<SquareId> = by_square.keys().copied().collect();
+    for &sq in &squares {
+        let mut cur = sq;
+        let mut parent_found = None;
+        while let Some(p) = grid.parent(cur) {
+            if by_square.contains_key(&p) {
+                parent_found = Some(p);
+                break;
+            }
+            cur = p;
+        }
+        match parent_found {
+            Some(p) => tree.nodes.get_mut(&p).expect("parent is relevant").children.push(sq),
+            None => tree.roots.push(sq),
+        }
+    }
+    for node in tree.nodes.values_mut() {
+        node.children.sort_unstable();
+    }
+    tree.roots.sort_unstable();
+    Survivors { grid, disks, tree }
+}
+
+impl Survivors {
+    /// Scaled bounds of a square.
+    pub fn square_bounds(&self, sq: SquareId) -> Rect {
+        self.grid.square_bounds(sq)
+    }
+
+    /// `true` iff reader `v`'s (scaled) interference disk intersects the
+    /// square — the "I intersecting S" filter of the DP recursion.
+    pub fn disk_intersects(&self, v: ReaderId, sq: SquareId) -> bool {
+        let d = &self.disks[&v];
+        self.square_bounds(sq).intersects_disk(d.center, d.radius)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_geometry::Point;
+    use rfid_model::scenario::{Scenario, ScenarioKind};
+    use rfid_model::RadiusModel;
+
+    fn deployment(n: usize, seed: u64) -> Deployment {
+        Scenario {
+            kind: ScenarioKind::UniformRandom,
+            n_readers: n,
+            n_tags: 10,
+            region_side: 100.0,
+            radius_model: RadiusModel::PoissonPair {
+                lambda_interference: 12.0,
+                lambda_interrogation: 5.0,
+            },
+        }
+        .generate(seed)
+    }
+
+    fn survivors_for(d: &Deployment, k: usize, shift: Shifting) -> Survivors {
+        let candidates: Vec<ReaderId> = (0..d.n_readers()).collect();
+        let levels = LevelAssignment::new(d.interference_radii(), k);
+        compute_survivors(d, &candidates, &levels, shift)
+    }
+
+    #[test]
+    fn survivors_are_confined_to_their_home_square() {
+        let d = deployment(40, 1);
+        let s = survivors_for(&d, 3, Shifting { r: 1, s: 2 });
+        for (&v, disk) in &s.disks {
+            let levels = LevelAssignment::new(d.interference_radii(), 3);
+            let home = s.grid.home_square(disk, levels.levels[v]);
+            let b = s.square_bounds(home);
+            assert!(
+                disk.center.x - disk.radius >= b.min_x - 1e-9
+                    && disk.center.x + disk.radius <= b.max_x + 1e-9
+                    && disk.center.y - disk.radius >= b.min_y - 1e-9
+                    && disk.center.y + disk.radius <= b.max_y + 1e-9,
+                "reader {v} crosses its home square"
+            );
+        }
+    }
+
+    #[test]
+    fn forest_structure_is_consistent() {
+        let d = deployment(50, 2);
+        let s = survivors_for(&d, 3, Shifting { r: 0, s: 0 });
+        // Every relevant square is reachable from exactly one root.
+        let mut seen = std::collections::BTreeSet::new();
+        let mut stack: Vec<SquareId> = s.tree.roots().to_vec();
+        while let Some(sq) = stack.pop() {
+            assert!(seen.insert(sq), "square {sq:?} reached twice");
+            for &c in s.tree.children(sq) {
+                assert!(c.level > sq.level, "child level must be deeper");
+                // child's area inside parent's area
+                let cb = s.square_bounds(c);
+                let pb = s.square_bounds(sq);
+                assert!(pb.contains_rect(&cb));
+                stack.push(c);
+            }
+        }
+        assert_eq!(seen.len(), s.tree.len());
+        // Disk counts match survivor count.
+        let total: usize = seen.iter().map(|&sq| s.tree.own_disks(sq).len()).sum();
+        assert_eq!(total, s.disks.len());
+    }
+
+    #[test]
+    fn some_shifting_retains_most_disks() {
+        let d = deployment(50, 3);
+        let mut best = 0usize;
+        for shift in Shifting::all(3) {
+            best = best.max(survivors_for(&d, 3, shift).disks.len());
+        }
+        assert!(
+            best * 2 >= d.n_readers(),
+            "best shifting kept only {best}/{} disks",
+            d.n_readers()
+        );
+    }
+
+    #[test]
+    fn different_roots_are_disjoint_regions() {
+        let d = deployment(50, 4);
+        let s = survivors_for(&d, 3, Shifting { r: 2, s: 1 });
+        let roots = s.tree.roots();
+        for (i, &a) in roots.iter().enumerate() {
+            for &b in &roots[i + 1..] {
+                let ra = s.square_bounds(a);
+                let rb = s.square_bounds(b);
+                let overlap = ra.intersects(&rb)
+                    && !(ra.contains_rect(&rb) || rb.contains_rect(&ra));
+                // Roots may touch along grid lines but never properly
+                // overlap, and no root contains another (else it would be
+                // its ancestor square).
+                if ra.contains_rect(&rb) || rb.contains_rect(&ra) {
+                    panic!("nested roots {a:?} {b:?}");
+                }
+                if overlap {
+                    // Allow boundary touching only.
+                    let w = (ra.max_x.min(rb.max_x) - ra.min_x.max(rb.min_x)).max(0.0);
+                    let h = (ra.max_y.min(rb.max_y) - ra.min_y.max(rb.min_y)).max(0.0);
+                    assert!(w * h < 1e-12, "roots {a:?} and {b:?} overlap with area {}", w * h);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_reader_forest() {
+        let d = Deployment::new(
+            Rect::square(10.0),
+            vec![Point::new(5.0, 5.0)],
+            vec![2.0],
+            vec![1.0],
+            vec![],
+        );
+        let candidates = vec![0];
+        let levels = LevelAssignment::new(&[2.0], 2);
+        // Try all shiftings: the lone max-radius disk (scaled to 1/2, level
+        // 0, squares of side k=2) survives whenever it clears the kept
+        // lines; at least one shifting must keep it.
+        let kept = Shifting::all(2)
+            .into_iter()
+            .filter(|&sh| {
+                let s = compute_survivors(&d, &candidates, &levels, sh);
+                !s.tree.is_empty()
+            })
+            .count();
+        assert!(kept >= 1, "no shifting kept the only disk");
+    }
+}

@@ -1,0 +1,269 @@
+//! Q-learning slot allocation — the HiQ-style comparator from the paper's
+//! related work (Section VII, ref \[14\]).
+//!
+//! "For a given network of readers and communication pattern, \[14\]
+//! proposes a Q-learning process that yields an optimized resource
+//! (channel and time slot) allocation scheme after a training period. …
+//! They assume a fixed number of time slots, and aim at maximizing the
+//! frequency and time utilization ratio. This work does not provide any
+//! performance guarantee."
+//!
+//! We implement the flat (single-server) variant over time slots: every
+//! reader keeps a Q-value per slot, trains with ε-greedy episodes where
+//! the reward is its exclusively-covered unread tag count (negative on a
+//! collision with a same-slot neighbour), and finally commits to its best
+//! slot. For the one-shot comparison the scheduler returns the
+//! highest-weight slot class, repaired to feasibility by dropping the
+//! lighter endpoint of any residual interference edge (training usually
+//! leaves none).
+
+use crate::scheduler::{OneShotInput, OneShotScheduler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rfid_model::{ReaderId, WeightEvaluator};
+
+/// HiQ-style Q-learning scheduler (extra baseline; no guarantee).
+#[derive(Debug, Clone)]
+pub struct QLearningScheduler {
+    /// Number of time slots readers learn to spread across.
+    pub slots: usize,
+    /// Training episodes.
+    pub episodes: usize,
+    /// Exploration rate (ε-greedy).
+    pub epsilon: f64,
+    /// Learning rate.
+    pub alpha: f64,
+    rng: StdRng,
+}
+
+impl QLearningScheduler {
+    /// Default HiQ-ish hyper-parameters with a seeded RNG.
+    pub fn seeded(seed: u64) -> Self {
+        QLearningScheduler { slots: 8, episodes: 300, epsilon: 0.15, alpha: 0.3, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Runs the training and returns each reader's learned slot.
+    pub fn train(&mut self, input: &OneShotInput<'_>) -> Vec<usize> {
+        assert!(self.slots >= 1 && self.episodes >= 1);
+        assert!((0.0..=1.0).contains(&self.epsilon) && self.alpha > 0.0 && self.alpha <= 1.0);
+        let n = input.deployment.n_readers();
+        let mut weights = WeightEvaluator::new(input.coverage);
+        let singleton = weights.all_singleton_weights(input.unread);
+        let norm = singleton.iter().copied().max().unwrap_or(1).max(1) as f64;
+        let mut q = vec![vec![0.0f64; self.slots]; n];
+        let mut choice = vec![0usize; n];
+        for _ in 0..self.episodes {
+            // ε-greedy slot choice per reader.
+            for v in 0..n {
+                choice[v] = if self.rng.random::<f64>() < self.epsilon {
+                    self.rng.random_range(0..self.slots)
+                } else {
+                    // argmax with deterministic tie-break
+                    let mut best = 0usize;
+                    for s in 1..self.slots {
+                        if q[v][s] > q[v][best] {
+                            best = s;
+                        }
+                    }
+                    best
+                };
+            }
+            // Rewards: collision with a same-slot neighbour → −1; otherwise
+            // the reader's normalised exclusive coverage in its slot.
+            for v in 0..n {
+                let s = choice[v];
+                let jammed = input
+                    .graph
+                    .neighbors(v)
+                    .iter()
+                    .any(|&t| choice[t as usize] == s);
+                let reward = if jammed {
+                    -1.0
+                } else {
+                    // exclusive = covered unread tags not covered by another
+                    // active same-slot reader; same-slot non-neighbours can
+                    // still steal overlap tags.
+                    let mut exclusive = 0usize;
+                    for &t in input.coverage.tags_of(v) {
+                        let t = t as usize;
+                        if !input.unread.is_unread(t) {
+                            continue;
+                        }
+                        let stolen = input
+                            .coverage
+                            .readers_of(t)
+                            .iter()
+                            .any(|&u| u as usize != v && choice[u as usize] == s);
+                        if !stolen {
+                            exclusive += 1;
+                        }
+                    }
+                    exclusive as f64 / norm
+                };
+                q[v][s] += self.alpha * (reward - q[v][s]);
+            }
+        }
+        (0..n)
+            .map(|v| {
+                let mut best = 0usize;
+                for s in 1..self.slots {
+                    if q[v][s] > q[v][best] {
+                        best = s;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+}
+
+impl OneShotScheduler for QLearningScheduler {
+    fn name(&self) -> &'static str {
+        "qlearning-hiq"
+    }
+
+    fn schedule(&mut self, input: &OneShotInput<'_>) -> Vec<ReaderId> {
+        let n = input.deployment.n_readers();
+        if n == 0 {
+            return Vec::new();
+        }
+        let slot_of = self.train(input);
+        let mut weights = WeightEvaluator::new(input.coverage);
+        let singleton = weights.all_singleton_weights(input.unread);
+        // Best slot class by weight, then repair feasibility.
+        let mut best: Vec<ReaderId> = Vec::new();
+        let mut best_w = 0usize;
+        for s in 0..self.slots {
+            let mut class: Vec<ReaderId> =
+                (0..n).filter(|&v| slot_of[v] == s && singleton[v] > 0).collect();
+            // Repair: while an interference edge remains inside the class,
+            // drop the endpoint with the smaller singleton weight.
+            loop {
+                let mut worst: Option<ReaderId> = None;
+                'scan: for (i, &a) in class.iter().enumerate() {
+                    for &b in &class[i + 1..] {
+                        if input.graph.has_edge(a, b) {
+                            worst = Some(if singleton[a] <= singleton[b] { a } else { b });
+                            break 'scan;
+                        }
+                    }
+                }
+                match worst {
+                    Some(v) => class.retain(|&x| x != v),
+                    None => break,
+                }
+            }
+            let w = weights.weight(&class, input.unread);
+            if w > best_w {
+                best_w = w;
+                best = class;
+            }
+        }
+        best.sort_unstable();
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_model::interference::interference_graph;
+    use rfid_model::scenario::{Scenario, ScenarioKind};
+    use rfid_model::{Coverage, RadiusModel, TagSet};
+
+    fn setup(n: usize, seed: u64) -> (rfid_model::Deployment, Coverage, rfid_graph::Csr) {
+        let d = Scenario {
+            kind: ScenarioKind::UniformRandom,
+            n_readers: n,
+            n_tags: 200,
+            region_side: 80.0,
+            radius_model: RadiusModel::PoissonPair {
+                lambda_interference: 14.0,
+                lambda_interrogation: 6.0,
+            },
+        }
+        .generate(seed);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        (d, c, g)
+    }
+
+    #[test]
+    fn output_is_feasible() {
+        for seed in 0..4 {
+            let (d, c, g) = setup(25, seed);
+            let unread = TagSet::all_unread(d.n_tags());
+            let input = OneShotInput::new(&d, &c, &g, &unread);
+            let set = QLearningScheduler::seeded(seed).schedule(&input);
+            assert!(d.is_feasible(&set), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn training_separates_neighbours() {
+        // After training on a dense graph, same-slot neighbour pairs should
+        // be rare — the −1 reward actively pushes them apart.
+        let (d, c, g) = setup(25, 1);
+        let unread = TagSet::all_unread(d.n_tags());
+        let input = OneShotInput::new(&d, &c, &g, &unread);
+        let mut s = QLearningScheduler::seeded(1);
+        let slot_of = s.train(&input);
+        let conflicts = g
+            .edges()
+            .iter()
+            .filter(|&&(a, b)| slot_of[a] == slot_of[b])
+            .count();
+        assert!(
+            conflicts * 4 <= g.m().max(1),
+            "{conflicts}/{} edges still conflicting after training",
+            g.m()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (d, c, g) = setup(20, 3);
+        let unread = TagSet::all_unread(d.n_tags());
+        let input = OneShotInput::new(&d, &c, &g, &unread);
+        let a = QLearningScheduler::seeded(5).schedule(&input);
+        let b = QLearningScheduler::seeded(5).schedule(&input);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weaker_than_the_guaranteed_algorithms() {
+        // The paper's point about [14]: no performance guarantee. Compare
+        // against Algorithm 2 on a handful of instances — Q-learning may
+        // win occasionally but must not dominate.
+        let mut ql_total = 0usize;
+        let mut alg2_total = 0usize;
+        for seed in 0..5 {
+            let (d, c, g) = setup(30, seed);
+            let unread = TagSet::all_unread(d.n_tags());
+            let input = OneShotInput::new(&d, &c, &g, &unread);
+            ql_total += input.weight_of(&QLearningScheduler::seeded(seed).schedule(&input));
+            alg2_total +=
+                input.weight_of(&crate::local_greedy::LocalGreedy::default().schedule(&input));
+        }
+        assert!(
+            alg2_total >= ql_total,
+            "Algorithm 2 ({alg2_total}) should beat Q-learning ({ql_total}) in aggregate"
+        );
+    }
+
+    #[test]
+    fn empty_deployment() {
+        let d = rfid_model::Deployment::new(
+            rfid_geometry::Rect::square(1.0),
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+        );
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let unread = TagSet::all_unread(0);
+        let input = OneShotInput::new(&d, &c, &g, &unread);
+        assert!(QLearningScheduler::seeded(0).schedule(&input).is_empty());
+    }
+}

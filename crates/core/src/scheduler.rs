@@ -1,0 +1,151 @@
+//! The one-shot scheduler interface shared by all algorithms.
+
+use rfid_graph::Csr;
+use rfid_model::{Coverage, Deployment, ReaderId, TagSet, WeightEvaluator};
+use serde::{Deserialize, Serialize};
+
+/// Everything a one-shot scheduler may consult for a single time slot.
+///
+/// Individual algorithms use different *subsets* of this input, matching
+/// their assumption level: the PTAS reads reader locations from
+/// `deployment`; Algorithms 2/3 only touch `graph`, `coverage` and
+/// `unread`; the distributed scheduler additionally restricts itself to
+/// hop-bounded views of them.
+pub struct OneShotInput<'a> {
+    /// The physical world: readers, radii, tags.
+    pub deployment: &'a Deployment,
+    /// Precomputed tag ⇄ reader coverage tables.
+    pub coverage: &'a Coverage,
+    /// Interference graph of `deployment` (Definition 7).
+    pub graph: &'a Csr,
+    /// Tags already served are excluded from all weights.
+    pub unread: &'a TagSet,
+}
+
+impl<'a> OneShotInput<'a> {
+    /// Bundles the three derived structures with the deployment. The caller
+    /// is responsible for `coverage`/`graph` actually belonging to
+    /// `deployment` (debug-asserted).
+    pub fn new(
+        deployment: &'a Deployment,
+        coverage: &'a Coverage,
+        graph: &'a Csr,
+        unread: &'a TagSet,
+    ) -> Self {
+        debug_assert_eq!(coverage.n_readers(), deployment.n_readers());
+        debug_assert_eq!(graph.n(), deployment.n_readers());
+        debug_assert_eq!(unread.len(), deployment.n_tags());
+        OneShotInput { deployment, coverage, graph, unread }
+    }
+
+    /// Definition-3 weight of a feasible set under this input.
+    pub fn weight_of(&self, set: &[ReaderId]) -> usize {
+        WeightEvaluator::new(self.coverage).weight(set, self.unread)
+    }
+}
+
+/// A one-shot (single time slot) scheduling algorithm.
+///
+/// Contract: the returned set must be a feasible scheduling set — pairwise
+/// independent readers, verified in tests via
+/// [`Deployment::is_feasible`](rfid_model::Deployment::is_feasible). The
+/// set may be empty (e.g. when no unread tag is coverable).
+pub trait OneShotScheduler {
+    /// Stable name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Computes an (approximate) maximum weighted feasible scheduling set.
+    fn schedule(&mut self, input: &OneShotInput<'_>) -> Vec<ReaderId>;
+
+    /// Communication cost of the most recent [`schedule`](Self::schedule)
+    /// call, for message-passing algorithms (Algorithm 3). Centralized
+    /// algorithms return `None`.
+    fn comm_stats(&self) -> Option<rfid_netsim::NetStats> {
+        None
+    }
+}
+
+/// Enumeration of the built-in algorithms, for harness configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AlgorithmKind {
+    /// Algorithm 1 — PTAS with location information.
+    Ptas,
+    /// Algorithm 2 — centralized, interference graph only.
+    LocalGreedy,
+    /// Algorithm 3 — distributed, interference graph only.
+    Distributed,
+    /// Colorwave baseline (CA).
+    Colorwave,
+    /// Greedy Hill-Climbing baseline (GHC).
+    HillClimbing,
+    /// Exact branch-and-bound (exponential; small instances only).
+    Exact,
+}
+
+impl AlgorithmKind {
+    /// The five algorithms compared in the paper's evaluation, in figure
+    /// legend order.
+    pub fn paper_lineup() -> [AlgorithmKind; 5] {
+        [
+            AlgorithmKind::Ptas,
+            AlgorithmKind::LocalGreedy,
+            AlgorithmKind::Distributed,
+            AlgorithmKind::Colorwave,
+            AlgorithmKind::HillClimbing,
+        ]
+    }
+
+    /// Short label used in tables/CSV headers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlgorithmKind::Ptas => "alg1-ptas",
+            AlgorithmKind::LocalGreedy => "alg2-central",
+            AlgorithmKind::Distributed => "alg3-distributed",
+            AlgorithmKind::Colorwave => "ca-colorwave",
+            AlgorithmKind::HillClimbing => "ghc",
+            AlgorithmKind::Exact => "exact",
+        }
+    }
+}
+
+/// Instantiates a scheduler with its default parameters. `seed` feeds the
+/// randomised algorithms (Colorwave's colour draws); deterministic
+/// algorithms ignore it.
+pub fn make_scheduler(kind: AlgorithmKind, seed: u64) -> Box<dyn OneShotScheduler> {
+    match kind {
+        AlgorithmKind::Ptas => Box::new(crate::ptas::PtasScheduler::default()),
+        AlgorithmKind::LocalGreedy => Box::new(crate::local_greedy::LocalGreedy::default()),
+        AlgorithmKind::Distributed => Box::new(crate::distributed::DistributedScheduler::default()),
+        AlgorithmKind::Colorwave => Box::new(crate::colorwave::Colorwave::seeded(seed)),
+        AlgorithmKind::HillClimbing => Box::new(crate::hill_climbing::HillClimbing::default()),
+        AlgorithmKind::Exact => Box::new(crate::exact::ExactScheduler::default()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = AlgorithmKind::paper_lineup()
+            .iter()
+            .map(|k| k.label())
+            .chain(std::iter::once(AlgorithmKind::Exact.label()))
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn factory_builds_every_kind() {
+        for kind in AlgorithmKind::paper_lineup()
+            .into_iter()
+            .chain(std::iter::once(AlgorithmKind::Exact))
+        {
+            let s = make_scheduler(kind, 0);
+            assert!(!s.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Covering-schedule verification.
+//!
+//! A [`CoveringSchedule`] may travel — serialized
+//! to JSON by the CLI, produced by a third-party scheduler, or replayed
+//! months later against a re-surveyed deployment. [`verify_covering_schedule`]
+//! re-derives every claim the structure makes from the deployment alone
+//! and reports the first violation: an RTc pair inside a slot, a served
+//! tag that was not well-covered, a double-served tag, or coverable tags
+//! left unread at the end.
+
+use crate::mcs::CoveringSchedule;
+use rfid_model::{Coverage, Deployment, TagSet, audit_activation};
+
+/// Why a schedule failed verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleViolation {
+    /// Slot `slot` activates an interfering reader pair.
+    Infeasible {
+        /// Slot index.
+        slot: usize,
+        /// The jammed/jamming pair (victim, aggressor).
+        pair: (usize, usize),
+    },
+    /// Slot `slot` claims tags that are not its Definition-1 well-covered
+    /// set.
+    WrongServedSet {
+        /// Slot index.
+        slot: usize,
+    },
+    /// `tag` appears in more than one slot's served list.
+    DoubleServed {
+        /// The repeated tag.
+        tag: usize,
+    },
+    /// Coverable tags remain unread after the final slot.
+    Incomplete {
+        /// How many coverable tags were never served.
+        remaining: usize,
+    },
+    /// The `uncoverable` list disagrees with the coverage table.
+    WrongUncoverable,
+}
+
+/// Verifies `schedule` against `deployment` from first principles.
+pub fn verify_covering_schedule(
+    deployment: &Deployment,
+    schedule: &CoveringSchedule,
+) -> Result<(), ScheduleViolation> {
+    let coverage = Coverage::build(deployment);
+    let mut unread = TagSet::all_unread(deployment.n_tags());
+    for (i, slot) in schedule.slots.iter().enumerate() {
+        let audit = audit_activation(deployment, &coverage, &slot.active, &unread);
+        if let Some(&(victim, aggressor)) = audit.rtc_pairs.first() {
+            return Err(ScheduleViolation::Infeasible { slot: i, pair: (victim, aggressor) });
+        }
+        if audit.well_covered != slot.served {
+            return Err(ScheduleViolation::WrongServedSet { slot: i });
+        }
+        for &t in &slot.served {
+            if !unread.is_unread(t) {
+                return Err(ScheduleViolation::DoubleServed { tag: t });
+            }
+            unread.mark_read(t);
+        }
+    }
+    let remaining = (0..deployment.n_tags())
+        .filter(|&t| unread.is_unread(t) && coverage.is_coverable(t))
+        .count();
+    if remaining > 0 {
+        return Err(ScheduleViolation::Incomplete { remaining });
+    }
+    let expected_uncoverable: Vec<usize> =
+        (0..deployment.n_tags()).filter(|&t| !coverage.is_coverable(t)).collect();
+    if schedule.uncoverable != expected_uncoverable {
+        return Err(ScheduleViolation::WrongUncoverable);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hill_climbing::HillClimbing;
+    use crate::mcs::{SlotRecord, greedy_covering_schedule};
+    use rfid_model::interference::interference_graph;
+    use rfid_model::scenario::{Scenario, ScenarioKind};
+    use rfid_model::RadiusModel;
+
+    fn setup(seed: u64) -> (rfid_model::Deployment, CoveringSchedule) {
+        let d = Scenario {
+            kind: ScenarioKind::UniformRandom,
+            n_readers: 15,
+            n_tags: 150,
+            region_side: 70.0,
+            radius_model: RadiusModel::PoissonPair {
+                lambda_interference: 10.0,
+                lambda_interrogation: 5.0,
+            },
+        }
+        .generate(seed);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let schedule = greedy_covering_schedule(&d, &c, &g, &mut HillClimbing::default(), 10_000);
+        (d, schedule)
+    }
+
+    #[test]
+    fn genuine_schedules_verify() {
+        for seed in 0..4 {
+            let (d, schedule) = setup(seed);
+            assert_eq!(verify_covering_schedule(&d, &schedule), Ok(()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn truncated_schedule_is_incomplete() {
+        let (d, mut schedule) = setup(1);
+        schedule.slots.pop();
+        match verify_covering_schedule(&d, &schedule) {
+            Err(ScheduleViolation::Incomplete { remaining }) => assert!(remaining > 0),
+            other => panic!("expected Incomplete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn doctored_served_set_is_caught() {
+        let (d, mut schedule) = setup(2);
+        // Claim an extra tag in slot 0 (steal it from a later slot).
+        let stolen = schedule.slots.last().unwrap().served[0];
+        schedule.slots[0].served.push(stolen);
+        schedule.slots[0].served.sort_unstable();
+        assert!(matches!(
+            verify_covering_schedule(&d, &schedule),
+            Err(ScheduleViolation::WrongServedSet { slot: 0 })
+        ));
+    }
+
+    #[test]
+    fn interfering_activation_is_caught() {
+        let (d, mut schedule) = setup(3);
+        // Find an interfering pair and force both into slot 0.
+        let g = interference_graph(&d);
+        let (a, b) = g.edges()[0];
+        schedule.slots[0].active = vec![a, b];
+        match verify_covering_schedule(&d, &schedule) {
+            Err(ScheduleViolation::Infeasible { slot: 0, .. }) => {}
+            other => panic!("expected Infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_uncoverable_list_is_caught() {
+        let (d, mut schedule) = setup(0);
+        schedule.uncoverable.push(0); // tag 0 is actually coverable (it was served)
+        let r = verify_covering_schedule(&d, &schedule);
+        assert!(
+            matches!(r, Err(ScheduleViolation::WrongUncoverable)),
+            "got {r:?}"
+        );
+    }
+
+    #[test]
+    fn empty_schedule_on_empty_deployment_verifies() {
+        let d = rfid_model::Deployment::new(
+            rfid_geometry::Rect::square(5.0),
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+        );
+        let schedule = CoveringSchedule { slots: vec![], uncoverable: vec![] };
+        assert_eq!(verify_covering_schedule(&d, &schedule), Ok(()));
+        // a stray slot claiming nothing is fine; claiming a tag is not
+        let schedule = CoveringSchedule {
+            slots: vec![SlotRecord { active: vec![], served: vec![], fallback: false }],
+            uncoverable: vec![],
+        };
+        assert_eq!(verify_covering_schedule(&d, &schedule), Ok(()));
+    }
+}

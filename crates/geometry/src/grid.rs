@@ -1,0 +1,229 @@
+//! Uniform-grid spatial index over a fixed point set.
+//!
+//! Interference-graph construction and tag-coverage tables need many
+//! "all points within distance `d` of `p`" queries. For the paper's
+//! deployments (uniform points, bounded radii) a uniform bucket grid gives
+//! expected O(1 + output) per query, which keeps deployment preprocessing
+//! linear — important when the benchmark harness sweeps hundreds of seeded
+//! instances.
+
+use crate::point::Point;
+
+/// A bucket-grid index over an immutable slice of points.
+///
+/// Indices returned by queries refer to positions in the original slice
+/// passed to [`GridIndex::build`].
+///
+/// ```
+/// use rfid_geometry::{GridIndex, Point};
+/// let points = vec![Point::new(0.0, 0.0), Point::new(3.0, 4.0), Point::new(9.0, 9.0)];
+/// let index = GridIndex::build(&points, 5.0);
+/// assert_eq!(index.query_within(Point::new(0.0, 0.0), 5.0), vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    points: Vec<Point>,
+    cell: f64,
+    min_x: f64,
+    min_y: f64,
+    nx: usize,
+    ny: usize,
+    /// CSR-style bucket layout: `starts[c]..starts[c+1]` indexes `items`.
+    starts: Vec<u32>,
+    items: Vec<u32>,
+}
+
+impl GridIndex {
+    /// Builds an index with the given bucket side length.
+    ///
+    /// `cell_size` should be on the order of the typical query radius; any
+    /// positive finite value is correct (only performance changes). Empty
+    /// point sets are supported.
+    pub fn build(points: &[Point], cell_size: f64) -> Self {
+        assert!(
+            cell_size > 0.0 && cell_size.is_finite(),
+            "cell_size must be positive and finite, got {cell_size}"
+        );
+        if points.is_empty() {
+            return GridIndex {
+                points: Vec::new(),
+                cell: cell_size,
+                min_x: 0.0,
+                min_y: 0.0,
+                nx: 1,
+                ny: 1,
+                starts: vec![0, 0],
+                items: Vec::new(),
+            };
+        }
+        let mut min_x = f64::INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for p in points {
+            assert!(p.is_finite(), "non-finite point in GridIndex::build");
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        let nx = (((max_x - min_x) / cell_size).floor() as usize + 1).max(1);
+        let ny = (((max_y - min_y) / cell_size).floor() as usize + 1).max(1);
+
+        // Counting sort into CSR buckets: two passes, no per-bucket Vecs.
+        let ncells = nx * ny;
+        let mut counts = vec![0u32; ncells + 1];
+        let cell_of = |p: &Point| -> usize {
+            let cx = (((p.x - min_x) / cell_size).floor() as usize).min(nx - 1);
+            let cy = (((p.y - min_y) / cell_size).floor() as usize).min(ny - 1);
+            cy * nx + cx
+        };
+        for p in points {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for i in 0..ncells {
+            counts[i + 1] += counts[i];
+        }
+        let starts = counts.clone();
+        let mut cursor = counts;
+        let mut items = vec![0u32; points.len()];
+        for (i, p) in points.iter().enumerate() {
+            let c = cell_of(p);
+            items[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+        GridIndex {
+            points: points.to_vec(),
+            cell: cell_size,
+            min_x,
+            min_y,
+            nx,
+            ny,
+            starts,
+            items,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` iff no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Calls `f(i, p)` for every indexed point `p` with `‖p − center‖ ≤
+    /// radius` (closed ball). Order is unspecified but deterministic.
+    pub fn for_each_within<F: FnMut(usize, Point)>(&self, center: Point, radius: f64, mut f: F) {
+        if self.points.is_empty() || radius < 0.0 {
+            return;
+        }
+        let r_sq = radius * radius;
+        let cx0 = (((center.x - radius - self.min_x) / self.cell).floor()).max(0.0) as usize;
+        let cy0 = (((center.y - radius - self.min_y) / self.cell).floor()).max(0.0) as usize;
+        let cx1 = ((((center.x + radius - self.min_x) / self.cell).floor()) as isize)
+            .clamp(0, self.nx as isize - 1) as usize;
+        let cy1 = ((((center.y + radius - self.min_y) / self.cell).floor()) as isize)
+            .clamp(0, self.ny as isize - 1) as usize;
+        if cx0 > cx1 || cy0 > cy1 {
+            return;
+        }
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                let c = cy * self.nx + cx;
+                let lo = self.starts[c] as usize;
+                let hi = self.starts[c + 1] as usize;
+                for &i in &self.items[lo..hi] {
+                    let p = self.points[i as usize];
+                    if center.dist_sq(p) <= r_sq {
+                        f(i as usize, p);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Indices of all points within the closed ball of `radius` around
+    /// `center`, sorted ascending for determinism.
+    pub fn query_within(&self, center: Point, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_within(center, radius, |i, _| out.push(i));
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn brute_force(points: &[Point], c: Point, r: f64) -> Vec<usize> {
+        points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| c.dist_sq(**p) <= r * r)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn empty_index_answers_nothing() {
+        let g = GridIndex::build(&[], 1.0);
+        assert!(g.is_empty());
+        assert_eq!(g.query_within(Point::new(0.0, 0.0), 100.0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn single_point() {
+        let g = GridIndex::build(&[Point::new(3.0, 3.0)], 1.0);
+        assert_eq!(g.query_within(Point::new(0.0, 0.0), 5.0), vec![0]);
+        assert_eq!(g.query_within(Point::new(0.0, 0.0), 4.0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        let g = GridIndex::build(&[Point::new(2.0, 0.0)], 1.0);
+        assert_eq!(g.query_within(Point::ORIGIN, 2.0), vec![0]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_points() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let points: Vec<Point> = (0..500)
+            .map(|_| Point::new(rng.random::<f64>() * 100.0, rng.random::<f64>() * 100.0))
+            .collect();
+        for cell in [0.5, 3.0, 17.0] {
+            let g = GridIndex::build(&points, cell);
+            for _ in 0..50 {
+                let c = Point::new(rng.random::<f64>() * 120.0 - 10.0, rng.random::<f64>() * 120.0 - 10.0);
+                let r = rng.random::<f64>() * 25.0;
+                let mut expect = brute_force(&points, c, r);
+                expect.sort_unstable();
+                assert_eq!(g.query_within(c, r), expect, "cell={cell} c={c} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn coincident_points_all_reported() {
+        let p = Point::new(1.0, 1.0);
+        let g = GridIndex::build(&[p, p, p], 2.0);
+        assert_eq!(g.query_within(p, 0.0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn negative_radius_is_empty() {
+        let g = GridIndex::build(&[Point::ORIGIN], 1.0);
+        assert!(g.query_within(Point::ORIGIN, -1.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell_size")]
+    fn zero_cell_size_rejected() {
+        let _ = GridIndex::build(&[Point::ORIGIN], 0.0);
+    }
+}

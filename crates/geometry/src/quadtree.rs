@@ -1,0 +1,218 @@
+//! Point-region quadtree.
+//!
+//! The uniform grid in [`crate::grid`] is the workhorse index; the quadtree
+//! complements it for *non-uniform* deployments (the clustered warehouse
+//! scenarios in `rfid-model::scenario`) where bucket occupancy would be
+//! badly skewed. Both indices answer the same closed-ball queries and are
+//! cross-checked against each other in property tests.
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+const LEAF_CAPACITY: usize = 16;
+const MAX_DEPTH: usize = 24;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Point indices stored directly.
+    Leaf(Vec<u32>),
+    /// Children in quadrant order `[SW, SE, NW, NE]`.
+    Internal(Box<[Node; 4]>),
+}
+
+/// A quadtree over an immutable point set. Returned indices refer to the
+/// slice passed to [`QuadTree::build`].
+#[derive(Debug, Clone)]
+pub struct QuadTree {
+    points: Vec<Point>,
+    bounds: Rect,
+    root: Node,
+}
+
+impl QuadTree {
+    /// Builds a quadtree over `points`. `bounds` is a hint for the root
+    /// region; it is expanded as needed so every point lies inside the root
+    /// (out-of-bounds points are thus fully supported).
+    pub fn build(points: &[Point], bounds: Rect) -> Self {
+        let mut eff = bounds;
+        for p in points {
+            assert!(p.is_finite(), "non-finite point in QuadTree::build");
+            eff.min_x = eff.min_x.min(p.x);
+            eff.min_y = eff.min_y.min(p.y);
+            eff.max_x = eff.max_x.max(p.x);
+            eff.max_y = eff.max_y.max(p.y);
+        }
+        let all: Vec<u32> = (0..points.len() as u32).collect();
+        let root = Self::build_node(points, all, eff, 0);
+        QuadTree { points: points.to_vec(), bounds: eff, root }
+    }
+
+    fn build_node(points: &[Point], idxs: Vec<u32>, bounds: Rect, depth: usize) -> Node {
+        if idxs.len() <= LEAF_CAPACITY || depth >= MAX_DEPTH {
+            return Node::Leaf(idxs);
+        }
+        let qs = bounds.quadrants();
+        let c = bounds.center();
+        let mut parts: [Vec<u32>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for i in idxs {
+            let p = points[i as usize];
+            // Classify by the centre split. Ties go to the east/north
+            // child, matching Rect::quadrants boundaries.
+            let qi = match (p.x >= c.x, p.y >= c.y) {
+                (false, false) => 0,
+                (true, false) => 1,
+                (false, true) => 2,
+                (true, true) => 3,
+            };
+            parts[qi].push(i);
+        }
+        // All points in one quadrant at max refinement of identical points:
+        // splitting further cannot help, keep as leaf to guarantee progress.
+        if parts.iter().filter(|p| !p.is_empty()).count() <= 1 && depth + 1 >= MAX_DEPTH {
+            let merged: Vec<u32> = parts.into_iter().flatten().collect();
+            return Node::Leaf(merged);
+        }
+        let [p0, p1, p2, p3] = parts;
+        Node::Internal(Box::new([
+            Self::build_node(points, p0, qs[0], depth + 1),
+            Self::build_node(points, p1, qs[1], depth + 1),
+            Self::build_node(points, p2, qs[2], depth + 1),
+            Self::build_node(points, p3, qs[3], depth + 1),
+        ]))
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` iff the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Bounding region the tree was built over.
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// Calls `f(i, p)` for every point with `‖p − center‖ ≤ radius`.
+    pub fn for_each_within<F: FnMut(usize, Point)>(&self, center: Point, radius: f64, mut f: F) {
+        if radius < 0.0 || self.points.is_empty() {
+            return;
+        }
+        self.visit(&self.root, self.bounds, center, radius, &mut f);
+    }
+
+    fn visit<F: FnMut(usize, Point)>(
+        &self,
+        node: &Node,
+        bounds: Rect,
+        center: Point,
+        radius: f64,
+        f: &mut F,
+    ) {
+        // Points may lie slightly outside their node's bounds only at the
+        // root (clamped placement), so inflate by 0 is fine below the root;
+        // the root always passes this test anyway when any point matches.
+        if !bounds.intersects_disk(center, radius) {
+            return;
+        }
+        match node {
+            Node::Leaf(idxs) => {
+                let r_sq = radius * radius;
+                for &i in idxs {
+                    let p = self.points[i as usize];
+                    if center.dist_sq(p) <= r_sq {
+                        f(i as usize, p);
+                    }
+                }
+            }
+            Node::Internal(children) => {
+                let qs = bounds.quadrants();
+                for (child, qb) in children.iter().zip(qs.iter()) {
+                    self.visit(child, *qb, center, radius, f);
+                }
+            }
+        }
+    }
+
+    /// Indices of all points within the closed ball, sorted ascending.
+    pub fn query_within(&self, center: Point, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_within(center, radius, |i, _| out.push(i));
+        out.sort_unstable();
+        out
+    }
+
+    /// Maximum depth actually realised (for diagnostics/tests).
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf(_) => 1,
+                Node::Internal(c) => 1 + c.iter().map(d).max().unwrap_or(0),
+            }
+        }
+        d(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn empty_tree() {
+        let t = QuadTree::build(&[], Rect::square(10.0));
+        assert!(t.is_empty());
+        assert!(t.query_within(Point::new(5.0, 5.0), 100.0).is_empty());
+    }
+
+    #[test]
+    fn small_tree_is_single_leaf() {
+        let pts: Vec<Point> = (0..5).map(|i| Point::new(i as f64, 0.0)).collect();
+        let t = QuadTree::build(&pts, Rect::square(10.0));
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.query_within(Point::ORIGIN, 2.0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn matches_brute_force_random() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pts: Vec<Point> = (0..800)
+            .map(|_| Point::new(rng.random::<f64>() * 100.0, rng.random::<f64>() * 100.0))
+            .collect();
+        let t = QuadTree::build(&pts, Rect::square(100.0));
+        for _ in 0..60 {
+            let c = Point::new(rng.random::<f64>() * 100.0, rng.random::<f64>() * 100.0);
+            let r = rng.random::<f64>() * 30.0;
+            let mut expect: Vec<usize> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| c.dist_sq(**p) <= r * r)
+                .map(|(i, _)| i)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(t.query_within(c, r), expect);
+        }
+    }
+
+    #[test]
+    fn clustered_points_split_deeply_but_terminate() {
+        // 200 identical points must not recurse forever.
+        let pts = vec![Point::new(1.0, 1.0); 200];
+        let t = QuadTree::build(&pts, Rect::square(10.0));
+        assert!(t.depth() <= MAX_DEPTH);
+        assert_eq!(t.query_within(Point::new(1.0, 1.0), 0.0).len(), 200);
+    }
+
+    #[test]
+    fn points_outside_bounds_still_found() {
+        let pts = vec![Point::new(-5.0, -5.0), Point::new(15.0, 15.0)];
+        let t = QuadTree::build(&pts, Rect::square(10.0));
+        assert_eq!(t.query_within(Point::new(-5.0, -5.0), 1.0), vec![0]);
+        assert_eq!(t.query_within(Point::new(15.0, 15.0), 1.0), vec![1]);
+    }
+}

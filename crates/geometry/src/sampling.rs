@@ -1,0 +1,209 @@
+//! Deterministic random sampling of deployments.
+//!
+//! The paper's evaluation "uniformly and randomly distribute\[s\] 50 readers
+//! and 1200 tags in a square region of side-length 100 units" and draws the
+//! interference/interrogation radii from Poisson distributions with means
+//! `λ_R` and `λ_r`. This module provides those samplers, generic over any
+//! [`rand::Rng`], so every experiment is reproducible from a single seed.
+
+use crate::point::Point;
+use crate::rect::Rect;
+use rand::Rng;
+
+/// Samples `n` points uniformly at random in `rect`.
+pub fn uniform_points<R: Rng + ?Sized>(rng: &mut R, n: usize, rect: Rect) -> Vec<Point> {
+    (0..n)
+        .map(|_| {
+            Point::new(
+                rect.min_x + rng.random::<f64>() * rect.width(),
+                rect.min_y + rng.random::<f64>() * rect.height(),
+            )
+        })
+        .collect()
+}
+
+/// Samples `n` points from a mixture of `centers.len()` isotropic Gaussian
+/// clusters (standard deviation `sigma`), clamped into `rect`.
+///
+/// Used by the warehouse/dock scenarios where tags pile up on pallets
+/// rather than spreading uniformly.
+pub fn clustered_points<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    rect: Rect,
+    centers: &[Point],
+    sigma: f64,
+) -> Vec<Point> {
+    assert!(!centers.is_empty(), "clustered_points needs at least one cluster center");
+    assert!(sigma >= 0.0, "sigma must be non-negative");
+    (0..n)
+        .map(|_| {
+            let c = centers[rng.random_range(0..centers.len())];
+            let (gx, gy) = gaussian_pair(rng);
+            Point::new(
+                (c.x + gx * sigma).clamp(rect.min_x, rect.max_x),
+                (c.y + gy * sigma).clamp(rect.min_y, rect.max_y),
+            )
+        })
+        .collect()
+}
+
+/// Box–Muller transform: two independent standard normal variates.
+fn gaussian_pair<R: Rng + ?Sized>(rng: &mut R) -> (f64, f64) {
+    // Guard against log(0).
+    let u1: f64 = loop {
+        let u = rng.random::<f64>();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.random();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// Samples a Poisson(λ) variate.
+///
+/// Knuth's product method for small `λ`; for `λ > 30` the normal
+/// approximation `⌊N(λ, λ) + 0.5⌋` (clamped at 0) is used — the paper's
+/// sweeps stay well below that, so the exact method dominates in practice.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0 && lambda.is_finite(), "invalid Poisson mean {lambda}");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        let (g, _) = gaussian_pair(rng);
+        let v = lambda + g * lambda.sqrt();
+        return if v < 0.0 { 0 } else { (v + 0.5).floor() as u64 };
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        // Numerical safety: with f64 this cannot loop forever, but cap
+        // anyway so a pathological RNG cannot wedge a sweep.
+        if k > 10_000 {
+            return k;
+        }
+    }
+}
+
+/// Samples a Poisson(λ) variate truncated below at `min` (resampling is the
+/// natural reading of "we may need to modify some assignments": a radius of
+/// zero would make a reader useless, so the evaluation draws radii with a
+/// floor of one unit).
+pub fn poisson_at_least<R: Rng + ?Sized>(rng: &mut R, lambda: f64, min: u64) -> u64 {
+    // For tiny λ relative to `min`, rejection could spin; fall back to a
+    // simple max() after a bounded number of attempts.
+    for _ in 0..64 {
+        let v = poisson(rng, lambda);
+        if v >= min {
+            return v;
+        }
+    }
+    min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn uniform_points_stay_in_rect() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = Rect::new(-5.0, 10.0, 5.0, 20.0);
+        for p in uniform_points(&mut rng, 1000, r) {
+            assert!(r.contains(p));
+        }
+    }
+
+    #[test]
+    fn uniform_points_fill_all_quadrants() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = Rect::square(100.0);
+        let pts = uniform_points(&mut rng, 2000, r);
+        let mut counts = [0usize; 4];
+        for p in pts {
+            let qi = (p.x >= 50.0) as usize + 2 * ((p.y >= 50.0) as usize);
+            counts[qi] += 1;
+        }
+        for c in counts {
+            // Each quadrant expects 500; allow wide tolerance.
+            assert!(c > 350 && c < 650, "skewed quadrant counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn clustered_points_concentrate_near_centers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = Rect::square(100.0);
+        let centers = [Point::new(20.0, 20.0), Point::new(80.0, 80.0)];
+        let pts = clustered_points(&mut rng, 1000, r, &centers, 3.0);
+        let near = pts
+            .iter()
+            .filter(|p| centers.iter().any(|c| c.dist(**p) < 12.0))
+            .count();
+        assert!(near > 950, "only {near}/1000 points near clusters");
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for &lambda in &[0.5, 3.0, 8.0, 14.0, 50.0] {
+            let n = 20_000;
+            let sum: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+            let mean = sum as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < 0.15 * lambda.max(1.0),
+                "λ={lambda} empirical mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_variance_is_close() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let lambda = 6.0;
+        let n = 20_000;
+        let samples: Vec<u64> = (0..n).map(|_| poisson(&mut rng, lambda)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / n as f64;
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!((var - lambda).abs() < 0.6, "variance {var} vs λ={lambda}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn truncated_poisson_respects_floor() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            assert!(poisson_at_least(&mut rng, 2.0, 1) >= 1);
+            assert!(poisson_at_least(&mut rng, 0.1, 3) >= 3);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let r = Rect::square(50.0);
+        let a = uniform_points(&mut StdRng::seed_from_u64(99), 20, r);
+        let b = uniform_points(&mut StdRng::seed_from_u64(99), 20, r);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,430 @@
+//! Hierarchical shifted grid subdivisions (paper Section IV).
+//!
+//! Algorithm 1's PTAS partitions the interference disks into *levels* by
+//! radius and, for each `(r, s)`-shifting, lays a grid over every level:
+//!
+//! * Level-`j` lines are the verticals `x = v/(k+1)^j` and horizontals
+//!   `y = h/(k+1)^j`, `v, h ∈ ℤ`.
+//! * The `(r, s)`-shifting keeps the vertical lines whose index `v ≡ r
+//!   (mod k)` and the horizontal lines whose index `h ≡ s (mod k)`.
+//! * Two consecutive *kept* lines per axis bound a **`j`-square** of side
+//!   `k/(k+1)^j`; every `j`-square splits into `(k+1)²` `(j+1)`-squares,
+//!   because `k+1 ≡ 1 (mod k)` makes every kept level-`j` line a kept
+//!   level-`j+1` line (Erlebach–Jansen–Seidel).
+//! * A level-`j` disk **survives** the shifting iff it intersects no
+//!   boundary of any `j`-square, using the paper's half-open *hit*
+//!   predicate `a − R_i < x_i ≤ a + R_i`.
+//!
+//! All coordinates here are in *scaled* units where the largest interference
+//! radius is `1/2`; [`LevelAssignment`] computes the scaling and the level of
+//! every disk.
+
+use crate::disk::Disk;
+use crate::point::Point;
+use crate::rect::Rect;
+use serde::{Deserialize, Serialize};
+
+/// Hard cap on the number of levels, guarding against degenerate radius
+/// ratios (e.g. a zero radius) blowing up the hierarchy. `(k+1)^{-40}` is far
+/// below any physically meaningful radius ratio.
+pub const MAX_LEVELS: usize = 40;
+
+/// An `(r, s)`-shifting of the hierarchical subdivision, `0 ≤ r, s < k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shifting {
+    /// Vertical-line residue: kept lines have index ≡ r (mod k).
+    pub r: usize,
+    /// Horizontal-line residue: kept lines have index ≡ s (mod k).
+    pub s: usize,
+}
+
+impl Shifting {
+    /// All `k²` shiftings, in row-major order.
+    pub fn all(k: usize) -> Vec<Shifting> {
+        let mut out = Vec::with_capacity(k * k);
+        for r in 0..k {
+            for s in 0..k {
+                out.push(Shifting { r, s });
+            }
+        }
+        out
+    }
+}
+
+/// Identifier of a `j`-square of a fixed `(r, s)`-shifting: `ix`/`iy` count
+/// kept-line intervals along each axis (negative indices are legal — the
+/// grid covers the whole plane).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SquareId {
+    /// Hierarchy level `j` (0 = coarsest).
+    pub level: u32,
+    /// Kept-line interval index along x.
+    pub ix: i64,
+    /// Kept-line interval index along y.
+    pub iy: i64,
+}
+
+/// Assignment of disks to levels, together with the world→scaled transform.
+///
+/// Level `j` holds the disks with `1/(k+1)^{j+1} < 2R ≤ 1/(k+1)^j` after
+/// scaling the largest radius to exactly `1/2` (so the largest disks land on
+/// level 0).
+#[derive(Debug, Clone)]
+pub struct LevelAssignment {
+    /// Multiply world coordinates and radii by this to get scaled units.
+    pub scale: f64,
+    /// Per-disk level, parallel to the input radii slice.
+    pub levels: Vec<u32>,
+    /// Number of levels in use (`max level + 1`).
+    pub num_levels: u32,
+    /// The grid parameter `k ≥ 2`.
+    pub k: usize,
+}
+
+impl LevelAssignment {
+    /// Computes levels for the given world-space radii.
+    ///
+    /// # Panics
+    /// If `k < 2`, if `radii` is empty, or if any radius is negative/NaN.
+    pub fn new(radii: &[f64], k: usize) -> Self {
+        assert!(k >= 2, "grid parameter k must be ≥ 2, got {k}");
+        assert!(!radii.is_empty(), "LevelAssignment needs at least one disk");
+        let mut r_max: f64 = 0.0;
+        for &r in radii {
+            assert!(r >= 0.0 && r.is_finite(), "invalid radius {r}");
+            r_max = r_max.max(r);
+        }
+        // All-zero radii degenerate to a single level with an arbitrary
+        // scale; every disk is a point and trivially survives everything.
+        let scale = if r_max > 0.0 { 0.5 / r_max } else { 1.0 };
+        let base = (k + 1) as f64;
+        let mut levels = Vec::with_capacity(radii.len());
+        let mut max_level = 0u32;
+        for &r in radii {
+            let rs = r * scale;
+            let level = if rs <= 0.0 {
+                (MAX_LEVELS - 1) as u32
+            } else {
+                // j = ⌊log_{k+1} 1/(2R)⌋, clamped into [0, MAX_LEVELS).
+                let raw = -(2.0 * rs).ln() / base.ln();
+                // Nudge values that are within fp-noise of an integer down
+                // to it, so a radius exactly on a level boundary (2R =
+                // (k+1)^{-j}) classifies as level j per the ≤ in the paper.
+                let nudged = (raw + 1e-9).floor();
+                nudged.clamp(0.0, (MAX_LEVELS - 1) as f64) as u32
+            };
+            max_level = max_level.max(level);
+            levels.push(level);
+        }
+        LevelAssignment { scale, levels, num_levels: max_level + 1, k }
+    }
+
+    /// Scales a world-space disk into grid units.
+    pub fn scale_disk(&self, center: Point, radius: f64) -> Disk {
+        Disk::new(
+            Point::new(center.x * self.scale, center.y * self.scale),
+            radius * self.scale,
+        )
+    }
+}
+
+/// Geometry of one `(r, s)`-shifted hierarchical grid with parameter `k`.
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchicalGrid {
+    k: usize,
+    shift: Shifting,
+}
+
+impl HierarchicalGrid {
+    /// Creates the grid for a shifting. Panics if the shifting is out of
+    /// range for `k`.
+    pub fn new(k: usize, shift: Shifting) -> Self {
+        assert!(k >= 2, "grid parameter k must be ≥ 2");
+        assert!(shift.r < k && shift.s < k, "shifting {shift:?} out of range for k={k}");
+        HierarchicalGrid { k, shift }
+    }
+
+    /// Grid parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The shifting this grid realises.
+    pub fn shifting(&self) -> Shifting {
+        self.shift
+    }
+
+    /// Spacing of *all* level-`j` lines: `1/(k+1)^j`.
+    #[inline]
+    pub fn spacing(&self, level: u32) -> f64 {
+        ((self.k + 1) as f64).powi(-(level as i32))
+    }
+
+    /// Side length of a `j`-square: `k/(k+1)^j`.
+    #[inline]
+    pub fn square_side(&self, level: u32) -> f64 {
+        self.k as f64 * self.spacing(level)
+    }
+
+    /// Position of the kept vertical line with interval index `t` at `level`:
+    /// `x = (r + k·t)/(k+1)^level`.
+    #[inline]
+    fn kept_vline(&self, level: u32, t: i64) -> f64 {
+        (self.shift.r as f64 + self.k as f64 * t as f64) * self.spacing(level)
+    }
+
+    #[inline]
+    fn kept_hline(&self, level: u32, t: i64) -> f64 {
+        (self.shift.s as f64 + self.k as f64 * t as f64) * self.spacing(level)
+    }
+
+    /// The `j`-square containing the (scaled-unit) point `p`. Points exactly
+    /// on a kept line belong to the square on their right/top.
+    pub fn square_of(&self, p: Point, level: u32) -> SquareId {
+        let sp = self.spacing(level);
+        let ix = ((p.x / sp - self.shift.r as f64) / self.k as f64).floor() as i64;
+        let iy = ((p.y / sp - self.shift.s as f64) / self.k as f64).floor() as i64;
+        SquareId { level, ix, iy }
+    }
+
+    /// World extent of a square (in scaled units).
+    pub fn square_bounds(&self, sq: SquareId) -> Rect {
+        Rect::new(
+            self.kept_vline(sq.level, sq.ix),
+            self.kept_hline(sq.level, sq.iy),
+            self.kept_vline(sq.level, sq.ix + 1),
+            self.kept_hline(sq.level, sq.iy + 1),
+        )
+    }
+
+    /// The parent `(j−1)`-square of a `j`-square; `None` for level 0.
+    ///
+    /// Kept level-`j−1` lines are kept level-`j` lines, so the parent's
+    /// bounds contain the child's; we locate it by the child's centre.
+    pub fn parent(&self, sq: SquareId) -> Option<SquareId> {
+        if sq.level == 0 {
+            return None;
+        }
+        Some(self.square_of(self.square_bounds(sq).center(), sq.level - 1))
+    }
+
+    /// `true` iff `child` is one of `parent`'s `(k+1)²` children.
+    pub fn is_child_of(&self, child: SquareId, parent: SquareId) -> bool {
+        child.level == parent.level + 1 && self.parent(child) == Some(parent)
+    }
+
+    /// Survive-disk test (paper §IV): the level-`level` disk survives iff it
+    /// *hits* no kept vertical or horizontal line of that level.
+    ///
+    /// `disk` must be in scaled units. Only kept lines within one disk
+    /// diameter of the centre can be hit, and a level-`j` disk's diameter is
+    /// at most the level-`j` line spacing, so checking the three nearest
+    /// kept lines per axis is exhaustive.
+    pub fn survives(&self, disk: &Disk, level: u32) -> bool {
+        let sp = self.spacing(level);
+        let kf = self.k as f64;
+        let tx = ((disk.center.x / sp - self.shift.r as f64) / kf).round() as i64;
+        for t in (tx - 1)..=(tx + 1) {
+            if disk.hits_vertical(self.kept_vline(level, t)) {
+                return false;
+            }
+        }
+        let ty = ((disk.center.y / sp - self.shift.s as f64) / kf).round() as i64;
+        for t in (ty - 1)..=(ty + 1) {
+            if disk.hits_horizontal(self.kept_hline(level, t)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The square a surviving disk lives in: the level-`level` square
+    /// containing its centre (survival guarantees the whole disk is inside).
+    pub fn home_square(&self, disk: &Disk, level: u32) -> SquareId {
+        self.square_of(disk.center, level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(k: usize, r: usize, s: usize) -> HierarchicalGrid {
+        HierarchicalGrid::new(k, Shifting { r, s })
+    }
+
+    #[test]
+    fn level_assignment_scales_largest_to_half() {
+        let la = LevelAssignment::new(&[10.0, 5.0, 2.0], 3);
+        assert_eq!(la.scale, 0.05);
+        // scaled radii: 0.5, 0.25, 0.1 → 2R: 1, 0.5, 0.2
+        // levels (k+1=4): ⌊log_4 1⌋=0, ⌊log_4 2⌋=0, ⌊log_4 5⌋=1
+        assert_eq!(la.levels, vec![0, 0, 1]);
+        assert_eq!(la.num_levels, 2);
+    }
+
+    #[test]
+    fn level_boundary_classifies_inclusively() {
+        // 2R exactly (k+1)^{-1}: level must be 1 (1/(k+1)^2 < 2R ≤ 1/(k+1)).
+        let k = 3;
+        // world radii: pick r_max = 0.5 so scale = 1; second radius 1/8 → 2R = 1/4.
+        let la = LevelAssignment::new(&[0.5, 0.125], k);
+        assert_eq!(la.levels, vec![0, 1]);
+    }
+
+    #[test]
+    fn zero_radius_goes_to_max_level() {
+        let la = LevelAssignment::new(&[1.0, 0.0], 2);
+        assert_eq!(la.levels[1], (MAX_LEVELS - 1) as u32);
+    }
+
+    #[test]
+    fn all_shiftings_enumerated() {
+        let all = Shifting::all(3);
+        assert_eq!(all.len(), 9);
+        assert!(all.contains(&Shifting { r: 2, s: 0 }));
+    }
+
+    #[test]
+    fn square_geometry_roundtrip() {
+        let g = grid(3, 1, 2);
+        for level in 0..4u32 {
+            for &(x, y) in &[(0.3, 0.4), (-1.7, 2.9), (10.0, -5.5)] {
+                let p = Point::new(x, y);
+                let sq = g.square_of(p, level);
+                let b = g.square_bounds(sq);
+                assert!(b.contains(p), "level {level} point {p} square {sq:?} bounds {b:?}");
+                assert!(crate::approx_eq(b.width(), g.square_side(level)));
+                assert!(crate::approx_eq(b.height(), g.square_side(level)));
+            }
+        }
+    }
+
+    #[test]
+    fn kept_lines_nest_across_levels() {
+        // A kept level-j line is a kept level-(j+1) line: v(k+1) ≡ v (mod k).
+        let g = grid(4, 3, 1);
+        for level in 0..3u32 {
+            for t in -3i64..3 {
+                let x = g.kept_vline(level, t);
+                // index of this line at level+1: x / spacing(level+1)
+                let v_next = (x / g.spacing(level + 1)).round() as i64;
+                assert_eq!(
+                    v_next.rem_euclid(g.k as i64),
+                    g.shifting().r as i64,
+                    "line {x} at level {level} not kept at level {}",
+                    level + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parent_contains_child() {
+        let g = grid(3, 0, 0);
+        for level in 1..4u32 {
+            for &(x, y) in &[(0.1, 0.1), (2.3, -0.7), (-4.4, 5.9)] {
+                let child = g.square_of(Point::new(x, y), level);
+                let parent = g.parent(child).unwrap();
+                assert_eq!(parent.level, level - 1);
+                let cb = g.square_bounds(child);
+                let pb = g.square_bounds(parent);
+                assert!(pb.contains_rect(&cb), "child {cb:?} not inside parent {pb:?}");
+                assert!(g.is_child_of(child, parent));
+            }
+        }
+    }
+
+    #[test]
+    fn each_square_has_k_plus_1_squared_children() {
+        let g = grid(3, 1, 1);
+        let parent = g.square_of(Point::new(0.5, 0.5), 0);
+        let pb = g.square_bounds(parent);
+        // Enumerate children by sampling centres of a fine (k+1)×(k+1) mesh.
+        let mut children = std::collections::HashSet::new();
+        let n = g.k + 1;
+        for i in 0..n {
+            for j in 0..n {
+                let cx = pb.min_x + (i as f64 + 0.5) * pb.width() / n as f64;
+                let cy = pb.min_y + (j as f64 + 0.5) * pb.height() / n as f64;
+                let c = g.square_of(Point::new(cx, cy), 1);
+                assert_eq!(g.parent(c), Some(parent));
+                children.insert(c);
+            }
+        }
+        assert_eq!(children.len(), (g.k + 1) * (g.k + 1));
+    }
+
+    #[test]
+    fn survive_means_inside_home_square() {
+        let g = grid(3, 2, 1);
+        // Sweep a disk across the plane; whenever it survives, its home
+        // square must strictly contain it.
+        let level = 1u32;
+        let radius = 0.4 * g.spacing(level) / 2.0; // well under half-spacing
+        let mut survived = 0;
+        let mut killed = 0;
+        for i in 0..200 {
+            for j in 0..40 {
+                let c = Point::new(i as f64 * 0.013 - 1.0, j as f64 * 0.017 - 0.3);
+                let d = Disk::new(c, radius);
+                if g.survives(&d, level) {
+                    survived += 1;
+                    let b = g.square_bounds(g.home_square(&d, level));
+                    // Survival uses the half-open hit predicate, so the disk
+                    // may touch the boundary from inside but never cross it.
+                    assert!(
+                        d.center.x - d.radius >= b.min_x - crate::EPS
+                            && d.center.x + d.radius <= b.max_x + crate::EPS
+                            && d.center.y - d.radius >= b.min_y - crate::EPS
+                            && d.center.y + d.radius <= b.max_y + crate::EPS,
+                        "surviving disk {d:?} crosses its square {b:?}"
+                    );
+                } else {
+                    killed += 1;
+                }
+            }
+        }
+        assert!(survived > 0 && killed > 0, "sweep should see both outcomes");
+    }
+
+    #[test]
+    fn survival_rate_roughly_one_minus_two_over_k() {
+        // Theorem 2 intuition: per axis a disk dies with probability ≈ 2R/(k·spacing)
+        // under a random shift. With diameter = spacing/2 and k=4 the survive
+        // probability per axis is 1 − 1/(2k) ≈ 0.875, both axes ≈ 0.77.
+        let k = 4;
+        let level = 0u32;
+        let mut survived = 0usize;
+        let mut total = 0usize;
+        for r in 0..k {
+            for s in 0..k {
+                let g = grid(k, r, s);
+                let radius = g.spacing(level) / 4.0; // diameter = spacing/2
+                for i in 0..100 {
+                    let c = Point::new(i as f64 * 0.0917 + 0.005, i as f64 * 0.0533 + 0.002);
+                    total += 1;
+                    if g.survives(&Disk::new(c, radius), level) {
+                        survived += 1;
+                    }
+                }
+            }
+        }
+        let rate = survived as f64 / total as f64;
+        assert!(rate > 0.6 && rate < 0.9, "empirical survive rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn k_of_one_rejected() {
+        let _ = HierarchicalGrid::new(1, Shifting { r: 0, s: 0 });
+    }
+
+    #[test]
+    fn scale_disk_applies_uniform_scale() {
+        let la = LevelAssignment::new(&[10.0], 2);
+        let d = la.scale_disk(Point::new(100.0, 40.0), 10.0);
+        assert_eq!(d.center, Point::new(5.0, 2.0));
+        assert_eq!(d.radius, 0.5);
+    }
+}

@@ -1,0 +1,265 @@
+//! Compressed-sparse-row adjacency for undirected graphs.
+
+use serde::{Deserialize, Serialize};
+
+/// An immutable undirected graph in CSR form.
+///
+/// Node ids are `usize` in `0..n`. Neighbour lists are sorted ascending and
+/// deduplicated; self-loops are rejected at construction. The structure is
+/// `Send + Sync` and cheap to share across the sweep worker threads.
+///
+/// ```
+/// use rfid_graph::Csr;
+/// let g = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// assert!(g.is_independent_set(&[0, 2]));
+/// assert!(!g.is_independent_set(&[1, 2]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds a graph from an edge list over `n` nodes. Edges may appear in
+    /// any order and direction; duplicates are merged.
+    ///
+    /// # Panics
+    /// On self-loops or endpoints `≥ n`.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut deg = vec![0u32; n + 1];
+        for &(a, b) in edges {
+            assert!(a != b, "self-loop at node {a}");
+            assert!(a < n && b < n, "edge ({a}, {b}) out of range for n={n}");
+            deg[a + 1] += 1;
+            deg[b + 1] += 1;
+        }
+        for i in 0..n {
+            deg[i + 1] += deg[i];
+        }
+        let offsets = deg.clone();
+        let mut cursor = deg;
+        let mut targets = vec![0u32; edges.len() * 2];
+        for &(a, b) in edges {
+            targets[cursor[a] as usize] = b as u32;
+            cursor[a] += 1;
+            targets[cursor[b] as usize] = a as u32;
+            cursor[b] += 1;
+        }
+        // Sort + dedup each row, then rebuild compactly.
+        let mut clean_offsets = Vec::with_capacity(n + 1);
+        let mut clean_targets = Vec::with_capacity(targets.len());
+        clean_offsets.push(0u32);
+        for v in 0..n {
+            let row = &mut targets[offsets[v] as usize..offsets[v + 1] as usize];
+            row.sort_unstable();
+            let mut prev = u32::MAX;
+            for &t in row.iter() {
+                if t != prev {
+                    clean_targets.push(t);
+                    prev = t;
+                }
+            }
+            clean_offsets.push(clean_targets.len() as u32);
+        }
+        Csr { offsets: clean_offsets, targets: clean_targets }
+    }
+
+    /// Builds a graph by testing every unordered pair with `adjacent`.
+    /// Quadratic — intended for model-construction fallbacks and tests;
+    /// the model crate uses spatial indices to avoid the O(n²) scan.
+    pub fn from_predicate<F: FnMut(usize, usize) -> bool>(n: usize, mut adjacent: F) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if adjacent(a, b) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        Self::from_edges(n, &edges)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn m(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Sorted neighbour list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// `true` iff `{a, b}` is an edge (binary search).
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.neighbors(a).binary_search(&(b as u32)).is_ok()
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// The subgraph induced by `nodes` (which need not be sorted), together
+    /// with the mapping `local → global` (`nodes`, deduplicated + sorted).
+    pub fn induced_subgraph(&self, nodes: &[usize]) -> (Csr, Vec<usize>) {
+        let mut sorted: Vec<usize> = nodes.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut local_of = std::collections::HashMap::with_capacity(sorted.len());
+        for (i, &g) in sorted.iter().enumerate() {
+            local_of.insert(g, i);
+        }
+        let mut edges = Vec::new();
+        for (i, &g) in sorted.iter().enumerate() {
+            for &t in self.neighbors(g) {
+                if let Some(&j) = local_of.get(&(t as usize)) {
+                    if i < j {
+                        edges.push((i, j));
+                    }
+                }
+            }
+        }
+        (Csr::from_edges(sorted.len(), &edges), sorted)
+    }
+
+    /// All edges as ordered pairs `(a, b)` with `a < b`.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.m());
+        for a in 0..self.n() {
+            for &b in self.neighbors(a) {
+                if a < b as usize {
+                    out.push((a, b as usize));
+                }
+            }
+        }
+        out
+    }
+
+    /// `true` iff no two nodes of `set` are adjacent.
+    pub fn is_independent_set(&self, set: &[usize]) -> bool {
+        for (i, &a) in set.iter().enumerate() {
+            for &b in &set[i + 1..] {
+                if self.has_edge(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Csr {
+        Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn basic_structure() {
+        let g = path4();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn duplicate_and_reversed_edges_merge() {
+        let g = Csr::from_edges(3, &[(0, 1), (1, 0), (0, 1), (2, 1)]);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn has_edge_both_directions() {
+        let g = path4();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        let _ = Csr::from_edges(2, &[(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let _ = Csr::from_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edges(0, &[]);
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        let g = Csr::from_edges(5, &[]);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn from_predicate_builds_expected_graph() {
+        // adjacency: |a − b| == 1 → path
+        let g = Csr::from_predicate(4, |a, b| a.abs_diff(b) == 1);
+        assert_eq!(g, path4());
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_edges() {
+        let g = Csr::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        let (sub, map) = g.induced_subgraph(&[4, 0, 1]);
+        assert_eq!(map, vec![0, 1, 4]);
+        assert_eq!(sub.n(), 3);
+        // edges among {0,1,4}: (0,1), (0,4) → local (0,1), (0,2)
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(0, 2));
+        assert!(!sub.has_edge(1, 2));
+    }
+
+    #[test]
+    fn induced_subgraph_dedups_input() {
+        let g = path4();
+        let (sub, map) = g.induced_subgraph(&[2, 2, 1]);
+        assert_eq!(map, vec![1, 2]);
+        assert_eq!(sub.m(), 1);
+    }
+
+    #[test]
+    fn edges_roundtrip() {
+        let edges = vec![(0, 2), (1, 3), (2, 3)];
+        let g = Csr::from_edges(4, &edges);
+        assert_eq!(g.edges(), edges);
+    }
+
+    #[test]
+    fn independent_set_check() {
+        let g = path4();
+        assert!(g.is_independent_set(&[0, 2]));
+        assert!(g.is_independent_set(&[0, 3]));
+        assert!(!g.is_independent_set(&[1, 2]));
+        assert!(g.is_independent_set(&[]));
+        assert!(g.is_independent_set(&[1]));
+    }
+}

@@ -1,0 +1,119 @@
+//! Degeneracy ordering (Matula–Beck smallest-last).
+//!
+//! Interference graphs of disks are O(1)-degenerate per radius class, which
+//! is why the paper's growth-bounded arguments work. A smallest-last order
+//! gives strong pruning for the exact independent-set solvers and compact
+//! greedy colourings.
+
+use crate::csr::Csr;
+
+/// Returns `(order, degeneracy)` where `order` is a smallest-last
+/// elimination order: repeatedly remove a minimum-degree node (ties by id).
+/// `degeneracy` is the maximum degree seen at removal time — every node has
+/// at most `degeneracy` neighbours *later* in `order`.
+pub fn degeneracy_order(g: &Csr) -> (Vec<usize>, usize) {
+    let n = g.n();
+    let mut deg: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    let mut removed = vec![false; n];
+    // Bucket queue over degrees.
+    let max_deg = deg.iter().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); max_deg + 1];
+    for v in 0..n {
+        buckets[deg[v]].push(v);
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut degeneracy = 0;
+    let mut floor = 0usize;
+    for _ in 0..n {
+        // Find the smallest non-empty bucket with a live node. `floor` only
+        // decreases by 1 per removal, so total scanning is O(n + m).
+        let v = loop {
+            while floor <= max_deg && buckets[floor].is_empty() {
+                floor += 1;
+            }
+            let cand = buckets[floor].pop().expect("non-empty bucket");
+            if !removed[cand] && deg[cand] == floor {
+                break cand;
+            }
+            // Stale entry (node was re-bucketed at a lower degree or already
+            // removed) — discard and keep scanning.
+        };
+        removed[v] = true;
+        degeneracy = degeneracy.max(deg[v]);
+        order.push(v);
+        for &t in g.neighbors(v) {
+            let t = t as usize;
+            if !removed[t] {
+                deg[t] -= 1;
+                buckets[deg[t]].push(t);
+                floor = floor.min(deg[t]);
+            }
+        }
+    }
+    (order, degeneracy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_has_degeneracy_one() {
+        let g = Csr::from_edges(6, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)]);
+        let (order, d) = degeneracy_order(&g);
+        assert_eq!(d, 1);
+        assert_eq!(order.len(), 6);
+        let mut seen = order.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cycle_has_degeneracy_two() {
+        let g = Csr::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let (_, d) = degeneracy_order(&g);
+        assert_eq!(d, 2);
+    }
+
+    #[test]
+    fn clique_has_degeneracy_n_minus_one() {
+        let g = Csr::from_predicate(5, |_, _| true);
+        let (_, d) = degeneracy_order(&g);
+        assert_eq!(d, 4);
+    }
+
+    #[test]
+    fn order_property_holds() {
+        // Every node has ≤ degeneracy neighbours appearing later in order.
+        let edges: Vec<(usize, usize)> = (0..15)
+            .flat_map(|a| ((a + 1)..15).filter(move |b| (a * 3 + b) % 4 == 0).map(move |b| (a, b)))
+            .collect();
+        let g = Csr::from_edges(15, &edges);
+        let (order, d) = degeneracy_order(&g);
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 15];
+            for (i, &v) in order.iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        for v in 0..15 {
+            let later = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&t| pos[t as usize] > pos[v])
+                .count();
+            assert!(later <= d, "node {v} has {later} later neighbours > degeneracy {d}");
+        }
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let g = Csr::from_edges(0, &[]);
+        assert_eq!(degeneracy_order(&g), (vec![], 0));
+        let g = Csr::from_edges(3, &[]);
+        let (order, d) = degeneracy_order(&g);
+        assert_eq!(d, 0);
+        assert_eq!(order.len(), 3);
+    }
+}

@@ -1,0 +1,206 @@
+//! Exact maximum-weight independent set for **additive** node weights.
+//!
+//! Branch-and-bound with degeneracy-guided branching. The schedulers in
+//! `rfid-core` optimise the *non-additive* tag weight `w(X)`; this additive
+//! solver exists as (a) an oracle upper bound in tests (`w(X) ≤ Σ singleton
+//! weights` by sub-additivity) and (b) the reference algorithm from Sakai et
+//! al. \[15\] that Algorithm 2's local step generalises.
+
+use crate::csr::Csr;
+
+/// Exact maximum-weight independent set of `g` under additive `weights`.
+///
+/// Returns the set sorted ascending. Suitable for the small local
+/// neighbourhoods the paper's algorithms enumerate (tens of nodes); the
+/// worst case is exponential.
+///
+/// # Panics
+/// If `weights.len() != g.n()` or any weight is negative (negative-weight
+/// nodes can simply be dropped by the caller: they never help).
+pub fn max_weight_independent_set(g: &Csr, weights: &[f64]) -> Vec<usize> {
+    assert_eq!(weights.len(), g.n(), "one weight per node required");
+    assert!(
+        weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
+        "weights must be non-negative and finite"
+    );
+    let n = g.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Branch on nodes in reverse degeneracy order (high-degree cores first)
+    // for tighter early bounds.
+    let (mut order, _) = crate::degeneracy::degeneracy_order(g);
+    order.reverse();
+
+    let mut best: Vec<usize> = Vec::new();
+    let mut best_w = f64::NEG_INFINITY;
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut alive = vec![true; n];
+
+    // Suffix weight bound: sum of weights of nodes not yet decided.
+    struct Ctx<'a> {
+        g: &'a Csr,
+        weights: &'a [f64],
+        order: &'a [usize],
+        /// Position of each node in `order`.
+        pos: Vec<usize>,
+    }
+
+    fn recurse(
+        ctx: &Ctx,
+        idx: usize,
+        cur_w: f64,
+        remaining_w: f64,
+        chosen: &mut Vec<usize>,
+        alive: &mut Vec<bool>,
+        best: &mut Vec<usize>,
+        best_w: &mut f64,
+    ) {
+        if cur_w > *best_w {
+            *best_w = cur_w;
+            *best = chosen.clone();
+            best.sort_unstable();
+        }
+        if idx >= ctx.order.len() || cur_w + remaining_w <= *best_w {
+            return;
+        }
+        let v = ctx.order[idx];
+        if !alive[v] {
+            recurse(ctx, idx + 1, cur_w, remaining_w, chosen, alive, best, best_w);
+            return;
+        }
+        let wv = ctx.weights[v];
+        // Branch 1: include v — kill its alive neighbours.
+        let mut killed = Vec::new();
+        for &t in ctx.g.neighbors(v) {
+            let t = t as usize;
+            if alive[t] {
+                alive[t] = false;
+                killed.push(t);
+            }
+        }
+        alive[v] = false;
+        chosen.push(v);
+        // Only neighbours still ahead of us contribute to `remaining_w`;
+        // already-passed (excluded) neighbours were subtracted when passed.
+        let killed_w: f64 = killed
+            .iter()
+            .filter(|&&t| ctx.pos[t] > idx)
+            .map(|&t| ctx.weights[t])
+            .sum();
+        recurse(
+            ctx,
+            idx + 1,
+            cur_w + wv,
+            remaining_w - wv - killed_w,
+            chosen,
+            alive,
+            best,
+            best_w,
+        );
+        chosen.pop();
+        alive[v] = true;
+        for t in killed {
+            alive[t] = true;
+        }
+        // Branch 2: exclude v.
+        recurse(ctx, idx + 1, cur_w, remaining_w - wv, chosen, alive, best, best_w);
+    }
+
+    let mut pos = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v] = i;
+    }
+    let ctx = Ctx { g, weights, order: &order, pos };
+    let total: f64 = (0..n).map(|v| weights[v]).sum();
+    recurse(&ctx, 0, 0.0, total, &mut chosen, &mut alive, &mut best, &mut best_w);
+    best
+}
+
+/// Total weight of a node set under additive weights.
+pub fn set_weight(set: &[usize], weights: &[f64]) -> f64 {
+    set.iter().map(|&v| weights[v]).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(g: &Csr, w: &[f64]) -> f64 {
+        let n = g.n();
+        assert!(n <= 20);
+        let mut best = 0.0f64;
+        for mask in 0..(1u32 << n) {
+            let set: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+            if g.is_independent_set(&set) {
+                best = best.max(set_weight(&set, w));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn path_graph_alternates() {
+        let g = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let w = vec![1.0, 1.0, 1.0, 1.0];
+        let s = max_weight_independent_set(&g, &w);
+        assert_eq!(s.len(), 2); // {0,2}, {0,3} or {1,3}
+        assert_eq!(set_weight(&s, &w), 2.0);
+        assert!(g.is_independent_set(&s));
+    }
+
+    #[test]
+    fn heavy_middle_wins() {
+        let g = Csr::from_edges(3, &[(0, 1), (1, 2)]);
+        let w = vec![1.0, 5.0, 1.0];
+        let s = max_weight_independent_set(&g, &w);
+        assert_eq!(s, vec![1]);
+    }
+
+    #[test]
+    fn clique_picks_heaviest() {
+        let g = Csr::from_predicate(5, |_, _| true);
+        let w = vec![1.0, 2.0, 9.0, 4.0, 3.0];
+        assert_eq!(max_weight_independent_set(&g, &w), vec![2]);
+    }
+
+    #[test]
+    fn zero_weights_allowed() {
+        let g = Csr::from_edges(2, &[(0, 1)]);
+        let s = max_weight_independent_set(&g, &[0.0, 0.0]);
+        assert!(g.is_independent_set(&s));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edges(0, &[]);
+        assert!(max_weight_independent_set(&g, &[]).is_empty());
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        for seed in 0..8u64 {
+            let n = 12;
+            let edges: Vec<(usize, usize)> = (0..n)
+                .flat_map(|a| {
+                    ((a + 1)..n)
+                        .filter(move |b| (a * 31 + b * 17 + seed as usize * 7) % 3 == 0)
+                        .map(move |b| (a, b))
+                })
+                .collect();
+            let g = Csr::from_edges(n, &edges);
+            let w: Vec<f64> = (0..n).map(|i| ((i * 13 + seed as usize * 5) % 7) as f64 + 0.5).collect();
+            let s = max_weight_independent_set(&g, &w);
+            assert!(g.is_independent_set(&s), "seed {seed}");
+            let bw = brute_force(&g, &w);
+            assert_eq!(set_weight(&s, &w), bw, "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_rejected() {
+        let g = Csr::from_edges(1, &[]);
+        let _ = max_weight_independent_set(&g, &[-1.0]);
+    }
+}

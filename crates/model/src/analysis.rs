@@ -1,0 +1,201 @@
+//! Deployment analysis: the descriptive statistics behind the evaluation.
+//!
+//! The paper's trends (weight up with λ_r, down with λ_R; CA's widening
+//! gap) are driven by a few structural quantities of the deployment —
+//! how many readers cover a tag, how much interrogation area overlaps, how
+//! dense the interference graph is. This module computes them so the
+//! harness can *explain* figure shapes instead of just plotting them.
+
+use crate::coverage::Coverage;
+use crate::deployment::Deployment;
+use serde::{Deserialize, Serialize};
+
+/// Structural statistics of one deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentStats {
+    /// `histogram[k]` = number of tags covered by exactly `k` readers
+    /// (index 0 = uncoverable tags). Truncated at the maximum observed k.
+    pub coverage_histogram: Vec<usize>,
+    /// Mean readers covering a coverable tag.
+    pub mean_coverage: f64,
+    /// Fraction of coverable tags covered by ≥ 2 readers — the share at
+    /// RRc risk, the quantity that separates `w(X)` from plain coverage.
+    pub overlap_fraction: f64,
+    /// Interference-graph degree histogram (`[k]` = readers with degree k).
+    pub degree_histogram: Vec<usize>,
+    /// Mean interference degree.
+    pub mean_degree: f64,
+    /// Sum of interrogation-disk areas divided by the region area — the
+    /// offered coverage density (can exceed 1 with overlaps).
+    pub interrogation_density: f64,
+}
+
+/// Computes the statistics for one deployment (with its coverage table and
+/// interference graph, which callers usually already hold).
+pub fn deployment_stats(
+    d: &Deployment,
+    coverage: &Coverage,
+    graph: &rfid_graph::Csr,
+) -> DeploymentStats {
+    // Coverage histogram.
+    let mut coverage_histogram = Vec::new();
+    let mut covered_sum = 0usize;
+    let mut coverable = 0usize;
+    let mut overlapped = 0usize;
+    for t in 0..d.n_tags() {
+        let k = coverage.readers_of(t).len();
+        if coverage_histogram.len() <= k {
+            coverage_histogram.resize(k + 1, 0);
+        }
+        coverage_histogram[k] += 1;
+        if k >= 1 {
+            coverable += 1;
+            covered_sum += k;
+        }
+        if k >= 2 {
+            overlapped += 1;
+        }
+    }
+    if coverage_histogram.is_empty() {
+        coverage_histogram.push(0);
+    }
+    let mean_coverage = if coverable == 0 { 0.0 } else { covered_sum as f64 / coverable as f64 };
+    let overlap_fraction = if coverable == 0 { 0.0 } else { overlapped as f64 / coverable as f64 };
+
+    // Degree histogram.
+    let mut degree_histogram = Vec::new();
+    let mut deg_sum = 0usize;
+    for v in 0..d.n_readers() {
+        let k = graph.degree(v);
+        if degree_histogram.len() <= k {
+            degree_histogram.resize(k + 1, 0);
+        }
+        degree_histogram[k] += 1;
+        deg_sum += k;
+    }
+    if degree_histogram.is_empty() {
+        degree_histogram.push(0);
+    }
+    let mean_degree =
+        if d.n_readers() == 0 { 0.0 } else { deg_sum as f64 / d.n_readers() as f64 };
+
+    let area = d.region().area();
+    let interrogation_density = if area == 0.0 {
+        0.0
+    } else {
+        d.interrogation_radii()
+            .iter()
+            .map(|&r| std::f64::consts::PI * r * r)
+            .sum::<f64>()
+            / area
+    };
+
+    DeploymentStats {
+        coverage_histogram,
+        mean_coverage,
+        overlap_fraction,
+        degree_histogram,
+        mean_degree,
+        interrogation_density,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interference::interference_graph;
+    use crate::scenario::{Scenario, ScenarioKind};
+    use crate::RadiusModel;
+    use rfid_geometry::{Point, Rect};
+
+    #[test]
+    fn hand_built_deployment_statistics() {
+        // Two overlapping readers, tags at: exclusive-0, shared, exclusive-1,
+        // uncovered.
+        let d = Deployment::new(
+            Rect::square(20.0),
+            vec![Point::new(5.0, 5.0), Point::new(11.0, 5.0)],
+            vec![8.0, 8.0],
+            vec![4.0, 4.0],
+            vec![
+                Point::new(2.0, 5.0),
+                Point::new(8.0, 5.0),
+                Point::new(14.0, 5.0),
+                Point::new(5.0, 18.0),
+            ],
+        );
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let stats = deployment_stats(&d, &c, &g);
+        assert_eq!(stats.coverage_histogram, vec![1, 2, 1]);
+        assert!((stats.mean_coverage - 4.0 / 3.0).abs() < 1e-12);
+        assert!((stats.overlap_fraction - 1.0 / 3.0).abs() < 1e-12);
+        // dist 6 ≤ max(8,8): the two readers interfere → degree 1 each.
+        assert_eq!(stats.degree_histogram, vec![0, 2]);
+        assert_eq!(stats.mean_degree, 1.0);
+        // 2 × π·16 / 400
+        assert!((stats.interrogation_density - 2.0 * std::f64::consts::PI * 16.0 / 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histograms_sum_to_populations() {
+        let d = Scenario {
+            kind: ScenarioKind::UniformRandom,
+            n_readers: 30,
+            n_tags: 400,
+            region_side: 100.0,
+            radius_model: RadiusModel::PoissonPair {
+                lambda_interference: 14.0,
+                lambda_interrogation: 6.0,
+            },
+        }
+        .generate(8);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let stats = deployment_stats(&d, &c, &g);
+        assert_eq!(stats.coverage_histogram.iter().sum::<usize>(), d.n_tags());
+        assert_eq!(stats.degree_histogram.iter().sum::<usize>(), d.n_readers());
+        assert_eq!(stats.coverage_histogram[0], d.n_tags() - c.coverable_count());
+    }
+
+    #[test]
+    fn overlap_rises_with_interrogation_radius() {
+        let base = |lambda_r: f64, seed| {
+            let d = Scenario {
+                kind: ScenarioKind::UniformRandom,
+                n_readers: 40,
+                n_tags: 500,
+                region_side: 100.0,
+                radius_model: RadiusModel::PoissonPair {
+                    lambda_interference: 20.0,
+                    lambda_interrogation: lambda_r,
+                },
+            }
+            .generate(seed);
+            let c = Coverage::build(&d);
+            let g = interference_graph(&d);
+            deployment_stats(&d, &c, &g).overlap_fraction
+        };
+        let mut small = 0.0;
+        let mut large = 0.0;
+        for seed in 0..5 {
+            small += base(3.0, seed);
+            large += base(12.0, seed);
+        }
+        assert!(
+            large > small,
+            "overlap fraction must grow with interrogation radii ({large} vs {small})"
+        );
+    }
+
+    #[test]
+    fn empty_deployment_is_all_zeros() {
+        let d = Deployment::new(Rect::square(10.0), vec![], vec![], vec![], vec![]);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let stats = deployment_stats(&d, &c, &g);
+        assert_eq!(stats.mean_coverage, 0.0);
+        assert_eq!(stats.mean_degree, 0.0);
+        assert_eq!(stats.interrogation_density, 0.0);
+    }
+}

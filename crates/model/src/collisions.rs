@@ -1,0 +1,218 @@
+//! Collision audit of an arbitrary activation (paper Section II + Def. 1).
+//!
+//! Schedulers are supposed to emit feasible sets, but baselines (and bugs)
+//! may not. [`audit_activation`] classifies every collision an activation
+//! `X` would cause and derives the *general* well-covered tag set straight
+//! from Definition 1 — including the RTc jamming condition the fast path in
+//! `crate::weight` may omit because feasibility makes it vacuous. The system
+//! simulator audits every slot with this module; integration tests assert
+//! the fast and general paths agree on feasible sets.
+
+use crate::coverage::Coverage;
+use crate::deployment::Deployment;
+use crate::reader::ReaderId;
+use crate::tag::{TagId, TagSet};
+use serde::{Deserialize, Serialize};
+
+/// Everything that happens when `X` activates simultaneously.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivationAudit {
+    /// Ordered pairs `(victim, aggressor)`: `victim ∈ X` lies inside the
+    /// interference disk of `aggressor ∈ X`. Any victim reads nothing this
+    /// slot (reader–tag collision).
+    pub rtc_pairs: Vec<(ReaderId, ReaderId)>,
+    /// Readers of `X` that suffer at least one RTc.
+    pub jammed: Vec<ReaderId>,
+    /// Unread tags lying in ≥ 2 active interrogation regions
+    /// (reader–reader collision at the tag).
+    pub rrc_tags: Vec<TagId>,
+    /// Definition 1 well-covered unread tags: covered by exactly one active
+    /// reader, and that reader is not jammed.
+    pub well_covered: Vec<TagId>,
+    /// Potential tag–tag collisions: for each non-jammed active reader, the
+    /// number of its well-covered tags (>1 means the link layer must
+    /// arbitrate; see `rfid-protocols`). Pairs `(reader, tag_count)` with
+    /// `tag_count ≥ 2`.
+    pub ttc_load: Vec<(ReaderId, usize)>,
+}
+
+impl ActivationAudit {
+    /// `true` iff the activation is a feasible scheduling set (no RTc).
+    pub fn is_feasible(&self) -> bool {
+        self.rtc_pairs.is_empty()
+    }
+}
+
+/// Audits activation `X` against the full model.
+///
+/// Complexity `O(|X|² + Σ_{v∈X} |tags(v)|)` — the quadratic term is exact
+/// pairwise jam checking, fine for per-slot set sizes.
+pub fn audit_activation(
+    d: &Deployment,
+    coverage: &Coverage,
+    set: &[ReaderId],
+    unread: &TagSet,
+) -> ActivationAudit {
+    // RTc: victim v inside aggressor u's interference disk.
+    let mut rtc_pairs = Vec::new();
+    let mut jammed_flag = vec![false; d.n_readers()];
+    for &v in set {
+        for &u in set {
+            if v == u {
+                continue;
+            }
+            let ru = d.reader(u);
+            if ru.pos.within(d.reader(v).pos, ru.interference_radius) {
+                rtc_pairs.push((v, u));
+                jammed_flag[v] = true;
+            }
+        }
+    }
+    rtc_pairs.sort_unstable();
+    let jammed: Vec<ReaderId> = set.iter().copied().filter(|&v| jammed_flag[v]).collect();
+
+    // Per-tag active cover counts (and the single coverer when count == 1).
+    let mut count: std::collections::HashMap<TagId, (usize, ReaderId)> =
+        std::collections::HashMap::new();
+    for &v in set {
+        for &t in coverage.tags_of(v) {
+            let t = t as usize;
+            if !unread.is_unread(t) {
+                continue;
+            }
+            let e = count.entry(t).or_insert((0, v));
+            e.0 += 1;
+            e.1 = v; // only meaningful when e.0 == 1
+        }
+    }
+    let mut rrc_tags: Vec<TagId> = count
+        .iter()
+        .filter(|(_, &(c, _))| c >= 2)
+        .map(|(&t, _)| t)
+        .collect();
+    rrc_tags.sort_unstable();
+
+    let mut well_covered: Vec<TagId> = count
+        .iter()
+        .filter(|(_, &(c, v))| c == 1 && !jammed_flag[v])
+        .map(|(&t, _)| t)
+        .collect();
+    well_covered.sort_unstable();
+
+    // TTc load: well-covered tags per non-jammed reader.
+    let mut per_reader: std::collections::HashMap<ReaderId, usize> = std::collections::HashMap::new();
+    for &t in &well_covered {
+        let (_, v) = count[&t];
+        *per_reader.entry(v).or_insert(0) += 1;
+    }
+    let mut ttc_load: Vec<(ReaderId, usize)> = per_reader
+        .into_iter()
+        .filter(|&(_, c)| c >= 2)
+        .collect();
+    ttc_load.sort_unstable();
+
+    ActivationAudit { rtc_pairs, jammed, rrc_tags, well_covered, ttc_load }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weight::WeightEvaluator;
+    use rfid_geometry::{Point, Rect};
+
+    /// Reader 1 sits inside reader 0's interference disk (asymmetric).
+    fn jamming_deployment() -> (Deployment, Coverage) {
+        let d = Deployment::new(
+            Rect::square(50.0),
+            vec![Point::new(0.0, 0.0), Point::new(8.0, 0.0), Point::new(30.0, 0.0)],
+            vec![10.0, 3.0, 3.0],
+            vec![4.0, 3.0, 3.0],
+            vec![
+                Point::new(1.0, 0.0),  // reader 0 only
+                Point::new(8.0, 0.0),  // reader 1 only (dist 8 > 4 from r0)
+                Point::new(30.0, 0.0), // reader 2 only
+            ],
+        );
+        let c = Coverage::build(&d);
+        (d, c)
+    }
+
+    #[test]
+    fn rtc_detected_asymmetrically() {
+        let (d, c) = jamming_deployment();
+        let unread = TagSet::all_unread(3);
+        let audit = audit_activation(&d, &c, &[0, 1], &unread);
+        // Reader 1 is inside O(v_0) (dist 8 ≤ 10) → victim 1, aggressor 0.
+        // Reader 0 is NOT inside O(v_1) (dist 8 > 3).
+        assert_eq!(audit.rtc_pairs, vec![(1, 0)]);
+        assert_eq!(audit.jammed, vec![1]);
+        assert!(!audit.is_feasible());
+        // Jammed reader 1 reads nothing: its exclusive tag is not well-covered.
+        assert_eq!(audit.well_covered, vec![0]);
+    }
+
+    #[test]
+    fn feasible_set_audit_matches_fast_weight() {
+        let (d, c) = jamming_deployment();
+        let unread = TagSet::all_unread(3);
+        let set = [0, 2]; // dist 30 > 10 → independent
+        let audit = audit_activation(&d, &c, &set, &unread);
+        assert!(audit.is_feasible());
+        let mut w = WeightEvaluator::new(&c);
+        assert_eq!(audit.well_covered.len(), w.weight(&set, &unread));
+        assert_eq!(audit.well_covered, w.well_covered(&set, &unread));
+    }
+
+    #[test]
+    fn rrc_tags_excluded_from_well_covered() {
+        let d = Deployment::new(
+            Rect::square(40.0),
+            vec![Point::new(0.0, 0.0), Point::new(6.0, 0.0)],
+            vec![5.0, 5.0],
+            vec![4.0, 4.0],
+            vec![Point::new(3.0, 0.0), Point::new(-2.0, 0.0)],
+        );
+        let c = Coverage::build(&d);
+        let unread = TagSet::all_unread(2);
+        // dist 6 > 5 → feasible; tag 0 at x=3 is covered by both (3 ≤ 4, 3 ≤ 4).
+        let audit = audit_activation(&d, &c, &[0, 1], &unread);
+        assert!(audit.is_feasible());
+        assert_eq!(audit.rrc_tags, vec![0]);
+        assert_eq!(audit.well_covered, vec![1]);
+    }
+
+    #[test]
+    fn ttc_load_counts_multi_tag_readers() {
+        let d = Deployment::new(
+            Rect::square(20.0),
+            vec![Point::new(5.0, 5.0)],
+            vec![5.0, ],
+            vec![4.0],
+            vec![Point::new(5.0, 5.0), Point::new(6.0, 5.0), Point::new(4.0, 5.0)],
+        );
+        let c = Coverage::build(&d);
+        let unread = TagSet::all_unread(3);
+        let audit = audit_activation(&d, &c, &[0], &unread);
+        assert_eq!(audit.ttc_load, vec![(0, 3)]);
+        assert_eq!(audit.well_covered.len(), 3);
+    }
+
+    #[test]
+    fn read_tags_do_not_appear() {
+        let (d, c) = jamming_deployment();
+        let mut unread = TagSet::all_unread(3);
+        unread.mark_read(0);
+        let audit = audit_activation(&d, &c, &[0, 2], &unread);
+        assert_eq!(audit.well_covered, vec![2]);
+    }
+
+    #[test]
+    fn empty_activation() {
+        let (d, c) = jamming_deployment();
+        let unread = TagSet::all_unread(3);
+        let audit = audit_activation(&d, &c, &[], &unread);
+        assert!(audit.is_feasible());
+        assert!(audit.well_covered.is_empty());
+        assert!(audit.rrc_tags.is_empty());
+    }
+}

@@ -1,0 +1,238 @@
+//! The deployment: readers + tags in a region.
+
+use crate::reader::{Reader, ReaderId};
+use crate::tag::TagId;
+use rfid_geometry::{Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// A static multi-reader RFID deployment (paper Section III): `n` readers
+/// `V = {v_1, …, v_n}` and `m` tags at fixed positions.
+///
+/// Stored structure-of-arrays for cache-friendly bulk passes (interference
+/// graph construction, coverage tables, weight evaluation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Deployment {
+    region: Rect,
+    reader_pos: Vec<Point>,
+    interference_r: Vec<f64>,
+    interrogation_r: Vec<f64>,
+    tag_pos: Vec<Point>,
+}
+
+impl Deployment {
+    /// Assembles and validates a deployment.
+    ///
+    /// # Panics
+    /// If array lengths disagree, any radius is non-finite/negative, or any
+    /// interrogation radius exceeds its interference radius (the model
+    /// requires `r_i ≤ R_i`; the paper "modif\[ies\] some assignments to
+    /// ensure" this, which [`crate::RadiusModel`] already does).
+    pub fn new(
+        region: Rect,
+        reader_pos: Vec<Point>,
+        interference_r: Vec<f64>,
+        interrogation_r: Vec<f64>,
+        tag_pos: Vec<Point>,
+    ) -> Self {
+        assert_eq!(reader_pos.len(), interference_r.len(), "radius arrays must match readers");
+        assert_eq!(reader_pos.len(), interrogation_r.len(), "radius arrays must match readers");
+        for (i, p) in reader_pos.iter().enumerate() {
+            assert!(p.is_finite(), "reader {i} has non-finite position");
+        }
+        for p in &tag_pos {
+            assert!(p.is_finite(), "non-finite tag position");
+        }
+        for i in 0..reader_pos.len() {
+            let big = interference_r[i];
+            let small = interrogation_r[i];
+            assert!(big.is_finite() && big >= 0.0, "reader {i}: bad interference radius {big}");
+            assert!(
+                small.is_finite() && small >= 0.0 && small <= big,
+                "reader {i}: interrogation radius {small} must satisfy 0 ≤ r ≤ R = {big}"
+            );
+        }
+        Deployment { region, reader_pos, interference_r, interrogation_r, tag_pos }
+    }
+
+    /// Deployment region (informational; readers/tags may sit on its
+    /// boundary).
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// Number of readers `n`.
+    pub fn n_readers(&self) -> usize {
+        self.reader_pos.len()
+    }
+
+    /// Number of tags `m`.
+    pub fn n_tags(&self) -> usize {
+        self.tag_pos.len()
+    }
+
+    /// By-value view of reader `i`.
+    pub fn reader(&self, i: ReaderId) -> Reader {
+        Reader {
+            id: i,
+            pos: self.reader_pos[i],
+            interference_radius: self.interference_r[i],
+            interrogation_radius: self.interrogation_r[i],
+        }
+    }
+
+    /// All reader positions (parallel to ids).
+    pub fn reader_positions(&self) -> &[Point] {
+        &self.reader_pos
+    }
+
+    /// All interference radii `R_i`.
+    pub fn interference_radii(&self) -> &[f64] {
+        &self.interference_r
+    }
+
+    /// All interrogation radii `r_i`.
+    pub fn interrogation_radii(&self) -> &[f64] {
+        &self.interrogation_r
+    }
+
+    /// Position of tag `t`.
+    pub fn tag(&self, t: TagId) -> Point {
+        self.tag_pos[t]
+    }
+
+    /// All tag positions.
+    pub fn tag_positions(&self) -> &[Point] {
+        &self.tag_pos
+    }
+
+    /// Definition 2 independence: `‖v_i − v_j‖ > max(R_i, R_j)`.
+    #[inline]
+    pub fn independent(&self, i: ReaderId, j: ReaderId) -> bool {
+        let r = self.interference_r[i].max(self.interference_r[j]);
+        self.reader_pos[i].dist_sq(self.reader_pos[j]) > r * r
+    }
+
+    /// `true` iff `set` is a feasible scheduling set (pairwise independent).
+    /// O(|set|²); schedulers use the interference graph instead — this is
+    /// the ground-truth audit.
+    pub fn is_feasible(&self, set: &[ReaderId]) -> bool {
+        for (a, &i) in set.iter().enumerate() {
+            for &j in &set[a + 1..] {
+                if i == j || !self.independent(i, j) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// `true` iff reader `i`'s interrogation disk contains tag `t`.
+    #[inline]
+    pub fn covers(&self, i: ReaderId, t: TagId) -> bool {
+        let r = self.interrogation_r[i];
+        self.reader_pos[i].dist_sq(self.tag_pos[t]) <= r * r
+    }
+
+    /// Largest interference radius (0 for a reader-less deployment).
+    pub fn max_interference_radius(&self) -> f64 {
+        self.interference_r.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn line_deployment() -> Deployment {
+        // Readers at x = 0, 10, 20 with R = 6, 6, 6 and r = 3.
+        // Tags at x = 0, 2, 10, 15, 100.
+        Deployment::new(
+            Rect::square(100.0),
+            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(20.0, 0.0)],
+            vec![6.0, 6.0, 6.0],
+            vec![3.0, 3.0, 3.0],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(2.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(15.0, 0.0),
+                Point::new(100.0, 0.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn counts_and_views() {
+        let d = line_deployment();
+        assert_eq!(d.n_readers(), 3);
+        assert_eq!(d.n_tags(), 5);
+        let r1 = d.reader(1);
+        assert_eq!(r1.id, 1);
+        assert_eq!(r1.pos, Point::new(10.0, 0.0));
+        assert_eq!(r1.interference_radius, 6.0);
+    }
+
+    #[test]
+    fn independence_matrix() {
+        let d = line_deployment();
+        // dist(0,1) = 10 > 6 → independent
+        assert!(d.independent(0, 1));
+        assert!(d.independent(1, 2));
+        assert!(d.independent(0, 2));
+        assert!(d.is_feasible(&[0, 1, 2]));
+        // Shrink distances: overlapping pair.
+        let d2 = Deployment::new(
+            Rect::square(10.0),
+            vec![Point::new(0.0, 0.0), Point::new(5.0, 0.0)],
+            vec![6.0, 2.0],
+            vec![1.0, 1.0],
+            vec![],
+        );
+        assert!(!d2.independent(0, 1)); // dist 5 ≤ max(6,2)
+        assert!(!d2.is_feasible(&[0, 1]));
+        assert!(d2.is_feasible(&[0]));
+        assert!(d2.is_feasible(&[]));
+    }
+
+    #[test]
+    fn duplicate_reader_in_set_is_infeasible() {
+        let d = line_deployment();
+        assert!(!d.is_feasible(&[0, 0]));
+    }
+
+    #[test]
+    fn coverage_predicate() {
+        let d = line_deployment();
+        assert!(d.covers(0, 0)); // tag at reader
+        assert!(d.covers(0, 1)); // dist 2 ≤ 3
+        assert!(!d.covers(0, 2)); // dist 10
+        assert!(!d.covers(1, 3)); // dist 5 > 3
+        assert!(!d.covers(2, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "interrogation radius")]
+    fn interrogation_exceeding_interference_rejected() {
+        let _ = Deployment::new(
+            Rect::square(1.0),
+            vec![Point::ORIGIN],
+            vec![2.0],
+            vec![3.0],
+            vec![],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "radius arrays")]
+    fn mismatched_arrays_rejected() {
+        let _ = Deployment::new(Rect::square(1.0), vec![Point::ORIGIN], vec![], vec![], vec![]);
+    }
+
+    #[test]
+    fn empty_deployment_is_valid() {
+        let d = Deployment::new(Rect::square(1.0), vec![], vec![], vec![], vec![]);
+        assert_eq!(d.n_readers(), 0);
+        assert_eq!(d.max_interference_radius(), 0.0);
+        assert!(d.is_feasible(&[]));
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! # rfid-model
+//!
+//! Domain model of a multi-reader RFID system, following Sections II–III of
+//! the paper.
+//!
+//! A [`Deployment`] holds `n` readers (position, interference radius `R_i`,
+//! interrogation radius `r_i ≤ R_i`) and `m` passive tags (positions) in a
+//! planar region. On top of it the crate derives:
+//!
+//! * the **interference graph** (`interference` module) — edge iff one
+//!   reader lies inside the other's interference disk, i.e. the pair is
+//!   *not* independent (`‖v_i − v_j‖ > max(R_i, R_j)` fails);
+//! * the **coverage tables** (`coverage`) — which readers can interrogate
+//!   which tags;
+//! * the **weight function** `w(X)` (`weight`) — the number of unread tags
+//!   covered by *exactly one* reader of an activation `X`, with both batch
+//!   and incremental evaluation;
+//! * the **collision audit** (`collisions`) — classifies RTc/RRc/TTc events
+//!   of an arbitrary (possibly infeasible) activation, used to verify that
+//!   schedulers never violate the model;
+//! * **scenario generators** (`scenario`) — the paper's evaluation setup
+//!   (50 readers, 1200 tags, 100×100 region, Poisson radii) plus clustered
+//!   and lattice variants used by the examples.
+
+pub mod analysis;
+pub mod collisions;
+pub mod coverage;
+pub mod deployment;
+pub mod interference;
+pub mod radii;
+pub mod reader;
+pub mod scenario;
+pub mod survey;
+pub mod tag;
+pub mod weight;
+
+pub use analysis::{DeploymentStats, deployment_stats};
+pub use collisions::{ActivationAudit, audit_activation};
+pub use coverage::Coverage;
+pub use deployment::Deployment;
+pub use radii::RadiusModel;
+pub use reader::{Reader, ReaderId};
+pub use scenario::{Scenario, ScenarioKind};
+pub use survey::{SurveyError, SurveyImpact, survey_impact, surveyed_interference_graph};
+pub use tag::{TagId, TagSet};
+pub use weight::{IncrementalWeight, WeightEvaluator};

@@ -1,0 +1,135 @@
+//! Radius assignment models.
+//!
+//! The paper's evaluation "randomly assign\[s\] different interference range
+//! and interrogation range to each reader following Poisson distribution
+//! with parameter (mean) λ_R and λ_r respectively", then modifies
+//! assignments "to ensure R_i ≥ r_i". [`RadiusModel::PoissonPair`] is that
+//! model; fixed and scaled variants support the earlier works' settings
+//! (identical radii, or `r_i = βR_i` as in Section II's simplification) and
+//! the ablation benches.
+
+use rand::Rng;
+use rfid_geometry::sampling::poisson_at_least;
+use serde::{Deserialize, Serialize};
+
+/// How reader radii `(R_i, r_i)` are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RadiusModel {
+    /// Paper §VI: `R_i ~ Poisson(λ_R)`, `r_i ~ Poisson(λ_r)`, both floored
+    /// at 1 unit, and `r_i` clamped to `R_i` so interrogation never exceeds
+    /// interference.
+    PoissonPair {
+        /// Mean λ_R of the interference radii.
+        lambda_interference: f64,
+        /// Mean λ_r of the interrogation radii.
+        lambda_interrogation: f64,
+    },
+    /// Every reader identical — the "ideal model" of Zhou et al. that the
+    /// paper generalises away from.
+    Fixed {
+        /// Shared interference radius R.
+        interference: f64,
+        /// Shared interrogation radius r ≤ R.
+        interrogation: f64,
+    },
+    /// `R_i ~ Poisson(λ_R)` floored at 1 and `r_i = β·R_i` with
+    /// `0 < β < 1` — Section II's presentation convenience.
+    Scaled {
+        /// Mean λ_R of the interference radii.
+        lambda_interference: f64,
+        /// Interrogation fraction: r_i = β·R_i.
+        beta: f64,
+    },
+}
+
+impl RadiusModel {
+    /// Paper defaults used throughout the figures when the respective λ is
+    /// "fixed": `λ_R = 14`, `λ_r = 6` on the 100×100 region.
+    pub fn paper_default() -> Self {
+        RadiusModel::PoissonPair { lambda_interference: 14.0, lambda_interrogation: 6.0 }
+    }
+
+    /// Draws `(R_i, r_i)` for one reader. Guarantees `0 < r_i ≤ R_i`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (f64, f64) {
+        match *self {
+            RadiusModel::PoissonPair { lambda_interference, lambda_interrogation } => {
+                let big = poisson_at_least(rng, lambda_interference, 1) as f64;
+                let small = poisson_at_least(rng, lambda_interrogation, 1) as f64;
+                (big, small.min(big))
+            }
+            RadiusModel::Fixed { interference, interrogation } => {
+                assert!(
+                    interrogation > 0.0 && interrogation <= interference,
+                    "need 0 < interrogation ≤ interference"
+                );
+                (interference, interrogation)
+            }
+            RadiusModel::Scaled { lambda_interference, beta } => {
+                assert!(beta > 0.0 && beta < 1.0, "β must be in (0, 1)");
+                let big = poisson_at_least(rng, lambda_interference, 1) as f64;
+                (big, beta * big)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn poisson_pair_respects_ordering() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = RadiusModel::PoissonPair { lambda_interference: 5.0, lambda_interrogation: 9.0 };
+        for _ in 0..2000 {
+            let (big, small) = m.sample(&mut rng);
+            assert!(small > 0.0, "interrogation radius must be positive");
+            assert!(small <= big, "r_i must not exceed R_i");
+        }
+    }
+
+    #[test]
+    fn poisson_pair_means_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let m = RadiusModel::PoissonPair { lambda_interference: 14.0, lambda_interrogation: 6.0 };
+        let n = 5000;
+        let (mut sum_big, mut sum_small) = (0.0, 0.0);
+        for _ in 0..n {
+            let (b, s) = m.sample(&mut rng);
+            sum_big += b;
+            sum_small += s;
+        }
+        let mean_big = sum_big / n as f64;
+        let mean_small = sum_small / n as f64;
+        assert!((mean_big - 14.0).abs() < 0.5, "mean R = {mean_big}");
+        // Clamping r ≤ R barely moves the mean when λ_r ≪ λ_R.
+        assert!((mean_small - 6.0).abs() < 0.5, "mean r = {mean_small}");
+    }
+
+    #[test]
+    fn fixed_model_is_constant() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let m = RadiusModel::Fixed { interference: 10.0, interrogation: 4.0 };
+        assert_eq!(m.sample(&mut rng), (10.0, 4.0));
+        assert_eq!(m.sample(&mut rng), (10.0, 4.0));
+    }
+
+    #[test]
+    fn scaled_model_applies_beta() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let m = RadiusModel::Scaled { lambda_interference: 8.0, beta: 0.5 };
+        for _ in 0..100 {
+            let (big, small) = m.sample(&mut rng);
+            assert!((small - 0.5 * big).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "interrogation")]
+    fn fixed_model_rejects_inverted_radii() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let _ = RadiusModel::Fixed { interference: 3.0, interrogation: 4.0 }.sample(&mut rng);
+    }
+}

@@ -1,0 +1,180 @@
+//! Scenario generators — reproducible deployments.
+//!
+//! [`Scenario::paper_evaluation`] is the paper's Section VI setup: 50
+//! readers and 1200 tags uniform in a 100×100 square with Poisson radii.
+//! Clustered and lattice layouts back the examples and robustness tests.
+
+use crate::deployment::Deployment;
+use crate::radii::RadiusModel;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rfid_geometry::sampling::{clustered_points, uniform_points};
+use rfid_geometry::{Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// Spatial layout of readers and tags.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScenarioKind {
+    /// Readers and tags both uniform at random (the paper's evaluation).
+    UniformRandom,
+    /// Readers uniform, tags in Gaussian clusters (pallets at a dock).
+    ClusteredTags {
+        /// Number of Gaussian clusters.
+        clusters: usize,
+        /// Standard deviation of each cluster.
+        sigma: f64,
+    },
+    /// Readers on a ⌈√n⌉×⌈√n⌉ lattice, tags uniform (planned deployments
+    /// à la Zhou et al.).
+    LatticeReaders,
+}
+
+/// A fully parameterised, seed-reproducible scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Spatial layout of readers and tags.
+    pub kind: ScenarioKind,
+    /// Number of readers `n`.
+    pub n_readers: usize,
+    /// Number of tags `m`.
+    pub n_tags: usize,
+    /// Side length of the square deployment region.
+    pub region_side: f64,
+    /// How per-reader radii are drawn.
+    pub radius_model: RadiusModel,
+}
+
+impl Scenario {
+    /// Paper §VI: "we uniformly and randomly distribute 50 readers and 1200
+    /// tags in a square region of side-length 100 units", radii Poisson.
+    ///
+    /// ```
+    /// use rfid_model::Scenario;
+    /// let deployment = Scenario::paper_evaluation(14.0, 6.0).generate(42);
+    /// assert_eq!(deployment.n_readers(), 50);
+    /// assert_eq!(deployment.n_tags(), 1200);
+    /// // identical seed ⇒ identical deployment, on every platform
+    /// assert_eq!(deployment, Scenario::paper_evaluation(14.0, 6.0).generate(42));
+    /// ```
+    pub fn paper_evaluation(lambda_interference: f64, lambda_interrogation: f64) -> Self {
+        Scenario {
+            kind: ScenarioKind::UniformRandom,
+            n_readers: 50,
+            n_tags: 1200,
+            region_side: 100.0,
+            radius_model: RadiusModel::PoissonPair { lambda_interference, lambda_interrogation },
+        }
+    }
+
+    /// Generates the deployment for `seed`. The same `(scenario, seed)`
+    /// always yields the same deployment, across platforms (ChaCha8 RNG).
+    pub fn generate(&self, seed: u64) -> Deployment {
+        assert!(self.region_side > 0.0, "region side must be positive");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let region = Rect::square(self.region_side);
+
+        let reader_pos: Vec<Point> = match self.kind {
+            ScenarioKind::UniformRandom | ScenarioKind::ClusteredTags { .. } => {
+                uniform_points(&mut rng, self.n_readers, region)
+            }
+            ScenarioKind::LatticeReaders => {
+                let cols = (self.n_readers as f64).sqrt().ceil() as usize;
+                let rows = self.n_readers.div_ceil(cols.max(1)).max(1);
+                (0..self.n_readers)
+                    .map(|i| {
+                        let cx = (i % cols) as f64 + 0.5;
+                        let cy = (i / cols) as f64 + 0.5;
+                        Point::new(
+                            cx * self.region_side / cols as f64,
+                            cy * self.region_side / rows as f64,
+                        )
+                    })
+                    .collect()
+            }
+        };
+
+        let mut interference = Vec::with_capacity(self.n_readers);
+        let mut interrogation = Vec::with_capacity(self.n_readers);
+        for _ in 0..self.n_readers {
+            let (big, small) = self.radius_model.sample(&mut rng);
+            interference.push(big);
+            interrogation.push(small);
+        }
+
+        let tag_pos = match self.kind {
+            ScenarioKind::UniformRandom | ScenarioKind::LatticeReaders => {
+                uniform_points(&mut rng, self.n_tags, region)
+            }
+            ScenarioKind::ClusteredTags { clusters, sigma } => {
+                let centers = uniform_points(&mut rng, clusters.max(1), region);
+                clustered_points(&mut rng, self.n_tags, region, &centers, sigma)
+            }
+        };
+
+        Deployment::new(region, reader_pos, interference, interrogation, tag_pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenario_shape() {
+        let d = Scenario::paper_evaluation(14.0, 6.0).generate(1);
+        assert_eq!(d.n_readers(), 50);
+        assert_eq!(d.n_tags(), 1200);
+        assert_eq!(d.region(), Rect::square(100.0));
+        for i in 0..d.n_readers() {
+            let r = d.reader(i);
+            assert!(r.interrogation_radius >= 1.0);
+            assert!(r.interrogation_radius <= r.interference_radius);
+            assert!(d.region().contains(r.pos));
+        }
+        for t in 0..d.n_tags() {
+            assert!(d.region().contains(d.tag(t)));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = Scenario::paper_evaluation(14.0, 6.0);
+        assert_eq!(s.generate(77), s.generate(77));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let s = Scenario::paper_evaluation(14.0, 6.0);
+        assert_ne!(s.generate(1), s.generate(2));
+    }
+
+    #[test]
+    fn lattice_positions_are_regular() {
+        let s = Scenario {
+            kind: ScenarioKind::LatticeReaders,
+            n_readers: 9,
+            n_tags: 10,
+            region_side: 30.0,
+            radius_model: RadiusModel::Fixed { interference: 5.0, interrogation: 2.0 },
+        };
+        let d = s.generate(0);
+        assert_eq!(d.reader(0).pos, Point::new(5.0, 5.0));
+        assert_eq!(d.reader(4).pos, Point::new(15.0, 15.0));
+        assert_eq!(d.reader(8).pos, Point::new(25.0, 25.0));
+    }
+
+    #[test]
+    fn clustered_tags_stay_in_region() {
+        let s = Scenario {
+            kind: ScenarioKind::ClusteredTags { clusters: 4, sigma: 5.0 },
+            n_readers: 10,
+            n_tags: 500,
+            region_side: 100.0,
+            radius_model: RadiusModel::paper_default(),
+        };
+        let d = s.generate(3);
+        for t in 0..d.n_tags() {
+            assert!(d.region().contains(d.tag(t)));
+        }
+    }
+}

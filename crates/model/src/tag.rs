@@ -1,0 +1,108 @@
+//! Tag identity and the unread-tag set.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a tag within its [`Deployment`](crate::Deployment), zero-based.
+pub type TagId = usize;
+
+/// A dense set of tags tracking which are still *unread*.
+///
+/// The paper's weight `w(X)` and the covering-schedule loop both operate on
+/// the set of unread tags; a served tag "leaves the system". `TagSet` is a
+/// plain bit-set with a cached count so `w(X)` evaluation and the MCS
+/// termination test are O(1) per membership query.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TagSet {
+    unread: Vec<bool>,
+    remaining: usize,
+}
+
+impl TagSet {
+    /// All `m` tags unread.
+    pub fn all_unread(m: usize) -> Self {
+        TagSet { unread: vec![true; m], remaining: m }
+    }
+
+    /// Total number of tags (read or not).
+    pub fn len(&self) -> usize {
+        self.unread.len()
+    }
+
+    /// `true` iff the deployment has no tags at all.
+    pub fn is_empty(&self) -> bool {
+        self.unread.is_empty()
+    }
+
+    /// Number of tags still unread.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// `true` iff `tag` has not been served yet.
+    #[inline]
+    pub fn is_unread(&self, tag: TagId) -> bool {
+        self.unread[tag]
+    }
+
+    /// Marks `tag` as served; idempotent.
+    pub fn mark_read(&mut self, tag: TagId) {
+        if std::mem::replace(&mut self.unread[tag], false) {
+            self.remaining -= 1;
+        }
+    }
+
+    /// Marks many tags served.
+    pub fn mark_all_read(&mut self, tags: &[TagId]) {
+        for &t in tags {
+            self.mark_read(t);
+        }
+    }
+
+    /// Iterator over unread tag ids, ascending.
+    pub fn iter_unread(&self) -> impl Iterator<Item = TagId> + '_ {
+        self.unread
+            .iter()
+            .enumerate()
+            .filter(|(_, &u)| u)
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_set_is_all_unread() {
+        let s = TagSet::all_unread(5);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.remaining(), 5);
+        assert!((0..5).all(|t| s.is_unread(t)));
+    }
+
+    #[test]
+    fn marking_is_idempotent() {
+        let mut s = TagSet::all_unread(3);
+        s.mark_read(1);
+        s.mark_read(1);
+        assert_eq!(s.remaining(), 2);
+        assert!(!s.is_unread(1));
+        assert!(s.is_unread(0));
+    }
+
+    #[test]
+    fn bulk_marking_and_iteration() {
+        let mut s = TagSet::all_unread(6);
+        s.mark_all_read(&[0, 2, 4, 4]);
+        assert_eq!(s.remaining(), 3);
+        assert_eq!(s.iter_unread().collect::<Vec<_>>(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = TagSet::all_unread(0);
+        assert!(s.is_empty());
+        assert_eq!(s.remaining(), 0);
+        assert_eq!(s.iter_unread().count(), 0);
+    }
+}

@@ -1,0 +1,402 @@
+//! The weight function `w(X)` (paper Definition 3) — batch and incremental.
+//!
+//! For a *feasible* scheduling set `X`, `w(X)` is the number of unread tags
+//! located in the interrogation region of **exactly one** reader of `X`:
+//! tags in overlapping regions are excluded (RRc), and feasibility already
+//! rules out RTc. The weight is famously *not additive* —
+//! `w(X₁ ∪ X₂) ≤ w(X₁) + w(X₂)` — which is exactly what makes the paper's
+//! MWFS search harder than classic maximum-weight independent set.
+//!
+//! [`WeightEvaluator`] scores a whole set in `O(Σ_{v∈X} |tags(v)|)` with a
+//! stamped scratch array (no per-call allocation); [`IncrementalWeight`]
+//! maintains an active set under add/remove/peek in `O(|tags(v)|)` per
+//! operation, which is what the Greedy Hill-Climbing baseline and the local
+//! searches in Algorithms 1–3 iterate on.
+
+use crate::coverage::Coverage;
+use crate::reader::ReaderId;
+use crate::tag::{TagId, TagSet};
+
+/// Batch evaluator for `w(X)` over a fixed coverage table.
+///
+/// Reusable: allocate once per (deployment, thread), call
+/// [`weight`](Self::weight) many times.
+///
+/// ```
+/// use rfid_model::{Coverage, Scenario, TagSet, WeightEvaluator};
+/// let d = Scenario::paper_evaluation(14.0, 6.0).generate(1);
+/// let coverage = Coverage::build(&d);
+/// let unread = TagSet::all_unread(d.n_tags());
+/// let mut w = WeightEvaluator::new(&coverage);
+/// // the weight is sub-additive: w(A ∪ B) ≤ w(A) + w(B)
+/// let (a, b): (Vec<usize>, Vec<usize>) = ((0..25).collect(), (25..50).collect());
+/// let all: Vec<usize> = (0..50).collect();
+/// assert!(w.weight(&all, &unread) <= w.weight(&a, &unread) + w.weight(&b, &unread));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightEvaluator<'a> {
+    coverage: &'a Coverage,
+    /// Per-tag cover count for the set being evaluated, valid where
+    /// `stamp_of[t] == stamp`.
+    counts: Vec<u32>,
+    stamp_of: Vec<u64>,
+    stamp: u64,
+}
+
+impl<'a> WeightEvaluator<'a> {
+    /// Creates an evaluator for one coverage table.
+    pub fn new(coverage: &'a Coverage) -> Self {
+        WeightEvaluator {
+            coverage,
+            counts: vec![0; coverage.n_tags()],
+            stamp_of: vec![0; coverage.n_tags()],
+            stamp: 0,
+        }
+    }
+
+    #[inline]
+    fn bump(&mut self, t: usize) -> u32 {
+        if self.stamp_of[t] != self.stamp {
+            self.stamp_of[t] = self.stamp;
+            self.counts[t] = 1;
+        } else {
+            self.counts[t] += 1;
+        }
+        self.counts[t]
+    }
+
+    /// `w(X)` for a feasible set `X` against the given unread set.
+    ///
+    /// The caller is responsible for `X` being feasible (pairwise
+    /// independent) — for infeasible sets this still returns the
+    /// exactly-once-covered count, but that number is not Definition 3's
+    /// weight (see `crate::collisions` for the general Definition 1 audit).
+    pub fn weight(&mut self, set: &[ReaderId], unread: &TagSet) -> usize {
+        self.stamp += 1;
+        let mut exactly_once = 0usize;
+        for &v in set {
+            for &t in self.coverage.tags_of(v) {
+                let t = t as usize;
+                if !unread.is_unread(t) {
+                    continue;
+                }
+                match self.bump(t) {
+                    1 => exactly_once += 1,
+                    2 => exactly_once -= 1,
+                    _ => {}
+                }
+            }
+        }
+        exactly_once
+    }
+
+    /// The well-covered tags of a feasible set: unread tags covered by
+    /// exactly one reader of `X`. Sorted ascending.
+    pub fn well_covered(&mut self, set: &[ReaderId], unread: &TagSet) -> Vec<TagId> {
+        self.stamp += 1;
+        let mut candidates: Vec<TagId> = Vec::new();
+        for &v in set {
+            for &t in self.coverage.tags_of(v) {
+                let t = t as usize;
+                if !unread.is_unread(t) {
+                    continue;
+                }
+                if self.bump(t) == 1 {
+                    candidates.push(t);
+                }
+            }
+        }
+        candidates.retain(|&t| self.counts[t] == 1 && self.stamp_of[t] == self.stamp);
+        candidates.sort_unstable();
+        candidates
+    }
+
+    /// `w({v})`: every unread tag in `v`'s interrogation region.
+    pub fn singleton_weight(&mut self, v: ReaderId, unread: &TagSet) -> usize {
+        self.coverage
+            .tags_of(v)
+            .iter()
+            .filter(|&&t| unread.is_unread(t as usize))
+            .count()
+    }
+
+    /// Per-reader singleton weights (the initial node weights of
+    /// Algorithms 2/3 and Colorwave's tie-breakers).
+    pub fn all_singleton_weights(&mut self, unread: &TagSet) -> Vec<usize> {
+        (0..self.coverage.n_readers())
+            .map(|v| self.singleton_weight(v, unread))
+            .collect()
+    }
+}
+
+/// Incrementally maintained `w(active)` under reader add/remove.
+///
+/// The unread set is fixed at construction ([`IncrementalWeight::new`]) or
+/// [`reset`](Self::reset); mutating the `TagSet` mid-stream invalidates the
+/// cached weight.
+#[derive(Debug, Clone)]
+pub struct IncrementalWeight<'a> {
+    coverage: &'a Coverage,
+    unread_snapshot: Vec<bool>,
+    counts: Vec<u32>,
+    active: Vec<bool>,
+    active_list: Vec<ReaderId>,
+    weight: usize,
+}
+
+impl<'a> IncrementalWeight<'a> {
+    /// Starts with an empty active set.
+    pub fn new(coverage: &'a Coverage, unread: &TagSet) -> Self {
+        IncrementalWeight {
+            coverage,
+            unread_snapshot: (0..coverage.n_tags()).map(|t| unread.is_unread(t)).collect(),
+            counts: vec![0; coverage.n_tags()],
+            active: vec![false; coverage.n_readers()],
+            active_list: Vec::new(),
+            weight: 0,
+        }
+    }
+
+    /// Clears the active set and re-snapshots the unread tags.
+    pub fn reset(&mut self, unread: &TagSet) {
+        for t in 0..self.coverage.n_tags() {
+            self.unread_snapshot[t] = unread.is_unread(t);
+            self.counts[t] = 0;
+        }
+        self.active.iter_mut().for_each(|a| *a = false);
+        self.active_list.clear();
+        self.weight = 0;
+    }
+
+    /// Current `w(active)`.
+    #[inline]
+    pub fn weight(&self) -> usize {
+        self.weight
+    }
+
+    /// Current active readers in insertion order.
+    pub fn active(&self) -> &[ReaderId] {
+        &self.active_list
+    }
+
+    /// `true` iff `v` is active.
+    pub fn is_active(&self, v: ReaderId) -> bool {
+        self.active[v]
+    }
+
+    /// Weight change if `v` were added, without committing.
+    pub fn delta_if_added(&self, v: ReaderId) -> isize {
+        debug_assert!(!self.active[v], "delta_if_added on active reader {v}");
+        let mut delta = 0isize;
+        for &t in self.coverage.tags_of(v) {
+            let t = t as usize;
+            if !self.unread_snapshot[t] {
+                continue;
+            }
+            match self.counts[t] {
+                0 => delta += 1,
+                1 => delta -= 1,
+                _ => {}
+            }
+        }
+        delta
+    }
+
+    /// Adds `v` to the active set; returns the weight delta.
+    pub fn add(&mut self, v: ReaderId) -> isize {
+        assert!(!self.active[v], "reader {v} already active");
+        let before = self.weight as isize;
+        for &t in self.coverage.tags_of(v) {
+            let t = t as usize;
+            if !self.unread_snapshot[t] {
+                continue;
+            }
+            self.counts[t] += 1;
+            match self.counts[t] {
+                1 => self.weight += 1,
+                2 => self.weight -= 1,
+                _ => {}
+            }
+        }
+        self.active[v] = true;
+        self.active_list.push(v);
+        self.weight as isize - before
+    }
+
+    /// Removes `v`; returns the weight delta.
+    pub fn remove(&mut self, v: ReaderId) -> isize {
+        assert!(self.active[v], "reader {v} not active");
+        let before = self.weight as isize;
+        for &t in self.coverage.tags_of(v) {
+            let t = t as usize;
+            if !self.unread_snapshot[t] {
+                continue;
+            }
+            self.counts[t] -= 1;
+            match self.counts[t] {
+                0 => self.weight -= 1,
+                1 => self.weight += 1,
+                _ => {}
+            }
+        }
+        self.active[v] = false;
+        self.active_list.retain(|&x| x != v);
+        self.weight as isize - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::Deployment;
+    use rfid_geometry::{Point, Rect};
+
+    /// Figure-2 style deployment: three independent readers A, B, C where
+    /// activating all three loses the overlap tags but {A, C} keeps them.
+    fn figure2() -> (Deployment, Coverage) {
+        // A at 0, B at 10, C at 20, interrogation radius 6 (A,C) and 7 (B).
+        // Tags: 1 @ -3 (A only), 2 @ 5 (A+B), 3 @ 15 (B+C), 4 @ 23 (C only),
+        // 5 @ 10 (B only).
+        let d = Deployment::new(
+            Rect::new(-10.0, -10.0, 40.0, 10.0),
+            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(20.0, 0.0)],
+            vec![9.0, 9.0, 9.0],
+            vec![6.0, 7.0, 6.0],
+            vec![
+                Point::new(-3.0, 0.0),
+                Point::new(5.0, 0.0),
+                Point::new(15.0, 0.0),
+                Point::new(23.0, 0.0),
+                Point::new(10.0, 0.0),
+            ],
+        );
+        let c = Coverage::build(&d);
+        (d, c)
+    }
+
+    #[test]
+    fn figure2_weights_match_paper_example() {
+        let (_, c) = figure2();
+        let unread = TagSet::all_unread(5);
+        let mut w = WeightEvaluator::new(&c);
+        // All three active: tags 2 and 3 sit in overlaps → w = 3.
+        assert_eq!(w.weight(&[0, 1, 2], &unread), 3);
+        // Only A and C: every tag they cover is exclusive → w = 4.
+        assert_eq!(w.weight(&[0, 2], &unread), 4);
+        // Scheduling fewer readers reads more tags — the paper's Figure 2
+        // moral.
+        assert!(w.weight(&[0, 2], &unread) > w.weight(&[0, 1, 2], &unread));
+    }
+
+    #[test]
+    fn well_covered_lists_exclusive_tags() {
+        let (_, c) = figure2();
+        let unread = TagSet::all_unread(5);
+        let mut w = WeightEvaluator::new(&c);
+        assert_eq!(w.well_covered(&[0, 1, 2], &unread), vec![0, 3, 4]);
+        assert_eq!(w.well_covered(&[0, 2], &unread), vec![0, 1, 2, 3]);
+        assert_eq!(w.well_covered(&[], &unread), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn read_tags_stop_counting() {
+        let (_, c) = figure2();
+        let mut unread = TagSet::all_unread(5);
+        let mut w = WeightEvaluator::new(&c);
+        unread.mark_all_read(&[0, 1]);
+        assert_eq!(w.weight(&[0, 2], &unread), 2); // tags 2, 3 remain
+        assert_eq!(w.singleton_weight(0, &unread), 0); // A covers only tags 0, 1 — both read
+        assert_eq!(w.singleton_weight(1, &unread), 2); // B covers 1 (read), 2, 4
+    }
+
+    #[test]
+    fn singleton_weight_counts_all_covered_unread() {
+        let (_, c) = figure2();
+        let unread = TagSet::all_unread(5);
+        let mut w = WeightEvaluator::new(&c);
+        assert_eq!(w.singleton_weight(0, &unread), 2); // tags 0, 1
+        assert_eq!(w.singleton_weight(1, &unread), 3); // tags 1, 2, 4
+        assert_eq!(w.singleton_weight(2, &unread), 2); // tags 2, 3
+        assert_eq!(w.all_singleton_weights(&unread), vec![2, 3, 2]);
+    }
+
+    #[test]
+    fn evaluator_is_reusable_across_calls() {
+        let (_, c) = figure2();
+        let unread = TagSet::all_unread(5);
+        let mut w = WeightEvaluator::new(&c);
+        for _ in 0..10 {
+            assert_eq!(w.weight(&[0, 1, 2], &unread), 3);
+            assert_eq!(w.weight(&[1], &unread), 3);
+        }
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let (_, c) = figure2();
+        let unread = TagSet::all_unread(5);
+        let mut batch = WeightEvaluator::new(&c);
+        let mut inc = IncrementalWeight::new(&c, &unread);
+        assert_eq!(inc.weight(), 0);
+        inc.add(0);
+        assert_eq!(inc.weight(), batch.weight(&[0], &unread));
+        inc.add(1);
+        assert_eq!(inc.weight(), batch.weight(&[0, 1], &unread));
+        inc.add(2);
+        assert_eq!(inc.weight(), batch.weight(&[0, 1, 2], &unread));
+        inc.remove(1);
+        assert_eq!(inc.weight(), batch.weight(&[0, 2], &unread));
+        assert_eq!(inc.active(), &[0, 2]);
+    }
+
+    #[test]
+    fn peek_equals_commit_delta() {
+        let (_, c) = figure2();
+        let unread = TagSet::all_unread(5);
+        let mut inc = IncrementalWeight::new(&c, &unread);
+        inc.add(0);
+        let peek = inc.delta_if_added(1);
+        let actual = inc.add(1);
+        assert_eq!(peek, actual);
+        // Adding B next to A costs the overlap tag: w {0} = 2 → w {0,1} = 3-?
+        // A covers {0,1}; B covers {1,2,4}; overlap tag 1 → w = 1 + 2 = 3.
+        assert_eq!(inc.weight(), 3);
+    }
+
+    #[test]
+    fn add_remove_roundtrip_restores_weight() {
+        let (_, c) = figure2();
+        let unread = TagSet::all_unread(5);
+        let mut inc = IncrementalWeight::new(&c, &unread);
+        inc.add(0);
+        inc.add(2);
+        let w = inc.weight();
+        inc.add(1);
+        inc.remove(1);
+        assert_eq!(inc.weight(), w);
+        assert_eq!(inc.active(), &[0, 2]);
+    }
+
+    #[test]
+    fn reset_resnapshots_unread() {
+        let (_, c) = figure2();
+        let mut unread = TagSet::all_unread(5);
+        let mut inc = IncrementalWeight::new(&c, &unread);
+        inc.add(0);
+        assert_eq!(inc.weight(), 2);
+        unread.mark_read(0);
+        inc.reset(&unread);
+        inc.add(0);
+        assert_eq!(inc.weight(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already active")]
+    fn double_add_panics() {
+        let (_, c) = figure2();
+        let unread = TagSet::all_unread(5);
+        let mut inc = IncrementalWeight::new(&c, &unread);
+        inc.add(0);
+        inc.add(0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Property-based tests for the RFID domain model.
+
+use proptest::prelude::*;
+use rfid_geometry::{Point, Rect};
+use rfid_model::interference::{interference_graph, interference_graph_naive};
+use rfid_model::{
+    Coverage, Deployment, RadiusModel, Scenario, ScenarioKind, TagSet, WeightEvaluator,
+    audit_activation,
+};
+
+/// Arbitrary valid deployment (readers + tags in a 100×100 region).
+fn arb_deployment() -> impl Strategy<Value = Deployment> {
+    let reader = (0.0..100.0f64, 0.0..100.0f64, 1.0..25.0f64, 0.05..1.0f64);
+    let tag = (0.0..100.0f64, 0.0..100.0f64);
+    (
+        proptest::collection::vec(reader, 1..25),
+        proptest::collection::vec(tag, 0..120),
+    )
+        .prop_map(|(readers, tags)| {
+            let mut pos = Vec::new();
+            let mut big = Vec::new();
+            let mut small = Vec::new();
+            for (x, y, interference, frac) in readers {
+                pos.push(Point::new(x, y));
+                big.push(interference);
+                small.push(interference * frac);
+            }
+            let tag_pos = tags.into_iter().map(|(x, y)| Point::new(x, y)).collect();
+            Deployment::new(Rect::square(100.0), pos, big, small, tag_pos)
+        })
+}
+
+fn arb_subset(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..n, 0..n.min(12)).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn interference_graph_fast_equals_naive(d in arb_deployment()) {
+        prop_assert_eq!(interference_graph(&d), interference_graph_naive(&d));
+    }
+
+    #[test]
+    fn interference_edges_iff_not_independent(d in arb_deployment()) {
+        let g = interference_graph(&d);
+        for i in 0..d.n_readers() {
+            for j in (i + 1)..d.n_readers() {
+                prop_assert_eq!(g.has_edge(i, j), !d.independent(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_is_consistent_both_ways(d in arb_deployment()) {
+        let c = Coverage::build(&d);
+        for t in 0..d.n_tags() {
+            for &i in c.readers_of(t) {
+                prop_assert!(d.covers(i as usize, t));
+                prop_assert!(c.tags_of(i as usize).contains(&(t as u32)));
+            }
+        }
+        for i in 0..d.n_readers() {
+            for &t in c.tags_of(i) {
+                prop_assert!(d.covers(i, t as usize));
+            }
+        }
+    }
+
+    #[test]
+    fn weight_bounds(d in arb_deployment(), seed in 0u64..100) {
+        let c = Coverage::build(&d);
+        let unread = TagSet::all_unread(d.n_tags());
+        let mut w = WeightEvaluator::new(&c);
+        let set: Vec<usize> = (0..d.n_readers()).filter(|v| (v * 7 + seed as usize) % 3 == 0).collect();
+        let weight = w.weight(&set, &unread);
+        // bounded by total tags and by sum of singleton weights
+        prop_assert!(weight <= d.n_tags());
+        let singleton_sum: usize = set.iter().map(|&v| w.singleton_weight(v, &unread)).sum();
+        prop_assert!(weight <= singleton_sum);
+        // singleton weight equals tag list length on a fresh set
+        for &v in &set {
+            prop_assert_eq!(w.singleton_weight(v, &unread), c.tags_of(v).len());
+        }
+    }
+
+    #[test]
+    fn incremental_matches_batch_on_random_walks(
+        d in arb_deployment(),
+        ops in proptest::collection::vec((0usize..25, proptest::bool::ANY), 1..40),
+    ) {
+        let c = Coverage::build(&d);
+        let unread = TagSet::all_unread(d.n_tags());
+        let mut inc = rfid_model::IncrementalWeight::new(&c, &unread);
+        let mut batch = WeightEvaluator::new(&c);
+        let mut active: Vec<usize> = Vec::new();
+        for (vr, add) in ops {
+            let v = vr % d.n_readers();
+            if add && !inc.is_active(v) {
+                inc.add(v);
+                active.push(v);
+            } else if !add && inc.is_active(v) {
+                inc.remove(v);
+                active.retain(|&x| x != v);
+            }
+            prop_assert_eq!(inc.weight(), batch.weight(&active, &unread));
+        }
+    }
+
+    #[test]
+    fn audit_agrees_with_fast_path_on_feasible_sets(d in arb_deployment(), pick in arb_subset(25)) {
+        let set: Vec<usize> = pick.into_iter().filter(|&v| v < d.n_readers()).collect();
+        if !d.is_feasible(&set) {
+            return Ok(());
+        }
+        let c = Coverage::build(&d);
+        let unread = TagSet::all_unread(d.n_tags());
+        let audit = audit_activation(&d, &c, &set, &unread);
+        prop_assert!(audit.is_feasible());
+        let mut w = WeightEvaluator::new(&c);
+        prop_assert_eq!(audit.well_covered, w.well_covered(&set, &unread));
+    }
+
+    #[test]
+    fn audit_well_covered_never_exceeds_fast_count(d in arb_deployment(), pick in arb_subset(25)) {
+        // For *infeasible* sets jamming can only reduce the well-covered
+        // tags below the exactly-once-covered count.
+        let set: Vec<usize> = pick.into_iter().filter(|&v| v < d.n_readers()).collect();
+        let c = Coverage::build(&d);
+        let unread = TagSet::all_unread(d.n_tags());
+        let audit = audit_activation(&d, &c, &set, &unread);
+        let mut w = WeightEvaluator::new(&c);
+        prop_assert!(audit.well_covered.len() <= w.weight(&set, &unread));
+    }
+
+    #[test]
+    fn scenarios_generate_valid_deployments(
+        n_readers in 1usize..40,
+        n_tags in 0usize..200,
+        lambda_big in 1.0..25.0f64,
+        lambda_small in 1.0..25.0f64,
+        seed in 0u64..50,
+    ) {
+        let d = Scenario {
+            kind: ScenarioKind::UniformRandom,
+            n_readers,
+            n_tags,
+            region_side: 100.0,
+            radius_model: RadiusModel::PoissonPair {
+                lambda_interference: lambda_big,
+                lambda_interrogation: lambda_small,
+            },
+        }
+        .generate(seed);
+        prop_assert_eq!(d.n_readers(), n_readers);
+        prop_assert_eq!(d.n_tags(), n_tags);
+        for i in 0..n_readers {
+            let r = d.reader(i);
+            prop_assert!(r.interrogation_radius >= 1.0);
+            prop_assert!(r.interrogation_radius <= r.interference_radius);
+        }
+    }
+
+    #[test]
+    fn tagset_bookkeeping(m in 0usize..200, reads in proptest::collection::vec(0usize..200, 0..300)) {
+        let mut s = TagSet::all_unread(m);
+        let mut reference = std::collections::BTreeSet::new();
+        for t in reads {
+            if t < m {
+                s.mark_read(t);
+                reference.insert(t);
+            }
+        }
+        prop_assert_eq!(s.remaining(), m - reference.len());
+        let unread: Vec<usize> = s.iter_unread().collect();
+        prop_assert!(unread.iter().all(|t| !reference.contains(t)));
+        prop_assert_eq!(unread.len() + reference.len(), m);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The paper's growth-bounded premise, verified empirically: on disk
+    /// interference graphs the ball independence number grows at most
+    /// quadratically in the radius (unit-disk-style packing), which is
+    /// what Theorems 3/5 need.
+    #[test]
+    fn interference_graphs_are_growth_bounded(seed in 0u64..60) {
+        let d = Scenario {
+            kind: ScenarioKind::UniformRandom,
+            n_readers: 35,
+            n_tags: 0,
+            region_side: 100.0,
+            radius_model: RadiusModel::PoissonPair {
+                lambda_interference: 16.0,
+                lambda_interrogation: 6.0,
+            },
+        }
+        .generate(seed);
+        let g = interference_graph(&d);
+        let f = rfid_graph::growth_function(&g, 3);
+        for (r, &fr) in f.iter().enumerate() {
+            // Radii within a Poisson class differ by small constant factors;
+            // generous packing constant 12 per (r+1)² captures that.
+            let bound = 12 * (r + 1) * (r + 1);
+            prop_assert!(fr <= bound, "f({r}) = {fr} > {bound}");
+        }
+        // monotone in r
+        prop_assert!(f.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

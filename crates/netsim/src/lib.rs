@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! # rfid-netsim
+//!
+//! Synchronous message-passing network simulator — the substrate Algorithm 3
+//! (distributed scheduling without location information) executes on.
+//!
+//! The paper's distributed algorithm is round-based: readers exchange
+//! messages with their *interference-graph neighbours* (collecting
+//! `(2c+2)`-hop neighbourhood information, announcing `RESULT(Γ_r̄)` within a
+//! bounded number of hops, recolouring). This crate models exactly that:
+//!
+//! * a fixed topology ([`rfid_graph::Csr`]) — one node per reader;
+//! * lock-step rounds: every node consumes its inbox, updates state and
+//!   emits messages to direct neighbours, which arrive next round;
+//! * deterministic delivery (nodes stepped in id order, inboxes sorted);
+//! * message/byte accounting ([`NetStats`]) so the experiment harness can
+//!   report communication cost alongside schedule quality.
+//!
+//! Multi-hop primitives (flooding with TTL) are provided as reusable
+//! payload-agnostic helpers; protocol logic itself lives with its algorithm
+//! in `rfid-core::distributed`.
+
+pub mod message;
+pub mod network;
+pub mod node;
+pub mod stats;
+
+pub use message::{Envelope, Payload};
+pub use network::Network;
+pub use node::{Node, Outbox};
+pub use stats::NetStats;

@@ -1,0 +1,64 @@
+//! Message envelopes and payload sizing.
+
+/// A payload that knows its approximate wire size, so [`NetStats`](crate::NetStats)
+/// (crate::NetStats) can report communication volume in bytes rather than
+/// just message counts.
+///
+/// The default implementation charges the in-memory size of the value; for
+/// payloads holding collections, override with the serialized size (the
+/// distributed scheduler counts one `u32` per carried reader/tag id).
+pub trait Payload: Clone {
+    /// Approximate size of this payload on the wire, in bytes.
+    fn size_bytes(&self) -> usize {
+        std::mem::size_of_val(self)
+    }
+}
+
+impl Payload for () {}
+impl Payload for u32 {}
+impl Payload for u64 {}
+impl Payload for (u32, u32) {}
+impl Payload for Vec<u32> {
+    fn size_bytes(&self) -> usize {
+        4 * self.len()
+    }
+}
+impl Payload for String {
+    fn size_bytes(&self) -> usize {
+        self.len()
+    }
+}
+
+/// A delivered message: who sent it, who receives it, and the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sending node id.
+    pub from: usize,
+    /// Receiving node id.
+    pub to: usize,
+    /// The payload.
+    pub msg: M,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sizing_charges_memory_size() {
+        assert_eq!(7u32.size_bytes(), 4);
+        assert_eq!(7u64.size_bytes(), 8);
+        assert_eq!(().size_bytes(), 0);
+    }
+
+    #[test]
+    fn vec_sizing_charges_elements() {
+        assert_eq!(vec![1u32, 2, 3].size_bytes(), 12);
+        assert_eq!(Vec::<u32>::new().size_bytes(), 0);
+    }
+
+    #[test]
+    fn string_sizing_charges_bytes() {
+        assert_eq!("hello".to_string().size_bytes(), 5);
+    }
+}

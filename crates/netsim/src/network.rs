@@ -1,0 +1,391 @@
+//! The synchronous network executor.
+
+use crate::message::{Envelope, Payload};
+use crate::node::{Node, Outbox};
+use crate::stats::NetStats;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rfid_graph::Csr;
+
+/// A lock-step network of homogeneous nodes over a fixed topology.
+pub struct Network<N: Node> {
+    topology: Csr,
+    nodes: Vec<N>,
+    /// Messages in flight, each with its delivery round (next round by
+    /// default; later under the delay model).
+    in_flight: Vec<(u64, Envelope<N::Msg>)>,
+    stats: NetStats,
+    /// Optional unreliable-link model: each message is independently
+    /// dropped at delivery time with this probability.
+    loss: Option<(f64, StdRng)>,
+    /// Optional asynchrony model: each message is delayed by an extra
+    /// uniform 0..=max rounds.
+    delay: Option<(u64, StdRng)>,
+}
+
+impl<N: Node> Network<N> {
+    /// Builds a network; `nodes[i]` runs on topology node `i`.
+    pub fn new(topology: Csr, nodes: Vec<N>) -> Self {
+        assert_eq!(topology.n(), nodes.len(), "one node per topology vertex");
+        Network {
+            topology,
+            nodes,
+            in_flight: Vec::new(),
+            stats: NetStats::default(),
+            loss: None,
+            delay: None,
+        }
+    }
+
+    /// Enables the unreliable-link model: every message is dropped
+    /// independently with probability `p` (seeded — reproducible). Dropped
+    /// messages still count in [`NetStats::messages`] (the sender paid for
+    /// them) and are tallied in [`NetStats::dropped`].
+    pub fn with_loss(mut self, p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0, 1]");
+        self.loss = Some((p, StdRng::seed_from_u64(seed)));
+        self
+    }
+
+    /// Enables bounded asynchrony: each message is independently delayed
+    /// by an extra `0..=max_extra` rounds beyond the synchronous one
+    /// (seeded — reproducible). `max_extra = 0` is the synchronous model.
+    pub fn with_delay(mut self, max_extra: u64, seed: u64) -> Self {
+        self.delay = Some((max_extra, StdRng::seed_from_u64(seed)));
+        self
+    }
+
+    /// Immutable access to the node states (for result extraction).
+    pub fn nodes(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// Consumes the network, returning node states and accumulated stats.
+    pub fn into_parts(self) -> (Vec<N>, NetStats) {
+        (self.nodes, self.stats)
+    }
+
+    /// Accumulated communication statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// `true` iff every node is done and no messages are in flight.
+    pub fn is_quiescent(&self) -> bool {
+        self.in_flight.is_empty() && self.nodes.iter().all(|n| n.is_done())
+    }
+
+    /// Executes one synchronous round: deliver in-flight messages, step all
+    /// nodes in id order, collect their outboxes.
+    pub fn run_round(&mut self) {
+        let round = self.stats.rounds;
+        // Partition in-flight messages into per-node inboxes, sorted by
+        // sender for determinism. The loss model drops at delivery.
+        let mut inboxes: Vec<Vec<Envelope<N::Msg>>> = vec![Vec::new(); self.nodes.len()];
+        let mut still_flying = Vec::new();
+        for (due, env) in self.in_flight.drain(..) {
+            if due > round {
+                still_flying.push((due, env));
+                continue;
+            }
+            if let Some((p, rng)) = &mut self.loss {
+                if rng.random::<f64>() < *p {
+                    self.stats.dropped += 1;
+                    continue;
+                }
+            }
+            inboxes[env.to].push(env);
+        }
+        for ib in &mut inboxes {
+            ib.sort_by_key(|e| e.from);
+        }
+        let mut next_flight = Vec::new();
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let neighbors: Vec<usize> =
+                self.topology.neighbors(i).iter().map(|&t| t as usize).collect();
+            let mut outbox = Outbox::new(i, neighbors);
+            node.step(round, &inboxes[i], &mut outbox);
+            let sent = outbox.take();
+            for env in sent {
+                self.stats.messages += 1;
+                self.stats.bytes += env.msg.size_bytes() as u64;
+                let extra = match &mut self.delay {
+                    Some((max, rng)) if *max > 0 => rng.random_range(0..=*max),
+                    _ => 0,
+                };
+                next_flight.push((round + 1 + extra, env));
+            }
+        }
+        self.in_flight = next_flight;
+        self.in_flight.extend(still_flying);
+        self.stats.rounds += 1;
+    }
+
+    /// Runs rounds until quiescence or `max_rounds`, returning the number of
+    /// rounds executed in this call.
+    pub fn run_until_quiescent(&mut self, max_rounds: u64) -> u64 {
+        let start = self.stats.rounds;
+        while !self.is_quiescent() && self.stats.rounds - start < max_rounds {
+            self.run_round();
+        }
+        self.stats.rounds - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Each node floods the maximum id it has heard of; classic leader
+    /// election by flooding. Terminates when no new information arrives
+    /// for one round after startup.
+    struct MaxFlood {
+        best: u32,
+        changed: bool,
+        started: bool,
+    }
+
+    impl Node for MaxFlood {
+        type Msg = u32;
+
+        fn step(&mut self, _round: u64, inbox: &[Envelope<u32>], out: &mut Outbox<u32>) {
+            let mut changed = !self.started;
+            self.started = true;
+            for env in inbox {
+                if env.msg > self.best {
+                    self.best = env.msg;
+                    changed = true;
+                }
+            }
+            if changed {
+                out.broadcast(self.best);
+            }
+            self.changed = changed;
+        }
+
+        fn is_done(&self) -> bool {
+            self.started && !self.changed
+        }
+    }
+
+    fn flood_network(topology: Csr) -> Network<MaxFlood> {
+        let nodes = (0..topology.n())
+            .map(|i| MaxFlood { best: i as u32, changed: false, started: false })
+            .collect();
+        Network::new(topology, nodes)
+    }
+
+    #[test]
+    fn flooding_elects_global_max_on_path() {
+        let g = Csr::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut net = flood_network(g);
+        let rounds = net.run_until_quiescent(100);
+        assert!(net.is_quiescent());
+        for n in net.nodes() {
+            assert_eq!(n.best, 4);
+        }
+        // Diameter 4 path: information needs ≥ 5 rounds (1 to start + 4 hops).
+        assert!(rounds >= 5 && rounds <= 10, "rounds = {rounds}");
+    }
+
+    #[test]
+    fn disconnected_components_stay_separate() {
+        let g = Csr::from_edges(4, &[(0, 1), (2, 3)]);
+        let mut net = flood_network(g);
+        net.run_until_quiescent(100);
+        assert_eq!(net.nodes()[0].best, 1);
+        assert_eq!(net.nodes()[1].best, 1);
+        assert_eq!(net.nodes()[2].best, 3);
+        assert_eq!(net.nodes()[3].best, 3);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let g = Csr::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut net = flood_network(g);
+        net.run_until_quiescent(100);
+        let s = net.stats();
+        assert!(s.messages > 0);
+        assert_eq!(s.bytes, s.messages * 4); // u32 payloads
+        assert!(s.rounds > 0);
+    }
+
+    #[test]
+    fn round_budget_is_respected() {
+        let g = Csr::from_edges(2, &[(0, 1)]);
+        let mut net = flood_network(g);
+        let ran = net.run_until_quiescent(1);
+        assert_eq!(ran, 1);
+        assert!(!net.is_quiescent());
+    }
+
+    #[test]
+    fn isolated_node_terminates_immediately() {
+        let g = Csr::from_edges(1, &[]);
+        let mut net = flood_network(g);
+        let rounds = net.run_until_quiescent(10);
+        assert!(net.is_quiescent());
+        assert_eq!(rounds, 2); // start round + quiet round
+    }
+}
+
+#[cfg(test)]
+mod loss_tests {
+    use super::*;
+    use crate::node::{Node, Outbox};
+
+    /// Node that broadcasts a fixed number of pings and counts receipts.
+    struct Pinger {
+        to_send: u32,
+        received: u32,
+    }
+
+    impl Node for Pinger {
+        type Msg = u32;
+        fn step(&mut self, _round: u64, inbox: &[Envelope<u32>], out: &mut Outbox<u32>) {
+            self.received += inbox.len() as u32;
+            if self.to_send > 0 {
+                self.to_send -= 1;
+                out.broadcast(1);
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.to_send == 0
+        }
+    }
+
+    fn pair_network(loss: Option<(f64, u64)>) -> Network<Pinger> {
+        let g = Csr::from_edges(2, &[(0, 1)]);
+        let nodes = vec![Pinger { to_send: 200, received: 0 }, Pinger { to_send: 0, received: 0 }];
+        let net = Network::new(g, nodes);
+        match loss {
+            Some((p, seed)) => net.with_loss(p, seed),
+            None => net,
+        }
+    }
+
+    #[test]
+    fn no_loss_delivers_everything() {
+        let mut net = pair_network(None);
+        net.run_until_quiescent(500);
+        assert_eq!(net.nodes()[1].received, 200);
+        assert_eq!(net.stats().dropped, 0);
+    }
+
+    #[test]
+    fn full_loss_delivers_nothing() {
+        let mut net = pair_network(Some((1.0, 0)));
+        net.run_until_quiescent(500);
+        assert_eq!(net.nodes()[1].received, 0);
+        assert_eq!(net.stats().dropped, net.stats().messages);
+    }
+
+    #[test]
+    fn partial_loss_drops_roughly_p() {
+        let mut net = pair_network(Some((0.3, 42)));
+        net.run_until_quiescent(500);
+        let received = net.nodes()[1].received;
+        assert!(
+            (100..=180).contains(&received),
+            "expected ≈140 of 200 pings, got {received}"
+        );
+        assert_eq!(net.stats().dropped + received as u64, net.stats().messages);
+    }
+
+    #[test]
+    fn loss_is_reproducible_per_seed() {
+        let run = |seed| {
+            let mut net = pair_network(Some((0.5, seed)));
+            net.run_until_quiescent(500);
+            net.nodes()[1].received
+        };
+        assert_eq!(run(7), run(7));
+    }
+}
+
+#[cfg(test)]
+mod delay_tests {
+    use super::*;
+    use crate::node::{Node, Outbox};
+
+    /// Sends one burst at round 0; receiver records arrival rounds.
+    struct Burst {
+        sent: bool,
+        arrivals: Vec<u64>,
+    }
+
+    impl Node for Burst {
+        type Msg = u32;
+        fn step(&mut self, round: u64, inbox: &[Envelope<u32>], out: &mut Outbox<u32>) {
+            for _ in inbox {
+                self.arrivals.push(round);
+            }
+            if !self.sent && out.me() == 0 {
+                self.sent = true;
+                for _ in 0..50 {
+                    out.broadcast(1);
+                }
+            } else {
+                self.sent = true;
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.sent
+        }
+    }
+
+    fn burst_pair(delay: Option<(u64, u64)>) -> Network<Burst> {
+        let g = Csr::from_edges(2, &[(0, 1)]);
+        let nodes = vec![
+            Burst { sent: false, arrivals: vec![] },
+            Burst { sent: false, arrivals: vec![] },
+        ];
+        let net = Network::new(g, nodes);
+        match delay {
+            Some((max, seed)) => net.with_delay(max, seed),
+            None => net,
+        }
+    }
+
+    #[test]
+    fn synchronous_delivery_is_next_round() {
+        let mut net = burst_pair(None);
+        net.run_until_quiescent(20);
+        assert_eq!(net.nodes()[1].arrivals.len(), 50);
+        assert!(net.nodes()[1].arrivals.iter().all(|&r| r == 1));
+    }
+
+    #[test]
+    fn delayed_delivery_spreads_but_loses_nothing() {
+        let mut net = burst_pair(Some((4, 9)));
+        net.run_until_quiescent(50);
+        let arrivals = &net.nodes()[1].arrivals;
+        assert_eq!(arrivals.len(), 50, "bounded delay must not lose messages");
+        assert!(arrivals.iter().all(|&r| (1..=5).contains(&r)), "{arrivals:?}");
+        // with 50 messages and 5 buckets, at least two distinct rounds
+        let distinct: std::collections::BTreeSet<u64> = arrivals.iter().copied().collect();
+        assert!(distinct.len() >= 2, "delay jitter should spread arrivals");
+    }
+
+    #[test]
+    fn zero_extra_delay_equals_synchronous() {
+        let mut a = burst_pair(None);
+        a.run_until_quiescent(20);
+        let mut b = burst_pair(Some((0, 1)));
+        b.run_until_quiescent(20);
+        assert_eq!(a.nodes()[1].arrivals, b.nodes()[1].arrivals);
+    }
+
+    #[test]
+    fn quiescence_waits_for_delayed_messages() {
+        let mut net = burst_pair(Some((4, 3)));
+        // after one round, messages may still be in flight
+        net.run_round();
+        net.run_round();
+        let early = net.nodes()[1].arrivals.len();
+        net.run_until_quiescent(50);
+        assert!(net.is_quiescent());
+        assert!(net.nodes()[1].arrivals.len() >= early);
+        assert_eq!(net.nodes()[1].arrivals.len(), 50);
+    }
+}

@@ -1,0 +1,102 @@
+//! The node behaviour trait and per-round outbox.
+
+use crate::message::{Envelope, Payload};
+
+/// Messages a node queues during one round; they are delivered to direct
+/// topology neighbours at the start of the next round.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    node: usize,
+    neighbors: Vec<usize>,
+    queued: Vec<Envelope<M>>,
+}
+
+impl<M: Payload> Outbox<M> {
+    pub(crate) fn new(node: usize, neighbors: Vec<usize>) -> Self {
+        Outbox { node, neighbors, queued: Vec::new() }
+    }
+
+    /// This node's id.
+    pub fn me(&self) -> usize {
+        self.node
+    }
+
+    /// Direct neighbours in the topology, sorted ascending.
+    pub fn neighbors(&self) -> &[usize] {
+        &self.neighbors
+    }
+
+    /// Sends `msg` to a *direct neighbour*. Multi-hop dissemination must be
+    /// built from per-hop sends (that is the cost model the paper's
+    /// distributed algorithm pays).
+    ///
+    /// # Panics
+    /// If `to` is not a direct neighbour.
+    pub fn send(&mut self, to: usize, msg: M) {
+        assert!(
+            self.neighbors.binary_search(&to).is_ok(),
+            "node {} cannot send to non-neighbor {}",
+            self.node,
+            to
+        );
+        self.queued.push(Envelope { from: self.node, to, msg });
+    }
+
+    /// Sends `msg` to every direct neighbour.
+    pub fn broadcast(&mut self, msg: M) {
+        for i in 0..self.neighbors.len() {
+            let to = self.neighbors[i];
+            self.queued.push(Envelope { from: self.node, to, msg: msg.clone() });
+        }
+    }
+
+    pub(crate) fn take(self) -> Vec<Envelope<M>> {
+        self.queued
+    }
+}
+
+/// Behaviour of one node in the synchronous network.
+///
+/// Each round the simulator calls [`step`](Node::step) with the messages
+/// that arrived this round (sent by neighbours last round). A node signals
+/// completion via [`is_done`](Node::is_done); the network is *quiescent*
+/// when every node is done and no messages are in flight.
+pub trait Node {
+    /// Message type exchanged by this protocol.
+    type Msg: Payload;
+
+    /// Consumes this round's inbox and queues outgoing messages.
+    /// `inbox` is sorted by sender id for determinism.
+    fn step(&mut self, round: u64, inbox: &[Envelope<Self::Msg>], out: &mut Outbox<Self::Msg>);
+
+    /// `true` when the node has terminated its protocol. Default: never —
+    /// run with a round budget instead.
+    fn is_done(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outbox_send_and_broadcast() {
+        let mut ob: Outbox<u32> = Outbox::new(0, vec![1, 3]);
+        assert_eq!(ob.me(), 0);
+        ob.send(3, 42);
+        ob.broadcast(7);
+        let msgs = ob.take();
+        assert_eq!(msgs.len(), 3);
+        assert_eq!(msgs[0], Envelope { from: 0, to: 3, msg: 42 });
+        assert_eq!(msgs[1], Envelope { from: 0, to: 1, msg: 7 });
+        assert_eq!(msgs[2], Envelope { from: 0, to: 3, msg: 7 });
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn sending_to_stranger_panics() {
+        let mut ob: Outbox<u32> = Outbox::new(0, vec![1]);
+        ob.send(2, 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! Communication accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative cost of a network execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Synchronous rounds executed.
+    pub rounds: u64,
+    /// Point-to-point messages sent (a broadcast to `d` neighbours counts
+    /// `d` messages — that is the energy model RFID reader networks care
+    /// about).
+    pub messages: u64,
+    /// Total payload volume per [`Payload::size_bytes`](crate::Payload).
+    pub bytes: u64,
+    /// Messages dropped by the unreliable-link model (0 on reliable
+    /// networks). Dropped messages are included in `messages`/`bytes`.
+    pub dropped: u64,
+}
+
+impl NetStats {
+    /// Merges stats from another execution (e.g. parallel components).
+    pub fn merge(&mut self, other: &NetStats) {
+        self.rounds = self.rounds.max(other.rounds);
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+        self.dropped += other.dropped;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_takes_max_rounds_and_sums_volume() {
+        let mut a = NetStats { rounds: 5, messages: 10, bytes: 40, dropped: 1 };
+        let b = NetStats { rounds: 8, messages: 3, bytes: 12, dropped: 2 };
+        a.merge(&b);
+        assert_eq!(a, NetStats { rounds: 8, messages: 13, bytes: 52, dropped: 3 });
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the synchronous network simulator.
+
+use proptest::prelude::*;
+use rfid_graph::Csr;
+use rfid_netsim::{Envelope, Network, Node, Outbox};
+
+/// Echo node: forwards every first-seen token; floods its own id once.
+struct Gossip {
+    id: u32,
+    seen: std::collections::BTreeSet<u32>,
+    started: bool,
+    idle: bool,
+}
+
+impl Node for Gossip {
+    type Msg = u32;
+
+    fn step(&mut self, _round: u64, inbox: &[Envelope<u32>], out: &mut Outbox<u32>) {
+        let mut fresh = Vec::new();
+        if !self.started {
+            self.started = true;
+            fresh.push(self.id);
+            self.seen.insert(self.id);
+        }
+        for env in inbox {
+            if self.seen.insert(env.msg) {
+                fresh.push(env.msg);
+            }
+        }
+        self.idle = fresh.is_empty();
+        for f in fresh {
+            out.broadcast(f);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.started && self.idle
+    }
+}
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Csr> {
+    (1usize..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..3 * n).prop_map(move |pairs| {
+            let edges: Vec<(usize, usize)> = pairs.into_iter().filter(|(a, b)| a != b).collect();
+            Csr::from_edges(n, &edges)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Flooding over any topology terminates and delivers exactly the
+    /// component's ids to every node.
+    #[test]
+    fn gossip_reaches_exactly_the_component(g in arb_graph(24)) {
+        let nodes: Vec<Gossip> = (0..g.n())
+            .map(|i| Gossip { id: i as u32, seen: Default::default(), started: false, idle: false })
+            .collect();
+        let mut net = Network::new(g.clone(), nodes);
+        // diameter ≤ n, plus start/quiesce slack
+        let rounds = net.run_until_quiescent(g.n() as u64 + 5);
+        prop_assert!(net.is_quiescent(), "did not converge in {rounds} rounds");
+        let (labels, _) = rfid_graph::connected_components(&g);
+        for (v, node) in net.nodes().iter().enumerate() {
+            let expect: std::collections::BTreeSet<u32> = (0..g.n())
+                .filter(|&u| labels[u] == labels[v])
+                .map(|u| u as u32)
+                .collect();
+            prop_assert_eq!(&node.seen, &expect, "node {}", v);
+        }
+    }
+
+    /// Message accounting: bytes = 4 × messages for u32 payloads, and the
+    /// message count equals Σ (tokens a node first-saw) × degree.
+    #[test]
+    fn stats_are_exact_for_gossip(g in arb_graph(16)) {
+        let nodes: Vec<Gossip> = (0..g.n())
+            .map(|i| Gossip { id: i as u32, seen: Default::default(), started: false, idle: false })
+            .collect();
+        let mut net = Network::new(g.clone(), nodes);
+        net.run_until_quiescent(g.n() as u64 + 5);
+        let stats = *net.stats();
+        prop_assert_eq!(stats.bytes, 4 * stats.messages);
+        let expected_msgs: u64 = net
+            .nodes()
+            .iter()
+            .enumerate()
+            .map(|(v, node)| node.seen.len() as u64 * g.degree(v) as u64)
+            .sum();
+        prop_assert_eq!(stats.messages, expected_msgs);
+    }
+
+    /// Round budgets are respected exactly.
+    #[test]
+    fn round_budget_is_exact(g in arb_graph(12), budget in 0u64..4) {
+        let nodes: Vec<Gossip> = (0..g.n())
+            .map(|i| Gossip { id: i as u32, seen: Default::default(), started: false, idle: false })
+            .collect();
+        let mut net = Network::new(g, nodes);
+        let ran = net.run_until_quiescent(budget);
+        prop_assert!(ran <= budget);
+    }
+}

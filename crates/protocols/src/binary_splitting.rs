@@ -1,0 +1,208 @@
+//! Randomised binary splitting (Hush–Wood \[16\] analysis; adaptive variant
+//! per Myung–Lee \[19\]).
+//!
+//! Unlike tree *walking* (which splits on ID bits), binary splitting is
+//! memory-based: colliding tags flip a fair coin; heads stay in the
+//! current contention group, tails defer behind it. The reader needs no ID
+//! structure at all, and the expected cost is ≈ 2.88 slots per tag
+//! regardless of ID distribution — adjacent IDs cost nothing extra, which
+//! is exactly where tree walking hurts.
+//!
+//! The adaptive variant seeds the first round by splitting the initial
+//! population into `2^⌈log₂ n̂⌉` groups when an estimate `n̂` of the
+//! population is available (we use the previous inventory's size), skipping
+//! the guaranteed-collision top of the tree.
+
+use crate::inventory::{AntiCollisionProtocol, InventoryOutcome};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Randomised binary-splitting arbitration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinarySplitting {
+    /// Pre-split the initial population into this many groups (1 = classic
+    /// Hush–Wood; an adaptive reader passes its population estimate
+    /// rounded to a power of two).
+    pub initial_groups: usize,
+    /// Safety budget on total slots.
+    pub max_slots: u64,
+}
+
+impl Default for BinarySplitting {
+    fn default() -> Self {
+        BinarySplitting { initial_groups: 1, max_slots: 1 << 22 }
+    }
+}
+
+impl BinarySplitting {
+    /// Adaptive pre-split for an estimated population of `estimate` tags.
+    pub fn adaptive(estimate: usize) -> Self {
+        BinarySplitting {
+            initial_groups: estimate.max(1).next_power_of_two(),
+            max_slots: 1 << 22,
+        }
+    }
+}
+
+impl AntiCollisionProtocol for BinarySplitting {
+    fn name(&self) -> &'static str {
+        "binary-splitting"
+    }
+
+    fn inventory<R: Rng + ?Sized>(&self, tags: &[u64], rng: &mut R) -> InventoryOutcome {
+        assert!(self.initial_groups >= 1, "initial_groups must be ≥ 1");
+        let mut outcome = InventoryOutcome {
+            total_slots: 0,
+            collision_slots: 0,
+            idle_slots: 0,
+            singleton_slots: 0,
+            reads: Vec::with_capacity(tags.len()),
+            unresolved: Vec::new(),
+        };
+        // LIFO stack of contention groups; the paper's counter-based
+        // description is equivalent (a tag's counter is its group depth).
+        let mut stack: Vec<Vec<u64>> = Vec::new();
+        if self.initial_groups == 1 {
+            stack.push(tags.to_vec());
+        } else {
+            let mut groups = vec![Vec::new(); self.initial_groups];
+            for &t in tags {
+                groups[rng.random_range(0..self.initial_groups)].push(t);
+            }
+            // Push in reverse so group 0 is answered first.
+            for g in groups.into_iter().rev() {
+                stack.push(g);
+            }
+        }
+        while let Some(group) = stack.pop() {
+            if outcome.total_slots >= self.max_slots {
+                outcome.unresolved.extend(group);
+                for g in stack.drain(..) {
+                    outcome.unresolved.extend(g);
+                }
+                break;
+            }
+            let slot_idx = outcome.total_slots;
+            outcome.total_slots += 1;
+            match group.len() {
+                0 => outcome.idle_slots += 1,
+                1 => {
+                    outcome.singleton_slots += 1;
+                    outcome.reads.push((group[0], slot_idx));
+                }
+                _ => {
+                    outcome.collision_slots += 1;
+                    let mut stay = Vec::new();
+                    let mut defer = Vec::new();
+                    for t in group {
+                        if rng.random::<bool>() {
+                            stay.push(t);
+                        } else {
+                            defer.push(t);
+                        }
+                    }
+                    stack.push(defer);
+                    stack.push(stay);
+                }
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    fn tags(n: usize) -> Vec<u64> {
+        (0..n as u64).collect()
+    }
+
+    #[test]
+    fn identifies_everyone() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let population = tags(200);
+        let o = BinarySplitting::default().inventory(&population, &mut rng);
+        assert!(o.unresolved.is_empty());
+        assert!(o.is_consistent());
+        let mut ids: Vec<u64> = o.reads.iter().map(|&(t, _)| t).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, population);
+    }
+
+    #[test]
+    fn empty_population_costs_at_most_initial_probes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let o = BinarySplitting::default().inventory(&[], &mut rng);
+        assert_eq!(o.total_slots, 1); // one idle probe of the root group
+        assert_eq!(o.idle_slots, 1);
+        let o = BinarySplitting::adaptive(8).inventory(&[], &mut rng);
+        assert_eq!(o.total_slots, 8);
+    }
+
+    #[test]
+    fn cost_is_near_theory() {
+        // Hush–Wood: expected ≈ 2.88 slots/tag for large n.
+        let mut rng = StdRng::seed_from_u64(2);
+        let population = tags(600);
+        let o = BinarySplitting::default().inventory(&population, &mut rng);
+        let per_tag = o.total_slots as f64 / 600.0;
+        assert!((2.2..3.6).contains(&per_tag), "slots per tag = {per_tag}");
+    }
+
+    #[test]
+    fn insensitive_to_adjacent_ids_unlike_tree_walking() {
+        use crate::tree_walking::TreeWalking;
+        // Adjacent IDs: worst case for TWA, irrelevant for splitting.
+        let population: Vec<u64> = (1000..1064).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let split = BinarySplitting::default().inventory(&population, &mut rng);
+        let mut rng = StdRng::seed_from_u64(3);
+        let walk = TreeWalking::default().inventory(&population, &mut rng);
+        assert!(
+            split.total_slots < walk.total_slots,
+            "splitting ({}) should beat tree walking ({}) on adjacent ids",
+            split.total_slots,
+            walk.total_slots
+        );
+    }
+
+    #[test]
+    fn adaptive_presplit_helps_large_populations() {
+        let population = tags(500);
+        let mut total_plain = 0u64;
+        let mut total_adaptive = 0u64;
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            total_plain += BinarySplitting::default().inventory(&population, &mut rng).total_slots;
+            let mut rng = StdRng::seed_from_u64(seed);
+            total_adaptive +=
+                BinarySplitting::adaptive(500).inventory(&population, &mut rng).total_slots;
+        }
+        assert!(
+            total_adaptive < total_plain,
+            "adaptive {total_adaptive} should beat plain {total_plain}"
+        );
+    }
+
+    #[test]
+    fn budget_reports_unresolved() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = BinarySplitting { initial_groups: 1, max_slots: 10 };
+        let population = tags(100);
+        let o = p.inventory(&population, &mut rng);
+        assert_eq!(o.reads.len() + o.unresolved.len(), 100);
+        assert!(o.total_slots <= 10);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let population = tags(80);
+        let p = BinarySplitting::default();
+        let a = p.inventory(&population, &mut StdRng::seed_from_u64(9));
+        let b = p.inventory(&population, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,132 @@
+//! Common interface and outcome accounting for tag inventory rounds.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Result of arbitrating one reader's tag population.
+///
+/// Time is measured in *micro-slots* — single response opportunities — the
+/// common currency across ALOHA frames, tree queries and Gen-2 slots. The
+/// scheduler-level "time slot" of the paper corresponds to however many
+/// micro-slots the link layer needs (see `slots_to_first_read` for the
+/// paper's ≥1-tag-per-slot assumption).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InventoryOutcome {
+    /// Total micro-slots consumed until every tag was identified (or the
+    /// protocol gave up; see `unresolved`).
+    pub total_slots: u64,
+    /// Micro-slots in which two or more tags collided.
+    pub collision_slots: u64,
+    /// Micro-slots in which no tag answered.
+    pub idle_slots: u64,
+    /// Micro-slots with exactly one responder (successful reads).
+    pub singleton_slots: u64,
+    /// Identified tags in read order, paired with the micro-slot index of
+    /// their read.
+    pub reads: Vec<(u64, u64)>,
+    /// Tags left unidentified when the protocol hit its internal budget
+    /// (empty in normal operation).
+    pub unresolved: Vec<u64>,
+}
+
+impl InventoryOutcome {
+    /// Micro-slot index of the first successful read, if any — the quantity
+    /// behind the paper's slot-sizing assumption.
+    pub fn slots_to_first_read(&self) -> Option<u64> {
+        self.reads.first().map(|&(_, s)| s)
+    }
+
+    /// Throughput: identified tags per micro-slot.
+    pub fn throughput(&self) -> f64 {
+        if self.total_slots == 0 {
+            0.0
+        } else {
+            self.reads.len() as f64 / self.total_slots as f64
+        }
+    }
+
+    /// Internal consistency: slot categories partition the total, reads are
+    /// unique, reads + unresolved cover the input population (checked by
+    /// callers in tests).
+    pub fn is_consistent(&self) -> bool {
+        if self.collision_slots + self.idle_slots + self.singleton_slots != self.total_slots {
+            return false;
+        }
+        if self.singleton_slots as usize != self.reads.len() {
+            return false;
+        }
+        let mut ids: Vec<u64> = self.reads.iter().map(|&(t, _)| t).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len() == self.reads.len()
+    }
+}
+
+/// A tag anti-collision (inventory) protocol.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rfid_protocols::{AntiCollisionProtocol, FramedAloha};
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let outcome = FramedAloha::default().inventory(&[10, 20, 30], &mut rng);
+/// assert_eq!(outcome.reads.len(), 3); // every tag identified
+/// assert!(outcome.is_consistent());
+/// ```
+pub trait AntiCollisionProtocol {
+    /// Human-readable protocol name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Arbitrates the given tag population (unique ids) to identification.
+    fn inventory<R: Rng + ?Sized>(&self, tags: &[u64], rng: &mut R) -> InventoryOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consistency_check_catches_mismatches() {
+        let good = InventoryOutcome {
+            total_slots: 3,
+            collision_slots: 1,
+            idle_slots: 1,
+            singleton_slots: 1,
+            reads: vec![(7, 2)],
+            unresolved: vec![],
+        };
+        assert!(good.is_consistent());
+        let bad_total = InventoryOutcome { total_slots: 4, ..good.clone() };
+        assert!(!bad_total.is_consistent());
+        let dup_reads = InventoryOutcome {
+            total_slots: 4,
+            singleton_slots: 2,
+            reads: vec![(7, 2), (7, 3)],
+            ..good.clone()
+        };
+        assert!(!dup_reads.is_consistent());
+    }
+
+    #[test]
+    fn first_read_and_throughput() {
+        let o = InventoryOutcome {
+            total_slots: 10,
+            collision_slots: 4,
+            idle_slots: 1,
+            singleton_slots: 5,
+            reads: vec![(1, 3), (2, 5), (3, 6), (4, 8), (5, 9)],
+            unresolved: vec![],
+        };
+        assert_eq!(o.slots_to_first_read(), Some(3));
+        assert!((o.throughput() - 0.5).abs() < 1e-12);
+        let empty = InventoryOutcome {
+            total_slots: 0,
+            collision_slots: 0,
+            idle_slots: 0,
+            singleton_slots: 0,
+            reads: vec![],
+            unresolved: vec![],
+        };
+        assert_eq!(empty.slots_to_first_read(), None);
+        assert_eq!(empty.throughput(), 0.0);
+    }
+}

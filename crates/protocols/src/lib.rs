@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! # rfid-protocols
+//!
+//! Link-layer tag anti-collision substrate.
+//!
+//! The scheduling paper deliberately leaves tag–tag collisions (TTc) to the
+//! link layer: *"TTc can be successfully resolved through certain
+//! link-layered protocol i.e., framed Aloha or tree-splitting. In this work,
+//! we will not put extra efforts to dealing with TTc."* (Section II). The
+//! schedule-level model then assumes a time slot is long enough for an
+//! active reader to read at least one well-covered tag.
+//!
+//! This crate implements the protocols that assumption rests on, so the
+//! system simulator can (a) validate it and (b) report intra-slot costs:
+//!
+//! * [`aloha`] — framed-slotted ALOHA with Vogt-style frame adaptation
+//!   (reference \[20\] of the paper),
+//! * [`tree_walking`] — binary tree-walking / tree-splitting arbitration
+//!   (references \[16\], \[18\]),
+//! * [`binary_splitting`] — randomised coin-flip splitting with an
+//!   adaptive pre-split (references \[16\], \[19\]),
+//! * [`q_protocol`] — an EPCglobal Class-1 Gen-2 style Q algorithm
+//!   (reference \[8\]),
+//!
+//! all behind the common [`AntiCollisionProtocol`] interface measured in
+//! *micro-slots* (one tag response opportunity each).
+
+pub mod aloha;
+pub mod binary_splitting;
+pub mod inventory;
+pub mod q_protocol;
+pub mod theory;
+pub mod tree_walking;
+
+pub use aloha::FramedAloha;
+pub use binary_splitting::BinarySplitting;
+pub use inventory::{AntiCollisionProtocol, InventoryOutcome};
+pub use q_protocol::QProtocol;
+pub use tree_walking::TreeWalking;
+pub use theory::{aloha_efficiency, aloha_expected_singletons, aloha_optimal_frame, splitting_expected_queries};

@@ -1,0 +1,189 @@
+//! EPCglobal Class-1 Generation-2 style Q algorithm (paper ref \[8\]).
+//!
+//! Gen-2 inventories tags with dynamically sized slotted rounds: each tag
+//! draws a 15-bit slot counter from `[0, 2^Q − 1]`; the reader issues
+//! `QueryRep` commands that decrement every counter, tags answer at zero.
+//! The reader nudges a floating-point shadow `Q_fp` up by `c` on collision
+//! slots and down by `c` on idle slots; whenever `round(Q_fp)` changes it
+//! issues `QueryAdjust` and all unresolved tags re-draw. This adaptive loop
+//! is the "dense reading mode" machinery the paper cites when discussing
+//! multi-channel RTc elimination.
+
+use crate::inventory::{AntiCollisionProtocol, InventoryOutcome};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Gen-2 Q algorithm configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QProtocol {
+    /// Initial Q (Gen-2 default 4 → 16-slot rounds).
+    pub initial_q: f64,
+    /// Adjustment step `c` (standard suggests 0.1 ≤ c ≤ 0.5).
+    pub c: f64,
+    /// Q ceiling (15 in the standard).
+    pub max_q: f64,
+    /// Safety budget on total slots before reporting `unresolved`.
+    pub max_slots: u64,
+}
+
+impl Default for QProtocol {
+    fn default() -> Self {
+        QProtocol { initial_q: 4.0, c: 0.3, max_q: 15.0, max_slots: 1 << 20 }
+    }
+}
+
+impl AntiCollisionProtocol for QProtocol {
+    fn name(&self) -> &'static str {
+        "gen2-q"
+    }
+
+    fn inventory<R: Rng + ?Sized>(&self, tags: &[u64], rng: &mut R) -> InventoryOutcome {
+        assert!(self.c > 0.0 && self.c <= 1.0, "c must be in (0, 1]");
+        assert!(self.initial_q >= 0.0 && self.initial_q <= self.max_q, "bad initial Q");
+        let mut outcome = InventoryOutcome {
+            total_slots: 0,
+            collision_slots: 0,
+            idle_slots: 0,
+            singleton_slots: 0,
+            reads: Vec::with_capacity(tags.len()),
+            unresolved: Vec::new(),
+        };
+        let mut q_fp = self.initial_q;
+        let mut q = q_fp.round().clamp(0.0, self.max_q) as u32;
+        // (tag, slot_counter) of unresolved tags.
+        let mut pending: Vec<(u64, u32)> = Vec::new();
+        let draw = |rng: &mut R, q: u32| -> u32 {
+            if q == 0 { 0 } else { rng.random_range(0..(1u32 << q)) }
+        };
+        for &t in tags {
+            pending.push((t, draw(rng, q)));
+        }
+        while !pending.is_empty() {
+            if outcome.total_slots >= self.max_slots {
+                outcome.unresolved = pending.into_iter().map(|(t, _)| t).collect();
+                break;
+            }
+            let slot_idx = outcome.total_slots;
+            outcome.total_slots += 1;
+            let responders: Vec<u64> = pending
+                .iter()
+                .filter(|&&(_, c)| c == 0)
+                .map(|&(t, _)| t)
+                .collect();
+            match responders.len() {
+                0 => {
+                    outcome.idle_slots += 1;
+                    q_fp = (q_fp - self.c).max(0.0);
+                }
+                1 => {
+                    outcome.singleton_slots += 1;
+                    outcome.reads.push((responders[0], slot_idx));
+                    pending.retain(|&(t, _)| t != responders[0]);
+                }
+                _ => {
+                    outcome.collision_slots += 1;
+                    q_fp = (q_fp + self.c).min(self.max_q);
+                }
+            }
+            let new_q = q_fp.round().clamp(0.0, self.max_q) as u32;
+            if new_q != q {
+                // QueryAdjust: unresolved tags re-draw from the new window.
+                q = new_q;
+                for p in &mut pending {
+                    p.1 = draw(rng, q);
+                }
+            } else {
+                // QueryRep: decrement; tags that answered with a collision
+                // re-draw (they lost arbitration), others count down.
+                for p in &mut pending {
+                    if p.1 == 0 {
+                        p.1 = draw(rng, q);
+                    } else {
+                        p.1 -= 1;
+                    }
+                }
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    fn tags(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|i| i * 7919 + 13).collect()
+    }
+
+    #[test]
+    fn empty_population() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let o = QProtocol::default().inventory(&[], &mut rng);
+        assert_eq!(o.total_slots, 0);
+        assert!(o.is_consistent());
+    }
+
+    #[test]
+    fn identifies_everyone() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let population = tags(200);
+        let o = QProtocol::default().inventory(&population, &mut rng);
+        assert!(o.unresolved.is_empty());
+        assert!(o.is_consistent());
+        let mut ids: Vec<u64> = o.reads.iter().map(|&(t, _)| t).collect();
+        ids.sort_unstable();
+        let mut expect = population.clone();
+        expect.sort_unstable();
+        assert_eq!(ids, expect);
+    }
+
+    #[test]
+    fn q_adapts_to_large_populations() {
+        // Starting at Q=4 (16 slots) with 500 tags, the adaptive loop must
+        // still finish with sane throughput.
+        let mut rng = StdRng::seed_from_u64(2);
+        let o = QProtocol::default().inventory(&tags(500), &mut rng);
+        assert!(o.unresolved.is_empty());
+        let thr = o.throughput();
+        assert!(thr > 0.15 && thr < 0.6, "throughput {thr}");
+    }
+
+    #[test]
+    fn single_tag_fast_path() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let o = QProtocol::default().inventory(&[5], &mut rng);
+        assert_eq!(o.reads.len(), 1);
+        // With Q=4 the lone tag answers within one 16-slot window, and idle
+        // slots shrink Q — identification should be quick.
+        assert!(o.total_slots <= 32, "took {} slots", o.total_slots);
+    }
+
+    #[test]
+    fn budget_reports_unresolved() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = QProtocol { max_slots: 5, ..Default::default() };
+        let population = tags(100);
+        let o = p.inventory(&population, &mut rng);
+        assert_eq!(o.reads.len() + o.unresolved.len(), population.len());
+        assert!(o.total_slots <= 5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let population = tags(60);
+        let p = QProtocol::default();
+        let a = p.inventory(&population, &mut StdRng::seed_from_u64(5));
+        let b = p.inventory(&population, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "c must be")]
+    fn zero_c_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = QProtocol { c: 0.0, ..Default::default() }.inventory(&[1], &mut rng);
+    }
+}

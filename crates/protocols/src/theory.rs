@@ -1,0 +1,175 @@
+//! Closed-form expectations for the anti-collision protocols.
+//!
+//! The simulators in this crate are validated against the classic analyses
+//! the paper's references derive: framed-ALOHA slot-occupancy formulas
+//! (Vogt \[20\]), the optimal frame size, and the expected query cost of
+//! randomised binary splitting (Hush–Wood \[16\]). Tests cross-check the
+//! Monte-Carlo protocols against these formulas — if the simulation and
+//! the theory drift apart, one of them is wrong.
+
+/// Expected number of slots with exactly one responder when `n` tags pick
+/// uniformly among `f` slots: `n · (1 − 1/f)^{n−1}`.
+pub fn aloha_expected_singletons(n: usize, f: usize) -> f64 {
+    assert!(f >= 1, "frame size must be ≥ 1");
+    if n == 0 {
+        return 0.0;
+    }
+    n as f64 * (1.0 - 1.0 / f as f64).powi(n as i32 - 1)
+}
+
+/// Expected number of empty slots: `f · (1 − 1/f)^n`.
+pub fn aloha_expected_idle(n: usize, f: usize) -> f64 {
+    assert!(f >= 1);
+    f as f64 * (1.0 - 1.0 / f as f64).powi(n as i32)
+}
+
+/// Expected number of collision slots: `f − idle − singletons`.
+pub fn aloha_expected_collisions(n: usize, f: usize) -> f64 {
+    f as f64 - aloha_expected_idle(n, f) - aloha_expected_singletons(n, f)
+}
+
+/// Per-frame efficiency `singletons / f`; maximised near `f = n` at
+/// `≈ 1/e` for large `n`.
+pub fn aloha_efficiency(n: usize, f: usize) -> f64 {
+    aloha_expected_singletons(n, f) / f as f64
+}
+
+/// The frame size in `[min_f, max_f]` maximising per-slot *efficiency*
+/// (identified tags per spent slot) for a backlog of `n` tags — the
+/// quantity Vogt-style estimators chase. The classic result: `f ≈ n`,
+/// with peak efficiency `1/e`.
+pub fn aloha_optimal_frame(n: usize, min_f: usize, max_f: usize) -> usize {
+    assert!(min_f >= 1 && min_f <= max_f);
+    (min_f..=max_f)
+        .max_by(|&a, &b| {
+            aloha_efficiency(n, a)
+                .partial_cmp(&aloha_efficiency(n, b))
+                .expect("finite")
+        })
+        .expect("non-empty range")
+}
+
+/// Expected total queries of randomised binary splitting on `n ≥ 0` tags,
+/// via the classic recurrence
+/// `T(n) = 1 + Σ_k C(n,k) 2^{-n} (T(k) + T(n−k))` for `n ≥ 2`,
+/// `T(0) = T(1) = 1`. Asymptotically `≈ 2.885·n`.
+pub fn splitting_expected_queries(n: usize) -> f64 {
+    // Solve the recurrence bottom-up. The self-referencing k = 0 and
+    // k = n terms are moved to the left-hand side:
+    // T(n)(1 − 2^{1−n}) = 1 + Σ_{k=1}^{n−1} C(n,k) 2^{-n} (T(k) + T(n−k)).
+    let mut t = vec![0.0f64; n.max(1) + 1];
+    t[0] = 1.0;
+    if n >= 1 {
+        t[1] = 1.0;
+    }
+    for m in 2..=n {
+        // binomial coefficients row m
+        let mut binom = vec![0.0f64; m + 1];
+        binom[0] = 1.0;
+        for k in 1..=m {
+            binom[k] = binom[k - 1] * (m - k + 1) as f64 / k as f64;
+        }
+        let p = 0.5f64.powi(m as i32);
+        // k = 0 and k = m each contribute (T(0) + T(m)): the T(m) parts
+        // move to the left-hand side, the T(0) parts stay on the right.
+        let mut rhs = 1.0 + 2.0 * p * t[0];
+        for k in 1..m {
+            rhs += binom[k] * p * (t[k] + t[m - k]);
+        }
+        let self_coeff = 1.0 - 2.0 * p;
+        t[m] = rhs / self_coeff;
+    }
+    t[n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inventory::AntiCollisionProtocol;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn aloha_slot_categories_sum_to_frame() {
+        for &(n, f) in &[(10usize, 16usize), (100, 64), (5, 5), (0, 8)] {
+            let total = aloha_expected_idle(n, f)
+                + aloha_expected_singletons(n, f)
+                + aloha_expected_collisions(n, f);
+            assert!((total - f as f64).abs() < 1e-9, "n={n} f={f}");
+        }
+    }
+
+    #[test]
+    fn aloha_efficiency_peaks_near_frame_equals_n() {
+        let n = 100;
+        let best = aloha_optimal_frame(n, 1, 400);
+        // theory: optimum at f ≈ n (exactly n for the singleton count when
+        // continuous; integer optimum within ±1)
+        assert!((best as i64 - n as i64).abs() <= 1, "optimal frame {best} for n={n}");
+        let eff = aloha_efficiency(n, best);
+        assert!((eff - (-1.0f64).exp()).abs() < 0.01, "peak efficiency {eff} ≉ 1/e");
+    }
+
+    #[test]
+    fn simulation_matches_aloha_formula() {
+        // One frame of fixed-size ALOHA: singleton count should match the
+        // closed form within Monte-Carlo noise.
+        let n = 60;
+        let f = 64;
+        let tags: Vec<u64> = (0..n as u64).collect();
+        let proto = crate::FramedAloha {
+            initial_frame: f,
+            adaptive: false,
+            min_frame: f,
+            max_frame: f,
+            max_frames: 1,
+        };
+        let mut singles = 0.0;
+        const RUNS: u64 = 300;
+        for seed in 0..RUNS {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let o = proto.inventory(&tags, &mut rng);
+            singles += o.singleton_slots as f64;
+        }
+        let mean = singles / RUNS as f64;
+        let expect = aloha_expected_singletons(n, f);
+        assert!(
+            (mean - expect).abs() < 0.05 * expect + 0.5,
+            "simulated {mean} vs theoretical {expect}"
+        );
+    }
+
+    #[test]
+    fn splitting_recurrence_base_cases_and_growth() {
+        assert_eq!(splitting_expected_queries(0), 1.0);
+        assert_eq!(splitting_expected_queries(1), 1.0);
+        // T(2) = 1 + ¼(T0+T2) + ½(T1+T1) + ¼(T2+T0) = 2.5 + T2/2 → T2 = 5.
+        assert!((splitting_expected_queries(2) - 5.0).abs() < 1e-9);
+        // Asymptotic slope ≈ 2.885 n
+        let t100 = splitting_expected_queries(100);
+        assert!(
+            (t100 / 100.0 - 2.885).abs() < 0.05,
+            "T(100)/100 = {} (expected ≈ 2.885)",
+            t100 / 100.0
+        );
+    }
+
+    #[test]
+    fn simulation_matches_splitting_recurrence() {
+        let n = 40;
+        let tags: Vec<u64> = (0..n as u64).collect();
+        let proto = crate::BinarySplitting::default();
+        let mut total = 0.0;
+        const RUNS: u64 = 200;
+        for seed in 0..RUNS {
+            let mut rng = StdRng::seed_from_u64(seed);
+            total += proto.inventory(&tags, &mut rng).total_slots as f64;
+        }
+        let mean = total / RUNS as f64;
+        let expect = splitting_expected_queries(n);
+        assert!(
+            (mean - expect).abs() < 0.05 * expect,
+            "simulated {mean} vs recurrence {expect}"
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! Binary tree-walking / tree-splitting arbitration (paper refs \[16\], \[18\]).
+//!
+//! The reader queries ID prefixes depth-first: all tags whose ID extends the
+//! queried prefix respond. An idle slot prunes the subtree, a singleton
+//! identifies a tag, a collision splits the prefix into its two children.
+//! Memoryless (Law–Lee–Siu): tags only compare the broadcast prefix with
+//! their own ID, no per-tag state survives between queries.
+//!
+//! Deterministic — arbitration cost depends only on the ID population,
+//! which makes this the reference protocol for the slot-sizing analysis.
+
+use crate::inventory::{AntiCollisionProtocol, InventoryOutcome};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Binary tree-walking configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeWalking {
+    /// ID width in bits (EPC-96 truncated to 64 here; tag ids are `u64`).
+    pub id_bits: u32,
+}
+
+impl Default for TreeWalking {
+    fn default() -> Self {
+        TreeWalking { id_bits: 64 }
+    }
+}
+
+impl AntiCollisionProtocol for TreeWalking {
+    fn name(&self) -> &'static str {
+        "tree-walking"
+    }
+
+    fn inventory<R: Rng + ?Sized>(&self, tags: &[u64], _rng: &mut R) -> InventoryOutcome {
+        assert!(self.id_bits >= 1 && self.id_bits <= 64, "id_bits must be in 1..=64");
+        if self.id_bits < 64 {
+            let mask = (1u64 << self.id_bits) - 1;
+            for &t in tags {
+                assert!(t <= mask, "tag id {t} wider than {} bits", self.id_bits);
+            }
+        }
+        let mut ids: Vec<u64> = tags.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), tags.len(), "tag ids must be unique");
+
+        let mut outcome = InventoryOutcome {
+            total_slots: 0,
+            collision_slots: 0,
+            idle_slots: 0,
+            singleton_slots: 0,
+            reads: Vec::with_capacity(ids.len()),
+            unresolved: Vec::new(),
+        };
+        // DFS over (prefix, prefix_len); sorted ids allow subtree membership
+        // testing by binary search on the value range.
+        let mut stack: Vec<(u64, u32)> = vec![(0, 0)];
+        while let Some((prefix, len)) = stack.pop() {
+            // Range of ids with this prefix: [prefix << (b-len), (prefix+1) << (b-len)).
+            let shift = self.id_bits - len;
+            let lo = if shift == 64 { 0 } else { prefix << shift };
+            let hi_excl = if shift == 64 {
+                u64::MAX
+            } else {
+                ((prefix + 1) << shift).wrapping_sub(1)
+            };
+            let start = ids.partition_point(|&x| x < lo);
+            let end = ids.partition_point(|&x| x <= hi_excl);
+            let count = end - start;
+            let slot_idx = outcome.total_slots;
+            outcome.total_slots += 1;
+            match count {
+                0 => outcome.idle_slots += 1,
+                1 => {
+                    outcome.singleton_slots += 1;
+                    outcome.reads.push((ids[start], slot_idx));
+                }
+                _ => {
+                    outcome.collision_slots += 1;
+                    debug_assert!(len < self.id_bits, "distinct ids must split before leaf depth");
+                    // Push right child first so the left (0-)branch is
+                    // explored first, matching the classic TWA order.
+                    stack.push(((prefix << 1) | 1, len + 1));
+                    stack.push((prefix << 1, len + 1));
+                }
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    fn run(tags: &[u64]) -> InventoryOutcome {
+        let mut rng = StdRng::seed_from_u64(0);
+        TreeWalking::default().inventory(tags, &mut rng)
+    }
+
+    #[test]
+    fn empty_population_costs_one_idle_query() {
+        let o = run(&[]);
+        assert_eq!(o.total_slots, 1);
+        assert_eq!(o.idle_slots, 1);
+        assert!(o.is_consistent());
+    }
+
+    #[test]
+    fn single_tag_costs_one_query() {
+        let o = run(&[42]);
+        assert_eq!(o.total_slots, 1);
+        assert_eq!(o.reads, vec![(42, 0)]);
+    }
+
+    #[test]
+    fn two_distant_tags_split_once() {
+        // MSB differs → root collision, then two singletons.
+        let o = run(&[0, 1u64 << 63]);
+        assert_eq!(o.collision_slots, 1);
+        assert_eq!(o.singleton_slots, 2);
+        assert_eq!(o.idle_slots, 0);
+        assert_eq!(o.total_slots, 3);
+        // Left branch (0-prefix) read first.
+        assert_eq!(o.reads[0].0, 0);
+    }
+
+    #[test]
+    fn adjacent_ids_walk_to_the_bottom() {
+        // IDs differing only in the last bit force a full-depth walk:
+        // 64 collisions (prefix lengths 0..=63) + 2 singletons.
+        let o = run(&[6, 7]);
+        assert_eq!(o.collision_slots, 64);
+        assert_eq!(o.singleton_slots, 2);
+        assert!(o.is_consistent());
+    }
+
+    #[test]
+    fn all_tags_identified_in_sorted_order_of_bit_paths() {
+        let population: Vec<u64> = vec![5, 9, 1 << 40, 3, (1 << 40) + 12345, 17];
+        let o = run(&population);
+        assert!(o.unresolved.is_empty());
+        let read_ids: Vec<u64> = o.reads.iter().map(|&(t, _)| t).collect();
+        let mut expect = population.clone();
+        expect.sort_unstable();
+        // DFS with left-first order reads ids in increasing numeric order.
+        assert_eq!(read_ids, expect);
+        assert!(o.is_consistent());
+    }
+
+    #[test]
+    fn is_fully_deterministic() {
+        let population: Vec<u64> = (0..200u64).map(|i| i * i * 2654435761 % (1 << 48)).collect();
+        let a = run(&population);
+        let b = run(&population);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn narrow_id_space_supported() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = TreeWalking { id_bits: 8 };
+        let population: Vec<u64> = (0..50u64).map(|i| i * 5 % 256).collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+        let o = p.inventory(&population, &mut rng);
+        assert_eq!(o.reads.len(), population.len());
+        assert!(o.is_consistent());
+    }
+
+    #[test]
+    #[should_panic(expected = "unique")]
+    fn duplicate_ids_rejected() {
+        let _ = run(&[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider")]
+    fn oversized_id_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = TreeWalking { id_bits: 8 }.inventory(&[300], &mut rng);
+    }
+
+    #[test]
+    fn query_cost_scales_linearithmically() {
+        // For n random 64-bit ids, expected queries ≈ 2.89 n (classic TWA
+        // result); assert we stay within a generous band.
+        let mut rng = StdRng::seed_from_u64(7);
+        let population: Vec<u64> = (0..400).map(|_| rand::Rng::random::<u64>(&mut rng)).collect();
+        let o = run(&population);
+        let per_tag = o.total_slots as f64 / 400.0;
+        assert!(per_tag > 1.5 && per_tag < 4.5, "queries per tag = {per_tag}");
+    }
+}

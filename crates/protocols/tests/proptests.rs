@@ -1,0 +1,110 @@
+//! Property-based tests for the link-layer anti-collision protocols.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rfid_protocols::{AntiCollisionProtocol, FramedAloha, QProtocol, TreeWalking};
+
+fn arb_tags(max: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::btree_set(proptest::num::u64::ANY, 0..max)
+        .prop_map(|s| s.into_iter().collect())
+}
+
+/// Checks the universal protocol contract on one outcome.
+fn check_contract(tags: &[u64], outcome: &rfid_protocols::InventoryOutcome) -> Result<(), TestCaseError> {
+    prop_assert!(outcome.is_consistent());
+    // reads ∪ unresolved == input population, disjointly
+    let mut seen: Vec<u64> = outcome
+        .reads
+        .iter()
+        .map(|&(t, _)| t)
+        .chain(outcome.unresolved.iter().copied())
+        .collect();
+    seen.sort_unstable();
+    let mut expect = tags.to_vec();
+    expect.sort_unstable();
+    prop_assert_eq!(seen, expect);
+    // read slots strictly increase
+    prop_assert!(outcome.reads.windows(2).all(|w| w[0].1 < w[1].1));
+    // slot indices within total
+    if let Some(&(_, last)) = outcome.reads.last() {
+        prop_assert!(last < outcome.total_slots);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn aloha_contract(tags in arb_tags(150), seed in 0u64..1000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let o = FramedAloha::default().inventory(&tags, &mut rng);
+        check_contract(&tags, &o)?;
+        prop_assert!(o.unresolved.is_empty(), "adaptive ALOHA must finish on ≤150 tags");
+    }
+
+    #[test]
+    fn tree_walking_contract(tags in arb_tags(150), seed in 0u64..1000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let o = TreeWalking::default().inventory(&tags, &mut rng);
+        check_contract(&tags, &o)?;
+        prop_assert!(o.unresolved.is_empty(), "tree walking always terminates");
+        // deterministic: rng must not matter
+        let mut rng2 = ChaCha8Rng::seed_from_u64(seed.wrapping_add(1));
+        let o2 = TreeWalking::default().inventory(&tags, &mut rng2);
+        prop_assert_eq!(o, o2);
+    }
+
+    #[test]
+    fn q_protocol_contract(tags in arb_tags(120), seed in 0u64..1000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let o = QProtocol::default().inventory(&tags, &mut rng);
+        check_contract(&tags, &o)?;
+        prop_assert!(o.unresolved.is_empty(), "Q protocol must finish on ≤120 tags");
+    }
+
+    #[test]
+    fn tree_walking_cost_bound(tags in arb_tags(200)) {
+        // TWA on b-bit ids costs at most 2n−1 collision+singleton queries
+        // plus at most (b+1) extra splits per adjacent pair; a loose but
+        // instructive bound: total ≤ 1 + n·(2·64).
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let o = TreeWalking::default().inventory(&tags, &mut rng);
+        let n = tags.len() as u64;
+        prop_assert!(o.total_slots <= 1 + n * 130);
+        // and at least one query per tag
+        prop_assert!(o.total_slots >= n.max(1));
+    }
+
+    #[test]
+    fn aloha_first_read_is_fast(tags in arb_tags(60), seed in 0u64..200) {
+        // The paper's slot-sizing assumption wants an early first read;
+        // adaptive ALOHA delivers one within a small number of frames.
+        if tags.is_empty() {
+            return Ok(());
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let o = FramedAloha::default().inventory(&tags, &mut rng);
+        let first = o.slots_to_first_read().expect("non-empty population reads something");
+        prop_assert!(first < 16 * 20, "first read took {first} micro-slots");
+    }
+
+    #[test]
+    fn protocols_agree_on_the_population(tags in arb_tags(80), seed in 0u64..100) {
+        // Different protocols, same identified set.
+        let mut ids_by_protocol: Vec<Vec<u64>> = Vec::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for o in [
+            FramedAloha::default().inventory(&tags, &mut rng),
+            TreeWalking::default().inventory(&tags, &mut rng),
+            QProtocol::default().inventory(&tags, &mut rng),
+        ] {
+            let mut ids: Vec<u64> = o.reads.iter().map(|&(t, _)| t).collect();
+            ids.sort_unstable();
+            ids_by_protocol.push(ids);
+        }
+        prop_assert_eq!(&ids_by_protocol[0], &ids_by_protocol[1]);
+        prop_assert_eq!(&ids_by_protocol[1], &ids_by_protocol[2]);
+    }
+}

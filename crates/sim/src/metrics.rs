@@ -1,0 +1,209 @@
+//! Per-trial records and series aggregation.
+
+use serde::{Deserialize, Serialize};
+
+/// One (algorithm, parameter point, seed) trial.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialRecord {
+    /// Algorithm label (see `rfid_core::AlgorithmKind::label`).
+    pub algorithm: String,
+    /// Poisson mean of the interference radii λ_R.
+    pub lambda_interference: f64,
+    /// Poisson mean of the interrogation radii λ_r.
+    pub lambda_interrogation: f64,
+    /// Deployment seed.
+    pub seed: u64,
+    /// Covering-schedule size (number of time slots) — Figures 6/7 metric.
+    pub mcs_size: Option<usize>,
+    /// Well-covered tags in a single fresh slot — Figures 8/9 metric.
+    pub oneshot_weight: Option<usize>,
+    /// Wall-clock milliseconds spent inside the scheduler(s).
+    pub runtime_ms: f64,
+    /// Fallback slots taken by the MCS progress guard.
+    pub fallback_slots: usize,
+    /// Messages sent (distributed algorithm only).
+    pub messages: Option<u64>,
+    /// Bytes sent (distributed algorithm only).
+    pub bytes: Option<u64>,
+}
+
+/// One aggregated point of a figure series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// The swept λ value.
+    pub x: f64,
+    /// Mean of the metric over trials.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+    /// Number of trials aggregated.
+    pub n: usize,
+}
+
+/// Aggregates `values` into a [`SeriesPoint`] at `x`.
+pub fn aggregate_point(x: f64, values: &[f64]) -> SeriesPoint {
+    let n = values.len();
+    if n == 0 {
+        return SeriesPoint { x, mean: f64::NAN, std_dev: f64::NAN, min: f64::NAN, max: f64::NAN, n };
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+    SeriesPoint {
+        x,
+        mean,
+        std_dev: var.sqrt(),
+        min: values.iter().copied().fold(f64::INFINITY, f64::min),
+        max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        n,
+    }
+}
+
+/// Groups trials of one algorithm by the swept λ and aggregates `metric`.
+/// Points are sorted by `x`.
+pub fn aggregate_series(
+    trials: &[TrialRecord],
+    algorithm: &str,
+    x_of: impl Fn(&TrialRecord) -> f64,
+    metric: impl Fn(&TrialRecord) -> Option<f64>,
+) -> Vec<SeriesPoint> {
+    let mut groups: std::collections::BTreeMap<u64, (f64, Vec<f64>)> = Default::default();
+    for t in trials.iter().filter(|t| t.algorithm == algorithm) {
+        if let Some(v) = metric(t) {
+            let x = x_of(t);
+            groups.entry(x.to_bits()).or_insert((x, Vec::new())).1.push(v);
+        }
+    }
+    let mut points: Vec<SeriesPoint> =
+        groups.into_values().map(|(x, vs)| aggregate_point(x, &vs)).collect();
+    points.sort_by(|a, b| a.x.total_cmp(&b.x));
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trial(alg: &str, lr: f64, seed: u64, mcs: usize) -> TrialRecord {
+        TrialRecord {
+            algorithm: alg.into(),
+            lambda_interference: lr,
+            lambda_interrogation: 6.0,
+            seed,
+            mcs_size: Some(mcs),
+            oneshot_weight: None,
+            runtime_ms: 1.0,
+            fallback_slots: 0,
+            messages: None,
+            bytes: None,
+        }
+    }
+
+    #[test]
+    fn aggregate_point_statistics() {
+        let p = aggregate_point(5.0, &[2.0, 4.0, 6.0]);
+        assert_eq!(p.mean, 4.0);
+        assert_eq!(p.min, 2.0);
+        assert_eq!(p.max, 6.0);
+        assert!((p.std_dev - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(p.n, 3);
+    }
+
+    #[test]
+    fn empty_point_is_nan() {
+        let p = aggregate_point(1.0, &[]);
+        assert!(p.mean.is_nan());
+        assert_eq!(p.n, 0);
+    }
+
+    #[test]
+    fn series_groups_by_x_and_algorithm() {
+        let trials = vec![
+            trial("a", 10.0, 0, 4),
+            trial("a", 10.0, 1, 6),
+            trial("a", 12.0, 0, 8),
+            trial("b", 10.0, 0, 99),
+        ];
+        let series = aggregate_series(
+            &trials,
+            "a",
+            |t| t.lambda_interference,
+            |t| t.mcs_size.map(|v| v as f64),
+        );
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].x, 10.0);
+        assert_eq!(series[0].mean, 5.0);
+        assert_eq!(series[1].x, 12.0);
+        assert_eq!(series[1].mean, 8.0);
+    }
+
+    #[test]
+    fn missing_metric_is_skipped() {
+        let mut t = trial("a", 10.0, 0, 4);
+        t.mcs_size = None;
+        let series = aggregate_series(
+            &[t],
+            "a",
+            |t| t.lambda_interference,
+            |t| t.mcs_size.map(|v| v as f64),
+        );
+        assert!(series.is_empty());
+    }
+}
+
+/// Activation churn of a covering schedule: the mean Jaccard *distance*
+/// between consecutive slots' active reader sets, in `[0, 1]`.
+///
+/// The authors' companion protocol RASPberry (ICNP'09, paper ref \[9\])
+/// optimises for *stable* reader activation — frequent power cycling wears
+/// readers and destabilises the RF environment. `0` means the same set is
+/// active every slot; `1` means a complete change every slot. Single-slot
+/// (or empty) schedules have no transitions and return `0`.
+pub fn activation_churn(slots: &[Vec<usize>]) -> f64 {
+    if slots.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for pair in slots.windows(2) {
+        let a: std::collections::BTreeSet<usize> = pair[0].iter().copied().collect();
+        let b: std::collections::BTreeSet<usize> = pair[1].iter().copied().collect();
+        let inter = a.intersection(&b).count();
+        let union = a.union(&b).count();
+        total += if union == 0 { 0.0 } else { 1.0 - inter as f64 / union as f64 };
+    }
+    total / (slots.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod churn_tests {
+    use super::*;
+
+    #[test]
+    fn identical_slots_have_zero_churn() {
+        let slots = vec![vec![1, 2, 3], vec![1, 2, 3], vec![1, 2, 3]];
+        assert_eq!(activation_churn(&slots), 0.0);
+    }
+
+    #[test]
+    fn disjoint_slots_have_full_churn() {
+        let slots = vec![vec![1, 2], vec![3, 4], vec![5, 6]];
+        assert_eq!(activation_churn(&slots), 1.0);
+    }
+
+    #[test]
+    fn half_overlap_is_half_churn() {
+        // {1,2} → {2,3}: |∩| = 1, |∪| = 3 → distance 2/3.
+        let slots = vec![vec![1, 2], vec![2, 3]];
+        assert!((activation_churn(&slots) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_schedules_are_stable() {
+        assert_eq!(activation_churn(&[]), 0.0);
+        assert_eq!(activation_churn(&[vec![1]]), 0.0);
+        assert_eq!(activation_churn(&[vec![], vec![]]), 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! SVG rendering of deployments and activations.
+//!
+//! Pure string building — no graphics dependencies. Used by the examples
+//! to emit inspectable pictures of a slot: interference disks (light),
+//! interrogation disks (shaded), readers (active = filled), tags (served /
+//! unread / uncoverable).
+
+use rfid_model::{Coverage, Deployment, ReaderId, TagId};
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct RenderOptions {
+    /// Pixels per deployment unit.
+    pub scale: f64,
+    /// Draw interference disks.
+    pub show_interference: bool,
+    /// Draw interrogation disks.
+    pub show_interrogation: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions { scale: 8.0, show_interference: true, show_interrogation: true }
+    }
+}
+
+/// Renders one slot of a deployment as an SVG document.
+///
+/// * `active` — readers activated this slot (drawn filled; their
+///   interrogation disk is emphasised);
+/// * `served` — tags considered served (drawn green); remaining tags are
+///   grey (coverable) or red-crossed (uncoverable).
+pub fn render_svg(
+    deployment: &Deployment,
+    coverage: &Coverage,
+    active: &[ReaderId],
+    served: &[TagId],
+    options: &RenderOptions,
+) -> String {
+    let region = deployment.region();
+    let s = options.scale;
+    let pad = 10.0;
+    let width = region.width() * s + 2.0 * pad;
+    let height = region.height() * s + 2.0 * pad;
+    let tx = |x: f64| (x - region.min_x) * s + pad;
+    // SVG y grows downward; flip so the picture matches the maths.
+    let ty = |y: f64| height - ((y - region.min_y) * s + pad);
+
+    let mut out = String::with_capacity(4096);
+    out.push_str(&format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}">"#
+    ));
+    out.push('\n');
+    out.push_str(&format!(
+        r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="white" stroke="#444" stroke-width="1"/>"##,
+        tx(region.min_x),
+        ty(region.max_y),
+        region.width() * s,
+        region.height() * s
+    ));
+    out.push('\n');
+
+    let is_active = |v: ReaderId| active.contains(&v);
+
+    // Disks below markers: interference first (lightest), then interrogation.
+    if options.show_interference {
+        for v in 0..deployment.n_readers() {
+            let r = deployment.reader(v);
+            out.push_str(&format!(
+                r#"<circle cx="{:.1}" cy="{:.1}" r="{:.1}" fill="none" stroke="{}" stroke-width="0.8" stroke-dasharray="4 3"/>"#,
+                tx(r.pos.x),
+                ty(r.pos.y),
+                r.interference_radius * s,
+                if is_active(v) { "#d4772f" } else { "#cccccc" }
+            ));
+            out.push('\n');
+        }
+    }
+    if options.show_interrogation {
+        for v in 0..deployment.n_readers() {
+            let r = deployment.reader(v);
+            let (fill, opacity) = if is_active(v) { ("#2f6fd4", 0.15) } else { ("#888888", 0.06) };
+            out.push_str(&format!(
+                r#"<circle cx="{:.1}" cy="{:.1}" r="{:.1}" fill="{fill}" fill-opacity="{opacity}" stroke="{fill}" stroke-width="0.8"/>"#,
+                tx(r.pos.x),
+                ty(r.pos.y),
+                r.interrogation_radius * s,
+            ));
+            out.push('\n');
+        }
+    }
+
+    // Tags.
+    for t in 0..deployment.n_tags() {
+        let p = deployment.tag(t);
+        let color = if served.contains(&t) {
+            "#2f9e44" // served
+        } else if coverage.is_coverable(t) {
+            "#999999" // waiting
+        } else {
+            "#d43f3f" // unreachable
+        };
+        out.push_str(&format!(
+            r#"<circle cx="{:.1}" cy="{:.1}" r="2.2" fill="{color}"/>"#,
+            tx(p.x),
+            ty(p.y)
+        ));
+        out.push('\n');
+    }
+
+    // Readers on top.
+    for v in 0..deployment.n_readers() {
+        let r = deployment.reader(v);
+        let (fill, stroke) = if is_active(v) { ("#2f6fd4", "#1d4a94") } else { ("white", "#555") };
+        out.push_str(&format!(
+            r#"<rect x="{:.1}" y="{:.1}" width="8" height="8" fill="{fill}" stroke="{stroke}" stroke-width="1.5"/>"#,
+            tx(r.pos.x) - 4.0,
+            ty(r.pos.y) - 4.0
+        ));
+        out.push_str(&format!(
+            r##"<text x="{:.1}" y="{:.1}" font-size="9" fill="#333">{}</text>"##,
+            tx(r.pos.x) + 6.0,
+            ty(r.pos.y) - 6.0,
+            v
+        ));
+        out.push('\n');
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_geometry::{Point, Rect};
+
+    fn tiny() -> (Deployment, Coverage) {
+        let d = Deployment::new(
+            Rect::square(20.0),
+            vec![Point::new(5.0, 5.0), Point::new(15.0, 15.0)],
+            vec![4.0, 4.0],
+            vec![2.0, 2.0],
+            vec![Point::new(5.0, 6.0), Point::new(15.0, 14.0), Point::new(10.0, 10.0)],
+        );
+        let c = Coverage::build(&d);
+        (d, c)
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_complete() {
+        let (d, c) = tiny();
+        let svg = render_svg(&d, &c, &[0], &[0], &RenderOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // one marker rect per reader + background
+        assert_eq!(svg.matches("<rect").count(), d.n_readers() + 1);
+        // every tag drawn
+        assert_eq!(svg.matches(r##"fill="#2f9e44""##).count(), 1); // served
+        assert_eq!(svg.matches(r##"fill="#d43f3f""##).count(), 1); // unreachable (tag 2)
+        assert_eq!(svg.matches(r##"fill="#999999""##).count(), 1); // waiting
+        // circles: one per tag + interference + interrogation per reader
+        assert_eq!(svg.matches("<circle").count(), d.n_tags() + 2 * d.n_readers());
+    }
+
+    #[test]
+    fn disks_can_be_toggled() {
+        let (d, c) = tiny();
+        let none = RenderOptions { show_interference: false, show_interrogation: false, ..Default::default() };
+        let svg = render_svg(&d, &c, &[], &[], &none);
+        // only tag circles remain
+        assert_eq!(svg.matches("<circle").count(), d.n_tags());
+        let full = render_svg(&d, &c, &[], &[], &RenderOptions::default());
+        assert_eq!(svg_circles(&full), d.n_tags() + 2 * d.n_readers());
+    }
+
+    fn svg_circles(svg: &str) -> usize {
+        svg.matches("<circle").count()
+    }
+
+    #[test]
+    fn active_readers_are_highlighted() {
+        let (d, c) = tiny();
+        let svg = render_svg(&d, &c, &[1], &[], &RenderOptions::default());
+        assert!(svg.contains(r##"fill="#2f6fd4" stroke="#1d4a94""##));
+    }
+
+    #[test]
+    fn coordinates_flip_y() {
+        let (d, c) = tiny();
+        let svg = render_svg(&d, &c, &[], &[], &RenderOptions::default());
+        // reader 0 at (5,5) with scale 8, pad 10, height 180:
+        // tx=50, ty=180-50=130 → marker rect at 46,126
+        assert!(svg.contains(r#"<rect x="46.0" y="126.0""#), "{svg}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Table and file emitters for the figure binaries.
+
+use crate::metrics::SeriesPoint;
+use std::io::Write;
+use std::path::Path;
+
+/// Renders one figure as a Markdown table: rows are swept λ values, one
+/// column per algorithm (mean over trials, `±σ` in parentheses).
+pub fn markdown_figure(
+    title: &str,
+    x_label: &str,
+    algorithms: &[(&str, Vec<SeriesPoint>)],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("### {title}\n\n"));
+    out.push_str(&format!("| {x_label} |"));
+    for (name, _) in algorithms {
+        out.push_str(&format!(" {name} |"));
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in algorithms {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    // x values from the first series (all series share the sweep grid).
+    let xs: Vec<f64> = algorithms
+        .first()
+        .map(|(_, pts)| pts.iter().map(|p| p.x).collect())
+        .unwrap_or_default();
+    for (i, x) in xs.iter().enumerate() {
+        out.push_str(&format!("| {x:.1} |"));
+        for (_, pts) in algorithms {
+            match pts.get(i) {
+                Some(p) if p.x == *x => {
+                    out.push_str(&format!(" {:.2} (±{:.2}) |", p.mean, p.std_dev))
+                }
+                _ => out.push_str(" — |"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the series as CSV: `x,algorithm,mean,std_dev,min,max,n`.
+pub fn write_csv(
+    path: &Path,
+    algorithms: &[(&str, Vec<SeriesPoint>)],
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "x,algorithm,mean,std_dev,min,max,n")?;
+    for (name, pts) in algorithms {
+        for p in pts {
+            writeln!(
+                f,
+                "{},{},{},{},{},{},{}",
+                p.x, name, p.mean, p.std_dev, p.min, p.max, p.n
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes the series as JSON (`{algorithm: [SeriesPoint]}`), for
+/// EXPERIMENTS.md bookkeeping and external plotting.
+pub fn write_json(
+    path: &Path,
+    algorithms: &[(&str, Vec<SeriesPoint>)],
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let map: std::collections::BTreeMap<&str, &Vec<SeriesPoint>> =
+        algorithms.iter().map(|(n, p)| (*n, p)).collect();
+    let json = serde_json::to_string_pretty(&map).expect("series serialize");
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64, mean: f64) -> SeriesPoint {
+        SeriesPoint { x, mean, std_dev: 0.5, min: mean - 1.0, max: mean + 1.0, n: 3 }
+    }
+
+    #[test]
+    fn markdown_has_header_and_rows() {
+        let table = markdown_figure(
+            "Fig X",
+            "λ_r",
+            &[("a", vec![pt(4.0, 10.0), pt(6.0, 12.0)]), ("b", vec![pt(4.0, 8.0), pt(6.0, 9.0)])],
+        );
+        assert!(table.contains("### Fig X"));
+        assert!(table.contains("| λ_r | a | b |"));
+        assert!(table.contains("| 4.0 | 10.00 (±0.50) | 8.00 (±0.50) |"));
+        assert_eq!(table.lines().count(), 6);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("rfid_sim_table_test");
+        let path = dir.join("out.csv");
+        write_csv(&path, &[("alg", vec![pt(4.0, 10.0)])]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("x,algorithm,mean"));
+        assert!(body.contains("4,alg,10,0.5,9,11,3"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_is_parseable() {
+        let dir = std::env::temp_dir().join("rfid_sim_json_test");
+        let path = dir.join("out.json");
+        write_json(&path, &[("alg", vec![pt(4.0, 10.0)])]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["alg"][0]["mean"], 10.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_series_renders() {
+        let table = markdown_figure("Empty", "x", &[]);
+        assert!(table.contains("### Empty"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Per-reader activation timetables.
+//!
+//! A covering schedule is slot-major (which readers fire in slot `q`); the
+//! operator view is reader-major (when does reader `v` fire). The
+//! timetable transposes the schedule, computes duty-cycle statistics, and
+//! renders the classic Gantt-style text chart that `mrrfid schedule` and
+//! the examples print.
+
+use rfid_core::CoveringSchedule;
+use serde::{Deserialize, Serialize};
+
+/// Reader-major view of a covering schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timetable {
+    /// `active[v]` = sorted slot indices in which reader `v` transmits.
+    pub active: Vec<Vec<usize>>,
+    /// Total slots in the schedule.
+    pub slots: usize,
+}
+
+impl Timetable {
+    /// Builds the timetable for a deployment of `n_readers`.
+    pub fn build(schedule: &CoveringSchedule, n_readers: usize) -> Self {
+        let mut active = vec![Vec::new(); n_readers];
+        for (q, slot) in schedule.slots.iter().enumerate() {
+            for &v in &slot.active {
+                active[v].push(q);
+            }
+        }
+        Timetable { active, slots: schedule.slots.len() }
+    }
+
+    /// Fraction of slots reader `v` is active in (0 for an empty
+    /// schedule).
+    pub fn duty_cycle(&self, v: usize) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.active[v].len() as f64 / self.slots as f64
+        }
+    }
+
+    /// Mean duty cycle across readers.
+    pub fn mean_duty_cycle(&self) -> f64 {
+        if self.active.is_empty() {
+            return 0.0;
+        }
+        (0..self.active.len()).map(|v| self.duty_cycle(v)).sum::<f64>() / self.active.len() as f64
+    }
+
+    /// Number of on/off transitions reader `v` makes over the schedule
+    /// (the RASPberry stability concern, per reader).
+    pub fn switch_count(&self, v: usize) -> usize {
+        let mut on = false;
+        let mut switches = 0;
+        let set: std::collections::BTreeSet<usize> = self.active[v].iter().copied().collect();
+        for q in 0..self.slots {
+            let now = set.contains(&q);
+            if now != on {
+                switches += 1;
+                on = now;
+            }
+        }
+        if on {
+            switches += 1; // final power-down
+        }
+        switches
+    }
+
+    /// Text Gantt chart: one row per reader, `█` = active slot.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (v, slots) in self.active.iter().enumerate() {
+            let set: std::collections::BTreeSet<usize> = slots.iter().copied().collect();
+            out.push_str(&format!("reader {v:>3} |"));
+            for q in 0..self.slots {
+                out.push(if set.contains(&q) { '█' } else { '·' });
+            }
+            out.push_str(&format!("| {} slots\n", slots.len()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_core::SlotRecord;
+
+    fn schedule(slots: Vec<Vec<usize>>) -> CoveringSchedule {
+        CoveringSchedule {
+            slots: slots
+                .into_iter()
+                .map(|active| SlotRecord { active, served: vec![], fallback: false })
+                .collect(),
+            uncoverable: vec![],
+        }
+    }
+
+    #[test]
+    fn transposition_is_correct() {
+        let s = schedule(vec![vec![0, 2], vec![1], vec![0]]);
+        let t = Timetable::build(&s, 3);
+        assert_eq!(t.active[0], vec![0, 2]);
+        assert_eq!(t.active[1], vec![1]);
+        assert_eq!(t.active[2], vec![0]);
+        assert_eq!(t.slots, 3);
+    }
+
+    #[test]
+    fn duty_cycles() {
+        let s = schedule(vec![vec![0], vec![0], vec![1], vec![]]);
+        let t = Timetable::build(&s, 2);
+        assert_eq!(t.duty_cycle(0), 0.5);
+        assert_eq!(t.duty_cycle(1), 0.25);
+        assert!((t.mean_duty_cycle() - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn switch_counting() {
+        // reader 0 active in slots 0,1 then off then on in 3: on,off,on,off = 4
+        let s = schedule(vec![vec![0], vec![0], vec![], vec![0]]);
+        let t = Timetable::build(&s, 1);
+        assert_eq!(t.switch_count(0), 4);
+        // constant-on reader: power-up + final power-down
+        let s = schedule(vec![vec![0], vec![0]]);
+        let t = Timetable::build(&s, 1);
+        assert_eq!(t.switch_count(0), 2);
+        // never-on reader
+        let s = schedule(vec![vec![], vec![]]);
+        let t = Timetable::build(&s, 1);
+        assert_eq!(t.switch_count(0), 0);
+    }
+
+    #[test]
+    fn gantt_rendering() {
+        let s = schedule(vec![vec![0], vec![1], vec![0]]);
+        let t = Timetable::build(&s, 2);
+        let text = t.render_text();
+        assert!(text.contains("reader   0 |█·█| 2 slots"));
+        assert!(text.contains("reader   1 |·█·| 1 slots"));
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = schedule(vec![]);
+        let t = Timetable::build(&s, 2);
+        assert_eq!(t.duty_cycle(0), 0.0);
+        assert_eq!(t.mean_duty_cycle(), 0.0);
+        assert_eq!(t.switch_count(1), 0);
+    }
+}

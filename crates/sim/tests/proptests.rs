@@ -1,0 +1,146 @@
+//! Property-based tests for the simulation layer: audited schedules,
+//! mobility, dynamic arrivals, placement and the metrics.
+
+use proptest::prelude::*;
+use rfid_core::{AlgorithmKind, make_scheduler, verify_covering_schedule};
+use rfid_model::{Coverage, RadiusModel, Scenario, ScenarioKind};
+use rfid_sim::metrics::{activation_churn, aggregate_point};
+use rfid_sim::{
+    DynamicConfig, LinkLayer, MobilityModel, MobilitySim, SlotSimulator, Timetable,
+    coverage_fraction, greedy_placement, run_dynamic,
+};
+
+fn arb_scenario() -> impl Strategy<Value = (Scenario, u64)> {
+    (
+        2usize..18,
+        10usize..120,
+        4.0..18.0f64,
+        2.0..9.0f64,
+        0u64..1000,
+    )
+        .prop_map(|(n_readers, n_tags, lambda_big, lambda_small, seed)| {
+            (
+                Scenario {
+                    kind: ScenarioKind::UniformRandom,
+                    n_readers,
+                    n_tags,
+                    region_side: 80.0,
+                    radius_model: RadiusModel::PoissonPair {
+                        lambda_interference: lambda_big,
+                        lambda_interrogation: lambda_small,
+                    },
+                },
+                seed,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The audited simulator completes and its schedule verifies from
+    /// first principles, for random scenarios and every paper algorithm.
+    #[test]
+    fn audited_runs_always_verify((scenario, seed) in arb_scenario(), kind_idx in 0usize..5) {
+        let kind = AlgorithmKind::paper_lineup()[kind_idx];
+        let d = scenario.generate(seed);
+        let sim = SlotSimulator::new(&d);
+        let mut s = make_scheduler(kind, seed);
+        let report = sim.run(s.as_mut());
+        prop_assert_eq!(verify_covering_schedule(&d, &report.schedule), Ok(()));
+    }
+
+    /// With a real ALOHA link layer, every well-covered tag is identified
+    /// and the micro-slot budget is at least one per tag.
+    #[test]
+    fn link_layer_always_completes((scenario, seed) in arb_scenario()) {
+        let d = scenario.generate(seed);
+        let mut sim = SlotSimulator::new(&d);
+        sim.link_layer = LinkLayer::Aloha;
+        sim.seed = seed;
+        let mut s = make_scheduler(AlgorithmKind::HillClimbing, seed);
+        let report = sim.run(s.as_mut());
+        prop_assert!(report.link_layer_complete);
+        prop_assert!(report.total_microslots >= report.schedule.tags_served() as u64);
+    }
+
+    /// Mobility accounting: per-epoch serves sum to the total, nothing is
+    /// served twice, and total + remaining = tag count.
+    #[test]
+    fn mobility_accounting_balances((scenario, seed) in arb_scenario(), speed in 1.0..15.0f64) {
+        let initial = scenario.generate(seed);
+        let n_tags = initial.n_tags();
+        let sim = MobilitySim {
+            initial,
+            model: MobilityModel::RandomWaypoint { speed },
+            slots_per_epoch: 1,
+            max_epochs: 30,
+            seed,
+        };
+        let mut s = make_scheduler(AlgorithmKind::HillClimbing, seed);
+        let report = sim.run(s.as_mut());
+        let per_epoch: usize = report.epochs.iter().map(|e| e.served).sum();
+        prop_assert_eq!(per_epoch, report.total_served);
+        prop_assert_eq!(report.total_served + report.remaining_unread, n_tags);
+    }
+
+    /// Dynamic arrivals: throughput ≤ offered load (long-run), latency
+    /// non-negative, served ≤ arrived + warm-up carry-over.
+    #[test]
+    fn dynamic_arrivals_conservation((scenario, seed) in arb_scenario(), rate in 0.5..10.0f64) {
+        let readers = scenario.generate(seed);
+        let config = DynamicConfig { arrival_rate: rate, slots: 30, warmup: 5, seed };
+        let mut s = make_scheduler(AlgorithmKind::HillClimbing, seed);
+        let report = run_dynamic(&readers, config, s.as_mut());
+        prop_assert!(report.mean_latency >= 0.0);
+        // generous: warm-up backlog can spill into the window
+        prop_assert!(report.served <= report.arrived + (rate.ceil() as usize + 1) * 6);
+    }
+
+    /// Placement: coverage fraction is monotone in the reader budget and
+    /// always within [0, 1].
+    #[test]
+    fn placement_coverage_is_monotone(seed in 0u64..500, tags_n in 20usize..120) {
+        use rand::SeedableRng;
+        use rfid_geometry::sampling::uniform_points;
+        let region = rfid_geometry::Rect::square(100.0);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let tags = uniform_points(&mut rng, tags_n, region);
+        let m = RadiusModel::Fixed { interference: 12.0, interrogation: 8.0 };
+        let mut prev = 0.0;
+        for k in [1usize, 3, 6] {
+            let frac = coverage_fraction(&greedy_placement(region, &tags, k, m, seed));
+            prop_assert!((0.0..=1.0).contains(&frac));
+            prop_assert!(frac + 1e-12 >= prev);
+            prev = frac;
+        }
+    }
+
+    /// Timetable totals equal schedule totals, duty cycles in [0, 1].
+    #[test]
+    fn timetable_invariants((scenario, seed) in arb_scenario()) {
+        let d = scenario.generate(seed);
+        let c = Coverage::build(&d);
+        let g = rfid_model::interference::interference_graph(&d);
+        let mut s = make_scheduler(AlgorithmKind::LocalGreedy, seed);
+        let schedule = rfid_core::greedy_covering_schedule(&d, &c, &g, s.as_mut(), 50_000);
+        let t = Timetable::build(&schedule, d.n_readers());
+        for v in 0..d.n_readers() {
+            prop_assert!((0.0..=1.0).contains(&t.duty_cycle(v)));
+            prop_assert!(t.switch_count(v) % 2 == 0, "every power-up has a power-down");
+        }
+        let active: Vec<Vec<usize>> = schedule.slots.iter().map(|s| s.active.clone()).collect();
+        prop_assert!((0.0..=1.0).contains(&activation_churn(&active)));
+    }
+
+    /// aggregate_point statistics are exact for arbitrary samples.
+    #[test]
+    fn aggregation_statistics(values in proptest::collection::vec(-100.0..100.0f64, 1..40)) {
+        let p = aggregate_point(1.0, &values);
+        let mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
+        prop_assert!((p.mean - mean).abs() < 1e-9);
+        prop_assert!(p.min <= p.mean + 1e-9 && p.mean <= p.max + 1e-9);
+        prop_assert!(p.std_dev >= 0.0);
+        prop_assert_eq!(p.n, values.len());
+    }
+}

@@ -1,0 +1,33 @@
+//! Shared helpers for the runnable examples.
+//!
+//! Each example is a standalone binary (`cargo run --example <name>`); this
+//! tiny library only hosts the pretty-printing they share.
+
+use rfid_core::OneShotInput;
+use rfid_model::{Deployment, ReaderId};
+
+/// Prints a one-line summary of an activation set.
+pub fn describe_activation(input: &OneShotInput<'_>, name: &str, set: &[ReaderId]) {
+    println!(
+        "  {name:<18} activates {:>2} readers, w(X) = {:>4}  {:?}",
+        set.len(),
+        input.weight_of(set),
+        set
+    );
+}
+
+/// Prints deployment-level statistics.
+pub fn describe_deployment(d: &Deployment, graph: &rfid_graph::Csr) {
+    let mean_interference: f64 =
+        d.interference_radii().iter().sum::<f64>() / d.n_readers().max(1) as f64;
+    let mean_interrogation: f64 =
+        d.interrogation_radii().iter().sum::<f64>() / d.n_readers().max(1) as f64;
+    println!(
+        "deployment: {} readers, {} tags, region {:.0}×{:.0}, mean R = {mean_interference:.1}, mean r = {mean_interrogation:.1}, |E| = {}",
+        d.n_readers(),
+        d.n_tags(),
+        d.region().width(),
+        d.region().height(),
+        graph.m(),
+    );
+}

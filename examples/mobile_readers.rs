@@ -1,0 +1,72 @@
+//! Mobile readers — the dynamism that motivates the paper's location-free
+//! algorithms ("the position of each reader is often highly dynamic").
+//!
+//! Eight short-range handheld readers sweep a 100×100 floor. A static
+//! schedule can only ever serve the tags inside the initial interrogation
+//! footprint; with movement, the same schedulers drain the whole floor.
+//! The example also drops an SVG snapshot of the first epoch's activation
+//! into `results/mobile_epoch0.svg`.
+//!
+//! ```text
+//! cargo run --release --example mobile_readers
+//! ```
+
+use rfid_core::{AlgorithmKind, OneShotInput, make_scheduler};
+use rfid_model::interference::interference_graph;
+use rfid_model::{Coverage, RadiusModel, Scenario, ScenarioKind, TagSet, WeightEvaluator};
+use rfid_sim::{MobilityModel, MobilitySim, RenderOptions, render_svg};
+
+fn main() {
+    let scenario = Scenario {
+        kind: ScenarioKind::UniformRandom,
+        n_readers: 8,
+        n_tags: 400,
+        region_side: 100.0,
+        radius_model: RadiusModel::Fixed { interference: 14.0, interrogation: 9.0 },
+    };
+    let initial = scenario.generate(11);
+    let static_coverable = Coverage::build(&initial).coverable_count();
+    println!(
+        "floor: {} tags, 8 mobile readers; static footprint covers only {static_coverable} tags\n",
+        initial.n_tags()
+    );
+
+    println!("| algorithm | model | epochs run | tags served | left unread |");
+    println!("|---|---|---|---|---|");
+    for kind in [AlgorithmKind::LocalGreedy, AlgorithmKind::Distributed, AlgorithmKind::HillClimbing] {
+        for (name, model) in [
+            ("waypoint v=8", MobilityModel::RandomWaypoint { speed: 8.0 }),
+            ("walk σ=5", MobilityModel::RandomWalk { sigma: 5.0 }),
+        ] {
+            let sim = MobilitySim {
+                initial: initial.clone(),
+                model,
+                slots_per_epoch: 2,
+                max_epochs: 150,
+                seed: 4,
+            };
+            let mut scheduler = make_scheduler(kind, 0);
+            let report = sim.run(scheduler.as_mut());
+            println!(
+                "| {} | {name} | {} | {} | {} |",
+                kind.label(),
+                report.epochs.len(),
+                report.total_served,
+                report.remaining_unread
+            );
+        }
+    }
+
+    // Snapshot of epoch 0 under Algorithm 2.
+    let coverage = Coverage::build(&initial);
+    let graph = interference_graph(&initial);
+    let unread = TagSet::all_unread(initial.n_tags());
+    let input = OneShotInput::new(&initial, &coverage, &graph, &unread);
+    let active = make_scheduler(AlgorithmKind::LocalGreedy, 0).schedule(&input);
+    let served = WeightEvaluator::new(&coverage).well_covered(&active, &unread);
+    let svg = render_svg(&initial, &coverage, &active, &served, &RenderOptions::default());
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/mobile_epoch0.svg", svg).expect("write svg");
+    println!("\nwrote results/mobile_epoch0.svg (epoch-0 activation snapshot)");
+    println!("every tag the static footprint misses is eventually served once readers move.");
+}

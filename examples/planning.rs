@@ -1,0 +1,72 @@
+//! Deployment planning — from tag survey to running schedule.
+//!
+//! The paper's predecessors assume readers are "carefully deployed in a
+//! planned fashion". This example does the planning: survey where tags
+//! accumulate, place a reader budget with greedy max-coverage, then run
+//! the scheduling stack on the planned deployment and print the
+//! reader-major timetable.
+//!
+//! ```text
+//! cargo run --release --example planning
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rfid_core::{AlgorithmKind, make_scheduler};
+use rfid_geometry::Rect;
+use rfid_geometry::sampling::{clustered_points, uniform_points};
+use rfid_model::interference::interference_graph;
+use rfid_model::{Coverage, RadiusModel, deployment_stats};
+use rfid_sim::{Timetable, coverage_fraction, greedy_placement};
+
+fn main() {
+    // 1. The tag survey: goods pile up on five staging areas of a 100×100
+    //    floor.
+    let region = Rect::square(100.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let staging = uniform_points(&mut rng, 5, region);
+    let tags = clustered_points(&mut rng, 600, region, &staging, 5.0);
+
+    // 2. Plan 10 readers with greedy max-coverage.
+    let model = RadiusModel::PoissonPair { lambda_interference: 14.0, lambda_interrogation: 8.0 };
+    let planned = greedy_placement(region, &tags, 10, model, 42);
+    println!(
+        "planned 10 readers over 600 clustered tags → {:.1}% coverage",
+        100.0 * coverage_fraction(&planned)
+    );
+
+    // 3. Structural statistics of the plan.
+    let coverage = Coverage::build(&planned);
+    let graph = interference_graph(&planned);
+    let stats = deployment_stats(&planned, &coverage, &graph);
+    println!(
+        "mean coverage {:.2} readers/tag, overlap fraction {:.2}, mean interference degree {:.2}\n",
+        stats.mean_coverage, stats.overlap_fraction, stats.mean_degree
+    );
+
+    // 4. Schedule it and print the reader timetable.
+    let mut scheduler = make_scheduler(AlgorithmKind::LocalGreedy, 0);
+    let schedule = rfid_core::greedy_covering_schedule(
+        &planned,
+        &coverage,
+        &graph,
+        scheduler.as_mut(),
+        100_000,
+    );
+    println!(
+        "covering schedule: {} slots, {} tags served, {} unreachable",
+        schedule.size(),
+        schedule.tags_served(),
+        schedule.uncoverable.len()
+    );
+    let table = Timetable::build(&schedule, planned.n_readers());
+    println!("\nreader timetable (█ = active):");
+    print!("{}", table.render_text());
+    println!(
+        "\nmean duty cycle {:.2}; greedy placement concentrates coverage so a\n\
+         handful of well-placed readers drain the floor in very few slots —\n\
+         idle rows are readers whose tags a neighbour serves first.",
+        table.mean_duty_cycle()
+    );
+    assert_eq!(rfid_core::verify_covering_schedule(&planned, &schedule), Ok(()));
+}

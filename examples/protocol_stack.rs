@@ -1,0 +1,72 @@
+//! Link-layer protocol stack comparison — the substrate below the
+//! scheduler.
+//!
+//! The paper assumes tag–tag collisions are "successfully resolved through
+//! certain link-layered protocol i.e., framed Aloha or tree-splitting".
+//! This example measures those protocols head-to-head on growing tag
+//! populations: micro-slots per identified tag, throughput, and time to
+//! the *first* read (the quantity the paper's slot-sizing assumption
+//! depends on).
+//!
+//! ```text
+//! cargo run --release --example protocol_stack
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rfid_protocols::{AntiCollisionProtocol, FramedAloha, QProtocol, TreeWalking};
+
+fn main() {
+    let populations = [1usize, 5, 20, 50, 100, 250, 500];
+    const TRIALS: u64 = 10;
+
+    println!("tag anti-collision protocols: micro-slots per tag (mean over {TRIALS} trials)\n");
+    println!("| tags | aloha (adaptive) | aloha (fixed 16) | tree-walking | gen2-q | first-read worst |");
+    println!("|---|---|---|---|---|---|");
+    for &n in &populations {
+        let tags: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let adaptive = FramedAloha::default();
+        let fixed = FramedAloha { adaptive: false, ..Default::default() };
+        let tree = TreeWalking::default();
+        let q = QProtocol::default();
+        let mut sums = [0.0f64; 4];
+        let mut resolved = [true; 4];
+        let mut first_worst = 0u64;
+        for seed in 0..TRIALS {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let outcomes = [
+                adaptive.inventory(&tags, &mut rng),
+                fixed.inventory(&tags, &mut rng),
+                tree.inventory(&tags, &mut rng),
+                q.inventory(&tags, &mut rng),
+            ];
+            for (i, o) in outcomes.iter().enumerate() {
+                // A fixed 16-slot frame genuinely starves on hundreds of
+                // tags (singleton probability ≈ 0) — report DNF rather
+                // than pretend; the adaptive protocols must always finish.
+                resolved[i] &= o.unresolved.is_empty();
+                sums[i] += o.total_slots as f64 / n as f64;
+                if let Some(f) = o.slots_to_first_read() {
+                    first_worst = first_worst.max(f);
+                }
+            }
+        }
+        assert!(resolved[0] && resolved[2] && resolved[3], "adaptive protocols must finish");
+        let cell = |i: usize| {
+            if resolved[i] { format!("{:.2}", sums[i] / TRIALS as f64) } else { "DNF".into() }
+        };
+        println!(
+            "| {n} | {} | {} | {} | {} | {first_worst} |",
+            cell(0),
+            cell(1),
+            cell(2),
+            cell(3),
+        );
+    }
+    println!(
+        "\nframed ALOHA peaks near the theoretical 1/e ≈ 0.37 tags per micro-slot\n\
+         (≈ 2.7 µ-slots per tag); tree-walking pays for adjacent IDs but is fully\n\
+         deterministic. \"first-read worst\" bounds how early in a slot the paper's\n\
+         ≥ 1-tag guarantee kicks in."
+    );
+}

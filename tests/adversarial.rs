@@ -1,0 +1,141 @@
+//! Adversarial geometry: degenerate and extreme deployments that stress
+//! every boundary condition at once, across the whole pipeline.
+
+use rfid_core::{AlgorithmKind, make_scheduler, verify_covering_schedule};
+use rfid_geometry::{Point, Rect};
+use rfid_model::Deployment;
+use rfid_sim::SlotSimulator;
+
+fn run_all(d: &Deployment, label: &str) {
+    for kind in AlgorithmKind::paper_lineup() {
+        let sim = SlotSimulator::new(d);
+        let mut s = make_scheduler(kind, 0);
+        let report = sim.run(s.as_mut());
+        assert_eq!(
+            report.schedule.tags_served(),
+            sim.coverage().coverable_count(),
+            "{label} / {kind:?}"
+        );
+        assert_eq!(
+            verify_covering_schedule(d, &report.schedule),
+            Ok(()),
+            "{label} / {kind:?}"
+        );
+    }
+}
+
+#[test]
+fn collinear_chain_of_readers() {
+    // All readers on a line, each interfering only with neighbours; tags
+    // exactly on the line — maximum RRc overlap along the axis.
+    let n = 12;
+    let readers: Vec<Point> = (0..n).map(|i| Point::new(8.0 * i as f64, 50.0)).collect();
+    let tags: Vec<Point> = (0..40).map(|i| Point::new(2.3 * i as f64, 50.0)).collect();
+    let d = Deployment::new(
+        Rect::square(100.0),
+        readers,
+        vec![9.0; n],
+        vec![5.0; n],
+        tags,
+    );
+    run_all(&d, "collinear chain");
+}
+
+#[test]
+fn concentric_radii_hierarchy() {
+    // Readers stacked on one centre with exponentially growing radii —
+    // the PTAS level machinery gets one disk per level.
+    let radii = [1.0f64, 2.0, 4.0, 8.0, 16.0, 32.0];
+    let readers = vec![Point::new(50.0, 50.0); radii.len()];
+    let tags: Vec<Point> = (0..30)
+        .map(|i| {
+            let a = i as f64 * std::f64::consts::TAU / 30.0;
+            let r = 1.0 + i as f64;
+            Point::new((50.0 + r * a.cos()).clamp(0.0, 100.0), (50.0 + r * a.sin()).clamp(0.0, 100.0))
+        })
+        .collect();
+    let interrogation: Vec<f64> = radii.iter().map(|r| r * 0.8).collect();
+    let d = Deployment::new(Rect::square(100.0), readers, radii.to_vec(), interrogation, tags);
+    run_all(&d, "concentric hierarchy");
+}
+
+#[test]
+fn tags_on_exact_boundaries() {
+    // Tags precisely on interrogation-disk boundaries: closed-disk
+    // semantics must be applied consistently everywhere.
+    let d = Deployment::new(
+        Rect::square(40.0),
+        vec![Point::new(10.0, 20.0), Point::new(30.0, 20.0)],
+        vec![8.0, 8.0],
+        vec![5.0, 5.0],
+        vec![
+            Point::new(15.0, 20.0), // exactly on reader 0's boundary
+            Point::new(25.0, 20.0), // exactly on reader 1's boundary
+            Point::new(20.0, 20.0), // exactly between, covered by neither (dist 10 > 5)
+        ],
+    );
+    let c = rfid_model::Coverage::build(&d);
+    assert_eq!(c.readers_of(0), &[0]);
+    assert_eq!(c.readers_of(1), &[1]);
+    assert!(c.readers_of(2).is_empty());
+    run_all(&d, "boundary tags");
+}
+
+#[test]
+fn giant_jammer_with_satellites() {
+    // One reader whose interference disk swallows the region: nothing can
+    // run concurrently with it; the schedule must serialise around it.
+    let mut readers = vec![Point::new(50.0, 50.0)];
+    let mut big = vec![200.0];
+    let mut small = vec![3.0];
+    for i in 0..6 {
+        let a = i as f64 * std::f64::consts::TAU / 6.0;
+        readers.push(Point::new(50.0 + 35.0 * a.cos(), 50.0 + 35.0 * a.sin()));
+        big.push(6.0);
+        small.push(4.0);
+    }
+    let tags: Vec<Point> = readers.iter().map(|p| Point::new(p.x, (p.y + 1.0).min(99.0))).collect();
+    let d = Deployment::new(Rect::square(100.0), readers, big, small, tags);
+    // Interference graph is a star around reader 0.
+    let g = rfid_model::interference::interference_graph(&d);
+    assert_eq!(g.degree(0), 6);
+    run_all(&d, "giant jammer");
+}
+
+#[test]
+fn many_coincident_tags_on_one_reader() {
+    // 200 tags on a single point inside one reader — a TTc stress: the
+    // ALOHA link layer must still identify everyone in one slot.
+    let d = Deployment::new(
+        Rect::square(20.0),
+        vec![Point::new(10.0, 10.0)],
+        vec![5.0],
+        vec![4.0],
+        vec![Point::new(10.0, 11.0); 200],
+    );
+    let mut sim = SlotSimulator::new(&d);
+    sim.link_layer = rfid_sim::LinkLayer::Aloha;
+    let mut s = make_scheduler(AlgorithmKind::LocalGreedy, 0);
+    let report = sim.run(s.as_mut());
+    assert_eq!(report.schedule.size(), 1, "all 200 tags well-covered in one slot");
+    assert_eq!(report.schedule.tags_served(), 200);
+    assert!(report.link_layer_complete);
+    assert!(report.max_microslots_per_slot >= 200, "ALOHA needs ≥ n micro-slots");
+}
+
+#[test]
+fn extreme_aspect_ratio_region() {
+    // A 1000×1 corridor: grid indices and the PTAS grid must not choke on
+    // anisotropy.
+    let n = 10;
+    let readers: Vec<Point> = (0..n).map(|i| Point::new(100.0 * i as f64 + 50.0, 0.5)).collect();
+    let tags: Vec<Point> = (0..50).map(|i| Point::new(20.0 * i as f64, 0.5)).collect();
+    let d = Deployment::new(
+        Rect::new(0.0, 0.0, 1000.0, 1.0),
+        readers,
+        vec![60.0; n],
+        vec![40.0; n],
+        tags,
+    );
+    run_all(&d, "corridor");
+}

@@ -1,0 +1,84 @@
+//! Bit-reproducibility: every pipeline stage is a pure function of
+//! `(scenario, seed)` — the property EXPERIMENTS.md's recorded numbers
+//! rest on.
+
+use rfid_core::{AlgorithmKind, make_scheduler};
+use rfid_integration_tests::scenario;
+use rfid_model::interference::interference_graph;
+use rfid_model::Coverage;
+use rfid_sim::SlotSimulator;
+
+#[test]
+fn deployments_reproduce_bitwise() {
+    let s = scenario(50, 1200, 14.0, 6.0);
+    let a = s.generate(123);
+    let b = s.generate(123);
+    assert_eq!(a, b);
+    assert_eq!(Coverage::build(&a), Coverage::build(&b));
+    assert_eq!(interference_graph(&a), interference_graph(&b));
+}
+
+#[test]
+fn schedules_reproduce_per_seed() {
+    let s = scenario(25, 400, 13.0, 6.0);
+    let d = s.generate(5);
+    for kind in AlgorithmKind::paper_lineup() {
+        let run = |seed: u64| {
+            let sim = SlotSimulator::new(&d);
+            let mut scheduler = make_scheduler(kind, seed);
+            let report = sim.run(scheduler.as_mut());
+            report
+                .schedule
+                .slots
+                .iter()
+                .map(|s| (s.active.clone(), s.served.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9), "{kind:?} not reproducible");
+    }
+}
+
+#[test]
+fn different_seeds_change_randomized_algorithms() {
+    // Colorwave is randomised: different seeds should (almost surely)
+    // produce different colourings somewhere across several deployments.
+    let s = scenario(30, 300, 14.0, 6.0);
+    let mut any_diff = false;
+    for dseed in 0..5u64 {
+        let d = s.generate(dseed);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let unread = rfid_model::TagSet::all_unread(d.n_tags());
+        let input = rfid_core::OneShotInput::new(&d, &c, &g, &unread);
+        let a = make_scheduler(AlgorithmKind::Colorwave, 1).schedule(&input);
+        let b = make_scheduler(AlgorithmKind::Colorwave, 2).schedule(&input);
+        any_diff |= a != b;
+    }
+    assert!(any_diff, "colorwave ignored its seed across five deployments");
+}
+
+#[test]
+fn sweep_records_are_identical_across_runs() {
+    use rfid_core::AlgorithmKind;
+    use rfid_sim::{SweepAxis, SweepConfig, run_sweep};
+    let config = SweepConfig {
+        scenario: scenario(15, 150, 12.0, 6.0),
+        axis: SweepAxis::Interrogation,
+        values: vec![5.0, 7.0],
+        fixed_lambda: 12.0,
+        algorithms: vec![AlgorithmKind::LocalGreedy, AlgorithmKind::Colorwave],
+        trials: 3,
+        base_seed: 77,
+        measure_mcs: true,
+        measure_oneshot: true,
+        threads: Some(3),
+    };
+    let a = run_sweep(&config);
+    let b = run_sweep(&config);
+    let strip = |rs: &[rfid_sim::TrialRecord]| {
+        rs.iter()
+            .map(|r| (r.algorithm.clone(), r.seed, r.mcs_size, r.oneshot_weight))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(strip(&a), strip(&b));
+}

@@ -1,0 +1,113 @@
+//! Consistency of the distributed protocol (Algorithm 3) with the model
+//! and with its centralized counterpart.
+
+use rfid_core::{DistributedScheduler, LocalGreedy, OneShotInput, OneShotScheduler};
+use rfid_integration_tests::scenario;
+use rfid_model::interference::interference_graph;
+use rfid_model::{Coverage, TagSet, audit_activation};
+
+/// The Red set never contains an interfering pair, for a spread of
+/// densities (sparse to near-clique interference graphs).
+#[test]
+fn red_set_is_feasible_across_densities() {
+    for &lambda_big in &[6.0, 12.0, 20.0, 30.0] {
+        for seed in 0..3u64 {
+            let d = scenario(30, 300, lambda_big, 5.0).generate(seed);
+            let c = Coverage::build(&d);
+            let g = interference_graph(&d);
+            let unread = TagSet::all_unread(d.n_tags());
+            let input = OneShotInput::new(&d, &c, &g, &unread);
+            let set = DistributedScheduler::default().schedule(&input);
+            let audit = audit_activation(&d, &c, &set, &unread);
+            assert!(
+                audit.is_feasible(),
+                "λ_R={lambda_big} seed {seed}: {:?}",
+                audit.rtc_pairs
+            );
+        }
+    }
+}
+
+/// Protocol terminates (and the scheduler does not hit its round budget)
+/// even on adversarial topologies: a long path and a star.
+#[test]
+fn terminates_on_path_and_star_topologies() {
+    use rfid_geometry::{Point, Rect};
+    use rfid_model::Deployment;
+    // Path: readers in a line, each interfering only with its neighbours.
+    let n = 20;
+    let path = Deployment::new(
+        Rect::new(0.0, 0.0, 10.0 * n as f64, 10.0),
+        (0..n).map(|i| Point::new(10.0 * i as f64 + 5.0, 5.0)).collect(),
+        vec![10.0; n],
+        vec![4.0; n],
+        (0..n).map(|i| Point::new(10.0 * i as f64 + 5.0, 2.0)).collect(),
+    );
+    // Star: one huge-interference hub plus leaves outside each other's
+    // range.
+    let mut pos = vec![Point::new(50.0, 50.0)];
+    let mut big = vec![60.0];
+    let mut small = vec![5.0];
+    for i in 0..8 {
+        let angle = i as f64 * std::f64::consts::TAU / 8.0;
+        pos.push(Point::new(50.0 + 40.0 * angle.cos(), 50.0 + 40.0 * angle.sin()));
+        big.push(5.0);
+        small.push(4.0);
+    }
+    let tags = (0..9)
+        .map(|i| Point::new(pos[i].x, (pos[i].y + 1.0).min(99.0)))
+        .collect();
+    let star = Deployment::new(Rect::square(100.0), pos, big, small, tags);
+
+    for (name, d) in [("path", path), ("star", star)] {
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let unread = TagSet::all_unread(d.n_tags());
+        let input = OneShotInput::new(&d, &c, &g, &unread);
+        let set = DistributedScheduler::default().schedule(&input);
+        assert!(d.is_feasible(&set), "{name}");
+        assert!(!set.is_empty(), "{name} should activate someone");
+    }
+}
+
+/// With c large enough to cover the whole graph, the distributed result
+/// matches the centralized one exactly (same growth rule, same view).
+#[test]
+fn matches_centralized_with_global_view() {
+    for seed in 0..3u64 {
+        let d = scenario(20, 250, 12.0, 6.0).generate(seed);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let unread = TagSet::all_unread(d.n_tags());
+        let input = OneShotInput::new(&d, &c, &g, &unread);
+        let rho = 1.1;
+        // c = 10 ⇒ every component of a 20-node graph fits in the gathered
+        // (2c+2)-hop ball, so head elections replicate the global argmax.
+        let dist = DistributedScheduler::with_params(rho, 10).schedule(&input);
+        let central = LocalGreedy { rho, max_hops: 10 }.schedule(&input);
+        assert_eq!(dist, central, "seed {seed}");
+    }
+}
+
+/// Message volume scales with the gathered radius but stays bounded: the
+/// whole protocol is O(n²) records in the worst case.
+#[test]
+fn message_volume_is_bounded() {
+    let d = scenario(40, 400, 16.0, 6.0).generate(0);
+    let c = Coverage::build(&d);
+    let g = interference_graph(&d);
+    let unread = TagSet::all_unread(d.n_tags());
+    let input = OneShotInput::new(&d, &c, &g, &unread);
+    let mut s = DistributedScheduler::with_params(1.1, 3);
+    s.schedule(&input);
+    let stats = s.last_stats.unwrap();
+    // Generous sanity bound: every reader forwards every record at most
+    // once per neighbour, plus result floods.
+    let n = d.n_readers() as u64;
+    let m = g.m() as u64;
+    assert!(
+        stats.messages <= 2 * m * n + 10 * n + 100,
+        "suspiciously many messages: {} (n={n}, m={m})",
+        stats.messages
+    );
+}

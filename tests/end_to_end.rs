@@ -1,0 +1,123 @@
+//! End-to-end integration: deployment → derived structures → scheduler →
+//! audited covering schedule, across every algorithm.
+
+use rfid_core::{AlgorithmKind, OneShotInput, make_scheduler};
+use rfid_integration_tests::scenario;
+use rfid_model::interference::interference_graph;
+use rfid_model::{Coverage, TagSet, audit_activation};
+use rfid_sim::{LinkLayer, SlotSimulator};
+
+/// Every algorithm × several seeds: the audited simulator must complete
+/// with all coverable tags served and zero model violations (the simulator
+/// panics on any RTc or served/well-covered mismatch).
+#[test]
+fn every_algorithm_completes_an_audited_schedule() {
+    let s = scenario(25, 300, 12.0, 6.0);
+    for kind in AlgorithmKind::paper_lineup() {
+        for seed in 0..3u64 {
+            let d = s.generate(seed);
+            let sim = SlotSimulator::new(&d);
+            let mut scheduler = make_scheduler(kind, seed);
+            let report = sim.run(scheduler.as_mut());
+            assert_eq!(
+                report.schedule.tags_served(),
+                sim.coverage().coverable_count(),
+                "{kind:?} seed {seed}"
+            );
+        }
+    }
+}
+
+/// The full pipeline with a real link layer still identifies every tag.
+#[test]
+fn end_to_end_with_aloha_link_layer() {
+    let s = scenario(20, 400, 12.0, 6.0);
+    let d = s.generate(11);
+    let mut sim = SlotSimulator::new(&d);
+    sim.link_layer = LinkLayer::Aloha;
+    let mut scheduler = make_scheduler(AlgorithmKind::LocalGreedy, 0);
+    let report = sim.run(scheduler.as_mut());
+    assert!(report.link_layer_complete);
+    assert!(report.total_microslots >= report.schedule.tags_served() as u64);
+}
+
+/// One-shot outputs satisfy Definition 1 end to end: the general collision
+/// audit agrees with the scheduler's own weight accounting.
+#[test]
+fn oneshot_outputs_survive_the_general_audit() {
+    let s = scenario(35, 500, 14.0, 6.0);
+    for kind in AlgorithmKind::paper_lineup() {
+        for seed in 0..3u64 {
+            let d = s.generate(seed);
+            let c = Coverage::build(&d);
+            let g = interference_graph(&d);
+            let unread = TagSet::all_unread(d.n_tags());
+            let input = OneShotInput::new(&d, &c, &g, &unread);
+            let mut scheduler = make_scheduler(kind, seed);
+            let set = scheduler.schedule(&input);
+            let audit = audit_activation(&d, &c, &set, &unread);
+            assert!(audit.is_feasible(), "{kind:?} seed {seed}: RTc {:?}", audit.rtc_pairs);
+            assert_eq!(
+                audit.well_covered.len(),
+                input.weight_of(&set),
+                "{kind:?} seed {seed}: audit and weight disagree"
+            );
+        }
+    }
+}
+
+/// Degenerate deployments must not panic anywhere in the pipeline.
+#[test]
+fn degenerate_deployments_are_handled() {
+    use rfid_geometry::{Point, Rect};
+    use rfid_model::Deployment;
+    let cases = vec![
+        // no readers, tags exist
+        Deployment::new(Rect::square(10.0), vec![], vec![], vec![], vec![Point::new(1.0, 1.0)]),
+        // readers, no tags
+        Deployment::new(
+            Rect::square(10.0),
+            vec![Point::new(2.0, 2.0), Point::new(8.0, 8.0)],
+            vec![3.0, 3.0],
+            vec![1.0, 1.0],
+            vec![],
+        ),
+        // all readers stacked on one point (fully interfering clique)
+        Deployment::new(
+            Rect::square(10.0),
+            vec![Point::new(5.0, 5.0); 5],
+            vec![2.0; 5],
+            vec![1.0; 5],
+            vec![Point::new(5.0, 5.5), Point::new(9.9, 9.9)],
+        ),
+    ];
+    for (i, d) in cases.into_iter().enumerate() {
+        for kind in AlgorithmKind::paper_lineup() {
+            let sim = SlotSimulator::new(&d);
+            let mut scheduler = make_scheduler(kind, 0);
+            let report = sim.run(scheduler.as_mut());
+            assert_eq!(
+                report.schedule.tags_served(),
+                sim.coverage().coverable_count(),
+                "case {i} {kind:?}"
+            );
+        }
+    }
+}
+
+/// The MCS loop serves each tag exactly once (no double reads across
+/// slots).
+#[test]
+fn no_tag_is_served_twice() {
+    let s = scenario(30, 600, 13.0, 7.0);
+    let d = s.generate(4);
+    let sim = SlotSimulator::new(&d);
+    let mut scheduler = make_scheduler(AlgorithmKind::Ptas, 0);
+    let report = sim.run(scheduler.as_mut());
+    let mut seen = std::collections::HashSet::new();
+    for slot in &report.schedule.slots {
+        for &t in &slot.served {
+            assert!(seen.insert(t), "tag {t} served twice");
+        }
+    }
+}

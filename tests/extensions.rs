@@ -1,0 +1,133 @@
+//! Integration tests for the extension features: multi-channel,
+//! Q-learning, mobility, dynamic arrivals, timetables, and faulted
+//! distributed runs — all exercised through the public APIs together.
+
+use rfid_core::{
+    AlgorithmKind, DistributedScheduler, MultiChannelGreedy, OneShotInput, OneShotScheduler,
+    QLearningScheduler, greedy_covering_schedule, make_scheduler,
+    multichannel_covering_schedule,
+};
+use rfid_integration_tests::scenario;
+use rfid_model::interference::interference_graph;
+use rfid_model::{Coverage, TagSet};
+use rfid_sim::metrics::activation_churn;
+use rfid_sim::{DynamicConfig, MobilityModel, MobilitySim, Timetable, run_dynamic};
+
+#[test]
+fn multichannel_dominates_single_channel_end_to_end() {
+    for seed in 0..3u64 {
+        let d = scenario(25, 400, 15.0, 7.0).generate(seed);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let unread = TagSet::all_unread(d.n_tags());
+        let input = OneShotInput::new(&d, &c, &g, &unread);
+        let w1 = {
+            let s = MultiChannelGreedy::new(1);
+            let a = s.schedule(&input);
+            s.weight_of(&input, &a)
+        };
+        let w3 = {
+            let s = MultiChannelGreedy::new(3);
+            let a = s.schedule(&input);
+            assert!(a.is_feasible(&g));
+            s.weight_of(&input, &a)
+        };
+        assert!(w3 >= w1, "seed {seed}: 3 channels {w3} < 1 channel {w1}");
+        // and the covering schedule is never longer
+        let m1 = multichannel_covering_schedule(&d, &c, &g, 1, 100_000);
+        let m3 = multichannel_covering_schedule(&d, &c, &g, 3, 100_000);
+        assert!(m3.size() <= m1.size(), "seed {seed}");
+        assert_eq!(m3.tags_served(), c.coverable_count());
+    }
+}
+
+#[test]
+fn qlearning_is_feasible_but_not_dominant() {
+    let mut ql_total = 0usize;
+    let mut alg1_total = 0usize;
+    for seed in 0..3u64 {
+        let d = scenario(25, 400, 14.0, 6.0).generate(seed);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let unread = TagSet::all_unread(d.n_tags());
+        let input = OneShotInput::new(&d, &c, &g, &unread);
+        let ql = QLearningScheduler::seeded(seed).schedule(&input);
+        assert!(d.is_feasible(&ql), "seed {seed}");
+        ql_total += input.weight_of(&ql);
+        alg1_total += input.weight_of(&make_scheduler(AlgorithmKind::Ptas, seed).schedule(&input));
+    }
+    assert!(
+        alg1_total >= ql_total,
+        "PTAS ({alg1_total}) must dominate Q-learning ({ql_total}) in aggregate"
+    );
+}
+
+#[test]
+fn mobile_run_with_distributed_scheduler() {
+    // The full stack: mobility × message-passing scheduler.
+    let initial = scenario(10, 150, 12.0, 8.0).generate(5);
+    let sim = MobilitySim {
+        initial: initial.clone(),
+        model: MobilityModel::RandomWaypoint { speed: 10.0 },
+        slots_per_epoch: 1,
+        max_epochs: 80,
+        seed: 5,
+    };
+    let mut scheduler = DistributedScheduler::default();
+    let report = sim.run(&mut scheduler);
+    let static_coverable = Coverage::build(&initial).coverable_count();
+    assert!(report.total_served >= static_coverable);
+}
+
+#[test]
+fn dynamic_arrivals_with_every_paper_algorithm() {
+    let readers = scenario(12, 0, 13.0, 7.0).generate(2);
+    for kind in AlgorithmKind::paper_lineup() {
+        let mut s = make_scheduler(kind, 1);
+        let report = run_dynamic(
+            &readers,
+            DynamicConfig { arrival_rate: 4.0, slots: 40, warmup: 8, seed: 3 },
+            s.as_mut(),
+        );
+        assert!(report.served > 0, "{kind:?} served nothing");
+        assert!(report.throughput > 0.0);
+    }
+}
+
+#[test]
+fn timetable_matches_schedule_and_churn() {
+    let d = scenario(20, 300, 13.0, 6.0).generate(9);
+    let c = Coverage::build(&d);
+    let g = interference_graph(&d);
+    let mut s = make_scheduler(AlgorithmKind::LocalGreedy, 0);
+    let schedule = greedy_covering_schedule(&d, &c, &g, s.as_mut(), 100_000);
+    let table = Timetable::build(&schedule, d.n_readers());
+    // total activations agree between the two views
+    let slot_major: usize = schedule.slots.iter().map(|s| s.active.len()).sum();
+    let reader_major: usize = (0..d.n_readers()).map(|v| table.active[v].len()).sum();
+    assert_eq!(slot_major, reader_major);
+    assert!(table.mean_duty_cycle() <= 1.0);
+    // churn is defined on the same slot-major view
+    let active: Vec<Vec<usize>> = schedule.slots.iter().map(|s| s.active.clone()).collect();
+    let churn = activation_churn(&active);
+    assert!((0.0..=1.0).contains(&churn));
+    // render does not panic and covers every reader
+    let text = table.render_text();
+    assert_eq!(text.lines().count(), d.n_readers());
+}
+
+#[test]
+fn faulted_distributed_stays_consistent_with_audit() {
+    use rfid_model::audit_activation;
+    let d = scenario(25, 300, 14.0, 6.0).generate(7);
+    let c = Coverage::build(&d);
+    let g = interference_graph(&d);
+    let unread = TagSet::all_unread(d.n_tags());
+    let input = OneShotInput::new(&d, &c, &g, &unread);
+    let mut s = DistributedScheduler::default().with_loss(0.3, 11);
+    s.crashes = vec![(3, 2), (8, 5)];
+    let set = s.schedule(&input);
+    let audit = audit_activation(&d, &c, &set, &unread);
+    assert!(audit.is_feasible(), "loss+crash run produced RTc: {:?}", audit.rtc_pairs);
+    assert!(!set.contains(&3) && !set.contains(&8));
+}

@@ -1,0 +1,17 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use rfid_model::{RadiusModel, Scenario, ScenarioKind};
+
+/// A paper-style scenario scaled by `n_readers`/`n_tags`.
+pub fn scenario(n_readers: usize, n_tags: usize, lambda_big: f64, lambda_small: f64) -> Scenario {
+    Scenario {
+        kind: ScenarioKind::UniformRandom,
+        n_readers,
+        n_tags,
+        region_side: 100.0,
+        radius_model: RadiusModel::PoissonPair {
+            lambda_interference: lambda_big,
+            lambda_interrogation: lambda_small,
+        },
+    }
+}
