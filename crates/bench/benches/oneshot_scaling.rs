@@ -5,8 +5,8 @@
 //! graph-only algorithms run in near-linear time, Colorwave is the
 //! cheapest, the exact solver is exponential (benchmarked only at n = 25).
 
-use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
-use rfid_core::{AlgorithmKind, OneShotInput, make_scheduler};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rfid_core::{make_scheduler, AlgorithmKind, OneShotInput};
 use rfid_model::interference::interference_graph;
 use rfid_model::{Coverage, RadiusModel, Scenario, ScenarioKind, TagSet};
 use std::hint::black_box;

@@ -1,14 +1,16 @@
 //! Criterion bench: link-layer tag-arbitration throughput — the substrate
 //! the paper's "slot long enough to read ≥ 1 tag" assumption delegates to.
 
-use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rfid_protocols::{AntiCollisionProtocol, FramedAloha, QProtocol, TreeWalking};
 use std::hint::black_box;
 
 fn population(n: usize) -> Vec<u64> {
-    (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect()
+    (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+        .collect()
 }
 
 fn bench_protocols(c: &mut Criterion) {

@@ -2,12 +2,12 @@
 //! improvement, Q-learning training, growth-function diagnostics and the
 //! full end-to-end covering schedule.
 
-use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
-use rfid_core::{
-    AlgorithmKind, MultiChannelGreedy, OneShotInput, QLearningScheduler, greedy_covering_schedule,
-    improve_schedule, make_scheduler,
-};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rfid_core::OneShotScheduler;
+use rfid_core::{
+    greedy_covering_schedule, improve_schedule, make_scheduler, AlgorithmKind, MultiChannelGreedy,
+    OneShotInput, QLearningScheduler,
+};
 use rfid_model::interference::interference_graph;
 use rfid_model::{Coverage, RadiusModel, Scenario, ScenarioKind, TagSet};
 use std::hint::black_box;

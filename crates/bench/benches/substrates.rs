@@ -2,7 +2,7 @@
 //! spatial indices, interference-graph construction, coverage tables,
 //! weight evaluation, hop balls and the exact MWFS enumeration primitive.
 
-use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rfid_core::exact::exact_mwfs_restricted;
@@ -93,12 +93,23 @@ fn bench_exact_mwfs(c: &mut Criterion) {
         let all: Vec<usize> = (0..n).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                black_box(exact_mwfs_restricted(&cov, &g, &unread, black_box(&all), &[]))
+                black_box(exact_mwfs_restricted(
+                    &cov,
+                    &g,
+                    &unread,
+                    black_box(&all),
+                    &[],
+                ))
             })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_spatial_indices, bench_model_construction, bench_exact_mwfs);
+criterion_group!(
+    benches,
+    bench_spatial_indices,
+    bench_model_construction,
+    bench_exact_mwfs
+);
 criterion_main!(benches);

@@ -11,9 +11,9 @@
 //! 7. Algorithm 3 robustness under message loss.
 
 use rfid_core::{
-    AlgorithmKind, DistributedScheduler, ExactScheduler, LocalGreedy, MultiChannelGreedy,
-    OneShotInput, OneShotScheduler, PtasScheduler, QLearningScheduler, improve_schedule,
-    make_scheduler,
+    improve_schedule, make_scheduler, AlgorithmKind, DistributedScheduler, ExactScheduler,
+    LocalGreedy, MultiChannelGreedy, OneShotInput, OneShotScheduler, PtasScheduler,
+    QLearningScheduler,
 };
 use rfid_model::interference::interference_graph;
 use rfid_model::{Coverage, RadiusModel, Scenario, ScenarioKind, TagSet};
@@ -61,7 +61,10 @@ fn main() {
     let seeds = if quick { 0..3u64 } else { 0..10u64 };
     let s = scenario(if quick { 20 } else { 50 }, if quick { 300 } else { 1200 });
 
-    println!("## Ablation 1 — PTAS k and augmentation (one-shot weight, mean over {} seeds)\n", seeds.clone().count());
+    println!(
+        "## Ablation 1 — PTAS k and augmentation (one-shot weight, mean over {} seeds)\n",
+        seeds.clone().count()
+    );
     println!("| variant | weight | runtime ms |");
     println!("|---|---|---|");
     for k in [2usize, 3, 4] {
@@ -69,7 +72,12 @@ fn main() {
             let (w, ms) = eval(
                 s,
                 seeds.clone(),
-                PtasScheduler { k, lambda_cap: 4, augment, ..Default::default() },
+                PtasScheduler {
+                    k,
+                    lambda_cap: 4,
+                    augment,
+                    ..Default::default()
+                },
             );
             println!("| k={k}, augment={augment} | {w:.1} | {ms:.1} |");
         }
@@ -164,7 +172,11 @@ fn main() {
             total_active += a.active_readers().len() as f64;
         }
         let n = seeds.clone().count() as f64;
-        println!("| {channels} | {:.1} | {:.1} |", total_w / n, total_active / n);
+        println!(
+            "| {channels} | {:.1} | {:.1} |",
+            total_w / n,
+            total_active / n
+        );
     }
 
     println!("\n## Ablation 6 — Q-learning (HiQ) comparator\n");
@@ -212,7 +224,9 @@ fn main() {
         );
     }
 
-    println!("\n## Ablation 8 — distance from local optimality (destroy-and-repair local search)\n");
+    println!(
+        "\n## Ablation 8 — distance from local optimality (destroy-and-repair local search)\n"
+    );
     println!("| algorithm | weight | after local search | gain % |");
     println!("|---|---|---|---|");
     for kind in AlgorithmKind::paper_lineup() {
@@ -229,8 +243,18 @@ fn main() {
             base += report.initial_weight as f64;
             improved += report.final_weight as f64;
         }
-        let gain = if base > 0.0 { 100.0 * (improved - base) / base } else { 0.0 };
+        let gain = if base > 0.0 {
+            100.0 * (improved - base) / base
+        } else {
+            0.0
+        };
         let n = seeds.clone().count() as f64;
-        println!("| {} | {:.1} | {:.1} | {:.2}% |", kind.label(), base / n, improved / n, gain);
+        println!(
+            "| {} | {:.1} | {:.1} | {:.2}% |",
+            kind.label(),
+            base / n,
+            improved / n,
+            gain
+        );
     }
 }

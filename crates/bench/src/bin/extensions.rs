@@ -8,12 +8,12 @@
 //!    (the RASPberry \[9\] concern).
 
 use rfid_core::{
-    AlgorithmKind, greedy_covering_schedule, make_scheduler, multichannel_covering_schedule,
+    greedy_covering_schedule, make_scheduler, multichannel_covering_schedule, AlgorithmKind,
 };
 use rfid_model::interference::interference_graph;
 use rfid_model::{Coverage, RadiusModel, Scenario, ScenarioKind};
 use rfid_sim::metrics::activation_churn;
-use rfid_sim::{DynamicConfig, run_dynamic};
+use rfid_sim::{run_dynamic, DynamicConfig};
 
 fn scenario(n_readers: usize, n_tags: usize) -> Scenario {
     Scenario {
@@ -30,7 +30,11 @@ fn scenario(n_readers: usize, n_tags: usize) -> Scenario {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let seeds: Vec<u64> = if quick { (0..2).collect() } else { (0..8).collect() };
+    let seeds: Vec<u64> = if quick {
+        (0..2).collect()
+    } else {
+        (0..8).collect()
+    };
     let n_readers = if quick { 20 } else { 50 };
 
     println!("## Extension 1 — dynamic tag arrivals (steady state, 200 slots, 40 warm-up)\n");
@@ -38,7 +42,11 @@ fn main() {
     println!("|---|---|---|---|---|---|");
     let readers = scenario(n_readers, 0);
     for &rate in &[5.0, 15.0, 40.0] {
-        for kind in [AlgorithmKind::LocalGreedy, AlgorithmKind::HillClimbing, AlgorithmKind::Colorwave] {
+        for kind in [
+            AlgorithmKind::LocalGreedy,
+            AlgorithmKind::HillClimbing,
+            AlgorithmKind::Colorwave,
+        ] {
             let mut thr = 0.0;
             let mut lat = 0.0;
             let mut p95 = 0u64;
@@ -98,12 +106,16 @@ fn main() {
             let g = interference_graph(&d);
             let mut s = make_scheduler(kind, seed);
             let schedule = greedy_covering_schedule(&d, &c, &g, s.as_mut(), 100_000);
-            let active: Vec<Vec<usize>> =
-                schedule.slots.iter().map(|s| s.active.clone()).collect();
+            let active: Vec<Vec<usize>> = schedule.slots.iter().map(|s| s.active.clone()).collect();
             churn += activation_churn(&active);
             slots += schedule.size();
         }
         let n = seeds.len() as f64;
-        println!("| {} | {:.3} | {:.1} |", kind.label(), churn / n, slots as f64 / n);
+        println!(
+            "| {} | {:.3} | {:.1} |",
+            kind.label(),
+            churn / n,
+            slots as f64 / n
+        );
     }
 }

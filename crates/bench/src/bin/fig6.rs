@@ -3,7 +3,7 @@
 //! Paper expectation: Algorithm 1 needs the fewest slots, then Algorithm 2,
 //! then Algorithm 3; all three beat Colorwave and GHC across the range.
 
-use rfid_bench::{Cli, FIXED_LAMBDA_SMALL_R, lambda_interference_grid, run_figure};
+use rfid_bench::{lambda_interference_grid, run_figure, Cli, FIXED_LAMBDA_SMALL_R};
 use rfid_sim::SweepAxis;
 
 fn main() {

@@ -1,6 +1,6 @@
 //! Figure 7: covering-schedule size vs λ_r (λ_R fixed at 14).
 
-use rfid_bench::{Cli, FIXED_LAMBDA_R, lambda_interrogation_grid, run_figure};
+use rfid_bench::{lambda_interrogation_grid, run_figure, Cli, FIXED_LAMBDA_R};
 use rfid_sim::SweepAxis;
 
 fn main() {

@@ -1,6 +1,6 @@
 //! Figure 9: one-shot well-covered tags vs λ_R (λ_r fixed at 6).
 
-use rfid_bench::{Cli, FIXED_LAMBDA_SMALL_R, lambda_interference_grid, run_figure};
+use rfid_bench::{lambda_interference_grid, run_figure, Cli, FIXED_LAMBDA_SMALL_R};
 use rfid_sim::SweepAxis;
 
 fn main() {

@@ -8,14 +8,18 @@
 //! 3's message volume — the quantities that must stay sane for the claim
 //! to hold.
 
-use rfid_core::{AlgorithmKind, OneShotInput, OneShotScheduler, make_scheduler};
+use rfid_core::{make_scheduler, AlgorithmKind, OneShotInput};
 use rfid_model::interference::interference_graph;
 use rfid_model::{Coverage, RadiusModel, Scenario, ScenarioKind, TagSet};
 use std::time::Instant;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let sizes: &[usize] = if quick { &[25, 50] } else { &[25, 50, 100, 200, 400] };
+    let sizes: &[usize] = if quick {
+        &[25, 50]
+    } else {
+        &[25, 50, 100, 200, 400]
+    };
     const TRIALS: u64 = 3;
     println!("## Scalability — constant density (region side ∝ √n, 24 tags/reader)\n");
     println!("| n readers | algorithm | one-shot weight | runtime ms | msgs (alg3) |");

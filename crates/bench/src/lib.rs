@@ -16,7 +16,7 @@
 
 use rfid_core::AlgorithmKind;
 use rfid_model::{Scenario, ScenarioKind};
-use rfid_sim::{SweepAxis, SweepConfig, aggregate_series, run_sweep};
+use rfid_sim::{aggregate_series, run_sweep, SweepAxis, SweepConfig};
 use std::path::PathBuf;
 
 /// Paper §VI defaults.
@@ -132,7 +132,12 @@ pub fn run_figure(
     };
     let series: Vec<(&str, Vec<rfid_sim::SeriesPoint>)> = AlgorithmKind::paper_lineup()
         .iter()
-        .map(|k| (k.label(), aggregate_series(&trials, k.label(), x_of, metric)))
+        .map(|k| {
+            (
+                k.label(),
+                aggregate_series(&trials, k.label(), x_of, metric),
+            )
+        })
         .collect();
     let x_label = match axis {
         SweepAxis::Interference => "λ_R",
@@ -174,10 +179,16 @@ mod tests {
 
     #[test]
     fn grids_match_paper_bands() {
-        assert!(lambda_interference_grid().iter().all(|&l| (8.0..=20.0).contains(&l)));
-        assert!(lambda_interrogation_grid().iter().all(|&l| (3.0..=9.0).contains(&l)));
+        assert!(lambda_interference_grid()
+            .iter()
+            .all(|&l| (8.0..=20.0).contains(&l)));
+        assert!(lambda_interrogation_grid()
+            .iter()
+            .all(|&l| (3.0..=9.0).contains(&l)));
         // r ≤ R plausibility: the interrogation grid never exceeds the
         // fixed interference mean.
-        assert!(lambda_interrogation_grid().iter().all(|&l| l < FIXED_LAMBDA_R));
+        assert!(lambda_interrogation_grid()
+            .iter()
+            .all(|&l| l < FIXED_LAMBDA_R));
     }
 }

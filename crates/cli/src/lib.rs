@@ -14,10 +14,12 @@
 //! The library half hosts the parse/dispatch logic so it is unit-testable;
 //! the `mrrfid` binary is a thin `main`.
 
-use rfid_core::{AlgorithmKind, OneShotInput, OneShotScheduler, greedy_covering_schedule, make_scheduler};
-use rfid_sim::{SweepAxis, SweepConfig, aggregate_series, run_sweep};
+use rfid_core::{
+    greedy_covering_schedule, make_scheduler, AlgorithmKind, OneShotInput, OneShotScheduler,
+};
 use rfid_model::interference::interference_graph;
 use rfid_model::{Coverage, Deployment, RadiusModel, Scenario, ScenarioKind, TagSet};
+use rfid_sim::{aggregate_series, run_sweep, SweepAxis, SweepConfig};
 use std::collections::BTreeMap;
 
 /// A parsed command line.
@@ -165,7 +167,9 @@ fn get_parse<T: std::str::FromStr>(
 ) -> Result<T, String> {
     match flags.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key}: cannot parse '{v}'")),
     }
 }
 
@@ -192,7 +196,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "inspect" => {
             let f = flags(rest)?;
             Ok(Command::Inspect {
-                deployment: f.get("deployment").cloned().ok_or("inspect requires --deployment")?,
+                deployment: f
+                    .get("deployment")
+                    .cloned()
+                    .ok_or("inspect requires --deployment")?,
             })
         }
         "schedule" => {
@@ -202,8 +209,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 return Err(format!("--mode must be oneshot or mcs, got '{mode}'"));
             }
             Ok(Command::Schedule {
-                deployment: f.get("deployment").cloned().ok_or("schedule requires --deployment")?,
-                algorithm: parse_algorithm(f.get("algorithm").map(String::as_str).unwrap_or("alg2"))?,
+                deployment: f
+                    .get("deployment")
+                    .cloned()
+                    .ok_or("schedule requires --deployment")?,
+                algorithm: parse_algorithm(
+                    f.get("algorithm").map(String::as_str).unwrap_or("alg2"),
+                )?,
                 seed: get_parse(&f, "seed", 0)?,
                 mcs: mode == "mcs",
                 out: f.get("out").cloned(),
@@ -212,8 +224,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "render" => {
             let f = flags(rest)?;
             Ok(Command::Render {
-                deployment: f.get("deployment").cloned().ok_or("render requires --deployment")?,
-                algorithm: parse_algorithm(f.get("algorithm").map(String::as_str).unwrap_or("alg2"))?,
+                deployment: f
+                    .get("deployment")
+                    .cloned()
+                    .ok_or("render requires --deployment")?,
+                algorithm: parse_algorithm(
+                    f.get("algorithm").map(String::as_str).unwrap_or("alg2"),
+                )?,
                 seed: get_parse(&f, "seed", 0)?,
                 out: f.get("out").cloned().ok_or("render requires --out")?,
             })
@@ -223,7 +240,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let axis = match f.get("axis").map(String::as_str).unwrap_or("interrogation") {
                 "interrogation" => SweepAxis::Interrogation,
                 "interference" => SweepAxis::Interference,
-                other => return Err(format!("--axis must be interrogation|interference, got '{other}'")),
+                other => {
+                    return Err(format!(
+                        "--axis must be interrogation|interference, got '{other}'"
+                    ))
+                }
             };
             let values: Vec<f64> = f
                 .get("values")
@@ -249,20 +270,32 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "trace" => {
             let f = flags(rest)?;
             Ok(Command::Trace {
-                deployment: f.get("deployment").cloned().ok_or("trace requires --deployment")?,
+                deployment: f
+                    .get("deployment")
+                    .cloned()
+                    .ok_or("trace requires --deployment")?,
             })
         }
         "stats" => {
             let f = flags(rest)?;
             Ok(Command::Stats {
-                deployment: f.get("deployment").cloned().ok_or("stats requires --deployment")?,
+                deployment: f
+                    .get("deployment")
+                    .cloned()
+                    .ok_or("stats requires --deployment")?,
             })
         }
         "verify" => {
             let f = flags(rest)?;
             Ok(Command::Verify {
-                deployment: f.get("deployment").cloned().ok_or("verify requires --deployment")?,
-                schedule: f.get("schedule").cloned().ok_or("verify requires --schedule")?,
+                deployment: f
+                    .get("deployment")
+                    .cloned()
+                    .ok_or("verify requires --deployment")?,
+                schedule: f
+                    .get("schedule")
+                    .cloned()
+                    .ok_or("verify requires --schedule")?,
             })
         }
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
@@ -292,19 +325,27 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 n_readers: readers,
                 n_tags: tags,
                 region_side: region,
-                radius_model: RadiusModel::PoissonPair { lambda_interference, lambda_interrogation },
+                radius_model: RadiusModel::PoissonPair {
+                    lambda_interference,
+                    lambda_interrogation,
+                },
             }
             .generate(seed);
             let json = serde_json::to_string(&d).map_err(|e| e.to_string())?;
             std::fs::write(&out, json).map_err(|e| format!("write {out}: {e}"))?;
-            Ok(format!("wrote {readers} readers / {tags} tags (seed {seed}) to {out}\n"))
+            Ok(format!(
+                "wrote {readers} readers / {tags} tags (seed {seed}) to {out}\n"
+            ))
         }
         Command::Inspect { deployment } => {
             let d = load_deployment(&deployment)?;
             let g = interference_graph(&d);
             let c = Coverage::build(&d);
-            let mean_deg =
-                if d.n_readers() == 0 { 0.0 } else { 2.0 * g.m() as f64 / d.n_readers() as f64 };
+            let mean_deg = if d.n_readers() == 0 {
+                0.0
+            } else {
+                2.0 * g.m() as f64 / d.n_readers() as f64
+            };
             let (_, components) = rfid_graph::connected_components(&g);
             let growth = rfid_graph::growth_function(&g, 3);
             Ok(format!(
@@ -328,7 +369,13 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 d.n_tags() - c.coverable_count(),
             ))
         }
-        Command::Schedule { deployment, algorithm, seed, mcs, out: save } => {
+        Command::Schedule {
+            deployment,
+            algorithm,
+            seed,
+            mcs,
+            out: save,
+        } => {
             let d = load_deployment(&deployment)?;
             let c = Coverage::build(&d);
             let g = interference_graph(&d);
@@ -375,10 +422,22 @@ pub fn run(cmd: Command) -> Result<String, String> {
             let g = interference_graph(&d);
             let stats = rfid_model::deployment_stats(&d, &c, &g);
             let mut out = String::new();
-            out.push_str(&format!("mean tag coverage:      {:.2} readers/tag\n", stats.mean_coverage));
-            out.push_str(&format!("overlap fraction:       {:.3} (tags at RRc risk)\n", stats.overlap_fraction));
-            out.push_str(&format!("mean interference deg:  {:.2}\n", stats.mean_degree));
-            out.push_str(&format!("interrogation density:  {:.2}× region area\n", stats.interrogation_density));
+            out.push_str(&format!(
+                "mean tag coverage:      {:.2} readers/tag\n",
+                stats.mean_coverage
+            ));
+            out.push_str(&format!(
+                "overlap fraction:       {:.3} (tags at RRc risk)\n",
+                stats.overlap_fraction
+            ));
+            out.push_str(&format!(
+                "mean interference deg:  {:.2}\n",
+                stats.mean_degree
+            ));
+            out.push_str(&format!(
+                "interrogation density:  {:.2}× region area\n",
+                stats.interrogation_density
+            ));
             out.push_str("coverage histogram (tags covered by k readers):\n");
             for (k, &count) in stats.coverage_histogram.iter().enumerate() {
                 if count > 0 {
@@ -393,10 +452,13 @@ pub fn run(cmd: Command) -> Result<String, String> {
             }
             Ok(out)
         }
-        Command::Verify { deployment, schedule } => {
+        Command::Verify {
+            deployment,
+            schedule,
+        } => {
             let d = load_deployment(&deployment)?;
-            let body = std::fs::read_to_string(&schedule)
-                .map_err(|e| format!("read {schedule}: {e}"))?;
+            let body =
+                std::fs::read_to_string(&schedule).map_err(|e| format!("read {schedule}: {e}"))?;
             let sched: rfid_core::CoveringSchedule =
                 serde_json::from_str(&body).map_err(|e| format!("parse {schedule}: {e}"))?;
             match rfid_core::verify_covering_schedule(&d, &sched) {
@@ -409,7 +471,15 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 Err(v) => Err(format!("schedule INVALID: {v:?}")),
             }
         }
-        Command::Sweep { axis, values, fixed, trials, mcs, readers, tags } => {
+        Command::Sweep {
+            axis,
+            values,
+            fixed,
+            trials,
+            mcs,
+            readers,
+            tags,
+        } => {
             let config = SweepConfig {
                 scenario: Scenario {
                     kind: ScenarioKind::UniformRandom,
@@ -434,13 +504,26 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 SweepAxis::Interrogation => t.lambda_interrogation,
             };
             let metric = move |t: &rfid_sim::TrialRecord| {
-                if mcs { t.mcs_size.map(|v| v as f64) } else { t.oneshot_weight.map(|v| v as f64) }
+                if mcs {
+                    t.mcs_size.map(|v| v as f64)
+                } else {
+                    t.oneshot_weight.map(|v| v as f64)
+                }
             };
             let series: Vec<(&str, Vec<rfid_sim::SeriesPoint>)> = AlgorithmKind::paper_lineup()
                 .iter()
-                .map(|k| (k.label(), aggregate_series(&records, k.label(), x_of, metric)))
+                .map(|k| {
+                    (
+                        k.label(),
+                        aggregate_series(&records, k.label(), x_of, metric),
+                    )
+                })
                 .collect();
-            let title = if mcs { "covering-schedule size" } else { "one-shot well-covered tags" };
+            let title = if mcs {
+                "covering-schedule size"
+            } else {
+                "one-shot well-covered tags"
+            };
             let x_label = match axis {
                 SweepAxis::Interference => "λ_R",
                 SweepAxis::Interrogation => "λ_r",
@@ -473,13 +556,27 @@ pub fn run(cmd: Command) -> Result<String, String> {
                     ColoredBlack { node, head } => {
                         format!("round {round:>3}: reader {node:>3} → BLACK (suppressed by head {head})")
                     }
+                    Retransmit { node, to, attempt } => {
+                        format!("round {round:>3}: reader {node:>3} retransmits to {to} (attempt {attempt})")
+                    }
+                    TimeoutSuspect { node, suspect } => {
+                        format!("round {round:>3}: reader {node:>3} suspects {suspect} crashed (watchdog timeout)")
+                    }
+                    ReElected { node, deposed } => {
+                        format!("round {round:>3}: reader {node:>3} elected head in place of suspected {deposed}")
+                    }
                 };
                 out.push_str(&line);
                 out.push('\n');
             }
             Ok(out)
         }
-        Command::Render { deployment, algorithm, seed, out } => {
+        Command::Render {
+            deployment,
+            algorithm,
+            seed,
+            out,
+        } => {
             let d = load_deployment(&deployment)?;
             let c = Coverage::build(&d);
             let g = interference_graph(&d);
@@ -487,7 +584,8 @@ pub fn run(cmd: Command) -> Result<String, String> {
             let input = OneShotInput::new(&d, &c, &g, &unread);
             let set = make_scheduler(algorithm, seed).schedule(&input);
             let served = rfid_model::WeightEvaluator::new(&c).well_covered(&set, &unread);
-            let svg = rfid_sim::render_svg(&d, &c, &set, &served, &rfid_sim::RenderOptions::default());
+            let svg =
+                rfid_sim::render_svg(&d, &c, &set, &served, &rfid_sim::RenderOptions::default());
             std::fs::write(&out, svg).map_err(|e| format!("write {out}: {e}"))?;
             Ok(format!(
                 "rendered {} ({} active readers, {} tags served) to {out}\n",
@@ -526,7 +624,10 @@ mod tests {
 
     #[test]
     fn parses_schedule_modes_and_algorithms() {
-        let cmd = parse(&argv("schedule --deployment d.json --algorithm alg3 --mode mcs")).unwrap();
+        let cmd = parse(&argv(
+            "schedule --deployment d.json --algorithm alg3 --mode mcs",
+        ))
+        .unwrap();
         assert_eq!(
             cmd,
             Command::Schedule {
@@ -593,7 +694,10 @@ mod tests {
 
     #[test]
     fn load_errors_are_readable() {
-        let err = run(Command::Inspect { deployment: "/nonexistent/x.json".into() }).unwrap_err();
+        let err = run(Command::Inspect {
+            deployment: "/nonexistent/x.json".into(),
+        })
+        .unwrap_err();
         assert!(err.contains("read /nonexistent/x.json"));
     }
 }
@@ -613,7 +717,15 @@ mod sweep_trace_tests {
         ))
         .unwrap();
         match cmd {
-            Command::Sweep { axis, values, fixed, trials, mcs, readers, tags } => {
+            Command::Sweep {
+                axis,
+                values,
+                fixed,
+                trials,
+                mcs,
+                readers,
+                tags,
+            } => {
                 assert_eq!(axis, SweepAxis::Interference);
                 assert_eq!(values, vec![8.0, 10.0]);
                 assert_eq!(fixed, 6.0);
@@ -649,8 +761,10 @@ mod sweep_trace_tests {
         let dir = std::env::temp_dir().join("rfid_cli_trace_test");
         std::fs::create_dir_all(&dir).unwrap();
         let depl = dir.join("d.json").to_string_lossy().into_owned();
-        run(parse(&argv(&format!("generate --readers 15 --tags 100 --seed 3 --out {depl}")))
-            .unwrap())
+        run(parse(&argv(&format!(
+            "generate --readers 15 --tags 100 --seed 3 --out {depl}"
+        )))
+        .unwrap())
         .unwrap();
         let out = run(parse(&argv(&format!("trace --deployment {depl}"))).unwrap()).unwrap();
         assert!(out.contains("Algorithm 3"));
@@ -675,8 +789,10 @@ mod stats_verify_tests {
         let depl = dir.join("d.json").to_string_lossy().into_owned();
         let sched = dir.join("s.json").to_string_lossy().into_owned();
 
-        run(parse(&argv(&format!("generate --readers 12 --tags 80 --seed 4 --out {depl}")))
-            .unwrap())
+        run(parse(&argv(&format!(
+            "generate --readers 12 --tags 80 --seed 4 --out {depl}"
+        )))
+        .unwrap())
         .unwrap();
 
         let out = run(parse(&argv(&format!("stats --deployment {depl}"))).unwrap()).unwrap();

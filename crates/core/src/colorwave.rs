@@ -34,7 +34,11 @@ pub struct Colorwave {
 impl Colorwave {
     /// Creates the baseline with a seeded RNG (reproducible runs).
     pub fn seeded(seed: u64) -> Self {
-        Colorwave { max_colors: None, max_rounds: 200, rng: StdRng::seed_from_u64(seed) }
+        Colorwave {
+            max_colors: None,
+            max_rounds: 200,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// WCNC'03 VDCS (Variable-DCS): start from a small colour space and
@@ -91,11 +95,19 @@ impl Colorwave {
         }
         // Deterministic repair (may exceed `colors`).
         for v in 0..n {
-            let clash = graph.neighbors(v).iter().any(|&t| color[t as usize] == color[v]);
+            let clash = graph
+                .neighbors(v)
+                .iter()
+                .any(|&t| color[t as usize] == color[v]);
             if clash {
-                let used: std::collections::BTreeSet<usize> =
-                    graph.neighbors(v).iter().map(|&t| color[t as usize]).collect();
-                color[v] = (0..).find(|c| !used.contains(c)).expect("some colour is free");
+                let used: std::collections::BTreeSet<usize> = graph
+                    .neighbors(v)
+                    .iter()
+                    .map(|&t| color[t as usize])
+                    .collect();
+                color[v] = (0..)
+                    .find(|c| !used.contains(c))
+                    .expect("some colour is free");
             }
         }
         let used = color.iter().copied().max().unwrap_or(0) + 1;
@@ -132,11 +144,19 @@ impl Colorwave {
         // Round budget exhausted: repair remaining conflicts first-fit so
         // the colouring is proper (may exceed `colors`).
         for v in 0..n {
-            let clash = graph.neighbors(v).iter().any(|&t| color[t as usize] == color[v]);
+            let clash = graph
+                .neighbors(v)
+                .iter()
+                .any(|&t| color[t as usize] == color[v]);
             if clash {
-                let used: std::collections::BTreeSet<usize> =
-                    graph.neighbors(v).iter().map(|&t| color[t as usize]).collect();
-                color[v] = (0..).find(|c| !used.contains(c)).expect("some colour is free");
+                let used: std::collections::BTreeSet<usize> = graph
+                    .neighbors(v)
+                    .iter()
+                    .map(|&t| color[t as usize])
+                    .collect();
+                color[v] = (0..)
+                    .find(|c| !used.contains(c))
+                    .expect("some colour is free");
             }
         }
         color
@@ -230,7 +250,10 @@ mod tests {
                 leaner += 1;
             }
         }
-        assert!(leaner >= 3, "VDCS should usually need fewer colours than Δ+1 ({leaner}/6)");
+        assert!(
+            leaner >= 3,
+            "VDCS should usually need fewer colours than Δ+1 ({leaner}/6)"
+        );
     }
 
     #[test]

@@ -38,7 +38,15 @@ pub fn exact_mwfs_restricted(
     candidates: &[ReaderId],
     base: &[ReaderId],
 ) -> Vec<ReaderId> {
-    exact_mwfs_budgeted(coverage, graph, unread, candidates, base, DEFAULT_NODE_BUDGET).0
+    exact_mwfs_budgeted(
+        coverage,
+        graph,
+        unread,
+        candidates,
+        base,
+        DEFAULT_NODE_BUDGET,
+    )
+    .0
 }
 
 /// As [`exact_mwfs_restricted`], also reporting whether the search completed
@@ -179,7 +187,11 @@ mod tests {
     fn figure2() -> (Deployment, Coverage, Csr) {
         let d = Deployment::new(
             Rect::new(-10.0, -10.0, 40.0, 10.0),
-            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(20.0, 0.0)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(20.0, 0.0),
+            ],
             vec![9.0, 9.0, 9.0],
             vec![6.0, 7.0, 6.0],
             vec![
@@ -269,8 +281,7 @@ mod tests {
     fn budget_exhaustion_is_reported() {
         let (_, c, g) = figure2();
         let unread = TagSet::all_unread(5);
-        let (set, complete) =
-            exact_mwfs_budgeted(&c, &g, &unread, &[0, 1, 2], &[], 2);
+        let (set, complete) = exact_mwfs_budgeted(&c, &g, &unread, &[0, 1, 2], &[], 2);
         assert!(!complete);
         // Anytime: whatever came back is feasible.
         assert!(g.is_independent_set(&set));

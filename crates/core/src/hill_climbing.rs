@@ -36,6 +36,7 @@ impl OneShotScheduler for HillClimbing {
         loop {
             // Best feasible addition by incremental weight; ties by id.
             let mut best: Option<(isize, ReaderId)> = None;
+            #[allow(clippy::needless_range_loop)] // `v` is a reader id probing two structures
             for v in 0..n {
                 if blocked[v] || inc.is_active(v) {
                     continue;
@@ -46,7 +47,11 @@ impl OneShotScheduler for HillClimbing {
                 }
             }
             let Some((delta, v)) = best else { break };
-            let stop = if self.admit_zero_gain { delta < 0 } else { delta <= 0 };
+            let stop = if self.admit_zero_gain {
+                delta < 0
+            } else {
+                delta <= 0
+            };
             if stop {
                 break;
             }
@@ -71,7 +76,11 @@ mod tests {
     fn figure2() -> (Deployment, Coverage) {
         let d = Deployment::new(
             Rect::new(-10.0, -10.0, 40.0, 10.0),
-            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(20.0, 0.0)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(20.0, 0.0),
+            ],
             vec![9.0, 9.0, 9.0],
             vec![6.0, 7.0, 6.0],
             vec![
@@ -100,7 +109,10 @@ mod tests {
         let strict = HillClimbing::default().schedule(&input);
         assert_eq!(strict, vec![1]);
         assert_eq!(input.weight_of(&strict), 3);
-        let literal = HillClimbing { admit_zero_gain: true }.schedule(&input);
+        let literal = HillClimbing {
+            admit_zero_gain: true,
+        }
+        .schedule(&input);
         assert_eq!(literal, vec![0, 1, 2]);
         assert_eq!(input.weight_of(&literal), 3);
         assert!(d.is_feasible(&literal));
@@ -114,7 +126,11 @@ mod tests {
             vec![Point::new(5.0, 5.0), Point::new(8.0, 5.0)],
             vec![6.0, 6.0],
             vec![3.0, 3.0],
-            vec![Point::new(5.0, 5.0), Point::new(8.0, 6.0), Point::new(9.0, 5.0)],
+            vec![
+                Point::new(5.0, 5.0),
+                Point::new(8.0, 6.0),
+                Point::new(9.0, 5.0),
+            ],
         );
         let c = Coverage::build(&d);
         let g = interference_graph(&d);
@@ -160,7 +176,10 @@ mod tests {
         let input = OneShotInput::new(&d, &c, &g, &unread);
         let strict = HillClimbing::default().schedule(&input);
         assert_eq!(strict, vec![0]);
-        let lax = HillClimbing { admit_zero_gain: true }.schedule(&input);
+        let lax = HillClimbing {
+            admit_zero_gain: true,
+        }
+        .schedule(&input);
         assert_eq!(lax, vec![0, 1]);
     }
 }

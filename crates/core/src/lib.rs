@@ -40,14 +40,19 @@ pub mod scheduler;
 pub mod verify;
 
 pub use colorwave::Colorwave;
-pub use distributed::DistributedScheduler;
+pub use distributed::{DistributedScheduler, RunSummary, TraceEvent};
 pub use exact::ExactScheduler;
 pub use hill_climbing::HillClimbing;
 pub use local_greedy::LocalGreedy;
-pub use local_search::{ImprovementReport, improve_schedule};
-pub use mcs::{CoveringSchedule, SlotRecord, greedy_covering_schedule};
-pub use multichannel::{ChannelAssignment, MultiChannelGreedy, MultiChannelSchedule, multichannel_covering_schedule};
-pub use qlearning::QLearningScheduler;
+pub use local_search::{improve_schedule, ImprovementReport};
+pub use mcs::{
+    greedy_covering_schedule, resilient_covering_schedule, try_greedy_covering_schedule,
+    CoveringSchedule, ResilientSchedule, ScheduleError, SlotRecord,
+};
+pub use multichannel::{
+    multichannel_covering_schedule, ChannelAssignment, MultiChannelGreedy, MultiChannelSchedule,
+};
 pub use ptas::PtasScheduler;
-pub use scheduler::{AlgorithmKind, OneShotInput, OneShotScheduler, make_scheduler};
-pub use verify::{ScheduleViolation, verify_covering_schedule};
+pub use qlearning::QLearningScheduler;
+pub use scheduler::{make_scheduler, AlgorithmKind, OneShotInput, OneShotScheduler};
+pub use verify::{verify_covering_schedule, ScheduleViolation};

@@ -39,7 +39,10 @@ pub struct LocalGreedy {
 
 impl Default for LocalGreedy {
     fn default() -> Self {
-        LocalGreedy { rho: 1.1, max_hops: 3 }
+        LocalGreedy {
+            rho: 1.1,
+            max_hops: 3,
+        }
     }
 }
 
@@ -134,8 +137,15 @@ impl OneShotScheduler for LocalGreedy {
                 // nothing of positive weight remains anywhere.
                 break;
             }
-            let (gamma, r) =
-                grow_local_mwfs(graph, input.coverage, input.unread, v, &alive, self.rho, self.max_hops);
+            let (gamma, r) = grow_local_mwfs(
+                graph,
+                input.coverage,
+                input.unread,
+                v,
+                &alive,
+                self.rho,
+                self.max_hops,
+            );
             x.extend_from_slice(&gamma);
             // Remove N(v)^{r̄+1} from the (alive-induced) graph.
             for u in ball_restricted(graph, v, r + 1, &alive) {
@@ -174,7 +184,11 @@ mod tests {
     fn figure2_finds_the_optimum() {
         let d = Deployment::new(
             Rect::new(-10.0, -10.0, 40.0, 10.0),
-            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(20.0, 0.0)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(20.0, 0.0),
+            ],
             vec![9.0, 9.0, 9.0],
             vec![6.0, 7.0, 6.0],
             vec![
@@ -248,7 +262,10 @@ mod tests {
         let v = (0..d.n_readers()).max_by_key(|&v| singleton[v]).unwrap();
         let (_, r_small) = grow_local_mwfs(&g, &c, &unread, v, &alive, 1.05, 5);
         let (_, r_big) = grow_local_mwfs(&g, &c, &unread, v, &alive, 2.0, 5);
-        assert!(r_big <= r_small, "ρ=2 grew farther ({r_big}) than ρ=1.05 ({r_small})");
+        assert!(
+            r_big <= r_small,
+            "ρ=2 grew farther ({r_big}) than ρ=1.05 ({r_small})"
+        );
     }
 
     #[test]

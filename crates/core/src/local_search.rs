@@ -35,7 +35,10 @@ pub struct ImprovementReport {
 /// strictly-improving one is taken (first-improvement strategy — on these
 /// weights it converges in a handful of passes).
 pub fn improve_schedule(input: &OneShotInput<'_>, start: &[ReaderId]) -> ImprovementReport {
-    debug_assert!(input.deployment.is_feasible(start), "local search needs a feasible start");
+    debug_assert!(
+        input.deployment.is_feasible(start),
+        "local search needs a feasible start"
+    );
     let n = input.deployment.n_readers();
     let graph = input.graph;
     let mut inc = IncrementalWeight::new(input.coverage, input.unread);
@@ -94,6 +97,7 @@ pub fn improve_schedule(input: &OneShotInput<'_>, start: &[ReaderId]) -> Improve
             let mut added: Vec<ReaderId> = Vec::new();
             loop {
                 let mut best: Option<(isize, ReaderId)> = None;
+                #[allow(clippy::needless_range_loop)] // `v` is a reader id probing two structures
                 for v in 0..n {
                     if v == u || inc.is_active(v) || conflicts[v] != 0 {
                         continue;
@@ -135,7 +139,12 @@ pub fn improve_schedule(input: &OneShotInput<'_>, start: &[ReaderId]) -> Improve
     set.sort_unstable();
     let final_weight = inc.weight();
     debug_assert!(final_weight >= initial_weight);
-    ImprovementReport { set, initial_weight, final_weight, moves }
+    ImprovementReport {
+        set,
+        initial_weight,
+        final_weight,
+        moves,
+    }
 }
 
 #[cfg(test)]
@@ -186,7 +195,11 @@ mod tests {
         // optimum {A, C} (weight 4).
         let d = rfid_model::Deployment::new(
             Rect::new(-10.0, -10.0, 40.0, 10.0),
-            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(20.0, 0.0)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(20.0, 0.0),
+            ],
             vec![9.0, 9.0, 9.0],
             vec![6.0, 7.0, 6.0],
             vec![
@@ -204,7 +217,10 @@ mod tests {
         let start = HillClimbing::default().schedule(&input);
         assert_eq!(input.weight_of(&start), 3);
         let report = improve_schedule(&input, &start);
-        assert_eq!(report.final_weight, 4, "local search should reach the Figure-2 optimum");
+        assert_eq!(
+            report.final_weight, 4,
+            "local search should reach the Figure-2 optimum"
+        );
         assert!(report.moves > 0);
     }
 
@@ -217,7 +233,10 @@ mod tests {
             let opt = ExactScheduler::default().schedule(&input);
             let report = improve_schedule(&input, &opt);
             assert_eq!(report.final_weight, report.initial_weight, "seed {seed}");
-            assert_eq!(report.set, opt, "seed {seed}: exact optimum must be a fixed point");
+            assert_eq!(
+                report.set, opt,
+                "seed {seed}: exact optimum must be a fixed point"
+            );
         }
     }
 

@@ -17,8 +17,53 @@
 
 use crate::scheduler::{OneShotInput, OneShotScheduler};
 use rfid_graph::Csr;
-use rfid_model::{Coverage, Deployment, ReaderId, TagId, TagSet, WeightEvaluator};
+use rfid_model::{
+    audit_activation, Coverage, Deployment, ReaderId, TagId, TagSet, WeightEvaluator,
+};
 use serde::{Deserialize, Serialize};
+
+/// Why a covering schedule could not be driven to completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// Neither the one-shot scheduler nor the singleton fallback could
+    /// serve a single coverable unread tag — no activation makes progress.
+    NoProgress {
+        /// Tags served before the stall.
+        served: usize,
+        /// Coverable tags in the deployment.
+        coverable: usize,
+    },
+    /// The slot budget ran out with coverable tags still unread.
+    SlotBudgetExhausted {
+        /// The exhausted budget.
+        max_slots: usize,
+        /// Tags served within the budget.
+        served: usize,
+        /// Coverable tags in the deployment.
+        coverable: usize,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::NoProgress { served, coverable } => write!(
+                f,
+                "no activation serves any coverable unread tag ({served} of {coverable} served)"
+            ),
+            ScheduleError::SlotBudgetExhausted {
+                max_slots,
+                served,
+                coverable,
+            } => write!(
+                f,
+                "covering schedule exceeded {max_slots} slots ({served} of {coverable} tags served)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
 
 /// One time slot of a covering schedule.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -82,20 +127,36 @@ pub fn greedy_covering_schedule(
     scheduler: &mut dyn OneShotScheduler,
     max_slots: usize,
 ) -> CoveringSchedule {
+    try_greedy_covering_schedule(deployment, coverage, graph, scheduler, max_slots)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The fallible form of [`greedy_covering_schedule`]: a stalled or
+/// over-budget run comes back as a [`ScheduleError`] instead of a panic,
+/// so callers driving untrusted or degraded schedulers can recover.
+pub fn try_greedy_covering_schedule(
+    deployment: &Deployment,
+    coverage: &Coverage,
+    graph: &Csr,
+    scheduler: &mut dyn OneShotScheduler,
+    max_slots: usize,
+) -> Result<CoveringSchedule, ScheduleError> {
     let mut unread = TagSet::all_unread(deployment.n_tags());
-    let uncoverable: Vec<TagId> =
-        (0..deployment.n_tags()).filter(|&t| !coverage.is_coverable(t)).collect();
+    let uncoverable: Vec<TagId> = (0..deployment.n_tags())
+        .filter(|&t| !coverage.is_coverable(t))
+        .collect();
     let mut weights = WeightEvaluator::new(coverage);
     let mut slots = Vec::new();
     let coverable_total = coverage.coverable_count();
     let mut served_total = 0usize;
     while served_total < coverable_total {
-        assert!(
-            slots.len() < max_slots,
-            "covering schedule exceeded {max_slots} slots ({} of {} tags served)",
-            served_total,
-            coverable_total
-        );
+        if slots.len() >= max_slots {
+            return Err(ScheduleError::SlotBudgetExhausted {
+                max_slots,
+                served: served_total,
+                coverable: coverable_total,
+            });
+        }
         let input = OneShotInput::new(deployment, coverage, graph, &unread);
         let mut active = scheduler.schedule(&input);
         let mut served = weights.well_covered(&active, &unread);
@@ -103,22 +164,151 @@ pub fn greedy_covering_schedule(
         if served.is_empty() {
             // Progress guard: the best singleton always serves ≥ 1 tag when
             // a coverable unread tag exists.
+            let stall = ScheduleError::NoProgress {
+                served: served_total,
+                coverable: coverable_total,
+            };
             let best = (0..deployment.n_readers())
                 .max_by_key(|&v| (weights.singleton_weight(v, &unread), std::cmp::Reverse(v)))
-                .expect("at least one reader exists when coverable tags remain");
+                .ok_or(stall.clone())?;
             active = vec![best];
             served = weights.well_covered(&active, &unread);
             fallback = true;
-            assert!(
-                !served.is_empty(),
-                "progress guard failed: no reader serves any coverable unread tag"
-            );
+            if served.is_empty() {
+                return Err(stall);
+            }
         }
         unread.mark_all_read(&served);
         served_total += served.len();
-        slots.push(SlotRecord { active, served, fallback });
+        slots.push(SlotRecord {
+            active,
+            served,
+            fallback,
+        });
     }
-    CoveringSchedule { slots, uncoverable }
+    Ok(CoveringSchedule { slots, uncoverable })
+}
+
+/// Outcome of a [`resilient_covering_schedule`] run: the schedule plus an
+/// account of every degradation the loop absorbed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilientSchedule {
+    /// The (possibly partial) covering schedule; every slot is feasible.
+    pub schedule: CoveringSchedule,
+    /// RTc pairs broken up in-slot by dropping the lower-weight member.
+    pub repaired_pairs: usize,
+    /// Activation entries removed because the scheduler reported the
+    /// reader crashed (summed over slots). Tags those readers claimed stay
+    /// unread and are requeued in later slots.
+    pub crashed_dropped: usize,
+    /// Coverable tags left unread because no surviving activation could
+    /// serve them within the slot budget.
+    pub abandoned_tags: Vec<TagId>,
+}
+
+impl ResilientSchedule {
+    /// `true` when every coverable tag was served despite the faults.
+    pub fn complete(&self) -> bool {
+        self.abandoned_tags.is_empty()
+    }
+}
+
+/// The crash-tolerant covering-schedule loop: like
+/// [`try_greedy_covering_schedule`], but instead of trusting the one-shot
+/// scheduler it audits every activation with
+/// [`rfid_model::audit_activation`] and degrades gracefully —
+///
+/// * readers the scheduler reports as crashed
+///   ([`OneShotScheduler::crashed_readers`]) are dropped from the
+///   activation; tags they claimed are requeued for later slots;
+/// * an infeasible activation (RTc pair) is repaired by dropping the
+///   lower-weight member of each jammed pair rather than rejected;
+/// * a stalled or over-budget run abandons the remaining tags and reports
+///   them instead of panicking.
+pub fn resilient_covering_schedule(
+    deployment: &Deployment,
+    coverage: &Coverage,
+    graph: &Csr,
+    scheduler: &mut dyn OneShotScheduler,
+    max_slots: usize,
+) -> ResilientSchedule {
+    let mut unread = TagSet::all_unread(deployment.n_tags());
+    let uncoverable: Vec<TagId> = (0..deployment.n_tags())
+        .filter(|&t| !coverage.is_coverable(t))
+        .collect();
+    let mut weights = WeightEvaluator::new(coverage);
+    let mut slots = Vec::new();
+    let coverable_total = coverage.coverable_count();
+    let mut served_total = 0usize;
+    let mut repaired_pairs = 0usize;
+    let mut crashed_dropped = 0usize;
+    let mut stalled = false;
+    while served_total < coverable_total && !stalled && slots.len() < max_slots {
+        let input = OneShotInput::new(deployment, coverage, graph, &unread);
+        let mut active = scheduler.schedule(&input);
+        // Crashed readers cannot transmit; their claimed tags simply stay
+        // unread and get requeued.
+        let crashed = scheduler.crashed_readers();
+        if !crashed.is_empty() {
+            let before = active.len();
+            active.retain(|v| !crashed.contains(v));
+            crashed_dropped += before - active.len();
+        }
+        // Audit-and-repair: break up every jammed pair by dropping its
+        // lower-weight member until the activation is feasible.
+        loop {
+            let audit = audit_activation(deployment, coverage, &active, &unread);
+            if audit.is_feasible() {
+                break;
+            }
+            let (a, b) = audit.rtc_pairs[0];
+            let (wa, wb) = (
+                weights.singleton_weight(a, &unread),
+                weights.singleton_weight(b, &unread),
+            );
+            let victim = if wa <= wb { a } else { b };
+            active.retain(|&u| u != victim);
+            repaired_pairs += 1;
+        }
+        let mut served = weights.well_covered(&active, &unread);
+        let mut fallback = false;
+        if served.is_empty() {
+            // Progress guard restricted to surviving readers.
+            let best = (0..deployment.n_readers())
+                .filter(|v| !crashed.contains(v))
+                .max_by_key(|&v| (weights.singleton_weight(v, &unread), std::cmp::Reverse(v)));
+            match best {
+                Some(best) => {
+                    active = vec![best];
+                    served = weights.well_covered(&active, &unread);
+                    fallback = true;
+                }
+                None => served = Vec::new(),
+            }
+            if served.is_empty() {
+                // Every remaining coverable tag is out of reach of the
+                // survivors: abandon instead of looping forever.
+                stalled = true;
+                continue;
+            }
+        }
+        unread.mark_all_read(&served);
+        served_total += served.len();
+        slots.push(SlotRecord {
+            active,
+            served,
+            fallback,
+        });
+    }
+    let abandoned_tags: Vec<TagId> = (0..deployment.n_tags())
+        .filter(|&t| coverage.is_coverable(t) && unread.is_unread(t))
+        .collect();
+    ResilientSchedule {
+        schedule: CoveringSchedule { slots, uncoverable },
+        repaired_pairs,
+        crashed_dropped,
+        abandoned_tags,
+    }
 }
 
 #[cfg(test)]
@@ -153,10 +343,10 @@ mod tests {
             let g = interference_graph(&d);
             let mut s = ExactScheduler::default();
             let sched = greedy_covering_schedule(&d, &c, &g, &mut s, 10_000);
-            let mut all_served: Vec<TagId> = sched.slots.iter().flat_map(|s| s.served.clone()).collect();
+            let mut all_served: Vec<TagId> =
+                sched.slots.iter().flat_map(|s| s.served.clone()).collect();
             all_served.sort_unstable();
-            let mut expect: Vec<TagId> =
-                (0..d.n_tags()).filter(|&t| c.is_coverable(t)).collect();
+            let mut expect: Vec<TagId> = (0..d.n_tags()).filter(|&t| c.is_coverable(t)).collect();
             expect.sort_unstable();
             assert_eq!(all_served, expect, "seed {seed}");
             assert_eq!(
@@ -191,8 +381,7 @@ mod tests {
             let c = Coverage::build(&d);
             let g = interference_graph(&d);
             exact_total +=
-                greedy_covering_schedule(&d, &c, &g, &mut ExactScheduler::default(), 10_000)
-                    .size();
+                greedy_covering_schedule(&d, &c, &g, &mut ExactScheduler::default(), 10_000).size();
             ghc_total +=
                 greedy_covering_schedule(&d, &c, &g, &mut HillClimbing::default(), 10_000).size();
         }
@@ -225,6 +414,130 @@ mod tests {
             sched.tags_served(),
             c.coverable_count(),
             "fallback-only schedule still reads everything"
+        );
+    }
+
+    #[test]
+    fn try_form_matches_the_panicking_form() {
+        let d = small_scenario(3);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let a = greedy_covering_schedule(&d, &c, &g, &mut ExactScheduler::default(), 10_000);
+        let b = try_greedy_covering_schedule(&d, &c, &g, &mut ExactScheduler::default(), 10_000)
+            .expect("clean run must succeed");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exhausted_slot_budget_is_an_error_not_a_panic() {
+        let d = small_scenario(0);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let err = try_greedy_covering_schedule(&d, &c, &g, &mut ExactScheduler::default(), 1)
+            .unwrap_err();
+        match err {
+            ScheduleError::SlotBudgetExhausted {
+                max_slots,
+                served,
+                coverable,
+            } => {
+                assert_eq!(max_slots, 1);
+                assert!(served > 0 && served < coverable);
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resilient_matches_greedy_on_a_clean_scheduler() {
+        let d = small_scenario(2);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let clean = greedy_covering_schedule(&d, &c, &g, &mut ExactScheduler::default(), 10_000);
+        let res = resilient_covering_schedule(&d, &c, &g, &mut ExactScheduler::default(), 10_000);
+        assert_eq!(res.schedule, clean);
+        assert_eq!(res.repaired_pairs, 0);
+        assert_eq!(res.crashed_dropped, 0);
+        assert!(res.complete());
+    }
+
+    /// A scheduler that activates *everything* — maximally infeasible.
+    struct Reckless;
+    impl OneShotScheduler for Reckless {
+        fn name(&self) -> &'static str {
+            "reckless"
+        }
+        fn schedule(&mut self, input: &OneShotInput<'_>) -> Vec<ReaderId> {
+            (0..input.deployment.n_readers()).collect()
+        }
+    }
+
+    #[test]
+    fn resilient_repairs_infeasible_activations() {
+        let d = small_scenario(1);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        assert!(g.m() > 0, "scenario must have interference to repair");
+        let res = resilient_covering_schedule(&d, &c, &g, &mut Reckless, 10_000);
+        assert!(res.repaired_pairs > 0, "nothing was repaired");
+        assert!(res.complete(), "abandoned {:?}", res.abandoned_tags);
+        for slot in &res.schedule.slots {
+            assert!(d.is_feasible(&slot.active), "unrepaired slot {slot:?}");
+        }
+        assert_eq!(res.schedule.tags_served(), c.coverable_count());
+    }
+
+    /// A scheduler whose reader 0 has crashed: it still *claims* reader 0
+    /// in every activation, so the resilient loop must strip it.
+    struct HalfDead;
+    impl OneShotScheduler for HalfDead {
+        fn name(&self) -> &'static str {
+            "half-dead"
+        }
+        fn schedule(&mut self, input: &OneShotInput<'_>) -> Vec<ReaderId> {
+            (0..input.deployment.n_readers()).collect()
+        }
+        fn crashed_readers(&self) -> Vec<ReaderId> {
+            vec![0]
+        }
+    }
+
+    #[test]
+    fn crashed_readers_are_dropped_and_their_tags_requeued() {
+        let d = small_scenario(1);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let res = resilient_covering_schedule(&d, &c, &g, &mut HalfDead, 10_000);
+        assert!(res.crashed_dropped > 0);
+        for slot in &res.schedule.slots {
+            assert!(
+                !slot.active.contains(&0),
+                "crashed reader activated: {slot:?}"
+            );
+        }
+        // Tags only reader 0 covers are abandoned; every other coverable
+        // tag must still be served (requeued until a survivor reads it).
+        let exclusive_to_0: Vec<TagId> = (0..d.n_tags())
+            .filter(|&t| c.readers_of(t) == [0])
+            .collect();
+        assert_eq!(res.abandoned_tags, exclusive_to_0);
+        assert_eq!(
+            res.schedule.tags_served() + exclusive_to_0.len(),
+            c.coverable_count()
+        );
+    }
+
+    #[test]
+    fn resilient_abandons_on_budget_instead_of_panicking() {
+        let d = small_scenario(0);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let res = resilient_covering_schedule(&d, &c, &g, &mut ExactScheduler::default(), 1);
+        assert_eq!(res.schedule.size(), 1);
+        assert!(!res.complete());
+        assert_eq!(
+            res.schedule.tags_served() + res.abandoned_tags.len(),
+            c.coverable_count()
         );
     }
 

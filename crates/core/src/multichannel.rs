@@ -139,7 +139,10 @@ impl MultiChannelGreedy {
             .filter_map(|(v, ch)| ch.map(|c| (v, c)))
             .collect();
         assignment.sort_unstable();
-        ChannelAssignment { assignment, channels: self.channels }
+        ChannelAssignment {
+            assignment,
+            channels: self.channels,
+        }
     }
 
     /// Weight of an assignment (channels do not matter for RRc).
@@ -185,8 +188,9 @@ pub fn multichannel_covering_schedule(
     max_slots: usize,
 ) -> MultiChannelSchedule {
     let mut unread = rfid_model::TagSet::all_unread(deployment.n_tags());
-    let uncoverable: Vec<usize> =
-        (0..deployment.n_tags()).filter(|&t| !coverage.is_coverable(t)).collect();
+    let uncoverable: Vec<usize> = (0..deployment.n_tags())
+        .filter(|&t| !coverage.is_coverable(t))
+        .collect();
     let scheduler = MultiChannelGreedy::new(channels);
     let mut weights = WeightEvaluator::new(coverage);
     let mut slots = Vec::new();
@@ -194,7 +198,10 @@ pub fn multichannel_covering_schedule(
     let coverable = coverage.coverable_count();
     let mut served_total = 0usize;
     while served_total < coverable {
-        assert!(slots.len() < max_slots, "multichannel schedule exceeded {max_slots} slots");
+        assert!(
+            slots.len() < max_slots,
+            "multichannel schedule exceeded {max_slots} slots"
+        );
         let input = OneShotInput::new(deployment, coverage, graph, &unread);
         let assignment = scheduler.schedule(&input);
         let mut served = weights.well_covered(&assignment.active_readers(), &unread);
@@ -204,7 +211,10 @@ pub fn multichannel_covering_schedule(
             let best = (0..deployment.n_readers())
                 .max_by_key(|&v| weights.singleton_weight(v, &unread))
                 .expect("readers exist while coverable tags remain");
-            chosen = ChannelAssignment { assignment: vec![(best, 0)], channels };
+            chosen = ChannelAssignment {
+                assignment: vec![(best, 0)],
+                channels,
+            };
             served = weights.well_covered(&[best], &unread);
             assert!(!served.is_empty(), "guard must serve something");
         }
@@ -213,18 +223,22 @@ pub fn multichannel_covering_schedule(
         slots.push(chosen);
         served_log.push(served);
     }
-    MultiChannelSchedule { slots, served: served_log, uncoverable }
+    MultiChannelSchedule {
+        slots,
+        served: served_log,
+        uncoverable,
+    }
 }
 
 /// Exhaustive multi-channel optimum for tiny instances (test oracle):
 /// every reader takes a channel in `0..k` or stays off; same-channel
 /// pairs must be independent. `O((k+1)^n)`.
-pub fn exact_multichannel(
-    input: &OneShotInput<'_>,
-    channels: usize,
-) -> ChannelAssignment {
+pub fn exact_multichannel(input: &OneShotInput<'_>, channels: usize) -> ChannelAssignment {
     let n = input.deployment.n_readers();
-    assert!(n <= 12, "exhaustive multichannel is for test-sized instances");
+    assert!(
+        n <= 12,
+        "exhaustive multichannel is for test-sized instances"
+    );
     assert!(channels >= 1);
     let mut weights = WeightEvaluator::new(input.coverage);
     let mut best: Vec<(ReaderId, usize)> = Vec::new();
@@ -256,7 +270,10 @@ pub fn exact_multichannel(
             best = assignment;
         }
     }
-    ChannelAssignment { assignment: best, channels }
+    ChannelAssignment {
+        assignment: best,
+        channels,
+    }
 }
 
 #[cfg(test)]

@@ -59,7 +59,10 @@ impl<'a, 'b> DpSolver<'a, 'b> {
             .copied()
             .filter(|&v| self.survivors.disk_intersects(v, square))
             .collect();
-        let key = (square, relevant.iter().map(|&v| v as u32).collect::<Vec<u32>>());
+        let key = (
+            square,
+            relevant.iter().map(|&v| v as u32).collect::<Vec<u32>>(),
+        );
         if let Some(hit) = self.memo.get(&key) {
             return hit.clone();
         }
@@ -100,25 +103,36 @@ impl<'a, 'b> DpSolver<'a, 'b> {
         let mut d: Vec<ReaderId> = Vec::new();
         // Recursive subset enumeration expressed iteratively via an explicit
         // stack of (next index to consider).
-        self.enumerate(square, context, children, &own, 0, &mut d, &mut enumerated, &mut |this,
-            x| {
-            let w = this.weights.weight(
-                &x.iter().copied().chain(context.iter().copied()).collect::<Vec<_>>(),
-                this.input.unread,
-            );
-            if first || w > best_w || (w == best_w && x.len() < best.len()) {
-                first = false;
-                best_w = w;
-                best = x;
-            }
-        });
+        self.enumerate(
+            square,
+            context,
+            children,
+            &own,
+            0,
+            &mut d,
+            &mut enumerated,
+            &mut |this, x| {
+                let w = this.weights.weight(
+                    &x.iter()
+                        .copied()
+                        .chain(context.iter().copied())
+                        .collect::<Vec<_>>(),
+                    this.input.unread,
+                );
+                if first || w > best_w || (w == best_w && x.len() < best.len()) {
+                    first = false;
+                    best_w = w;
+                    best = x;
+                }
+            },
+        );
         best
     }
 
     /// Enumerates candidate sets `D` (independent subsets of `own[from..]`
     /// of size ≤ Λ), completes each with children solutions and feeds the
     /// resulting `X` to `emit`.
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
     fn enumerate(
         &mut self,
         square: SquareId,

@@ -34,7 +34,7 @@
 mod dp;
 mod survivors;
 
-pub use survivors::{SquareTree, compute_survivors};
+pub use survivors::{compute_survivors, SquareTree};
 
 use crate::scheduler::{OneShotInput, OneShotScheduler};
 use rfid_geometry::{LevelAssignment, Shifting};
@@ -60,7 +60,12 @@ pub struct PtasScheduler {
 
 impl Default for PtasScheduler {
     fn default() -> Self {
-        PtasScheduler { k: 4, lambda_cap: 4, augment: true, parallel: true }
+        PtasScheduler {
+            k: 4,
+            lambda_cap: 4,
+            augment: true,
+            parallel: true,
+        }
     }
 }
 
@@ -218,7 +223,11 @@ mod tests {
     fn figure2_finds_the_optimum() {
         let d = Deployment::new(
             Rect::new(-10.0, -10.0, 40.0, 10.0),
-            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(20.0, 0.0)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(20.0, 0.0),
+            ],
             vec![9.0, 9.0, 9.0],
             vec![6.0, 7.0, 6.0],
             vec![
@@ -235,7 +244,11 @@ mod tests {
         let input = OneShotInput::new(&d, &c, &g, &unread);
         let set = PtasScheduler::default().schedule(&input);
         assert!(d.is_feasible(&set));
-        assert_eq!(input.weight_of(&set), 4, "PTAS should find the {{A, C}} optimum");
+        assert_eq!(
+            input.weight_of(&set),
+            4,
+            "PTAS should find the {{A, C}} optimum"
+        );
     }
 
     #[test]
@@ -263,7 +276,11 @@ mod tests {
             let unread = TagSet::all_unread(d.n_tags());
             let input = OneShotInput::new(&d, &c, &g, &unread);
             let k = 3;
-            let set = PtasScheduler { k, ..Default::default() }.schedule(&input);
+            let set = PtasScheduler {
+                k,
+                ..Default::default()
+            }
+            .schedule(&input);
             let opt = crate::exact::ExactScheduler::default().schedule(&input);
             let w_set = input.weight_of(&set) as f64;
             let w_opt = input.weight_of(&opt) as f64;
@@ -283,7 +300,11 @@ mod tests {
             let g = interference_graph(&d);
             let unread = TagSet::all_unread(d.n_tags());
             let input = OneShotInput::new(&d, &c, &g, &unread);
-            let bare = PtasScheduler { augment: false, ..Default::default() }.schedule(&input);
+            let bare = PtasScheduler {
+                augment: false,
+                ..Default::default()
+            }
+            .schedule(&input);
             let full = PtasScheduler::default().schedule(&input);
             assert!(
                 input.weight_of(&full) >= input.weight_of(&bare),
@@ -317,9 +338,20 @@ mod tests {
             let g = interference_graph(&d);
             let unread = TagSet::all_unread(d.n_tags());
             let input = OneShotInput::new(&d, &c, &g, &unread);
-            let par = PtasScheduler { parallel: true, ..Default::default() }.schedule(&input);
-            let seq = PtasScheduler { parallel: false, ..Default::default() }.schedule(&input);
-            assert_eq!(par, seq, "seed {seed}: thread count must not change the result");
+            let par = PtasScheduler {
+                parallel: true,
+                ..Default::default()
+            }
+            .schedule(&input);
+            let seq = PtasScheduler {
+                parallel: false,
+                ..Default::default()
+            }
+            .schedule(&input);
+            assert_eq!(
+                par, seq,
+                "seed {seed}: thread count must not change the result"
+            );
         }
     }
 
@@ -330,7 +362,11 @@ mod tests {
         let g = interference_graph(&d);
         let unread = TagSet::all_unread(d.n_tags());
         let input = OneShotInput::new(&d, &c, &g, &unread);
-        let set = PtasScheduler { k: 2, ..Default::default() }.schedule(&input);
+        let set = PtasScheduler {
+            k: 2,
+            ..Default::default()
+        }
+        .schedule(&input);
         assert!(d.is_feasible(&set));
     }
 }

@@ -71,7 +71,11 @@ pub fn compute_survivors(
     levels: &LevelAssignment,
     shift: Shifting,
 ) -> Survivors {
-    assert_eq!(candidates.len(), levels.levels.len(), "levels must match candidates");
+    assert_eq!(
+        candidates.len(),
+        levels.levels.len(),
+        "levels must match candidates"
+    );
     let grid = HierarchicalGrid::new(levels.k, shift);
     let mut disks = BTreeMap::new();
     let mut by_square: BTreeMap<SquareId, Vec<ReaderId>> = BTreeMap::new();
@@ -105,7 +109,12 @@ pub fn compute_survivors(
             cur = p;
         }
         match parent_found {
-            Some(p) => tree.nodes.get_mut(&p).expect("parent is relevant").children.push(sq),
+            Some(p) => tree
+                .nodes
+                .get_mut(&p)
+                .expect("parent is relevant")
+                .children
+                .push(sq),
             None => tree.roots.push(sq),
         }
     }
@@ -222,8 +231,8 @@ mod tests {
             for &b in &roots[i + 1..] {
                 let ra = s.square_bounds(a);
                 let rb = s.square_bounds(b);
-                let overlap = ra.intersects(&rb)
-                    && !(ra.contains_rect(&rb) || rb.contains_rect(&ra));
+                let overlap =
+                    ra.intersects(&rb) && !(ra.contains_rect(&rb) || rb.contains_rect(&ra));
                 // Roots may touch along grid lines but never properly
                 // overlap, and no root contains another (else it would be
                 // its ancestor square).
@@ -234,7 +243,11 @@ mod tests {
                     // Allow boundary touching only.
                     let w = (ra.max_x.min(rb.max_x) - ra.min_x.max(rb.min_x)).max(0.0);
                     let h = (ra.max_y.min(rb.max_y) - ra.min_y.max(rb.min_y)).max(0.0);
-                    assert!(w * h < 1e-12, "roots {a:?} and {b:?} overlap with area {}", w * h);
+                    assert!(
+                        w * h < 1e-12,
+                        "roots {a:?} and {b:?} overlap with area {}",
+                        w * h
+                    );
                 }
             }
         }

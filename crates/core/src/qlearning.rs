@@ -39,7 +39,13 @@ pub struct QLearningScheduler {
 impl QLearningScheduler {
     /// Default HiQ-ish hyper-parameters with a seeded RNG.
     pub fn seeded(seed: u64) -> Self {
-        QLearningScheduler { slots: 8, episodes: 300, epsilon: 0.15, alpha: 0.3, rng: StdRng::seed_from_u64(seed) }
+        QLearningScheduler {
+            slots: 8,
+            episodes: 300,
+            epsilon: 0.15,
+            alpha: 0.3,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Runs the training and returns each reader's learned slot.
@@ -134,8 +140,9 @@ impl OneShotScheduler for QLearningScheduler {
         let mut best: Vec<ReaderId> = Vec::new();
         let mut best_w = 0usize;
         for s in 0..self.slots {
-            let mut class: Vec<ReaderId> =
-                (0..n).filter(|&v| slot_of[v] == s && singleton[v] > 0).collect();
+            let mut class: Vec<ReaderId> = (0..n)
+                .filter(|&v| slot_of[v] == s && singleton[v] > 0)
+                .collect();
             // Repair: while an interference edge remains inside the class,
             // drop the endpoint with the smaller singleton weight.
             loop {

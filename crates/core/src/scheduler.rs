@@ -35,7 +35,12 @@ impl<'a> OneShotInput<'a> {
         debug_assert_eq!(coverage.n_readers(), deployment.n_readers());
         debug_assert_eq!(graph.n(), deployment.n_readers());
         debug_assert_eq!(unread.len(), deployment.n_tags());
-        OneShotInput { deployment, coverage, graph, unread }
+        OneShotInput {
+            deployment,
+            coverage,
+            graph,
+            unread,
+        }
     }
 
     /// Definition-3 weight of a feasible set under this input.
@@ -62,6 +67,14 @@ pub trait OneShotScheduler {
     /// algorithms return `None`.
     fn comm_stats(&self) -> Option<rfid_netsim::NetStats> {
         None
+    }
+
+    /// Readers known to have crash-stopped during the most recent
+    /// [`schedule`](Self::schedule) call. The resilient covering-schedule
+    /// loop drops them from the activation and requeues their tags.
+    /// Default: none (centralized algorithms don't model crashes).
+    fn crashed_readers(&self) -> Vec<ReaderId> {
+        Vec::new()
     }
 }
 

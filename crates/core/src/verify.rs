@@ -9,7 +9,7 @@
 //! left unread at the end.
 
 use crate::mcs::CoveringSchedule;
-use rfid_model::{Coverage, Deployment, TagSet, audit_activation};
+use rfid_model::{audit_activation, Coverage, Deployment, TagSet};
 
 /// Why a schedule failed verification.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,7 +51,10 @@ pub fn verify_covering_schedule(
     for (i, slot) in schedule.slots.iter().enumerate() {
         let audit = audit_activation(deployment, &coverage, &slot.active, &unread);
         if let Some(&(victim, aggressor)) = audit.rtc_pairs.first() {
-            return Err(ScheduleViolation::Infeasible { slot: i, pair: (victim, aggressor) });
+            return Err(ScheduleViolation::Infeasible {
+                slot: i,
+                pair: (victim, aggressor),
+            });
         }
         if audit.well_covered != slot.served {
             return Err(ScheduleViolation::WrongServedSet { slot: i });
@@ -69,8 +72,9 @@ pub fn verify_covering_schedule(
     if remaining > 0 {
         return Err(ScheduleViolation::Incomplete { remaining });
     }
-    let expected_uncoverable: Vec<usize> =
-        (0..deployment.n_tags()).filter(|&t| !coverage.is_coverable(t)).collect();
+    let expected_uncoverable: Vec<usize> = (0..deployment.n_tags())
+        .filter(|&t| !coverage.is_coverable(t))
+        .collect();
     if schedule.uncoverable != expected_uncoverable {
         return Err(ScheduleViolation::WrongUncoverable);
     }
@@ -81,7 +85,7 @@ pub fn verify_covering_schedule(
 mod tests {
     use super::*;
     use crate::hill_climbing::HillClimbing;
-    use crate::mcs::{SlotRecord, greedy_covering_schedule};
+    use crate::mcs::{greedy_covering_schedule, SlotRecord};
     use rfid_model::interference::interference_graph;
     use rfid_model::scenario::{Scenario, ScenarioKind};
     use rfid_model::RadiusModel;
@@ -108,7 +112,11 @@ mod tests {
     fn genuine_schedules_verify() {
         for seed in 0..4 {
             let (d, schedule) = setup(seed);
-            assert_eq!(verify_covering_schedule(&d, &schedule), Ok(()), "seed {seed}");
+            assert_eq!(
+                verify_covering_schedule(&d, &schedule),
+                Ok(()),
+                "seed {seed}"
+            );
         }
     }
 
@@ -168,11 +176,18 @@ mod tests {
             vec![],
             vec![],
         );
-        let schedule = CoveringSchedule { slots: vec![], uncoverable: vec![] };
+        let schedule = CoveringSchedule {
+            slots: vec![],
+            uncoverable: vec![],
+        };
         assert_eq!(verify_covering_schedule(&d, &schedule), Ok(()));
         // a stray slot claiming nothing is fine; claiming a tag is not
         let schedule = CoveringSchedule {
-            slots: vec![SlotRecord { active: vec![], served: vec![], fallback: false }],
+            slots: vec![SlotRecord {
+                active: vec![],
+                served: vec![],
+                fallback: false,
+            }],
             uncoverable: vec![],
         };
         assert_eq!(verify_covering_schedule(&d, &schedule), Ok(()));

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use rfid_core::exact::exact_mwfs_restricted;
 use rfid_core::{
-    AlgorithmKind, OneShotInput, OneShotScheduler, greedy_covering_schedule, make_scheduler,
+    greedy_covering_schedule, make_scheduler, AlgorithmKind, OneShotInput, OneShotScheduler,
 };
 use rfid_geometry::{Point, Rect};
 use rfid_model::interference::interference_graph;

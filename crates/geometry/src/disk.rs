@@ -24,7 +24,10 @@ impl Disk {
     /// enforced with a debug assertion (upper layers validate user input).
     #[inline]
     pub fn new(center: Point, radius: f64) -> Self {
-        debug_assert!(radius >= 0.0 && radius.is_finite(), "invalid radius {radius}");
+        debug_assert!(
+            radius >= 0.0 && radius.is_finite(),
+            "invalid radius {radius}"
+        );
         Disk { center, radius }
     }
 

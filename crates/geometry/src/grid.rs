@@ -174,14 +174,20 @@ mod tests {
     fn empty_index_answers_nothing() {
         let g = GridIndex::build(&[], 1.0);
         assert!(g.is_empty());
-        assert_eq!(g.query_within(Point::new(0.0, 0.0), 100.0), Vec::<usize>::new());
+        assert_eq!(
+            g.query_within(Point::new(0.0, 0.0), 100.0),
+            Vec::<usize>::new()
+        );
     }
 
     #[test]
     fn single_point() {
         let g = GridIndex::build(&[Point::new(3.0, 3.0)], 1.0);
         assert_eq!(g.query_within(Point::new(0.0, 0.0), 5.0), vec![0]);
-        assert_eq!(g.query_within(Point::new(0.0, 0.0), 4.0), Vec::<usize>::new());
+        assert_eq!(
+            g.query_within(Point::new(0.0, 0.0), 4.0),
+            Vec::<usize>::new()
+        );
     }
 
     #[test]
@@ -199,7 +205,10 @@ mod tests {
         for cell in [0.5, 3.0, 17.0] {
             let g = GridIndex::build(&points, cell);
             for _ in 0..50 {
-                let c = Point::new(rng.random::<f64>() * 120.0 - 10.0, rng.random::<f64>() * 120.0 - 10.0);
+                let c = Point::new(
+                    rng.random::<f64>() * 120.0 - 10.0,
+                    rng.random::<f64>() * 120.0 - 10.0,
+                );
                 let r = rng.random::<f64>() * 25.0;
                 let mut expect = brute_force(&points, c, r);
                 expect.sort_unstable();

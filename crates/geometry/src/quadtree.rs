@@ -44,7 +44,11 @@ impl QuadTree {
         }
         let all: Vec<u32> = (0..points.len() as u32).collect();
         let root = Self::build_node(points, all, eff, 0);
-        QuadTree { points: points.to_vec(), bounds: eff, root }
+        QuadTree {
+            points: points.to_vec(),
+            bounds: eff,
+            root,
+        }
     }
 
     fn build_node(points: &[Point], idxs: Vec<u32>, bounds: Rect, depth: usize) -> Node {

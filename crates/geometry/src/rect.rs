@@ -21,7 +21,12 @@ impl Rect {
     /// ordering (`min ≤ max` on both axes).
     pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
         debug_assert!(min_x <= max_x && min_y <= max_y, "inverted rect");
-        Rect { min_x, min_y, max_x, max_y }
+        Rect {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
     }
 
     /// The square `[0, side] × [0, side]` — the paper's deployment region

@@ -34,7 +34,10 @@ pub fn clustered_points<R: Rng + ?Sized>(
     centers: &[Point],
     sigma: f64,
 ) -> Vec<Point> {
-    assert!(!centers.is_empty(), "clustered_points needs at least one cluster center");
+    assert!(
+        !centers.is_empty(),
+        "clustered_points needs at least one cluster center"
+    );
     assert!(sigma >= 0.0, "sigma must be non-negative");
     (0..n)
         .map(|_| {
@@ -69,7 +72,10 @@ fn gaussian_pair<R: Rng + ?Sized>(rng: &mut R) -> (f64, f64) {
 /// approximation `⌊N(λ, λ) + 0.5⌋` (clamped at 0) is used — the paper's
 /// sweeps stay well below that, so the exact method dominates in practice.
 pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
-    assert!(lambda >= 0.0 && lambda.is_finite(), "invalid Poisson mean {lambda}");
+    assert!(
+        lambda >= 0.0 && lambda.is_finite(),
+        "invalid Poisson mean {lambda}"
+    );
     if lambda == 0.0 {
         return 0;
     }

@@ -116,7 +116,12 @@ impl LevelAssignment {
             max_level = max_level.max(level);
             levels.push(level);
         }
-        LevelAssignment { scale, levels, num_levels: max_level + 1, k }
+        LevelAssignment {
+            scale,
+            levels,
+            num_levels: max_level + 1,
+            k,
+        }
     }
 
     /// Scales a world-space disk into grid units.
@@ -140,7 +145,10 @@ impl HierarchicalGrid {
     /// range for `k`.
     pub fn new(k: usize, shift: Shifting) -> Self {
         assert!(k >= 2, "grid parameter k must be ≥ 2");
-        assert!(shift.r < k && shift.s < k, "shifting {shift:?} out of range for k={k}");
+        assert!(
+            shift.r < k && shift.s < k,
+            "shifting {shift:?} out of range for k={k}"
+        );
         HierarchicalGrid { k, shift }
     }
 
@@ -293,7 +301,10 @@ mod tests {
                 let p = Point::new(x, y);
                 let sq = g.square_of(p, level);
                 let b = g.square_bounds(sq);
-                assert!(b.contains(p), "level {level} point {p} square {sq:?} bounds {b:?}");
+                assert!(
+                    b.contains(p),
+                    "level {level} point {p} square {sq:?} bounds {b:?}"
+                );
                 assert!(crate::approx_eq(b.width(), g.square_side(level)));
                 assert!(crate::approx_eq(b.height(), g.square_side(level)));
             }
@@ -329,7 +340,10 @@ mod tests {
                 assert_eq!(parent.level, level - 1);
                 let cb = g.square_bounds(child);
                 let pb = g.square_bounds(parent);
-                assert!(pb.contains_rect(&cb), "child {cb:?} not inside parent {pb:?}");
+                assert!(
+                    pb.contains_rect(&cb),
+                    "child {cb:?} not inside parent {pb:?}"
+                );
                 assert!(g.is_child_of(child, parent));
             }
         }

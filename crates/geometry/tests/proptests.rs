@@ -1,7 +1,9 @@
 //! Property-based tests for the geometry substrate.
 
 use proptest::prelude::*;
-use rfid_geometry::{Disk, GridIndex, HierarchicalGrid, LevelAssignment, Point, QuadTree, Rect, Shifting};
+use rfid_geometry::{
+    Disk, GridIndex, HierarchicalGrid, LevelAssignment, Point, QuadTree, Rect, Shifting,
+};
 
 fn arb_point() -> impl Strategy<Value = Point> {
     (-500.0..500.0f64, -500.0..500.0f64).prop_map(|(x, y)| Point::new(x, y))

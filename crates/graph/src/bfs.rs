@@ -145,10 +145,7 @@ mod tests {
 
     #[test]
     fn ball_matches_ring_union() {
-        let g = Csr::from_edges(
-            7,
-            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 6)],
-        );
+        let g = Csr::from_edges(7, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 6)]);
         for r in 0..5u32 {
             let mut union: Vec<usize> = (0..=r).flat_map(|i| k_hop_ring(&g, 0, i)).collect();
             union.sort_unstable();

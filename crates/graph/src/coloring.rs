@@ -38,6 +38,7 @@ pub fn greedy_coloring(g: &Csr, order: &[usize]) -> Vec<usize> {
 /// *saturation* (number of distinct neighbour colours), breaking ties by
 /// degree then id. Typically uses noticeably fewer colours than first-fit
 /// on geometric graphs.
+#[allow(clippy::needless_range_loop)] // `v` indexes `color` and `neighbor_colors` in parallel
 pub fn dsatur(g: &Csr) -> Vec<usize> {
     let n = g.n();
     let mut color = vec![usize::MAX; n];
@@ -80,7 +81,7 @@ pub fn is_proper_coloring(g: &Csr, color: &[usize]) -> bool {
     if color.len() != g.n() {
         return false;
     }
-    if color.iter().any(|&c| c == usize::MAX) {
+    if color.contains(&usize::MAX) {
         return false;
     }
     for (a, b) in g.edges() {
@@ -131,7 +132,11 @@ mod tests {
     fn greedy_bounded_by_max_degree_plus_one() {
         // Random-ish dense graph.
         let edges: Vec<(usize, usize)> = (0..12)
-            .flat_map(|a| ((a + 1)..12).filter(move |b| (a * 7 + b * 5) % 3 == 0).map(move |b| (a, b)))
+            .flat_map(|a| {
+                ((a + 1)..12)
+                    .filter(move |b| (a * 7 + b * 5) % 3 == 0)
+                    .map(move |b| (a, b))
+            })
             .collect();
         let g = Csr::from_edges(12, &edges);
         let order: Vec<usize> = (0..12).rev().collect();

@@ -63,7 +63,10 @@ impl Csr {
             }
             clean_offsets.push(clean_targets.len() as u32);
         }
-        Csr { offsets: clean_offsets, targets: clean_targets }
+        Csr {
+            offsets: clean_offsets,
+            targets: clean_targets,
+        }
     }
 
     /// Builds a graph by testing every unordered pair with `adjacent`.

@@ -86,7 +86,11 @@ mod tests {
     fn order_property_holds() {
         // Every node has ≤ degeneracy neighbours appearing later in order.
         let edges: Vec<(usize, usize)> = (0..15)
-            .flat_map(|a| ((a + 1)..15).filter(move |b| (a * 3 + b) % 4 == 0).map(move |b| (a, b)))
+            .flat_map(|a| {
+                ((a + 1)..15)
+                    .filter(move |b| (a * 3 + b) % 4 == 0)
+                    .map(move |b| (a, b))
+            })
             .collect();
         let g = Csr::from_edges(15, &edges);
         let (order, d) = degeneracy_order(&g);
@@ -103,7 +107,10 @@ mod tests {
                 .iter()
                 .filter(|&&t| pos[t as usize] > pos[v])
                 .count();
-            assert!(later <= d, "node {v} has {later} later neighbours > degeneracy {d}");
+            assert!(
+                later <= d,
+                "node {v} has {later} later neighbours > degeneracy {d}"
+            );
         }
     }
 

@@ -46,6 +46,7 @@ pub fn max_weight_independent_set(g: &Csr, weights: &[f64]) -> Vec<usize> {
         pos: Vec<usize>,
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         ctx: &Ctx,
         idx: usize,
@@ -66,7 +67,16 @@ pub fn max_weight_independent_set(g: &Csr, weights: &[f64]) -> Vec<usize> {
         }
         let v = ctx.order[idx];
         if !alive[v] {
-            recurse(ctx, idx + 1, cur_w, remaining_w, chosen, alive, best, best_w);
+            recurse(
+                ctx,
+                idx + 1,
+                cur_w,
+                remaining_w,
+                chosen,
+                alive,
+                best,
+                best_w,
+            );
             return;
         }
         let wv = ctx.weights[v];
@@ -104,16 +114,39 @@ pub fn max_weight_independent_set(g: &Csr, weights: &[f64]) -> Vec<usize> {
             alive[t] = true;
         }
         // Branch 2: exclude v.
-        recurse(ctx, idx + 1, cur_w, remaining_w - wv, chosen, alive, best, best_w);
+        recurse(
+            ctx,
+            idx + 1,
+            cur_w,
+            remaining_w - wv,
+            chosen,
+            alive,
+            best,
+            best_w,
+        );
     }
 
     let mut pos = vec![0usize; n];
     for (i, &v) in order.iter().enumerate() {
         pos[v] = i;
     }
-    let ctx = Ctx { g, weights, order: &order, pos };
+    let ctx = Ctx {
+        g,
+        weights,
+        order: &order,
+        pos,
+    };
     let total: f64 = (0..n).map(|v| weights[v]).sum();
-    recurse(&ctx, 0, 0.0, total, &mut chosen, &mut alive, &mut best, &mut best_w);
+    recurse(
+        &ctx,
+        0,
+        0.0,
+        total,
+        &mut chosen,
+        &mut alive,
+        &mut best,
+        &mut best_w,
+    );
     best
 }
 
@@ -184,12 +217,14 @@ mod tests {
             let edges: Vec<(usize, usize)> = (0..n)
                 .flat_map(|a| {
                     ((a + 1)..n)
-                        .filter(move |b| (a * 31 + b * 17 + seed as usize * 7) % 3 == 0)
+                        .filter(move |b| (a * 31 + b * 17 + seed as usize * 7).is_multiple_of(3))
                         .map(move |b| (a, b))
                 })
                 .collect();
             let g = Csr::from_edges(n, &edges);
-            let w: Vec<f64> = (0..n).map(|i| ((i * 13 + seed as usize * 5) % 7) as f64 + 0.5).collect();
+            let w: Vec<f64> = (0..n)
+                .map(|i| ((i * 13 + seed as usize * 5) % 7) as f64 + 0.5)
+                .collect();
             let s = max_weight_independent_set(&g, &w);
             assert!(g.is_independent_set(&s), "seed {seed}");
             let bw = brute_force(&g, &w);

@@ -2,22 +2,22 @@
 
 use proptest::prelude::*;
 use rfid_graph::{
-    Csr, connected_components, degeneracy_order, dsatur, greedy_coloring, hop_distances,
-    is_proper_coloring, k_hop_ball, k_hop_ring, max_weight_independent_set,
+    connected_components, degeneracy_order, dsatur, greedy_coloring, hop_distances,
+    is_proper_coloring, k_hop_ball, k_hop_ring, max_weight_independent_set, Csr,
 };
 
 /// Arbitrary graph as (n, edge list).
 fn arb_graph(max_n: usize) -> impl Strategy<Value = Csr> {
     (2usize..max_n).prop_flat_map(|n| {
         proptest::collection::vec((0..n, 0..n), 0..3 * n).prop_map(move |pairs| {
-            let edges: Vec<(usize, usize)> =
-                pairs.into_iter().filter(|(a, b)| a != b).collect();
+            let edges: Vec<(usize, usize)> = pairs.into_iter().filter(|(a, b)| a != b).collect();
             Csr::from_edges(n, &edges)
         })
     })
 }
 
 /// Reference all-pairs shortest hop distances (BFS from each node).
+#[allow(clippy::needless_range_loop)] // node ids index the distance matrix
 fn floyd_warshall(g: &Csr) -> Vec<Vec<u64>> {
     let n = g.n();
     const INF: u64 = u64::MAX / 4;
@@ -59,6 +59,7 @@ proptest! {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // node ids index the distance matrix
     fn bfs_matches_floyd_warshall(g in arb_graph(16)) {
         let fw = floyd_warshall(&g);
         for src in 0..g.n() {

@@ -59,8 +59,16 @@ pub fn deployment_stats(
     if coverage_histogram.is_empty() {
         coverage_histogram.push(0);
     }
-    let mean_coverage = if coverable == 0 { 0.0 } else { covered_sum as f64 / coverable as f64 };
-    let overlap_fraction = if coverable == 0 { 0.0 } else { overlapped as f64 / coverable as f64 };
+    let mean_coverage = if coverable == 0 {
+        0.0
+    } else {
+        covered_sum as f64 / coverable as f64
+    };
+    let overlap_fraction = if coverable == 0 {
+        0.0
+    } else {
+        overlapped as f64 / coverable as f64
+    };
 
     // Degree histogram.
     let mut degree_histogram = Vec::new();
@@ -76,8 +84,11 @@ pub fn deployment_stats(
     if degree_histogram.is_empty() {
         degree_histogram.push(0);
     }
-    let mean_degree =
-        if d.n_readers() == 0 { 0.0 } else { deg_sum as f64 / d.n_readers() as f64 };
+    let mean_degree = if d.n_readers() == 0 {
+        0.0
+    } else {
+        deg_sum as f64 / d.n_readers() as f64
+    };
 
     let area = d.region().area();
     let interrogation_density = if area == 0.0 {
@@ -134,7 +145,9 @@ mod tests {
         assert_eq!(stats.degree_histogram, vec![0, 2]);
         assert_eq!(stats.mean_degree, 1.0);
         // 2 × π·16 / 400
-        assert!((stats.interrogation_density - 2.0 * std::f64::consts::PI * 16.0 / 400.0).abs() < 1e-12);
+        assert!(
+            (stats.interrogation_density - 2.0 * std::f64::consts::PI * 16.0 / 400.0).abs() < 1e-12
+        );
     }
 
     #[test]
@@ -155,7 +168,10 @@ mod tests {
         let stats = deployment_stats(&d, &c, &g);
         assert_eq!(stats.coverage_histogram.iter().sum::<usize>(), d.n_tags());
         assert_eq!(stats.degree_histogram.iter().sum::<usize>(), d.n_readers());
-        assert_eq!(stats.coverage_histogram[0], d.n_tags() - c.coverable_count());
+        assert_eq!(
+            stats.coverage_histogram[0],
+            d.n_tags() - c.coverable_count()
+        );
     }
 
     #[test]

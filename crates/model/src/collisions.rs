@@ -100,18 +100,23 @@ pub fn audit_activation(
     well_covered.sort_unstable();
 
     // TTc load: well-covered tags per non-jammed reader.
-    let mut per_reader: std::collections::HashMap<ReaderId, usize> = std::collections::HashMap::new();
+    let mut per_reader: std::collections::HashMap<ReaderId, usize> =
+        std::collections::HashMap::new();
     for &t in &well_covered {
         let (_, v) = count[&t];
         *per_reader.entry(v).or_insert(0) += 1;
     }
-    let mut ttc_load: Vec<(ReaderId, usize)> = per_reader
-        .into_iter()
-        .filter(|&(_, c)| c >= 2)
-        .collect();
+    let mut ttc_load: Vec<(ReaderId, usize)> =
+        per_reader.into_iter().filter(|&(_, c)| c >= 2).collect();
     ttc_load.sort_unstable();
 
-    ActivationAudit { rtc_pairs, jammed, rrc_tags, well_covered, ttc_load }
+    ActivationAudit {
+        rtc_pairs,
+        jammed,
+        rrc_tags,
+        well_covered,
+        ttc_load,
+    }
 }
 
 #[cfg(test)]
@@ -124,7 +129,11 @@ mod tests {
     fn jamming_deployment() -> (Deployment, Coverage) {
         let d = Deployment::new(
             Rect::square(50.0),
-            vec![Point::new(0.0, 0.0), Point::new(8.0, 0.0), Point::new(30.0, 0.0)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(8.0, 0.0),
+                Point::new(30.0, 0.0),
+            ],
             vec![10.0, 3.0, 3.0],
             vec![4.0, 3.0, 3.0],
             vec![
@@ -186,9 +195,13 @@ mod tests {
         let d = Deployment::new(
             Rect::square(20.0),
             vec![Point::new(5.0, 5.0)],
-            vec![5.0, ],
+            vec![5.0],
             vec![4.0],
-            vec![Point::new(5.0, 5.0), Point::new(6.0, 5.0), Point::new(4.0, 5.0)],
+            vec![
+                Point::new(5.0, 5.0),
+                Point::new(6.0, 5.0),
+                Point::new(4.0, 5.0),
+            ],
         );
         let c = Coverage::build(&d);
         let unread = TagSet::all_unread(3);

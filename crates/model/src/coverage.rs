@@ -35,6 +35,8 @@ impl Coverage {
                 .fold(0.0f64, f64::max)
                 .max(1e-6);
             let index = GridIndex::build(d.tag_positions(), r_max);
+            #[allow(clippy::needless_range_loop)]
+            // `i` indexes radii, positions and rows in parallel
             for i in 0..n {
                 let r = d.interrogation_radii()[i];
                 index.for_each_within(d.reader_positions()[i], r, |t, _| {
@@ -49,7 +51,10 @@ impl Coverage {
                 row.sort_unstable();
             }
         }
-        Coverage { tag_readers, reader_tags }
+        Coverage {
+            tag_readers,
+            reader_tags,
+        }
     }
 
     /// Builds a coverage table directly from per-tag reader lists.
@@ -69,7 +74,10 @@ impl Coverage {
             }
         }
         // reader_tags rows are built in increasing t → already sorted.
-        Coverage { tag_readers, reader_tags }
+        Coverage {
+            tag_readers,
+            reader_tags,
+        }
     }
 
     /// Number of tags in the table.
@@ -164,8 +172,13 @@ mod tests {
         assert_eq!(c.n_tags(), 0);
         assert_eq!(c.tags_of(0), &[] as &[u32]);
 
-        let no_readers =
-            Deployment::new(Rect::square(5.0), vec![], vec![], vec![], vec![Point::ORIGIN]);
+        let no_readers = Deployment::new(
+            Rect::square(5.0),
+            vec![],
+            vec![],
+            vec![],
+            vec![Point::ORIGIN],
+        );
         let c = Coverage::build(&no_readers);
         assert_eq!(c.coverable_count(), 0);
     }
@@ -174,7 +187,9 @@ mod tests {
     fn from_lists_matches_build() {
         let d = overlap_deployment();
         let built = Coverage::build(&d);
-        let lists: Vec<Vec<u32>> = (0..d.n_tags()).map(|t| built.readers_of(t).to_vec()).collect();
+        let lists: Vec<Vec<u32>> = (0..d.n_tags())
+            .map(|t| built.readers_of(t).to_vec())
+            .collect();
         let reconstructed = Coverage::from_lists(d.n_readers(), lists);
         assert_eq!(built, reconstructed);
     }

@@ -34,8 +34,16 @@ impl Deployment {
         interrogation_r: Vec<f64>,
         tag_pos: Vec<Point>,
     ) -> Self {
-        assert_eq!(reader_pos.len(), interference_r.len(), "radius arrays must match readers");
-        assert_eq!(reader_pos.len(), interrogation_r.len(), "radius arrays must match readers");
+        assert_eq!(
+            reader_pos.len(),
+            interference_r.len(),
+            "radius arrays must match readers"
+        );
+        assert_eq!(
+            reader_pos.len(),
+            interrogation_r.len(),
+            "radius arrays must match readers"
+        );
         for (i, p) in reader_pos.iter().enumerate() {
             assert!(p.is_finite(), "reader {i} has non-finite position");
         }
@@ -45,13 +53,22 @@ impl Deployment {
         for i in 0..reader_pos.len() {
             let big = interference_r[i];
             let small = interrogation_r[i];
-            assert!(big.is_finite() && big >= 0.0, "reader {i}: bad interference radius {big}");
+            assert!(
+                big.is_finite() && big >= 0.0,
+                "reader {i}: bad interference radius {big}"
+            );
             assert!(
                 small.is_finite() && small >= 0.0 && small <= big,
                 "reader {i}: interrogation radius {small} must satisfy 0 ≤ r ≤ R = {big}"
             );
         }
-        Deployment { region, reader_pos, interference_r, interrogation_r, tag_pos }
+        Deployment {
+            region,
+            reader_pos,
+            interference_r,
+            interrogation_r,
+            tag_pos,
+        }
     }
 
     /// Deployment region (informational; readers/tags may sit on its
@@ -148,7 +165,11 @@ mod tests {
         // Tags at x = 0, 2, 10, 15, 100.
         Deployment::new(
             Rect::square(100.0),
-            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(20.0, 0.0)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(20.0, 0.0),
+            ],
             vec![6.0, 6.0, 6.0],
             vec![3.0, 3.0, 3.0],
             vec![
@@ -225,7 +246,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "radius arrays")]
     fn mismatched_arrays_rejected() {
-        let _ = Deployment::new(Rect::square(1.0), vec![Point::ORIGIN], vec![], vec![], vec![]);
+        let _ = Deployment::new(
+            Rect::square(1.0),
+            vec![Point::ORIGIN],
+            vec![],
+            vec![],
+            vec![],
+        );
     }
 
     #[test]

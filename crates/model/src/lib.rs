@@ -35,13 +35,13 @@ pub mod survey;
 pub mod tag;
 pub mod weight;
 
-pub use analysis::{DeploymentStats, deployment_stats};
-pub use collisions::{ActivationAudit, audit_activation};
+pub use analysis::{deployment_stats, DeploymentStats};
+pub use collisions::{audit_activation, ActivationAudit};
 pub use coverage::Coverage;
 pub use deployment::Deployment;
 pub use radii::RadiusModel;
 pub use reader::{Reader, ReaderId};
 pub use scenario::{Scenario, ScenarioKind};
-pub use survey::{SurveyError, SurveyImpact, survey_impact, surveyed_interference_graph};
+pub use survey::{survey_impact, surveyed_interference_graph, SurveyError, SurveyImpact};
 pub use tag::{TagId, TagSet};
 pub use weight::{IncrementalWeight, WeightEvaluator};

@@ -46,25 +46,37 @@ impl RadiusModel {
     /// Paper defaults used throughout the figures when the respective λ is
     /// "fixed": `λ_R = 14`, `λ_r = 6` on the 100×100 region.
     pub fn paper_default() -> Self {
-        RadiusModel::PoissonPair { lambda_interference: 14.0, lambda_interrogation: 6.0 }
+        RadiusModel::PoissonPair {
+            lambda_interference: 14.0,
+            lambda_interrogation: 6.0,
+        }
     }
 
     /// Draws `(R_i, r_i)` for one reader. Guarantees `0 < r_i ≤ R_i`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (f64, f64) {
         match *self {
-            RadiusModel::PoissonPair { lambda_interference, lambda_interrogation } => {
+            RadiusModel::PoissonPair {
+                lambda_interference,
+                lambda_interrogation,
+            } => {
                 let big = poisson_at_least(rng, lambda_interference, 1) as f64;
                 let small = poisson_at_least(rng, lambda_interrogation, 1) as f64;
                 (big, small.min(big))
             }
-            RadiusModel::Fixed { interference, interrogation } => {
+            RadiusModel::Fixed {
+                interference,
+                interrogation,
+            } => {
                 assert!(
                     interrogation > 0.0 && interrogation <= interference,
                     "need 0 < interrogation ≤ interference"
                 );
                 (interference, interrogation)
             }
-            RadiusModel::Scaled { lambda_interference, beta } => {
+            RadiusModel::Scaled {
+                lambda_interference,
+                beta,
+            } => {
                 assert!(beta > 0.0 && beta < 1.0, "β must be in (0, 1)");
                 let big = poisson_at_least(rng, lambda_interference, 1) as f64;
                 (big, beta * big)
@@ -76,13 +88,16 @@ impl RadiusModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn poisson_pair_respects_ordering() {
         let mut rng = StdRng::seed_from_u64(11);
-        let m = RadiusModel::PoissonPair { lambda_interference: 5.0, lambda_interrogation: 9.0 };
+        let m = RadiusModel::PoissonPair {
+            lambda_interference: 5.0,
+            lambda_interrogation: 9.0,
+        };
         for _ in 0..2000 {
             let (big, small) = m.sample(&mut rng);
             assert!(small > 0.0, "interrogation radius must be positive");
@@ -93,7 +108,10 @@ mod tests {
     #[test]
     fn poisson_pair_means_are_plausible() {
         let mut rng = StdRng::seed_from_u64(12);
-        let m = RadiusModel::PoissonPair { lambda_interference: 14.0, lambda_interrogation: 6.0 };
+        let m = RadiusModel::PoissonPair {
+            lambda_interference: 14.0,
+            lambda_interrogation: 6.0,
+        };
         let n = 5000;
         let (mut sum_big, mut sum_small) = (0.0, 0.0);
         for _ in 0..n {
@@ -111,7 +129,10 @@ mod tests {
     #[test]
     fn fixed_model_is_constant() {
         let mut rng = StdRng::seed_from_u64(13);
-        let m = RadiusModel::Fixed { interference: 10.0, interrogation: 4.0 };
+        let m = RadiusModel::Fixed {
+            interference: 10.0,
+            interrogation: 4.0,
+        };
         assert_eq!(m.sample(&mut rng), (10.0, 4.0));
         assert_eq!(m.sample(&mut rng), (10.0, 4.0));
     }
@@ -119,7 +140,10 @@ mod tests {
     #[test]
     fn scaled_model_applies_beta() {
         let mut rng = StdRng::seed_from_u64(14);
-        let m = RadiusModel::Scaled { lambda_interference: 8.0, beta: 0.5 };
+        let m = RadiusModel::Scaled {
+            lambda_interference: 8.0,
+            beta: 0.5,
+        };
         for _ in 0..100 {
             let (big, small) = m.sample(&mut rng);
             assert!((small - 0.5 * big).abs() < 1e-12);
@@ -130,6 +154,10 @@ mod tests {
     #[should_panic(expected = "interrogation")]
     fn fixed_model_rejects_inverted_radii() {
         let mut rng = StdRng::seed_from_u64(15);
-        let _ = RadiusModel::Fixed { interference: 3.0, interrogation: 4.0 }.sample(&mut rng);
+        let _ = RadiusModel::Fixed {
+            interference: 3.0,
+            interrogation: 4.0,
+        }
+        .sample(&mut rng);
     }
 }

@@ -62,7 +62,10 @@ impl Scenario {
             n_readers: 50,
             n_tags: 1200,
             region_side: 100.0,
-            radius_model: RadiusModel::PoissonPair { lambda_interference, lambda_interrogation },
+            radius_model: RadiusModel::PoissonPair {
+                lambda_interference,
+                lambda_interrogation,
+            },
         }
     }
 
@@ -155,7 +158,10 @@ mod tests {
             n_readers: 9,
             n_tags: 10,
             region_side: 30.0,
-            radius_model: RadiusModel::Fixed { interference: 5.0, interrogation: 2.0 },
+            radius_model: RadiusModel::Fixed {
+                interference: 5.0,
+                interrogation: 2.0,
+            },
         };
         let d = s.generate(0);
         assert_eq!(d.reader(0).pos, Point::new(5.0, 5.0));
@@ -166,7 +172,10 @@ mod tests {
     #[test]
     fn clustered_tags_stay_in_region() {
         let s = Scenario {
-            kind: ScenarioKind::ClusteredTags { clusters: 4, sigma: 5.0 },
+            kind: ScenarioKind::ClusteredTags {
+                clusters: 4,
+                sigma: 5.0,
+            },
             n_readers: 10,
             n_tags: 500,
             region_side: 100.0,

@@ -28,7 +28,10 @@ pub struct SurveyError {
 
 impl SurveyError {
     /// A perfect survey.
-    pub const NONE: SurveyError = SurveyError { false_negative: 0.0, false_positive: 0.0 };
+    pub const NONE: SurveyError = SurveyError {
+        false_negative: 0.0,
+        false_positive: 0.0,
+    };
 }
 
 /// Runs a simulated site survey: the true interference graph corrupted by
@@ -82,7 +85,10 @@ pub fn survey_impact(d: &Deployment, surveyed: &Csr) -> SurveyImpact {
             }
         }
     }
-    SurveyImpact { missed_edges: missed, phantom_edges: phantom }
+    SurveyImpact {
+        missed_edges: missed,
+        phantom_edges: phantom,
+    }
 }
 
 #[cfg(test)]
@@ -111,7 +117,13 @@ mod tests {
         let s = surveyed_interference_graph(&d, SurveyError::NONE, 7);
         assert_eq!(s, interference_graph(&d));
         let impact = survey_impact(&d, &s);
-        assert_eq!(impact, SurveyImpact { missed_edges: 0, phantom_edges: 0 });
+        assert_eq!(
+            impact,
+            SurveyImpact {
+                missed_edges: 0,
+                phantom_edges: 0
+            }
+        );
     }
 
     #[test]
@@ -119,7 +131,10 @@ mod tests {
         let d = deployment(1);
         let s = surveyed_interference_graph(
             &d,
-            SurveyError { false_negative: 1.0, false_positive: 0.0 },
+            SurveyError {
+                false_negative: 1.0,
+                false_positive: 0.0,
+            },
             7,
         );
         assert_eq!(s.m(), 0);
@@ -132,7 +147,10 @@ mod tests {
         let d = deployment(2);
         let s = surveyed_interference_graph(
             &d,
-            SurveyError { false_negative: 0.0, false_positive: 1.0 },
+            SurveyError {
+                false_negative: 0.0,
+                false_positive: 1.0,
+            },
             7,
         );
         let n = d.n_readers();
@@ -148,7 +166,10 @@ mod tests {
         for seed in 0..RUNS {
             let s = surveyed_interference_graph(
                 &d,
-                SurveyError { false_negative: 0.3, false_positive: 0.0 },
+                SurveyError {
+                    false_negative: 0.3,
+                    false_positive: 0.0,
+                },
                 seed,
             );
             missed_total += survey_impact(&d, &s).missed_edges;
@@ -164,7 +185,10 @@ mod tests {
     #[test]
     fn surveys_are_deterministic_per_seed() {
         let d = deployment(4);
-        let e = SurveyError { false_negative: 0.2, false_positive: 0.01 };
+        let e = SurveyError {
+            false_negative: 0.2,
+            false_positive: 0.01,
+        };
         assert_eq!(
             surveyed_interference_graph(&d, e, 9),
             surveyed_interference_graph(&d, e, 9)
@@ -175,7 +199,7 @@ mod tests {
     /// against the true model; phantom-only surveys stay safe.
     #[test]
     fn false_negatives_cause_rtc_false_positives_do_not() {
-        use crate::{Coverage, TagSet, audit_activation};
+        use crate::{audit_activation, Coverage, TagSet};
         let d = Scenario {
             kind: ScenarioKind::UniformRandom,
             n_readers: 30,
@@ -206,8 +230,14 @@ mod tests {
             x
         };
         // Phantom-only survey: activation remains feasible in truth.
-        let phantom =
-            surveyed_interference_graph(&d, SurveyError { false_negative: 0.0, false_positive: 0.3 }, 1);
+        let phantom = surveyed_interference_graph(
+            &d,
+            SurveyError {
+                false_negative: 0.0,
+                false_positive: 0.3,
+            },
+            1,
+        );
         let x = schedule_with(&phantom);
         assert!(audit_activation(&d, &c, &x, &unread).is_feasible());
         // Miss half the edges: some seed must produce a real RTc.
@@ -215,12 +245,18 @@ mod tests {
         for seed in 0..10 {
             let lossy = surveyed_interference_graph(
                 &d,
-                SurveyError { false_negative: 0.5, false_positive: 0.0 },
+                SurveyError {
+                    false_negative: 0.5,
+                    false_positive: 0.0,
+                },
                 seed,
             );
             let x = schedule_with(&lossy);
             any_rtc |= !audit_activation(&d, &c, &x, &unread).is_feasible();
         }
-        assert!(any_rtc, "50% missed edges never caused an RTc across 10 surveys?");
+        assert!(
+            any_rtc,
+            "50% missed edges never caused an RTc across 10 surveys?"
+        );
     }
 }

@@ -20,7 +20,10 @@ pub struct TagSet {
 impl TagSet {
     /// All `m` tags unread.
     pub fn all_unread(m: usize) -> Self {
-        TagSet { unread: vec![true; m], remaining: m }
+        TagSet {
+            unread: vec![true; m],
+            remaining: m,
+        }
     }
 
     /// Total number of tags (read or not).

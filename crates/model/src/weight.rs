@@ -149,7 +149,9 @@ impl<'a> IncrementalWeight<'a> {
     pub fn new(coverage: &'a Coverage, unread: &TagSet) -> Self {
         IncrementalWeight {
             coverage,
-            unread_snapshot: (0..coverage.n_tags()).map(|t| unread.is_unread(t)).collect(),
+            unread_snapshot: (0..coverage.n_tags())
+                .map(|t| unread.is_unread(t))
+                .collect(),
             counts: vec![0; coverage.n_tags()],
             active: vec![false; coverage.n_readers()],
             active_list: Vec::new(),
@@ -259,7 +261,11 @@ mod tests {
         // 5 @ 10 (B only).
         let d = Deployment::new(
             Rect::new(-10.0, -10.0, 40.0, 10.0),
-            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(20.0, 0.0)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(20.0, 0.0),
+            ],
             vec![9.0, 9.0, 9.0],
             vec![6.0, 7.0, 6.0],
             vec![

@@ -4,8 +4,8 @@ use proptest::prelude::*;
 use rfid_geometry::{Point, Rect};
 use rfid_model::interference::{interference_graph, interference_graph_naive};
 use rfid_model::{
-    Coverage, Deployment, RadiusModel, Scenario, ScenarioKind, TagSet, WeightEvaluator,
-    audit_activation,
+    audit_activation, Coverage, Deployment, RadiusModel, Scenario, ScenarioKind, TagSet,
+    WeightEvaluator,
 };
 
 /// Arbitrary valid deployment (readers + tags in a 100×100 region).
@@ -77,7 +77,7 @@ proptest! {
         let c = Coverage::build(&d);
         let unread = TagSet::all_unread(d.n_tags());
         let mut w = WeightEvaluator::new(&c);
-        let set: Vec<usize> = (0..d.n_readers()).filter(|v| (v * 7 + seed as usize) % 3 == 0).collect();
+        let set: Vec<usize> = (0..d.n_readers()).filter(|v| (v * 7 + seed as usize).is_multiple_of(3)).collect();
         let weight = w.weight(&set, &unread);
         // bounded by total tags and by sum of singleton weights
         prop_assert!(weight <= d.n_tags());

@@ -1,0 +1,239 @@
+//! Seeded, reproducible fault injection.
+//!
+//! A [`FaultPlan`] unifies every way this simulator can misbehave —
+//! probabilistic message loss, bounded delivery delay, crash-stop node
+//! failures, and transient link partitions — behind one description that
+//! [`Network::with_faults`](crate::Network::with_faults) consults during
+//! execution. The plan is pure data: the same plan (including its seed)
+//! replays the exact same fault schedule, which is what makes chaos runs
+//! debuggable and the determinism tests possible.
+//!
+//! Fault semantics:
+//!
+//! * **Loss** — each message is dropped independently with probability
+//!   `loss` at delivery time (tallied in [`NetStats::dropped`](crate::NetStats)).
+//! * **Delay** — each message is delayed an extra uniform `0..=max_delay`
+//!   rounds beyond the synchronous next-round delivery.
+//! * **Crash** — a node scheduled to crash at round `r` executes rounds
+//!   `0..r`, then never steps again (crash-stop, no recovery). Messages
+//!   delivered to it at round `>= r` are dropped; messages it sent before
+//!   crashing still fly.
+//! * **Partition** — while a partition window `[from, until)` is active,
+//!   messages *delivered* across the cut (either direction) are dropped.
+//!   Partitions heal: at round `until` the link carries traffic again.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A transient cut between two node groups during a round window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// One side of the cut.
+    pub group_a: BTreeSet<usize>,
+    /// The other side. Nodes in neither group are unaffected.
+    pub group_b: BTreeSet<usize>,
+    /// First round (inclusive) during which the cut drops messages.
+    pub from: u64,
+    /// First round (exclusive) at which the cut has healed.
+    pub until: u64,
+}
+
+impl Partition {
+    /// `true` iff a message `a → b` (or `b → a`) crossing at `round` is cut.
+    pub fn severs(&self, a: usize, b: usize, round: u64) -> bool {
+        if round < self.from || round >= self.until {
+            return false;
+        }
+        (self.group_a.contains(&a) && self.group_b.contains(&b))
+            || (self.group_a.contains(&b) && self.group_b.contains(&a))
+    }
+}
+
+/// A complete, seeded description of the faults one execution suffers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    loss: f64,
+    max_delay: u64,
+    /// node id → round at which it crash-stops.
+    crashes: BTreeMap<usize, u64>,
+    partitions: Vec<Partition>,
+}
+
+impl FaultPlan {
+    /// The fault-free plan: running a network with it is byte-identical
+    /// to running without any plan at all.
+    pub fn none() -> Self {
+        FaultPlan::seeded(0)
+    }
+
+    /// An empty plan carrying a seed for whatever faults get added.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            loss: 0.0,
+            max_delay: 0,
+            crashes: BTreeMap::new(),
+            partitions: Vec::new(),
+        }
+    }
+
+    /// Adds independent per-message loss with probability `p`.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0, 1]"
+        );
+        self.loss = p;
+        self
+    }
+
+    /// Adds uniform extra delivery delay of `0..=max_extra` rounds.
+    pub fn with_delay(mut self, max_extra: u64) -> Self {
+        self.max_delay = max_extra;
+        self
+    }
+
+    /// Schedules `node` to crash-stop at `round` (keeps the earliest
+    /// round if scheduled twice).
+    pub fn with_crash(mut self, node: usize, round: u64) -> Self {
+        let entry = self.crashes.entry(node).or_insert(round);
+        *entry = (*entry).min(round);
+        self
+    }
+
+    /// Schedules a transient partition between `group_a` and `group_b`
+    /// over the round window `[from, until)`.
+    pub fn with_partition(
+        mut self,
+        group_a: impl IntoIterator<Item = usize>,
+        group_b: impl IntoIterator<Item = usize>,
+        from: u64,
+        until: u64,
+    ) -> Self {
+        let group_a: BTreeSet<usize> = group_a.into_iter().collect();
+        let group_b: BTreeSet<usize> = group_b.into_iter().collect();
+        assert!(
+            group_a.is_disjoint(&group_b),
+            "partition groups must be disjoint"
+        );
+        self.partitions.push(Partition {
+            group_a,
+            group_b,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Seed for the plan's loss/delay randomness.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Per-message loss probability.
+    pub fn loss(&self) -> f64 {
+        self.loss
+    }
+
+    /// Maximum extra delivery delay in rounds.
+    pub fn max_delay(&self) -> u64 {
+        self.max_delay
+    }
+
+    /// Scheduled crashes as `(node, round)` pairs, ascending by node.
+    pub fn crashes(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.crashes.iter().map(|(&n, &r)| (n, r))
+    }
+
+    /// Scheduled partitions.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// Round at which `node` crash-stops, if scheduled.
+    pub fn crash_round(&self, node: usize) -> Option<u64> {
+        self.crashes.get(&node).copied()
+    }
+
+    /// `true` iff `node` has crash-stopped by `round` (inclusive: a node
+    /// crashing at round `r` no longer steps *in* round `r`).
+    pub fn is_crashed(&self, node: usize, round: u64) -> bool {
+        self.crash_round(node).is_some_and(|r| round >= r)
+    }
+
+    /// `true` iff a message `from → to` delivered at `round` is cut by an
+    /// active partition.
+    pub fn severed(&self, from: usize, to: usize, round: u64) -> bool {
+        self.partitions.iter().any(|p| p.severs(from, to, round))
+    }
+
+    /// `true` iff this plan can prevent any message from arriving —
+    /// protocols use this to decide whether reliability machinery
+    /// (acks, retransmission, failure detection) is worth paying for.
+    pub fn can_lose_messages(&self) -> bool {
+        self.loss > 0.0 || !self.crashes.is_empty() || !self.partitions.is_empty()
+    }
+
+    /// `true` iff this plan changes execution at all relative to a
+    /// fault-free synchronous run.
+    pub fn is_none(&self) -> bool {
+        !self.can_lose_messages() && self.max_delay == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_inert() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        assert!(!p.can_lose_messages());
+        assert!(!p.is_crashed(0, u64::MAX));
+        assert!(!p.severed(0, 1, 0));
+    }
+
+    #[test]
+    fn crash_semantics_are_inclusive_at_the_crash_round() {
+        let p = FaultPlan::none().with_crash(3, 5);
+        assert!(!p.is_crashed(3, 4));
+        assert!(p.is_crashed(3, 5));
+        assert!(p.is_crashed(3, 6));
+        assert!(!p.is_crashed(2, 100));
+        assert_eq!(p.crash_round(3), Some(5));
+        assert!(p.can_lose_messages());
+    }
+
+    #[test]
+    fn double_crash_keeps_the_earliest_round() {
+        let p = FaultPlan::none().with_crash(1, 9).with_crash(1, 4);
+        assert_eq!(p.crash_round(1), Some(4));
+    }
+
+    #[test]
+    fn partitions_cut_both_directions_and_heal() {
+        let p = FaultPlan::none().with_partition([0, 1], [2], 3, 6);
+        assert!(!p.severed(0, 2, 2), "not yet active");
+        assert!(p.severed(0, 2, 3));
+        assert!(p.severed(2, 1, 5), "cut is symmetric");
+        assert!(!p.severed(0, 2, 6), "healed at `until`");
+        assert!(!p.severed(0, 1, 4), "same side unaffected");
+        assert!(!p.severed(0, 7, 4), "outsiders unaffected");
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_partition_groups_are_rejected() {
+        let _ = FaultPlan::none().with_partition([0, 1], [1, 2], 0, 5);
+    }
+
+    #[test]
+    fn delay_alone_is_not_lossy() {
+        let p = FaultPlan::seeded(7).with_delay(3);
+        assert!(!p.can_lose_messages());
+        assert!(!p.is_none());
+        assert_eq!(p.max_delay(), 3);
+        assert_eq!(p.seed(), 7);
+    }
+}

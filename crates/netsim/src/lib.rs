@@ -20,11 +20,20 @@
 //! payload-agnostic helpers; protocol logic itself lives with its algorithm
 //! in `rfid-core::distributed`.
 
+//! ## Fault injection
+//!
+//! [`FaultPlan`] unifies message loss, bounded delay, crash-stop node
+//! failures and transient partitions behind one seeded, reproducible
+//! description consulted by [`Network::run_round`]; see the
+//! [`faults`] module for exact semantics.
+
+pub mod faults;
 pub mod message;
 pub mod network;
 pub mod node;
 pub mod stats;
 
+pub use faults::{FaultPlan, Partition};
 pub use message::{Envelope, Payload};
 pub use network::Network;
 pub use node::{Node, Outbox};

@@ -1,5 +1,6 @@
 //! The synchronous network executor.
 
+use crate::faults::FaultPlan;
 use crate::message::{Envelope, Payload};
 use crate::node::{Node, Outbox};
 use crate::stats::NetStats;
@@ -21,12 +22,18 @@ pub struct Network<N: Node> {
     /// Optional asynchrony model: each message is delayed by an extra
     /// uniform 0..=max rounds.
     delay: Option<(u64, StdRng)>,
+    /// Optional fault plan driving crashes and partitions (loss/delay
+    /// from a plan are installed into the two fields above).
+    plan: Option<FaultPlan>,
+    /// `crashed[i]` once node `i` has crash-stopped.
+    crashed: Vec<bool>,
 }
 
 impl<N: Node> Network<N> {
     /// Builds a network; `nodes[i]` runs on topology node `i`.
     pub fn new(topology: Csr, nodes: Vec<N>) -> Self {
         assert_eq!(topology.n(), nodes.len(), "one node per topology vertex");
+        let crashed = vec![false; nodes.len()];
         Network {
             topology,
             nodes,
@@ -34,6 +41,8 @@ impl<N: Node> Network<N> {
             stats: NetStats::default(),
             loss: None,
             delay: None,
+            plan: None,
+            crashed,
         }
     }
 
@@ -42,7 +51,10 @@ impl<N: Node> Network<N> {
     /// messages still count in [`NetStats::messages`] (the sender paid for
     /// them) and are tallied in [`NetStats::dropped`].
     pub fn with_loss(mut self, p: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0, 1]"
+        );
         self.loss = Some((p, StdRng::seed_from_u64(seed)));
         self
     }
@@ -55,13 +67,45 @@ impl<N: Node> Network<N> {
         self
     }
 
+    /// Installs a unified [`FaultPlan`]: its loss and delay knobs are
+    /// wired to the same seeded models as [`with_loss`](Self::with_loss) /
+    /// [`with_delay`](Self::with_delay) (derived from the plan seed), and
+    /// its crashes and partitions are consulted every round. Installing
+    /// [`FaultPlan::none()`] leaves execution byte-identical to an
+    /// unfaulted network.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        if plan.loss() > 0.0 {
+            self = self.with_loss(plan.loss(), plan.seed());
+        }
+        if plan.max_delay() > 0 {
+            // Decorrelate the delay stream from the loss stream.
+            self = self.with_delay(plan.max_delay(), plan.seed() ^ 0x9E37_79B9_7F4A_7C15);
+        }
+        self.plan = Some(plan);
+        self
+    }
+
     /// Immutable access to the node states (for result extraction).
     pub fn nodes(&self) -> &[N] {
         &self.nodes
     }
 
+    /// Ids of nodes that have crash-stopped so far, ascending.
+    pub fn crashed_nodes(&self) -> Vec<usize> {
+        self.crashed
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &c)| c.then_some(i))
+            .collect()
+    }
+
     /// Consumes the network, returning node states and accumulated stats.
-    pub fn into_parts(self) -> (Vec<N>, NetStats) {
+    /// Messages still in flight (execution cut off mid-delivery) are
+    /// accounted as dropped rather than silently leaked, so
+    /// `messages == delivered + dropped` always holds for the caller.
+    pub fn into_parts(mut self) -> (Vec<N>, NetStats) {
+        self.stats.dropped += self.in_flight.len() as u64;
+        self.in_flight.clear();
         (self.nodes, self.stats)
     }
 
@@ -70,22 +114,50 @@ impl<N: Node> Network<N> {
         &self.stats
     }
 
-    /// `true` iff every node is done and no messages are in flight.
+    /// `true` iff no messages are in flight and every node has either
+    /// terminated its protocol or crash-stopped (a crashed node can never
+    /// become done, so it must not block quiescence).
     pub fn is_quiescent(&self) -> bool {
-        self.in_flight.is_empty() && self.nodes.iter().all(|n| n.is_done())
+        self.in_flight.is_empty()
+            && self
+                .nodes
+                .iter()
+                .enumerate()
+                .all(|(i, n)| self.crashed[i] || n.is_done())
     }
 
     /// Executes one synchronous round: deliver in-flight messages, step all
     /// nodes in id order, collect their outboxes.
     pub fn run_round(&mut self) {
         let round = self.stats.rounds;
+        // Crash-stop nodes whose scheduled round has arrived, before any
+        // delivery: a node crashing at round r neither steps in round r
+        // nor receives the messages due then.
+        if let Some(plan) = &self.plan {
+            for i in 0..self.nodes.len() {
+                if !self.crashed[i] && plan.is_crashed(i, round) {
+                    self.crashed[i] = true;
+                    self.stats.crashed += 1;
+                }
+            }
+        }
         // Partition in-flight messages into per-node inboxes, sorted by
-        // sender for determinism. The loss model drops at delivery.
+        // sender for determinism. Crashes, partitions and the loss model
+        // all drop at delivery time.
         let mut inboxes: Vec<Vec<Envelope<N::Msg>>> = vec![Vec::new(); self.nodes.len()];
         let mut still_flying = Vec::new();
         for (due, env) in self.in_flight.drain(..) {
             if due > round {
                 still_flying.push((due, env));
+                continue;
+            }
+            if self.crashed[env.to]
+                || self
+                    .plan
+                    .as_ref()
+                    .is_some_and(|plan| plan.severed(env.from, env.to, round))
+            {
+                self.stats.dropped += 1;
                 continue;
             }
             if let Some((p, rng)) = &mut self.loss {
@@ -101,11 +173,19 @@ impl<N: Node> Network<N> {
         }
         let mut next_flight = Vec::new();
         for (i, node) in self.nodes.iter_mut().enumerate() {
-            let neighbors: Vec<usize> =
-                self.topology.neighbors(i).iter().map(|&t| t as usize).collect();
+            if self.crashed[i] {
+                continue;
+            }
+            let neighbors: Vec<usize> = self
+                .topology
+                .neighbors(i)
+                .iter()
+                .map(|&t| t as usize)
+                .collect();
             let mut outbox = Outbox::new(i, neighbors);
             node.step(round, &inboxes[i], &mut outbox);
-            let sent = outbox.take();
+            let (sent, retransmits) = outbox.take();
+            self.stats.retransmits += retransmits;
             for env in sent {
                 self.stats.messages += 1;
                 self.stats.bytes += env.msg.size_bytes() as u64;
@@ -138,9 +218,10 @@ mod tests {
 
     /// Each node floods the maximum id it has heard of; classic leader
     /// election by flooding. Terminates when no new information arrives
-    /// for one round after startup.
-    struct MaxFlood {
-        best: u32,
+    /// for one round after startup. (`pub(super)` so the fault tests can
+    /// reuse the same workload.)
+    pub(super) struct MaxFlood {
+        pub(super) best: u32,
         changed: bool,
         started: bool,
     }
@@ -168,9 +249,13 @@ mod tests {
         }
     }
 
-    fn flood_network(topology: Csr) -> Network<MaxFlood> {
+    pub(super) fn flood_network(topology: Csr) -> Network<MaxFlood> {
         let nodes = (0..topology.n())
-            .map(|i| MaxFlood { best: i as u32, changed: false, started: false })
+            .map(|i| MaxFlood {
+                best: i as u32,
+                changed: false,
+                started: false,
+            })
             .collect();
         Network::new(topology, nodes)
     }
@@ -185,7 +270,7 @@ mod tests {
             assert_eq!(n.best, 4);
         }
         // Diameter 4 path: information needs ≥ 5 rounds (1 to start + 4 hops).
-        assert!(rounds >= 5 && rounds <= 10, "rounds = {rounds}");
+        assert!((5..=10).contains(&rounds), "rounds = {rounds}");
     }
 
     #[test]
@@ -230,6 +315,182 @@ mod tests {
 }
 
 #[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+
+    use super::tests::flood_network;
+
+    fn path5() -> Csr {
+        Csr::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn none_plan_is_bit_identical_to_unfaulted_run() {
+        let mut plain = flood_network(path5());
+        plain.run_until_quiescent(100);
+        let mut faulted = flood_network(path5()).with_faults(FaultPlan::none());
+        faulted.run_until_quiescent(100);
+        assert_eq!(plain.stats(), faulted.stats());
+        for (a, b) in plain.nodes().iter().zip(faulted.nodes()) {
+            assert_eq!(a.best, b.best);
+        }
+    }
+
+    #[test]
+    fn crashed_node_stops_stepping_and_receiving() {
+        // Crash the max-id node before it can announce itself: the rest
+        // of the path must still quiesce, electing the surviving max.
+        let plan = FaultPlan::none().with_crash(4, 0);
+        let mut net = flood_network(path5()).with_faults(plan);
+        net.run_until_quiescent(100);
+        assert!(net.is_quiescent(), "crashed node must not block quiescence");
+        assert_eq!(net.crashed_nodes(), vec![4]);
+        assert_eq!(net.stats().crashed, 1);
+        for n in &net.nodes()[..4] {
+            assert_eq!(n.best, 3, "survivors elect the surviving max");
+        }
+    }
+
+    #[test]
+    fn late_crash_drops_pending_deliveries_to_the_dead_node() {
+        // Node 4 crashes at round 2: messages already addressed to it
+        // get dropped at delivery, and dropped accounting stays exact.
+        let plan = FaultPlan::none().with_crash(4, 2);
+        let mut net = flood_network(path5()).with_faults(plan);
+        net.run_until_quiescent(100);
+        assert!(net.is_quiescent());
+        let delivered: u64 = net.stats().messages - net.stats().dropped;
+        assert!(net.stats().dropped > 0, "the dead node had mail pending");
+        assert!(delivered > 0);
+    }
+
+    #[test]
+    fn partition_blocks_traffic_until_it_heals() {
+        // MaxFlood only re-sends on change, so it cannot survive a cut;
+        // use a node that stubbornly re-broadcasts for a fixed number of
+        // rounds — long enough to outlive the partition window.
+        struct Chatty {
+            best: u32,
+            rounds_left: u32,
+        }
+        impl Node for Chatty {
+            type Msg = u32;
+            fn step(&mut self, _round: u64, inbox: &[Envelope<u32>], out: &mut Outbox<u32>) {
+                for env in inbox {
+                    self.best = self.best.max(env.msg);
+                }
+                if self.rounds_left > 0 {
+                    self.rounds_left -= 1;
+                    out.broadcast(self.best);
+                }
+            }
+            fn is_done(&self) -> bool {
+                self.rounds_left == 0
+            }
+        }
+        let nodes = (0..5)
+            .map(|i| Chatty {
+                best: i,
+                rounds_left: 12,
+            })
+            .collect();
+        let plan = FaultPlan::none().with_partition([0, 1, 2], [3, 4], 0, 5);
+        let mut net = Network::new(path5(), nodes).with_faults(plan);
+        for _ in 0..4 {
+            net.run_round();
+        }
+        assert!(
+            net.nodes()[..3].iter().all(|n| n.best <= 2),
+            "no cross-cut information while partitioned"
+        );
+        net.run_until_quiescent(100);
+        assert!(net.is_quiescent());
+        for n in net.nodes() {
+            assert_eq!(n.best, 4, "partition healed, flood completes");
+        }
+        assert!(net.stats().dropped > 0, "cut messages are accounted");
+    }
+
+    #[test]
+    fn permanent_partition_still_quiesces_with_split_results() {
+        let plan = FaultPlan::none().with_partition([0, 1, 2], [3, 4], 0, u64::MAX);
+        let mut net = flood_network(path5()).with_faults(plan);
+        net.run_until_quiescent(200);
+        assert!(net.is_quiescent());
+        assert!(net.nodes()[..3].iter().all(|n| n.best == 2));
+        assert!(net.nodes()[3..].iter().all(|n| n.best == 4));
+    }
+
+    #[test]
+    fn every_sent_message_is_delivered_or_dropped() {
+        struct Receipts {
+            received: u64,
+            sent: bool,
+        }
+        impl Node for Receipts {
+            type Msg = u32;
+            fn step(&mut self, _round: u64, inbox: &[Envelope<u32>], out: &mut Outbox<u32>) {
+                self.received += inbox.len() as u64;
+                if !self.sent {
+                    self.sent = true;
+                    for _ in 0..40 {
+                        out.broadcast(1);
+                    }
+                }
+            }
+            fn is_done(&self) -> bool {
+                self.sent
+            }
+        }
+        let g = Csr::from_edges(3, &[(0, 1), (1, 2)]);
+        let nodes = (0..3)
+            .map(|_| Receipts {
+                received: 0,
+                sent: false,
+            })
+            .collect();
+        let plan = FaultPlan::seeded(11)
+            .with_loss(0.4)
+            .with_delay(3)
+            .with_crash(2, 2)
+            .with_partition([0], [1], 4, 6);
+        let mut net = Network::new(g, nodes).with_faults(plan);
+        // Cut the run short deliberately: into_parts must still account
+        // for messages left in flight.
+        net.run_until_quiescent(4);
+        let received_so_far: u64 = net.nodes().iter().map(|n| n.received).sum();
+        let (nodes, stats) = net.into_parts();
+        let received: u64 = nodes.iter().map(|n| n.received).sum();
+        assert_eq!(received, received_so_far);
+        assert_eq!(
+            stats.messages,
+            received + stats.dropped,
+            "no message may leak: sent == delivered + dropped"
+        );
+    }
+
+    #[test]
+    fn identical_plans_replay_identical_executions() {
+        let plan = || {
+            FaultPlan::seeded(99)
+                .with_loss(0.25)
+                .with_delay(2)
+                .with_crash(3, 4)
+                .with_partition([0, 1], [2], 2, 5)
+        };
+        let run = || {
+            let mut net = flood_network(path5()).with_faults(plan());
+            net.run_until_quiescent(300);
+            let bests: Vec<u32> = net.nodes().iter().map(|n| n.best).collect();
+            let (_, stats) = net.into_parts();
+            (bests, stats)
+        };
+        assert_eq!(run(), run());
+    }
+}
+
+#[cfg(test)]
 mod loss_tests {
     use super::*;
     use crate::node::{Node, Outbox};
@@ -256,7 +517,16 @@ mod loss_tests {
 
     fn pair_network(loss: Option<(f64, u64)>) -> Network<Pinger> {
         let g = Csr::from_edges(2, &[(0, 1)]);
-        let nodes = vec![Pinger { to_send: 200, received: 0 }, Pinger { to_send: 0, received: 0 }];
+        let nodes = vec![
+            Pinger {
+                to_send: 200,
+                received: 0,
+            },
+            Pinger {
+                to_send: 0,
+                received: 0,
+            },
+        ];
         let net = Network::new(g, nodes);
         match loss {
             Some((p, seed)) => net.with_loss(p, seed),
@@ -337,8 +607,14 @@ mod delay_tests {
     fn burst_pair(delay: Option<(u64, u64)>) -> Network<Burst> {
         let g = Csr::from_edges(2, &[(0, 1)]);
         let nodes = vec![
-            Burst { sent: false, arrivals: vec![] },
-            Burst { sent: false, arrivals: vec![] },
+            Burst {
+                sent: false,
+                arrivals: vec![],
+            },
+            Burst {
+                sent: false,
+                arrivals: vec![],
+            },
         ];
         let net = Network::new(g, nodes);
         match delay {
@@ -361,7 +637,10 @@ mod delay_tests {
         net.run_until_quiescent(50);
         let arrivals = &net.nodes()[1].arrivals;
         assert_eq!(arrivals.len(), 50, "bounded delay must not lose messages");
-        assert!(arrivals.iter().all(|&r| (1..=5).contains(&r)), "{arrivals:?}");
+        assert!(
+            arrivals.iter().all(|&r| (1..=5).contains(&r)),
+            "{arrivals:?}"
+        );
         // with 50 messages and 5 buckets, at least two distinct rounds
         let distinct: std::collections::BTreeSet<u64> = arrivals.iter().copied().collect();
         assert!(distinct.len() >= 2, "delay jitter should spread arrivals");

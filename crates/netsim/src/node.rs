@@ -9,11 +9,17 @@ pub struct Outbox<M> {
     node: usize,
     neighbors: Vec<usize>,
     queued: Vec<Envelope<M>>,
+    retransmits: u64,
 }
 
 impl<M: Payload> Outbox<M> {
     pub(crate) fn new(node: usize, neighbors: Vec<usize>) -> Self {
-        Outbox { node, neighbors, queued: Vec::new() }
+        Outbox {
+            node,
+            neighbors,
+            queued: Vec::new(),
+            retransmits: 0,
+        }
     }
 
     /// This node's id.
@@ -39,19 +45,34 @@ impl<M: Payload> Outbox<M> {
             self.node,
             to
         );
-        self.queued.push(Envelope { from: self.node, to, msg });
+        self.queued.push(Envelope {
+            from: self.node,
+            to,
+            msg,
+        });
     }
 
     /// Sends `msg` to every direct neighbour.
     pub fn broadcast(&mut self, msg: M) {
         for i in 0..self.neighbors.len() {
             let to = self.neighbors[i];
-            self.queued.push(Envelope { from: self.node, to, msg: msg.clone() });
+            self.queued.push(Envelope {
+                from: self.node,
+                to,
+                msg: msg.clone(),
+            });
         }
     }
 
-    pub(crate) fn take(self) -> Vec<Envelope<M>> {
-        self.queued
+    /// Declares that one of the messages queued this round is a
+    /// retransmission, so the network can account it in
+    /// [`NetStats::retransmits`](crate::NetStats).
+    pub fn note_retransmit(&mut self) {
+        self.retransmits += 1;
+    }
+
+    pub(crate) fn take(self) -> (Vec<Envelope<M>>, u64) {
+        (self.queued, self.retransmits)
     }
 }
 
@@ -86,11 +107,34 @@ mod tests {
         assert_eq!(ob.me(), 0);
         ob.send(3, 42);
         ob.broadcast(7);
-        let msgs = ob.take();
+        ob.note_retransmit();
+        let (msgs, retransmits) = ob.take();
+        assert_eq!(retransmits, 1);
         assert_eq!(msgs.len(), 3);
-        assert_eq!(msgs[0], Envelope { from: 0, to: 3, msg: 42 });
-        assert_eq!(msgs[1], Envelope { from: 0, to: 1, msg: 7 });
-        assert_eq!(msgs[2], Envelope { from: 0, to: 3, msg: 7 });
+        assert_eq!(
+            msgs[0],
+            Envelope {
+                from: 0,
+                to: 3,
+                msg: 42
+            }
+        );
+        assert_eq!(
+            msgs[1],
+            Envelope {
+                from: 0,
+                to: 1,
+                msg: 7
+            }
+        );
+        assert_eq!(
+            msgs[2],
+            Envelope {
+                from: 0,
+                to: 3,
+                msg: 7
+            }
+        );
     }
 
     #[test]

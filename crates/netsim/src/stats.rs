@@ -13,9 +13,17 @@ pub struct NetStats {
     pub messages: u64,
     /// Total payload volume per [`Payload::size_bytes`](crate::Payload).
     pub bytes: u64,
-    /// Messages dropped by the unreliable-link model (0 on reliable
-    /// networks). Dropped messages are included in `messages`/`bytes`.
+    /// Messages that were sent but never delivered — lost by the
+    /// unreliable-link model, cut by a partition, addressed to a crashed
+    /// node, or still in flight when the execution was cut off (0 on
+    /// reliable networks). Dropped messages are included in
+    /// `messages`/`bytes`: the sender paid for them.
     pub dropped: u64,
+    /// Nodes that crash-stopped during the execution (each counted once).
+    pub crashed: u64,
+    /// Messages re-sent by a reliability layer after a missing ack; a
+    /// subset of `messages` (every retransmission is also a send).
+    pub retransmits: u64,
 }
 
 impl NetStats {
@@ -25,6 +33,8 @@ impl NetStats {
         self.messages += other.messages;
         self.bytes += other.bytes;
         self.dropped += other.dropped;
+        self.crashed += other.crashed;
+        self.retransmits += other.retransmits;
     }
 }
 
@@ -34,9 +44,33 @@ mod tests {
 
     #[test]
     fn merge_takes_max_rounds_and_sums_volume() {
-        let mut a = NetStats { rounds: 5, messages: 10, bytes: 40, dropped: 1 };
-        let b = NetStats { rounds: 8, messages: 3, bytes: 12, dropped: 2 };
+        let mut a = NetStats {
+            rounds: 5,
+            messages: 10,
+            bytes: 40,
+            dropped: 1,
+            crashed: 1,
+            retransmits: 4,
+        };
+        let b = NetStats {
+            rounds: 8,
+            messages: 3,
+            bytes: 12,
+            dropped: 2,
+            crashed: 0,
+            retransmits: 1,
+        };
         a.merge(&b);
-        assert_eq!(a, NetStats { rounds: 8, messages: 13, bytes: 52, dropped: 3 });
+        assert_eq!(
+            a,
+            NetStats {
+                rounds: 8,
+                messages: 13,
+                bytes: 52,
+                dropped: 3,
+                crashed: 1,
+                retransmits: 5,
+            }
+        );
     }
 }

@@ -30,18 +30,31 @@ pub struct FramedAloha {
 
 impl Default for FramedAloha {
     fn default() -> Self {
-        FramedAloha { initial_frame: 16, adaptive: true, min_frame: 4, max_frame: 1024, max_frames: 256 }
+        FramedAloha {
+            initial_frame: 16,
+            adaptive: true,
+            min_frame: 4,
+            max_frame: 1024,
+            max_frames: 256,
+        }
     }
 }
 
 impl AntiCollisionProtocol for FramedAloha {
     fn name(&self) -> &'static str {
-        if self.adaptive { "framed-aloha-adaptive" } else { "framed-aloha-fixed" }
+        if self.adaptive {
+            "framed-aloha-adaptive"
+        } else {
+            "framed-aloha-fixed"
+        }
     }
 
     fn inventory<R: Rng + ?Sized>(&self, tags: &[u64], rng: &mut R) -> InventoryOutcome {
         assert!(self.initial_frame >= 1, "frame size must be ≥ 1");
-        assert!(self.min_frame >= 1 && self.min_frame <= self.max_frame, "bad frame bounds");
+        assert!(
+            self.min_frame >= 1 && self.min_frame <= self.max_frame,
+            "bad frame bounds"
+        );
         let mut outcome = InventoryOutcome {
             total_slots: 0,
             collision_slots: 0,
@@ -96,8 +109,8 @@ impl AntiCollisionProtocol for FramedAloha {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn tags(n: usize) -> Vec<u64> {
         (0..n as u64).map(|i| i * 31 + 5).collect()
@@ -140,7 +153,11 @@ mod tests {
     fn adaptive_beats_fixed_small_frame_on_large_population() {
         let population = tags(300);
         let adaptive = FramedAloha::default();
-        let fixed = FramedAloha { adaptive: false, initial_frame: 16, ..Default::default() };
+        let fixed = FramedAloha {
+            adaptive: false,
+            initial_frame: 16,
+            ..Default::default()
+        };
         let mut total_a = 0u64;
         let mut total_f = 0u64;
         for seed in 0..5 {
@@ -161,10 +178,16 @@ mod tests {
         // Well-tuned framed ALOHA peaks at 1/e ≈ 0.368 tags/slot.
         let population = tags(500);
         let mut rng = StdRng::seed_from_u64(3);
-        let o = FramedAloha { initial_frame: 512, ..Default::default() }
-            .inventory(&population, &mut rng);
+        let o = FramedAloha {
+            initial_frame: 512,
+            ..Default::default()
+        }
+        .inventory(&population, &mut rng);
         let thr = o.throughput();
-        assert!(thr > 0.25 && thr < 0.45, "throughput {thr} out of expected band");
+        assert!(
+            thr > 0.25 && thr < 0.45,
+            "throughput {thr} out of expected band"
+        );
     }
 
     #[test]

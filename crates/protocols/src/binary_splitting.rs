@@ -30,7 +30,10 @@ pub struct BinarySplitting {
 
 impl Default for BinarySplitting {
     fn default() -> Self {
-        BinarySplitting { initial_groups: 1, max_slots: 1 << 22 }
+        BinarySplitting {
+            initial_groups: 1,
+            max_slots: 1 << 22,
+        }
     }
 }
 
@@ -113,8 +116,8 @@ impl AntiCollisionProtocol for BinarySplitting {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn tags(n: usize) -> Vec<u64> {
         (0..n as u64).collect()
@@ -176,10 +179,13 @@ mod tests {
         let mut total_adaptive = 0u64;
         for seed in 0..5 {
             let mut rng = StdRng::seed_from_u64(seed);
-            total_plain += BinarySplitting::default().inventory(&population, &mut rng).total_slots;
+            total_plain += BinarySplitting::default()
+                .inventory(&population, &mut rng)
+                .total_slots;
             let mut rng = StdRng::seed_from_u64(seed);
-            total_adaptive +=
-                BinarySplitting::adaptive(500).inventory(&population, &mut rng).total_slots;
+            total_adaptive += BinarySplitting::adaptive(500)
+                .inventory(&population, &mut rng)
+                .total_slots;
         }
         assert!(
             total_adaptive < total_plain,
@@ -190,7 +196,10 @@ mod tests {
     #[test]
     fn budget_reports_unresolved() {
         let mut rng = StdRng::seed_from_u64(4);
-        let p = BinarySplitting { initial_groups: 1, max_slots: 10 };
+        let p = BinarySplitting {
+            initial_groups: 1,
+            max_slots: 10,
+        };
         let population = tags(100);
         let o = p.inventory(&population, &mut rng);
         assert_eq!(o.reads.len() + o.unresolved.len(), 100);

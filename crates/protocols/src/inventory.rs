@@ -95,7 +95,10 @@ mod tests {
             unresolved: vec![],
         };
         assert!(good.is_consistent());
-        let bad_total = InventoryOutcome { total_slots: 4, ..good.clone() };
+        let bad_total = InventoryOutcome {
+            total_slots: 4,
+            ..good.clone()
+        };
         assert!(!bad_total.is_consistent());
         let dup_reads = InventoryOutcome {
             total_slots: 4,

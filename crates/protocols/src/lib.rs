@@ -36,5 +36,7 @@ pub use aloha::FramedAloha;
 pub use binary_splitting::BinarySplitting;
 pub use inventory::{AntiCollisionProtocol, InventoryOutcome};
 pub use q_protocol::QProtocol;
+pub use theory::{
+    aloha_efficiency, aloha_expected_singletons, aloha_optimal_frame, splitting_expected_queries,
+};
 pub use tree_walking::TreeWalking;
-pub use theory::{aloha_efficiency, aloha_expected_singletons, aloha_optimal_frame, splitting_expected_queries};

@@ -28,7 +28,12 @@ pub struct QProtocol {
 
 impl Default for QProtocol {
     fn default() -> Self {
-        QProtocol { initial_q: 4.0, c: 0.3, max_q: 15.0, max_slots: 1 << 20 }
+        QProtocol {
+            initial_q: 4.0,
+            c: 0.3,
+            max_q: 15.0,
+            max_slots: 1 << 20,
+        }
     }
 }
 
@@ -39,7 +44,10 @@ impl AntiCollisionProtocol for QProtocol {
 
     fn inventory<R: Rng + ?Sized>(&self, tags: &[u64], rng: &mut R) -> InventoryOutcome {
         assert!(self.c > 0.0 && self.c <= 1.0, "c must be in (0, 1]");
-        assert!(self.initial_q >= 0.0 && self.initial_q <= self.max_q, "bad initial Q");
+        assert!(
+            self.initial_q >= 0.0 && self.initial_q <= self.max_q,
+            "bad initial Q"
+        );
         let mut outcome = InventoryOutcome {
             total_slots: 0,
             collision_slots: 0,
@@ -53,7 +61,11 @@ impl AntiCollisionProtocol for QProtocol {
         // (tag, slot_counter) of unresolved tags.
         let mut pending: Vec<(u64, u32)> = Vec::new();
         let draw = |rng: &mut R, q: u32| -> u32 {
-            if q == 0 { 0 } else { rng.random_range(0..(1u32 << q)) }
+            if q == 0 {
+                0
+            } else {
+                rng.random_range(0..(1u32 << q))
+            }
         };
         for &t in tags {
             pending.push((t, draw(rng, q)));
@@ -111,8 +123,8 @@ impl AntiCollisionProtocol for QProtocol {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn tags(n: usize) -> Vec<u64> {
         (0..n as u64).map(|i| i * 7919 + 13).collect()
@@ -164,7 +176,10 @@ mod tests {
     #[test]
     fn budget_reports_unresolved() {
         let mut rng = StdRng::seed_from_u64(4);
-        let p = QProtocol { max_slots: 5, ..Default::default() };
+        let p = QProtocol {
+            max_slots: 5,
+            ..Default::default()
+        };
         let population = tags(100);
         let o = p.inventory(&population, &mut rng);
         assert_eq!(o.reads.len() + o.unresolved.len(), population.len());
@@ -184,6 +199,10 @@ mod tests {
     #[should_panic(expected = "c must be")]
     fn zero_c_rejected() {
         let mut rng = StdRng::seed_from_u64(0);
-        let _ = QProtocol { c: 0.0, ..Default::default() }.inventory(&[1], &mut rng);
+        let _ = QProtocol {
+            c: 0.0,
+            ..Default::default()
+        }
+        .inventory(&[1], &mut rng);
     }
 }

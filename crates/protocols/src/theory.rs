@@ -86,8 +86,8 @@ pub fn splitting_expected_queries(n: usize) -> f64 {
 mod tests {
     use super::*;
     use crate::inventory::AntiCollisionProtocol;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn aloha_slot_categories_sum_to_frame() {
@@ -105,9 +105,15 @@ mod tests {
         let best = aloha_optimal_frame(n, 1, 400);
         // theory: optimum at f ≈ n (exactly n for the singleton count when
         // continuous; integer optimum within ±1)
-        assert!((best as i64 - n as i64).abs() <= 1, "optimal frame {best} for n={n}");
+        assert!(
+            (best as i64 - n as i64).abs() <= 1,
+            "optimal frame {best} for n={n}"
+        );
         let eff = aloha_efficiency(n, best);
-        assert!((eff - (-1.0f64).exp()).abs() < 0.01, "peak efficiency {eff} ≉ 1/e");
+        assert!(
+            (eff - (-1.0f64).exp()).abs() < 0.01,
+            "peak efficiency {eff} ≉ 1/e"
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ impl AntiCollisionProtocol for TreeWalking {
     }
 
     fn inventory<R: Rng + ?Sized>(&self, tags: &[u64], _rng: &mut R) -> InventoryOutcome {
-        assert!(self.id_bits >= 1 && self.id_bits <= 64, "id_bits must be in 1..=64");
+        assert!(
+            self.id_bits >= 1 && self.id_bits <= 64,
+            "id_bits must be in 1..=64"
+        );
         if self.id_bits < 64 {
             let mask = (1u64 << self.id_bits) - 1;
             for &t in tags {
@@ -77,7 +80,10 @@ impl AntiCollisionProtocol for TreeWalking {
                 }
                 _ => {
                     outcome.collision_slots += 1;
-                    debug_assert!(len < self.id_bits, "distinct ids must split before leaf depth");
+                    debug_assert!(
+                        len < self.id_bits,
+                        "distinct ids must split before leaf depth"
+                    );
                     // Push right child first so the left (0-)branch is
                     // explored first, matching the classic TWA order.
                     stack.push(((prefix << 1) | 1, len + 1));
@@ -92,8 +98,8 @@ impl AntiCollisionProtocol for TreeWalking {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn run(tags: &[u64]) -> InventoryOutcome {
         let mut rng = StdRng::seed_from_u64(0);
@@ -152,7 +158,9 @@ mod tests {
 
     #[test]
     fn is_fully_deterministic() {
-        let population: Vec<u64> = (0..200u64).map(|i| i * i * 2654435761 % (1 << 48)).collect();
+        let population: Vec<u64> = (0..200u64)
+            .map(|i| i * i * 2654435761 % (1 << 48))
+            .collect();
         let a = run(&population);
         let b = run(&population);
         assert_eq!(a, b);
@@ -162,7 +170,11 @@ mod tests {
     fn narrow_id_space_supported() {
         let mut rng = StdRng::seed_from_u64(1);
         let p = TreeWalking { id_bits: 8 };
-        let population: Vec<u64> = (0..50u64).map(|i| i * 5 % 256).collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+        let population: Vec<u64> = (0..50u64)
+            .map(|i| i * 5 % 256)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
         let o = p.inventory(&population, &mut rng);
         assert_eq!(o.reads.len(), population.len());
         assert!(o.is_consistent());
@@ -186,9 +198,14 @@ mod tests {
         // For n random 64-bit ids, expected queries ≈ 2.89 n (classic TWA
         // result); assert we stay within a generous band.
         let mut rng = StdRng::seed_from_u64(7);
-        let population: Vec<u64> = (0..400).map(|_| rand::Rng::random::<u64>(&mut rng)).collect();
+        let population: Vec<u64> = (0..400)
+            .map(|_| rand::Rng::random::<u64>(&mut rng))
+            .collect();
         let o = run(&population);
         let per_tag = o.total_slots as f64 / 400.0;
-        assert!(per_tag > 1.5 && per_tag < 4.5, "queries per tag = {per_tag}");
+        assert!(
+            per_tag > 1.5 && per_tag < 4.5,
+            "queries per tag = {per_tag}"
+        );
     }
 }

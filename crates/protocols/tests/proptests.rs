@@ -11,7 +11,10 @@ fn arb_tags(max: usize) -> impl Strategy<Value = Vec<u64>> {
 }
 
 /// Checks the universal protocol contract on one outcome.
-fn check_contract(tags: &[u64], outcome: &rfid_protocols::InventoryOutcome) -> Result<(), TestCaseError> {
+fn check_contract(
+    tags: &[u64],
+    outcome: &rfid_protocols::InventoryOutcome,
+) -> Result<(), TestCaseError> {
     prop_assert!(outcome.is_consistent());
     // reads ∪ unresolved == input population, disjointly
     let mut seen: Vec<u64> = outcome

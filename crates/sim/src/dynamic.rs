@@ -159,7 +159,7 @@ pub fn run_dynamic(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rfid_core::{AlgorithmKind, make_scheduler};
+    use rfid_core::{make_scheduler, AlgorithmKind};
     use rfid_model::{RadiusModel, Scenario, ScenarioKind};
 
     fn readers(seed: u64) -> Deployment {
@@ -177,7 +177,12 @@ mod tests {
     }
 
     fn config(rate: f64) -> DynamicConfig {
-        DynamicConfig { arrival_rate: rate, slots: 60, warmup: 10, seed: 5 }
+        DynamicConfig {
+            arrival_rate: rate,
+            slots: 60,
+            warmup: 10,
+            seed: 5,
+        }
     }
 
     #[test]
@@ -200,7 +205,10 @@ mod tests {
         let mut s = make_scheduler(AlgorithmKind::LocalGreedy, 0);
         let light = run_dynamic(&d, config(2.0), s.as_mut());
         let heavy = run_dynamic(&d, config(30.0), s.as_mut());
-        assert!(heavy.throughput > light.throughput, "more offered load, more served");
+        assert!(
+            heavy.throughput > light.throughput,
+            "more offered load, more served"
+        );
         assert!(
             heavy.mean_latency >= light.mean_latency || heavy.backlog > light.backlog,
             "congestion must show up somewhere"
@@ -225,7 +233,10 @@ mod tests {
         let report = run_dynamic(&d, config(5.0), s.as_mut());
         // served in window ≤ arrived in window + warmup carry-over
         assert!(report.served <= report.arrived + 5 * 10 + 10);
-        assert!(report.throughput <= 5.0 * 3.0, "cannot serve wildly more than offered");
+        assert!(
+            report.throughput <= 5.0 * 3.0,
+            "cannot serve wildly more than offered"
+        );
     }
 
     #[test]

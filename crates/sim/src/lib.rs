@@ -27,11 +27,11 @@ pub mod sweep;
 pub mod table;
 pub mod timetable;
 
-pub use dynamic::{DynamicConfig, DynamicReport, run_dynamic};
-pub use metrics::{SeriesPoint, TrialRecord, aggregate_series};
+pub use dynamic::{run_dynamic, DynamicConfig, DynamicReport};
+pub use metrics::{aggregate_series, SeriesPoint, TrialRecord};
 pub use mobility::{MobilityModel, MobilityReport, MobilitySim};
 pub use placement::{coverage_fraction, greedy_placement};
-pub use render::{RenderOptions, render_svg};
+pub use render::{render_svg, RenderOptions};
 pub use slot_sim::{LinkLayer, SimReport, SlotSimulator};
-pub use sweep::{SweepAxis, SweepConfig, run_sweep};
+pub use sweep::{run_sweep, SweepAxis, SweepConfig};
 pub use timetable::Timetable;

@@ -48,7 +48,14 @@ pub struct SeriesPoint {
 pub fn aggregate_point(x: f64, values: &[f64]) -> SeriesPoint {
     let n = values.len();
     if n == 0 {
-        return SeriesPoint { x, mean: f64::NAN, std_dev: f64::NAN, min: f64::NAN, max: f64::NAN, n };
+        return SeriesPoint {
+            x,
+            mean: f64::NAN,
+            std_dev: f64::NAN,
+            min: f64::NAN,
+            max: f64::NAN,
+            n,
+        };
     }
     let mean = values.iter().sum::<f64>() / n as f64;
     let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
@@ -74,11 +81,17 @@ pub fn aggregate_series(
     for t in trials.iter().filter(|t| t.algorithm == algorithm) {
         if let Some(v) = metric(t) {
             let x = x_of(t);
-            groups.entry(x.to_bits()).or_insert((x, Vec::new())).1.push(v);
+            groups
+                .entry(x.to_bits())
+                .or_insert((x, Vec::new()))
+                .1
+                .push(v);
         }
     }
-    let mut points: Vec<SeriesPoint> =
-        groups.into_values().map(|(x, vs)| aggregate_point(x, &vs)).collect();
+    let mut points: Vec<SeriesPoint> = groups
+        .into_values()
+        .map(|(x, vs)| aggregate_point(x, &vs))
+        .collect();
     points.sort_by(|a, b| a.x.total_cmp(&b.x));
     points
 }
@@ -172,7 +185,11 @@ pub fn activation_churn(slots: &[Vec<usize>]) -> f64 {
         let b: std::collections::BTreeSet<usize> = pair[1].iter().copied().collect();
         let inter = a.intersection(&b).count();
         let union = a.union(&b).count();
-        total += if union == 0 { 0.0 } else { 1.0 - inter as f64 / union as f64 };
+        total += if union == 0 {
+            0.0
+        } else {
+            1.0 - inter as f64 / union as f64
+        };
     }
     total / (slots.len() - 1) as f64
 }

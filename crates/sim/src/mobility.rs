@@ -130,11 +130,19 @@ impl MobilitySim {
                 unread.mark_all_read(&served);
             }
             total_served += served_this_epoch;
-            epochs.push(EpochRecord { served: served_this_epoch, edges: graph.m(), slots_used });
+            epochs.push(EpochRecord {
+                served: served_this_epoch,
+                edges: graph.m(),
+                slots_used,
+            });
             // Move readers for the next epoch.
             self.advance(&mut rng, region, &mut positions, &mut waypoints);
         }
-        MobilityReport { epochs, total_served, remaining_unread: unread.remaining() }
+        MobilityReport {
+            epochs,
+            total_served,
+            remaining_unread: unread.remaining(),
+        }
     }
 
     fn advance(
@@ -183,7 +191,7 @@ impl MobilitySim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rfid_core::{AlgorithmKind, make_scheduler};
+    use rfid_core::{make_scheduler, AlgorithmKind};
     use rfid_model::{RadiusModel, Scenario, ScenarioKind};
 
     fn sparse_scenario(seed: u64) -> Deployment {
@@ -194,7 +202,10 @@ mod tests {
             n_readers: 8,
             n_tags: 150,
             region_side: 100.0,
-            radius_model: RadiusModel::Fixed { interference: 12.0, interrogation: 8.0 },
+            radius_model: RadiusModel::Fixed {
+                interference: 12.0,
+                interrogation: 8.0,
+            },
         }
         .generate(seed)
     }

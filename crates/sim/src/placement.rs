@@ -31,10 +31,16 @@ pub fn greedy_placement(
     use rand::SeedableRng;
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
     // Pre-draw radii so the placement sees each reader's actual reach.
-    let radii: Vec<(f64, f64)> = (0..n_readers).map(|_| radius_model.sample(&mut rng)).collect();
+    let radii: Vec<(f64, f64)> = (0..n_readers)
+        .map(|_| radius_model.sample(&mut rng))
+        .collect();
 
     let mut covered = vec![false; tags.len()];
-    let index = if tags.is_empty() { None } else { Some(GridIndex::build(tags, 8.0)) };
+    let index = if tags.is_empty() {
+        None
+    } else {
+        Some(GridIndex::build(tags, 8.0))
+    };
     let mut positions = Vec::with_capacity(n_readers);
     for &(_, interrogation) in &radii {
         // Best anchor among tag positions (falls back to region centre
@@ -88,7 +94,10 @@ mod tests {
             region,
             &tags,
             4,
-            RadiusModel::Fixed { interference: 15.0, interrogation: 10.0 },
+            RadiusModel::Fixed {
+                interference: 15.0,
+                interrogation: 10.0,
+            },
             7,
         );
         assert!(
@@ -105,7 +114,10 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
         let centers = uniform_points(&mut rng, 3, region);
         let tags = clustered_points(&mut rng, 300, region, &centers, 4.0);
-        let model = RadiusModel::Fixed { interference: 12.0, interrogation: 8.0 };
+        let model = RadiusModel::Fixed {
+            interference: 12.0,
+            interrogation: 8.0,
+        };
         let planned = greedy_placement(region, &tags, 6, model, 3);
         // Lattice baseline with the same radii and tag set.
         let lattice = {
@@ -140,7 +152,10 @@ mod tests {
             region,
             &[],
             3,
-            RadiusModel::Fixed { interference: 5.0, interrogation: 3.0 },
+            RadiusModel::Fixed {
+                interference: 5.0,
+                interrogation: 3.0,
+            },
             0,
         );
         assert_eq!(d.n_readers(), 3);
@@ -152,7 +167,10 @@ mod tests {
         let region = Rect::square(80.0);
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
         let tags = uniform_points(&mut rng, 100, region);
-        let m = RadiusModel::PoissonPair { lambda_interference: 12.0, lambda_interrogation: 6.0 };
+        let m = RadiusModel::PoissonPair {
+            lambda_interference: 12.0,
+            lambda_interrogation: 6.0,
+        };
         let a = greedy_placement(region, &tags, 8, m, 11);
         let b = greedy_placement(region, &tags, 8, m, 11);
         assert_eq!(a, b);
@@ -163,11 +181,17 @@ mod tests {
         let region = Rect::square(100.0);
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(6);
         let tags = uniform_points(&mut rng, 200, region);
-        let m = RadiusModel::Fixed { interference: 10.0, interrogation: 6.0 };
+        let m = RadiusModel::Fixed {
+            interference: 10.0,
+            interrogation: 6.0,
+        };
         let mut prev = 0.0;
         for k in [2usize, 4, 8, 16] {
             let frac = coverage_fraction(&greedy_placement(region, &tags, k, m, 1));
-            assert!(frac + 1e-12 >= prev, "coverage dropped {prev} → {frac} at k={k}");
+            assert!(
+                frac + 1e-12 >= prev,
+                "coverage dropped {prev} → {frac} at k={k}"
+            );
             prev = frac;
         }
     }

@@ -20,7 +20,11 @@ pub struct RenderOptions {
 
 impl Default for RenderOptions {
     fn default() -> Self {
-        RenderOptions { scale: 8.0, show_interference: true, show_interrogation: true }
+        RenderOptions {
+            scale: 8.0,
+            show_interference: true,
+            show_interrogation: true,
+        }
     }
 }
 
@@ -79,7 +83,11 @@ pub fn render_svg(
     if options.show_interrogation {
         for v in 0..deployment.n_readers() {
             let r = deployment.reader(v);
-            let (fill, opacity) = if is_active(v) { ("#2f6fd4", 0.15) } else { ("#888888", 0.06) };
+            let (fill, opacity) = if is_active(v) {
+                ("#2f6fd4", 0.15)
+            } else {
+                ("#888888", 0.06)
+            };
             out.push_str(&format!(
                 r#"<circle cx="{:.1}" cy="{:.1}" r="{:.1}" fill="{fill}" fill-opacity="{opacity}" stroke="{fill}" stroke-width="0.8"/>"#,
                 tx(r.pos.x),
@@ -111,7 +119,11 @@ pub fn render_svg(
     // Readers on top.
     for v in 0..deployment.n_readers() {
         let r = deployment.reader(v);
-        let (fill, stroke) = if is_active(v) { ("#2f6fd4", "#1d4a94") } else { ("white", "#555") };
+        let (fill, stroke) = if is_active(v) {
+            ("#2f6fd4", "#1d4a94")
+        } else {
+            ("white", "#555")
+        };
         out.push_str(&format!(
             r#"<rect x="{:.1}" y="{:.1}" width="8" height="8" fill="{fill}" stroke="{stroke}" stroke-width="1.5"/>"#,
             tx(r.pos.x) - 4.0,
@@ -140,7 +152,11 @@ mod tests {
             vec![Point::new(5.0, 5.0), Point::new(15.0, 15.0)],
             vec![4.0, 4.0],
             vec![2.0, 2.0],
-            vec![Point::new(5.0, 6.0), Point::new(15.0, 14.0), Point::new(10.0, 10.0)],
+            vec![
+                Point::new(5.0, 6.0),
+                Point::new(15.0, 14.0),
+                Point::new(10.0, 10.0),
+            ],
         );
         let c = Coverage::build(&d);
         (d, c)
@@ -158,14 +174,21 @@ mod tests {
         assert_eq!(svg.matches(r##"fill="#2f9e44""##).count(), 1); // served
         assert_eq!(svg.matches(r##"fill="#d43f3f""##).count(), 1); // unreachable (tag 2)
         assert_eq!(svg.matches(r##"fill="#999999""##).count(), 1); // waiting
-        // circles: one per tag + interference + interrogation per reader
-        assert_eq!(svg.matches("<circle").count(), d.n_tags() + 2 * d.n_readers());
+                                                                   // circles: one per tag + interference + interrogation per reader
+        assert_eq!(
+            svg.matches("<circle").count(),
+            d.n_tags() + 2 * d.n_readers()
+        );
     }
 
     #[test]
     fn disks_can_be_toggled() {
         let (d, c) = tiny();
-        let none = RenderOptions { show_interference: false, show_interrogation: false, ..Default::default() };
+        let none = RenderOptions {
+            show_interference: false,
+            show_interrogation: false,
+            ..Default::default()
+        };
         let svg = render_svg(&d, &c, &[], &[], &none);
         // only tag circles remain
         assert_eq!(svg.matches("<circle").count(), d.n_tags());

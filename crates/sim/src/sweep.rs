@@ -13,7 +13,7 @@
 //! scheduling.
 
 use crate::metrics::TrialRecord;
-use rfid_core::{AlgorithmKind, OneShotInput, greedy_covering_schedule, make_scheduler};
+use rfid_core::{greedy_covering_schedule, make_scheduler, AlgorithmKind, OneShotInput};
 use rfid_model::interference::interference_graph;
 use rfid_model::{Coverage, Scenario, TagSet, WeightEvaluator};
 use serde::{Deserialize, Serialize};
@@ -88,24 +88,32 @@ pub fn run_sweep(config: &SweepConfig) -> Vec<TrialRecord> {
         .max(1);
     crossbeam::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| {
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
-                    }
-                    let (value, seed) = items[i];
-                    let records = run_point(config, value, seed);
-                    results.lock().extend(records);
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
                 }
+                let (value, seed) = items[i];
+                let records = run_point(config, value, seed);
+                results.lock().extend(records);
             });
         }
     })
     .expect("sweep worker panicked");
     let mut out = results.into_inner();
     out.sort_by(|a, b| {
-        (a.lambda_interference, a.lambda_interrogation, &a.algorithm, a.seed)
-            .partial_cmp(&(b.lambda_interference, b.lambda_interrogation, &b.algorithm, b.seed))
+        (
+            a.lambda_interference,
+            a.lambda_interrogation,
+            &a.algorithm,
+            a.seed,
+        )
+            .partial_cmp(&(
+                b.lambda_interference,
+                b.lambda_interrogation,
+                &b.algorithm,
+                b.seed,
+            ))
             .expect("λ values are finite")
     });
     out
@@ -133,7 +141,10 @@ fn run_point(config: &SweepConfig, value: f64, seed: u64) -> Vec<TrialRecord> {
             let unread = TagSet::all_unread(deployment.n_tags());
             let input = OneShotInput::new(&deployment, &coverage, &graph, &unread);
             let set = scheduler.schedule(&input);
-            debug_assert!(deployment.is_feasible(&set), "{kind:?} produced infeasible set");
+            debug_assert!(
+                deployment.is_feasible(&set),
+                "{kind:?} produced infeasible set"
+            );
             let mut weights = WeightEvaluator::new(&coverage);
             oneshot_weight = Some(weights.weight(&set, &unread));
             if let Some(stats) = scheduler.comm_stats() {
@@ -226,7 +237,10 @@ mod tests {
                 r.oneshot_weight,
             )
         };
-        assert_eq!(a.iter().map(key).collect::<Vec<_>>(), b.iter().map(key).collect::<Vec<_>>());
+        assert_eq!(
+            a.iter().map(key).collect::<Vec<_>>(),
+            b.iter().map(key).collect::<Vec<_>>()
+        );
     }
 
     #[test]

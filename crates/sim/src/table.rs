@@ -44,10 +44,7 @@ pub fn markdown_figure(
 }
 
 /// Writes the series as CSV: `x,algorithm,mean,std_dev,min,max,n`.
-pub fn write_csv(
-    path: &Path,
-    algorithms: &[(&str, Vec<SeriesPoint>)],
-) -> std::io::Result<()> {
+pub fn write_csv(path: &Path, algorithms: &[(&str, Vec<SeriesPoint>)]) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
@@ -67,10 +64,7 @@ pub fn write_csv(
 
 /// Writes the series as JSON (`{algorithm: [SeriesPoint]}`), for
 /// EXPERIMENTS.md bookkeeping and external plotting.
-pub fn write_json(
-    path: &Path,
-    algorithms: &[(&str, Vec<SeriesPoint>)],
-) -> std::io::Result<()> {
+pub fn write_json(path: &Path, algorithms: &[(&str, Vec<SeriesPoint>)]) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
@@ -85,7 +79,14 @@ mod tests {
     use super::*;
 
     fn pt(x: f64, mean: f64) -> SeriesPoint {
-        SeriesPoint { x, mean, std_dev: 0.5, min: mean - 1.0, max: mean + 1.0, n: 3 }
+        SeriesPoint {
+            x,
+            mean,
+            std_dev: 0.5,
+            min: mean - 1.0,
+            max: mean + 1.0,
+            n: 3,
+        }
     }
 
     #[test]
@@ -93,7 +94,10 @@ mod tests {
         let table = markdown_figure(
             "Fig X",
             "λ_r",
-            &[("a", vec![pt(4.0, 10.0), pt(6.0, 12.0)]), ("b", vec![pt(4.0, 8.0), pt(6.0, 9.0)])],
+            &[
+                ("a", vec![pt(4.0, 10.0), pt(6.0, 12.0)]),
+                ("b", vec![pt(4.0, 8.0), pt(6.0, 9.0)]),
+            ],
         );
         assert!(table.contains("### Fig X"));
         assert!(table.contains("| λ_r | a | b |"));

@@ -27,7 +27,10 @@ impl Timetable {
                 active[v].push(q);
             }
         }
-        Timetable { active, slots: schedule.slots.len() }
+        Timetable {
+            active,
+            slots: schedule.slots.len(),
+        }
     }
 
     /// Fraction of slots reader `v` is active in (0 for an empty
@@ -45,7 +48,10 @@ impl Timetable {
         if self.active.is_empty() {
             return 0.0;
         }
-        (0..self.active.len()).map(|v| self.duty_cycle(v)).sum::<f64>() / self.active.len() as f64
+        (0..self.active.len())
+            .map(|v| self.duty_cycle(v))
+            .sum::<f64>()
+            / self.active.len() as f64
     }
 
     /// Number of on/off transitions reader `v` makes over the schedule
@@ -91,7 +97,11 @@ mod tests {
         CoveringSchedule {
             slots: slots
                 .into_iter()
-                .map(|active| SlotRecord { active, served: vec![], fallback: false })
+                .map(|active| SlotRecord {
+                    active,
+                    served: vec![],
+                    fallback: false,
+                })
                 .collect(),
             uncoverable: vec![],
         }

@@ -2,12 +2,12 @@
 //! mobility, dynamic arrivals, placement and the metrics.
 
 use proptest::prelude::*;
-use rfid_core::{AlgorithmKind, make_scheduler, verify_covering_schedule};
+use rfid_core::{make_scheduler, verify_covering_schedule, AlgorithmKind};
 use rfid_model::{Coverage, RadiusModel, Scenario, ScenarioKind};
 use rfid_sim::metrics::{activation_churn, aggregate_point};
 use rfid_sim::{
-    DynamicConfig, LinkLayer, MobilityModel, MobilitySim, SlotSimulator, Timetable,
-    coverage_fraction, greedy_placement, run_dynamic,
+    coverage_fraction, greedy_placement, run_dynamic, DynamicConfig, LinkLayer, MobilityModel,
+    MobilitySim, SlotSimulator, Timetable,
 };
 
 fn arb_scenario() -> impl Strategy<Value = (Scenario, u64)> {
@@ -127,7 +127,7 @@ proptest! {
         let t = Timetable::build(&schedule, d.n_readers());
         for v in 0..d.n_readers() {
             prop_assert!((0.0..=1.0).contains(&t.duty_cycle(v)));
-            prop_assert!(t.switch_count(v) % 2 == 0, "every power-up has a power-down");
+            prop_assert!(t.switch_count(v).is_multiple_of(2), "every power-up has a power-down");
         }
         let active: Vec<Vec<usize>> = schedule.slots.iter().map(|s| s.active.clone()).collect();
         prop_assert!((0.0..=1.0).contains(&activation_churn(&active)));

@@ -11,10 +11,10 @@
 //! cargo run --release --example mobile_readers
 //! ```
 
-use rfid_core::{AlgorithmKind, OneShotInput, make_scheduler};
+use rfid_core::{make_scheduler, AlgorithmKind, OneShotInput};
 use rfid_model::interference::interference_graph;
 use rfid_model::{Coverage, RadiusModel, Scenario, ScenarioKind, TagSet, WeightEvaluator};
-use rfid_sim::{MobilityModel, MobilitySim, RenderOptions, render_svg};
+use rfid_sim::{render_svg, MobilityModel, MobilitySim, RenderOptions};
 
 fn main() {
     let scenario = Scenario {
@@ -22,7 +22,10 @@ fn main() {
         n_readers: 8,
         n_tags: 400,
         region_side: 100.0,
-        radius_model: RadiusModel::Fixed { interference: 14.0, interrogation: 9.0 },
+        radius_model: RadiusModel::Fixed {
+            interference: 14.0,
+            interrogation: 9.0,
+        },
     };
     let initial = scenario.generate(11);
     let static_coverable = Coverage::build(&initial).coverable_count();
@@ -33,7 +36,11 @@ fn main() {
 
     println!("| algorithm | model | epochs run | tags served | left unread |");
     println!("|---|---|---|---|---|");
-    for kind in [AlgorithmKind::LocalGreedy, AlgorithmKind::Distributed, AlgorithmKind::HillClimbing] {
+    for kind in [
+        AlgorithmKind::LocalGreedy,
+        AlgorithmKind::Distributed,
+        AlgorithmKind::HillClimbing,
+    ] {
         for (name, model) in [
             ("waypoint v=8", MobilityModel::RandomWaypoint { speed: 8.0 }),
             ("walk σ=5", MobilityModel::RandomWalk { sigma: 5.0 }),
@@ -64,7 +71,13 @@ fn main() {
     let input = OneShotInput::new(&initial, &coverage, &graph, &unread);
     let active = make_scheduler(AlgorithmKind::LocalGreedy, 0).schedule(&input);
     let served = WeightEvaluator::new(&coverage).well_covered(&active, &unread);
-    let svg = render_svg(&initial, &coverage, &active, &served, &RenderOptions::default());
+    let svg = render_svg(
+        &initial,
+        &coverage,
+        &active,
+        &served,
+        &RenderOptions::default(),
+    );
     std::fs::create_dir_all("results").ok();
     std::fs::write("results/mobile_epoch0.svg", svg).expect("write svg");
     println!("\nwrote results/mobile_epoch0.svg (epoch-0 activation snapshot)");

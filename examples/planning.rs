@@ -12,12 +12,12 @@
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use rfid_core::{AlgorithmKind, make_scheduler};
-use rfid_geometry::Rect;
+use rfid_core::{make_scheduler, AlgorithmKind};
 use rfid_geometry::sampling::{clustered_points, uniform_points};
+use rfid_geometry::Rect;
 use rfid_model::interference::interference_graph;
-use rfid_model::{Coverage, RadiusModel, deployment_stats};
-use rfid_sim::{Timetable, coverage_fraction, greedy_placement};
+use rfid_model::{deployment_stats, Coverage, RadiusModel};
+use rfid_sim::{coverage_fraction, greedy_placement, Timetable};
 
 fn main() {
     // 1. The tag survey: goods pile up on five staging areas of a 100×100
@@ -28,7 +28,10 @@ fn main() {
     let tags = clustered_points(&mut rng, 600, region, &staging, 5.0);
 
     // 2. Plan 10 readers with greedy max-coverage.
-    let model = RadiusModel::PoissonPair { lambda_interference: 14.0, lambda_interrogation: 8.0 };
+    let model = RadiusModel::PoissonPair {
+        lambda_interference: 14.0,
+        lambda_interrogation: 8.0,
+    };
     let planned = greedy_placement(region, &tags, 10, model, 42);
     println!(
         "planned 10 readers over 600 clustered tags → {:.1}% coverage",
@@ -68,5 +71,8 @@ fn main() {
          idle rows are readers whose tags a neighbour serves first.",
         table.mean_duty_cycle()
     );
-    assert_eq!(rfid_core::verify_covering_schedule(&planned, &schedule), Ok(()));
+    assert_eq!(
+        rfid_core::verify_covering_schedule(&planned, &schedule),
+        Ok(())
+    );
 }

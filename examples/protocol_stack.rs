@@ -21,12 +21,19 @@ fn main() {
     const TRIALS: u64 = 10;
 
     println!("tag anti-collision protocols: micro-slots per tag (mean over {TRIALS} trials)\n");
-    println!("| tags | aloha (adaptive) | aloha (fixed 16) | tree-walking | gen2-q | first-read worst |");
+    println!(
+        "| tags | aloha (adaptive) | aloha (fixed 16) | tree-walking | gen2-q | first-read worst |"
+    );
     println!("|---|---|---|---|---|---|");
     for &n in &populations {
-        let tags: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let tags: Vec<u64> = (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
         let adaptive = FramedAloha::default();
-        let fixed = FramedAloha { adaptive: false, ..Default::default() };
+        let fixed = FramedAloha {
+            adaptive: false,
+            ..Default::default()
+        };
         let tree = TreeWalking::default();
         let q = QProtocol::default();
         let mut sums = [0.0f64; 4];
@@ -51,9 +58,16 @@ fn main() {
                 }
             }
         }
-        assert!(resolved[0] && resolved[2] && resolved[3], "adaptive protocols must finish");
+        assert!(
+            resolved[0] && resolved[2] && resolved[3],
+            "adaptive protocols must finish"
+        );
         let cell = |i: usize| {
-            if resolved[i] { format!("{:.2}", sums[i] / TRIALS as f64) } else { "DNF".into() }
+            if resolved[i] {
+                format!("{:.2}", sums[i] / TRIALS as f64)
+            } else {
+                "DNF".into()
+            }
         };
         println!(
             "| {n} | {} | {} | {} | {} | {first_worst} |",

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use rfid_core::{AlgorithmKind, OneShotInput, greedy_covering_schedule, make_scheduler};
+use rfid_core::{greedy_covering_schedule, make_scheduler, AlgorithmKind, OneShotInput};
 use rfid_examples::{describe_activation, describe_deployment};
 use rfid_model::interference::interference_graph;
 use rfid_model::{Coverage, RadiusModel, Scenario, ScenarioKind, TagSet};
@@ -39,7 +39,10 @@ fn main() {
     for kind in AlgorithmKind::paper_lineup() {
         let mut scheduler = make_scheduler(kind, 1);
         let set = scheduler.schedule(&input);
-        assert!(deployment.is_feasible(&set), "schedulers must avoid reader-tag collisions");
+        assert!(
+            deployment.is_feasible(&set),
+            "schedulers must avoid reader-tag collisions"
+        );
         describe_activation(&input, kind.label(), &set);
     }
 

@@ -15,8 +15,8 @@
 
 use rfid_core::{LocalGreedy, OneShotInput, OneShotScheduler};
 use rfid_model::{
-    Coverage, RadiusModel, Scenario, ScenarioKind, SurveyError, TagSet, audit_activation,
-    survey_impact, surveyed_interference_graph,
+    audit_activation, survey_impact, surveyed_interference_graph, Coverage, RadiusModel, Scenario,
+    ScenarioKind, SurveyError, TagSet,
 };
 
 fn main() {
@@ -53,7 +53,10 @@ fn main() {
             let unread = TagSet::all_unread(d.n_tags());
             let surveyed = surveyed_interference_graph(
                 &d,
-                SurveyError { false_negative: fn_rate, false_positive: fp_rate },
+                SurveyError {
+                    false_negative: fn_rate,
+                    false_positive: fp_rate,
+                },
                 seed ^ 0xbeef,
             );
             let impact = survey_impact(&d, &surveyed);

@@ -12,7 +12,7 @@
 //! cargo run --release --example warehouse
 //! ```
 
-use rfid_core::{AlgorithmKind, make_scheduler};
+use rfid_core::{make_scheduler, AlgorithmKind};
 use rfid_model::{RadiusModel, Scenario, ScenarioKind};
 use rfid_sim::{LinkLayer, SlotSimulator};
 
@@ -20,7 +20,10 @@ fn main() {
     // A 60×60 m dock: 16 ceiling readers on a lattice, 800 tags piled on
     // 6 pallet clusters.
     let scenario = Scenario {
-        kind: ScenarioKind::ClusteredTags { clusters: 6, sigma: 4.0 },
+        kind: ScenarioKind::ClusteredTags {
+            clusters: 6,
+            sigma: 4.0,
+        },
         n_readers: 16,
         n_tags: 800,
         region_side: 60.0,
@@ -49,7 +52,10 @@ fn main() {
             sim.seed = seed;
             let mut scheduler = make_scheduler(kind, seed);
             let report = sim.run(scheduler.as_mut());
-            assert!(report.link_layer_complete, "ALOHA must identify every well-covered tag");
+            assert!(
+                report.link_layer_complete,
+                "ALOHA must identify every well-covered tag"
+            );
             slots += report.schedule.size();
             tags += report.schedule.tags_served();
             worst = worst.max(report.max_microslots_per_slot);

@@ -1,7 +1,7 @@
 //! Adversarial geometry: degenerate and extreme deployments that stress
 //! every boundary condition at once, across the whole pipeline.
 
-use rfid_core::{AlgorithmKind, make_scheduler, verify_covering_schedule};
+use rfid_core::{make_scheduler, verify_covering_schedule, AlgorithmKind};
 use rfid_geometry::{Point, Rect};
 use rfid_model::Deployment;
 use rfid_sim::SlotSimulator;
@@ -51,11 +51,20 @@ fn concentric_radii_hierarchy() {
         .map(|i| {
             let a = i as f64 * std::f64::consts::TAU / 30.0;
             let r = 1.0 + i as f64;
-            Point::new((50.0 + r * a.cos()).clamp(0.0, 100.0), (50.0 + r * a.sin()).clamp(0.0, 100.0))
+            Point::new(
+                (50.0 + r * a.cos()).clamp(0.0, 100.0),
+                (50.0 + r * a.sin()).clamp(0.0, 100.0),
+            )
         })
         .collect();
     let interrogation: Vec<f64> = radii.iter().map(|r| r * 0.8).collect();
-    let d = Deployment::new(Rect::square(100.0), readers, radii.to_vec(), interrogation, tags);
+    let d = Deployment::new(
+        Rect::square(100.0),
+        readers,
+        radii.to_vec(),
+        interrogation,
+        tags,
+    );
     run_all(&d, "concentric hierarchy");
 }
 
@@ -94,7 +103,10 @@ fn giant_jammer_with_satellites() {
         big.push(6.0);
         small.push(4.0);
     }
-    let tags: Vec<Point> = readers.iter().map(|p| Point::new(p.x, (p.y + 1.0).min(99.0))).collect();
+    let tags: Vec<Point> = readers
+        .iter()
+        .map(|p| Point::new(p.x, (p.y + 1.0).min(99.0)))
+        .collect();
     let d = Deployment::new(Rect::square(100.0), readers, big, small, tags);
     // Interference graph is a star around reader 0.
     let g = rfid_model::interference::interference_graph(&d);
@@ -117,10 +129,17 @@ fn many_coincident_tags_on_one_reader() {
     sim.link_layer = rfid_sim::LinkLayer::Aloha;
     let mut s = make_scheduler(AlgorithmKind::LocalGreedy, 0);
     let report = sim.run(s.as_mut());
-    assert_eq!(report.schedule.size(), 1, "all 200 tags well-covered in one slot");
+    assert_eq!(
+        report.schedule.size(),
+        1,
+        "all 200 tags well-covered in one slot"
+    );
     assert_eq!(report.schedule.tags_served(), 200);
     assert!(report.link_layer_complete);
-    assert!(report.max_microslots_per_slot >= 200, "ALOHA needs ≥ n micro-slots");
+    assert!(
+        report.max_microslots_per_slot >= 200,
+        "ALOHA needs ≥ n micro-slots"
+    );
 }
 
 #[test]
@@ -128,7 +147,9 @@ fn extreme_aspect_ratio_region() {
     // A 1000×1 corridor: grid indices and the PTAS grid must not choke on
     // anisotropy.
     let n = 10;
-    let readers: Vec<Point> = (0..n).map(|i| Point::new(100.0 * i as f64 + 50.0, 0.5)).collect();
+    let readers: Vec<Point> = (0..n)
+        .map(|i| Point::new(100.0 * i as f64 + 50.0, 0.5))
+        .collect();
     let tags: Vec<Point> = (0..50).map(|i| Point::new(20.0 * i as f64, 0.5)).collect();
     let d = Deployment::new(
         Rect::new(0.0, 0.0, 1000.0, 1.0),

@@ -1,0 +1,178 @@
+//! Chaos property-test harness: randomized fault schedules thrown at the
+//! distributed protocol, checked against its two contracts.
+//!
+//! **Safety** (holds under *any* fault plan): every returned activation is
+//! pairwise independent (no RTc pair), crashed readers are never activated,
+//! and across a full covering schedule no tag is served twice.
+//!
+//! **Liveness** (holds whenever loss ≤ 0.3 and ≥ 1 reader survives): the
+//! network reaches quiescence within the round budget documented in
+//! `rfid_core::distributed`, and every survivor reaches a terminal colour.
+//!
+//! The vendored proptest stand-in draws cases from a fixed per-test seed,
+//! so these runs are reproducible; `PROPTEST_SEED=<n>` explores new fault
+//! schedules without code changes.
+
+use proptest::prelude::*;
+use rfid_core::{DistributedScheduler, OneShotInput, OneShotScheduler};
+use rfid_integration_tests::scenario;
+use rfid_model::interference::interference_graph;
+use rfid_model::{Coverage, TagSet};
+use rfid_netsim::FaultPlan;
+use rfid_sim::SlotSimulator;
+use std::collections::BTreeSet;
+
+/// Reader count for the one-shot chaos runs; crash draws are capped well
+/// below it so at least one reader always survives.
+const N_READERS: usize = 24;
+
+/// Assembles a seeded plan from the drawn knobs. Duplicate crash draws
+/// collapse to the earliest round ([`FaultPlan::with_crash`] semantics).
+fn plan_from(
+    seed: u64,
+    loss_pct: u32,
+    delay: u64,
+    crashes: &[(usize, u64)],
+    cut_rounds: u64,
+    n: usize,
+) -> FaultPlan {
+    let mut plan = FaultPlan::seeded(seed)
+        .with_loss(f64::from(loss_pct) / 100.0)
+        .with_delay(delay);
+    for &(node, round) in crashes {
+        plan = plan.with_crash(node % n, round);
+    }
+    if cut_rounds > 0 {
+        plan = plan.with_partition(0..n / 2, n / 2..n, 2, 2 + cut_rounds);
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// One-shot safety + liveness under randomized loss, delay, crash-stop
+    /// failures and a transient partition straight down the middle.
+    #[test]
+    fn randomized_faults_preserve_safety_and_liveness(
+        dep_seed in 0u64..4,
+        plan_seed in 0u64..1_000_000,
+        loss_pct in 0u32..=30,
+        delay in 0u64..=2,
+        crashes in proptest::collection::vec((0usize..N_READERS, 2u64..24), 0..4),
+        cut_rounds in 0u64..16,
+    ) {
+        let d = scenario(N_READERS, 240, 13.0, 6.0).generate(dep_seed);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let unread = TagSet::all_unread(d.n_tags());
+        let input = OneShotInput::new(&d, &c, &g, &unread);
+        let plan = plan_from(plan_seed, loss_pct, delay, &crashes, cut_rounds, N_READERS);
+        let lossy = plan.can_lose_messages();
+        let mut s = DistributedScheduler::default().with_faults(plan);
+        let set = s.schedule(&input);
+
+        // Safety: feasible activation, no crashed reader in it.
+        prop_assert!(d.is_feasible(&set), "RTc pair in activation {set:?}");
+        let dead: BTreeSet<_> = s.crashed_readers().into_iter().collect();
+        prop_assert!(
+            set.iter().all(|r| !dead.contains(r)),
+            "crashed reader activated: {set:?} ∩ {dead:?}"
+        );
+
+        // Liveness: loss ≤ 0.3 and ≥ 1 survivor by construction, so the
+        // run must complete and quiesce within the documented budget.
+        let summary = s.last_summary.unwrap();
+        prop_assert!(summary.survivors >= 1, "no survivors: {summary:?}");
+        prop_assert!(summary.quiescent, "not quiescent in budget: {summary:?}");
+        prop_assert!(summary.completed, "a survivor stayed White: {summary:?}");
+
+        // The quiescence bound itself, restated from the scheduler's
+        // budget derivation (c = 3 defaults; hop/watchdog windows stretch
+        // with the delay bound).
+        let (gc, n) = (3u64, N_READERS as u64);
+        let budget = if lossy {
+            let hop = 64 + 16 * delay;
+            let watchdog = 64 + 4 * delay;
+            (2 * gc + 2) * hop + (n + 1) * (watchdog + 3 * gc + 5) + 64
+        } else {
+            ((2 * gc + 2) + (n + 1) * (3 * gc + 5) + 16) * (1 + delay)
+        };
+        let rounds = s.last_stats.unwrap().rounds;
+        prop_assert!(rounds <= budget, "{rounds} rounds exceed documented bound {budget}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Full-pipeline chaos: the resilient covering schedule under loss and
+    /// crashes serves every tag at most once, keeps every slot feasible,
+    /// and accounts for exactly the coverable population.
+    #[test]
+    fn chaos_covering_schedule_serves_each_tag_at_most_once(
+        dep_seed in 0u64..3,
+        plan_seed in 0u64..1_000_000,
+        loss_pct in 0u32..=25,
+        crashes in proptest::collection::vec((0usize..15, 2u64..12), 0..3),
+    ) {
+        let d = scenario(15, 150, 11.0, 6.0).generate(dep_seed);
+        let sim = SlotSimulator::new(&d);
+        let plan = plan_from(plan_seed, loss_pct, 0, &crashes, 0, 15);
+        let mut s = DistributedScheduler::default().with_faults(plan);
+        let rep = sim.run_resilient(&mut s);
+
+        let mut served = BTreeSet::new();
+        for (i, slot) in rep.report.schedule.slots.iter().enumerate() {
+            prop_assert!(d.is_feasible(&slot.active), "slot {i}: {:?}", slot.active);
+            for &t in &slot.served {
+                prop_assert!(served.insert(t), "tag {t} double-served at slot {i}");
+            }
+        }
+        // Abandoned and served partition the coverable population.
+        for &t in &rep.abandoned_tags {
+            prop_assert!(!served.contains(&t), "tag {t} both served and abandoned");
+        }
+        prop_assert_eq!(
+            served.len() + rep.abandoned_tags.len(),
+            sim.coverage().coverable_count(),
+            "coverable population not fully accounted for"
+        );
+    }
+}
+
+/// Determinism at the full-pipeline level: one [`FaultPlan`] (seed
+/// included) replays the exact same chaos run — identical covering
+/// schedule, degradation counters, outcome digest, and per-round trace.
+#[test]
+fn identical_fault_plans_reproduce_chaos_runs_bitwise() {
+    let d = scenario(18, 200, 12.0, 6.0).generate(7);
+    let plan = FaultPlan::seeded(41)
+        .with_loss(0.25)
+        .with_delay(1)
+        .with_crash(2, 5)
+        .with_crash(9, 14)
+        .with_partition(0..9, 9..18, 3, 9);
+    let run = || {
+        let sim = SlotSimulator::new(&d);
+        let mut s = DistributedScheduler::default().with_faults(plan.clone());
+        let rep = sim.run_resilient(&mut s);
+        (
+            rep.report.schedule,
+            rep.repaired_pairs,
+            rep.crashed_dropped,
+            rep.abandoned_tags,
+            s.last_summary.unwrap(),
+            s.last_trace.unwrap(),
+        )
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.0, b.0, "covering schedules diverged");
+    assert_eq!(
+        (a.1, a.2, &a.3),
+        (b.1, b.2, &b.3),
+        "degradation counters diverged"
+    );
+    assert_eq!(a.4, b.4, "run summaries diverged");
+    assert_eq!(a.5, b.5, "trace event sequences diverged");
+}

@@ -2,9 +2,7 @@
 //! branch-and-bound optimum, plus property-based model invariants.
 
 use proptest::prelude::*;
-use rfid_core::{
-    AlgorithmKind, ExactScheduler, OneShotInput, OneShotScheduler, make_scheduler,
-};
+use rfid_core::{make_scheduler, AlgorithmKind, ExactScheduler, OneShotInput, OneShotScheduler};
 use rfid_integration_tests::scenario;
 use rfid_model::interference::interference_graph;
 use rfid_model::{Coverage, TagSet, WeightEvaluator};
@@ -22,11 +20,14 @@ fn approximation_guarantees_hold_on_small_instances() {
         let opt = input.weight_of(&ExactScheduler::default().schedule(&input)) as f64;
         for kind in AlgorithmKind::paper_lineup() {
             let w = input.weight_of(&make_scheduler(kind, seed).schedule(&input)) as f64;
-            assert!(w <= opt + 1e-9, "{kind:?} seed {seed}: {w} beats optimum {opt}");
+            assert!(
+                w <= opt + 1e-9,
+                "{kind:?} seed {seed}: {w} beats optimum {opt}"
+            );
             let factor = match kind {
                 AlgorithmKind::Ptas => (1.0 - 1.0 / 4.0f64).powi(2), // k = 4 default
                 AlgorithmKind::LocalGreedy | AlgorithmKind::Distributed => 1.0 / 1.1, // ρ default
-                _ => 0.0, // baselines carry no guarantee
+                _ => 0.0,                                            // baselines carry no guarantee
             };
             assert!(
                 w + 1e-9 >= factor * opt,
@@ -51,7 +52,10 @@ fn centralized_and_distributed_are_close() {
         let w3 = input.weight_of(&make_scheduler(AlgorithmKind::Distributed, 0).schedule(&input));
         let lo = (w2.min(w3)) as f64;
         let hi = (w2.max(w3)) as f64;
-        assert!(lo >= 0.8 * hi, "seed {seed}: centralized {w2} vs distributed {w3}");
+        assert!(
+            lo >= 0.8 * hi,
+            "seed {seed}: centralized {w2} vs distributed {w3}"
+        );
     }
 }
 

@@ -2,7 +2,7 @@
 //! `(scenario, seed)` — the property EXPERIMENTS.md's recorded numbers
 //! rest on.
 
-use rfid_core::{AlgorithmKind, make_scheduler};
+use rfid_core::{make_scheduler, AlgorithmKind};
 use rfid_integration_tests::scenario;
 use rfid_model::interference::interference_graph;
 use rfid_model::Coverage;
@@ -54,13 +54,16 @@ fn different_seeds_change_randomized_algorithms() {
         let b = make_scheduler(AlgorithmKind::Colorwave, 2).schedule(&input);
         any_diff |= a != b;
     }
-    assert!(any_diff, "colorwave ignored its seed across five deployments");
+    assert!(
+        any_diff,
+        "colorwave ignored its seed across five deployments"
+    );
 }
 
 #[test]
 fn sweep_records_are_identical_across_runs() {
     use rfid_core::AlgorithmKind;
-    use rfid_sim::{SweepAxis, SweepConfig, run_sweep};
+    use rfid_sim::{run_sweep, SweepAxis, SweepConfig};
     let config = SweepConfig {
         scenario: scenario(15, 150, 12.0, 6.0),
         axis: SweepAxis::Interrogation,

@@ -4,7 +4,7 @@
 use rfid_core::{DistributedScheduler, LocalGreedy, OneShotInput, OneShotScheduler};
 use rfid_integration_tests::scenario;
 use rfid_model::interference::interference_graph;
-use rfid_model::{Coverage, TagSet, audit_activation};
+use rfid_model::{audit_activation, Coverage, TagSet};
 
 /// The Red set never contains an interfering pair, for a spread of
 /// densities (sparse to near-clique interference graphs).
@@ -38,10 +38,14 @@ fn terminates_on_path_and_star_topologies() {
     let n = 20;
     let path = Deployment::new(
         Rect::new(0.0, 0.0, 10.0 * n as f64, 10.0),
-        (0..n).map(|i| Point::new(10.0 * i as f64 + 5.0, 5.0)).collect(),
+        (0..n)
+            .map(|i| Point::new(10.0 * i as f64 + 5.0, 5.0))
+            .collect(),
         vec![10.0; n],
         vec![4.0; n],
-        (0..n).map(|i| Point::new(10.0 * i as f64 + 5.0, 2.0)).collect(),
+        (0..n)
+            .map(|i| Point::new(10.0 * i as f64 + 5.0, 2.0))
+            .collect(),
     );
     // Star: one huge-interference hub plus leaves outside each other's
     // range.
@@ -50,7 +54,10 @@ fn terminates_on_path_and_star_topologies() {
     let mut small = vec![5.0];
     for i in 0..8 {
         let angle = i as f64 * std::f64::consts::TAU / 8.0;
-        pos.push(Point::new(50.0 + 40.0 * angle.cos(), 50.0 + 40.0 * angle.sin()));
+        pos.push(Point::new(
+            50.0 + 40.0 * angle.cos(),
+            50.0 + 40.0 * angle.sin(),
+        ));
         big.push(5.0);
         small.push(4.0);
     }
@@ -87,6 +94,68 @@ fn matches_centralized_with_global_view() {
         let central = LocalGreedy { rho, max_hops: 10 }.schedule(&input);
         assert_eq!(dist, central, "seed {seed}");
     }
+}
+
+/// Fault matrix: loss × delay × crash against the centralized Algorithm 2
+/// baseline. Whenever the protocol completes *cleanly* (all survivors
+/// terminal, network quiescent, no message abandoned, no reader falsely
+/// suspected), the reliability layer has delivered a complete view and the
+/// distributed weight must stay within the ρ growth bound of the
+/// centralized one — crash cells get slack for the tags only the dead
+/// reader could have contributed.
+#[test]
+fn fault_matrix_tracks_centralized_within_rho() {
+    use rfid_netsim::FaultPlan;
+    let rho = 1.1;
+    let d = scenario(20, 250, 12.0, 6.0).generate(1);
+    let c = Coverage::build(&d);
+    let g = interference_graph(&d);
+    let unread = TagSet::all_unread(d.n_tags());
+    let input = OneShotInput::new(&d, &c, &g, &unread);
+    // c = 10 ⇒ the gathered ball spans the graph, so a clean distributed
+    // run replicates the centralized election (see
+    // `matches_centralized_with_global_view`).
+    let w_central = input.weight_of(&LocalGreedy { rho, max_hops: 10 }.schedule(&input));
+    let mut clean_cells = 0usize;
+    for &loss in &[0.0, 0.15, 0.3] {
+        for &delay in &[0u64, 2] {
+            for &crash in &[None, Some(0usize)] {
+                let mut plan = FaultPlan::seeded(97).with_loss(loss).with_delay(delay);
+                if let Some(victim) = crash {
+                    plan = plan.with_crash(victim, 6);
+                }
+                let mut s = DistributedScheduler::with_params(rho, 10).with_faults(plan);
+                let set = s.schedule(&input);
+                let cell = format!("loss={loss} delay={delay} crash={crash:?}");
+                // Safety holds in every cell, clean or not.
+                let audit = audit_activation(&d, &c, &set, &unread);
+                assert!(audit.is_feasible(), "{cell}: {:?}", audit.rtc_pairs);
+                if let Some(victim) = crash {
+                    assert!(!set.contains(&victim), "{cell}: crashed reader activated");
+                }
+                let sum = s.last_summary.unwrap();
+                let clean =
+                    sum.completed && sum.quiescent && sum.gave_up == 0 && sum.suspected == 0;
+                if !clean {
+                    continue;
+                }
+                clean_cells += 1;
+                let slack = crash.map_or(0, |victim| c.tags_of(victim).len());
+                let w = input.weight_of(&set);
+                assert!(
+                    (w + slack) as f64 * rho >= w_central as f64,
+                    "{cell}: weight {w} (+{slack} crash slack) fell below \
+                     centralized {w_central}/ρ"
+                );
+            }
+        }
+    }
+    // The benign cells (no loss, no crash) at minimum must complete
+    // cleanly, or the matrix is asserting nothing.
+    assert!(
+        clean_cells >= 2,
+        "only {clean_cells} clean cells in the matrix"
+    );
 }
 
 /// Message volume scales with the gathered radius but stays bounded: the

@@ -1,10 +1,10 @@
 //! End-to-end integration: deployment → derived structures → scheduler →
 //! audited covering schedule, across every algorithm.
 
-use rfid_core::{AlgorithmKind, OneShotInput, make_scheduler};
+use rfid_core::{make_scheduler, AlgorithmKind, OneShotInput};
 use rfid_integration_tests::scenario;
 use rfid_model::interference::interference_graph;
-use rfid_model::{Coverage, TagSet, audit_activation};
+use rfid_model::{audit_activation, Coverage, TagSet};
 use rfid_sim::{LinkLayer, SlotSimulator};
 
 /// Every algorithm × several seeds: the audited simulator must complete
@@ -56,7 +56,11 @@ fn oneshot_outputs_survive_the_general_audit() {
             let mut scheduler = make_scheduler(kind, seed);
             let set = scheduler.schedule(&input);
             let audit = audit_activation(&d, &c, &set, &unread);
-            assert!(audit.is_feasible(), "{kind:?} seed {seed}: RTc {:?}", audit.rtc_pairs);
+            assert!(
+                audit.is_feasible(),
+                "{kind:?} seed {seed}: RTc {:?}",
+                audit.rtc_pairs
+            );
             assert_eq!(
                 audit.well_covered.len(),
                 input.weight_of(&set),
@@ -73,7 +77,13 @@ fn degenerate_deployments_are_handled() {
     use rfid_model::Deployment;
     let cases = vec![
         // no readers, tags exist
-        Deployment::new(Rect::square(10.0), vec![], vec![], vec![], vec![Point::new(1.0, 1.0)]),
+        Deployment::new(
+            Rect::square(10.0),
+            vec![],
+            vec![],
+            vec![],
+            vec![Point::new(1.0, 1.0)],
+        ),
         // readers, no tags
         Deployment::new(
             Rect::square(10.0),

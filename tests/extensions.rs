@@ -3,15 +3,14 @@
 //! distributed runs — all exercised through the public APIs together.
 
 use rfid_core::{
-    AlgorithmKind, DistributedScheduler, MultiChannelGreedy, OneShotInput, OneShotScheduler,
-    QLearningScheduler, greedy_covering_schedule, make_scheduler,
-    multichannel_covering_schedule,
+    greedy_covering_schedule, make_scheduler, multichannel_covering_schedule, AlgorithmKind,
+    DistributedScheduler, MultiChannelGreedy, OneShotInput, OneShotScheduler, QLearningScheduler,
 };
 use rfid_integration_tests::scenario;
 use rfid_model::interference::interference_graph;
 use rfid_model::{Coverage, TagSet};
 use rfid_sim::metrics::activation_churn;
-use rfid_sim::{DynamicConfig, MobilityModel, MobilitySim, Timetable, run_dynamic};
+use rfid_sim::{run_dynamic, DynamicConfig, MobilityModel, MobilitySim, Timetable};
 
 #[test]
 fn multichannel_dominates_single_channel_end_to_end() {
@@ -86,7 +85,12 @@ fn dynamic_arrivals_with_every_paper_algorithm() {
         let mut s = make_scheduler(kind, 1);
         let report = run_dynamic(
             &readers,
-            DynamicConfig { arrival_rate: 4.0, slots: 40, warmup: 8, seed: 3 },
+            DynamicConfig {
+                arrival_rate: 4.0,
+                slots: 40,
+                warmup: 8,
+                seed: 3,
+            },
             s.as_mut(),
         );
         assert!(report.served > 0, "{kind:?} served nothing");
@@ -128,6 +132,10 @@ fn faulted_distributed_stays_consistent_with_audit() {
     s.crashes = vec![(3, 2), (8, 5)];
     let set = s.schedule(&input);
     let audit = audit_activation(&d, &c, &set, &unread);
-    assert!(audit.is_feasible(), "loss+crash run produced RTc: {:?}", audit.rtc_pairs);
+    assert!(
+        audit.is_feasible(),
+        "loss+crash run produced RTc: {:?}",
+        audit.rtc_pairs
+    );
     assert!(!set.contains(&3) && !set.contains(&8));
 }

@@ -1,0 +1,79 @@
+//! Offline stand-in for `crossbeam`: just the scoped-thread entry point
+//! this workspace uses, implemented over `std::thread::scope` (std's
+//! scoped threads post-date crossbeam's API, which is why older code
+//! reaches for the crate). Matching crossbeam, `scope` returns `Err`
+//! instead of panicking when a spawned thread panics.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Handle for spawning threads that may borrow from the enclosing scope.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+// Manual impls: derive would bound them on the lifetimes' variance.
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope handle
+    /// (crossbeam convention) so it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || f(&scope))
+    }
+}
+
+/// Runs `f` with a scope handle, joining every spawned thread before
+/// returning. A panic in any thread (or in `f` itself) surfaces as
+/// `Err` carrying the panic payload.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|inner| f(&Scope { inner }))
+    }))
+}
+
+/// Compatibility alias: real crossbeam exposes this under
+/// `crossbeam::thread::scope` as well.
+pub mod thread {
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_share_borrowed_state() {
+        let counter = AtomicUsize::new(0);
+        let result = super::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert!(result.is_ok());
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let result = super::scope(|scope| {
+            scope.spawn(|_| panic!("worker died"));
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Offline stand-in for `rand_chacha`: a genuine ChaCha block function
+//! behind the workspace's `rand` stub traits. Output streams differ from
+//! the upstream crate (different word ordering conventions), but the
+//! generator is a real ChaCha — per-seed reproducibility and statistical
+//! quality hold.
+
+use rand::{RngCore, SeedableRng};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ChaChaCore<const ROUNDS: usize> {
+    /// Key + constants + counter + nonce, per the ChaCha layout.
+    state: [u32; 16],
+    /// Current 64-byte block, as 16 output words.
+    block: [u32; 16],
+    /// Next unread word in `block`; 16 means exhausted.
+    word: usize,
+}
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl<const ROUNDS: usize> ChaChaCore<ROUNDS> {
+    fn from_seed_bytes(seed: [u8; 32]) -> Self {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k"
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().unwrap());
+        }
+        // words 12..13: 64-bit block counter; 14..15: nonce (zero).
+        ChaChaCore { state, block: [0; 16], word: 16 }
+    }
+
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..ROUNDS / 2 {
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            self.block[i] = working[i].wrapping_add(self.state[i]);
+        }
+        // Increment the 64-bit counter in words 12/13.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.word = 0;
+    }
+
+    fn next_word(&mut self) -> u32 {
+        if self.word >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.word];
+        self.word += 1;
+        w
+    }
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct $name(ChaChaCore<$rounds>);
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                self.0.next_word()
+            }
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.0.next_word() as u64;
+                let hi = self.0.next_word() as u64;
+                lo | (hi << 32)
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+            fn from_seed(seed: Self::Seed) -> Self {
+                $name(ChaChaCore::from_seed_bytes(seed))
+            }
+        }
+    };
+}
+
+chacha_rng!(ChaCha8Rng, 8, "ChaCha with 8 rounds.");
+chacha_rng!(ChaCha12Rng, 12, "ChaCha with 12 rounds.");
+chacha_rng!(ChaCha20Rng, 20, "ChaCha with 20 rounds.");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn per_seed_reproducible_and_distinct() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn chacha20_ietf_test_vector_block_one() {
+        // RFC 8439 §2.3.2 uses a nonzero nonce, which this wrapper fixes at
+        // zero; instead sanity-check uniformity and the trait plumbing.
+        let mut rng = ChaCha20Rng::seed_from_u64(0);
+        let mean: f64 =
+            (0..10_000).map(|_| rng.random::<f64>()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+}

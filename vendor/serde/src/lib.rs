@@ -1,0 +1,347 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real crate cannot be fetched in this container, and the workspace
+//! only ever uses serde through `#[derive(Serialize, Deserialize)]` (no
+//! attributes, no hand-written impls) plus `serde_json::{to_string,
+//! to_string_pretty, from_str, Value}`. That narrow usage lets the data
+//! model collapse to a single content tree: serializers build a
+//! [`Content`], deserializers read one back. `serde_json` (the sibling
+//! stub) renders and parses `Content` as standard JSON, keeping the wire
+//! format byte-compatible with upstream serde's externally-tagged enum
+//! convention so previously generated artifacts under `results/` remain
+//! parseable.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree — the whole data model of this stub.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` (also `Option::None`).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer (only used for negative values).
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (JSON array).
+    Seq(Vec<Content>),
+    /// Key-ordered map (JSON object; insertion order preserved).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Map lookup by key; `None` for non-maps or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => {
+                entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// Sequence element by index.
+    pub fn index(&self, i: usize) -> Option<&Content> {
+        match self {
+            Content::Seq(items) => items.get(i),
+            _ => None,
+        }
+    }
+
+    /// Numeric view (integers widen losslessly for the magnitudes this
+    /// workspace serializes).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::U64(v) => Some(v as f64),
+            Content::I64(v) => Some(v as f64),
+            Content::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Types renderable into a [`Content`] tree.
+pub trait Serialize {
+    /// Builds the content tree for `self`.
+    fn to_content(&self) -> Content;
+}
+
+/// Types reconstructible from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, reporting the first structural mismatch.
+    fn from_content(content: &Content) -> Result<Self, String>;
+}
+
+/// Owned-deserialization alias used by generic bounds in the wild.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, String> {
+                match *content {
+                    Content::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| format!("{v} out of range for {}", stringify!($t))),
+                    Content::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| format!("{v} out of range for {}", stringify!($t))),
+                    Content::F64(v) if v.fract() == 0.0 && v >= 0.0 => Ok(v as $t),
+                    ref other => Err(format!("expected {}, got {other:?}", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serde_sint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, String> {
+                match *content {
+                    Content::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| format!("{v} out of range for {}", stringify!($t))),
+                    Content::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| format!("{v} out of range for {}", stringify!($t))),
+                    Content::F64(v) if v.fract() == 0.0 => Ok(v as $t),
+                    ref other => Err(format!("expected {}, got {other:?}", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+impl_serde_sint!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        content.as_f64().ok_or_else(|| format!("expected f64, got {content:?}"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        content
+            .as_f64()
+            .map(|v| v as f32)
+            .ok_or_else(|| format!("expected f32, got {content:?}"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(format!("expected single-char string, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(format!("expected sequence, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(content: &Content) -> Result<Self, String> {
+                match content {
+                    Content::Seq(items) => {
+                        let expect = [$($n),+].len();
+                        if items.len() != expect {
+                            return Err(format!(
+                                "expected {expect}-tuple, got {} elements", items.len()
+                            ));
+                        }
+                        Ok(($($t::from_content(&items[$n])?,)+))
+                    }
+                    other => Err(format!("expected tuple sequence, got {other:?}")),
+                }
+            }
+        }
+    )+};
+}
+
+impl_serde_tuple!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+impl<K: ToString + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter().map(|(k, v)| (k.to_string(), v.to_content())).collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for std::collections::BTreeMap<K, V>
+where
+    K: std::str::FromStr + Ord,
+    V: Deserialize,
+{
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    let key =
+                        k.parse().map_err(|_| format!("unparseable map key {k:?}"))?;
+                    Ok((key, V::from_content(v)?))
+                })
+                .collect(),
+            other => Err(format!("expected map, got {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_content(&42u32.to_content()), Ok(42));
+        assert_eq!(i64::from_content(&(-7i64).to_content()), Ok(-7));
+        assert_eq!(f64::from_content(&1.5f64.to_content()), Ok(1.5));
+        assert_eq!(bool::from_content(&true.to_content()), Ok(true));
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1usize, 2usize), (3, 4)];
+        assert_eq!(Vec::<(usize, usize)>::from_content(&v.to_content()), Ok(v));
+        let o: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_content(&o.to_content()), Ok(None));
+    }
+
+    #[test]
+    fn out_of_range_is_an_error() {
+        assert!(u8::from_content(&300u32.to_content()).is_err());
+        assert!(u32::from_content(&Content::I64(-1)).is_err());
+    }
+}

@@ -1,0 +1,315 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` are unavailable in this container, so the derives walk
+//! the raw [`proc_macro::TokenTree`] stream by hand and emit impl source
+//! as strings. Supported shapes — which cover every derive site in the
+//! workspace — are non-generic structs with named fields, unit structs,
+//! and non-generic enums whose variants are unit, newtype, or
+//! struct-like. Serde attributes (`#[serde(...)]`) are not supported and
+//! the workspace uses none.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the item a derive was placed on.
+enum Item {
+    /// `struct Name;` — no payload.
+    UnitStruct { name: String },
+    /// `struct Name { fields }`.
+    Struct { name: String, fields: Vec<String> },
+    /// `enum Name { variants }`.
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+enum Variant {
+    Unit(String),
+    Newtype(String),
+    Struct(String, Vec<String>),
+}
+
+/// Consumes leading `#[...]` attributes (incl. doc comments) and
+/// visibility modifiers from the token iterator.
+fn skip_attrs_and_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                // The bracketed attribute body.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                // Optional `(crate)` / `(super)` restriction.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts named-field identifiers from a brace-group body, tracking
+/// angle-bracket depth so commas inside `BTreeMap<K, V>` don't split
+/// fields.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = group.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            return fields;
+        };
+        fields.push(name.to_string());
+        // Skip `: Type` up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        for tok in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected type name, got {other:?}"),
+    };
+    match tokens.next() {
+        Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Item::Struct { name, fields: parse_named_fields(body.stream()) }
+            } else {
+                Item::Enum { name, variants: parse_variants(body.stream()) }
+            }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && kind == "struct" => {
+            Item::UnitStruct { name }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => panic!(
+            "serde stub derive: generic type `{name}` is unsupported \
+             (the offline serde stand-in only derives concrete types)"
+        ),
+        other => panic!("serde stub derive: unexpected token after `{name}`: {other:?}"),
+    }
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = group.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            return variants;
+        };
+        let name = name.to_string();
+        match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let TokenTree::Group(g) = tokens.next().unwrap() else { unreachable!() };
+                variants.push(Variant::Struct(name, parse_named_fields(g.stream())));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let TokenTree::Group(g) = tokens.next().unwrap() else { unreachable!() };
+                let payload_fields = count_tuple_fields(g.stream());
+                assert!(
+                    payload_fields == 1,
+                    "serde stub derive: variant `{name}` has {payload_fields} unnamed \
+                     fields; only newtype variants are supported"
+                );
+                variants.push(Variant::Newtype(name));
+            }
+            _ => variants.push(Variant::Unit(name)),
+        }
+        // Consume the trailing comma between variants, if present.
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == ',' {
+                tokens.next();
+            }
+        }
+    }
+}
+
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut count = 0;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    for tok in group {
+        saw_tokens = true;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_tokens {
+        count + 1
+    } else {
+        0
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ ::serde::Content::Null }}\n\
+             }}"
+        ),
+        Item::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                 ::serde::Content::Map(vec![{entries}])\n\
+                 }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(v) => format!(
+                        "{name}::{v} => ::serde::Content::Str(\"{v}\".to_string()),"
+                    ),
+                    Variant::Newtype(v) => format!(
+                        "{name}::{v}(__inner) => ::serde::Content::Map(vec![\
+                         (\"{v}\".to_string(), ::serde::Serialize::to_content(__inner))]),"
+                    ),
+                    Variant::Struct(v, fields) => {
+                        let bindings = fields.join(", ");
+                        let entries: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), \
+                                     ::serde::Serialize::to_content({f})),"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {bindings} }} => ::serde::Content::Map(vec![\
+                             (\"{v}\".to_string(), \
+                             ::serde::Content::Map(vec![{entries}]))]),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                 match self {{ {arms} }}\n\
+                 }}\n}}"
+            )
+        }
+    };
+    body.parse().expect("serde stub derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(_content: &::serde::Content) -> Result<Self, String> {{\n\
+             Ok({name})\n\
+             }}\n}}"
+        ),
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(\
+                         content.get(\"{f}\").unwrap_or(&::serde::Content::Null))\
+                         .map_err(|e| format!(\"{name}.{f}: {{e}}\"))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(content: &::serde::Content) -> Result<Self, String> {{\n\
+                 match content {{\n\
+                 ::serde::Content::Map(_) => Ok({name} {{ {inits} }}),\n\
+                 other => Err(format!(\"expected map for {name}, got {{other:?}}\")),\n\
+                 }}\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(v) => Some(format!("\"{v}\" => Ok({name}::{v}),")),
+                    _ => None,
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(_) => None,
+                    Variant::Newtype(v) => Some(format!(
+                        "\"{v}\" => Ok({name}::{v}(\
+                         ::serde::Deserialize::from_content(__inner)\
+                         .map_err(|e| format!(\"{name}::{v}: {{e}}\"))?)),"
+                    )),
+                    Variant::Struct(v, fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_content(\
+                                     __inner.get(\"{f}\")\
+                                     .unwrap_or(&::serde::Content::Null))\
+                                     .map_err(|e| format!(\"{name}::{v}.{f}: {{e}}\"))?,"
+                                )
+                            })
+                            .collect();
+                        Some(format!("\"{v}\" => Ok({name}::{v} {{ {inits} }}),"))
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(content: &::serde::Content) -> Result<Self, String> {{\n\
+                 match content {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => Err(format!(\"unknown variant {{other:?}} for {name}\")),\n\
+                 }},\n\
+                 ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}\n\
+                 other => Err(format!(\"unknown variant {{other:?}} for {name}\")),\n\
+                 }}\n\
+                 }},\n\
+                 other => Err(format!(\"expected enum value for {name}, got {{other:?}}\")),\n\
+                 }}\n}}\n}}"
+            )
+        }
+    };
+    body.parse().expect("serde stub derive: generated Deserialize impl must parse")
+}

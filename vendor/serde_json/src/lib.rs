@@ -1,0 +1,499 @@
+//! Offline stand-in for `serde_json`: renders and parses the serde
+//! stub's [`Content`] tree as standard JSON (externally-tagged enums,
+//! `null` for `Option::None`), so artifacts written by either the real
+//! crate or this one stay interchangeable for the shapes the workspace
+//! serializes.
+
+use serde::{Content, Deserialize, Serialize};
+use std::fmt;
+
+/// Parse or structure error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compact JSON encoding of any [`Serialize`] value.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Two-space-indented JSON encoding.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any [`Deserialize`] type (including [`Value`]).
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    let content = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", parser.pos)));
+    }
+    T::from_content(&content).map_err(Error)
+}
+
+fn write_content(content: &Content, out: &mut String, indent: Option<usize>, depth: usize) {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(*v, out),
+        Content::Str(s) => write_escaped(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_content(item, out, indent, depth + 1);
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(value, out, indent, depth + 1);
+            }
+            if !entries.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // Integral floats keep a `.0` marker, matching upstream output.
+        if v.fract() == 0.0 && v.abs() < 1e15 {
+            out.push_str(&format!("{v:.1}"));
+        } else {
+            out.push_str(&v.to_string());
+        }
+    } else {
+        // JSON has no NaN/Inf; upstream writes null here too.
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected {:?} at byte {}, found {:?}",
+                byte as char,
+                self.pos,
+                self.peek().map(|b| b as char)
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(())
+        } else {
+            Err(Error(format!("expected `{literal}` at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content, Error> {
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null").map(|_| Content::Null),
+            Some(b't') => self.eat_literal("true").map(|_| Content::Bool(true)),
+            Some(b'f') => self.eat_literal("false").map(|_| Content::Bool(false)),
+            Some(b'"') => self.parse_string().map(Content::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|b| b as char)
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|b| b as char)
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("bad \\u escape".into()))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by this repo's data.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("bad \\u code point".into()))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error(format!(
+                                "unknown escape \\{}",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error("invalid UTF-8".into()))?;
+                    let ch = rest.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number bytes".into()))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Content::F64)
+                .map_err(|_| Error(format!("bad number `{text}`")))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            stripped
+                .parse::<u64>()
+                .map(|v| Content::I64(-(v as i64)))
+                .map_err(|_| Error(format!("bad number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Content::U64)
+                .map_err(|_| Error(format!("bad number `{text}`")))
+        }
+    }
+}
+
+/// Dynamically-typed JSON value supporting `value["key"][0]` chains and
+/// numeric comparisons, as used by the workspace's table tests.
+///
+/// `repr(transparent)` licenses the `&Content → &Value` reborrow in the
+/// `Index` impls below.
+#[derive(Debug, Clone, PartialEq)]
+#[repr(transparent)]
+pub struct Value(pub Content);
+
+static NULL_VALUE: Value = Value(Content::Null);
+
+impl Value {
+    /// Numeric view of the underlying content.
+    pub fn as_f64(&self) -> Option<f64> {
+        self.0.as_f64()
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match &self.0 {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array length, if this is an array.
+    pub fn as_array_len(&self) -> Option<usize> {
+        match &self.0 {
+            Content::Seq(items) => Some(items.len()),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        self.0.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        Ok(Value(content.clone()))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        match self.0.get(key) {
+            // SAFETY: Value is repr(transparent) over Content.
+            Some(content) => unsafe { &*(content as *const Content as *const Value) },
+            None => &NULL_VALUE,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, i: usize) -> &Value {
+        match self.0.index(i) {
+            Some(content) => unsafe { &*(content as *const Content as *const Value) },
+            None => &NULL_VALUE,
+        }
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        matches!(self.0, Content::U64(v) if v == *other)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_content(&self.0, &mut out, None, 0);
+        f.write_str(&out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_typed_values() {
+        let v = vec![(1usize, 2.5f64), (3, 4.0)];
+        let text = to_string(&v).unwrap();
+        let back: Vec<(usize, f64)> = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn value_indexing_matches_table_test_usage() {
+        let v: Value = from_str(r#"{"alg":[{"mean":10.0},{"mean":11.5}]}"#).unwrap();
+        assert_eq!(v["alg"][0]["mean"], 10.0);
+        assert_eq!(v["alg"][1]["mean"], 11.5);
+        assert_eq!(v["missing"][7], Value(Content::Null));
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_reparses() {
+        let v = vec![vec![1u32, 2], vec![3]];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Vec<Vec<u32>> = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "line\n\"quoted\"\tünïcode".to_string();
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn negative_and_float_numbers_parse() {
+        let xs: Vec<i64> = from_str("[-3, 0, 9]").unwrap();
+        assert_eq!(xs, vec![-3, 0, 9]);
+        let f: f64 = from_str("2.5e2").unwrap();
+        assert_eq!(f, 250.0);
+    }
+}
