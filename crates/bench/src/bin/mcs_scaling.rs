@@ -1,0 +1,225 @@
+//! MCS engine scaling benchmark — the tracked perf trajectory.
+//!
+//! Runs the full greedy covering schedule end to end at constant reader
+//! density (the paper's 50 readers / 100×100 region, 24 tags per reader)
+//! for n ∈ {200, 1000, 5000} and emits a machine-readable
+//! `BENCH_mcs.json` with wall time and slots/sec per (size, algorithm).
+//!
+//! The committed `results/BENCH_mcs_seed.json` is the pre-optimisation
+//! baseline recorded by this same binary; every later PR regenerates
+//! `results/BENCH_mcs.json` and compares against it (see EXPERIMENTS.md).
+//!
+//! Usage:
+//!   mcs_scaling [--quick] [--sizes 200,1000] [--trials N] [--out PATH]
+//!   mcs_scaling --check PATH    # validate an existing BENCH_mcs.json
+//!
+//! `--quick` restricts to n = 200 (the CI perf-smoke configuration).
+
+use rfid_core::{greedy_covering_schedule, make_scheduler, AlgorithmKind};
+use rfid_model::interference::interference_graph;
+use rfid_model::{Coverage, RadiusModel, Scenario, ScenarioKind};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Paper density: 50 readers in a 100×100 region, 24 tags per reader.
+const BASE_READERS: f64 = 50.0;
+const BASE_REGION: f64 = 100.0;
+const TAGS_PER_READER: usize = 24;
+const LAMBDA_INTERFERENCE: f64 = 14.0;
+const LAMBDA_INTERROGATION: f64 = 6.0;
+
+/// One (size, algorithm) measurement.
+#[derive(Debug, Serialize, Deserialize)]
+struct Entry {
+    n_readers: usize,
+    n_tags: usize,
+    algorithm: String,
+    trials: usize,
+    /// Covering-schedule size (slots), identical across trials.
+    slots: usize,
+    tags_served: usize,
+    fallback_slots: usize,
+    /// Mean wall time of `greedy_covering_schedule` alone.
+    schedule_wall_ms: f64,
+    /// Mean wall time including deployment + coverage + graph build.
+    total_wall_ms: f64,
+    slots_per_sec: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Report {
+    bench: String,
+    schema_version: u32,
+    tags_per_reader: usize,
+    lambda_interference: f64,
+    lambda_interrogation: f64,
+    entries: Vec<Entry>,
+}
+
+/// Constant-density scaling: the region side grows with √n so local
+/// structure (degree, tags per interrogation disk) matches the paper's
+/// evaluation scenario at every size.
+fn scenario(n_readers: usize) -> Scenario {
+    Scenario {
+        kind: ScenarioKind::UniformRandom,
+        n_readers,
+        n_tags: n_readers * TAGS_PER_READER,
+        region_side: BASE_REGION * (n_readers as f64 / BASE_READERS).sqrt(),
+        radius_model: RadiusModel::PoissonPair {
+            lambda_interference: LAMBDA_INTERFERENCE,
+            lambda_interrogation: LAMBDA_INTERROGATION,
+        },
+    }
+}
+
+fn measure(n_readers: usize, kind: AlgorithmKind, trials: usize) -> Entry {
+    let mut schedule_ms = 0.0;
+    let mut total_ms = 0.0;
+    let mut slots = 0;
+    let mut tags_served = 0;
+    let mut fallback_slots = 0;
+    for trial in 0..trials {
+        let seed = 42 + trial as u64;
+        let total_start = Instant::now();
+        let deployment = scenario(n_readers).generate(seed);
+        let coverage = Coverage::build(&deployment);
+        let graph = interference_graph(&deployment);
+        let mut scheduler = make_scheduler(kind, seed ^ 0x5eed);
+        let start = Instant::now();
+        let schedule = greedy_covering_schedule(
+            &deployment,
+            &coverage,
+            &graph,
+            scheduler.as_mut(),
+            1_000_000,
+        );
+        schedule_ms += start.elapsed().as_secs_f64() * 1e3;
+        total_ms += total_start.elapsed().as_secs_f64() * 1e3;
+        // The schedule is deterministic per seed; keep the last trial's.
+        slots = schedule.size();
+        tags_served = schedule.tags_served();
+        fallback_slots = schedule.fallback_slots();
+    }
+    let schedule_wall_ms = schedule_ms / trials as f64;
+    Entry {
+        n_readers,
+        n_tags: n_readers * TAGS_PER_READER,
+        algorithm: kind.label().to_string(),
+        trials,
+        slots,
+        tags_served,
+        fallback_slots,
+        schedule_wall_ms,
+        total_wall_ms: total_ms / trials as f64,
+        slots_per_sec: slots as f64 / (schedule_wall_ms / 1e3),
+    }
+}
+
+/// Validates a BENCH_mcs.json: parses, checks the schema and that every
+/// entry carries positive wall times. Exits non-zero on failure so CI can
+/// gate on it.
+fn check(path: &PathBuf) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let report: Report =
+        serde_json::from_str(&text).map_err(|e| format!("malformed {path:?}: {e}"))?;
+    if report.bench != "mcs_scaling" {
+        return Err(format!("wrong bench name {:?}", report.bench));
+    }
+    if report.schema_version != 1 {
+        return Err(format!("unknown schema_version {}", report.schema_version));
+    }
+    if report.entries.is_empty() {
+        return Err("no entries".into());
+    }
+    let positive = |x: f64| x.is_finite() && x > 0.0;
+    for e in &report.entries {
+        if !positive(e.schedule_wall_ms) || !positive(e.slots_per_sec) || e.slots == 0 {
+            return Err(format!(
+                "degenerate entry for n={} {}: {e:?}",
+                e.n_readers, e.algorithm
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut sizes = vec![200usize, 1000, 5000];
+    let mut trials = 1usize;
+    let mut out = PathBuf::from("results/BENCH_mcs.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => sizes = vec![200],
+            "--sizes" => {
+                i += 1;
+                sizes = args[i]
+                    .split(',')
+                    .map(|s| s.parse().expect("--sizes takes comma-separated integers"))
+                    .collect();
+            }
+            "--trials" => {
+                i += 1;
+                trials = args[i].parse().expect("--trials takes a number");
+            }
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(&args[i]);
+            }
+            "--check" => {
+                i += 1;
+                let path = PathBuf::from(&args[i]);
+                match check(&path) {
+                    Ok(()) => {
+                        println!("{path:?} ok");
+                        return;
+                    }
+                    Err(e) => {
+                        eprintln!("BENCH check failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    assert!(trials > 0, "need at least one trial");
+
+    // The two covering-schedule drivers whose hot paths the perf layer
+    // targets: the paper's central Algorithm 2 and the GHC baseline.
+    let lineup = [AlgorithmKind::LocalGreedy, AlgorithmKind::HillClimbing];
+    let mut entries = Vec::new();
+    println!("| n | algorithm | slots | schedule ms | slots/sec |");
+    println!("|---|---|---|---|---|");
+    for &n in &sizes {
+        for &kind in &lineup {
+            let e = measure(n, kind, trials);
+            println!(
+                "| {} | {} | {} | {:.1} | {:.1} |",
+                e.n_readers, e.algorithm, e.slots, e.schedule_wall_ms, e.slots_per_sec
+            );
+            entries.push(e);
+        }
+    }
+    let report = Report {
+        bench: "mcs_scaling".into(),
+        schema_version: 1,
+        tags_per_reader: TAGS_PER_READER,
+        lambda_interference: LAMBDA_INTERFERENCE,
+        lambda_interrogation: LAMBDA_INTERROGATION,
+        entries,
+    };
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&report).expect("serialize"),
+    )
+    .expect("write BENCH_mcs.json");
+    check(&out).expect("self-check of the just-written report");
+    println!("wrote {out:?}");
+}

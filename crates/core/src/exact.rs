@@ -59,8 +59,51 @@ pub fn exact_mwfs_budgeted(
     base: &[ReaderId],
     node_budget: u64,
 ) -> (Vec<ReaderId>, bool) {
+    let mut scratch = MwfsScratch::new(coverage, unread);
+    exact_mwfs_in(&mut scratch, graph, candidates, base, node_budget)
+}
+
+/// Reusable solver state: the weight structures cost `O(n_tags)` to
+/// build, which dominated [`exact_mwfs_budgeted`] when Algorithm 2 calls
+/// it once per hop ball (a few dozen candidates each). Callers running
+/// many restricted searches against the *same* unread set construct one
+/// scratch per slot and pass it to [`exact_mwfs_in`];
+/// [`reset`](Self::reset) re-snapshots it for the next slot.
+#[derive(Debug, Clone)]
+pub struct MwfsScratch<'a> {
+    pub(crate) weights: WeightEvaluator<'a>,
+    inc: IncrementalWeight<'a>,
+}
+
+impl<'a> MwfsScratch<'a> {
+    /// Builds the scratch for one (coverage, unread) snapshot.
+    pub fn new(coverage: &'a Coverage, unread: &TagSet) -> Self {
+        MwfsScratch {
+            weights: WeightEvaluator::new(coverage),
+            inc: IncrementalWeight::new(coverage, unread),
+        }
+    }
+
+    /// Re-snapshots the unread set (`O(n_tags)`, no allocation).
+    pub fn reset(&mut self, unread: &TagSet) {
+        self.inc.reset(unread);
+    }
+}
+
+/// [`exact_mwfs_budgeted`] against a caller-owned [`MwfsScratch`] — the
+/// unread set is the one snapshotted in the scratch. Bit-identical to the
+/// allocating form; the scratch is returned clean (empty active set) for
+/// the next call.
+pub fn exact_mwfs_in(
+    scratch: &mut MwfsScratch<'_>,
+    graph: &Csr,
+    candidates: &[ReaderId],
+    base: &[ReaderId],
+    node_budget: u64,
+) -> (Vec<ReaderId>, bool) {
     debug_assert!(graph.is_independent_set(base), "base must be feasible");
-    let mut weights = WeightEvaluator::new(coverage);
+    let inc = &mut scratch.inc;
+    debug_assert!(inc.active().is_empty(), "scratch passed in dirty");
 
     // Keep only candidates independent of every base reader, with their
     // singleton weights; order by descending singleton weight (ties by id)
@@ -69,7 +112,7 @@ pub fn exact_mwfs_budgeted(
         .iter()
         .copied()
         .filter(|&v| base.iter().all(|&b| b != v && !graph.has_edge(b, v)))
-        .map(|v| (v, weights.singleton_weight(v, unread)))
+        .map(|v| (v, inc.singleton_weight(v)))
         .collect();
     cands.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     cands.dedup_by_key(|c| c.0);
@@ -80,17 +123,16 @@ pub fn exact_mwfs_budgeted(
         suffix[i] = suffix[i + 1] + cands[i].1;
     }
 
-    let mut inc = IncrementalWeight::new(coverage, unread);
     for &b in base {
         inc.add(b);
     }
     let base_weight = inc.weight();
 
-    struct Search<'a> {
-        graph: &'a Csr,
-        cands: &'a [(ReaderId, usize)],
-        suffix: &'a [usize],
-        inc: IncrementalWeight<'a>,
+    struct Search<'s, 'a> {
+        graph: &'s Csr,
+        cands: &'s [(ReaderId, usize)],
+        suffix: &'s [usize],
+        inc: &'s mut IncrementalWeight<'a>,
         chosen: Vec<ReaderId>,
         best: Vec<ReaderId>,
         best_w: usize,
@@ -99,7 +141,7 @@ pub fn exact_mwfs_budgeted(
         complete: bool,
     }
 
-    impl Search<'_> {
+    impl Search<'_, '_> {
         fn go(&mut self, idx: usize) {
             self.nodes += 1;
             if self.nodes > self.budget {
@@ -142,6 +184,11 @@ pub fn exact_mwfs_budgeted(
         complete: true,
     };
     search.go(0);
+    // Leave the scratch clean: `go` unwinds its own additions, the base
+    // context is ours to undo.
+    for &b in base {
+        search.inc.remove(b);
+    }
     let mut best = search.best;
     best.sort_unstable();
     (best, search.complete)

@@ -33,16 +33,34 @@ impl OneShotScheduler for HillClimbing {
         let n = input.deployment.n_readers();
         let mut inc = IncrementalWeight::new(input.coverage, input.unread);
         let mut blocked = vec![false; n]; // adjacent to the active set
+                                          // Lazy bound scan: sub-additivity gives `delta_if_added(v) ≤
+                                          // w({v})`, and the singleton weights are fixed for the whole call,
+                                          // so scanning candidates in descending singleton order lets each
+                                          // pick stop as soon as the remaining singletons fall *strictly*
+                                          // below the best delta found — candidates that could still tie
+                                          // (singleton == best delta) are visited, preserving the id
+                                          // tie-break exactly.
+        let singleton = input.singleton_or_compute();
+        let mut order: Vec<ReaderId> = (0..n).collect();
+        order.sort_unstable_by(|&a, &b| singleton[b].cmp(&singleton[a]).then(a.cmp(&b)));
         loop {
-            // Best feasible addition by incremental weight; ties by id.
+            // Best feasible addition by incremental weight; ties by id
+            // (explicit `(delta, Reverse(v))` order — the scan no longer
+            // runs in id order, so first-max-wins is not enough).
             let mut best: Option<(isize, ReaderId)> = None;
-            #[allow(clippy::needless_range_loop)] // `v` is a reader id probing two structures
-            for v in 0..n {
+            for &v in &order {
+                if let Some((bd, _)) = best {
+                    if (singleton[v] as isize) < bd {
+                        break;
+                    }
+                }
                 if blocked[v] || inc.is_active(v) {
                     continue;
                 }
                 let delta = inc.delta_if_added(v);
-                if best.is_none_or(|(bd, _)| delta > bd) {
+                if best.is_none_or(|(bd, bv)| {
+                    (delta, std::cmp::Reverse(v)) > (bd, std::cmp::Reverse(bv))
+                }) {
                     best = Some((delta, v));
                 }
             }

@@ -34,6 +34,7 @@ pub mod local_greedy;
 pub mod local_search;
 pub mod mcs;
 pub mod multichannel;
+pub mod par;
 pub mod ptas;
 pub mod qlearning;
 pub mod scheduler;

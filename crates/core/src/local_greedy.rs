@@ -21,10 +21,10 @@
 //! [`crate::exact`] on the (small, growth-bounded) hop ball — the paper's
 //! "by enumeration".
 
-use crate::exact::exact_mwfs_restricted;
+use crate::exact::{exact_mwfs_in, MwfsScratch, DEFAULT_NODE_BUDGET};
 use crate::scheduler::{OneShotInput, OneShotScheduler};
 use rfid_graph::Csr;
-use rfid_model::{Coverage, ReaderId, TagSet, WeightEvaluator};
+use rfid_model::{Coverage, ReaderId, TagSet};
 
 /// Algorithm 2 configuration.
 #[derive(Debug, Clone, Copy)]
@@ -46,30 +46,70 @@ impl Default for LocalGreedy {
     }
 }
 
+/// Reusable BFS state for [`ball_restricted`]: the `O(n)` distance array
+/// is allocated once and invalidated by a stamp bump instead of a clear,
+/// so each ball query costs only its output size. One instance serves a
+/// whole [`LocalGreedy::schedule`] run (hundreds of ball queries).
+pub(crate) struct BallScratch {
+    dist: Vec<u32>,
+    stamp_of: Vec<u64>,
+    stamp: u64,
+    queue: std::collections::VecDeque<usize>,
+}
+
+impl BallScratch {
+    pub(crate) fn new(n: usize) -> Self {
+        BallScratch {
+            dist: vec![0; n],
+            stamp_of: vec![0; n],
+            stamp: 0,
+            queue: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// `N(src)^r` within the alive-induced subgraph, appended to `out`
+    /// (cleared first), sorted ascending. `src` must be alive.
+    pub(crate) fn ball_into(
+        &mut self,
+        g: &Csr,
+        src: usize,
+        r: u32,
+        alive: &[bool],
+        out: &mut Vec<usize>,
+    ) {
+        debug_assert!(alive[src]);
+        self.stamp += 1;
+        out.clear();
+        out.push(src);
+        self.dist[src] = 0;
+        self.stamp_of[src] = self.stamp;
+        self.queue.clear();
+        self.queue.push_back(src);
+        while let Some(v) = self.queue.pop_front() {
+            let d = self.dist[v];
+            if d == r {
+                continue;
+            }
+            for &t in g.neighbors(v) {
+                let t = t as usize;
+                if alive[t] && self.stamp_of[t] != self.stamp {
+                    self.stamp_of[t] = self.stamp;
+                    self.dist[t] = d + 1;
+                    out.push(t);
+                    self.queue.push_back(t);
+                }
+            }
+        }
+        out.sort_unstable();
+    }
+}
+
 /// `N(v)^r` within the alive-induced subgraph: hop distances only traverse
 /// alive nodes. Sorted ascending. `src` must be alive.
 pub(crate) fn ball_restricted(g: &Csr, src: usize, r: u32, alive: &[bool]) -> Vec<usize> {
-    debug_assert!(alive[src]);
-    let mut dist = vec![u32::MAX; g.n()];
-    let mut queue = std::collections::VecDeque::new();
-    let mut out = vec![src];
-    dist[src] = 0;
-    queue.push_back(src);
-    while let Some(v) = queue.pop_front() {
-        let d = dist[v];
-        if d == r {
-            continue;
-        }
-        for &t in g.neighbors(v) {
-            let t = t as usize;
-            if alive[t] && dist[t] == u32::MAX {
-                dist[t] = d + 1;
-                out.push(t);
-                queue.push_back(t);
-            }
-        }
-    }
-    out.sort_unstable();
+    let mut scratch = BallScratch::new(g.n());
+    let mut out = Vec::new();
+    scratch.ball_into(g, src, r, alive, &mut out);
     out
 }
 
@@ -87,15 +127,36 @@ pub(crate) fn grow_local_mwfs(
     rho: f64,
     max_hops: u32,
 ) -> (Vec<ReaderId>, u32) {
-    let mut weights = WeightEvaluator::new(coverage);
+    let mut mwfs = MwfsScratch::new(coverage, unread);
+    let mut balls = BallScratch::new(graph.n());
+    grow_local_mwfs_in(
+        &mut mwfs, &mut balls, graph, unread, v, alive, rho, max_hops,
+    )
+}
+
+/// [`grow_local_mwfs`] against caller-owned scratch state, so a schedule
+/// run pays the `O(n_tags)` weight-structure setup once instead of once
+/// per seed. Bit-identical to the allocating form.
+#[allow(clippy::too_many_arguments)] // scratch split keeps borrows disjoint
+pub(crate) fn grow_local_mwfs_in(
+    mwfs: &mut MwfsScratch<'_>,
+    balls: &mut BallScratch,
+    graph: &Csr,
+    unread: &TagSet,
+    v: ReaderId,
+    alive: &[bool],
+    rho: f64,
+    max_hops: u32,
+) -> (Vec<ReaderId>, u32) {
     // Γ_0 = MWFS within N(v)^0 = {v}.
     let mut cur = vec![v];
-    let mut cur_w = weights.singleton_weight(v, unread);
+    let mut cur_w = mwfs.weights.singleton_weight(v, unread);
     let mut r = 0u32;
+    let mut ball = Vec::new();
     while r < max_hops {
-        let ball = ball_restricted(graph, v, r + 1, alive);
-        let next = exact_mwfs_restricted(coverage, graph, unread, &ball, &[]);
-        let next_w = weights.weight(&next, unread);
+        balls.ball_into(graph, v, r + 1, alive, &mut ball);
+        let next = exact_mwfs_in(mwfs, graph, &ball, &[], DEFAULT_NODE_BUDGET).0;
+        let next_w = mwfs.weights.weight(&next, unread);
         if (next_w as f64) >= rho * cur_w as f64 && next_w > 0 {
             cur = next;
             cur_w = next_w;
@@ -116,30 +177,37 @@ impl OneShotScheduler for LocalGreedy {
         assert!(self.rho > 1.0, "ρ must exceed 1 (ρ = 1 + ε, ε > 0)");
         let n = input.deployment.n_readers();
         let graph = input.graph;
-        let mut weights = WeightEvaluator::new(input.coverage);
-        let singleton = weights.all_singleton_weights(input.unread);
+        let singleton = input.singleton_or_compute();
+        // Singleton weights are fixed for the whole call, so the seed
+        // sequence is a static priority order: sort once and walk a cursor
+        // over dead readers instead of rescanning all n per round.
+        //
+        // Order: weight descending, ties towards the higher id — the same
+        // strict (weight, id) order the distributed election uses, so
+        // Algorithms 2 and 3 coincide when the distributed view covers the
+        // whole graph.
+        let mut order: Vec<ReaderId> = (0..n).collect();
+        order.sort_unstable_by(|&a, &b| singleton[b].cmp(&singleton[a]).then(b.cmp(&a)));
+        let mut cursor = 0usize;
         let mut alive = vec![true; n];
         let mut x: Vec<ReaderId> = Vec::new();
+        let mut mwfs = MwfsScratch::new(input.coverage, input.unread);
+        let mut balls = BallScratch::new(n);
+        let mut dead_ball = Vec::new();
         loop {
-            // Heaviest alive reader by singleton weight. Ties break towards
-            // the higher id — the same strict (weight, id) order the
-            // distributed election uses, so Algorithms 2 and 3 coincide
-            // when the distributed view covers the whole graph.
-            let mut seed: Option<(usize, ReaderId)> = None;
-            for v in 0..n {
-                if alive[v] && seed.is_none_or(|(w, _)| singleton[v] >= w) {
-                    seed = Some((singleton[v], v));
-                }
+            while cursor < n && !alive[order[cursor]] {
+                cursor += 1;
             }
-            let Some((w, v)) = seed else { break };
-            if w == 0 {
+            let Some(&v) = order.get(cursor) else { break };
+            if singleton[v] == 0 {
                 // No alive reader covers any unread tag; by sub-additivity
                 // nothing of positive weight remains anywhere.
                 break;
             }
-            let (gamma, r) = grow_local_mwfs(
+            let (gamma, r) = grow_local_mwfs_in(
+                &mut mwfs,
+                &mut balls,
                 graph,
-                input.coverage,
                 input.unread,
                 v,
                 &alive,
@@ -148,7 +216,8 @@ impl OneShotScheduler for LocalGreedy {
             );
             x.extend_from_slice(&gamma);
             // Remove N(v)^{r̄+1} from the (alive-induced) graph.
-            for u in ball_restricted(graph, v, r + 1, &alive) {
+            balls.ball_into(graph, v, r + 1, &alive, &mut dead_ball);
+            for &u in &dead_ball {
                 alive[u] = false;
             }
         }
@@ -257,7 +326,7 @@ mod tests {
         let g = interference_graph(&d);
         let unread = rfid_model::TagSet::all_unread(d.n_tags());
         let alive = vec![true; d.n_readers()];
-        let mut weights = WeightEvaluator::new(&c);
+        let mut weights = rfid_model::WeightEvaluator::new(&c);
         let singleton = weights.all_singleton_weights(&unread);
         let v = (0..d.n_readers()).max_by_key(|&v| singleton[v]).unwrap();
         let (_, r_small) = grow_local_mwfs(&g, &c, &unread, v, &alive, 1.05, 5);

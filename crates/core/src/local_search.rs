@@ -96,17 +96,16 @@ pub fn improve_schedule(input: &OneShotInput<'_>, start: &[ReaderId]) -> Improve
             }
             let mut added: Vec<ReaderId> = Vec::new();
             loop {
-                let mut best: Option<(isize, ReaderId)> = None;
-                #[allow(clippy::needless_range_loop)] // `v` is a reader id probing two structures
-                for v in 0..n {
+                // Refill scan through the `par` facade: ties resolve to
+                // the smallest id, matching the sequential
+                // first-max-wins scan this replaces.
+                let best = crate::par::argmax_by_key(n, n.saturating_mul(16), |v| {
                     if v == u || inc.is_active(v) || conflicts[v] != 0 {
-                        continue;
+                        return None;
                     }
                     let delta = inc.delta_if_added(v);
-                    if delta > 0 && best.is_none_or(|(bd, _)| delta > bd) {
-                        best = Some((delta, v));
-                    }
-                }
+                    (delta > 0).then_some(delta)
+                });
                 let Some((_, v)) = best else { break };
                 inc.add(v);
                 for &t in graph.neighbors(v) {

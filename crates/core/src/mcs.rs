@@ -18,9 +18,78 @@
 use crate::scheduler::{OneShotInput, OneShotScheduler};
 use rfid_graph::Csr;
 use rfid_model::{
-    audit_activation, Coverage, Deployment, ReaderId, TagId, TagSet, WeightEvaluator,
+    audit_activation, Coverage, Deployment, ReaderId, SingletonWeights, TagId, TagSet,
+    WeightEvaluator,
 };
 use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Lazily updated max-queue over singleton weights, shared by the
+/// progress guards of [`try_greedy_covering_schedule`] and
+/// [`resilient_covering_schedule`].
+///
+/// Singleton weights only ever decrease as the covering schedule marks
+/// tags read (sub-additivity makes `w({v})` a monotone upper bound on any
+/// future contribution of `v`), so a heap entry's cached weight is always
+/// an upper bound on the reader's current weight. [`best`](Self::best)
+/// pops entries, re-pushing stale ones with their corrected weight, until
+/// the top is current — at that point it is the true maximum under the
+/// fallback order `(weight, Reverse(id))`, i.e. highest weight with ties
+/// towards the smallest id, exactly the order the eager
+/// `max_by_key` scan used. Total re-push work over a whole schedule is
+/// bounded by the number of (tag, reader) coverage incidences, replacing
+/// the per-fallback-slot `O(n)` rescan.
+struct LazyFallback {
+    /// One entry per reader, ordered by `(cached weight, Reverse(id))`.
+    heap: BinaryHeap<(usize, Reverse<ReaderId>)>,
+    /// Entries popped while excluded (crashed), to restore after a query.
+    deferred: Vec<(usize, Reverse<ReaderId>)>,
+}
+
+impl LazyFallback {
+    fn new(singleton: &SingletonWeights<'_>) -> Self {
+        LazyFallback {
+            heap: (0..singleton.n_readers())
+                .map(|v| (singleton.get(v), Reverse(v)))
+                .collect(),
+            deferred: Vec::new(),
+        }
+    }
+
+    /// The reader maximising `(current weight, Reverse(id))` among those
+    /// not in `excluded`, or `None` when every reader is excluded. The
+    /// queue keeps one entry per reader afterwards (the selected reader
+    /// stays queued — its weight decreasing later is exactly the
+    /// staleness the laziness absorbs).
+    fn best(
+        &mut self,
+        singleton: &SingletonWeights<'_>,
+        excluded: &[ReaderId],
+    ) -> Option<ReaderId> {
+        debug_assert!(self.deferred.is_empty());
+        let mut found = None;
+        while let Some((cached, Reverse(v))) = self.heap.pop() {
+            let current = singleton.get(v);
+            debug_assert!(current <= cached, "singleton weight increased");
+            if current < cached {
+                self.heap.push((current, Reverse(v)));
+                continue;
+            }
+            if excluded.contains(&v) {
+                self.deferred.push((cached, Reverse(v)));
+                continue;
+            }
+            // Current and admissible: every remaining entry has a cached
+            // (hence current) key no greater than this one's.
+            self.heap.push((cached, Reverse(v)));
+            found = Some(v);
+            break;
+        }
+        self.heap.extend(self.deferred.drain(..));
+        found
+    }
+}
 
 /// Why a covering schedule could not be driven to completion.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -146,6 +215,12 @@ pub fn try_greedy_covering_schedule(
         .filter(|&t| !coverage.is_coverable(t))
         .collect();
     let mut weights = WeightEvaluator::new(coverage);
+    // Cross-slot incremental state: singleton weights are updated per
+    // served tag (via `Coverage::readers_of`) instead of rescanned, feed
+    // the one-shot schedulers through the input, and back the lazy
+    // fallback queue.
+    let mut singleton = SingletonWeights::new(coverage, &unread);
+    let mut fallback_queue = LazyFallback::new(&singleton);
     let mut slots = Vec::new();
     let coverable_total = coverage.coverable_count();
     let mut served_total = 0usize;
@@ -157,7 +232,8 @@ pub fn try_greedy_covering_schedule(
                 coverable: coverable_total,
             });
         }
-        let input = OneShotInput::new(deployment, coverage, graph, &unread);
+        let input = OneShotInput::new(deployment, coverage, graph, &unread)
+            .with_singleton_weights(singleton.as_slice());
         let mut active = scheduler.schedule(&input);
         let mut served = weights.well_covered(&active, &unread);
         let mut fallback = false;
@@ -168,9 +244,7 @@ pub fn try_greedy_covering_schedule(
                 served: served_total,
                 coverable: coverable_total,
             };
-            let best = (0..deployment.n_readers())
-                .max_by_key(|&v| (weights.singleton_weight(v, &unread), std::cmp::Reverse(v)))
-                .ok_or(stall.clone())?;
+            let best = fallback_queue.best(&singleton, &[]).ok_or(stall.clone())?;
             active = vec![best];
             served = weights.well_covered(&active, &unread);
             fallback = true;
@@ -179,6 +253,7 @@ pub fn try_greedy_covering_schedule(
             }
         }
         unread.mark_all_read(&served);
+        singleton.mark_all_read(&served);
         served_total += served.len();
         slots.push(SlotRecord {
             active,
@@ -237,6 +312,9 @@ pub fn resilient_covering_schedule(
         .filter(|&t| !coverage.is_coverable(t))
         .collect();
     let mut weights = WeightEvaluator::new(coverage);
+    // Same cross-slot incremental state as the trusting loop.
+    let mut singleton = SingletonWeights::new(coverage, &unread);
+    let mut fallback_queue = LazyFallback::new(&singleton);
     let mut slots = Vec::new();
     let coverable_total = coverage.coverable_count();
     let mut served_total = 0usize;
@@ -244,7 +322,8 @@ pub fn resilient_covering_schedule(
     let mut crashed_dropped = 0usize;
     let mut stalled = false;
     while served_total < coverable_total && !stalled && slots.len() < max_slots {
-        let input = OneShotInput::new(deployment, coverage, graph, &unread);
+        let input = OneShotInput::new(deployment, coverage, graph, &unread)
+            .with_singleton_weights(singleton.as_slice());
         let mut active = scheduler.schedule(&input);
         // Crashed readers cannot transmit; their claimed tags simply stay
         // unread and get requeued.
@@ -262,10 +341,7 @@ pub fn resilient_covering_schedule(
                 break;
             }
             let (a, b) = audit.rtc_pairs[0];
-            let (wa, wb) = (
-                weights.singleton_weight(a, &unread),
-                weights.singleton_weight(b, &unread),
-            );
+            let (wa, wb) = (singleton.get(a), singleton.get(b));
             let victim = if wa <= wb { a } else { b };
             active.retain(|&u| u != victim);
             repaired_pairs += 1;
@@ -274,10 +350,7 @@ pub fn resilient_covering_schedule(
         let mut fallback = false;
         if served.is_empty() {
             // Progress guard restricted to surviving readers.
-            let best = (0..deployment.n_readers())
-                .filter(|v| !crashed.contains(v))
-                .max_by_key(|&v| (weights.singleton_weight(v, &unread), std::cmp::Reverse(v)));
-            match best {
+            match fallback_queue.best(&singleton, &crashed) {
                 Some(best) => {
                     active = vec![best];
                     served = weights.well_covered(&active, &unread);
@@ -293,6 +366,7 @@ pub fn resilient_covering_schedule(
             }
         }
         unread.mark_all_read(&served);
+        singleton.mark_all_read(&served);
         served_total += served.len();
         slots.push(SlotRecord {
             active,

@@ -1,0 +1,298 @@
+//! Deterministic parallel-scoring facade (DESIGN.md §7).
+//!
+//! Every scheduler hot loop that fans out goes through this module, which
+//! gives the workspace exactly one place where threads are introduced and
+//! one determinism contract to audit:
+//!
+//! * **Bit-identical results.** Each primitive is defined by its sequential
+//!   semantics; the parallel implementation only changes *when* work runs,
+//!   never *what* is returned. [`map`]/[`map_with`] preserve input order;
+//!   [`argmax_by_key`] resolves ties toward the smallest index regardless
+//!   of chunking (callers embed richer tie-breaks — e.g. the scheduler
+//!   `(weight, Reverse(id))` order — in the key itself).
+//! * **Chunk-count independence.** Results are reduced in chunk order, so
+//!   1, 2, or N chunks produce the same value (enforced by the
+//!   differential tests in `tests/perf_equivalence.rs`).
+//! * **Feature-gated.** Built without the `parallel` feature the facade
+//!   compiles to plain loops and the dependency on the thread pool
+//!   disappears.
+//!
+//! Fine-grained callers pass a work estimate through the `min_work`
+//! thresholds so tiny instances (every unit test, the paper's n = 50
+//! evaluation) never pay pool-dispatch overhead.
+
+/// Work threshold (in scored elements) below which index scans stay
+/// sequential. Pool dispatch costs a few microseconds per chunk; a scored
+/// element here is ~10–100 ns, so parallelism starts paying around a few
+/// thousand elements.
+pub const MIN_PAR_INDEX_WORK: usize = 4096;
+
+/// Number of worker threads the facade fans out to (1 without the
+/// `parallel` feature).
+pub fn threads() -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        rayon::current_num_threads()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+}
+
+/// Parallel `items.iter().map(f).collect()`, preserving input order.
+pub fn map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map_chunked(items, None, f)
+}
+
+/// [`map`] with an explicit chunk count (`None` = one chunk per pool
+/// thread). The chunk count changes scheduling only — the output is
+/// identical for every value, which is what the differential tests sweep.
+pub fn map_chunked<T, R, F>(items: &[T], chunks: Option<usize>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let chunks = chunks
+        .unwrap_or_else(threads)
+        .max(1)
+        .min(items.len().max(1));
+    if chunks <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    #[cfg(feature = "parallel")]
+    {
+        let chunk_len = items.len().div_ceil(chunks);
+        let mut results: Vec<Vec<R>> = (0..chunks).map(|_| Vec::new()).collect();
+        let f = &f;
+        rayon::scope(|s| {
+            for (slot, chunk) in results.iter_mut().zip(items.chunks(chunk_len)) {
+                s.spawn(move |_| *slot = chunk.iter().map(f).collect());
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        items.iter().map(f).collect()
+    }
+}
+
+/// Order-preserving parallel `(0..n).map(f).collect()`. `min_work` is
+/// the caller's estimate of total scoring cost in elements; below
+/// [`MIN_PAR_INDEX_WORK`] the map stays sequential.
+pub fn map_index<R, F>(n: usize, min_work: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let chunks = threads().max(1).min(n.max(1));
+    if chunks <= 1 || n <= 1 || min_work < MIN_PAR_INDEX_WORK {
+        return (0..n).map(f).collect();
+    }
+    #[cfg(feature = "parallel")]
+    {
+        let chunk_len = n.div_ceil(chunks);
+        let mut results: Vec<Vec<R>> = (0..chunks).map(|_| Vec::new()).collect();
+        let f = &f;
+        rayon::scope(|s| {
+            for (c, slot) in results.iter_mut().enumerate() {
+                s.spawn(move |_| {
+                    let lo = c * chunk_len;
+                    let hi = ((c + 1) * chunk_len).min(n);
+                    *slot = (lo..hi).map(f).collect();
+                });
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        (0..n).map(f).collect()
+    }
+}
+
+/// Order-preserving parallel map with a per-chunk scratch state, for
+/// scorers that are expensive to construct (e.g.
+/// `rfid_model::WeightEvaluator`): `init` runs once per chunk, `f` reuses
+/// the scratch across that chunk's items.
+pub fn map_with<S, T, R, I, F>(items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let chunks = threads().min(items.len().max(1)).max(1);
+    if chunks <= 1 || items.len() <= 1 {
+        let mut scratch = init();
+        return items.iter().map(|t| f(&mut scratch, t)).collect();
+    }
+    #[cfg(feature = "parallel")]
+    {
+        let chunk_len = items.len().div_ceil(chunks);
+        let mut results: Vec<Vec<R>> = (0..chunks).map(|_| Vec::new()).collect();
+        let (init, f) = (&init, &f);
+        rayon::scope(|s| {
+            for (slot, chunk) in results.iter_mut().zip(items.chunks(chunk_len)) {
+                s.spawn(move |_| {
+                    let mut scratch = init();
+                    *slot = chunk.iter().map(|t| f(&mut scratch, t)).collect();
+                });
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        let mut scratch = init();
+        items.iter().map(|t| f(&mut scratch, t)).collect()
+    }
+}
+
+/// `argmax` over indices `0..n` by an `Ord` key, skipping `None` keys.
+/// Ties resolve toward the **smallest index** — the same answer as the
+/// canonical sequential scan
+/// `(0..n).filter_map(..).max_by(strictly-greater-replaces)` — for every
+/// chunk count. `min_work` is the caller's estimate of total scoring cost
+/// in elements; below [`MIN_PAR_INDEX_WORK`] the scan stays sequential.
+pub fn argmax_by_key<K, F>(n: usize, min_work: usize, key: F) -> Option<(K, usize)>
+where
+    K: Ord + Send,
+    F: Fn(usize) -> Option<K> + Sync,
+{
+    argmax_chunked(n, None, min_work, key)
+}
+
+/// [`argmax_by_key`] with an explicit chunk count (for the differential
+/// tests; `None` = one chunk per pool thread).
+pub fn argmax_chunked<K, F>(
+    n: usize,
+    chunks: Option<usize>,
+    min_work: usize,
+    key: F,
+) -> Option<(K, usize)>
+where
+    K: Ord + Send,
+    F: Fn(usize) -> Option<K> + Sync,
+{
+    fn seq_argmax<K: Ord>(
+        range: std::ops::Range<usize>,
+        key: impl Fn(usize) -> Option<K>,
+    ) -> Option<(K, usize)> {
+        let mut best: Option<(K, usize)> = None;
+        for i in range {
+            if let Some(k) = key(i) {
+                // Strictly-greater replaces → first (smallest-index) max wins.
+                if best.as_ref().is_none_or(|(bk, _)| k > *bk) {
+                    best = Some((k, i));
+                }
+            }
+        }
+        best
+    }
+
+    let chunks = chunks.unwrap_or_else(threads).max(1).min(n.max(1));
+    if chunks <= 1 || n <= 1 || min_work < MIN_PAR_INDEX_WORK {
+        return seq_argmax(0..n, key);
+    }
+    #[cfg(feature = "parallel")]
+    {
+        let chunk_len = n.div_ceil(chunks);
+        let mut results: Vec<Option<(K, usize)>> = (0..chunks).map(|_| None).collect();
+        let key = &key;
+        rayon::scope(|s| {
+            for (c, slot) in results.iter_mut().enumerate() {
+                s.spawn(move |_| {
+                    let lo = c * chunk_len;
+                    let hi = ((c + 1) * chunk_len).min(n);
+                    *slot = seq_argmax(lo..hi, key);
+                });
+            }
+        });
+        // Reduce in chunk (= index) order with strictly-greater replacement:
+        // identical to the sequential scan for any chunking.
+        let mut best: Option<(K, usize)> = None;
+        for candidate in results.into_iter().flatten() {
+            if best.as_ref().is_none_or(|(bk, _)| candidate.0 > *bk) {
+                best = Some(candidate);
+            }
+        }
+        best
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        seq_argmax(0..n, key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_matches_sequential_for_every_chunking() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for chunks in [1, 2, 3, 7, 64, 500] {
+            assert_eq!(map_chunked(&items, Some(chunks), |x| x * x), expect);
+        }
+        assert_eq!(map(&items, |x| x * x), expect);
+    }
+
+    #[test]
+    fn map_index_matches_sequential_above_and_below_threshold() {
+        let expect: Vec<usize> = (0..1000).map(|i| i * 3).collect();
+        assert_eq!(map_index(1000, usize::MAX, |i| i * 3), expect);
+        assert_eq!(map_index(1000, 0, |i| i * 3), expect);
+        assert_eq!(map_index(0, usize::MAX, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn map_with_reuses_scratch_within_chunks() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = map_with(&items, Vec::<usize>::new, |scratch, &x| {
+            scratch.push(x);
+            x
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn argmax_ties_resolve_to_smallest_index_for_every_chunking() {
+        // Many duplicate keys; force the parallel path with a large
+        // min_work.
+        let keys: Vec<u32> = (0..1000u32).map(|i| i % 7).collect();
+        let expect = Some((6u32, 6usize));
+        for chunks in [1, 2, 3, 8, 999] {
+            assert_eq!(
+                argmax_chunked(keys.len(), Some(chunks), usize::MAX, |i| Some(keys[i])),
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn argmax_skips_none_and_handles_empty() {
+        assert_eq!(
+            argmax_by_key(10, usize::MAX, |i| (i % 2 == 1).then_some(i)),
+            Some((9, 9))
+        );
+        assert_eq!(argmax_by_key::<usize, _>(0, 0, |_| None), None);
+        assert_eq!(argmax_by_key::<usize, _>(5, 0, |_| None), None);
+    }
+
+    #[test]
+    fn small_work_stays_sequential_but_equal() {
+        let a = argmax_by_key(100, 0, Some);
+        let b = argmax_by_key(100, usize::MAX, Some);
+        assert_eq!(a, b);
+        assert_eq!(a, Some((99, 99)));
+    }
+}

@@ -51,7 +51,7 @@ pub struct PtasScheduler {
     pub lambda_cap: usize,
     /// Greedily re-add non-surviving readers after the DP (see module doc).
     pub augment: bool,
-    /// Evaluate the `k²` shiftings on a crossbeam scoped thread pool; the
+    /// Evaluate the `k²` shiftings through the [`crate::par`] facade; the
     /// shiftings are embarrassingly parallel and the outcome is
     /// deterministic regardless of thread count (ties resolve in shifting
     /// order after joining).
@@ -96,27 +96,9 @@ impl OneShotScheduler for PtasScheduler {
 
         let shifts = Shifting::all(self.k);
         let solutions: Vec<Vec<ReaderId>> = if self.parallel && shifts.len() > 1 {
-            let workers = std::thread::available_parallelism()
-                .map_or(2, |p| p.get())
-                .min(shifts.len());
-            let next = std::sync::atomic::AtomicUsize::new(0);
-            let mut solutions: Vec<Vec<ReaderId>> = vec![Vec::new(); shifts.len()];
-            let slots: Vec<std::sync::Mutex<&mut Vec<ReaderId>>> =
-                solutions.iter_mut().map(std::sync::Mutex::new).collect();
-            crossbeam::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|_| loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= shifts.len() {
-                            break;
-                        }
-                        let x = self.solve_shifting(input, &candidates, &levels, shifts[i]);
-                        **slots[i].lock().expect("slot lock") = x;
-                    });
-                }
+            crate::par::map(&shifts, |&shift| {
+                self.solve_shifting(input, &candidates, &levels, shift)
             })
-            .expect("shifting worker panicked");
-            solutions
         } else {
             shifts
                 .iter()

@@ -20,6 +20,12 @@ pub struct OneShotInput<'a> {
     pub graph: &'a Csr,
     /// Tags already served are excluded from all weights.
     pub unread: &'a TagSet,
+    /// Optional precomputed per-reader singleton weights `w({v})` under
+    /// `unread`, provided by drivers that maintain them incrementally
+    /// across slots (the MCS loop). Private so the only way in is
+    /// [`with_singleton_weights`](Self::with_singleton_weights), which
+    /// asserts consistency.
+    singleton: Option<&'a [usize]>,
 }
 
 impl<'a> OneShotInput<'a> {
@@ -40,6 +46,48 @@ impl<'a> OneShotInput<'a> {
             coverage,
             graph,
             unread,
+            singleton: None,
+        }
+    }
+
+    /// Attaches precomputed singleton weights (`weights[v] == w({v})`
+    /// under `unread` — the caller's responsibility, debug-asserted by
+    /// sampling). Schedulers then skip their own `O(Σ|tags(v)|)` rescan.
+    pub fn with_singleton_weights(mut self, weights: &'a [usize]) -> Self {
+        debug_assert_eq!(weights.len(), self.deployment.n_readers());
+        #[cfg(debug_assertions)]
+        if !weights.is_empty() {
+            let expect = WeightEvaluator::new(self.coverage).singleton_weight(0, self.unread);
+            debug_assert_eq!(weights[0], expect, "stale singleton weights");
+        }
+        self.singleton = Some(weights);
+        self
+    }
+
+    /// The attached singleton weights, if any.
+    pub fn singleton_weights(&self) -> Option<&'a [usize]> {
+        self.singleton
+    }
+
+    /// Per-reader singleton weights: the attached incremental snapshot
+    /// when present, otherwise computed fresh (in parallel through the
+    /// [`crate::par`] facade on large instances — order-preserving, so
+    /// the result is identical to the sequential rescan).
+    pub fn singleton_or_compute(&self) -> std::borrow::Cow<'a, [usize]> {
+        match self.singleton {
+            Some(s) => std::borrow::Cow::Borrowed(s),
+            None => {
+                let coverage = self.coverage;
+                let unread = self.unread;
+                let n = coverage.n_readers();
+                std::borrow::Cow::Owned(crate::par::map_index(n, n.saturating_mul(16), |v| {
+                    coverage
+                        .tags_of(v)
+                        .iter()
+                        .filter(|&&t| unread.is_unread(t as usize))
+                        .count()
+                }))
+            }
         }
     }
 

@@ -44,4 +44,4 @@ pub use reader::{Reader, ReaderId};
 pub use scenario::{Scenario, ScenarioKind};
 pub use survey::{survey_impact, surveyed_interference_graph, SurveyError, SurveyImpact};
 pub use tag::{TagId, TagSet};
-pub use weight::{IncrementalWeight, WeightEvaluator};
+pub use weight::{IncrementalWeight, SingletonWeights, WeightEvaluator};

@@ -129,6 +129,84 @@ impl<'a> WeightEvaluator<'a> {
     }
 }
 
+/// Incrementally maintained per-reader singleton weights `w({v})`.
+///
+/// The covering-schedule driver keeps one instance alive across slots:
+/// after a slot serves tags `S`, [`mark_all_read`](Self::mark_all_read)
+/// walks `S` and updates only the readers covering each newly-read tag
+/// (via [`Coverage::readers_of`]) instead of rescanning every reader's
+/// tag list. Because tags are only ever marked read, every entry is
+/// monotonically non-increasing — the property that makes a lazily
+/// updated priority queue over these weights valid (a cached entry is
+/// always an upper bound on the current weight).
+#[derive(Debug, Clone)]
+pub struct SingletonWeights<'a> {
+    coverage: &'a Coverage,
+    weights: Vec<usize>,
+    /// Tags already discounted, so repeated marks are idempotent (the
+    /// driver's `TagSet` has the same contract).
+    read: Vec<bool>,
+}
+
+impl<'a> SingletonWeights<'a> {
+    /// Full computation from the current unread set —
+    /// `O(Σ_v |tags(v)|)`, done once per covering schedule.
+    pub fn new(coverage: &'a Coverage, unread: &TagSet) -> Self {
+        let weights = (0..coverage.n_readers())
+            .map(|v| {
+                coverage
+                    .tags_of(v)
+                    .iter()
+                    .filter(|&&t| unread.is_unread(t as usize))
+                    .count()
+            })
+            .collect();
+        let read = (0..coverage.n_tags())
+            .map(|t| !unread.is_unread(t))
+            .collect();
+        SingletonWeights {
+            coverage,
+            weights,
+            read,
+        }
+    }
+
+    /// Current `w({v})`.
+    #[inline]
+    pub fn get(&self, v: ReaderId) -> usize {
+        self.weights[v]
+    }
+
+    /// All current weights, indexed by reader id.
+    #[inline]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.weights
+    }
+
+    /// Number of readers tracked.
+    pub fn n_readers(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Discounts tag `t` from every reader covering it (idempotent).
+    pub fn mark_read(&mut self, t: TagId) {
+        if self.read[t] {
+            return;
+        }
+        self.read[t] = true;
+        for &v in self.coverage.readers_of(t) {
+            self.weights[v as usize] -= 1;
+        }
+    }
+
+    /// Discounts a batch of tags — the per-slot delta update.
+    pub fn mark_all_read(&mut self, tags: &[TagId]) {
+        for &t in tags {
+            self.mark_read(t);
+        }
+    }
+}
+
 /// Incrementally maintained `w(active)` under reader add/remove.
 ///
 /// The unread set is fixed at construction ([`IncrementalWeight::new`]) or
@@ -184,6 +262,15 @@ impl<'a> IncrementalWeight<'a> {
     /// `true` iff `v` is active.
     pub fn is_active(&self, v: ReaderId) -> bool {
         self.active[v]
+    }
+
+    /// `w({v})` against the snapshotted unread set.
+    pub fn singleton_weight(&self, v: ReaderId) -> usize {
+        self.coverage
+            .tags_of(v)
+            .iter()
+            .filter(|&&t| self.unread_snapshot[t as usize])
+            .count()
     }
 
     /// Weight change if `v` were added, without committing.
@@ -394,6 +481,63 @@ mod tests {
         inc.reset(&unread);
         inc.add(0);
         assert_eq!(inc.weight(), 1);
+    }
+
+    #[test]
+    fn singleton_tracker_matches_full_recompute() {
+        let (_, c) = figure2();
+        let mut unread = TagSet::all_unread(5);
+        let mut tracker = SingletonWeights::new(&c, &unread);
+        let mut full = WeightEvaluator::new(&c);
+        assert_eq!(tracker.as_slice(), full.all_singleton_weights(&unread));
+        for batch in [vec![1usize], vec![0, 4], vec![2, 3]] {
+            unread.mark_all_read(&batch);
+            tracker.mark_all_read(&batch);
+            assert_eq!(
+                tracker.as_slice(),
+                full.all_singleton_weights(&unread),
+                "after {batch:?}"
+            );
+        }
+        assert_eq!(tracker.as_slice(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn singleton_tracker_marks_are_idempotent() {
+        let (_, c) = figure2();
+        let unread = TagSet::all_unread(5);
+        let mut tracker = SingletonWeights::new(&c, &unread);
+        tracker.mark_read(1);
+        let snapshot = tracker.as_slice().to_vec();
+        tracker.mark_read(1);
+        tracker.mark_all_read(&[1, 1]);
+        assert_eq!(tracker.as_slice(), snapshot);
+    }
+
+    #[test]
+    fn singleton_tracker_starts_from_partial_unread() {
+        let (_, c) = figure2();
+        let mut unread = TagSet::all_unread(5);
+        unread.mark_all_read(&[0, 2]);
+        let tracker = SingletonWeights::new(&c, &unread);
+        let mut full = WeightEvaluator::new(&c);
+        assert_eq!(tracker.as_slice(), full.all_singleton_weights(&unread));
+        assert_eq!(tracker.n_readers(), 3);
+        assert_eq!(tracker.get(0), 1);
+    }
+
+    #[test]
+    fn incremental_singleton_uses_the_snapshot() {
+        let (_, c) = figure2();
+        let mut unread = TagSet::all_unread(5);
+        let inc = IncrementalWeight::new(&c, &unread);
+        assert_eq!(inc.singleton_weight(1), 3);
+        // Mutating the TagSet afterwards must not affect the snapshot.
+        unread.mark_read(4);
+        assert_eq!(inc.singleton_weight(1), 3);
+        let mut rebound = inc.clone();
+        rebound.reset(&unread);
+        assert_eq!(rebound.singleton_weight(1), 2);
     }
 
     #[test]

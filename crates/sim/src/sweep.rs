@@ -6,18 +6,16 @@
 //! 8/9) or the full greedy covering schedule (Figures 6/7), and records
 //! timing plus communication cost.
 //!
-//! Trials execute on a crossbeam scoped thread pool with a shared atomic
-//! work queue — deployments and trials are independent, so this is
-//! embarrassingly parallel; results are keyed by `(point, algorithm,
-//! seed)` and sorted at the end, making the output independent of thread
-//! scheduling.
+//! Trials fan out through the [`rfid_core::par`] facade — deployments and
+//! trials are independent, so this is embarrassingly parallel; results
+//! are keyed by `(point, algorithm, seed)` and sorted at the end, making
+//! the output independent of thread scheduling.
 
 use crate::metrics::TrialRecord;
 use rfid_core::{greedy_covering_schedule, make_scheduler, AlgorithmKind, OneShotInput};
 use rfid_model::interference::interference_graph;
 use rfid_model::{Coverage, Scenario, TagSet, WeightEvaluator};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Which λ the sweep varies (the other stays at the scenario's value).
@@ -80,27 +78,13 @@ pub fn run_sweep(config: &SweepConfig) -> Vec<TrialRecord> {
             items.push((value, config.base_seed + t as u64));
         }
     }
-    let next = AtomicUsize::new(0);
-    let results = parking_lot::Mutex::new(Vec::<TrialRecord>::new());
-    let threads = config
-        .threads
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |p| p.get()))
-        .max(1);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let (value, seed) = items[i];
-                let records = run_point(config, value, seed);
-                results.lock().extend(records);
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-    let mut out = results.into_inner();
+    let mut out: Vec<TrialRecord> =
+        rfid_core::par::map_chunked(&items, config.threads, |&(value, seed)| {
+            run_point(config, value, seed)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     out.sort_by(|a, b| {
         (
             a.lambda_interference,

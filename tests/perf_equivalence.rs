@@ -1,0 +1,359 @@
+//! Differential equivalence tests for the performance work (DESIGN.md §7).
+//!
+//! The lazy-greedy MCS engine (incremental singleton weights, lazy
+//! fallback queue, scratch reuse, sorted seed cursors, parallel scoring)
+//! is required to be **bit-identical** to the original eager per-slot
+//! rescan semantics. These tests pin that contract:
+//!
+//! * a from-scratch reference implementation of the covering-schedule
+//!   loops (fresh evaluator and `O(n)` `max_by_key` fallback scan every
+//!   slot, no precomputed singleton weights) must produce *equal*
+//!   `CoveringSchedule` / `ResilientSchedule` values across random
+//!   deployments, radius mixes, schedulers and crash sets;
+//! * every scheduler must return the same set with and without the
+//!   driver-provided singleton weights attached to its input;
+//! * the `rfid_core::par` facade must be chunk-count invisible: 1, 2 and
+//!   pool-many chunks agree element-wise.
+
+use proptest::prelude::*;
+use rfid_core::{
+    make_scheduler, par, resilient_covering_schedule, try_greedy_covering_schedule, AlgorithmKind,
+    CoveringSchedule, OneShotInput, OneShotScheduler, ResilientSchedule, ScheduleError, SlotRecord,
+};
+use rfid_graph::Csr;
+use rfid_model::interference::interference_graph;
+use rfid_model::scenario::{Scenario, ScenarioKind};
+use rfid_model::{
+    audit_activation, Coverage, Deployment, RadiusModel, ReaderId, TagId, TagSet, WeightEvaluator,
+};
+
+fn scenario(n_readers: usize, li: f64, lr: f64) -> Scenario {
+    Scenario {
+        kind: ScenarioKind::UniformRandom,
+        n_readers,
+        n_tags: n_readers * 8,
+        region_side: 22.0 * (n_readers as f64).sqrt(),
+        radius_model: RadiusModel::PoissonPair {
+            lambda_interference: li,
+            lambda_interrogation: lr,
+        },
+    }
+}
+
+/// The pre-optimisation greedy loop, verbatim semantics: fresh weight
+/// evaluator each slot, eager `max_by_key` fallback over all readers.
+fn reference_covering_schedule(
+    deployment: &Deployment,
+    coverage: &Coverage,
+    graph: &Csr,
+    scheduler: &mut dyn OneShotScheduler,
+    max_slots: usize,
+) -> Result<CoveringSchedule, ScheduleError> {
+    let mut unread = TagSet::all_unread(deployment.n_tags());
+    let uncoverable: Vec<TagId> = (0..deployment.n_tags())
+        .filter(|&t| !coverage.is_coverable(t))
+        .collect();
+    let mut slots = Vec::new();
+    let coverable_total = coverage.coverable_count();
+    let mut served_total = 0usize;
+    while served_total < coverable_total {
+        if slots.len() >= max_slots {
+            return Err(ScheduleError::SlotBudgetExhausted {
+                max_slots,
+                served: served_total,
+                coverable: coverable_total,
+            });
+        }
+        let mut weights = WeightEvaluator::new(coverage);
+        let input = OneShotInput::new(deployment, coverage, graph, &unread);
+        let mut active = scheduler.schedule(&input);
+        let mut served = weights.well_covered(&active, &unread);
+        let mut fallback = false;
+        if served.is_empty() {
+            let stall = ScheduleError::NoProgress {
+                served: served_total,
+                coverable: coverable_total,
+            };
+            let best = (0..deployment.n_readers())
+                .max_by_key(|&v| (weights.singleton_weight(v, &unread), std::cmp::Reverse(v)))
+                .ok_or(stall.clone())?;
+            active = vec![best];
+            served = weights.well_covered(&active, &unread);
+            fallback = true;
+            if served.is_empty() {
+                return Err(stall);
+            }
+        }
+        unread.mark_all_read(&served);
+        served_total += served.len();
+        slots.push(SlotRecord {
+            active,
+            served,
+            fallback,
+        });
+    }
+    Ok(CoveringSchedule { slots, uncoverable })
+}
+
+/// The pre-optimisation resilient loop, verbatim semantics.
+fn reference_resilient(
+    deployment: &Deployment,
+    coverage: &Coverage,
+    graph: &Csr,
+    scheduler: &mut dyn OneShotScheduler,
+    max_slots: usize,
+) -> ResilientSchedule {
+    let mut unread = TagSet::all_unread(deployment.n_tags());
+    let uncoverable: Vec<TagId> = (0..deployment.n_tags())
+        .filter(|&t| !coverage.is_coverable(t))
+        .collect();
+    let mut slots = Vec::new();
+    let coverable_total = coverage.coverable_count();
+    let mut served_total = 0usize;
+    let mut repaired_pairs = 0usize;
+    let mut crashed_dropped = 0usize;
+    let mut stalled = false;
+    while served_total < coverable_total && !stalled && slots.len() < max_slots {
+        let mut weights = WeightEvaluator::new(coverage);
+        let input = OneShotInput::new(deployment, coverage, graph, &unread);
+        let mut active = scheduler.schedule(&input);
+        let crashed = scheduler.crashed_readers();
+        if !crashed.is_empty() {
+            let before = active.len();
+            active.retain(|v| !crashed.contains(v));
+            crashed_dropped += before - active.len();
+        }
+        loop {
+            let audit = audit_activation(deployment, coverage, &active, &unread);
+            if audit.is_feasible() {
+                break;
+            }
+            let (a, b) = audit.rtc_pairs[0];
+            let (wa, wb) = (
+                weights.singleton_weight(a, &unread),
+                weights.singleton_weight(b, &unread),
+            );
+            let victim = if wa <= wb { a } else { b };
+            active.retain(|&u| u != victim);
+            repaired_pairs += 1;
+        }
+        let mut served = weights.well_covered(&active, &unread);
+        let mut fallback = false;
+        if served.is_empty() {
+            let best = (0..deployment.n_readers())
+                .filter(|v| !crashed.contains(v))
+                .max_by_key(|&v| (weights.singleton_weight(v, &unread), std::cmp::Reverse(v)));
+            match best {
+                Some(best) => {
+                    active = vec![best];
+                    served = weights.well_covered(&active, &unread);
+                    fallback = true;
+                }
+                None => served = Vec::new(),
+            }
+            if served.is_empty() {
+                stalled = true;
+                continue;
+            }
+        }
+        unread.mark_all_read(&served);
+        served_total += served.len();
+        slots.push(SlotRecord {
+            active,
+            served,
+            fallback,
+        });
+    }
+    let abandoned_tags: Vec<TagId> = (0..deployment.n_tags())
+        .filter(|&t| coverage.is_coverable(t) && unread.is_unread(t))
+        .collect();
+    ResilientSchedule {
+        schedule: CoveringSchedule { slots, uncoverable },
+        repaired_pairs,
+        crashed_dropped,
+        abandoned_tags,
+    }
+}
+
+/// Wraps a scheduler with a fixed crash-stop set (claimed readers stay in
+/// the returned activation — the loop must strip them).
+struct Crashy {
+    inner: Box<dyn OneShotScheduler>,
+    crashed: Vec<ReaderId>,
+}
+
+impl OneShotScheduler for Crashy {
+    fn name(&self) -> &'static str {
+        "crashy"
+    }
+    fn schedule(&mut self, input: &OneShotInput<'_>) -> Vec<ReaderId> {
+        self.inner.schedule(input)
+    }
+    fn crashed_readers(&self) -> Vec<ReaderId> {
+        self.crashed.clone()
+    }
+}
+
+/// A scheduler that never proposes anything, driving every slot through
+/// the fallback queue — maximal stress for the lazy heap.
+struct Silent;
+
+impl OneShotScheduler for Silent {
+    fn name(&self) -> &'static str {
+        "silent"
+    }
+    fn schedule(&mut self, _input: &OneShotInput<'_>) -> Vec<ReaderId> {
+        Vec::new()
+    }
+}
+
+const KINDS: [AlgorithmKind; 4] = [
+    AlgorithmKind::LocalGreedy,
+    AlgorithmKind::HillClimbing,
+    AlgorithmKind::Colorwave,
+    AlgorithmKind::Ptas,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Tentpole contract: the lazy-greedy engine reproduces the eager
+    /// reference schedule bit for bit, across deployments, radius mixes
+    /// and schedulers.
+    #[test]
+    fn lazy_engine_matches_eager_reference(
+        seed in 0u64..1000,
+        n_readers in 8usize..36,
+        li in 8u32..18,
+        lr in 4u32..9,
+        kind_idx in 0usize..KINDS.len(),
+    ) {
+        let kind = KINDS[kind_idx];
+        let d = scenario(n_readers, f64::from(li), f64::from(lr)).generate(seed);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let reference =
+            reference_covering_schedule(&d, &c, &g, make_scheduler(kind, seed).as_mut(), 10_000);
+        let optimized =
+            try_greedy_covering_schedule(&d, &c, &g, make_scheduler(kind, seed).as_mut(), 10_000);
+        prop_assert_eq!(reference, optimized, "{:?} seed {}", kind, seed);
+    }
+
+    /// Same contract for the crash-tolerant loop, across random crash
+    /// sets (including readers the inner scheduler keeps claiming).
+    #[test]
+    fn resilient_engine_matches_eager_reference(
+        seed in 0u64..1000,
+        n_readers in 8usize..30,
+        li in 8u32..16,
+        lr in 4u32..8,
+        kind_idx in 0usize..KINDS.len(),
+        crashed in proptest::collection::vec(0usize..30, 0..6),
+    ) {
+        let kind = KINDS[kind_idx];
+        let d = scenario(n_readers, f64::from(li), f64::from(lr)).generate(seed);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let crashed: Vec<ReaderId> = crashed.into_iter().map(|v| v % n_readers).collect();
+        let mut a = Crashy { inner: make_scheduler(kind, seed), crashed: crashed.clone() };
+        let mut b = Crashy { inner: make_scheduler(kind, seed), crashed };
+        let reference = reference_resilient(&d, &c, &g, &mut a, 5_000);
+        let optimized = resilient_covering_schedule(&d, &c, &g, &mut b, 5_000);
+        prop_assert_eq!(reference, optimized, "{:?} seed {}", kind, seed);
+    }
+
+    /// Fallback-only runs exercise the lazy queue on every slot.
+    #[test]
+    fn fallback_only_runs_match(
+        seed in 0u64..1000,
+        n_readers in 2usize..24,
+        lr in 3u32..9,
+    ) {
+        let d = scenario(n_readers, 12.0, f64::from(lr)).generate(seed);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let reference = reference_covering_schedule(&d, &c, &g, &mut Silent, 100_000);
+        let optimized = try_greedy_covering_schedule(&d, &c, &g, &mut Silent, 100_000);
+        prop_assert_eq!(&reference, &optimized);
+        let sched = optimized.unwrap();
+        prop_assert_eq!(sched.fallback_slots(), sched.size());
+    }
+
+    /// Schedulers must not change their answer when the driver hands them
+    /// precomputed singleton weights.
+    #[test]
+    fn singleton_weights_do_not_change_schedules(
+        seed in 0u64..1000,
+        n_readers in 8usize..36,
+        read_tags in proptest::collection::vec(0usize..200, 0..40),
+        kind_idx in 0usize..KINDS.len(),
+    ) {
+        let kind = KINDS[kind_idx];
+        let d = scenario(n_readers, 13.0, 6.0).generate(seed);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let mut unread = TagSet::all_unread(d.n_tags());
+        for t in read_tags {
+            unread.mark_read(t % d.n_tags());
+        }
+        let singleton: Vec<usize> =
+            WeightEvaluator::new(&c).all_singleton_weights(&unread);
+        let plain = OneShotInput::new(&d, &c, &g, &unread);
+        let hinted =
+            OneShotInput::new(&d, &c, &g, &unread).with_singleton_weights(&singleton);
+        let a = make_scheduler(kind, seed).schedule(&plain);
+        let b = make_scheduler(kind, seed).schedule(&hinted);
+        prop_assert_eq!(a, b, "{:?} seed {}", kind, seed);
+    }
+
+    /// The par facade is chunk-count invisible: 1, 2 and pool-many chunks
+    /// agree for order-preserving maps and index argmax.
+    #[test]
+    fn par_facade_is_chunk_count_invisible(
+        items in proptest::collection::vec(0u64..1_000_000, 0..400),
+    ) {
+        let expect: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(2654435761) >> 7).collect();
+        for chunks in [Some(1), Some(2), None] {
+            let got = par::map_chunked(&items, chunks, |&x| x.wrapping_mul(2654435761) >> 7);
+            prop_assert_eq!(&got, &expect, "chunks {:?}", chunks);
+        }
+        let n = items.len();
+        let key = |i: usize| (items[i] % 97 != 0).then(|| items[i] % 13);
+        let expect_max = par::argmax_chunked(n, Some(1), 0, key);
+        for chunks in [Some(1), Some(2), None] {
+            // min_work of usize::MAX forces the parallel path even for
+            // tiny inputs.
+            let got = par::argmax_chunked(n, chunks, usize::MAX, key);
+            prop_assert_eq!(got, expect_max, "chunks {:?}", chunks);
+        }
+    }
+}
+
+/// Non-property pin: one mid-sized paper-default instance per scheduler,
+/// engine vs reference, so a plain `cargo test` exercises the contract
+/// even with a proptest stub that draws few cases.
+#[test]
+fn paper_default_instances_match_reference() {
+    for kind in KINDS {
+        for seed in [1u64, 7, 42] {
+            let d = Scenario::paper_evaluation(14.0, 6.0).generate(seed);
+            let c = Coverage::build(&d);
+            let g = interference_graph(&d);
+            let reference = reference_covering_schedule(
+                &d,
+                &c,
+                &g,
+                make_scheduler(kind, seed).as_mut(),
+                10_000,
+            );
+            let optimized = try_greedy_covering_schedule(
+                &d,
+                &c,
+                &g,
+                make_scheduler(kind, seed).as_mut(),
+                10_000,
+            );
+            assert_eq!(reference, optimized, "{kind:?} seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the subset the workspace uses — [`scope`], [`join`],
+//! [`current_num_threads`], and `par_iter().map(..).collect::<Vec<_>>()`
+//! via [`prelude`] — on a **persistent global thread pool** so fine-grained
+//! fork-join calls do not pay a thread-spawn per invocation.
+//!
+//! Differences from upstream: no work stealing between arbitrary scopes
+//! (instead, a thread blocked in [`scope`] drains the global queue while it
+//! waits, which keeps nested scopes deadlock-free); chunking is contiguous
+//! and deterministic. Thread count comes from `RAYON_NUM_THREADS` or
+//! `std::thread::available_parallelism`.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: Mutex<VecDeque<Job>>,
+    work_ready: Condvar,
+}
+
+struct Pool {
+    state: Arc<PoolState>,
+    threads: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn configured_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let threads = configured_threads();
+        let state = Arc::new(PoolState {
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+        });
+        // One worker per logical CPU; the scope owner also executes jobs
+        // while it waits, so even `threads == 1` makes progress.
+        for _ in 0..threads.saturating_sub(1) {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || loop {
+                let job = {
+                    let mut queue = state.queue.lock().expect("pool queue poisoned");
+                    loop {
+                        if let Some(job) = queue.pop_front() {
+                            break job;
+                        }
+                        queue = state
+                            .work_ready
+                            .wait(queue)
+                            .expect("pool queue poisoned");
+                    }
+                };
+                job();
+            });
+        }
+        Pool { state, threads }
+    })
+}
+
+/// Number of threads the pool schedules onto.
+pub fn current_num_threads() -> usize {
+    pool().threads
+}
+
+/// A fork-join scope: closures spawned on it may borrow from the enclosing
+/// stack frame; [`scope`] does not return until every spawned task has
+/// finished.
+pub struct Scope<'env> {
+    pending: Arc<AtomicUsize>,
+    panicked: Arc<AtomicBool>,
+    _marker: std::marker::PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'env> {
+    /// Spawns a task on the global pool.
+    ///
+    /// Matching rayon's API shape, the closure receives the scope handle
+    /// (unused by simple fork-join callers).
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'env>) + Send + 'env,
+    {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let pending = Arc::clone(&self.pending);
+        let panicked = Arc::clone(&self.panicked);
+        let scope = Scope {
+            pending: Arc::clone(&self.pending),
+            panicked: Arc::clone(&self.panicked),
+            _marker: std::marker::PhantomData,
+        };
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            if catch_unwind(AssertUnwindSafe(|| f(&scope))).is_err() {
+                panicked.store(true, Ordering::SeqCst);
+            }
+            pending.fetch_sub(1, Ordering::SeqCst);
+        });
+        // SAFETY: `scope` blocks until `pending` reaches zero, i.e. until
+        // this job has run to completion, so every borrow inside the
+        // closure outlives its use. The lifetime is erased only to store
+        // the job in the 'static pool queue.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        let state = &pool().state;
+        state
+            .queue
+            .lock()
+            .expect("pool queue poisoned")
+            .push_back(job);
+        state.work_ready.notify_one();
+    }
+}
+
+/// Runs `f` with a scope handle and blocks until every task spawned on the
+/// scope has completed. While blocked, the calling thread executes queued
+/// jobs itself, so nested scopes cannot deadlock the pool. Panics if any
+/// task panicked.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    let scope = Scope {
+        pending: Arc::new(AtomicUsize::new(0)),
+        panicked: Arc::new(AtomicBool::new(false)),
+        _marker: std::marker::PhantomData,
+    };
+    let result = f(&scope);
+    // Drain: run queued jobs inline until our tasks are all done. The jobs
+    // we execute may belong to other scopes — that only helps them finish.
+    let state = &pool().state;
+    while scope.pending.load(Ordering::SeqCst) != 0 {
+        let job = state
+            .queue
+            .lock()
+            .expect("pool queue poisoned")
+            .pop_front();
+        match job {
+            Some(job) => job(),
+            // Our tasks are in flight on workers: poll cheaply rather than
+            // spin (a stub-grade stand-in for rayon's completion latch).
+            None => std::thread::sleep(std::time::Duration::from_micros(50)),
+        }
+    }
+    assert!(
+        !scope.panicked.load(Ordering::SeqCst),
+        "a rayon task panicked"
+    );
+    result
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut rb = None;
+    let ra = scope(|s| {
+        s.spawn(|_| rb = Some(b()));
+        a()
+    });
+    (ra, rb.expect("join closure completed"))
+}
+
+pub mod iter {
+    //! The `ParallelIterator` subset: `par_iter().map(f).collect::<Vec<_>>()`.
+
+    use super::scope;
+
+    /// Types whose references can be iterated in parallel.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The parallel iterator.
+        type Iter;
+        /// Borrows `self` as a parallel iterator.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = ParIter<'data, T>;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = ParIter<'data, T>;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// Parallel iterator over a slice.
+    pub struct ParIter<'data, T> {
+        items: &'data [T],
+    }
+
+    impl<'data, T: Sync> ParIter<'data, T> {
+        /// Maps each item through `f`.
+        pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+        where
+            R: Send,
+            F: Fn(&'data T) -> R + Sync,
+        {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+    }
+
+    /// The result of [`ParIter::map`].
+    pub struct ParMap<'data, T, F> {
+        items: &'data [T],
+        f: F,
+    }
+
+    impl<'data, T: Sync, F> ParMap<'data, T, F> {
+        /// Collects into a container, preserving input order regardless of
+        /// execution interleaving.
+        pub fn collect<C, R>(self) -> C
+        where
+            R: Send,
+            F: Fn(&'data T) -> R + Sync,
+            C: FromParallelIterator<R>,
+        {
+            let threads = super::current_num_threads();
+            let n = self.items.len();
+            if n == 0 {
+                return C::from_ordered(Vec::new());
+            }
+            let chunks = threads.min(n).max(1);
+            let chunk_len = n.div_ceil(chunks);
+            let mut results: Vec<Vec<R>> = (0..chunks).map(|_| Vec::new()).collect();
+            let f = &self.f;
+            scope(|s| {
+                for (slot, chunk) in results.iter_mut().zip(self.items.chunks(chunk_len)) {
+                    s.spawn(move |_| *slot = chunk.iter().map(f).collect());
+                }
+            });
+            C::from_ordered(results.into_iter().flatten().collect())
+        }
+    }
+
+    /// Collection target for [`ParMap::collect`].
+    pub trait FromParallelIterator<R> {
+        /// Builds the container from items already in input order.
+        fn from_ordered(items: Vec<R>) -> Self;
+    }
+
+    impl<R> FromParallelIterator<R> for Vec<R> {
+        fn from_ordered(items: Vec<R>) -> Self {
+            items
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching upstream.
+    pub use crate::iter::{FromParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_collect_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+    }
+
+    #[test]
+    fn nested_scopes_complete() {
+        let outer: Vec<usize> = (0..8usize).collect::<Vec<_>>()
+            .par_iter()
+            .map(|&i| {
+                let inner: Vec<usize> = (0..50usize).collect::<Vec<_>>()
+                    .par_iter()
+                    .map(|&j| i * 100 + j)
+                    .collect();
+                inner.iter().sum()
+            })
+            .collect();
+        let expect: Vec<usize> = (0..8).map(|i| (0..50).map(|j| i * 100 + j).sum()).collect();
+        assert_eq!(outer, expect);
+    }
+
+    #[test]
+    fn scoped_borrow_is_visible_after_scope() {
+        let mut out = vec![0usize; 4];
+        super::scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i + 1);
+            }
+        });
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            super::scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            })
+        });
+        assert!(result.is_err());
+    }
+}
