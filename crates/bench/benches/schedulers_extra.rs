@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rfid_core::OneShotScheduler;
 use rfid_core::{
-    greedy_covering_schedule, improve_schedule, make_scheduler, AlgorithmKind, MultiChannelGreedy,
-    OneShotInput, QLearningScheduler,
+    covering_schedule_with, improve_schedule, make_scheduler, AlgorithmKind, McsOptions,
+    MultiChannelGreedy, OneShotInput, QLearningScheduler,
 };
 use rfid_model::interference::interference_graph;
 use rfid_model::{Coverage, RadiusModel, Scenario, ScenarioKind, TagSet};
@@ -92,7 +92,17 @@ fn bench_full_mcs(c: &mut Criterion) {
         group.bench_function(kind.label(), |b| {
             b.iter(|| {
                 let mut s = make_scheduler(kind, 0);
-                black_box(greedy_covering_schedule(&d, &cov, &g, s.as_mut(), 100_000))
+                black_box(
+                    covering_schedule_with(
+                        &d,
+                        &cov,
+                        &g,
+                        s.as_mut(),
+                        &McsOptions::new().max_slots(100_000),
+                    )
+                    .expect("strict covering schedule diverged")
+                    .schedule,
+                )
             })
         });
     }

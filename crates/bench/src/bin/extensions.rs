@@ -8,7 +8,8 @@
 //!    (the RASPberry \[9\] concern).
 
 use rfid_core::{
-    greedy_covering_schedule, make_scheduler, multichannel_covering_schedule, AlgorithmKind,
+    covering_schedule_with, make_scheduler, multichannel_covering_schedule, AlgorithmKind,
+    McsOptions,
 };
 use rfid_model::interference::interference_graph;
 use rfid_model::{Coverage, RadiusModel, Scenario, ScenarioKind};
@@ -105,7 +106,15 @@ fn main() {
             let c = Coverage::build(&d);
             let g = interference_graph(&d);
             let mut s = make_scheduler(kind, seed);
-            let schedule = greedy_covering_schedule(&d, &c, &g, s.as_mut(), 100_000);
+            let schedule = covering_schedule_with(
+                &d,
+                &c,
+                &g,
+                s.as_mut(),
+                &McsOptions::new().max_slots(100_000),
+            )
+            .expect("strict covering schedule diverged")
+            .schedule;
             let active: Vec<Vec<usize>> = schedule.slots.iter().map(|s| s.active.clone()).collect();
             churn += activation_churn(&active);
             slots += schedule.size();

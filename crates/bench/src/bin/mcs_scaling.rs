@@ -11,13 +11,22 @@
 //!
 //! Usage:
 //!   mcs_scaling [--quick] [--sizes 200,1000] [--trials N] [--out PATH]
-//!   mcs_scaling --check PATH    # validate an existing BENCH_mcs.json
+//!               [--metrics-out PATH] [--trace]
+//!   mcs_scaling --check PATH            # validate an existing BENCH_mcs.json
+//!   mcs_scaling --check-metrics PATH [--schema PATH]
+//!                                       # validate a metrics JSON against the
+//!                                       # checked-in schema
 //!
 //! `--quick` restricts to n = 200 (the CI perf-smoke configuration).
+//! `--metrics-out` routes every covering-schedule run through an
+//! `rfid_obs::Recorder` and writes the counter/histogram snapshots plus
+//! per-slot records; the schedules themselves are bit-identical with or
+//! without the recorder (DESIGN.md §8).
 
-use rfid_core::{greedy_covering_schedule, make_scheduler, AlgorithmKind};
+use rfid_core::{covering_schedule_with, AlgorithmKind, McsOptions, SchedulerRegistry};
 use rfid_model::interference::interference_graph;
 use rfid_model::{Coverage, RadiusModel, Scenario, ScenarioKind};
+use rfid_obs::{slot_metrics_to_json, Recorder, SlotMetrics};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -40,7 +49,7 @@ struct Entry {
     slots: usize,
     tags_served: usize,
     fallback_slots: usize,
-    /// Mean wall time of `greedy_covering_schedule` alone.
+    /// Mean wall time of `covering_schedule_with` alone.
     schedule_wall_ms: f64,
     /// Mean wall time including deployment + coverage + graph build.
     total_wall_ms: f64,
@@ -73,36 +82,57 @@ fn scenario(n_readers: usize) -> Scenario {
     }
 }
 
-fn measure(n_readers: usize, kind: AlgorithmKind, trials: usize) -> Entry {
+/// Observability records from one (size, algorithm) measurement: the last
+/// trial's deterministic counter snapshot and its per-slot metrics.
+struct RunMetrics {
+    snapshot_json: String,
+    slots: Vec<SlotMetrics>,
+}
+
+fn measure(
+    n_readers: usize,
+    kind: AlgorithmKind,
+    trials: usize,
+    observe: bool,
+) -> (Entry, Option<RunMetrics>) {
     let mut schedule_ms = 0.0;
     let mut total_ms = 0.0;
     let mut slots = 0;
     let mut tags_served = 0;
     let mut fallback_slots = 0;
+    let mut metrics = None;
     for trial in 0..trials {
         let seed = 42 + trial as u64;
         let total_start = Instant::now();
         let deployment = scenario(n_readers).generate(seed);
         let coverage = Coverage::build(&deployment);
         let graph = interference_graph(&deployment);
-        let mut scheduler = make_scheduler(kind, seed ^ 0x5eed);
+        let mut scheduler = SchedulerRegistry::global().instantiate(kind, seed ^ 0x5eed);
+        let recorder = observe.then(Recorder::new);
+        let mut options = McsOptions::new().slot_metrics(observe);
+        if let Some(rec) = &recorder {
+            options = options.subscriber(rec);
+        }
         let start = Instant::now();
-        let schedule = greedy_covering_schedule(
-            &deployment,
-            &coverage,
-            &graph,
-            scheduler.as_mut(),
-            1_000_000,
-        );
+        let run =
+            covering_schedule_with(&deployment, &coverage, &graph, scheduler.as_mut(), &options)
+                .expect("strict covering schedule diverged");
         schedule_ms += start.elapsed().as_secs_f64() * 1e3;
         total_ms += total_start.elapsed().as_secs_f64() * 1e3;
         // The schedule is deterministic per seed; keep the last trial's.
+        let schedule = run.schedule;
         slots = schedule.size();
         tags_served = schedule.tags_served();
         fallback_slots = schedule.fallback_slots();
+        if let Some(rec) = &recorder {
+            metrics = Some(RunMetrics {
+                snapshot_json: rec.snapshot().to_json(),
+                slots: run.slot_metrics,
+            });
+        }
     }
     let schedule_wall_ms = schedule_ms / trials as f64;
-    Entry {
+    let entry = Entry {
         n_readers,
         n_tags: n_readers * TAGS_PER_READER,
         algorithm: kind.label().to_string(),
@@ -113,7 +143,113 @@ fn measure(n_readers: usize, kind: AlgorithmKind, trials: usize) -> Entry {
         schedule_wall_ms,
         total_wall_ms: total_ms / trials as f64,
         slots_per_sec: slots as f64 / (schedule_wall_ms / 1e3),
+    };
+    (entry, metrics)
+}
+
+/// Composes the metrics sidecar JSON: one run record per (size, algorithm)
+/// with the Recorder snapshot and the per-slot metrics of the last trial.
+fn metrics_report(runs: &[(usize, String, RunMetrics)]) -> String {
+    let body: Vec<String> = runs
+        .iter()
+        .map(|(n, algorithm, m)| {
+            format!(
+                "{{\"n_readers\":{},\"algorithm\":{:?},\"snapshot\":{},\"slots\":{}}}",
+                n,
+                algorithm,
+                m.snapshot_json,
+                slot_metrics_to_json(&m.slots)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"bench\":\"mcs_scaling\",\"schema_version\":1,\"runs\":[{}]}}",
+        body.join(",")
+    )
+}
+
+/// Validates a metrics JSON emitted by `--metrics-out` against the
+/// checked-in schema (`results/mcs_metrics.schema.json`). The schema lists
+/// required keys at each level plus counters every snapshot must carry;
+/// missing keys index as `Null` in the vendored `Value`, which is what we
+/// test for.
+fn check_metrics(path: &PathBuf, schema_path: &PathBuf) -> Result<(), String> {
+    use serde_json::Value;
+    let is_null = |v: &Value| matches!(v.0, serde::Content::Null);
+    let read =
+        |p: &PathBuf| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p:?}: {e}"));
+    let doc: Value =
+        serde_json::from_str(&read(path)?).map_err(|e| format!("malformed {path:?}: {e}"))?;
+    let schema: Value = serde_json::from_str(&read(schema_path)?)
+        .map_err(|e| format!("malformed schema {schema_path:?}: {e}"))?;
+    let required = |schema_key: &str| -> Result<Vec<String>, String> {
+        match &schema[schema_key].0 {
+            serde::Content::Seq(items) => items
+                .iter()
+                .map(|c| match c {
+                    serde::Content::Str(s) => Ok(s.clone()),
+                    other => Err(format!("schema {schema_key}: non-string entry {other:?}")),
+                })
+                .collect(),
+            _ => Err(format!("schema is missing the {schema_key:?} list")),
+        }
+    };
+    for key in required("required")? {
+        if is_null(&doc[key.as_str()]) {
+            return Err(format!("metrics JSON is missing top-level key {key:?}"));
+        }
     }
+    if doc["bench"].as_str() != Some("mcs_scaling") {
+        return Err("metrics JSON has the wrong bench name".into());
+    }
+    if doc["schema_version"].as_f64() != Some(1.0) {
+        return Err("metrics JSON has an unknown schema_version".into());
+    }
+    let n_runs = doc["runs"]
+        .as_array_len()
+        .ok_or("metrics JSON `runs` is not an array")?;
+    if n_runs == 0 {
+        return Err("metrics JSON has no runs".into());
+    }
+    let run_required = required("run_required")?;
+    let snapshot_required = required("snapshot_required")?;
+    let counters_required = required("counters_required")?;
+    let slot_required = required("slot_required")?;
+    for i in 0..n_runs {
+        let run = &doc["runs"][i];
+        for key in &run_required {
+            if is_null(&run[key.as_str()]) {
+                return Err(format!("run {i} is missing key {key:?}"));
+            }
+        }
+        let snapshot = &run["snapshot"];
+        for key in &snapshot_required {
+            if is_null(&snapshot[key.as_str()]) {
+                return Err(format!("run {i} snapshot is missing key {key:?}"));
+            }
+        }
+        for key in &counters_required {
+            if snapshot["counters"][key.as_str()].as_f64().is_none() {
+                return Err(format!("run {i} snapshot is missing counter {key:?}"));
+            }
+        }
+        let n_slots = run["slots"]
+            .as_array_len()
+            .ok_or_else(|| format!("run {i} `slots` is not an array"))?;
+        if n_slots == 0 {
+            return Err(format!("run {i} carries no per-slot records"));
+        }
+        for s in 0..n_slots {
+            for key in &slot_required {
+                // `fallback` is a boolean, the rest are numeric — test
+                // presence, which covers both.
+                if is_null(&run["slots"][s][key.as_str()]) {
+                    return Err(format!("run {i} slot {s} is missing field {key:?}"));
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Validates a BENCH_mcs.json: parses, checks the schema and that every
@@ -149,10 +285,27 @@ fn main() {
     let mut sizes = vec![200usize, 1000, 5000];
     let mut trials = 1usize;
     let mut out = PathBuf::from("results/BENCH_mcs.json");
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut trace = false;
+    let mut check_metrics_path: Option<PathBuf> = None;
+    let mut schema_path = PathBuf::from("results/mcs_metrics.schema.json");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => sizes = vec![200],
+            "--trace" => trace = true,
+            "--metrics-out" => {
+                i += 1;
+                metrics_out = Some(PathBuf::from(&args[i]));
+            }
+            "--check-metrics" => {
+                i += 1;
+                check_metrics_path = Some(PathBuf::from(&args[i]));
+            }
+            "--schema" => {
+                i += 1;
+                schema_path = PathBuf::from(&args[i]);
+            }
             "--sizes" => {
                 i += 1;
                 sizes = args[i]
@@ -186,21 +339,42 @@ fn main() {
         }
         i += 1;
     }
+    if let Some(path) = check_metrics_path {
+        match check_metrics(&path, &schema_path) {
+            Ok(()) => {
+                println!("{path:?} conforms to {schema_path:?}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("metrics check failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     assert!(trials > 0, "need at least one trial");
 
     // The two covering-schedule drivers whose hot paths the perf layer
     // targets: the paper's central Algorithm 2 and the GHC baseline.
     let lineup = [AlgorithmKind::LocalGreedy, AlgorithmKind::HillClimbing];
+    let observe = trace || metrics_out.is_some();
     let mut entries = Vec::new();
+    let mut runs: Vec<(usize, String, RunMetrics)> = Vec::new();
     println!("| n | algorithm | slots | schedule ms | slots/sec |");
     println!("|---|---|---|---|---|");
     for &n in &sizes {
         for &kind in &lineup {
-            let e = measure(n, kind, trials);
+            let (e, m) = measure(n, kind, trials, observe);
             println!(
                 "| {} | {} | {} | {:.1} | {:.1} |",
                 e.n_readers, e.algorithm, e.slots, e.schedule_wall_ms, e.slots_per_sec
             );
+            if let Some(m) = m {
+                if trace {
+                    println!("metrics snapshot for n={n} {}:", e.algorithm);
+                    println!("{}", m.snapshot_json);
+                }
+                runs.push((n, e.algorithm.clone(), m));
+            }
             entries.push(e);
         }
     }
@@ -222,4 +396,13 @@ fn main() {
     .expect("write BENCH_mcs.json");
     check(&out).expect("self-check of the just-written report");
     println!("wrote {out:?}");
+    if let Some(metrics_path) = metrics_out {
+        if let Some(dir) = metrics_path.parent() {
+            std::fs::create_dir_all(dir).expect("create metrics directory");
+        }
+        std::fs::write(&metrics_path, metrics_report(&runs)).expect("write metrics JSON");
+        check_metrics(&metrics_path, &schema_path)
+            .expect("self-check of the just-written metrics against the schema");
+        println!("wrote {metrics_path:?} (validated against {schema_path:?})");
+    }
 }

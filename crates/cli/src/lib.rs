@@ -15,10 +15,12 @@
 //! the `mrrfid` binary is a thin `main`.
 
 use rfid_core::{
-    greedy_covering_schedule, make_scheduler, AlgorithmKind, OneShotInput, OneShotScheduler,
+    covering_schedule_with, AlgorithmKind, McsOptions, OneShotInput, OneShotScheduler,
+    SchedulerRegistry,
 };
 use rfid_model::interference::interference_graph;
 use rfid_model::{Coverage, Deployment, RadiusModel, Scenario, ScenarioKind, TagSet};
+use rfid_obs::Recorder;
 use rfid_sim::{aggregate_series, run_sweep, SweepAxis, SweepConfig};
 use std::collections::BTreeMap;
 
@@ -59,6 +61,11 @@ pub enum Command {
         mcs: bool,
         /// Optional path to save the covering schedule as JSON.
         out: Option<String>,
+        /// Optional path for the metrics snapshot (`.csv` = per-slot CSV,
+        /// anything else = JSON with counters + per-slot records).
+        metrics_out: Option<String>,
+        /// Print the recorded counter/histogram snapshot after the run.
+        trace: bool,
     },
     /// Render a one-shot activation as SVG.
     Render {
@@ -119,6 +126,7 @@ USAGE:
                   [--region SIDE]
   mrrfid inspect  --deployment FILE
   mrrfid schedule --deployment FILE [--algorithm NAME] [--seed S] [--mode oneshot|mcs]
+                  [--metrics-out FILE.json|FILE.csv] [--trace]
   mrrfid render   --deployment FILE --out FILE.svg [--algorithm NAME] [--seed S]
   mrrfid sweep    [--axis interrogation|interference] [--values 3,5,7,9]
                   [--fixed 14] [--trials 5] [--metric oneshot|mcs]
@@ -133,15 +141,7 @@ ALGORITHMS: alg1 (PTAS) | alg2 (centralized) | alg3 (distributed)
 ";
 
 fn parse_algorithm(s: &str) -> Result<AlgorithmKind, String> {
-    Ok(match s {
-        "alg1" | "ptas" => AlgorithmKind::Ptas,
-        "alg2" | "central" => AlgorithmKind::LocalGreedy,
-        "alg3" | "distributed" => AlgorithmKind::Distributed,
-        "ca" | "colorwave" => AlgorithmKind::Colorwave,
-        "ghc" => AlgorithmKind::HillClimbing,
-        "exact" => AlgorithmKind::Exact,
-        other => return Err(format!("unknown algorithm '{other}'")),
-    })
+    SchedulerRegistry::global().parse(s)
 }
 
 fn flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
@@ -151,11 +151,17 @@ fn flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
-        let value = args
-            .get(i + 1)
-            .ok_or_else(|| format!("--{key} needs a value"))?;
-        map.insert(key.to_string(), value.clone());
-        i += 2;
+        // A flag followed by another flag (or nothing) is boolean.
+        match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => {
+                map.insert(key.to_string(), v.clone());
+                i += 2;
+            }
+            _ => {
+                map.insert(key.to_string(), "true".to_string());
+                i += 1;
+            }
+        }
     }
     Ok(map)
 }
@@ -219,6 +225,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 seed: get_parse(&f, "seed", 0)?,
                 mcs: mode == "mcs",
                 out: f.get("out").cloned(),
+                metrics_out: f.get("metrics-out").cloned(),
+                trace: f.contains_key("trace"),
             })
         }
         "render" => {
@@ -375,20 +383,45 @@ pub fn run(cmd: Command) -> Result<String, String> {
             seed,
             mcs,
             out: save,
+            metrics_out,
+            trace,
         } => {
             let d = load_deployment(&deployment)?;
             let c = Coverage::build(&d);
             let g = interference_graph(&d);
-            let mut scheduler = make_scheduler(algorithm, seed);
+            let registry = SchedulerRegistry::global();
+            let mut scheduler = registry.instantiate(algorithm, seed);
+            let observing = trace || metrics_out.is_some();
+            let recorder = observing.then(Recorder::new);
+            let sub = recorder.as_ref().map(|r| r as &dyn rfid_obs::Subscriber);
             if mcs {
-                let schedule = greedy_covering_schedule(&d, &c, &g, scheduler.as_mut(), 1_000_000);
+                let mut options = McsOptions::new().slot_metrics(observing);
+                if let Some(s) = sub {
+                    options = options.subscriber(s);
+                }
+                let run = covering_schedule_with(&d, &c, &g, scheduler.as_mut(), &options)
+                    .map_err(|e| format!("covering schedule failed: {e:?}"))?;
+                let schedule = run.schedule;
                 if let Some(path) = &save {
                     let json = serde_json::to_string(&schedule).map_err(|e| e.to_string())?;
                     std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
                 }
+                if let Some(path) = &metrics_out {
+                    let body = if path.ends_with(".csv") {
+                        rfid_obs::slot_metrics_to_csv(&run.slot_metrics)
+                    } else {
+                        let rec = recorder.as_ref().expect("recorder exists when observing");
+                        format!(
+                            "{{\"snapshot\":{},\"slots\":{}}}",
+                            rec.snapshot().to_json(),
+                            rfid_obs::slot_metrics_to_json(&run.slot_metrics)
+                        )
+                    };
+                    std::fs::write(path, body).map_err(|e| format!("write {path}: {e}"))?;
+                }
                 let mut out = format!(
                     "{}: {} slots, {} tags served, {} unreachable\n",
-                    algorithm.label(),
+                    registry.entry(algorithm).label,
                     schedule.size(),
                     schedule.tags_served(),
                     schedule.uncoverable.len()
@@ -402,18 +435,38 @@ pub fn run(cmd: Command) -> Result<String, String> {
                         if slot.fallback { "  [fallback]" } else { "" }
                     ));
                 }
+                if trace {
+                    let rec = recorder.as_ref().expect("recorder exists when tracing");
+                    out.push_str("\nmetrics snapshot:\n");
+                    out.push_str(&rec.snapshot().to_json());
+                    out.push('\n');
+                }
                 Ok(out)
             } else {
                 let unread = TagSet::all_unread(d.n_tags());
-                let input = OneShotInput::new(&d, &c, &g, &unread);
+                let mut builder = OneShotInput::builder(&d, &c, &g).unread(&unread);
+                builder = builder.maybe_subscriber(sub);
+                let input = builder.build();
                 let set = scheduler.schedule(&input);
-                Ok(format!(
+                let mut out = format!(
                     "{}: {} readers active, w(X) = {}\nactive: {:?}\n",
-                    algorithm.label(),
+                    registry.entry(algorithm).label,
                     set.len(),
                     input.weight_of(&set),
                     set
-                ))
+                );
+                if let Some(path) = &metrics_out {
+                    let rec = recorder.as_ref().expect("recorder exists when observing");
+                    std::fs::write(path, rec.snapshot().to_json())
+                        .map_err(|e| format!("write {path}: {e}"))?;
+                }
+                if trace {
+                    let rec = recorder.as_ref().expect("recorder exists when tracing");
+                    out.push_str("\nmetrics snapshot:\n");
+                    out.push_str(&rec.snapshot().to_json());
+                    out.push('\n');
+                }
+                Ok(out)
             }
         }
         Command::Stats { deployment } => {
@@ -582,7 +635,9 @@ pub fn run(cmd: Command) -> Result<String, String> {
             let g = interference_graph(&d);
             let unread = TagSet::all_unread(d.n_tags());
             let input = OneShotInput::new(&d, &c, &g, &unread);
-            let set = make_scheduler(algorithm, seed).schedule(&input);
+            let set = SchedulerRegistry::global()
+                .instantiate(algorithm, seed)
+                .schedule(&input);
             let served = rfid_model::WeightEvaluator::new(&c).well_covered(&set, &unread);
             let svg =
                 rfid_sim::render_svg(&d, &c, &set, &served, &rfid_sim::RenderOptions::default());
@@ -635,11 +690,37 @@ mod tests {
                 algorithm: AlgorithmKind::Distributed,
                 seed: 0,
                 mcs: true,
-                out: None
+                out: None,
+                metrics_out: None,
+                trace: false,
             }
         );
         assert!(parse(&argv("schedule --deployment d.json --mode nope")).is_err());
         assert!(parse(&argv("schedule --deployment d.json --algorithm nope")).is_err());
+    }
+
+    #[test]
+    fn parses_trace_and_metrics_flags() {
+        let cmd = parse(&argv(
+            "schedule --deployment d.json --mode mcs --trace --metrics-out m.json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Schedule {
+                trace, metrics_out, ..
+            } => {
+                assert!(trace);
+                assert_eq!(metrics_out.as_deref(), Some("m.json"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn registry_errors_list_known_algorithms() {
+        let err = parse_algorithm("nope").unwrap_err();
+        assert!(err.contains("alg2-central"), "{err}");
+        assert_eq!(parse_algorithm("ALG1").unwrap(), AlgorithmKind::Ptas);
     }
 
     #[test]
@@ -689,6 +770,40 @@ mod tests {
         assert!(out.contains("rendered"));
         let body = std::fs::read_to_string(&svg).unwrap();
         assert!(body.starts_with("<svg"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn schedule_emits_metrics_files() {
+        let dir = std::env::temp_dir().join("rfid_cli_metrics_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let depl = dir.join("d.json").to_string_lossy().into_owned();
+        let mjson = dir.join("m.json").to_string_lossy().into_owned();
+        let mcsv = dir.join("m.csv").to_string_lossy().into_owned();
+        run(parse(&argv(&format!(
+            "generate --readers 12 --tags 80 --seed 7 --out {depl}"
+        )))
+        .unwrap())
+        .unwrap();
+        let out = run(parse(&argv(&format!(
+            "schedule --deployment {depl} --algorithm ghc --mode mcs --trace --metrics-out {mjson}"
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("metrics snapshot:"), "{out}");
+        let body = std::fs::read_to_string(&mjson).unwrap();
+        assert!(body.contains("\"mcs.slots\""), "{body}");
+        assert!(body.contains("\"slots\":["), "{body}");
+        run(parse(&argv(&format!(
+            "schedule --deployment {depl} --algorithm ghc --mode mcs --metrics-out {mcsv}"
+        )))
+        .unwrap())
+        .unwrap();
+        let csv = std::fs::read_to_string(&mcsv).unwrap();
+        assert!(
+            csv.starts_with("slot,active_readers,tags_served,fallback,wall_nanos"),
+            "{csv}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -19,6 +19,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rfid_graph::Csr;
 use rfid_model::{ReaderId, WeightEvaluator};
+use rfid_obs::{counter, span, Subscriber};
 
 /// The Colorwave (CA) baseline scheduler.
 #[derive(Debug, Clone)]
@@ -116,10 +117,17 @@ impl Colorwave {
 
     /// Runs DCS and returns a proper colouring of `graph`.
     pub fn color(&mut self, graph: &Csr) -> Vec<usize> {
+        self.color_observed(graph, None)
+    }
+
+    /// [`color`](Self::color) with round/kick counters reported to `sub`.
+    /// The colouring is bit-identical whether or not a subscriber listens.
+    pub fn color_observed(&mut self, graph: &Csr, sub: Option<&dyn Subscriber>) -> Vec<usize> {
         let n = graph.n();
         let colors = self.max_colors.unwrap_or(graph.max_degree() + 1).max(1);
         let mut color: Vec<usize> = (0..n).map(|_| self.rng.random_range(0..colors)).collect();
         for _ in 0..self.max_rounds {
+            counter!(sub, "colorwave.rounds");
             // Collect conflicted readers; the lower-id endpoint of each
             // conflicted edge kicks (re-draws) — the WCNC paper resolves by
             // "the reader that detects the collision first"; with
@@ -137,6 +145,7 @@ impl Colorwave {
             }
             for v in 0..n {
                 if kicked[v] {
+                    counter!(sub, "colorwave.kicks");
                     color[v] = self.rng.random_range(0..colors);
                 }
             }
@@ -169,12 +178,15 @@ impl OneShotScheduler for Colorwave {
     }
 
     fn schedule(&mut self, input: &OneShotInput<'_>) -> Vec<ReaderId> {
+        let sub = input.subscriber();
+        let _span = span!(sub, "colorwave.schedule");
         let n = input.deployment.n_readers();
         if n == 0 {
             return Vec::new();
         }
-        let color = self.color(input.graph);
+        let color = self.color_observed(input.graph, sub);
         let num_colors = color.iter().copied().max().unwrap_or(0) + 1;
+        counter!(sub, "colorwave.colors", num_colors as u64);
         let mut classes: Vec<Vec<ReaderId>> = vec![Vec::new(); num_colors];
         for v in 0..n {
             classes[color[v]].push(v);

@@ -30,6 +30,7 @@ use crate::scheduler::{OneShotInput, OneShotScheduler};
 use rfid_graph::Csr;
 use rfid_model::{Coverage, ReaderId, TagSet};
 use rfid_netsim::{Envelope, FaultPlan, NetStats, Network, Node, Outbox, Payload};
+use rfid_obs::{counter, span};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One reader's gossiped self-description.
@@ -752,6 +753,8 @@ impl OneShotScheduler for DistributedScheduler {
     }
 
     fn schedule(&mut self, input: &OneShotInput<'_>) -> Vec<ReaderId> {
+        let sub = input.subscriber();
+        let _span = span!(sub, "alg3.schedule");
         let rho = self.rho.unwrap_or(1.1);
         let c = self.c.unwrap_or(3);
         assert!(rho > 1.0, "ρ must exceed 1");
@@ -824,7 +827,7 @@ impl OneShotScheduler for DistributedScheduler {
             let max_delay = self.fault_plan.as_ref().map_or(0, |p| p.max_delay());
             ((2 * c as u64 + 2) + (n as u64 + 1) * (3 * c as u64 + 5) + 16) * (1 + max_delay)
         };
-        net.run_until_quiescent(budget);
+        net.run_until_quiescent_observed(budget, sub);
         let faulty = self.loss.is_some()
             || !self.crashes.is_empty()
             || self.delay.is_some()
@@ -852,6 +855,19 @@ impl OneShotScheduler for DistributedScheduler {
             };
             (*round, node)
         });
+        if rfid_obs::active(sub).is_some() {
+            for (_, e) in &trace {
+                let name = match e {
+                    TraceEvent::HeadElected { .. } => "alg3.head_elected",
+                    TraceEvent::ColoredRed { .. } => "alg3.colored_red",
+                    TraceEvent::ColoredBlack { .. } => "alg3.colored_black",
+                    TraceEvent::Retransmit { .. } => "alg3.retransmit",
+                    TraceEvent::TimeoutSuspect { .. } => "alg3.timeout_suspect",
+                    TraceEvent::ReElected { .. } => "alg3.re_elected",
+                };
+                counter!(sub, name);
+            }
+        }
         self.last_trace = Some(trace);
         // A reader that actually went dark during the protocol cannot
         // transmit: exclude it from the activation even if it was Red

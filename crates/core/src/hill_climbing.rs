@@ -13,6 +13,7 @@
 
 use crate::scheduler::{OneShotInput, OneShotScheduler};
 use rfid_model::{IncrementalWeight, ReaderId};
+use rfid_obs::{counter, histogram, span};
 
 /// The GHC baseline scheduler.
 #[derive(Debug, Clone, Default)]
@@ -30,6 +31,8 @@ impl OneShotScheduler for HillClimbing {
     }
 
     fn schedule(&mut self, input: &OneShotInput<'_>) -> Vec<ReaderId> {
+        let sub = input.subscriber();
+        let _span = span!(sub, "ghc.schedule");
         let n = input.deployment.n_readers();
         let mut inc = IncrementalWeight::new(input.coverage, input.unread);
         let mut blocked = vec![false; n]; // adjacent to the active set
@@ -74,6 +77,8 @@ impl OneShotScheduler for HillClimbing {
                 break;
             }
             inc.add(v);
+            counter!(sub, "ghc.additions");
+            histogram!(sub, "ghc.incremental_weight", delta as u64);
             for &t in input.graph.neighbors(v) {
                 blocked[t as usize] = true;
             }

@@ -22,9 +22,20 @@
 //!
 //! ## Covering schedules (MCS)
 //!
-//! [`mcs::greedy_covering_schedule`] iterates a one-shot scheduler slot by
-//! slot, marking well-covered tags as served, until every coverable tag has
+//! [`mcs::covering_schedule`] iterates a one-shot scheduler slot by slot,
+//! marking well-covered tags as served, until every coverable tag has
 //! been read — the paper's `log n`-approximation backbone (Theorem 1).
+//! [`McsOptions`] selects the algorithm, the [`mcs::FaultPolicy`] and the
+//! observation sinks (DESIGN.md §8); the old
+//! `greedy`/`try_greedy`/`resilient_covering_schedule` triple remains as
+//! deprecated shims over it.
+//!
+//! ## Observability
+//!
+//! Every scheduler and the MCS drivers emit spans/counters/histograms
+//! through the [`rfid_obs`] facade when a subscriber is attached (via
+//! [`OneShotInput::builder`] or [`McsOptions::subscriber`]). Subscribers
+//! observe only: schedules are bit-identical with metrics on or off.
 
 pub mod colorwave;
 pub mod distributed;
@@ -37,6 +48,7 @@ pub mod multichannel;
 pub mod par;
 pub mod ptas;
 pub mod qlearning;
+pub mod registry;
 pub mod scheduler;
 pub mod verify;
 
@@ -47,13 +59,20 @@ pub use hill_climbing::HillClimbing;
 pub use local_greedy::LocalGreedy;
 pub use local_search::{improve_schedule, ImprovementReport};
 pub use mcs::{
+    covering_schedule, covering_schedule_with, CoveringSchedule, FaultPolicy, McsOptions, McsRun,
+    ResilientSchedule, ScheduleError, SlotRecord,
+};
+#[allow(deprecated)]
+pub use mcs::{
     greedy_covering_schedule, resilient_covering_schedule, try_greedy_covering_schedule,
-    CoveringSchedule, ResilientSchedule, ScheduleError, SlotRecord,
 };
 pub use multichannel::{
     multichannel_covering_schedule, ChannelAssignment, MultiChannelGreedy, MultiChannelSchedule,
 };
 pub use ptas::PtasScheduler;
 pub use qlearning::QLearningScheduler;
-pub use scheduler::{make_scheduler, AlgorithmKind, OneShotInput, OneShotScheduler};
+pub use registry::{FeasibleSet, Scheduler, SchedulerEntry, SchedulerRegistry};
+pub use scheduler::{
+    make_scheduler, AlgorithmKind, OneShotInput, OneShotInputBuilder, OneShotScheduler,
+};
 pub use verify::{verify_covering_schedule, ScheduleViolation};

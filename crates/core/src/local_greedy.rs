@@ -25,6 +25,7 @@ use crate::exact::{exact_mwfs_in, MwfsScratch, DEFAULT_NODE_BUDGET};
 use crate::scheduler::{OneShotInput, OneShotScheduler};
 use rfid_graph::Csr;
 use rfid_model::{Coverage, ReaderId, TagSet};
+use rfid_obs::{counter, histogram, span};
 
 /// Algorithm 2 configuration.
 #[derive(Debug, Clone, Copy)]
@@ -175,6 +176,8 @@ impl OneShotScheduler for LocalGreedy {
 
     fn schedule(&mut self, input: &OneShotInput<'_>) -> Vec<ReaderId> {
         assert!(self.rho > 1.0, "ρ must exceed 1 (ρ = 1 + ε, ε > 0)");
+        let sub = input.subscriber();
+        let _span = span!(sub, "alg2.schedule");
         let n = input.deployment.n_readers();
         let graph = input.graph;
         let singleton = input.singleton_or_compute();
@@ -214,6 +217,9 @@ impl OneShotScheduler for LocalGreedy {
                 self.rho,
                 self.max_hops,
             );
+            counter!(sub, "alg2.seeds");
+            histogram!(sub, "alg2.growth_radius", r as u64);
+            counter!(sub, "alg2.committed_readers", gamma.len() as u64);
             x.extend_from_slice(&gamma);
             // Remove N(v)^{r̄+1} from the (alive-induced) graph.
             balls.ball_into(graph, v, r + 1, &alive, &mut dead_ball);

@@ -14,6 +14,7 @@
 
 use crate::scheduler::OneShotInput;
 use rfid_model::{IncrementalWeight, ReaderId};
+use rfid_obs::{counter, span};
 
 /// Outcome of a local-search pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +40,8 @@ pub fn improve_schedule(input: &OneShotInput<'_>, start: &[ReaderId]) -> Improve
         input.deployment.is_feasible(start),
         "local search needs a feasible start"
     );
+    let sub = input.subscriber();
+    let _span = span!(sub, "local_search.improve");
     let n = input.deployment.n_readers();
     let graph = input.graph;
     let mut inc = IncrementalWeight::new(input.coverage, input.unread);
@@ -137,6 +140,12 @@ pub fn improve_schedule(input: &OneShotInput<'_>, start: &[ReaderId]) -> Improve
     let mut set = inc.active().to_vec();
     set.sort_unstable();
     let final_weight = inc.weight();
+    counter!(sub, "local_search.moves", moves as u64);
+    counter!(
+        sub,
+        "local_search.weight_gain",
+        (final_weight - initial_weight) as u64
+    );
     debug_assert!(final_weight >= initial_weight);
     ImprovementReport {
         set,

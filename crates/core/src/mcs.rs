@@ -15,19 +15,20 @@
 //! (always weight ≥ 1), so the schedule always terminates — the guard
 //! counts as a normal slot and is recorded for diagnostics.
 
-use crate::scheduler::{OneShotInput, OneShotScheduler};
+use crate::scheduler::{make_scheduler, AlgorithmKind, OneShotInput, OneShotScheduler};
 use rfid_graph::Csr;
 use rfid_model::{
     audit_activation, Coverage, Deployment, ReaderId, SingletonWeights, TagId, TagSet,
     WeightEvaluator,
 };
+use rfid_obs::{counter, histogram, span, SlotMetrics, Subscriber};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 /// Lazily updated max-queue over singleton weights, shared by the
-/// progress guards of [`try_greedy_covering_schedule`] and
-/// [`resilient_covering_schedule`].
+/// progress guards of both fault policies of [`covering_schedule_with`].
 ///
 /// Singleton weights only ever decrease as the covering schedule marks
 /// tags read (sub-additivity makes `w({v})` a monotone upper bound on any
@@ -66,13 +67,18 @@ impl LazyFallback {
         &mut self,
         singleton: &SingletonWeights<'_>,
         excluded: &[ReaderId],
+        sub: Option<&dyn Subscriber>,
     ) -> Option<ReaderId> {
         debug_assert!(self.deferred.is_empty());
+        counter!(sub, "mcs.fallback.queries", 1);
         let mut found = None;
         while let Some((cached, Reverse(v))) = self.heap.pop() {
             let current = singleton.get(v);
             debug_assert!(current <= cached, "singleton weight increased");
             if current < cached {
+                // A lazy miss: the cached key went stale since it was
+                // pushed; re-queue with the corrected weight.
+                counter!(sub, "mcs.fallback.stale_repush", 1);
                 self.heap.push((current, Reverse(v)));
                 continue;
             }
@@ -82,6 +88,7 @@ impl LazyFallback {
             }
             // Current and admissible: every remaining entry has a cached
             // (hence current) key no greater than this one's.
+            counter!(sub, "mcs.fallback.hits", 1);
             self.heap.push((cached, Reverse(v)));
             found = Some(v);
             break;
@@ -173,43 +180,166 @@ impl CoveringSchedule {
     }
 }
 
-/// Runs the greedy covering-schedule loop with the given one-shot
-/// scheduler. `max_slots` bounds runaway schedulers (a panic beyond it
-/// indicates a scheduler failing to make progress, which the fallback
-/// makes impossible).
+/// How [`covering_schedule_with`] reacts when a slot cannot progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPolicy {
+    /// Trust the one-shot scheduler: a stalled or over-budget run is a
+    /// [`ScheduleError`]. This is the paper's clean-room loop.
+    #[default]
+    Strict,
+    /// Audit every activation ([`rfid_model::audit_activation`]) and
+    /// degrade gracefully: crashed readers are stripped (their tags
+    /// requeued), RTc pairs repaired by dropping the lower-weight member,
+    /// and a stalled/over-budget run abandons the remaining tags instead
+    /// of erroring.
+    Resilient,
+}
+
+/// Options for [`covering_schedule`] / [`covering_schedule_with`]: the
+/// algorithm choice, the fault policy and the metrics sinks, replacing
+/// the old `greedy`/`try_greedy`/`resilient` triple of entry points.
+#[derive(Default)]
+pub struct McsOptions<'a> {
+    algorithm: AlgorithmKind,
+    seed: u64,
+    fault_policy: FaultPolicy,
+    max_slots: Option<usize>,
+    subscriber: Option<&'a dyn Subscriber>,
+    slot_metrics: bool,
+}
+
+impl<'a> McsOptions<'a> {
+    /// Defaults: Algorithm 2 (central local greedy), seed 0, strict fault
+    /// policy, a one-million-slot budget, no subscriber, no per-slot
+    /// metrics.
+    pub fn new() -> Self {
+        McsOptions::default()
+    }
+
+    /// Selects the one-shot algorithm [`covering_schedule`] instantiates.
+    /// Ignored by [`covering_schedule_with`], which takes the scheduler
+    /// directly.
+    pub fn algorithm(mut self, algorithm: AlgorithmKind) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Seed for randomised algorithms (Colorwave's colour draws).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the [`FaultPolicy`].
+    pub fn fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = policy;
+        self
+    }
+
+    /// Shorthand for `fault_policy(FaultPolicy::Resilient)`.
+    pub fn resilient(self) -> Self {
+        self.fault_policy(FaultPolicy::Resilient)
+    }
+
+    /// Bounds runaway schedulers (default one million slots).
+    pub fn max_slots(mut self, max_slots: usize) -> Self {
+        self.max_slots = Some(max_slots);
+        self
+    }
+
+    /// Attaches an observation sink; the driver forwards it to the
+    /// one-shot scheduler through [`OneShotInput`] and emits its own
+    /// spans/counters (`mcs.*`) into it.
+    pub fn subscriber(mut self, subscriber: &'a dyn Subscriber) -> Self {
+        self.subscriber = Some(subscriber);
+        self
+    }
+
+    /// Collects one [`SlotMetrics`] record per slot into
+    /// [`McsRun::slot_metrics`].
+    pub fn slot_metrics(mut self, collect: bool) -> Self {
+        self.slot_metrics = collect;
+        self
+    }
+
+    fn budget(&self) -> usize {
+        self.max_slots.unwrap_or(1_000_000)
+    }
+}
+
+/// Outcome of [`covering_schedule`] / [`covering_schedule_with`]: the
+/// schedule, optional per-slot metrics, and an account of every
+/// degradation the resilient policy absorbed (all zero under
+/// [`FaultPolicy::Strict`], which errors instead of degrading).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct McsRun {
+    /// The (complete under `Strict`, possibly partial under `Resilient`)
+    /// covering schedule; every slot is feasible.
+    pub schedule: CoveringSchedule,
+    /// Per-slot records, filled only when [`McsOptions::slot_metrics`]
+    /// was requested. `slot_metrics[i]` describes `schedule.slots[i]`.
+    pub slot_metrics: Vec<SlotMetrics>,
+    /// RTc pairs broken up in-slot by dropping the lower-weight member.
+    pub repaired_pairs: usize,
+    /// Activation entries removed because the scheduler reported the
+    /// reader crashed (summed over slots). Tags those readers claimed stay
+    /// unread and are requeued in later slots.
+    pub crashed_dropped: usize,
+    /// Coverable tags left unread because no surviving activation could
+    /// serve them within the slot budget.
+    pub abandoned_tags: Vec<TagId>,
+}
+
+impl McsRun {
+    /// `true` when every coverable tag was served.
+    pub fn complete(&self) -> bool {
+        self.abandoned_tags.is_empty()
+    }
+}
+
+/// Runs the greedy covering-schedule loop, instantiating the one-shot
+/// scheduler selected by [`McsOptions::algorithm`]. This is the single
+/// entry point replacing `greedy_covering_schedule`,
+/// `try_greedy_covering_schedule` and `resilient_covering_schedule`.
 ///
 /// ```
-/// use rfid_core::{AlgorithmKind, greedy_covering_schedule, make_scheduler};
+/// use rfid_core::{covering_schedule, AlgorithmKind, McsOptions};
 /// use rfid_model::{interference::interference_graph, Coverage, Scenario};
 /// let d = Scenario::paper_evaluation(14.0, 6.0).generate(7);
 /// let coverage = Coverage::build(&d);
 /// let graph = interference_graph(&d);
-/// let mut alg2 = make_scheduler(AlgorithmKind::LocalGreedy, 0);
-/// let schedule = greedy_covering_schedule(&d, &coverage, &graph, alg2.as_mut(), 100_000);
+/// let options = McsOptions::new().algorithm(AlgorithmKind::LocalGreedy);
+/// let run = covering_schedule(&d, &coverage, &graph, &options).unwrap();
 /// // every coverable tag is read exactly once
-/// assert_eq!(schedule.tags_served(), coverage.coverable_count());
+/// assert_eq!(run.schedule.tags_served(), coverage.coverable_count());
 /// ```
-pub fn greedy_covering_schedule(
+pub fn covering_schedule(
     deployment: &Deployment,
     coverage: &Coverage,
     graph: &Csr,
-    scheduler: &mut dyn OneShotScheduler,
-    max_slots: usize,
-) -> CoveringSchedule {
-    try_greedy_covering_schedule(deployment, coverage, graph, scheduler, max_slots)
-        .unwrap_or_else(|e| panic!("{e}"))
+    options: &McsOptions<'_>,
+) -> Result<McsRun, ScheduleError> {
+    let mut scheduler = make_scheduler(options.algorithm, options.seed);
+    covering_schedule_with(deployment, coverage, graph, scheduler.as_mut(), options)
 }
 
-/// The fallible form of [`greedy_covering_schedule`]: a stalled or
-/// over-budget run comes back as a [`ScheduleError`] instead of a panic,
-/// so callers driving untrusted or degraded schedulers can recover.
-pub fn try_greedy_covering_schedule(
+/// Like [`covering_schedule`] but drives a caller-provided one-shot
+/// scheduler instance ([`McsOptions::algorithm`]/`seed` are ignored).
+///
+/// Under [`FaultPolicy::Strict`] a stalled or over-budget run returns a
+/// [`ScheduleError`]; under [`FaultPolicy::Resilient`] it never errors —
+/// unreachable tags are reported in [`McsRun::abandoned_tags`].
+pub fn covering_schedule_with(
     deployment: &Deployment,
     coverage: &Coverage,
     graph: &Csr,
     scheduler: &mut dyn OneShotScheduler,
-    max_slots: usize,
-) -> Result<CoveringSchedule, ScheduleError> {
+    options: &McsOptions<'_>,
+) -> Result<McsRun, ScheduleError> {
+    let sub = options.subscriber;
+    let resilient = options.fault_policy == FaultPolicy::Resilient;
+    let max_slots = options.budget();
+    let _run_span = span!(sub, "mcs.covering_schedule");
     let mut unread = TagSet::all_unread(deployment.n_tags());
     let uncoverable: Vec<TagId> = (0..deployment.n_tags())
         .filter(|&t| !coverage.is_coverable(t))
@@ -222,46 +352,170 @@ pub fn try_greedy_covering_schedule(
     let mut singleton = SingletonWeights::new(coverage, &unread);
     let mut fallback_queue = LazyFallback::new(&singleton);
     let mut slots = Vec::new();
+    let mut slot_metrics = Vec::new();
     let coverable_total = coverage.coverable_count();
     let mut served_total = 0usize;
-    while served_total < coverable_total {
+    let mut repaired_pairs = 0usize;
+    let mut crashed_dropped = 0usize;
+    let mut stalled = false;
+    while served_total < coverable_total && !stalled {
         if slots.len() >= max_slots {
+            if resilient {
+                break;
+            }
             return Err(ScheduleError::SlotBudgetExhausted {
                 max_slots,
                 served: served_total,
                 coverable: coverable_total,
             });
         }
-        let input = OneShotInput::new(deployment, coverage, graph, &unread)
-            .with_singleton_weights(singleton.as_slice());
+        let slot_start = options.slot_metrics.then(Instant::now);
+        let _slot_span = span!(sub, "mcs.slot");
+        let input = OneShotInput::builder(deployment, coverage, graph)
+            .unread(&unread)
+            .singleton_weights(singleton.as_slice())
+            .maybe_subscriber(sub)
+            .build();
         let mut active = scheduler.schedule(&input);
+        // Crashed readers cannot transmit; their claimed tags simply stay
+        // unread and get requeued. Strict runs trust the scheduler and
+        // skip the whole audit block.
+        let crashed = if resilient {
+            scheduler.crashed_readers()
+        } else {
+            Vec::new()
+        };
+        if resilient {
+            if !crashed.is_empty() {
+                let before = active.len();
+                active.retain(|v| !crashed.contains(v));
+                crashed_dropped += before - active.len();
+                counter!(sub, "mcs.crashed_dropped", before - active.len());
+            }
+            // Audit-and-repair: break up every jammed pair by dropping its
+            // lower-weight member until the activation is feasible.
+            loop {
+                let audit = audit_activation(deployment, coverage, &active, &unread);
+                if audit.is_feasible() {
+                    break;
+                }
+                let (a, b) = audit.rtc_pairs[0];
+                let (wa, wb) = (singleton.get(a), singleton.get(b));
+                let victim = if wa <= wb { a } else { b };
+                active.retain(|&u| u != victim);
+                repaired_pairs += 1;
+                counter!(sub, "mcs.repaired_pairs", 1);
+            }
+        }
         let mut served = weights.well_covered(&active, &unread);
         let mut fallback = false;
         if served.is_empty() {
-            // Progress guard: the best singleton always serves ≥ 1 tag when
-            // a coverable unread tag exists.
-            let stall = ScheduleError::NoProgress {
-                served: served_total,
-                coverable: coverable_total,
-            };
-            let best = fallback_queue.best(&singleton, &[]).ok_or(stall.clone())?;
-            active = vec![best];
-            served = weights.well_covered(&active, &unread);
-            fallback = true;
-            if served.is_empty() {
-                return Err(stall);
+            // Progress guard: the best singleton always serves ≥ 1 tag
+            // when a coverable unread tag exists (restricted to surviving
+            // readers under the resilient policy).
+            match fallback_queue.best(&singleton, &crashed, sub) {
+                Some(best) => {
+                    active = vec![best];
+                    served = weights.well_covered(&active, &unread);
+                    fallback = true;
+                }
+                None => served = Vec::new(),
             }
+            if served.is_empty() {
+                if resilient {
+                    // Every remaining coverable tag is out of reach of
+                    // the survivors: abandon instead of looping forever.
+                    stalled = true;
+                    continue;
+                }
+                return Err(ScheduleError::NoProgress {
+                    served: served_total,
+                    coverable: coverable_total,
+                });
+            }
+        }
+        // Observation only, by the §8 contract: nothing below feeds back
+        // into the scheduling state.
+        counter!(sub, "mcs.slots", 1);
+        counter!(sub, "mcs.tags_served", served.len());
+        if fallback {
+            counter!(sub, "mcs.fallback_slots", 1);
+        }
+        histogram!(sub, "mcs.slot.active_readers", active.len());
+        histogram!(sub, "mcs.slot.tags_served", served.len());
+        if rfid_obs::active(sub).is_some() {
+            // Each served tag retires one `readers_of` incidence list from
+            // the incremental singleton state — the delta-update work
+            // `SingletonWeights::mark_all_read` is about to do.
+            let deltas: usize = served.iter().map(|&t| coverage.readers_of(t).len()).sum();
+            counter!(sub, "mcs.singleton_weight_deltas", deltas);
         }
         unread.mark_all_read(&served);
         singleton.mark_all_read(&served);
         served_total += served.len();
+        if let Some(start) = slot_start {
+            slot_metrics.push(SlotMetrics {
+                slot: slots.len(),
+                active_readers: active.len(),
+                tags_served: served.len(),
+                fallback,
+                wall_nanos: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            });
+        }
         slots.push(SlotRecord {
             active,
             served,
             fallback,
         });
     }
-    Ok(CoveringSchedule { slots, uncoverable })
+    let abandoned_tags: Vec<TagId> = if resilient {
+        (0..deployment.n_tags())
+            .filter(|&t| coverage.is_coverable(t) && unread.is_unread(t))
+            .collect()
+    } else {
+        // A strict run only reaches here with every coverable tag served.
+        Vec::new()
+    };
+    counter!(sub, "mcs.abandoned_tags", abandoned_tags.len());
+    Ok(McsRun {
+        schedule: CoveringSchedule { slots, uncoverable },
+        slot_metrics,
+        repaired_pairs,
+        crashed_dropped,
+        abandoned_tags,
+    })
+}
+
+/// Runs the greedy covering-schedule loop with the given one-shot
+/// scheduler, panicking on stall or budget exhaustion.
+#[deprecated(
+    since = "0.1.0",
+    note = "use covering_schedule_with with McsOptions (strict policy panics become Err)"
+)]
+pub fn greedy_covering_schedule(
+    deployment: &Deployment,
+    coverage: &Coverage,
+    graph: &Csr,
+    scheduler: &mut dyn OneShotScheduler,
+    max_slots: usize,
+) -> CoveringSchedule {
+    let options = McsOptions::new().max_slots(max_slots);
+    covering_schedule_with(deployment, coverage, graph, scheduler, &options)
+        .map(|run| run.schedule)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The fallible form of [`greedy_covering_schedule`].
+#[deprecated(since = "0.1.0", note = "use covering_schedule_with with McsOptions")]
+pub fn try_greedy_covering_schedule(
+    deployment: &Deployment,
+    coverage: &Coverage,
+    graph: &Csr,
+    scheduler: &mut dyn OneShotScheduler,
+    max_slots: usize,
+) -> Result<CoveringSchedule, ScheduleError> {
+    let options = McsOptions::new().max_slots(max_slots);
+    covering_schedule_with(deployment, coverage, graph, scheduler, &options).map(|run| run.schedule)
 }
 
 /// Outcome of a [`resilient_covering_schedule`] run: the schedule plus an
@@ -273,8 +527,7 @@ pub struct ResilientSchedule {
     /// RTc pairs broken up in-slot by dropping the lower-weight member.
     pub repaired_pairs: usize,
     /// Activation entries removed because the scheduler reported the
-    /// reader crashed (summed over slots). Tags those readers claimed stay
-    /// unread and are requeued in later slots.
+    /// reader crashed (summed over slots).
     pub crashed_dropped: usize,
     /// Coverable tags left unread because no surviving activation could
     /// serve them within the slot budget.
@@ -288,18 +541,11 @@ impl ResilientSchedule {
     }
 }
 
-/// The crash-tolerant covering-schedule loop: like
-/// [`try_greedy_covering_schedule`], but instead of trusting the one-shot
-/// scheduler it audits every activation with
-/// [`rfid_model::audit_activation`] and degrades gracefully —
-///
-/// * readers the scheduler reports as crashed
-///   ([`OneShotScheduler::crashed_readers`]) are dropped from the
-///   activation; tags they claimed are requeued for later slots;
-/// * an infeasible activation (RTc pair) is repaired by dropping the
-///   lower-weight member of each jammed pair rather than rejected;
-/// * a stalled or over-budget run abandons the remaining tags and reports
-///   them instead of panicking.
+/// The crash-tolerant covering-schedule loop.
+#[deprecated(
+    since = "0.1.0",
+    note = "use covering_schedule_with with McsOptions::new().resilient()"
+)]
 pub fn resilient_covering_schedule(
     deployment: &Deployment,
     coverage: &Coverage,
@@ -307,81 +553,14 @@ pub fn resilient_covering_schedule(
     scheduler: &mut dyn OneShotScheduler,
     max_slots: usize,
 ) -> ResilientSchedule {
-    let mut unread = TagSet::all_unread(deployment.n_tags());
-    let uncoverable: Vec<TagId> = (0..deployment.n_tags())
-        .filter(|&t| !coverage.is_coverable(t))
-        .collect();
-    let mut weights = WeightEvaluator::new(coverage);
-    // Same cross-slot incremental state as the trusting loop.
-    let mut singleton = SingletonWeights::new(coverage, &unread);
-    let mut fallback_queue = LazyFallback::new(&singleton);
-    let mut slots = Vec::new();
-    let coverable_total = coverage.coverable_count();
-    let mut served_total = 0usize;
-    let mut repaired_pairs = 0usize;
-    let mut crashed_dropped = 0usize;
-    let mut stalled = false;
-    while served_total < coverable_total && !stalled && slots.len() < max_slots {
-        let input = OneShotInput::new(deployment, coverage, graph, &unread)
-            .with_singleton_weights(singleton.as_slice());
-        let mut active = scheduler.schedule(&input);
-        // Crashed readers cannot transmit; their claimed tags simply stay
-        // unread and get requeued.
-        let crashed = scheduler.crashed_readers();
-        if !crashed.is_empty() {
-            let before = active.len();
-            active.retain(|v| !crashed.contains(v));
-            crashed_dropped += before - active.len();
-        }
-        // Audit-and-repair: break up every jammed pair by dropping its
-        // lower-weight member until the activation is feasible.
-        loop {
-            let audit = audit_activation(deployment, coverage, &active, &unread);
-            if audit.is_feasible() {
-                break;
-            }
-            let (a, b) = audit.rtc_pairs[0];
-            let (wa, wb) = (singleton.get(a), singleton.get(b));
-            let victim = if wa <= wb { a } else { b };
-            active.retain(|&u| u != victim);
-            repaired_pairs += 1;
-        }
-        let mut served = weights.well_covered(&active, &unread);
-        let mut fallback = false;
-        if served.is_empty() {
-            // Progress guard restricted to surviving readers.
-            match fallback_queue.best(&singleton, &crashed) {
-                Some(best) => {
-                    active = vec![best];
-                    served = weights.well_covered(&active, &unread);
-                    fallback = true;
-                }
-                None => served = Vec::new(),
-            }
-            if served.is_empty() {
-                // Every remaining coverable tag is out of reach of the
-                // survivors: abandon instead of looping forever.
-                stalled = true;
-                continue;
-            }
-        }
-        unread.mark_all_read(&served);
-        singleton.mark_all_read(&served);
-        served_total += served.len();
-        slots.push(SlotRecord {
-            active,
-            served,
-            fallback,
-        });
-    }
-    let abandoned_tags: Vec<TagId> = (0..deployment.n_tags())
-        .filter(|&t| coverage.is_coverable(t) && unread.is_unread(t))
-        .collect();
+    let options = McsOptions::new().max_slots(max_slots).resilient();
+    let run = covering_schedule_with(deployment, coverage, graph, scheduler, &options)
+        .expect("resilient runs never error");
     ResilientSchedule {
-        schedule: CoveringSchedule { slots, uncoverable },
-        repaired_pairs,
-        crashed_dropped,
-        abandoned_tags,
+        schedule: run.schedule,
+        repaired_pairs: run.repaired_pairs,
+        crashed_dropped: run.crashed_dropped,
+        abandoned_tags: run.abandoned_tags,
     }
 }
 
@@ -394,6 +573,49 @@ mod tests {
     use rfid_model::interference::interference_graph;
     use rfid_model::scenario::{Scenario, ScenarioKind};
     use rfid_model::RadiusModel;
+
+    /// Strict run, panicking like the old `greedy_covering_schedule`.
+    fn greedy(
+        d: &Deployment,
+        c: &Coverage,
+        g: &Csr,
+        s: &mut dyn OneShotScheduler,
+        max_slots: usize,
+    ) -> CoveringSchedule {
+        covering_schedule_with(d, c, g, s, &McsOptions::new().max_slots(max_slots))
+            .map(|run| run.schedule)
+            .unwrap()
+    }
+
+    /// Strict run returning the error instead of panicking.
+    fn try_greedy(
+        d: &Deployment,
+        c: &Coverage,
+        g: &Csr,
+        s: &mut dyn OneShotScheduler,
+        max_slots: usize,
+    ) -> Result<CoveringSchedule, ScheduleError> {
+        covering_schedule_with(d, c, g, s, &McsOptions::new().max_slots(max_slots))
+            .map(|run| run.schedule)
+    }
+
+    /// Resilient run through the unified entry point.
+    fn resilient(
+        d: &Deployment,
+        c: &Coverage,
+        g: &Csr,
+        s: &mut dyn OneShotScheduler,
+        max_slots: usize,
+    ) -> McsRun {
+        covering_schedule_with(
+            d,
+            c,
+            g,
+            s,
+            &McsOptions::new().max_slots(max_slots).resilient(),
+        )
+        .expect("resilient runs never error")
+    }
 
     fn small_scenario(seed: u64) -> Deployment {
         Scenario {
@@ -416,7 +638,7 @@ mod tests {
             let c = Coverage::build(&d);
             let g = interference_graph(&d);
             let mut s = ExactScheduler::default();
-            let sched = greedy_covering_schedule(&d, &c, &g, &mut s, 10_000);
+            let sched = greedy(&d, &c, &g, &mut s, 10_000);
             let mut all_served: Vec<TagId> =
                 sched.slots.iter().flat_map(|s| s.served.clone()).collect();
             all_served.sort_unstable();
@@ -437,7 +659,7 @@ mod tests {
         let c = Coverage::build(&d);
         let g = interference_graph(&d);
         let mut s = HillClimbing::default();
-        let sched = greedy_covering_schedule(&d, &c, &g, &mut s, 10_000);
+        let sched = greedy(&d, &c, &g, &mut s, 10_000);
         for slot in &sched.slots {
             assert!(d.is_feasible(&slot.active));
             assert!(!slot.served.is_empty(), "every slot must serve something");
@@ -454,10 +676,8 @@ mod tests {
             let d = small_scenario(seed);
             let c = Coverage::build(&d);
             let g = interference_graph(&d);
-            exact_total +=
-                greedy_covering_schedule(&d, &c, &g, &mut ExactScheduler::default(), 10_000).size();
-            ghc_total +=
-                greedy_covering_schedule(&d, &c, &g, &mut HillClimbing::default(), 10_000).size();
+            exact_total += greedy(&d, &c, &g, &mut ExactScheduler::default(), 10_000).size();
+            ghc_total += greedy(&d, &c, &g, &mut HillClimbing::default(), 10_000).size();
         }
         assert!(
             exact_total <= ghc_total,
@@ -482,7 +702,7 @@ mod tests {
         let d = small_scenario(1);
         let c = Coverage::build(&d);
         let g = interference_graph(&d);
-        let sched = greedy_covering_schedule(&d, &c, &g, &mut Lazy, 10_000);
+        let sched = greedy(&d, &c, &g, &mut Lazy, 10_000);
         assert_eq!(sched.fallback_slots(), sched.size());
         assert_eq!(
             sched.tags_served(),
@@ -496,8 +716,8 @@ mod tests {
         let d = small_scenario(3);
         let c = Coverage::build(&d);
         let g = interference_graph(&d);
-        let a = greedy_covering_schedule(&d, &c, &g, &mut ExactScheduler::default(), 10_000);
-        let b = try_greedy_covering_schedule(&d, &c, &g, &mut ExactScheduler::default(), 10_000)
+        let a = greedy(&d, &c, &g, &mut ExactScheduler::default(), 10_000);
+        let b = try_greedy(&d, &c, &g, &mut ExactScheduler::default(), 10_000)
             .expect("clean run must succeed");
         assert_eq!(a, b);
     }
@@ -507,8 +727,7 @@ mod tests {
         let d = small_scenario(0);
         let c = Coverage::build(&d);
         let g = interference_graph(&d);
-        let err = try_greedy_covering_schedule(&d, &c, &g, &mut ExactScheduler::default(), 1)
-            .unwrap_err();
+        let err = try_greedy(&d, &c, &g, &mut ExactScheduler::default(), 1).unwrap_err();
         match err {
             ScheduleError::SlotBudgetExhausted {
                 max_slots,
@@ -527,8 +746,8 @@ mod tests {
         let d = small_scenario(2);
         let c = Coverage::build(&d);
         let g = interference_graph(&d);
-        let clean = greedy_covering_schedule(&d, &c, &g, &mut ExactScheduler::default(), 10_000);
-        let res = resilient_covering_schedule(&d, &c, &g, &mut ExactScheduler::default(), 10_000);
+        let clean = greedy(&d, &c, &g, &mut ExactScheduler::default(), 10_000);
+        let res = resilient(&d, &c, &g, &mut ExactScheduler::default(), 10_000);
         assert_eq!(res.schedule, clean);
         assert_eq!(res.repaired_pairs, 0);
         assert_eq!(res.crashed_dropped, 0);
@@ -552,7 +771,7 @@ mod tests {
         let c = Coverage::build(&d);
         let g = interference_graph(&d);
         assert!(g.m() > 0, "scenario must have interference to repair");
-        let res = resilient_covering_schedule(&d, &c, &g, &mut Reckless, 10_000);
+        let res = resilient(&d, &c, &g, &mut Reckless, 10_000);
         assert!(res.repaired_pairs > 0, "nothing was repaired");
         assert!(res.complete(), "abandoned {:?}", res.abandoned_tags);
         for slot in &res.schedule.slots {
@@ -581,7 +800,7 @@ mod tests {
         let d = small_scenario(1);
         let c = Coverage::build(&d);
         let g = interference_graph(&d);
-        let res = resilient_covering_schedule(&d, &c, &g, &mut HalfDead, 10_000);
+        let res = resilient(&d, &c, &g, &mut HalfDead, 10_000);
         assert!(res.crashed_dropped > 0);
         for slot in &res.schedule.slots {
             assert!(
@@ -606,13 +825,87 @@ mod tests {
         let d = small_scenario(0);
         let c = Coverage::build(&d);
         let g = interference_graph(&d);
-        let res = resilient_covering_schedule(&d, &c, &g, &mut ExactScheduler::default(), 1);
+        let res = resilient(&d, &c, &g, &mut ExactScheduler::default(), 1);
         assert_eq!(res.schedule.size(), 1);
         assert!(!res.complete());
         assert_eq!(
             res.schedule.tags_served() + res.abandoned_tags.len(),
             c.coverable_count()
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_unified_entry_point() {
+        let d = small_scenario(5);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let via_shim = greedy_covering_schedule(&d, &c, &g, &mut HillClimbing::default(), 10_000);
+        let via_new = greedy(&d, &c, &g, &mut HillClimbing::default(), 10_000);
+        assert_eq!(via_shim, via_new);
+        let res_shim =
+            resilient_covering_schedule(&d, &c, &g, &mut HillClimbing::default(), 10_000);
+        let res_new = resilient(&d, &c, &g, &mut HillClimbing::default(), 10_000);
+        assert_eq!(res_shim.schedule, res_new.schedule);
+        assert_eq!(res_shim.repaired_pairs, res_new.repaired_pairs);
+        assert_eq!(res_shim.crashed_dropped, res_new.crashed_dropped);
+        assert_eq!(res_shim.abandoned_tags, res_new.abandoned_tags);
+        let try_shim =
+            try_greedy_covering_schedule(&d, &c, &g, &mut HillClimbing::default(), 10_000);
+        assert_eq!(try_shim.unwrap(), via_new);
+    }
+
+    #[test]
+    fn slot_metrics_reconcile_with_schedule_totals() {
+        let d = small_scenario(3);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let run = covering_schedule_with(
+            &d,
+            &c,
+            &g,
+            &mut HillClimbing::default(),
+            &McsOptions::new().max_slots(10_000).slot_metrics(true),
+        )
+        .unwrap();
+        assert_eq!(run.slot_metrics.len(), run.schedule.size());
+        let served: usize = run.slot_metrics.iter().map(|m| m.tags_served).sum();
+        assert_eq!(served, run.schedule.tags_served());
+        let fallbacks = run.slot_metrics.iter().filter(|m| m.fallback).count();
+        assert_eq!(fallbacks, run.schedule.fallback_slots());
+        for (i, m) in run.slot_metrics.iter().enumerate() {
+            assert_eq!(m.slot, i);
+            assert_eq!(m.active_readers, run.schedule.slots[i].active.len());
+            assert_eq!(m.tags_served, run.schedule.slots[i].served.len());
+            assert_eq!(m.fallback, run.schedule.slots[i].fallback);
+        }
+    }
+
+    #[test]
+    fn attached_recorder_does_not_change_the_schedule() {
+        let d = small_scenario(2);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let plain = greedy(&d, &c, &g, &mut HillClimbing::default(), 10_000);
+        let rec = rfid_obs::Recorder::new();
+        let observed = covering_schedule_with(
+            &d,
+            &c,
+            &g,
+            &mut HillClimbing::default(),
+            &McsOptions::new().max_slots(10_000).subscriber(&rec),
+        )
+        .unwrap();
+        assert_eq!(observed.schedule, plain);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("mcs.slots"), plain.size() as u64);
+        assert_eq!(snap.counter("mcs.tags_served"), plain.tags_served() as u64);
+        assert_eq!(
+            snap.counter("mcs.fallback_slots"),
+            plain.fallback_slots() as u64
+        );
+        assert_eq!(snap.spans["mcs.covering_schedule"].count, 1);
+        assert_eq!(snap.spans["mcs.slot"].count, plain.size() as u64);
     }
 
     #[test]
@@ -626,7 +919,7 @@ mod tests {
         );
         let c = Coverage::build(&d);
         let g = interference_graph(&d);
-        let sched = greedy_covering_schedule(&d, &c, &g, &mut ExactScheduler::default(), 10);
+        let sched = greedy(&d, &c, &g, &mut ExactScheduler::default(), 10);
         assert_eq!(sched.size(), 0);
         assert!(sched.uncoverable.is_empty());
     }
@@ -642,7 +935,7 @@ mod tests {
         );
         let c = Coverage::build(&d);
         let g = interference_graph(&d);
-        let sched = greedy_covering_schedule(&d, &c, &g, &mut ExactScheduler::default(), 10);
+        let sched = greedy(&d, &c, &g, &mut ExactScheduler::default(), 10);
         assert_eq!(sched.size(), 1);
         assert_eq!(sched.uncoverable, vec![1]);
         assert_eq!(sched.tags_served(), 1);

@@ -39,6 +39,7 @@ pub use survivors::{compute_survivors, SquareTree};
 use crate::scheduler::{OneShotInput, OneShotScheduler};
 use rfid_geometry::{LevelAssignment, Shifting};
 use rfid_model::{IncrementalWeight, ReaderId, WeightEvaluator};
+use rfid_obs::{counter, histogram, span};
 
 /// Algorithm 1 configuration.
 #[derive(Debug, Clone, Copy)]
@@ -76,6 +77,8 @@ impl OneShotScheduler for PtasScheduler {
 
     fn schedule(&mut self, input: &OneShotInput<'_>) -> Vec<ReaderId> {
         assert!(self.k >= 2, "k must be ≥ 2");
+        let sub = input.subscriber();
+        let _span = span!(sub, "ptas.schedule");
         let n = input.deployment.n_readers();
         if n == 0 {
             return Vec::new();
@@ -105,10 +108,13 @@ impl OneShotScheduler for PtasScheduler {
                 .map(|&shift| self.solve_shifting(input, &candidates, &levels, shift))
                 .collect()
         };
+        counter!(sub, "ptas.shiftings", solutions.len() as u64);
+        counter!(sub, "ptas.candidates", candidates.len() as u64);
         let mut best: Vec<ReaderId> = Vec::new();
         let mut best_w = 0usize;
         for x in solutions {
             let w = weights.weight(&x, input.unread);
+            histogram!(sub, "ptas.shifting_weight", w as u64);
             if w > best_w || (w == best_w && x.len() < best.len()) {
                 best_w = w;
                 best = x;

@@ -1,0 +1,258 @@
+//! Name→scheduler registry and the stateless [`Scheduler`] facade.
+//!
+//! Before this module, three places kept their own algorithm tables: the
+//! cli's `parse_algorithm` match, the sweep harness's factory calls and
+//! the cross-validation tests' lineup loops. The registry is now the one
+//! table mapping canonical labels (and their cli aliases) to
+//! [`AlgorithmKind`]s and factory calls; [`make_scheduler`] remains the
+//! low-level constructor behind it.
+
+use crate::scheduler::{make_scheduler, AlgorithmKind, OneShotInput, OneShotScheduler};
+use rfid_model::ReaderId;
+
+/// A feasible scheduling set returned by [`Scheduler::one_shot`]: pairwise
+/// independent readers, in the order the algorithm produced them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeasibleSet {
+    readers: Vec<ReaderId>,
+}
+
+impl FeasibleSet {
+    /// The activated readers.
+    pub fn readers(&self) -> &[ReaderId] {
+        &self.readers
+    }
+
+    /// Consumes the set into its reader vector.
+    pub fn into_vec(self) -> Vec<ReaderId> {
+        self.readers
+    }
+
+    /// Number of activated readers.
+    pub fn len(&self) -> usize {
+        self.readers.len()
+    }
+
+    /// `true` when no reader is activated.
+    pub fn is_empty(&self) -> bool {
+        self.readers.is_empty()
+    }
+}
+
+impl From<Vec<ReaderId>> for FeasibleSet {
+    fn from(readers: Vec<ReaderId>) -> Self {
+        FeasibleSet { readers }
+    }
+}
+
+impl AsRef<[ReaderId]> for FeasibleSet {
+    fn as_ref(&self) -> &[ReaderId] {
+        &self.readers
+    }
+}
+
+/// The stateless one-shot scheduling facade: a fresh run per call, no
+/// mutable borrow needed.
+///
+/// Blanket-implemented for every [`OneShotScheduler`] that is `Clone`
+/// (all six built-ins), by running a clone — so harnesses can hold one
+/// configured instance and schedule from shared references, while the
+/// mutable [`OneShotScheduler`] remains the trait algorithms implement.
+pub trait Scheduler {
+    /// Stable name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Computes an (approximate) maximum weighted feasible scheduling
+    /// set for one time slot.
+    fn one_shot(&self, input: &OneShotInput<'_>) -> FeasibleSet;
+}
+
+impl<T: OneShotScheduler + Clone> Scheduler for T {
+    fn name(&self) -> &'static str {
+        OneShotScheduler::name(self)
+    }
+
+    fn one_shot(&self, input: &OneShotInput<'_>) -> FeasibleSet {
+        self.clone().schedule(input).into()
+    }
+}
+
+/// One registry row: the canonical label, its cli aliases and a short
+/// description.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerEntry {
+    /// The algorithm this row names.
+    pub kind: AlgorithmKind,
+    /// Canonical label — identical to [`AlgorithmKind::label`].
+    pub label: &'static str,
+    /// Accepted aliases (cli spellings).
+    pub aliases: &'static [&'static str],
+    /// One-line description for `--help`-style listings.
+    pub summary: &'static str,
+}
+
+static ENTRIES: [SchedulerEntry; 6] = [
+    SchedulerEntry {
+        kind: AlgorithmKind::Ptas,
+        label: "alg1-ptas",
+        aliases: &["alg1", "ptas"],
+        summary: "Algorithm 1 — shifting-strips PTAS (needs locations)",
+    },
+    SchedulerEntry {
+        kind: AlgorithmKind::LocalGreedy,
+        label: "alg2-central",
+        aliases: &["alg2", "central"],
+        summary: "Algorithm 2 — centralized local greedy",
+    },
+    SchedulerEntry {
+        kind: AlgorithmKind::Distributed,
+        label: "alg3-distributed",
+        aliases: &["alg3", "distributed"],
+        summary: "Algorithm 3 — distributed via message passing",
+    },
+    SchedulerEntry {
+        kind: AlgorithmKind::Colorwave,
+        label: "ca-colorwave",
+        aliases: &["ca", "colorwave"],
+        summary: "Colorwave baseline (graph coloring)",
+    },
+    SchedulerEntry {
+        kind: AlgorithmKind::HillClimbing,
+        label: "ghc",
+        aliases: &["hill-climbing"],
+        summary: "Greedy hill-climbing baseline",
+    },
+    SchedulerEntry {
+        kind: AlgorithmKind::Exact,
+        label: "exact",
+        aliases: &["branch-and-bound"],
+        summary: "Exact branch-and-bound (small instances only)",
+    },
+];
+
+/// The single name↔algorithm table shared by cli, harnesses and tests.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerRegistry {
+    entries: &'static [SchedulerEntry],
+}
+
+impl SchedulerRegistry {
+    /// The built-in registry covering every [`AlgorithmKind`].
+    pub fn global() -> Self {
+        SchedulerRegistry { entries: &ENTRIES }
+    }
+
+    /// All rows, in paper lineup order followed by `exact`.
+    pub fn entries(&self) -> &'static [SchedulerEntry] {
+        self.entries
+    }
+
+    /// The registry row for `kind`.
+    pub fn entry(&self, kind: AlgorithmKind) -> &'static SchedulerEntry {
+        self.entries
+            .iter()
+            .find(|e| e.kind == kind)
+            .expect("every AlgorithmKind has a registry row")
+    }
+
+    /// Case-insensitive lookup by canonical label or alias.
+    pub fn resolve(&self, name: &str) -> Option<AlgorithmKind> {
+        let needle = name.to_ascii_lowercase();
+        self.entries
+            .iter()
+            .find(|e| e.label == needle || e.aliases.contains(&needle.as_str()))
+            .map(|e| e.kind)
+    }
+
+    /// Like [`resolve`](Self::resolve) but with an error message listing
+    /// every accepted spelling.
+    pub fn parse(&self, name: &str) -> Result<AlgorithmKind, String> {
+        self.resolve(name).ok_or_else(|| {
+            let known: Vec<&str> = self
+                .entries
+                .iter()
+                .flat_map(|e| std::iter::once(e.label).chain(e.aliases.iter().copied()))
+                .collect();
+            format!("unknown algorithm {name:?}; known: {}", known.join(", "))
+        })
+    }
+
+    /// Instantiates the named scheduler (label or alias) with its default
+    /// parameters; `seed` feeds the randomised algorithms.
+    pub fn build(&self, name: &str, seed: u64) -> Result<Box<dyn OneShotScheduler>, String> {
+        self.parse(name).map(|kind| make_scheduler(kind, seed))
+    }
+
+    /// Instantiates a scheduler for an already-resolved kind.
+    pub fn instantiate(&self, kind: AlgorithmKind, seed: u64) -> Box<dyn OneShotScheduler> {
+        make_scheduler(kind, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_model::interference::interference_graph;
+    use rfid_model::{Coverage, Scenario, TagSet};
+
+    #[test]
+    fn labels_match_algorithm_kind() {
+        for e in SchedulerRegistry::global().entries() {
+            assert_eq!(e.label, e.kind.label());
+        }
+    }
+
+    #[test]
+    fn every_kind_has_exactly_one_row() {
+        let reg = SchedulerRegistry::global();
+        for kind in AlgorithmKind::paper_lineup()
+            .into_iter()
+            .chain(std::iter::once(AlgorithmKind::Exact))
+        {
+            assert_eq!(reg.entry(kind).kind, kind);
+        }
+        assert_eq!(reg.entries().len(), 6);
+    }
+
+    #[test]
+    fn aliases_resolve_case_insensitively() {
+        let reg = SchedulerRegistry::global();
+        assert_eq!(reg.resolve("ALG2"), Some(AlgorithmKind::LocalGreedy));
+        assert_eq!(reg.resolve("ghc"), Some(AlgorithmKind::HillClimbing));
+        assert_eq!(reg.resolve("Colorwave"), Some(AlgorithmKind::Colorwave));
+        assert!(reg.resolve("nope").is_none());
+        let err = reg.parse("nope").unwrap_err();
+        assert!(err.contains("alg2-central"), "{err}");
+    }
+
+    #[test]
+    fn no_label_or_alias_collides() {
+        let mut names: Vec<&str> = SchedulerRegistry::global()
+            .entries()
+            .iter()
+            .flat_map(|e| std::iter::once(e.label).chain(e.aliases.iter().copied()))
+            .collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate registry spelling");
+    }
+
+    #[test]
+    fn stateless_facade_matches_the_mutable_trait() {
+        fn check<S: OneShotScheduler + Clone>(s: S, input: &OneShotInput<'_>) {
+            let stateless = Scheduler::one_shot(&s, input).into_vec();
+            let mut owned = s;
+            assert_eq!(stateless, owned.schedule(input), "{}", owned.name());
+        }
+        let d = Scenario::paper_evaluation(14.0, 6.0).generate(11);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let unread = TagSet::all_unread(d.n_tags());
+        let input = OneShotInput::builder(&d, &c, &g).unread(&unread).build();
+        check(crate::ptas::PtasScheduler::default(), &input);
+        check(crate::local_greedy::LocalGreedy::default(), &input);
+        check(crate::hill_climbing::HillClimbing::default(), &input);
+        check(crate::colorwave::Colorwave::seeded(7), &input);
+    }
+}

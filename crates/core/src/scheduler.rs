@@ -2,6 +2,7 @@
 
 use rfid_graph::Csr;
 use rfid_model::{Coverage, Deployment, ReaderId, TagSet, WeightEvaluator};
+use rfid_obs::Subscriber;
 use serde::{Deserialize, Serialize};
 
 /// Everything a one-shot scheduler may consult for a single time slot.
@@ -11,6 +12,9 @@ use serde::{Deserialize, Serialize};
 /// `deployment`; Algorithms 2/3 only touch `graph`, `coverage` and
 /// `unread`; the distributed scheduler additionally restricts itself to
 /// hop-bounded views of them.
+///
+/// Construct with [`OneShotInput::builder`]; [`OneShotInput::new`] remains
+/// as shorthand for the common deployment-plus-unread case.
 pub struct OneShotInput<'a> {
     /// The physical world: readers, radii, tags.
     pub deployment: &'a Deployment,
@@ -22,51 +26,169 @@ pub struct OneShotInput<'a> {
     pub unread: &'a TagSet,
     /// Optional precomputed per-reader singleton weights `w({v})` under
     /// `unread`, provided by drivers that maintain them incrementally
-    /// across slots (the MCS loop). Private so the only way in is
-    /// [`with_singleton_weights`](Self::with_singleton_weights), which
-    /// asserts consistency.
+    /// across slots (the MCS loop). Private so the only ways in are the
+    /// builder and [`with_singleton_weights`](Self::with_singleton_weights),
+    /// which assert consistency.
     singleton: Option<&'a [usize]>,
+    /// Observation sink for the scheduler's spans/counters; `None` (the
+    /// default) costs one branch per instrumentation site. Subscribers
+    /// observe only — by the DESIGN.md §8 contract they never influence
+    /// the returned set.
+    subscriber: Option<&'a dyn Subscriber>,
+}
+
+/// Staged construction of a [`OneShotInput`] — see
+/// [`OneShotInput::builder`].
+pub struct OneShotInputBuilder<'a> {
+    deployment: &'a Deployment,
+    coverage: &'a Coverage,
+    graph: &'a Csr,
+    unread: Option<&'a TagSet>,
+    singleton: Option<&'a [usize]>,
+    subscriber: Option<&'a dyn Subscriber>,
+}
+
+impl<'a> OneShotInputBuilder<'a> {
+    /// Sets the unread-tag set (required).
+    pub fn unread(mut self, unread: &'a TagSet) -> Self {
+        debug_assert_eq!(unread.len(), self.deployment.n_tags());
+        self.unread = Some(unread);
+        self
+    }
+
+    /// Attaches precomputed singleton weights (`weights[v] == w({v})`
+    /// under the unread set — the caller's responsibility, debug-asserted
+    /// by sampling a seeded random subset of readers at
+    /// [`build`](Self::build)). Schedulers then skip their own
+    /// `O(Σ|tags(v)|)` rescan.
+    pub fn singleton_weights(mut self, weights: &'a [usize]) -> Self {
+        debug_assert_eq!(weights.len(), self.deployment.n_readers());
+        self.singleton = Some(weights);
+        self
+    }
+
+    /// Attaches an observation sink for the scheduler's instrumentation.
+    pub fn subscriber(mut self, subscriber: &'a dyn Subscriber) -> Self {
+        self.subscriber = Some(subscriber);
+        self
+    }
+
+    /// Like [`subscriber`](Self::subscriber) but accepts the optional
+    /// handle drivers already hold, so they can forward it verbatim.
+    pub fn maybe_subscriber(mut self, subscriber: Option<&'a dyn Subscriber>) -> Self {
+        self.subscriber = subscriber;
+        self
+    }
+
+    /// Finalises the input.
+    ///
+    /// # Panics
+    /// When [`unread`](Self::unread) was never provided.
+    pub fn build(self) -> OneShotInput<'a> {
+        let unread = self
+            .unread
+            .expect("OneShotInput::builder requires .unread(...)");
+        let input = OneShotInput {
+            deployment: self.deployment,
+            coverage: self.coverage,
+            graph: self.graph,
+            unread,
+            singleton: self.singleton,
+            subscriber: self.subscriber,
+        };
+        #[cfg(debug_assertions)]
+        if let Some(weights) = input.singleton {
+            input.debug_check_singleton(weights);
+        }
+        input
+    }
 }
 
 impl<'a> OneShotInput<'a> {
-    /// Bundles the three derived structures with the deployment. The caller
-    /// is responsible for `coverage`/`graph` actually belonging to
-    /// `deployment` (debug-asserted).
+    /// Starts building an input from the deployment and its two derived
+    /// structures. The caller is responsible for `coverage`/`graph`
+    /// actually belonging to `deployment` (debug-asserted).
+    pub fn builder(
+        deployment: &'a Deployment,
+        coverage: &'a Coverage,
+        graph: &'a Csr,
+    ) -> OneShotInputBuilder<'a> {
+        debug_assert_eq!(coverage.n_readers(), deployment.n_readers());
+        debug_assert_eq!(graph.n(), deployment.n_readers());
+        OneShotInputBuilder {
+            deployment,
+            coverage,
+            graph,
+            unread: None,
+            singleton: None,
+            subscriber: None,
+        }
+    }
+
+    /// Shorthand for `builder(deployment, coverage, graph).unread(unread)
+    /// .build()` — the common case with no attached weights or subscriber.
     pub fn new(
         deployment: &'a Deployment,
         coverage: &'a Coverage,
         graph: &'a Csr,
         unread: &'a TagSet,
     ) -> Self {
-        debug_assert_eq!(coverage.n_readers(), deployment.n_readers());
-        debug_assert_eq!(graph.n(), deployment.n_readers());
-        debug_assert_eq!(unread.len(), deployment.n_tags());
-        OneShotInput {
-            deployment,
-            coverage,
-            graph,
-            unread,
-            singleton: None,
-        }
+        Self::builder(deployment, coverage, graph)
+            .unread(unread)
+            .build()
     }
 
-    /// Attaches precomputed singleton weights (`weights[v] == w({v})`
-    /// under `unread` — the caller's responsibility, debug-asserted by
-    /// sampling). Schedulers then skip their own `O(Σ|tags(v)|)` rescan.
+    /// Attaches precomputed singleton weights to an already-built input.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use OneShotInput::builder(...).singleton_weights(...) instead"
+    )]
     pub fn with_singleton_weights(mut self, weights: &'a [usize]) -> Self {
         debug_assert_eq!(weights.len(), self.deployment.n_readers());
         #[cfg(debug_assertions)]
-        if !weights.is_empty() {
-            let expect = WeightEvaluator::new(self.coverage).singleton_weight(0, self.unread);
-            debug_assert_eq!(weights[0], expect, "stale singleton weights");
-        }
+        self.debug_check_singleton(weights);
         self.singleton = Some(weights);
         self
+    }
+
+    /// Samples a seeded random subset of readers and asserts their cached
+    /// singleton weight matches a fresh evaluation — catching stale
+    /// incremental state for *any* reader in debug builds, not just
+    /// reader 0. The seed mixes the reader count with the cached weights
+    /// so different call sites probe different subsets, while staying
+    /// deterministic for a given input.
+    #[cfg(debug_assertions)]
+    fn debug_check_singleton(&self, weights: &[usize]) {
+        let n = weights.len();
+        if n == 0 {
+            return;
+        }
+        let mut eval = WeightEvaluator::new(self.coverage);
+        let mut state = (n as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(weights.iter().take(16).sum::<usize>() as u64);
+        for _ in 0..n.min(4) {
+            // splitmix64 step
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let v = (z % n as u64) as usize;
+            let expect = eval.singleton_weight(v, self.unread);
+            debug_assert_eq!(weights[v], expect, "stale singleton weight for reader {v}");
+        }
     }
 
     /// The attached singleton weights, if any.
     pub fn singleton_weights(&self) -> Option<&'a [usize]> {
         self.singleton
+    }
+
+    /// The attached observation sink, if any. Schedulers forward this to
+    /// their instrumentation macros.
+    pub fn subscriber(&self) -> Option<&'a dyn Subscriber> {
+        self.subscriber
     }
 
     /// Per-reader singleton weights: the attached incremental snapshot
@@ -127,6 +249,10 @@ pub trait OneShotScheduler {
 }
 
 /// Enumeration of the built-in algorithms, for harness configuration.
+///
+/// The default is [`LocalGreedy`](Self::LocalGreedy) — the paper's
+/// central Algorithm 2, the workhorse the MCS drivers assume when no
+/// algorithm is named.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AlgorithmKind {
     /// Algorithm 1 — PTAS with location information.
@@ -141,6 +267,15 @@ pub enum AlgorithmKind {
     HillClimbing,
     /// Exact branch-and-bound (exponential; small instances only).
     Exact,
+}
+
+// Manual impl rather than `#[derive(Default)]`: the vendored serde derive
+// walks variant attributes and does not understand `#[default]`.
+#[allow(clippy::derivable_impls)]
+impl Default for AlgorithmKind {
+    fn default() -> Self {
+        AlgorithmKind::LocalGreedy
+    }
 }
 
 impl AlgorithmKind {

@@ -85,7 +85,7 @@ pub fn verify_covering_schedule(
 mod tests {
     use super::*;
     use crate::hill_climbing::HillClimbing;
-    use crate::mcs::{greedy_covering_schedule, SlotRecord};
+    use crate::mcs::{covering_schedule_with, McsOptions, SlotRecord};
     use rfid_model::interference::interference_graph;
     use rfid_model::scenario::{Scenario, ScenarioKind};
     use rfid_model::RadiusModel;
@@ -104,7 +104,15 @@ mod tests {
         .generate(seed);
         let c = Coverage::build(&d);
         let g = interference_graph(&d);
-        let schedule = greedy_covering_schedule(&d, &c, &g, &mut HillClimbing::default(), 10_000);
+        let schedule = covering_schedule_with(
+            &d,
+            &c,
+            &g,
+            &mut HillClimbing::default(),
+            &McsOptions::new().max_slots(10_000),
+        )
+        .unwrap()
+        .schedule;
         (d, schedule)
     }
 

@@ -5,7 +5,8 @@
 use proptest::prelude::*;
 use rfid_core::exact::exact_mwfs_restricted;
 use rfid_core::{
-    greedy_covering_schedule, make_scheduler, AlgorithmKind, OneShotInput, OneShotScheduler,
+    covering_schedule_with, make_scheduler, AlgorithmKind, McsOptions, OneShotInput,
+    OneShotScheduler,
 };
 use rfid_geometry::{Point, Rect};
 use rfid_model::interference::interference_graph;
@@ -86,7 +87,11 @@ proptest! {
         let c = Coverage::build(&d);
         let g = interference_graph(&d);
         let mut scheduler = make_scheduler(kind, 3);
-        let schedule = greedy_covering_schedule(&d, &c, &g, scheduler.as_mut(), 50_000);
+        let schedule = covering_schedule_with(
+            &d, &c, &g, scheduler.as_mut(), &McsOptions::new().max_slots(50_000),
+        )
+        .expect("strict covering schedule diverged")
+        .schedule;
         prop_assert_eq!(schedule.tags_served(), c.coverable_count(), "{:?}", kind);
         let mut seen = std::collections::BTreeSet::new();
         for slot in &schedule.slots {

@@ -210,6 +210,22 @@ impl<N: Node> Network<N> {
         }
         self.stats.rounds - start
     }
+
+    /// [`run_until_quiescent`](Self::run_until_quiescent) wrapped in a
+    /// `net.run` span, reporting this call's [`NetStats`] delta to `sub`
+    /// as `net.*` counters. Execution is bit-identical with or without a
+    /// subscriber — the instrumentation only reads the accounting.
+    pub fn run_until_quiescent_observed(
+        &mut self,
+        max_rounds: u64,
+        sub: Option<&dyn rfid_obs::Subscriber>,
+    ) -> u64 {
+        let _span = rfid_obs::span!(sub, "net.run");
+        let before = self.stats;
+        let ran = self.run_until_quiescent(max_rounds);
+        self.stats.delta_since(&before).report_to(sub);
+        ran
+    }
 }
 
 #[cfg(test)]

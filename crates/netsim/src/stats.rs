@@ -36,6 +36,30 @@ impl NetStats {
         self.crashed += other.crashed;
         self.retransmits += other.retransmits;
     }
+
+    /// The per-field difference `self − earlier` (saturating), for
+    /// reporting just the cost of one execution window.
+    pub fn delta_since(&self, earlier: &NetStats) -> NetStats {
+        NetStats {
+            rounds: self.rounds.saturating_sub(earlier.rounds),
+            messages: self.messages.saturating_sub(earlier.messages),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+            dropped: self.dropped.saturating_sub(earlier.dropped),
+            crashed: self.crashed.saturating_sub(earlier.crashed),
+            retransmits: self.retransmits.saturating_sub(earlier.retransmits),
+        }
+    }
+
+    /// Bumps the `net.*` counters on `sub` by this record's values.
+    /// Observation only — never changes execution.
+    pub fn report_to(&self, sub: Option<&dyn rfid_obs::Subscriber>) {
+        rfid_obs::counter!(sub, "net.rounds", self.rounds);
+        rfid_obs::counter!(sub, "net.messages", self.messages);
+        rfid_obs::counter!(sub, "net.bytes", self.bytes);
+        rfid_obs::counter!(sub, "net.dropped", self.dropped);
+        rfid_obs::counter!(sub, "net.crashed", self.crashed);
+        rfid_obs::counter!(sub, "net.retransmits", self.retransmits);
+    }
 }
 
 #[cfg(test)]

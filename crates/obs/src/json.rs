@@ -1,0 +1,42 @@
+//! Minimal JSON string assembly shared by the snapshot and slot-metrics
+//! exporters. `rfid_obs` has no `serde` dependency, so it writes its own
+//! (strictly valid, deterministic) JSON; consumers re-parse it with
+//! whatever JSON stack they use.
+
+/// Appends `s` as a JSON string literal.
+pub fn push_str_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `"key":` (with escaping).
+pub fn push_key(out: &mut String, key: &str) {
+    push_str_escaped(out, key);
+    out.push(':');
+}
+
+/// Joins pre-rendered JSON values into an array.
+pub fn array_of(items: impl IntoIterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}

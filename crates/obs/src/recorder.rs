@@ -1,0 +1,350 @@
+//! The collecting subscriber and its deterministic snapshots.
+
+use crate::json;
+use crate::subscriber::{EventRecord, Subscriber, Value};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Events kept by [`Recorder::with_events`] before older ones are
+/// counted-but-dropped. Bounds memory on pathological workloads while
+/// keeping every event of a normal schedule run.
+const EVENT_LOG_CAP: usize = 1 << 16;
+
+/// Number of log₂ buckets: bucket 0 holds the value 0, bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i)`.
+const N_BUCKETS: usize = 65;
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    spans: BTreeMap<&'static str, SpanStat>,
+    events: Vec<EventRecord>,
+    events_dropped: u64,
+}
+
+#[derive(Clone)]
+struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; N_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; N_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let bucket = if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        };
+        self.buckets[bucket] += 1;
+    }
+}
+
+#[derive(Default, Clone, Copy)]
+struct SpanStat {
+    count: u64,
+    total_nanos: u64,
+}
+
+/// The in-memory collecting [`Subscriber`]: thread-safe counters,
+/// histograms, span totals and (optionally) a bounded event log.
+///
+/// Everything except wall-clock span durations is a pure function of the
+/// instrumented computation, so deterministic workloads produce identical
+/// [`MetricsSnapshot`]s run to run.
+#[derive(Default)]
+pub struct Recorder {
+    inner: Mutex<Inner>,
+    record_events: bool,
+}
+
+impl Recorder {
+    /// A recorder collecting counters, histograms and span totals.
+    /// Individual events are counted (`events_seen`) but not stored.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Like [`new`](Self::new), but also keeps the first
+    /// `EVENT_LOG_CAP` individual events for trace output.
+    pub fn with_events() -> Self {
+        Recorder {
+            inner: Mutex::default(),
+            record_events: true,
+        }
+    }
+
+    /// A sorted, self-consistent copy of everything collected so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("recorder poisoned");
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(&k, h)| {
+                    (
+                        k.to_string(),
+                        HistogramSnapshot {
+                            count: h.count,
+                            sum: h.sum,
+                            min: if h.count == 0 { 0 } else { h.min },
+                            max: h.max,
+                            // Only non-empty buckets, as (bucket upper
+                            // bound, count) pairs.
+                            buckets: h
+                                .buckets
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, &c)| c > 0)
+                                .map(|(i, &c)| {
+                                    let upper = if i == 0 {
+                                        0
+                                    } else {
+                                        1u64.checked_shl(i as u32).map_or(u64::MAX, |b| b - 1)
+                                    };
+                                    (upper, c)
+                                })
+                                .collect(),
+                        },
+                    )
+                })
+                .collect(),
+            spans: inner
+                .spans
+                .iter()
+                .map(|(&k, s)| {
+                    (
+                        k.to_string(),
+                        SpanSnapshot {
+                            count: s.count,
+                            total_nanos: s.total_nanos,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// The stored events, in emission order (empty unless built by
+    /// [`with_events`](Self::with_events)).
+    pub fn events(&self) -> Vec<EventRecord> {
+        self.inner.lock().expect("recorder poisoned").events.clone()
+    }
+
+    /// Events not stored because the log cap was reached.
+    pub fn events_dropped(&self) -> u64 {
+        self.inner.lock().expect("recorder poisoned").events_dropped
+    }
+}
+
+impl Subscriber for Recorder {
+    fn event(&self, name: &'static str, fields: &[(&'static str, Value)]) {
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        *inner.counters.entry("events_seen").or_default() += 1;
+        if self.record_events {
+            if inner.events.len() < EVENT_LOG_CAP {
+                inner.events.push(EventRecord {
+                    name: name.to_string(),
+                    fields: fields
+                        .iter()
+                        .map(|&(k, ref v)| (k.to_string(), v.clone()))
+                        .collect(),
+                });
+            } else {
+                inner.events_dropped += 1;
+            }
+        }
+    }
+
+    fn counter(&self, name: &'static str, delta: u64) {
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        *inner.counters.entry(name).or_default() += delta;
+    }
+
+    fn histogram(&self, name: &'static str, value: u64) {
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        inner.histograms.entry(name).or_default().record(value);
+    }
+
+    fn span_close(&self, name: &'static str, nanos: u64) {
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        let stat = inner.spans.entry(name).or_default();
+        stat.count += 1;
+        stat.total_nanos = stat.total_nanos.saturating_add(nanos);
+    }
+}
+
+/// Aggregate of one histogram at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Saturating sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Non-empty log₂ buckets as `(inclusive upper bound, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// Aggregate of one span name at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Closures observed.
+    pub count: u64,
+    /// Total wall-clock nanoseconds (saturating). Wall time is
+    /// measurement, not behaviour: it is excluded from determinism
+    /// comparisons and from [`MetricsSnapshot::to_json`] by default.
+    pub total_nanos: u64,
+}
+
+/// A sorted copy of a [`Recorder`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram aggregates by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Span aggregates by name.
+    pub spans: BTreeMap<String, SpanSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The named counter's total, or 0 if never incremented.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Deterministic JSON rendering: keys sorted, wall-clock span
+    /// durations replaced by closure counts only, so two runs of the same
+    /// deterministic workload serialize byte-identically.
+    pub fn to_json(&self) -> String {
+        self.render(false)
+    }
+
+    /// JSON rendering including wall-clock span totals
+    /// (`span_total_nanos`) — for human-facing reports, not for
+    /// determinism comparisons.
+    pub fn to_json_with_timings(&self) -> String {
+        self.render(true)
+    }
+
+    fn render(&self, timings: bool) -> String {
+        let mut out = String::from("{");
+        json::push_key(&mut out, "counters");
+        out.push('{');
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_key(&mut out, k);
+            out.push_str(&v.to_string());
+        }
+        out.push('}');
+        out.push(',');
+        json::push_key(&mut out, "histograms");
+        out.push('{');
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_key(&mut out, k);
+            out.push_str(&format!(
+                "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":{}}}",
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                json::array_of(h.buckets.iter().map(|(u, c)| format!("[{u},{c}]")))
+            ));
+        }
+        out.push('}');
+        out.push(',');
+        json::push_key(&mut out, "spans");
+        out.push('{');
+        for (i, (k, s)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_key(&mut out, k);
+            if timings {
+                out.push_str(&format!(
+                    "{{\"count\":{},\"total_nanos\":{}}}",
+                    s.count, s.total_nanos
+                ));
+            } else {
+                out.push_str(&format!("{{\"count\":{}}}", s.count));
+            }
+        }
+        out.push('}');
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let rec = Recorder::new();
+        for v in [0u64, 1, 2, 3, 4, 1000] {
+            rec.histogram("h", v);
+        }
+        let snap = rec.snapshot();
+        let h = &snap.histograms["h"];
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1010);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        // 0 → [0,0]; 1 → (0,1]; 2,3 → (1,3]; 4 → (3,7]; 1000 → (511,1023].
+        assert_eq!(h.buckets, vec![(0, 1), (1, 1), (3, 2), (7, 1), (1023, 1)]);
+    }
+
+    #[test]
+    fn snapshot_json_omits_wall_time_unless_asked() {
+        let rec = Recorder::new();
+        rec.span_close("s", 123);
+        let snap = rec.snapshot();
+        assert!(!snap.to_json().contains("total_nanos"));
+        assert!(snap.to_json_with_timings().contains("\"total_nanos\":123"));
+    }
+
+    #[test]
+    fn event_log_caps_and_counts_drops() {
+        let rec = Recorder::with_events();
+        for _ in 0..3 {
+            rec.event("e", &[]);
+        }
+        assert_eq!(rec.events().len(), 3);
+        assert_eq!(rec.events_dropped(), 0);
+        assert_eq!(rec.snapshot().counter("events_seen"), 3);
+    }
+}

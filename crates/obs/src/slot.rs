@@ -1,0 +1,94 @@
+//! Per-slot metric records produced by the MCS drivers.
+
+use crate::json;
+
+/// What one covering-schedule slot did, as observed by the driver.
+///
+/// Everything except `wall_nanos` is a pure function of the schedule
+/// (so it reconciles exactly with `CoveringSchedule` totals and is safe
+/// to compare across runs); `wall_nanos` is measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotMetrics {
+    /// Slot index within the schedule (0-based activation order).
+    pub slot: usize,
+    /// Size of the activated feasible scheduling set.
+    pub active_readers: usize,
+    /// Well-covered tags served this slot.
+    pub tags_served: usize,
+    /// `true` when the progress guard produced this slot instead of the
+    /// one-shot scheduler.
+    pub fallback: bool,
+    /// Wall-clock time spent producing the slot (scheduling + weight
+    /// accounting). Excluded from determinism comparisons.
+    pub wall_nanos: u64,
+}
+
+impl SlotMetrics {
+    fn to_json_row(&self) -> String {
+        format!(
+            "{{\"slot\":{},\"active_readers\":{},\"tags_served\":{},\"fallback\":{},\"wall_nanos\":{}}}",
+            self.slot, self.active_readers, self.tags_served, self.fallback, self.wall_nanos
+        )
+    }
+}
+
+/// Renders slot records as a JSON array (one object per slot).
+pub fn slot_metrics_to_json(slots: &[SlotMetrics]) -> String {
+    json::array_of(slots.iter().map(SlotMetrics::to_json_row))
+}
+
+/// Renders slot records as CSV with a header row.
+pub fn slot_metrics_to_csv(slots: &[SlotMetrics]) -> String {
+    let mut out = String::from("slot,active_readers,tags_served,fallback,wall_nanos\n");
+    for s in slots {
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            s.slot, s.active_readers, s.tags_served, s.fallback, s.wall_nanos
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<SlotMetrics> {
+        vec![
+            SlotMetrics {
+                slot: 0,
+                active_readers: 3,
+                tags_served: 17,
+                fallback: false,
+                wall_nanos: 1200,
+            },
+            SlotMetrics {
+                slot: 1,
+                active_readers: 1,
+                tags_served: 1,
+                fallback: true,
+                wall_nanos: 300,
+            },
+        ]
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_slot() {
+        let csv = slot_metrics_to_csv(&sample());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "slot,active_readers,tags_served,fallback,wall_nanos"
+        );
+        assert_eq!(lines[2], "1,1,1,true,300");
+    }
+
+    #[test]
+    fn json_is_an_array_of_objects() {
+        let j = slot_metrics_to_json(&sample());
+        assert!(j.starts_with('['));
+        assert!(j.contains("\"fallback\":true"));
+        assert_eq!(slot_metrics_to_json(&[]), "[]");
+    }
+}

@@ -9,11 +9,10 @@
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use rfid_core::{
-    greedy_covering_schedule, resilient_covering_schedule, CoveringSchedule, OneShotScheduler,
-};
+use rfid_core::{covering_schedule_with, CoveringSchedule, McsOptions, OneShotScheduler};
 use rfid_model::interference::interference_graph;
 use rfid_model::{audit_activation, Coverage, Deployment, TagId, TagSet};
+use rfid_obs::{SlotMetrics, Subscriber};
 use rfid_protocols::{AntiCollisionProtocol, FramedAloha, TreeWalking};
 use serde::{Deserialize, Serialize};
 
@@ -105,29 +104,56 @@ impl<'a> SlotSimulator<'a> {
     /// set — both would indicate a scheduler bug, and the simulator's whole
     /// point is to catch them.
     pub fn run(&self, scheduler: &mut dyn OneShotScheduler) -> SimReport {
-        let schedule = greedy_covering_schedule(
+        let run = covering_schedule_with(
             self.deployment,
             &self.coverage,
             &self.graph,
             scheduler,
-            self.max_slots,
-        );
-        self.replay(schedule, true)
+            &McsOptions::new().max_slots(self.max_slots),
+        )
+        .expect("strict covering schedule diverged");
+        self.replay(run.schedule, true)
+    }
+
+    /// [`run`](Self::run) with per-slot [`SlotMetrics`] collected and
+    /// scheduler instrumentation routed to `sub` (pass `None` for metrics
+    /// only). The schedule is bit-identical to an unobserved [`run`].
+    pub fn run_with_metrics(
+        &self,
+        scheduler: &mut dyn OneShotScheduler,
+        sub: Option<&dyn Subscriber>,
+    ) -> (SimReport, Vec<SlotMetrics>) {
+        let mut options = McsOptions::new()
+            .max_slots(self.max_slots)
+            .slot_metrics(true);
+        if let Some(s) = sub {
+            options = options.subscriber(s);
+        }
+        let run = covering_schedule_with(
+            self.deployment,
+            &self.coverage,
+            &self.graph,
+            scheduler,
+            &options,
+        )
+        .expect("strict covering schedule diverged");
+        (self.replay(run.schedule, true), run.slot_metrics)
     }
 
     /// Runs `scheduler` through the crash-tolerant covering-schedule loop
-    /// ([`resilient_covering_schedule`]): infeasible activations are
+    /// ([`rfid_core::FaultPolicy::Resilient`]): infeasible activations are
     /// repaired, crashed readers stripped (their tags requeued), and tags
     /// out of every survivor's reach abandoned — nothing panics. The
     /// returned schedule is still audited slot by slot.
     pub fn run_resilient(&self, scheduler: &mut dyn OneShotScheduler) -> ResilientSimReport {
-        let resilient = resilient_covering_schedule(
+        let resilient = covering_schedule_with(
             self.deployment,
             &self.coverage,
             &self.graph,
             scheduler,
-            self.max_slots,
-        );
+            &McsOptions::new().max_slots(self.max_slots).resilient(),
+        )
+        .expect("resilient runs cannot fail");
         ResilientSimReport {
             report: self.replay(resilient.schedule, false),
             repaired_pairs: resilient.repaired_pairs,

@@ -12,7 +12,9 @@
 //! the output independent of thread scheduling.
 
 use crate::metrics::TrialRecord;
-use rfid_core::{greedy_covering_schedule, make_scheduler, AlgorithmKind, OneShotInput};
+use rfid_core::{
+    covering_schedule_with, AlgorithmKind, McsOptions, OneShotInput, SchedulerRegistry,
+};
 use rfid_model::interference::interference_graph;
 use rfid_model::{Coverage, Scenario, TagSet, WeightEvaluator};
 use serde::{Deserialize, Serialize};
@@ -114,16 +116,19 @@ fn run_point(config: &SweepConfig, value: f64, seed: u64) -> Vec<TrialRecord> {
     let deployment = scenario.generate(seed);
     let coverage = Coverage::build(&deployment);
     let graph = interference_graph(&deployment);
+    let registry = SchedulerRegistry::global();
     let mut records = Vec::with_capacity(config.algorithms.len());
     for &kind in &config.algorithms {
-        let mut scheduler = make_scheduler(kind, seed ^ 0x5eed);
+        let mut scheduler = registry.instantiate(kind, seed ^ 0x5eed);
         let start = Instant::now();
         let mut oneshot_weight = None;
         let mut messages = None;
         let mut bytes = None;
         if config.measure_oneshot {
             let unread = TagSet::all_unread(deployment.n_tags());
-            let input = OneShotInput::new(&deployment, &coverage, &graph, &unread);
+            let input = OneShotInput::builder(&deployment, &coverage, &graph)
+                .unread(&unread)
+                .build();
             let set = scheduler.schedule(&input);
             debug_assert!(
                 deployment.is_feasible(&set),
@@ -139,18 +144,20 @@ fn run_point(config: &SweepConfig, value: f64, seed: u64) -> Vec<TrialRecord> {
         let mut mcs_size = None;
         let mut fallback_slots = 0;
         if config.measure_mcs {
-            let schedule = greedy_covering_schedule(
+            let schedule = covering_schedule_with(
                 &deployment,
                 &coverage,
                 &graph,
                 scheduler.as_mut(),
-                1_000_000,
-            );
+                &McsOptions::new(),
+            )
+            .expect("strict covering schedule diverged")
+            .schedule;
             fallback_slots = schedule.fallback_slots();
             mcs_size = Some(schedule.size());
         }
         records.push(TrialRecord {
-            algorithm: kind.label().to_string(),
+            algorithm: registry.entry(kind).label.to_string(),
             lambda_interference,
             lambda_interrogation,
             seed,

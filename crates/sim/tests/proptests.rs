@@ -123,7 +123,11 @@ proptest! {
         let c = Coverage::build(&d);
         let g = rfid_model::interference::interference_graph(&d);
         let mut s = make_scheduler(AlgorithmKind::LocalGreedy, seed);
-        let schedule = rfid_core::greedy_covering_schedule(&d, &c, &g, s.as_mut(), 50_000);
+        let schedule = rfid_core::covering_schedule_with(
+            &d, &c, &g, s.as_mut(), &rfid_core::McsOptions::new().max_slots(50_000),
+        )
+        .expect("strict covering schedule diverged")
+        .schedule;
         let t = Timetable::build(&schedule, d.n_readers());
         for v in 0..d.n_readers() {
             prop_assert!((0.0..=1.0).contains(&t.duty_cycle(v)));

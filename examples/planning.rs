@@ -49,13 +49,15 @@ fn main() {
 
     // 4. Schedule it and print the reader timetable.
     let mut scheduler = make_scheduler(AlgorithmKind::LocalGreedy, 0);
-    let schedule = rfid_core::greedy_covering_schedule(
+    let schedule = rfid_core::covering_schedule_with(
         &planned,
         &coverage,
         &graph,
         scheduler.as_mut(),
-        100_000,
-    );
+        &rfid_core::McsOptions::new().max_slots(100_000),
+    )
+    .expect("strict covering schedule diverged")
+    .schedule;
     println!(
         "covering schedule: {} slots, {} tags served, {} unreachable",
         schedule.size(),

@@ -5,10 +5,13 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use rfid_core::{greedy_covering_schedule, make_scheduler, AlgorithmKind, OneShotInput};
+use rfid_core::{
+    covering_schedule_with, AlgorithmKind, McsOptions, OneShotInput, SchedulerRegistry,
+};
 use rfid_examples::{describe_activation, describe_deployment};
 use rfid_model::interference::interference_graph;
 use rfid_model::{Coverage, RadiusModel, Scenario, ScenarioKind, TagSet};
+use rfid_obs::Recorder;
 
 fn main() {
     // 1. A reproducible random deployment: 30 readers, 500 tags, Poisson
@@ -32,33 +35,56 @@ fn main() {
     describe_deployment(&deployment, &graph);
 
     // 3. One-shot scheduling: pick a feasible set of readers for a single
-    //    time slot, maximising the number of well-covered tags.
+    //    time slot, maximising the number of well-covered tags. The
+    //    registry maps algorithm names to constructors; the builder
+    //    assembles the scheduler input.
+    let registry = SchedulerRegistry::global();
     let unread = TagSet::all_unread(deployment.n_tags());
-    let input = OneShotInput::new(&deployment, &coverage, &graph, &unread);
+    let input = OneShotInput::builder(&deployment, &coverage, &graph)
+        .unread(&unread)
+        .build();
+    // The exact solver is exponential — skip it beyond toy sizes.
+    let lineup = || {
+        registry
+            .entries()
+            .iter()
+            .filter(|e| e.kind != AlgorithmKind::Exact)
+    };
     println!("\none-shot schedules (fresh tag population):");
-    for kind in AlgorithmKind::paper_lineup() {
-        let mut scheduler = make_scheduler(kind, 1);
+    for entry in lineup() {
+        let mut scheduler = registry.instantiate(entry.kind, 1);
         let set = scheduler.schedule(&input);
         assert!(
             deployment.is_feasible(&set),
             "schedulers must avoid reader-tag collisions"
         );
-        describe_activation(&input, kind.label(), &set);
+        describe_activation(&input, entry.label, &set);
     }
 
     // 4. Covering schedule: iterate one-shot slots until every coverable
-    //    tag has been read (the paper's MCS problem).
+    //    tag has been read (the paper's MCS problem). A `Recorder`
+    //    subscriber observes the run without changing the schedule.
     println!("\ncovering schedules (slots to read everything):");
-    for kind in AlgorithmKind::paper_lineup() {
-        let mut scheduler = make_scheduler(kind, 1);
-        let schedule =
-            greedy_covering_schedule(&deployment, &coverage, &graph, scheduler.as_mut(), 100_000);
+    for entry in lineup() {
+        let mut scheduler = registry.instantiate(entry.kind, 1);
+        let recorder = Recorder::new();
+        let run = covering_schedule_with(
+            &deployment,
+            &coverage,
+            &graph,
+            scheduler.as_mut(),
+            &McsOptions::new().max_slots(100_000).subscriber(&recorder),
+        )
+        .expect("strict covering schedule diverged");
+        let schedule = run.schedule;
+        let snapshot = recorder.snapshot();
         println!(
-            "  {:<18} {:>3} slots, {} tags served, {} unreachable",
-            kind.label(),
+            "  {:<18} {:>3} slots, {} tags served, {} unreachable, {} fallback slots observed",
+            entry.label,
             schedule.size(),
             schedule.tags_served(),
-            schedule.uncoverable.len()
+            schedule.uncoverable.len(),
+            snapshot.counter("mcs.fallback_slots"),
         );
     }
 }

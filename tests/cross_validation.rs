@@ -2,7 +2,7 @@
 //! branch-and-bound optimum, plus property-based model invariants.
 
 use proptest::prelude::*;
-use rfid_core::{make_scheduler, AlgorithmKind, ExactScheduler, OneShotInput, OneShotScheduler};
+use rfid_core::{AlgorithmKind, ExactScheduler, OneShotInput, OneShotScheduler, SchedulerRegistry};
 use rfid_integration_tests::scenario;
 use rfid_model::interference::interference_graph;
 use rfid_model::{Coverage, TagSet, WeightEvaluator};
@@ -17,12 +17,14 @@ fn approximation_guarantees_hold_on_small_instances() {
         let g = interference_graph(&d);
         let unread = TagSet::all_unread(d.n_tags());
         let input = OneShotInput::new(&d, &c, &g, &unread);
+        let registry = SchedulerRegistry::global();
         let opt = input.weight_of(&ExactScheduler::default().schedule(&input)) as f64;
         for kind in AlgorithmKind::paper_lineup() {
-            let w = input.weight_of(&make_scheduler(kind, seed).schedule(&input)) as f64;
+            let label = registry.entry(kind).label;
+            let w = input.weight_of(&registry.instantiate(kind, seed).schedule(&input)) as f64;
             assert!(
                 w <= opt + 1e-9,
-                "{kind:?} seed {seed}: {w} beats optimum {opt}"
+                "{label} seed {seed}: {w} beats optimum {opt}"
             );
             let factor = match kind {
                 AlgorithmKind::Ptas => (1.0 - 1.0 / 4.0f64).powi(2), // k = 4 default
@@ -31,7 +33,7 @@ fn approximation_guarantees_hold_on_small_instances() {
             };
             assert!(
                 w + 1e-9 >= factor * opt,
-                "{kind:?} seed {seed}: {w} < {factor}·{opt}"
+                "{label} seed {seed}: {w} < {factor}·{opt}"
             );
         }
     }
@@ -48,8 +50,17 @@ fn centralized_and_distributed_are_close() {
         let g = interference_graph(&d);
         let unread = TagSet::all_unread(d.n_tags());
         let input = OneShotInput::new(&d, &c, &g, &unread);
-        let w2 = input.weight_of(&make_scheduler(AlgorithmKind::LocalGreedy, 0).schedule(&input));
-        let w3 = input.weight_of(&make_scheduler(AlgorithmKind::Distributed, 0).schedule(&input));
+        let registry = SchedulerRegistry::global();
+        let w2 = input.weight_of(
+            &registry
+                .instantiate(AlgorithmKind::LocalGreedy, 0)
+                .schedule(&input),
+        );
+        let w3 = input.weight_of(
+            &registry
+                .instantiate(AlgorithmKind::Distributed, 0)
+                .schedule(&input),
+        );
         let lo = (w2.min(w3)) as f64;
         let hi = (w2.max(w3)) as f64;
         assert!(
@@ -100,9 +111,13 @@ proptest! {
         let g = interference_graph(&d);
         let unread = TagSet::all_unread(d.n_tags());
         let input = OneShotInput::new(&d, &c, &g, &unread);
-        for kind in AlgorithmKind::paper_lineup() {
-            let set = make_scheduler(kind, seed).schedule(&input);
-            prop_assert!(d.is_feasible(&set), "{:?}", kind);
+        let registry = SchedulerRegistry::global();
+        for entry in registry.entries() {
+            if entry.kind == AlgorithmKind::Exact {
+                continue; // exponential; covered by the dedicated tests
+            }
+            let set = registry.instantiate(entry.kind, seed).schedule(&input);
+            prop_assert!(d.is_feasible(&set), "{}", entry.label);
         }
     }
 

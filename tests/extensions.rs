@@ -3,8 +3,9 @@
 //! distributed runs — all exercised through the public APIs together.
 
 use rfid_core::{
-    greedy_covering_schedule, make_scheduler, multichannel_covering_schedule, AlgorithmKind,
-    DistributedScheduler, MultiChannelGreedy, OneShotInput, OneShotScheduler, QLearningScheduler,
+    covering_schedule_with, make_scheduler, multichannel_covering_schedule, AlgorithmKind,
+    DistributedScheduler, McsOptions, MultiChannelGreedy, OneShotInput, OneShotScheduler,
+    QLearningScheduler,
 };
 use rfid_integration_tests::scenario;
 use rfid_model::interference::interference_graph;
@@ -104,7 +105,15 @@ fn timetable_matches_schedule_and_churn() {
     let c = Coverage::build(&d);
     let g = interference_graph(&d);
     let mut s = make_scheduler(AlgorithmKind::LocalGreedy, 0);
-    let schedule = greedy_covering_schedule(&d, &c, &g, s.as_mut(), 100_000);
+    let schedule = covering_schedule_with(
+        &d,
+        &c,
+        &g,
+        s.as_mut(),
+        &McsOptions::new().max_slots(100_000),
+    )
+    .expect("strict covering schedule diverged")
+    .schedule;
     let table = Timetable::build(&schedule, d.n_readers());
     // total activations agree between the two views
     let slot_major: usize = schedule.slots.iter().map(|s| s.active.len()).sum();

@@ -17,8 +17,8 @@
 
 use proptest::prelude::*;
 use rfid_core::{
-    make_scheduler, par, resilient_covering_schedule, try_greedy_covering_schedule, AlgorithmKind,
-    CoveringSchedule, OneShotInput, OneShotScheduler, ResilientSchedule, ScheduleError, SlotRecord,
+    covering_schedule_with, make_scheduler, par, AlgorithmKind, CoveringSchedule, McsOptions,
+    OneShotInput, OneShotScheduler, ResilientSchedule, ScheduleError, SlotRecord,
 };
 use rfid_graph::Csr;
 use rfid_model::interference::interference_graph;
@@ -96,6 +96,49 @@ fn reference_covering_schedule(
 }
 
 /// The pre-optimisation resilient loop, verbatim semantics.
+/// The optimized strict engine through the unified entry point, shaped
+/// like the reference for direct comparison.
+fn engine_schedule(
+    deployment: &Deployment,
+    coverage: &Coverage,
+    graph: &Csr,
+    scheduler: &mut dyn OneShotScheduler,
+    max_slots: usize,
+) -> Result<CoveringSchedule, ScheduleError> {
+    covering_schedule_with(
+        deployment,
+        coverage,
+        graph,
+        scheduler,
+        &McsOptions::new().max_slots(max_slots),
+    )
+    .map(|run| run.schedule)
+}
+
+/// The optimized resilient engine through the unified entry point.
+fn engine_resilient(
+    deployment: &Deployment,
+    coverage: &Coverage,
+    graph: &Csr,
+    scheduler: &mut dyn OneShotScheduler,
+    max_slots: usize,
+) -> ResilientSchedule {
+    let run = covering_schedule_with(
+        deployment,
+        coverage,
+        graph,
+        scheduler,
+        &McsOptions::new().max_slots(max_slots).resilient(),
+    )
+    .expect("resilient runs cannot fail");
+    ResilientSchedule {
+        schedule: run.schedule,
+        repaired_pairs: run.repaired_pairs,
+        crashed_dropped: run.crashed_dropped,
+        abandoned_tags: run.abandoned_tags,
+    }
+}
+
 fn reference_resilient(
     deployment: &Deployment,
     coverage: &Coverage,
@@ -235,7 +278,7 @@ proptest! {
         let reference =
             reference_covering_schedule(&d, &c, &g, make_scheduler(kind, seed).as_mut(), 10_000);
         let optimized =
-            try_greedy_covering_schedule(&d, &c, &g, make_scheduler(kind, seed).as_mut(), 10_000);
+            engine_schedule(&d, &c, &g, make_scheduler(kind, seed).as_mut(), 10_000);
         prop_assert_eq!(reference, optimized, "{:?} seed {}", kind, seed);
     }
 
@@ -258,7 +301,7 @@ proptest! {
         let mut a = Crashy { inner: make_scheduler(kind, seed), crashed: crashed.clone() };
         let mut b = Crashy { inner: make_scheduler(kind, seed), crashed };
         let reference = reference_resilient(&d, &c, &g, &mut a, 5_000);
-        let optimized = resilient_covering_schedule(&d, &c, &g, &mut b, 5_000);
+        let optimized = engine_resilient(&d, &c, &g, &mut b, 5_000);
         prop_assert_eq!(reference, optimized, "{:?} seed {}", kind, seed);
     }
 
@@ -273,7 +316,7 @@ proptest! {
         let c = Coverage::build(&d);
         let g = interference_graph(&d);
         let reference = reference_covering_schedule(&d, &c, &g, &mut Silent, 100_000);
-        let optimized = try_greedy_covering_schedule(&d, &c, &g, &mut Silent, 100_000);
+        let optimized = engine_schedule(&d, &c, &g, &mut Silent, 100_000);
         prop_assert_eq!(&reference, &optimized);
         let sched = optimized.unwrap();
         prop_assert_eq!(sched.fallback_slots(), sched.size());
@@ -299,8 +342,10 @@ proptest! {
         let singleton: Vec<usize> =
             WeightEvaluator::new(&c).all_singleton_weights(&unread);
         let plain = OneShotInput::new(&d, &c, &g, &unread);
-        let hinted =
-            OneShotInput::new(&d, &c, &g, &unread).with_singleton_weights(&singleton);
+        let hinted = OneShotInput::builder(&d, &c, &g)
+            .unread(&unread)
+            .singleton_weights(&singleton)
+            .build();
         let a = make_scheduler(kind, seed).schedule(&plain);
         let b = make_scheduler(kind, seed).schedule(&hinted);
         prop_assert_eq!(a, b, "{:?} seed {}", kind, seed);
@@ -346,13 +391,8 @@ fn paper_default_instances_match_reference() {
                 make_scheduler(kind, seed).as_mut(),
                 10_000,
             );
-            let optimized = try_greedy_covering_schedule(
-                &d,
-                &c,
-                &g,
-                make_scheduler(kind, seed).as_mut(),
-                10_000,
-            );
+            let optimized =
+                engine_schedule(&d, &c, &g, make_scheduler(kind, seed).as_mut(), 10_000);
             assert_eq!(reference, optimized, "{kind:?} seed {seed}");
         }
     }
