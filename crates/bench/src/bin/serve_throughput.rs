@@ -1,0 +1,301 @@
+//! Closed-loop TCP throughput benchmark for the `rfid-serve` daemon.
+//!
+//! Measures requests/second of the full stack (codec → cache → queue →
+//! workers → JSON-lines over loopback TCP) under a skewed production-ish
+//! workload, with the content-addressed cache enabled vs disabled:
+//!
+//! * **90% popular** — requests drawn round-robin from a small pool of
+//!   hot jobs (same scenario, same seed → same content key).
+//! * **10% long tail** — colder jobs, each still re-requested a few
+//!   times (`TAIL_REUSE`), as repeated dashboard/planner queries would.
+//!
+//! The *nominal* repeat rate therefore understates cacheability; the
+//! report records the **measured** hit rate from the server's own
+//! counters next to the nominal split, and the speedup of the cached run
+//! over the cache-disabled run on the identical request sequence.
+//!
+//! Usage:
+//!   serve_throughput [--quick] [--requests N] [--clients N] [--workers N]
+//!                    [--out PATH]
+//!   serve_throughput --check PATH   # validate an existing report
+//!
+//! `--check` re-validates a committed `BENCH_serve.json` (schema fields,
+//! sane counters, speedup ≥ the acceptance floor) without re-running.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rfid_model::{RadiusModel, Scenario, ScenarioKind};
+use rfid_serve::{JobSpec, ServeConfig, Server, TcpClient, Workload};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Hot-pool size: 90% of requests cycle over this many distinct jobs.
+const POPULAR_POOL: usize = 8;
+/// Each long-tail job is requested this many times in total.
+const TAIL_REUSE: usize = 4;
+/// Acceptance floor for the cached-vs-uncached speedup.
+const SPEEDUP_FLOOR: f64 = 10.0;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Leg {
+    cache_cap: usize,
+    wall_ms: f64,
+    requests_per_sec: f64,
+    /// Server-side counters after the leg.
+    cache_hits: u64,
+    cache_misses: u64,
+    /// Requests coalesced onto an identical in-flight solve.
+    coalesced: u64,
+    solved: u64,
+    errors: u64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Report {
+    bench: String,
+    schema_version: u32,
+    requests: usize,
+    clients: usize,
+    workers: usize,
+    distinct_jobs: usize,
+    nominal_popular_pct: f64,
+    measured_hit_rate: f64,
+    cached: Leg,
+    uncached: Leg,
+    speedup: f64,
+}
+
+fn job(seed: u64) -> JobSpec {
+    let mut spec = JobSpec::new(Workload::Generated {
+        scenario: Scenario {
+            kind: ScenarioKind::UniformRandom,
+            n_readers: 48,
+            n_tags: 576,
+            region_side: 105.0,
+            radius_model: RadiusModel::PoissonPair {
+                lambda_interference: 14.0,
+                lambda_interrogation: 6.0,
+            },
+        },
+        seed,
+    });
+    spec.algorithm = "alg1".to_string();
+    spec
+}
+
+/// The 90/10 request sequence: popular seeds are `0..POPULAR_POOL`, the
+/// long tail starts at 1000 with every tail seed repeated `TAIL_REUSE`
+/// times; the merged sequence is shuffled deterministically.
+fn request_sequence(total: usize) -> (Vec<JobSpec>, usize) {
+    let popular = total * 9 / 10;
+    let tail = total - popular;
+    let tail_distinct = tail.div_ceil(TAIL_REUSE);
+    let mut seeds = Vec::with_capacity(total);
+    for i in 0..popular {
+        seeds.push((i % POPULAR_POOL) as u64);
+    }
+    for i in 0..tail {
+        seeds.push(1000 + (i / TAIL_REUSE) as u64);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5eed);
+    for i in (1..seeds.len()).rev() {
+        let j = rng.random_range(0..=i);
+        seeds.swap(i, j);
+    }
+    let distinct = POPULAR_POOL.min(popular.max(1)) + tail_distinct;
+    (seeds.into_iter().map(job).collect(), distinct)
+}
+
+/// One closed-loop leg: `clients` threads hammer a fresh daemon until
+/// the shared sequence is exhausted.
+fn run_leg(sequence: &Arc<Vec<JobSpec>>, clients: usize, workers: usize, cache_cap: usize) -> Leg {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers,
+            queue_cap: 4096,
+            cache_cap,
+            cache_ttl: None,
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.addr().to_string();
+    let next = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|_| {
+            let sequence = Arc::clone(sequence);
+            let next = Arc::clone(&next);
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = TcpClient::connect(&addr).expect("connect");
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = sequence.get(i) else { break };
+                    client.schedule(spec, None).expect("schedule");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    let wall = start.elapsed();
+    let stats = server.service().stats();
+    server.shutdown();
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    Leg {
+        cache_cap,
+        wall_ms,
+        requests_per_sec: sequence.len() as f64 / wall.as_secs_f64(),
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        coalesced: stats.coalesced,
+        solved: stats.solved,
+        errors: stats.errors,
+    }
+}
+
+fn check(path: &str) -> Result<(), String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let report: Report = serde_json::from_str(&body).map_err(|e| format!("parse {path}: {e}"))?;
+    if report.bench != "serve_throughput" {
+        return Err(format!("unexpected bench name {:?}", report.bench));
+    }
+    if report.cached.errors != 0 || report.uncached.errors != 0 {
+        return Err("request errors recorded in a leg".into());
+    }
+    let total = report.cached.cache_hits + report.cached.cache_misses + report.cached.coalesced;
+    if total != report.requests as u64 {
+        return Err(format!(
+            "cached leg hits+misses+coalesced ({total}) disagree with requests ({})",
+            report.requests
+        ));
+    }
+    if !(0.0..=1.0).contains(&report.measured_hit_rate) {
+        return Err(format!(
+            "hit rate {} out of range",
+            report.measured_hit_rate
+        ));
+    }
+    if report.speedup < SPEEDUP_FLOOR {
+        return Err(format!(
+            "speedup {:.2}× below the {SPEEDUP_FLOOR}× floor",
+            report.speedup
+        ));
+    }
+    println!(
+        "OK: {} requests, measured hit rate {:.1}%, speedup {:.1}×",
+        report.requests,
+        report.measured_hit_rate * 100.0,
+        report.speedup
+    );
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut requests: Option<usize> = None;
+    let mut clients = 8usize;
+    let mut workers = 4usize;
+    let mut out = "results/BENCH_serve.json".to_string();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--requests" => {
+                requests = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--requests N"),
+                )
+            }
+            "--clients" => {
+                clients = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--clients N")
+            }
+            "--workers" => {
+                workers = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers N")
+            }
+            "--out" => out = iter.next().expect("--out PATH").clone(),
+            "--check" => {
+                let path = iter.next().expect("--check PATH");
+                if let Err(e) = check(path) {
+                    eprintln!("FAIL: {e}");
+                    std::process::exit(1);
+                }
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let total = requests.unwrap_or(if quick { 120 } else { 400 });
+    let (sequence, distinct) = request_sequence(total);
+    let sequence = Arc::new(sequence);
+    eprintln!(
+        "serve_throughput: {total} requests ({distinct} distinct), {clients} clients, {workers} workers"
+    );
+
+    eprintln!("leg 1/2: cache disabled (every request solves)");
+    let uncached = run_leg(&sequence, clients, workers, 0);
+    eprintln!(
+        "  {:.0} req/s ({:.0} ms, {} solved)",
+        uncached.requests_per_sec, uncached.wall_ms, uncached.solved
+    );
+    eprintln!("leg 2/2: cache enabled");
+    let cached = run_leg(&sequence, clients, workers, 1024);
+    eprintln!(
+        "  {:.0} req/s ({:.0} ms, {} solved, {} hits)",
+        cached.requests_per_sec, cached.wall_ms, cached.solved, cached.cache_hits
+    );
+
+    // Coalesced followers are served from the shared in-flight solve —
+    // they count toward the reuse rate alongside true cache hits.
+    let measured_hit_rate = (cached.cache_hits + cached.coalesced) as f64
+        / (cached.cache_hits + cached.cache_misses + cached.coalesced).max(1) as f64;
+    let report = Report {
+        bench: "serve_throughput".to_string(),
+        schema_version: 1,
+        requests: total,
+        clients,
+        workers,
+        distinct_jobs: distinct,
+        nominal_popular_pct: 90.0,
+        measured_hit_rate,
+        speedup: cached.requests_per_sec / uncached.requests_per_sec,
+        cached,
+        uncached,
+    };
+    println!(
+        "speedup: {:.1}× (measured hit rate {:.1}%)",
+        report.speedup,
+        report.measured_hit_rate * 100.0
+    );
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&report).expect("serialize"),
+    )
+    .expect("write report");
+    eprintln!("wrote {out}");
+    if report.speedup < SPEEDUP_FLOOR && !quick {
+        eprintln!(
+            "WARNING: speedup {:.2}× below the {SPEEDUP_FLOOR}× acceptance floor",
+            report.speedup
+        );
+        std::process::exit(1);
+    }
+}

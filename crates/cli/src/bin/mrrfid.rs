@@ -1,4 +1,8 @@
 //! The `mrrfid` command-line binary (thin shell around `rfid_cli`).
+//!
+//! Exit codes follow [`rfid_cli::CliError::exit_code`]: 0 success,
+//! 1 operation failed, 2 usage, 3 filesystem, 4 malformed data,
+//! 5 remote/server error.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -7,7 +11,7 @@ fn main() {
         Ok(text) => print!("{text}"),
         Err(err) => {
             eprintln!("error: {err}");
-            std::process::exit(1);
+            std::process::exit(err.exit_code());
         }
     }
 }

@@ -21,8 +21,75 @@ use rfid_core::{
 use rfid_model::interference::interference_graph;
 use rfid_model::{Coverage, Deployment, RadiusModel, Scenario, ScenarioKind, TagSet};
 use rfid_obs::Recorder;
+use rfid_serve::{ClientError, JobSpec, ServeConfig, Server, TcpClient, Workload};
 use rfid_sim::{aggregate_series, run_sweep, SweepAxis, SweepConfig};
 use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// A structured CLI error: every failure mode carries a category with a
+/// stable process exit code, so scripts (and CI) can branch on *why* a
+/// command failed instead of grepping stderr. Replaces the old bare
+/// `String` errors, under which an unwritable `--metrics-out` path and a
+/// typoed flag were indistinguishable `exit 1`s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Bad flags or arguments (exit 2).
+    Usage(String),
+    /// A filesystem read/write failed (exit 3).
+    Io {
+        /// The offending path.
+        path: String,
+        /// Full description, including the OS error.
+        message: String,
+    },
+    /// An input file parsed but was malformed (exit 4).
+    Data(String),
+    /// The serve daemon (or the transport to it) reported an error
+    /// (exit 5).
+    Remote(String),
+    /// The operation itself failed — solver stall, invalid schedule
+    /// (exit 1).
+    Failed(String),
+}
+
+impl CliError {
+    /// The process exit code for this error category.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Failed(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Io { .. } => 3,
+            CliError::Data(_) => 4,
+            CliError::Remote(_) => 5,
+        }
+    }
+
+    fn io(path: &str, action: &str, err: impl std::fmt::Display) -> Self {
+        CliError::Io {
+            path: path.to_string(),
+            message: format!("{action} {path}: {err}"),
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Data(m) | CliError::Remote(m) | CliError::Failed(m) => {
+                f.write_str(m)
+            }
+            CliError::Io { message, .. } => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ClientError> for CliError {
+    fn from(err: ClientError) -> Self {
+        CliError::Remote(err.to_string())
+    }
+}
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,6 +179,42 @@ pub enum Command {
         /// Deployment JSON path.
         deployment: String,
     },
+    /// Run the scheduling daemon (blocks until a shutdown frame).
+    Serve {
+        /// Listen address, e.g. `127.0.0.1:7401`.
+        addr: String,
+        /// Worker threads solving cache misses.
+        workers: usize,
+        /// Schedule-cache capacity in entries (0 disables caching).
+        cache_cap: usize,
+        /// Bounded work-queue capacity (a full queue rejects with 429).
+        queue_cap: usize,
+        /// Optional cache TTL in seconds.
+        cache_ttl_secs: Option<u64>,
+    },
+    /// Send one request to a running daemon.
+    Request {
+        /// Daemon address, e.g. `127.0.0.1:7401`.
+        addr: String,
+        /// Scenario (or deployment) JSON path for a schedule request.
+        scenario: Option<String>,
+        /// Algorithm label or alias.
+        algo: String,
+        /// Seed for randomised algorithms.
+        algo_seed: u64,
+        /// Deployment seed fed to `Scenario::generate`.
+        gen_seed: u64,
+        /// Optional server-side deadline in milliseconds.
+        deadline_ms: Option<u64>,
+        /// Run under the resilient fault policy.
+        resilient: bool,
+        /// Optional path to save the raw response payload.
+        payload_out: Option<String>,
+        /// Fetch service stats instead of scheduling.
+        stats: bool,
+        /// Ask the daemon to shut down gracefully.
+        shutdown: bool,
+    },
     /// Print usage.
     Help,
 }
@@ -134,23 +237,38 @@ USAGE:
   mrrfid trace    --deployment FILE
   mrrfid stats    --deployment FILE
   mrrfid verify   --deployment FILE --schedule FILE
+  mrrfid serve    [--addr HOST:PORT] [--workers N] [--cache-cap N]
+                  [--queue-cap N] [--cache-ttl-secs S]
+  mrrfid request  [--addr HOST:PORT] --scenario FILE [--algo NAME] [--seed S]
+                  [--gen-seed G] [--deadline-ms D] [--resilient]
+                  [--payload-out FILE]
+  mrrfid request  [--addr HOST:PORT] --stats
+  mrrfid request  [--addr HOST:PORT] --shutdown
   mrrfid help
 
 ALGORITHMS: alg1 (PTAS) | alg2 (centralized) | alg3 (distributed)
             ca (Colorwave) | ghc (hill climbing) | exact
+
+EXIT CODES: 0 ok | 1 operation failed | 2 usage | 3 filesystem
+            4 malformed data | 5 server/transport error
 ";
 
-fn parse_algorithm(s: &str) -> Result<AlgorithmKind, String> {
-    SchedulerRegistry::global().parse(s)
+/// Default daemon address shared by `serve` and `request`.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7401";
+
+fn parse_algorithm(s: &str) -> Result<AlgorithmKind, CliError> {
+    SchedulerRegistry::global()
+        .parse(s)
+        .map_err(CliError::Usage)
 }
 
-fn flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
+fn flags(args: &[String]) -> Result<BTreeMap<String, String>, CliError> {
     let mut map = BTreeMap::new();
     let mut i = 0;
     while i < args.len() {
         let key = args[i]
             .strip_prefix("--")
-            .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
+            .ok_or_else(|| CliError::Usage(format!("expected --flag, got '{}'", args[i])))?;
         // A flag followed by another flag (or nothing) is boolean.
         match args.get(i + 1) {
             Some(v) if !v.starts_with("--") => {
@@ -170,17 +288,24 @@ fn get_parse<T: std::str::FromStr>(
     flags: &BTreeMap<String, String>,
     key: &str,
     default: T,
-) -> Result<T, String> {
+) -> Result<T, CliError> {
     match flags.get(key) {
         None => Ok(default),
         Some(v) => v
             .parse()
-            .map_err(|_| format!("--{key}: cannot parse '{v}'")),
+            .map_err(|_| CliError::Usage(format!("--{key}: cannot parse '{v}'"))),
     }
 }
 
+fn require(flags: &BTreeMap<String, String>, key: &str, context: &str) -> Result<String, CliError> {
+    flags
+        .get(key)
+        .cloned()
+        .ok_or_else(|| CliError::Usage(format!("{context} requires --{key}")))
+}
+
 /// Parses a full argument vector (without the program name).
-pub fn parse(args: &[String]) -> Result<Command, String> {
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let Some(cmd) = args.first() else {
         return Ok(Command::Help);
     };
@@ -196,29 +321,25 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 lambda_interference: get_parse(&f, "lambda-interference", 14.0)?,
                 lambda_interrogation: get_parse(&f, "lambda-interrogation", 6.0)?,
                 region: get_parse(&f, "region", 100.0)?,
-                out: f.get("out").cloned().ok_or("generate requires --out")?,
+                out: require(&f, "out", "generate")?,
             })
         }
         "inspect" => {
             let f = flags(rest)?;
             Ok(Command::Inspect {
-                deployment: f
-                    .get("deployment")
-                    .cloned()
-                    .ok_or("inspect requires --deployment")?,
+                deployment: require(&f, "deployment", "inspect")?,
             })
         }
         "schedule" => {
             let f = flags(rest)?;
             let mode = f.get("mode").map(String::as_str).unwrap_or("oneshot");
             if mode != "oneshot" && mode != "mcs" {
-                return Err(format!("--mode must be oneshot or mcs, got '{mode}'"));
+                return Err(CliError::Usage(format!(
+                    "--mode must be oneshot or mcs, got '{mode}'"
+                )));
             }
             Ok(Command::Schedule {
-                deployment: f
-                    .get("deployment")
-                    .cloned()
-                    .ok_or("schedule requires --deployment")?,
+                deployment: require(&f, "deployment", "schedule")?,
                 algorithm: parse_algorithm(
                     f.get("algorithm").map(String::as_str).unwrap_or("alg2"),
                 )?,
@@ -232,15 +353,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "render" => {
             let f = flags(rest)?;
             Ok(Command::Render {
-                deployment: f
-                    .get("deployment")
-                    .cloned()
-                    .ok_or("render requires --deployment")?,
+                deployment: require(&f, "deployment", "render")?,
                 algorithm: parse_algorithm(
                     f.get("algorithm").map(String::as_str).unwrap_or("alg2"),
                 )?,
                 seed: get_parse(&f, "seed", 0)?,
-                out: f.get("out").cloned().ok_or("render requires --out")?,
+                out: require(&f, "out", "render")?,
             })
         }
         "sweep" => {
@@ -249,9 +367,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 "interrogation" => SweepAxis::Interrogation,
                 "interference" => SweepAxis::Interference,
                 other => {
-                    return Err(format!(
+                    return Err(CliError::Usage(format!(
                         "--axis must be interrogation|interference, got '{other}'"
-                    ))
+                    )))
                 }
             };
             let values: Vec<f64> = f
@@ -259,11 +377,17 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .map(String::as_str)
                 .unwrap_or("3,5,7,9")
                 .split(',')
-                .map(|v| v.trim().parse().map_err(|_| format!("bad λ value '{v}'")))
+                .map(|v| {
+                    v.trim()
+                        .parse()
+                        .map_err(|_| CliError::Usage(format!("bad λ value '{v}'")))
+                })
                 .collect::<Result<_, _>>()?;
             let metric = f.get("metric").map(String::as_str).unwrap_or("oneshot");
             if metric != "oneshot" && metric != "mcs" {
-                return Err(format!("--metric must be oneshot or mcs, got '{metric}'"));
+                return Err(CliError::Usage(format!(
+                    "--metric must be oneshot or mcs, got '{metric}'"
+                )));
             }
             Ok(Command::Sweep {
                 axis,
@@ -278,45 +402,81 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "trace" => {
             let f = flags(rest)?;
             Ok(Command::Trace {
-                deployment: f
-                    .get("deployment")
-                    .cloned()
-                    .ok_or("trace requires --deployment")?,
+                deployment: require(&f, "deployment", "trace")?,
             })
         }
         "stats" => {
             let f = flags(rest)?;
             Ok(Command::Stats {
-                deployment: f
-                    .get("deployment")
-                    .cloned()
-                    .ok_or("stats requires --deployment")?,
+                deployment: require(&f, "deployment", "stats")?,
             })
         }
         "verify" => {
             let f = flags(rest)?;
             Ok(Command::Verify {
-                deployment: f
-                    .get("deployment")
-                    .cloned()
-                    .ok_or("verify requires --deployment")?,
-                schedule: f
-                    .get("schedule")
-                    .cloned()
-                    .ok_or("verify requires --schedule")?,
+                deployment: require(&f, "deployment", "verify")?,
+                schedule: require(&f, "schedule", "verify")?,
             })
         }
-        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+        "serve" => {
+            let f = flags(rest)?;
+            let defaults = ServeConfig::default();
+            Ok(Command::Serve {
+                addr: f
+                    .get("addr")
+                    .cloned()
+                    .unwrap_or_else(|| DEFAULT_ADDR.to_string()),
+                workers: get_parse(&f, "workers", defaults.workers)?,
+                cache_cap: get_parse(&f, "cache-cap", defaults.cache_cap)?,
+                queue_cap: get_parse(&f, "queue-cap", defaults.queue_cap)?,
+                cache_ttl_secs: match f.get("cache-ttl-secs") {
+                    None => None,
+                    Some(_) => Some(get_parse(&f, "cache-ttl-secs", 0u64)?),
+                },
+            })
+        }
+        "request" => {
+            let f = flags(rest)?;
+            let stats = f.contains_key("stats");
+            let shutdown = f.contains_key("shutdown");
+            let scenario = f.get("scenario").cloned();
+            if !stats && !shutdown && scenario.is_none() {
+                return Err(CliError::Usage(
+                    "request needs --scenario FILE, --stats or --shutdown".to_string(),
+                ));
+            }
+            Ok(Command::Request {
+                addr: f
+                    .get("addr")
+                    .cloned()
+                    .unwrap_or_else(|| DEFAULT_ADDR.to_string()),
+                scenario,
+                algo: f.get("algo").cloned().unwrap_or_else(|| "alg2".to_string()),
+                algo_seed: get_parse(&f, "seed", 0)?,
+                gen_seed: get_parse(&f, "gen-seed", 0)?,
+                deadline_ms: match f.get("deadline-ms") {
+                    None => None,
+                    Some(_) => Some(get_parse(&f, "deadline-ms", 0u64)?),
+                },
+                resilient: f.contains_key("resilient"),
+                payload_out: f.get("payload-out").cloned(),
+                stats,
+                shutdown,
+            })
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown command '{other}'\n\n{USAGE}"
+        ))),
     }
 }
 
-fn load_deployment(path: &str) -> Result<Deployment, String> {
-    let body = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    serde_json::from_str(&body).map_err(|e| format!("parse {path}: {e}"))
+fn load_deployment(path: &str) -> Result<Deployment, CliError> {
+    let body = std::fs::read_to_string(path).map_err(|e| CliError::io(path, "read", e))?;
+    serde_json::from_str(&body).map_err(|e| CliError::Data(format!("parse {path}: {e}")))
 }
 
 /// Executes a command; returns the text to print.
-pub fn run(cmd: Command) -> Result<String, String> {
+pub fn run(cmd: Command) -> Result<String, CliError> {
     match cmd {
         Command::Help => Ok(USAGE.to_string()),
         Command::Generate {
@@ -339,8 +499,8 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 },
             }
             .generate(seed);
-            let json = serde_json::to_string(&d).map_err(|e| e.to_string())?;
-            std::fs::write(&out, json).map_err(|e| format!("write {out}: {e}"))?;
+            let json = serde_json::to_string(&d).map_err(|e| CliError::Data(e.to_string()))?;
+            std::fs::write(&out, json).map_err(|e| CliError::io(&out, "write", e))?;
             Ok(format!(
                 "wrote {readers} readers / {tags} tags (seed {seed}) to {out}\n"
             ))
@@ -400,11 +560,12 @@ pub fn run(cmd: Command) -> Result<String, String> {
                     options = options.subscriber(s);
                 }
                 let run = covering_schedule_with(&d, &c, &g, scheduler.as_mut(), &options)
-                    .map_err(|e| format!("covering schedule failed: {e:?}"))?;
+                    .map_err(|e| CliError::Failed(format!("covering schedule failed: {e}")))?;
                 let schedule = run.schedule;
                 if let Some(path) = &save {
-                    let json = serde_json::to_string(&schedule).map_err(|e| e.to_string())?;
-                    std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+                    let json = serde_json::to_string(&schedule)
+                        .map_err(|e| CliError::Data(e.to_string()))?;
+                    std::fs::write(path, json).map_err(|e| CliError::io(path, "write", e))?;
                 }
                 if let Some(path) = &metrics_out {
                     let body = if path.ends_with(".csv") {
@@ -417,7 +578,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
                             rfid_obs::slot_metrics_to_json(&run.slot_metrics)
                         )
                     };
-                    std::fs::write(path, body).map_err(|e| format!("write {path}: {e}"))?;
+                    std::fs::write(path, body).map_err(|e| CliError::io(path, "write", e))?;
                 }
                 let mut out = format!(
                     "{}: {} slots, {} tags served, {} unreachable\n",
@@ -458,7 +619,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 if let Some(path) = &metrics_out {
                     let rec = recorder.as_ref().expect("recorder exists when observing");
                     std::fs::write(path, rec.snapshot().to_json())
-                        .map_err(|e| format!("write {path}: {e}"))?;
+                        .map_err(|e| CliError::io(path, "write", e))?;
                 }
                 if trace {
                     let rec = recorder.as_ref().expect("recorder exists when tracing");
@@ -510,10 +671,10 @@ pub fn run(cmd: Command) -> Result<String, String> {
             schedule,
         } => {
             let d = load_deployment(&deployment)?;
-            let body =
-                std::fs::read_to_string(&schedule).map_err(|e| format!("read {schedule}: {e}"))?;
-            let sched: rfid_core::CoveringSchedule =
-                serde_json::from_str(&body).map_err(|e| format!("parse {schedule}: {e}"))?;
+            let body = std::fs::read_to_string(&schedule)
+                .map_err(|e| CliError::io(&schedule, "read", e))?;
+            let sched: rfid_core::CoveringSchedule = serde_json::from_str(&body)
+                .map_err(|e| CliError::Data(format!("parse {schedule}: {e}")))?;
             match rfid_core::verify_covering_schedule(&d, &sched) {
                 Ok(()) => Ok(format!(
                     "OK: {} slots, {} tags served, {} uncoverable — schedule is sound\n",
@@ -521,7 +682,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
                     sched.tags_served(),
                     sched.uncoverable.len()
                 )),
-                Err(v) => Err(format!("schedule INVALID: {v:?}")),
+                Err(v) => Err(CliError::Failed(format!("schedule INVALID: {v:?}"))),
             }
         }
         Command::Sweep {
@@ -641,7 +802,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
             let served = rfid_model::WeightEvaluator::new(&c).well_covered(&set, &unread);
             let svg =
                 rfid_sim::render_svg(&d, &c, &set, &served, &rfid_sim::RenderOptions::default());
-            std::fs::write(&out, svg).map_err(|e| format!("write {out}: {e}"))?;
+            std::fs::write(&out, svg).map_err(|e| CliError::io(&out, "write", e))?;
             Ok(format!(
                 "rendered {} ({} active readers, {} tags served) to {out}\n",
                 algorithm.label(),
@@ -649,7 +810,137 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 served.len()
             ))
         }
+        Command::Serve {
+            addr,
+            workers,
+            cache_cap,
+            queue_cap,
+            cache_ttl_secs,
+        } => {
+            let config = ServeConfig {
+                workers,
+                queue_cap,
+                cache_cap,
+                cache_ttl: cache_ttl_secs.map(Duration::from_secs),
+            };
+            let server = Server::start(&addr, config)
+                .map_err(|e| CliError::Remote(format!("bind {addr}: {e}")))?;
+            // Announce readiness before blocking so wrappers (CI smoke)
+            // know the port is live.
+            println!(
+                "serving on {} ({} workers, queue {}, cache {})",
+                server.addr(),
+                workers,
+                queue_cap,
+                cache_cap
+            );
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            server.run_until_shutdown();
+            Ok("server stopped\n".to_string())
+        }
+        Command::Request {
+            addr,
+            scenario,
+            algo,
+            algo_seed,
+            gen_seed,
+            deadline_ms,
+            resilient,
+            payload_out,
+            stats,
+            shutdown,
+        } => {
+            let mut client = TcpClient::connect(&addr)
+                .map_err(|e| CliError::Remote(format!("connect {addr}: {e}")))?;
+            if stats {
+                let (s, metrics) = client.stats()?;
+                return Ok(format!(
+                    "requests:          {}\n\
+                     cache hits:        {}\n\
+                     cache misses:      {}\n\
+                     coalesced:         {}\n\
+                     cache evictions:   {}\n\
+                     cache entries:     {}\n\
+                     rejected (full):   {}\n\
+                     rejected (stop):   {}\n\
+                     deadline expired:  {}\n\
+                     solved:            {}\n\
+                     errors:            {}\n\
+                     queue depth:       {}\n\
+                     workers:           {}\n\
+                     metrics: {metrics}\n",
+                    s.requests,
+                    s.cache_hits,
+                    s.cache_misses,
+                    s.coalesced,
+                    s.cache_evictions,
+                    s.cache_entries,
+                    s.rejected_full,
+                    s.rejected_shutdown,
+                    s.deadline_expired,
+                    s.solved,
+                    s.errors,
+                    s.queue_depth,
+                    s.workers,
+                ));
+            }
+            if shutdown {
+                client.shutdown_server()?;
+                return Ok("server acknowledged shutdown\n".to_string());
+            }
+            let path = scenario.expect("parse() guarantees --scenario here");
+            let job = load_job(&path, &algo, algo_seed, gen_seed, resilient)?;
+            let reply = client.schedule(&job, deadline_ms)?;
+            if let Some(out) = &payload_out {
+                std::fs::write(out, reply.payload.as_bytes())
+                    .map_err(|e| CliError::io(out, "write", e))?;
+            }
+            let outcome = reply.outcome().map_err(CliError::Data)?;
+            Ok(format!(
+                "key: {}\ncached: {}\n{}: {} slots, {} tags served, {} unreachable, complete: {}\n",
+                reply.key,
+                reply.cached,
+                outcome.algorithm,
+                outcome.slots,
+                outcome.tags_served,
+                outcome.uncoverable,
+                outcome.complete
+            ))
+        }
     }
+}
+
+/// Builds a [`JobSpec`] from a file holding either a [`Scenario`] (the
+/// cache-friendly generated workload) or a full [`Deployment`] (the
+/// explicit workload, e.g. `generate --out` output).
+fn load_job(
+    path: &str,
+    algo: &str,
+    algo_seed: u64,
+    gen_seed: u64,
+    resilient: bool,
+) -> Result<JobSpec, CliError> {
+    let body = std::fs::read_to_string(path).map_err(|e| CliError::io(path, "read", e))?;
+    let workload = match serde_json::from_str::<Scenario>(&body) {
+        Ok(scenario) => Workload::Generated {
+            scenario,
+            seed: gen_seed,
+        },
+        Err(scenario_err) => match serde_json::from_str::<Deployment>(&body) {
+            Ok(deployment) => Workload::Explicit { deployment },
+            Err(deployment_err) => {
+                return Err(CliError::Data(format!(
+                    "parse {path}: neither a Scenario ({scenario_err}) nor a Deployment ({deployment_err})"
+                )))
+            }
+        },
+    };
+    let mut job = JobSpec::new(workload);
+    job.algorithm = algo.to_string();
+    job.algo_seed = algo_seed;
+    job.resilient = resilient;
+    Ok(job)
 }
 
 #[cfg(test)]
@@ -719,7 +1010,7 @@ mod tests {
     #[test]
     fn registry_errors_list_known_algorithms() {
         let err = parse_algorithm("nope").unwrap_err();
-        assert!(err.contains("alg2-central"), "{err}");
+        assert!(err.to_string().contains("alg2-central"), "{err}");
         assert_eq!(parse_algorithm("ALG1").unwrap(), AlgorithmKind::Ptas);
     }
 
@@ -733,7 +1024,7 @@ mod tests {
     #[test]
     fn unknown_command_shows_usage() {
         let err = parse(&argv("frobnicate")).unwrap_err();
-        assert!(err.contains("USAGE"));
+        assert!(err.to_string().contains("USAGE"));
         assert_eq!(parse(&[]).unwrap(), Command::Help);
     }
 
@@ -813,7 +1104,7 @@ mod tests {
             deployment: "/nonexistent/x.json".into(),
         })
         .unwrap_err();
-        assert!(err.contains("read /nonexistent/x.json"));
+        assert!(err.to_string().contains("read /nonexistent/x.json"));
     }
 }
 
@@ -938,7 +1229,7 @@ mod stats_verify_tests {
         )))
         .unwrap())
         .unwrap_err();
-        assert!(err.contains("INVALID"), "{err}");
+        assert!(err.to_string().contains("INVALID"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -946,5 +1237,188 @@ mod stats_verify_tests {
     fn missing_flags_error() {
         assert!(parse(&argv("stats")).is_err());
         assert!(parse(&argv("verify --deployment d.json")).is_err());
+    }
+}
+
+#[cfg(test)]
+mod serve_request_tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_serve_with_defaults_and_overrides() {
+        let defaults = ServeConfig::default();
+        match parse(&argv("serve")).unwrap() {
+            Command::Serve {
+                addr,
+                workers,
+                cache_cap,
+                queue_cap,
+                cache_ttl_secs,
+            } => {
+                assert_eq!(addr, DEFAULT_ADDR);
+                assert_eq!(workers, defaults.workers);
+                assert_eq!(cache_cap, defaults.cache_cap);
+                assert_eq!(queue_cap, defaults.queue_cap);
+                assert_eq!(cache_ttl_secs, None);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&argv(
+            "serve --addr 127.0.0.1:0 --workers 2 --cache-cap 32 --queue-cap 8 --cache-ttl-secs 60",
+        ))
+        .unwrap()
+        {
+            Command::Serve {
+                addr,
+                workers,
+                cache_cap,
+                queue_cap,
+                cache_ttl_secs,
+            } => {
+                assert_eq!(addr, "127.0.0.1:0");
+                assert_eq!((workers, cache_cap, queue_cap), (2, 32, 8));
+                assert_eq!(cache_ttl_secs, Some(60));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_request_variants() {
+        match parse(&argv(
+            "request --scenario s.json --algo ghc --seed 9 --gen-seed 3 --deadline-ms 500 --resilient --payload-out p.json",
+        ))
+        .unwrap()
+        {
+            Command::Request {
+                addr,
+                scenario,
+                algo,
+                algo_seed,
+                gen_seed,
+                deadline_ms,
+                resilient,
+                payload_out,
+                stats,
+                shutdown,
+            } => {
+                assert_eq!(addr, DEFAULT_ADDR);
+                assert_eq!(scenario.as_deref(), Some("s.json"));
+                assert_eq!(algo, "ghc");
+                assert_eq!((algo_seed, gen_seed), (9, 3));
+                assert_eq!(deadline_ms, Some(500));
+                assert!(resilient);
+                assert_eq!(payload_out.as_deref(), Some("p.json"));
+                assert!(!stats && !shutdown);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(matches!(
+            parse(&argv("request --stats")).unwrap(),
+            Command::Request { stats: true, .. }
+        ));
+        assert!(matches!(
+            parse(&argv("request --shutdown")).unwrap(),
+            Command::Request { shutdown: true, .. }
+        ));
+    }
+
+    #[test]
+    fn request_without_action_is_usage_error() {
+        let err = parse(&argv("request")).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        assert!(err.to_string().contains("--scenario"), "{err}");
+    }
+
+    #[test]
+    fn exit_codes_map_error_kinds() {
+        assert_eq!(CliError::Failed("x".into()).exit_code(), 1);
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(
+            CliError::io("p", "read", std::io::Error::other("boom")).exit_code(),
+            3
+        );
+        assert_eq!(CliError::Data("x".into()).exit_code(), 4);
+        assert_eq!(CliError::Remote("x".into()).exit_code(), 5);
+    }
+
+    #[test]
+    fn unwritable_metrics_out_is_structured_io_error() {
+        let dir = std::env::temp_dir().join("rfid_cli_unwritable_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let depl = dir.join("d.json").to_string_lossy().into_owned();
+        run(parse(&argv(&format!(
+            "generate --readers 10 --tags 40 --seed 1 --out {depl}"
+        )))
+        .unwrap())
+        .unwrap();
+        let err = run(parse(&argv(&format!(
+            "schedule --deployment {depl} --algorithm ghc --mode mcs --metrics-out /nonexistent/dir/m.json"
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        assert!(
+            err.to_string().contains("write /nonexistent/dir/m.json"),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn request_against_dead_server_is_remote_error() {
+        // Nothing listens on this port (bound then dropped), so the
+        // request must surface a Remote error, not panic or hang.
+        let port = {
+            let sock = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            sock.local_addr().unwrap().port()
+        };
+        let err = run(parse(&argv(&format!("request --addr 127.0.0.1:{port} --stats"))).unwrap())
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 5, "{err}");
+    }
+
+    #[test]
+    fn serve_and_request_round_trip_over_loopback() {
+        let dir = std::env::temp_dir().join("rfid_cli_serve_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let scen = dir.join("scenario.json");
+        let scenario = Scenario {
+            kind: ScenarioKind::UniformRandom,
+            n_readers: 10,
+            n_tags: 60,
+            region_side: 100.0,
+            radius_model: RadiusModel::paper_default(),
+        };
+        std::fs::write(&scen, serde_json::to_string(&scenario).unwrap()).unwrap();
+        let scen = scen.to_string_lossy().into_owned();
+
+        let server = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let addr = server.addr().to_string();
+
+        let out = run(parse(&argv(&format!(
+            "request --addr {addr} --scenario {scen} --algo ghc"
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("cached: false"), "{out}");
+        let out2 = run(parse(&argv(&format!(
+            "request --addr {addr} --scenario {scen} --algo ghc"
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out2.contains("cached: true"), "{out2}");
+
+        let stats = run(parse(&argv(&format!("request --addr {addr} --stats"))).unwrap()).unwrap();
+        assert!(stats.contains("cache hits:        1"), "{stats}");
+
+        let bye = run(parse(&argv(&format!("request --addr {addr} --shutdown"))).unwrap()).unwrap();
+        assert!(bye.contains("shutdown"), "{bye}");
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -226,6 +226,40 @@ mod tests {
     }
 
     #[test]
+    fn build_errors_are_structured_not_panics() {
+        let reg = SchedulerRegistry::global();
+        let err = reg
+            .build("definitely-not-an-algorithm", 0)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.contains("unknown algorithm"), "{err}");
+        // The error must teach: every accepted spelling is listed.
+        for e in reg.entries() {
+            assert!(
+                err.contains(e.label),
+                "error omits label {}: {err}",
+                e.label
+            );
+            for a in e.aliases {
+                assert!(err.contains(a), "error omits alias {a}: {err}");
+            }
+        }
+        assert!(reg.parse("").is_err());
+        assert!(reg.parse(" alg2").is_err(), "no whitespace trimming");
+    }
+
+    #[test]
+    fn every_spelling_builds_a_scheduler() {
+        let reg = SchedulerRegistry::global();
+        for e in reg.entries() {
+            let built = reg.build(e.label, 7).expect(e.label).name();
+            for a in e.aliases {
+                assert_eq!(reg.build(a, 7).expect(a).name(), built, "{a}");
+            }
+        }
+    }
+
+    #[test]
     fn no_label_or_alias_collides() {
         let mut names: Vec<&str> = SchedulerRegistry::global()
             .entries()

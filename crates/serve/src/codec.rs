@@ -1,0 +1,480 @@
+//! Canonical scenario codec: deterministic JSON and content-addressed keys.
+//!
+//! The service layer caches solved schedules by the *content* of the
+//! request, so two syntactically different requests that describe the same
+//! scheduling problem must map to the same key. Canonicalisation happens
+//! at two levels:
+//!
+//! * **Value level** ([`JobSpec::canonicalize`]): algorithm aliases
+//!   resolve to the registry's canonical label, and explicit deployments
+//!   get their tag list sorted into a fixed spatial order (tag order is a
+//!   labelling choice, not a scheduling input — the feasible sets a solver
+//!   may return depend only on the multiset of tag positions).
+//! * **Encoding level** ([`canonical_json`]): the serde content tree is
+//!   rendered with every object's keys sorted, so field order can never
+//!   leak into the hash.
+//!
+//! The cache key is a hand-rolled 64-bit FNV-1a ([`fnv1a64`]) over the
+//! canonical encoding — stable across platforms and processes, with no
+//! dependency on `std::hash`'s randomised state.
+
+use rfid_core::SchedulerRegistry;
+use rfid_model::{Deployment, Scenario};
+use serde::{Content, Deserialize, Serialize};
+
+/// Upper bounds on untrusted workload sizes, so a single request cannot
+/// ask the daemon to materialise an absurd deployment.
+pub const MAX_READERS: usize = 100_000;
+/// See [`MAX_READERS`].
+pub const MAX_TAGS: usize = 2_000_000;
+
+/// Where the deployment to schedule comes from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Workload {
+    /// Generate the deployment server-side from a parametric scenario and
+    /// a seed (the cheap, cache-friendly path — a few dozen bytes name
+    /// millions of tags).
+    Generated {
+        /// The parametric scenario.
+        scenario: Scenario,
+        /// Deployment seed fed to [`Scenario::generate`].
+        seed: u64,
+    },
+    /// Ship the full deployment in the request. Canonicalisation sorts
+    /// the tag list by position, so permuted-but-equal tag lists share a
+    /// cache entry (and receive identical schedules over the canonical
+    /// tag labelling).
+    Explicit {
+        /// The deployment to schedule.
+        deployment: Deployment,
+    },
+}
+
+/// A complete, self-contained scheduling job: the workload plus every
+/// solver option that can change the answer. This is the unit the cache
+/// keys on — nothing outside a `JobSpec` may influence the payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// The deployment source.
+    pub workload: Workload,
+    /// Algorithm label or alias (resolved through [`SchedulerRegistry`];
+    /// canonicalisation rewrites aliases to the canonical label).
+    pub algorithm: String,
+    /// Seed for randomised algorithms (Colorwave's colour draws).
+    pub algo_seed: u64,
+    /// Run under the resilient fault policy instead of strict.
+    pub resilient: bool,
+    /// Optional slot budget (`None` = the driver's one-million default).
+    pub max_slots: Option<usize>,
+}
+
+/// Why a request could not be canonicalised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The algorithm label matched no registry row. The message lists
+    /// every accepted spelling.
+    UnknownAlgorithm(String),
+    /// The workload fails validation (sizes, radii, finiteness).
+    InvalidWorkload(String),
+    /// The wire text is not a valid `JobSpec`.
+    Malformed(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnknownAlgorithm(m) => write!(f, "unknown algorithm: {m}"),
+            CodecError::InvalidWorkload(m) => write!(f, "invalid workload: {m}"),
+            CodecError::Malformed(m) => write!(f, "malformed job: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl JobSpec {
+    /// A job with the default solver options (Algorithm 2 by canonical
+    /// label, seed 0, strict policy, default budget).
+    pub fn new(workload: Workload) -> Self {
+        JobSpec {
+            workload,
+            algorithm: "alg2-central".to_string(),
+            algo_seed: 0,
+            resilient: false,
+            max_slots: None,
+        }
+    }
+
+    /// Validates the job and rewrites it into canonical form: the
+    /// algorithm becomes the registry's canonical label and explicit tag
+    /// lists are sorted by position. Canonicalisation is idempotent.
+    pub fn canonicalize(&self, registry: &SchedulerRegistry) -> Result<JobSpec, CodecError> {
+        let kind = registry
+            .parse(&self.algorithm)
+            .map_err(CodecError::UnknownAlgorithm)?;
+        let workload = match &self.workload {
+            Workload::Generated { scenario, seed } => {
+                validate_scenario(scenario)?;
+                Workload::Generated {
+                    scenario: *scenario,
+                    seed: *seed,
+                }
+            }
+            Workload::Explicit { deployment } => Workload::Explicit {
+                deployment: canonical_deployment(deployment)?,
+            },
+        };
+        Ok(JobSpec {
+            workload,
+            algorithm: kind.label().to_string(),
+            algo_seed: self.algo_seed,
+            resilient: self.resilient,
+            max_slots: self.max_slots,
+        })
+    }
+}
+
+fn validate_scenario(s: &Scenario) -> Result<(), CodecError> {
+    if !(s.region_side.is_finite() && s.region_side > 0.0) {
+        return Err(CodecError::InvalidWorkload(format!(
+            "region_side must be finite and positive, got {}",
+            s.region_side
+        )));
+    }
+    if s.n_readers > MAX_READERS {
+        return Err(CodecError::InvalidWorkload(format!(
+            "n_readers {} exceeds the service cap {MAX_READERS}",
+            s.n_readers
+        )));
+    }
+    if s.n_tags > MAX_TAGS {
+        return Err(CodecError::InvalidWorkload(format!(
+            "n_tags {} exceeds the service cap {MAX_TAGS}",
+            s.n_tags
+        )));
+    }
+    use rfid_model::RadiusModel::*;
+    let radii_ok = match s.radius_model {
+        PoissonPair {
+            lambda_interference,
+            lambda_interrogation,
+        } => {
+            lambda_interference.is_finite()
+                && lambda_interference > 0.0
+                && lambda_interrogation.is_finite()
+                && lambda_interrogation > 0.0
+        }
+        Fixed {
+            interference,
+            interrogation,
+        } => interference.is_finite() && interrogation > 0.0 && interrogation <= interference,
+        Scaled {
+            lambda_interference,
+            beta,
+        } => {
+            lambda_interference.is_finite() && lambda_interference > 0.0 && beta > 0.0 && beta < 1.0
+        }
+    };
+    if !radii_ok {
+        return Err(CodecError::InvalidWorkload(format!(
+            "radius model parameters out of range: {:?}",
+            s.radius_model
+        )));
+    }
+    match s.kind {
+        rfid_model::ScenarioKind::ClusteredTags { sigma, .. }
+            if !(sigma.is_finite() && sigma > 0.0) =>
+        {
+            Err(CodecError::InvalidWorkload(format!(
+                "cluster sigma must be finite and positive, got {sigma}"
+            )))
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Validates an untrusted deployment (derived `Deserialize` bypasses
+/// [`Deployment::new`]'s asserts) and rebuilds it with the tag list in
+/// canonical order: ascending `(x, y)` under IEEE total order.
+fn canonical_deployment(d: &Deployment) -> Result<Deployment, CodecError> {
+    if d.n_readers() > MAX_READERS {
+        return Err(CodecError::InvalidWorkload(format!(
+            "{} readers exceeds the service cap {MAX_READERS}",
+            d.n_readers()
+        )));
+    }
+    if d.n_tags() > MAX_TAGS {
+        return Err(CodecError::InvalidWorkload(format!(
+            "{} tags exceeds the service cap {MAX_TAGS}",
+            d.n_tags()
+        )));
+    }
+    let n = d.n_readers();
+    if d.reader_positions().len() != n
+        || d.interference_radii().len() != n
+        || d.interrogation_radii().len() != n
+    {
+        return Err(CodecError::InvalidWorkload(
+            "reader position/radius array lengths disagree".to_string(),
+        ));
+    }
+    for (i, p) in d.reader_positions().iter().enumerate() {
+        if !p.is_finite() {
+            return Err(CodecError::InvalidWorkload(format!(
+                "reader {i} has a non-finite position"
+            )));
+        }
+    }
+    for (i, p) in d.tag_positions().iter().enumerate() {
+        if !p.is_finite() {
+            return Err(CodecError::InvalidWorkload(format!(
+                "tag {i} has a non-finite position"
+            )));
+        }
+    }
+    for i in 0..n {
+        let big = d.interference_radii()[i];
+        let small = d.interrogation_radii()[i];
+        if !(big.is_finite() && small.is_finite() && small > 0.0 && small <= big) {
+            return Err(CodecError::InvalidWorkload(format!(
+                "reader {i} radii out of range: interference {big}, interrogation {small}"
+            )));
+        }
+    }
+    let mut tags = d.tag_positions().to_vec();
+    tags.sort_by(|a, b| a.x.total_cmp(&b.x).then_with(|| a.y.total_cmp(&b.y)));
+    Ok(Deployment::new(
+        d.region(),
+        d.reader_positions().to_vec(),
+        d.interference_radii().to_vec(),
+        d.interrogation_radii().to_vec(),
+        tags,
+    ))
+}
+
+/// Renders any serialisable value as canonical JSON: compact, with every
+/// object's keys sorted. Two semantically equal content trees always
+/// produce byte-identical text.
+pub fn canonical_json<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut content = value.to_content();
+    sort_maps(&mut content);
+    serde_json::to_string(&serde_json::Value(content)).expect("canonical render cannot fail")
+}
+
+fn sort_maps(content: &mut Content) {
+    match content {
+        Content::Map(entries) => {
+            for (_, v) in entries.iter_mut() {
+                sort_maps(v);
+            }
+            entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+        }
+        Content::Seq(items) => {
+            for item in items {
+                sort_maps(item);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// 64-bit FNV-1a — the cache's content hash. Hand-rolled so the key is
+/// stable across platforms, processes and Rust versions (unlike
+/// `DefaultHasher`, which is seeded per process).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A canonicalised job together with its canonical encoding and content
+/// key — everything the cache and the solver need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanonicalJob {
+    /// The canonical job (aliases resolved, tags sorted).
+    pub spec: JobSpec,
+    /// Canonical JSON encoding of `spec`.
+    pub encoded: String,
+    /// `fnv1a64(encoded)` — the cache key.
+    pub key: u64,
+}
+
+impl CanonicalJob {
+    /// Canonicalises and encodes a job in one step.
+    pub fn new(spec: &JobSpec, registry: &SchedulerRegistry) -> Result<CanonicalJob, CodecError> {
+        let spec = spec.canonicalize(registry)?;
+        let encoded = canonical_json(&spec);
+        let key = fnv1a64(encoded.as_bytes());
+        Ok(CanonicalJob { spec, encoded, key })
+    }
+
+    /// The key as the fixed-width hex string used on the wire.
+    pub fn key_hex(&self) -> String {
+        format!("{:016x}", self.key)
+    }
+}
+
+/// Decodes a job from its JSON encoding (canonical or not — callers
+/// re-canonicalise via [`CanonicalJob::new`]).
+pub fn decode_job(text: &str) -> Result<JobSpec, CodecError> {
+    serde_json::from_str(text).map_err(|e| CodecError::Malformed(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_geometry::{Point, Rect};
+    use rfid_model::{RadiusModel, ScenarioKind};
+
+    fn registry() -> SchedulerRegistry {
+        SchedulerRegistry::global()
+    }
+
+    fn generated_spec(alias: &str) -> JobSpec {
+        JobSpec {
+            workload: Workload::Generated {
+                scenario: Scenario {
+                    kind: ScenarioKind::UniformRandom,
+                    n_readers: 10,
+                    n_tags: 60,
+                    region_side: 50.0,
+                    radius_model: RadiusModel::paper_default(),
+                },
+                seed: 7,
+            },
+            algorithm: alias.to_string(),
+            algo_seed: 3,
+            resilient: false,
+            max_slots: None,
+        }
+    }
+
+    fn explicit_spec(tags: Vec<Point>) -> JobSpec {
+        let d = Deployment::new(
+            Rect::square(20.0),
+            vec![Point::new(5.0, 5.0), Point::new(15.0, 15.0)],
+            vec![6.0, 6.0],
+            vec![3.0, 3.0],
+            tags,
+        );
+        JobSpec::new(Workload::Explicit { deployment: d })
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let job = CanonicalJob::new(&generated_spec("alg2"), &registry()).unwrap();
+        let back = decode_job(&job.encoded).unwrap();
+        assert_eq!(back, job.spec);
+        // Re-canonicalising the round-tripped spec is a fixed point.
+        let again = CanonicalJob::new(&back, &registry()).unwrap();
+        assert_eq!(again, job);
+    }
+
+    #[test]
+    fn aliases_hash_to_the_same_key_as_canonical_labels() {
+        let reg = registry();
+        let a = CanonicalJob::new(&generated_spec("alg2"), &reg).unwrap();
+        let b = CanonicalJob::new(&generated_spec("ALG2-Central"), &reg).unwrap();
+        let c = CanonicalJob::new(&generated_spec("central"), &reg).unwrap();
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.encoded, c.encoded);
+        assert_eq!(a.spec.algorithm, "alg2-central");
+    }
+
+    #[test]
+    fn reordered_tag_lists_hash_identically() {
+        let reg = registry();
+        let tags = vec![
+            Point::new(4.0, 4.0),
+            Point::new(16.0, 14.0),
+            Point::new(6.0, 5.0),
+            Point::new(16.0, 2.0),
+        ];
+        let mut reversed = tags.clone();
+        reversed.reverse();
+        let a = CanonicalJob::new(&explicit_spec(tags), &reg).unwrap();
+        let b = CanonicalJob::new(&explicit_spec(reversed), &reg).unwrap();
+        assert_eq!(a.encoded, b.encoded);
+        assert_eq!(a.key, b.key);
+    }
+
+    #[test]
+    fn different_content_yields_different_keys() {
+        let reg = registry();
+        let a = CanonicalJob::new(&generated_spec("alg2"), &reg).unwrap();
+        let mut other = generated_spec("alg2");
+        other.algo_seed = 4;
+        let b = CanonicalJob::new(&other, &reg).unwrap();
+        assert_ne!(a.key, b.key);
+        let mut ghc = generated_spec("ghc");
+        ghc.algo_seed = 3;
+        let c = CanonicalJob::new(&ghc, &reg).unwrap();
+        assert_ne!(a.key, c.key);
+    }
+
+    #[test]
+    fn unknown_algorithm_is_a_structured_error() {
+        let err = CanonicalJob::new(&generated_spec("nope"), &registry()).unwrap_err();
+        match &err {
+            CodecError::UnknownAlgorithm(m) => assert!(m.contains("alg2-central"), "{m}"),
+            other => panic!("wrong error: {other:?}"),
+        }
+        assert!(err.to_string().contains("unknown algorithm"));
+    }
+
+    #[test]
+    fn oversized_and_degenerate_workloads_are_rejected() {
+        let mut spec = generated_spec("alg2");
+        if let Workload::Generated { scenario, .. } = &mut spec.workload {
+            scenario.n_readers = MAX_READERS + 1;
+        }
+        assert!(matches!(
+            CanonicalJob::new(&spec, &registry()).unwrap_err(),
+            CodecError::InvalidWorkload(_)
+        ));
+        let mut spec = generated_spec("alg2");
+        if let Workload::Generated { scenario, .. } = &mut spec.workload {
+            scenario.region_side = f64::NAN;
+        }
+        assert!(matches!(
+            CanonicalJob::new(&spec, &registry()).unwrap_err(),
+            CodecError::InvalidWorkload(_)
+        ));
+    }
+
+    #[test]
+    fn invalid_explicit_deployments_error_instead_of_panicking() {
+        // Build a hostile deployment by deserialising (bypasses
+        // `Deployment::new`'s asserts, exactly like untrusted wire input).
+        let hostile = r#"{"region":{"min_x":0.0,"min_y":0.0,"max_x":10.0,"max_y":10.0},
+            "reader_pos":[{"x":1.0,"y":1.0}],
+            "interference_r":[2.0],
+            "interrogation_r":[5.0],
+            "tag_pos":[]}"#;
+        let d: Deployment = serde_json::from_str(hostile).unwrap();
+        let spec = JobSpec::new(Workload::Explicit { deployment: d });
+        let err = CanonicalJob::new(&spec, &registry()).unwrap_err();
+        assert!(matches!(err, CodecError::InvalidWorkload(_)), "{err}");
+    }
+
+    #[test]
+    fn canonical_json_sorts_keys_at_every_depth() {
+        let v: serde_json::Value =
+            serde_json::from_str(r#"{"b":1,"a":{"z":[{"y":2,"x":3}],"w":4}}"#).unwrap();
+        assert_eq!(
+            canonical_json(&v),
+            r#"{"a":{"w":4,"z":[{"x":3,"y":2}]},"b":1}"#
+        );
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

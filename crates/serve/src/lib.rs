@@ -1,0 +1,46 @@
+//! `rfid-serve` — the scheduling service layer.
+//!
+//! PRs 1–3 made the solver stack robust, fast and observable, but every
+//! schedule still came from a one-shot CLI invocation. This crate adds
+//! the long-lived request path the ROADMAP's "serves heavy traffic"
+//! north star needs, as four composable layers (DESIGN.md §9):
+//!
+//! 1. **Codec** ([`codec`]) — canonical JSON encode/decode of a
+//!    [`JobSpec`] (scenario or explicit deployment + solver options) with
+//!    a stable FNV-1a 64-bit content hash. Semantically equal requests
+//!    (aliased algorithm names, permuted tag lists) canonicalise to the
+//!    same bytes and therefore the same cache key.
+//! 2. **Cache** ([`cache`]) — a sharded `RwLock` LRU keyed by content
+//!    hash, with capacity/TTL bounds and hit/miss/eviction counters
+//!    exported through `rfid-obs`.
+//! 3. **Queue + workers** ([`queue`], [`service`]) — a bounded work
+//!    queue with backpressure (a full queue is a structured `429`-style
+//!    reject, never a hang or a silent drop), per-request deadlines and
+//!    graceful drain-then-stop shutdown.
+//! 4. **Protocol** ([`protocol`], [`server`]) — JSON-lines over TCP
+//!    (`std::net` only, per the vendored-offline policy) plus an
+//!    in-process [`Client`] and a blocking [`TcpClient`].
+//!
+//! The **determinism contract**: a response payload is the canonical
+//! JSON of a [`ScheduleOutcome`] and contains no wall-clock data, so a
+//! cold solve, a warm cache hit, the in-process client and the TCP
+//! client all return byte-identical payloads for the same request
+//! (enforced by `tests/serve.rs`).
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod codec;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod service;
+
+pub use cache::{CacheStats, ScheduleCache};
+pub use codec::{canonical_json, decode_job, fnv1a64, CanonicalJob, CodecError, JobSpec, Workload};
+pub use protocol::{Request, Response, ServiceStats};
+pub use queue::{PushError, ResponseSlot, WorkQueue};
+pub use server::{ClientError, Server, TcpClient};
+pub use service::{
+    Client, ScheduleOutcome, ScheduleReply, ServeConfig, Service, ServiceError, SlotSummary,
+};

@@ -1,0 +1,233 @@
+//! The JSON-lines wire protocol.
+//!
+//! One frame per line, externally-tagged JSON, newline-terminated —
+//! trivially debuggable with `nc` and greppable in captures. Clients
+//! send [`Request`] frames; the server answers each with exactly one
+//! [`Response`] frame on the same connection, in order. Errors are
+//! in-band [`Response::Error`] frames with HTTP-flavoured codes (the
+//! transport never closes to signal an application error).
+
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+
+use crate::codec::JobSpec;
+
+/// Admission reject: the work queue is full (backpressure) — retry
+/// later.
+pub const CODE_QUEUE_FULL: u16 = 429;
+/// Malformed frame or invalid workload.
+pub const CODE_BAD_REQUEST: u16 = 400;
+/// The algorithm label matched no registry row.
+pub const CODE_UNKNOWN_ALGORITHM: u16 = 404;
+/// The solver could not complete the schedule (strict-policy stall or
+/// slot-budget exhaustion).
+pub const CODE_UNSOLVABLE: u16 = 422;
+/// A worker panicked while solving — a server-side bug, not a bad
+/// request.
+pub const CODE_INTERNAL: u16 = 500;
+/// The service is shutting down and admits no new work.
+pub const CODE_SHUTTING_DOWN: u16 = 503;
+/// The request's deadline expired before a worker finished it.
+pub const CODE_DEADLINE: u16 = 504;
+
+/// Client→server frames.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Solve (or fetch from cache) one scheduling job.
+    Schedule {
+        /// The job to schedule.
+        job: JobSpec,
+        /// Optional deadline in milliseconds; expiry yields a
+        /// [`CODE_DEADLINE`] error frame.
+        deadline_ms: Option<u64>,
+    },
+    /// Fetch service counters and the recorder's metrics snapshot.
+    Stats,
+    /// Ask the daemon to shut down gracefully (drain, then stop). The
+    /// server acknowledges with [`Response::Bye`] before stopping.
+    Shutdown,
+}
+
+/// Server→client frames.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// A solved (or cached) schedule.
+    Schedule {
+        /// The job's content key as fixed-width hex — the cache address.
+        key: String,
+        /// `true` when the payload came from the cache.
+        cached: bool,
+        /// Canonical JSON of a [`crate::ScheduleOutcome`]. Byte-identical
+        /// across cold solve, warm cache, in-process and TCP paths (the
+        /// determinism contract).
+        payload: String,
+    },
+    /// Service counters plus the `rfid-obs` metrics snapshot.
+    Stats {
+        /// The service counters.
+        stats: ServiceStats,
+        /// `MetricsSnapshot::to_json` of the server's recorder
+        /// (deterministic: wall times excluded).
+        metrics: String,
+    },
+    /// A structured application error (`code` is one of the `CODE_*`
+    /// constants).
+    Error {
+        /// HTTP-flavoured status code.
+        code: u16,
+        /// Human-readable cause.
+        message: String,
+    },
+    /// Acknowledges a [`Request::Shutdown`].
+    Bye,
+}
+
+/// Point-in-time service counters, serialisable for the stats frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Schedule requests admitted for processing (hits + queued).
+    pub requests: u64,
+    /// Requests answered straight from the cache.
+    pub cache_hits: u64,
+    /// Requests that missed the cache.
+    pub cache_misses: u64,
+    /// Requests coalesced onto an identical in-flight solve
+    /// (single-flight followers; neither a hit nor a miss).
+    pub coalesced: u64,
+    /// Cache entries evicted to make room.
+    pub cache_evictions: u64,
+    /// Cache entries dropped by TTL expiry.
+    pub cache_expired: u64,
+    /// Live cache entries.
+    pub cache_entries: u64,
+    /// Requests rejected because the queue was full (`429`).
+    pub rejected_full: u64,
+    /// Requests rejected during shutdown (`503`).
+    pub rejected_shutdown: u64,
+    /// Requests whose deadline expired while queued or solving (`504`).
+    pub deadline_expired: u64,
+    /// Jobs solved by the worker pool (cache misses that completed).
+    pub solved: u64,
+    /// Jobs that ended in an error (bad workload, stall, panic).
+    pub errors: u64,
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: u64,
+    /// Worker threads serving the queue.
+    pub workers: u64,
+}
+
+/// Serialises one frame as a JSON line (no flush — callers batch).
+pub fn encode_frame<T: Serialize>(frame: &T) -> String {
+    let mut line = serde_json::to_string(frame).expect("frame serialisation cannot fail");
+    line.push('\n');
+    line
+}
+
+/// Writes one frame and flushes, so the peer sees it immediately.
+pub fn write_frame<T: Serialize, W: Write>(w: &mut W, frame: &T) -> std::io::Result<()> {
+    w.write_all(encode_frame(frame).as_bytes())?;
+    w.flush()
+}
+
+/// Parses one frame from a line (ignores the trailing newline).
+pub fn decode_frame<T: Deserialize>(line: &str) -> Result<T, String> {
+    serde_json::from_str(line.trim_end_matches(['\r', '\n'])).map_err(|e| e.to_string())
+}
+
+/// Reads one newline-terminated frame from a buffered reader. `Ok(None)`
+/// is a clean EOF; a parse failure is an `Err(String)` for the caller to
+/// answer with a [`CODE_BAD_REQUEST`] frame.
+pub fn read_frame<T: Deserialize, R: BufRead>(
+    r: &mut R,
+) -> std::io::Result<Option<Result<T, String>>> {
+    let mut line = String::new();
+    let n = r.read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    Ok(Some(decode_frame(&line)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::Workload;
+    use rfid_model::Scenario;
+
+    fn job() -> JobSpec {
+        JobSpec::new(Workload::Generated {
+            scenario: Scenario::paper_evaluation(14.0, 6.0),
+            seed: 1,
+        })
+    }
+
+    #[test]
+    fn request_frames_round_trip() {
+        for frame in [
+            Request::Schedule {
+                job: job(),
+                deadline_ms: Some(250),
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ] {
+            let line = encode_frame(&frame);
+            assert!(line.ends_with('\n'));
+            assert_eq!(line.matches('\n').count(), 1, "one frame per line");
+            let back: Request = decode_frame(&line).unwrap();
+            assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn response_frames_round_trip() {
+        for frame in [
+            Response::Schedule {
+                key: "00ff".into(),
+                cached: true,
+                payload: r#"{"slots":3}"#.into(),
+            },
+            Response::Stats {
+                stats: ServiceStats {
+                    requests: 7,
+                    ..ServiceStats::default()
+                },
+                metrics: "{}".into(),
+            },
+            Response::Error {
+                code: CODE_QUEUE_FULL,
+                message: "queue full".into(),
+            },
+            Response::Bye,
+        ] {
+            let back: Response = decode_frame(&encode_frame(&frame)).unwrap();
+            assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn read_frame_handles_stream_of_lines_and_eof() {
+        let text = format!(
+            "{}{}",
+            encode_frame(&Request::Stats),
+            encode_frame(&Request::Shutdown)
+        );
+        let mut r = std::io::BufReader::new(text.as_bytes());
+        assert_eq!(
+            read_frame::<Request, _>(&mut r).unwrap().unwrap().unwrap(),
+            Request::Stats
+        );
+        assert_eq!(
+            read_frame::<Request, _>(&mut r).unwrap().unwrap().unwrap(),
+            Request::Shutdown
+        );
+        assert!(read_frame::<Request, _>(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn garbage_lines_are_parse_errors_not_panics() {
+        let mut r = std::io::BufReader::new(&b"not json\n"[..]);
+        let parsed = read_frame::<Request, _>(&mut r).unwrap().unwrap();
+        assert!(parsed.is_err());
+    }
+}

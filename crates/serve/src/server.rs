@@ -1,0 +1,454 @@
+//! The zero-dependency TCP daemon and its blocking client.
+//!
+//! `std::net` only, per the vendored-offline policy: a blocking
+//! `TcpListener` accept loop hands each connection to its own thread,
+//! which speaks the JSON-lines protocol ([`crate::protocol`]). Two
+//! plumbing details carry the graceful-shutdown story:
+//!
+//! * The accept loop blocks in `accept()`; [`Server::request_shutdown`]
+//!   wakes it with a loopback self-connection after raising the stop
+//!   flag (no `select`/`poll` needed).
+//! * Connection threads read with a 200 ms timeout and re-check the stop
+//!   flag between reads, preserving any partial line across timeouts so
+//!   slow writers are never corrupted.
+//!
+//! A `Shutdown` frame (or [`Server::request_shutdown`]) stops the accept
+//! loop, then the service drains its queue before the workers exit —
+//! "drain, then stop".
+
+use crate::protocol::{decode_frame, read_frame, write_frame, Request, Response, ServiceStats};
+use crate::service::{ScheduleReply, ServeConfig, Service, ServiceError};
+use crate::JobSpec;
+use std::io::{BufReader, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+const READ_POLL: Duration = Duration::from_millis(200);
+
+struct Shared {
+    service: Service,
+    addr: SocketAddr,
+    stop: AtomicBool,
+    stopped: Mutex<bool>,
+    stopped_cv: Condvar,
+}
+
+impl Shared {
+    fn request_shutdown(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return; // already requested
+        }
+        *self.stopped.lock().expect("stop flag poisoned") = true;
+        self.stopped_cv.notify_all();
+        // Wake the blocking accept() with a throwaway self-connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running daemon: accept loop + per-connection threads over a
+/// [`Service`].
+pub struct Server {
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts accepting.
+    pub fn start(addr: &str, config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            service: Service::start(config),
+            addr: local,
+            stop: AtomicBool::new(false),
+            stopped: Mutex::new(false),
+            stopped_cv: Condvar::new(),
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_shared = Arc::clone(&shared);
+        let accept_conns = Arc::clone(&conns);
+        let accept_handle = std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared, &accept_conns))?;
+        Ok(Server {
+            shared,
+            accept_handle: Some(accept_handle),
+            conns,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The underlying service (stats, direct in-process scheduling).
+    pub fn service(&self) -> Service {
+        self.shared.service.clone()
+    }
+
+    /// Raises the stop flag and wakes the accept loop. Non-blocking;
+    /// idempotent. [`run_until_shutdown`](Self::run_until_shutdown)
+    /// observes it and finishes the teardown.
+    pub fn request_shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Blocks until shutdown is requested (by a `Shutdown` frame or
+    /// [`request_shutdown`](Self::request_shutdown)), then tears down:
+    /// stop accepting, drain and stop the worker pool, join every
+    /// connection thread.
+    pub fn run_until_shutdown(mut self) {
+        {
+            let mut stopped = self.shared.stopped.lock().expect("stop flag poisoned");
+            while !*stopped {
+                stopped = self
+                    .shared
+                    .stopped_cv
+                    .wait(stopped)
+                    .expect("stop flag poisoned");
+            }
+        }
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        // Drain-then-stop: queued jobs are solved (their conn threads are
+        // blocked waiting on response slots), then the workers exit.
+        self.shared.service.shutdown(true);
+        let handles = std::mem::take(&mut *self.conns.lock().expect("conns poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Convenience for tests: request shutdown and complete the
+    /// teardown.
+    pub fn shutdown(self) {
+        self.request_shutdown();
+        self.run_until_shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break; // the wake-up self-connection, or a racer
+                }
+                let conn_shared = Arc::clone(shared);
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || handle_conn(stream, &conn_shared))
+                {
+                    conns.lock().expect("conns poisoned").push(handle);
+                }
+            }
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Transient accept error (EMFILE, aborted handshake):
+                // keep serving.
+            }
+        }
+    }
+}
+
+fn handle_conn(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = stream;
+    let mut pending: Vec<u8> = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        // Serve every complete line already buffered.
+        while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = pending.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line);
+            if line.trim().is_empty() {
+                continue;
+            }
+            match decode_frame::<Request>(&line) {
+                Ok(Request::Schedule { job, deadline_ms }) => {
+                    let deadline = deadline_ms.map(Duration::from_millis);
+                    let response = match shared.service.schedule(&job, deadline) {
+                        Ok(reply) => Response::Schedule {
+                            key: reply.key,
+                            cached: reply.cached,
+                            payload: reply.payload.to_string(),
+                        },
+                        Err(err) => Response::Error {
+                            code: err.code,
+                            message: err.message,
+                        },
+                    };
+                    if write_frame(&mut writer, &response).is_err() {
+                        return;
+                    }
+                }
+                Ok(Request::Stats) => {
+                    let response = Response::Stats {
+                        stats: shared.service.stats(),
+                        metrics: shared.service.metrics_json(),
+                    };
+                    if write_frame(&mut writer, &response).is_err() {
+                        return;
+                    }
+                }
+                Ok(Request::Shutdown) => {
+                    let _ = write_frame(&mut writer, &Response::Bye);
+                    shared.request_shutdown();
+                    return;
+                }
+                Err(message) => {
+                    let response = Response::Error {
+                        code: crate::protocol::CODE_BAD_REQUEST,
+                        message: format!("unparseable frame: {message}"),
+                    };
+                    if write_frame(&mut writer, &response).is_err() {
+                        return;
+                    }
+                }
+            }
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match reader.read(&mut buf) {
+            Ok(0) => return, // clean EOF
+            Ok(n) => pending.extend_from_slice(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Poll tick: loop back to re-check the stop flag. Any
+                // partial line stays in `pending`.
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Why a [`TcpClient`] call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(String),
+    /// The server answered with a structured error frame.
+    Remote(ServiceError),
+    /// The server answered with an unexpected or unparseable frame.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(m) => write!(f, "io error: {m}"),
+            ClientError::Remote(e) => write!(f, "server error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e.to_string())
+    }
+}
+
+/// A blocking JSON-lines client over one TCP connection.
+pub struct TcpClient {
+    reader: BufReader<TcpStream>,
+}
+
+impl TcpClient {
+    /// Connects to a running daemon.
+    pub fn connect(addr: &str) -> std::io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpClient {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(self.reader.get_mut(), request)?;
+        match read_frame::<Response, _>(&mut self.reader)? {
+            Some(Ok(response)) => Ok(response),
+            Some(Err(m)) => Err(ClientError::Protocol(m)),
+            None => Err(ClientError::Protocol(
+                "connection closed before response".into(),
+            )),
+        }
+    }
+
+    /// Schedules one job, optionally bounded by a server-side deadline.
+    pub fn schedule(
+        &mut self,
+        job: &JobSpec,
+        deadline_ms: Option<u64>,
+    ) -> Result<ScheduleReply, ClientError> {
+        let request = Request::Schedule {
+            job: job.clone(),
+            deadline_ms,
+        };
+        match self.round_trip(&request)? {
+            Response::Schedule {
+                key,
+                cached,
+                payload,
+            } => Ok(ScheduleReply {
+                key,
+                cached,
+                payload: payload.into(),
+            }),
+            Response::Error { code, message } => {
+                Err(ClientError::Remote(ServiceError { code, message }))
+            }
+            other => Err(ClientError::Protocol(format!(
+                "expected Schedule frame, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches service counters and the recorder's metrics snapshot.
+    pub fn stats(&mut self) -> Result<(ServiceStats, String), ClientError> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats { stats, metrics } => Ok((stats, metrics)),
+            Response::Error { code, message } => {
+                Err(ClientError::Remote(ServiceError { code, message }))
+            }
+            other => Err(ClientError::Protocol(format!(
+                "expected Stats frame, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the daemon to shut down gracefully; resolves once the server
+    /// acknowledges with `Bye`.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected Bye frame, got {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::Workload;
+    use rfid_model::{RadiusModel, Scenario, ScenarioKind};
+    use std::io::Write;
+
+    fn small_job(seed: u64) -> JobSpec {
+        JobSpec::new(Workload::Generated {
+            scenario: Scenario {
+                kind: ScenarioKind::UniformRandom,
+                n_readers: 8,
+                n_tags: 40,
+                region_side: 40.0,
+                radius_model: RadiusModel::paper_default(),
+            },
+            seed,
+        })
+    }
+
+    fn test_server() -> Server {
+        Server::start(
+            "127.0.0.1:0",
+            ServeConfig {
+                workers: 2,
+                queue_cap: 8,
+                cache_cap: 16,
+                cache_ttl: None,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn schedule_and_stats_over_tcp() {
+        let server = test_server();
+        let addr = server.addr().to_string();
+        let mut client = TcpClient::connect(&addr).unwrap();
+        let cold = client.schedule(&small_job(4), None).unwrap();
+        assert!(!cold.cached);
+        let warm = client.schedule(&small_job(4), None).unwrap();
+        assert!(warm.cached);
+        assert_eq!(cold.payload, warm.payload);
+        let (stats, metrics) = client.stats().unwrap();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.solved, 1);
+        assert!(metrics.contains("serve.cache.hit"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_frames_get_error_responses_and_the_connection_survives() {
+        let server = test_server();
+        let addr = server.addr().to_string();
+        let mut client = TcpClient::connect(&addr).unwrap();
+        // Hand-inject garbage, then a valid request on the same socket.
+        writeln!(client.reader.get_mut(), "this is not json").unwrap();
+        match read_frame::<Response, _>(&mut client.reader)
+            .unwrap()
+            .unwrap()
+        {
+            Ok(Response::Error { code, .. }) => {
+                assert_eq!(code, crate::protocol::CODE_BAD_REQUEST)
+            }
+            other => panic!("expected error frame, got {other:?}"),
+        }
+        let reply = client.schedule(&small_job(1), None).unwrap();
+        assert!(!reply.cached);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_frame_stops_the_daemon() {
+        let server = test_server();
+        let addr = server.addr().to_string();
+        let mut client = TcpClient::connect(&addr).unwrap();
+        client.schedule(&small_job(2), None).unwrap();
+        client.shutdown_server().unwrap();
+        // The returned run_until_shutdown must complete (daemon stopped).
+        server.run_until_shutdown();
+        // New connections are refused or go unanswered once stopped.
+        // A refused connect (bind already released) is also fine.
+        if let Ok(mut c) = TcpClient::connect(&addr) {
+            assert!(c.stats().is_err());
+        }
+    }
+
+    #[test]
+    fn two_clients_share_the_cache() {
+        let server = test_server();
+        let addr = server.addr().to_string();
+        let mut a = TcpClient::connect(&addr).unwrap();
+        let mut b = TcpClient::connect(&addr).unwrap();
+        let cold = a.schedule(&small_job(6), None).unwrap();
+        let warm = b.schedule(&small_job(6), None).unwrap();
+        assert!(!cold.cached);
+        assert!(warm.cached);
+        assert_eq!(cold.payload, warm.payload);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,771 @@
+//! The scheduling service: cache in front of a bounded worker pool.
+//!
+//! Request path (DESIGN.md §9): canonicalise ([`crate::codec`]) → look
+//! up the content key in the [`ScheduleCache`] → on miss, admit into the
+//! bounded [`WorkQueue`] (full → structured `429`) → a worker resolves
+//! the algorithm through [`SchedulerRegistry`], runs
+//! [`covering_schedule_with`] with the server's [`Recorder`] attached,
+//! renders the [`ScheduleOutcome`] as canonical JSON, publishes it to
+//! the cache and fulfils the client's [`ResponseSlot`].
+//!
+//! The payload deliberately contains **no wall-clock data** (per-slot
+//! summaries are recomputed from the schedule itself, not from the timed
+//! `SlotMetrics`), which is what makes the determinism contract hold:
+//! cold solve, warm cache, in-process and TCP paths all hand back the
+//! same bytes.
+
+use crate::cache::ScheduleCache;
+use crate::codec::{canonical_json, CanonicalJob, CodecError, JobSpec, Workload};
+use crate::protocol::{
+    ServiceStats, CODE_BAD_REQUEST, CODE_DEADLINE, CODE_INTERNAL, CODE_QUEUE_FULL,
+    CODE_SHUTTING_DOWN, CODE_UNKNOWN_ALGORITHM, CODE_UNSOLVABLE,
+};
+use crate::queue::{PushError, ResponseSlot, WorkQueue};
+use rfid_core::mcs::{covering_schedule_with, CoveringSchedule, McsOptions};
+use rfid_core::SchedulerRegistry;
+use rfid_model::interference::interference_graph;
+use rfid_model::{Coverage, Deployment};
+use rfid_obs::{counter, Recorder, Subscriber};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A structured service error: an HTTP-flavoured code plus a cause.
+/// Every failure mode of the request path maps to exactly one code —
+/// clients never see a hang, a dropped request or a panic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceError {
+    /// One of the `crate::protocol::CODE_*` constants.
+    pub code: u16,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl ServiceError {
+    fn new(code: u16, message: impl Into<String>) -> Self {
+        ServiceError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<CodecError> for ServiceError {
+    fn from(err: CodecError) -> Self {
+        match err {
+            // The registry message is already self-describing ("unknown
+            // algorithm \"x\"; known: ..."), so no extra prefix.
+            CodecError::UnknownAlgorithm(m) => ServiceError::new(CODE_UNKNOWN_ALGORITHM, m),
+            CodecError::InvalidWorkload(m) => {
+                ServiceError::new(CODE_BAD_REQUEST, format!("invalid workload: {m}"))
+            }
+            CodecError::Malformed(m) => {
+                ServiceError::new(CODE_BAD_REQUEST, format!("malformed job: {m}"))
+            }
+        }
+    }
+}
+
+/// Per-slot summary recomputed from the schedule itself — everything a
+/// dashboard needs, none of the wall-clock data that would break the
+/// determinism contract.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotSummary {
+    /// Slot index in activation order.
+    pub slot: usize,
+    /// Readers activated this slot.
+    pub active_readers: usize,
+    /// Tags served this slot.
+    pub tags_served: usize,
+    /// `true` when the progress guard produced this slot.
+    pub fallback: bool,
+}
+
+/// The response payload: `McsRun` totals, the full schedule and per-slot
+/// summaries. Rendered as canonical JSON, this is the byte string the
+/// cache stores and every client receives.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleOutcome {
+    /// Canonical algorithm label that produced the schedule.
+    pub algorithm: String,
+    /// Number of time slots (the paper's metric).
+    pub slots: usize,
+    /// Total tags served.
+    pub tags_served: usize,
+    /// Slots produced by the progress guard.
+    pub fallback_slots: usize,
+    /// Tags no reader covers.
+    pub uncoverable: usize,
+    /// RTc pairs repaired by the resilient policy.
+    pub repaired_pairs: usize,
+    /// Activations dropped because their reader crashed.
+    pub crashed_dropped: usize,
+    /// Coverable tags abandoned by the resilient policy.
+    pub abandoned_tags: usize,
+    /// `true` when every coverable tag was served.
+    pub complete: bool,
+    /// The full covering schedule.
+    pub schedule: CoveringSchedule,
+    /// One summary row per slot (`slot_summaries[i]` ↔ `schedule.slots[i]`).
+    pub slot_summaries: Vec<SlotSummary>,
+}
+
+/// A successful schedule response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleReply {
+    /// Content key (fixed-width hex) — the cache address of the payload.
+    pub key: String,
+    /// `true` when the payload came from the cache.
+    pub cached: bool,
+    /// Canonical JSON of a [`ScheduleOutcome`].
+    pub payload: Arc<str>,
+}
+
+impl ScheduleReply {
+    /// Parses the payload back into a typed outcome.
+    pub fn outcome(&self) -> Result<ScheduleOutcome, String> {
+        serde_json::from_str(&self.payload).map_err(|e| e.to_string())
+    }
+}
+
+/// Service construction parameters (the CLI's `serve` flags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads solving cache misses. `0` is legal (nothing is
+    /// ever solved — useful for backpressure tests).
+    pub workers: usize,
+    /// Bounded queue capacity; a full queue rejects with `429`.
+    pub queue_cap: usize,
+    /// Cache capacity in entries; `0` disables caching.
+    pub cache_cap: usize,
+    /// Optional time-to-live for cache entries.
+    pub cache_ttl: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(2),
+            queue_cap: 64,
+            cache_cap: 256,
+            cache_ttl: None,
+        }
+    }
+}
+
+type JobResult = Result<ScheduleReply, ServiceError>;
+
+struct Job {
+    canonical: CanonicalJob,
+    slot: Arc<ResponseSlot<JobResult>>,
+}
+
+struct Inner {
+    registry: SchedulerRegistry,
+    cache: ScheduleCache,
+    queue: WorkQueue<Job>,
+    /// Single-flight table: content key → every [`ResponseSlot`] waiting
+    /// on the in-flight solve of that key (index 0 is the leader that
+    /// enqueued the job). Only populated while the cache is enabled —
+    /// with caching off, every request is an independent solve.
+    inflight: Mutex<HashMap<u64, Vec<Arc<ResponseSlot<JobResult>>>>>,
+    recorder: Recorder,
+    shutting_down: AtomicBool,
+    workers: usize,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    // Counters not derivable from the cache or queue.
+    requests: AtomicU64,
+    coalesced: AtomicU64,
+    rejected_full: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    deadline_expired: AtomicU64,
+    solved: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// The scheduling service: shared-nothing from the caller's view, cheap
+/// to clone (an `Arc` internally), safe to use from many threads.
+#[derive(Clone)]
+pub struct Service {
+    inner: Arc<Inner>,
+}
+
+impl Service {
+    /// Starts the worker pool and returns the running service.
+    pub fn start(config: ServeConfig) -> Self {
+        let inner = Arc::new(Inner {
+            registry: SchedulerRegistry::global(),
+            cache: ScheduleCache::new(config.cache_cap, config.cache_ttl),
+            queue: WorkQueue::new(config.queue_cap),
+            inflight: Mutex::new(HashMap::new()),
+            recorder: Recorder::new(),
+            shutting_down: AtomicBool::new(false),
+            workers: config.workers,
+            handles: Mutex::new(Vec::new()),
+            requests: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            rejected_full: AtomicU64::new(0),
+            rejected_shutdown: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            solved: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        });
+        let mut handles = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let worker = Arc::clone(&inner);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&worker))
+                    .expect("spawn worker thread"),
+            );
+        }
+        *inner.handles.lock().expect("handles poisoned") = handles;
+        Service { inner }
+    }
+
+    /// Schedules one job, waiting up to `deadline` for the result.
+    ///
+    /// Every outcome is structured: a cache hit or solved schedule on
+    /// success; otherwise a [`ServiceError`] whose code pins the cause
+    /// (bad request, unknown algorithm, queue full, shutting down,
+    /// deadline expired, solver stall, worker panic).
+    pub fn schedule(&self, spec: &JobSpec, deadline: Option<Duration>) -> JobResult {
+        let inner = &self.inner;
+        let sub: Option<&dyn Subscriber> = Some(&inner.recorder);
+        let canonical = CanonicalJob::new(spec, &inner.registry).map_err(|e| {
+            inner.errors.fetch_add(1, Ordering::Relaxed);
+            ServiceError::from(e)
+        })?;
+        inner.requests.fetch_add(1, Ordering::Relaxed);
+        counter!(sub, "serve.request");
+        let shutting_down = || {
+            inner.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+            ServiceError::new(CODE_SHUTTING_DOWN, "service is shutting down")
+        };
+        let slot = Arc::new(ResponseSlot::new());
+        if inner.cache.is_enabled() {
+            // Hit, coalesce or lead — decided under the single-flight
+            // lock, so exactly one solve of each key can be in flight:
+            // a worker publishes to the cache *before* it drains the
+            // entry (both under this lock), hence a request that finds
+            // no entry and misses the cache is a genuine leader.
+            let mut inflight = inner.inflight.lock().expect("inflight poisoned");
+            if let Some(waiters) = inflight.get_mut(&canonical.key) {
+                waiters.push(Arc::clone(&slot));
+                inner.coalesced.fetch_add(1, Ordering::Relaxed);
+                counter!(sub, "serve.coalesced");
+                drop(inflight);
+            } else if let Some(payload) = inner.cache.get(canonical.key) {
+                counter!(sub, "serve.cache.hit");
+                return Ok(ScheduleReply {
+                    key: canonical.key_hex(),
+                    cached: true,
+                    payload,
+                });
+            } else {
+                counter!(sub, "serve.cache.miss");
+                if inner.shutting_down.load(Ordering::SeqCst) {
+                    return Err(shutting_down());
+                }
+                let key = canonical.key;
+                let job = Job {
+                    canonical,
+                    slot: Arc::clone(&slot),
+                };
+                match inner.queue.try_push(job) {
+                    Ok(()) => {
+                        inflight.insert(key, vec![Arc::clone(&slot)]);
+                    }
+                    Err(e) => return Err(self.reject(e)),
+                }
+            }
+        } else {
+            // Caching disabled: every request is an independent solve
+            // (the cache still counts the forced miss).
+            let _ = inner.cache.get(canonical.key);
+            counter!(sub, "serve.cache.miss");
+            if inner.shutting_down.load(Ordering::SeqCst) {
+                return Err(shutting_down());
+            }
+            let job = Job {
+                canonical,
+                slot: Arc::clone(&slot),
+            };
+            if let Err(e) = inner.queue.try_push(job) {
+                return Err(self.reject(e));
+            }
+        }
+        match slot.wait(deadline) {
+            Some(result) => result,
+            None => {
+                inner.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                counter!(sub, "serve.deadline_expired");
+                Err(ServiceError::new(
+                    CODE_DEADLINE,
+                    format!("deadline expired after {deadline:?}"),
+                ))
+            }
+        }
+    }
+
+    /// Maps a queue-admission failure to its structured error.
+    fn reject(&self, err: PushError) -> ServiceError {
+        let inner = &self.inner;
+        let sub: Option<&dyn Subscriber> = Some(&inner.recorder);
+        match err {
+            PushError::Full => {
+                inner.rejected_full.fetch_add(1, Ordering::Relaxed);
+                counter!(sub, "serve.queue.rejected");
+                ServiceError::new(
+                    CODE_QUEUE_FULL,
+                    format!(
+                        "work queue full ({} pending); retry later",
+                        inner.queue.len()
+                    ),
+                )
+            }
+            PushError::Closed => {
+                inner.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+                ServiceError::new(CODE_SHUTTING_DOWN, "service is shutting down")
+            }
+        }
+    }
+
+    /// Point-in-time counters across cache, queue and workers.
+    pub fn stats(&self) -> ServiceStats {
+        let inner = &self.inner;
+        let cache = inner.cache.stats();
+        ServiceStats {
+            requests: inner.requests.load(Ordering::Relaxed),
+            coalesced: inner.coalesced.load(Ordering::Relaxed),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_expired: cache.expired,
+            cache_entries: cache.entries,
+            rejected_full: inner.rejected_full.load(Ordering::Relaxed),
+            rejected_shutdown: inner.rejected_shutdown.load(Ordering::Relaxed),
+            deadline_expired: inner.deadline_expired.load(Ordering::Relaxed),
+            solved: inner.solved.load(Ordering::Relaxed),
+            errors: inner.errors.load(Ordering::Relaxed),
+            queue_depth: inner.queue.len() as u64,
+            workers: inner.workers as u64,
+        }
+    }
+
+    /// Deterministic JSON snapshot of the server's `rfid-obs` recorder
+    /// (counters, histograms, span counts — wall times excluded).
+    pub fn metrics_json(&self) -> String {
+        self.inner.recorder.snapshot().to_json()
+    }
+
+    /// `true` once shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Stops the service. With `drain == true`, queued jobs are solved
+    /// before the workers exit (graceful "drain, then stop"); otherwise
+    /// pending jobs are failed fast with a `503` so their waiters return
+    /// immediately. Idempotent; blocks until every worker has exited.
+    pub fn shutdown(&self, drain: bool) {
+        let inner = &self.inner;
+        inner.shutting_down.store(true, Ordering::SeqCst);
+        if !drain {
+            for job in inner.queue.take_pending() {
+                let err = ServiceError::new(CODE_SHUTTING_DOWN, "service is shutting down");
+                let waiters = inner
+                    .inflight
+                    .lock()
+                    .expect("inflight poisoned")
+                    .remove(&job.canonical.key);
+                match waiters {
+                    Some(waiters) => {
+                        for w in waiters {
+                            w.fulfill(Err(err.clone()));
+                        }
+                    }
+                    None => {
+                        job.slot.fulfill(Err(err));
+                    }
+                }
+            }
+        }
+        inner.queue.close();
+        let handles = std::mem::take(&mut *inner.handles.lock().expect("handles poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    while let Some(job) = inner.queue.pop() {
+        let key = job.canonical.key;
+        {
+            // Skip the solve when every waiter's deadline expired while
+            // the job sat queued — no point burning a worker on ghosts.
+            let mut inflight = inner.inflight.lock().expect("inflight poisoned");
+            let all_abandoned = match inflight.get(&key) {
+                Some(waiters) => waiters.iter().all(|w| w.is_abandoned()),
+                None => job.slot.is_abandoned(),
+            };
+            if all_abandoned {
+                inflight.remove(&key);
+                inner.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+        }
+        let sub: Option<&dyn Subscriber> = Some(&inner.recorder);
+        let result = catch_unwind(AssertUnwindSafe(|| solve(inner, &job.canonical)))
+            .unwrap_or_else(|panic| {
+                Err(ServiceError::new(
+                    CODE_INTERNAL,
+                    format!("worker panicked: {}", panic_message(&panic)),
+                ))
+            });
+        match &result {
+            Ok(_) => {
+                inner.solved.fetch_add(1, Ordering::Relaxed);
+                counter!(sub, "serve.solve");
+            }
+            Err(_) => {
+                inner.errors.fetch_add(1, Ordering::Relaxed);
+                counter!(sub, "serve.solve.error");
+            }
+        }
+        // Publish to the cache, then drain the single-flight entry —
+        // in that order and both before any follower can re-enter the
+        // leader path (see `Service::schedule`).
+        let waiters = {
+            let mut inflight = inner.inflight.lock().expect("inflight poisoned");
+            if let Ok(reply) = &result {
+                let evicted = inner.cache.insert(key, Arc::clone(&reply.payload));
+                counter!(sub, "serve.cache.evicted", evicted as u64);
+            }
+            inflight.remove(&key)
+        };
+        match waiters {
+            Some(waiters) => {
+                for (i, w) in waiters.into_iter().enumerate() {
+                    let shared = match &result {
+                        Ok(reply) => Ok(ScheduleReply {
+                            key: reply.key.clone(),
+                            // Followers got their bytes from the shared
+                            // in-flight solve, not a solve of their own.
+                            cached: i > 0,
+                            payload: Arc::clone(&reply.payload),
+                        }),
+                        Err(e) => Err(e.clone()),
+                    };
+                    w.fulfill(shared);
+                }
+            }
+            None => {
+                job.slot.fulfill(result);
+            }
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    panic
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| panic.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
+}
+
+fn solve(inner: &Inner, canonical: &CanonicalJob) -> JobResult {
+    let spec = &canonical.spec;
+    let deployment: Deployment = match &spec.workload {
+        Workload::Generated { scenario, seed } => scenario.generate(*seed),
+        Workload::Explicit { deployment } => deployment.clone(),
+    };
+    let coverage = Coverage::build(&deployment);
+    let graph = interference_graph(&deployment);
+    let kind = inner
+        .registry
+        .parse(&spec.algorithm)
+        .map_err(|m| ServiceError::new(CODE_UNKNOWN_ALGORITHM, m))?;
+    let mut scheduler = inner.registry.instantiate(kind, spec.algo_seed);
+    let mut options = McsOptions::new().subscriber(&inner.recorder);
+    if spec.resilient {
+        options = options.resilient();
+    }
+    if let Some(max_slots) = spec.max_slots {
+        options = options.max_slots(max_slots);
+    }
+    let run = covering_schedule_with(&deployment, &coverage, &graph, scheduler.as_mut(), &options)
+        .map_err(|e| ServiceError::new(CODE_UNSOLVABLE, e.to_string()))?;
+    let outcome = ScheduleOutcome {
+        algorithm: kind.label().to_string(),
+        slots: run.schedule.size(),
+        tags_served: run.schedule.tags_served(),
+        fallback_slots: run.schedule.fallback_slots(),
+        uncoverable: run.schedule.uncoverable.len(),
+        repaired_pairs: run.repaired_pairs,
+        crashed_dropped: run.crashed_dropped,
+        abandoned_tags: run.abandoned_tags.len(),
+        complete: run.complete(),
+        slot_summaries: run
+            .schedule
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| SlotSummary {
+                slot: i,
+                active_readers: s.active.len(),
+                tags_served: s.served.len(),
+                fallback: s.fallback,
+            })
+            .collect(),
+        schedule: run.schedule,
+    };
+    Ok(ScheduleReply {
+        key: canonical.key_hex(),
+        cached: false,
+        payload: Arc::from(canonical_json(&outcome)),
+    })
+}
+
+/// The in-process client: the same request surface as [`crate::TcpClient`],
+/// minus the socket. Tests and embedded callers use it to prove the
+/// transport adds nothing to (and removes nothing from) a response.
+#[derive(Clone)]
+pub struct Client {
+    service: Service,
+}
+
+impl Client {
+    /// A client bound to a running service.
+    pub fn new(service: Service) -> Self {
+        Client { service }
+    }
+
+    /// Schedules one job (see [`Service::schedule`]).
+    pub fn schedule(&self, spec: &JobSpec, deadline: Option<Duration>) -> JobResult {
+        self.service.schedule(spec, deadline)
+    }
+
+    /// Service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.service.stats()
+    }
+
+    /// Recorder metrics snapshot (deterministic JSON).
+    pub fn metrics_json(&self) -> String {
+        self.service.metrics_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{CODE_QUEUE_FULL, CODE_SHUTTING_DOWN, CODE_UNKNOWN_ALGORITHM};
+    use rfid_model::{RadiusModel, Scenario, ScenarioKind};
+
+    fn small_job(seed: u64) -> JobSpec {
+        JobSpec::new(Workload::Generated {
+            scenario: Scenario {
+                kind: ScenarioKind::UniformRandom,
+                n_readers: 8,
+                n_tags: 40,
+                region_side: 40.0,
+                radius_model: RadiusModel::paper_default(),
+            },
+            seed,
+        })
+    }
+
+    fn quick_config() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_cap: 16,
+            cache_cap: 32,
+            cache_ttl: None,
+        }
+    }
+
+    #[test]
+    fn solve_then_cache_hit_returns_identical_bytes() {
+        let service = Service::start(quick_config());
+        let job = small_job(3);
+        let cold = service.schedule(&job, None).unwrap();
+        assert!(!cold.cached);
+        let warm = service.schedule(&job, None).unwrap();
+        assert!(warm.cached);
+        assert_eq!(cold.payload, warm.payload);
+        assert_eq!(cold.key, warm.key);
+        let outcome = warm.outcome().unwrap();
+        assert!(outcome.complete);
+        assert_eq!(outcome.slot_summaries.len(), outcome.slots);
+        let stats = service.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.solved, 1);
+        service.shutdown(true);
+    }
+
+    #[test]
+    fn unknown_algorithm_is_structured_404() {
+        let service = Service::start(quick_config());
+        let mut job = small_job(1);
+        job.algorithm = "quantum-annealing".into();
+        let err = service.schedule(&job, None).unwrap_err();
+        assert_eq!(err.code, CODE_UNKNOWN_ALGORITHM);
+        assert!(err.message.contains("alg2-central"), "{}", err.message);
+        service.shutdown(true);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_429() {
+        // No workers: every admitted job parks in the queue forever.
+        let service = Service::start(ServeConfig {
+            workers: 0,
+            queue_cap: 2,
+            cache_cap: 0,
+            cache_ttl: None,
+        });
+        let svc = service.clone();
+        let j1 = small_job(1);
+        let t1 = std::thread::spawn(move || svc.schedule(&j1, None));
+        let svc = service.clone();
+        let j2 = small_job(2);
+        let t2 = std::thread::spawn(move || svc.schedule(&j2, None));
+        // Wait until both jobs are queued.
+        for _ in 0..200 {
+            if service.stats().queue_depth == 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(service.stats().queue_depth, 2);
+        let err = service.schedule(&small_job(3), None).unwrap_err();
+        assert_eq!(err.code, CODE_QUEUE_FULL);
+        // Non-draining shutdown fails the parked jobs with 503 so the
+        // blocked threads return (nothing hangs, nothing is dropped).
+        service.shutdown(false);
+        for t in [t1, t2] {
+            let err = t.join().unwrap().unwrap_err();
+            assert_eq!(err.code, CODE_SHUTTING_DOWN);
+        }
+        assert_eq!(service.stats().rejected_full, 1);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_solve_once() {
+        let service = Service::start(quick_config());
+        let job = small_job(7);
+        let threads: Vec<_> = (0..6)
+            .map(|_| {
+                let svc = service.clone();
+                let job = job.clone();
+                std::thread::spawn(move || svc.schedule(&job, None).unwrap())
+            })
+            .collect();
+        let replies: Vec<_> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        for r in &replies {
+            assert_eq!(replies[0].key, r.key);
+            assert_eq!(replies[0].payload, r.payload);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.solved, 1, "identical in-flight jobs must coalesce");
+        assert_eq!(stats.cache_misses, 1, "only the leader misses");
+        assert_eq!(stats.cache_hits + stats.coalesced, 5);
+        service.shutdown(true);
+    }
+
+    #[test]
+    fn coalesced_followers_do_not_consume_queue_slots() {
+        // One queue slot, no workers: the leader parks in the queue and
+        // followers join its single-flight entry instead of drawing a
+        // 429 — then every waiter expires together.
+        let service = Service::start(ServeConfig {
+            workers: 0,
+            queue_cap: 1,
+            cache_cap: 8,
+            cache_ttl: None,
+        });
+        let job = small_job(1);
+        let threads: Vec<_> = (0..3)
+            .map(|_| {
+                let svc = service.clone();
+                let job = job.clone();
+                std::thread::spawn(move || svc.schedule(&job, Some(Duration::from_millis(200))))
+            })
+            .collect();
+        for t in threads {
+            let err = t.join().unwrap().unwrap_err();
+            assert_eq!(err.code, CODE_DEADLINE);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.coalesced, 2);
+        assert_eq!(stats.rejected_full, 0);
+        assert_eq!(stats.queue_depth, 1);
+        service.shutdown(false);
+    }
+
+    #[test]
+    fn deadline_expires_with_504() {
+        let service = Service::start(ServeConfig {
+            workers: 0, // nothing will ever solve the job
+            queue_cap: 4,
+            cache_cap: 0,
+            cache_ttl: None,
+        });
+        let err = service
+            .schedule(&small_job(1), Some(Duration::from_millis(30)))
+            .unwrap_err();
+        assert_eq!(err.code, CODE_DEADLINE);
+        assert_eq!(service.stats().deadline_expired, 1);
+        service.shutdown(false);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_requests_with_503() {
+        let service = Service::start(quick_config());
+        service.shutdown(true);
+        let err = service.schedule(&small_job(1), None).unwrap_err();
+        assert_eq!(err.code, CODE_SHUTTING_DOWN);
+        // Idempotent.
+        service.shutdown(true);
+    }
+
+    #[test]
+    fn metrics_snapshot_sees_serve_counters() {
+        let service = Service::start(quick_config());
+        let job = small_job(5);
+        service.schedule(&job, None).unwrap();
+        service.schedule(&job, None).unwrap();
+        let metrics = service.metrics_json();
+        assert!(metrics.contains("serve.cache.hit"), "{metrics}");
+        assert!(metrics.contains("serve.cache.miss"), "{metrics}");
+        assert!(metrics.contains("mcs.covering_schedule"), "{metrics}");
+        service.shutdown(true);
+    }
+
+    #[test]
+    fn in_process_client_mirrors_the_service() {
+        let service = Service::start(quick_config());
+        let client = Client::new(service.clone());
+        let reply = client.schedule(&small_job(9), None).unwrap();
+        assert!(!reply.cached);
+        assert_eq!(client.stats().solved, 1);
+        service.shutdown(true);
+    }
+}

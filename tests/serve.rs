@@ -1,0 +1,190 @@
+//! Service-layer integration tests for `rfid-serve`.
+//!
+//! * **Differential determinism** — the same job solved cold, answered
+//!   from the warm cache, requested through the in-process [`Client`]
+//!   and requested over TCP must all yield *byte-identical* canonical
+//!   payloads, and a cache-disabled service must agree too (the payload
+//!   is a pure function of the canonical job, never of cache state).
+//! * **Backpressure** — a full queue answers with a structured `429`,
+//!   it never hangs and never silently drops a request.
+//! * **Deadlines** — an unserviced request expires with `504`.
+//! * **Alias convergence** — `alg2`, `ALG2` and `alg2-central` address
+//!   the same cache entry.
+
+use rfid_integration_tests::scenario;
+use rfid_serve::{Client, JobSpec, ServeConfig, Server, Service, TcpClient, Workload};
+use std::time::Duration;
+
+fn job(algorithm: &str, seed: u64) -> JobSpec {
+    let mut spec = JobSpec::new(Workload::Generated {
+        scenario: scenario(16, 220, 13.0, 6.0),
+        seed,
+    });
+    spec.algorithm = algorithm.to_string();
+    spec
+}
+
+#[test]
+fn payloads_identical_across_cold_warm_inproc_and_tcp() {
+    let spec = job("ghc", 7);
+
+    // Cold solve, then warm cache, on one service.
+    let service = Service::start(ServeConfig {
+        workers: 2,
+        queue_cap: 16,
+        cache_cap: 64,
+        cache_ttl: None,
+    });
+    let cold = service.schedule(&spec, None).expect("cold solve");
+    assert!(!cold.cached, "first request must miss");
+    let warm = service.schedule(&spec, None).expect("warm hit");
+    assert!(warm.cached, "second request must hit");
+    assert_eq!(cold.key, warm.key);
+    assert_eq!(cold.payload.as_bytes(), warm.payload.as_bytes());
+
+    // In-process client over the same service.
+    let client = Client::new(service.clone());
+    let inproc = client.schedule(&spec, None).expect("in-process");
+    assert_eq!(cold.payload.as_bytes(), inproc.payload.as_bytes());
+
+    // A cache-disabled service must produce the same bytes: the payload
+    // is a function of the job, not of cache state.
+    let uncached_service = Service::start(ServeConfig {
+        workers: 1,
+        queue_cap: 4,
+        cache_cap: 0,
+        cache_ttl: None,
+    });
+    let uncached = uncached_service.schedule(&spec, None).expect("uncached");
+    assert!(!uncached.cached);
+    assert_eq!(cold.key, uncached.key, "content key is cache-independent");
+    assert_eq!(cold.payload.as_bytes(), uncached.payload.as_bytes());
+    uncached_service.shutdown(true);
+
+    // TCP round trip against a fresh daemon.
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 2,
+            queue_cap: 16,
+            cache_cap: 64,
+            cache_ttl: None,
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.addr().to_string();
+    let mut tcp = TcpClient::connect(&addr).expect("connect");
+    let remote = tcp.schedule(&spec, None).expect("tcp solve");
+    assert_eq!(cold.key, remote.key);
+    assert_eq!(cold.payload.as_bytes(), remote.payload.as_bytes());
+
+    // The parsed outcome agrees with itself across transports.
+    let a = cold.outcome().expect("parse cold");
+    let b = remote.outcome().expect("parse tcp");
+    assert_eq!(a, b);
+    assert_eq!(a.slots, a.slot_summaries.len());
+    server.shutdown();
+    service.shutdown(true);
+}
+
+#[test]
+fn algorithm_aliases_share_one_cache_entry() {
+    let service = Service::start(ServeConfig {
+        workers: 1,
+        queue_cap: 8,
+        cache_cap: 32,
+        cache_ttl: None,
+    });
+    let cold = service.schedule(&job("alg2", 3), None).expect("cold");
+    assert!(!cold.cached);
+    for alias in ["ALG2", "central", "alg2-central"] {
+        let reply = service.schedule(&job(alias, 3), None).expect(alias);
+        assert!(reply.cached, "{alias} must hit the shared entry");
+        assert_eq!(cold.key, reply.key, "{alias}");
+        assert_eq!(cold.payload.as_bytes(), reply.payload.as_bytes(), "{alias}");
+    }
+    service.shutdown(true);
+}
+
+#[test]
+fn full_queue_rejects_with_structured_429() {
+    // No workers: enqueued jobs are never solved, so the queue fills and
+    // stays full while we probe it.
+    let service = Service::start(ServeConfig {
+        workers: 0,
+        queue_cap: 2,
+        cache_cap: 0,
+        cache_ttl: None,
+    });
+    let occupants: Vec<_> = (0..2)
+        .map(|i| {
+            let service = service.clone();
+            std::thread::spawn(move || {
+                service.schedule(&job("ghc", 100 + i), Some(Duration::from_millis(1500)))
+            })
+        })
+        .collect();
+    // Wait until both occupants are actually queued.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while service.stats().queue_depth < 2 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "occupants never queued"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let err = service
+        .schedule(&job("ghc", 999), Some(Duration::from_millis(200)))
+        .expect_err("full queue must reject");
+    assert_eq!(err.code, 429, "{err:?}");
+    assert_eq!(service.stats().rejected_full, 1);
+    // The occupants come back too — expired, not hung, not dropped.
+    for t in occupants {
+        let err = t.join().expect("no panic").expect_err("no workers");
+        assert_eq!(err.code, 504, "{err:?}");
+    }
+    assert_eq!(service.stats().deadline_expired, 2);
+    service.shutdown(false);
+}
+
+#[test]
+fn unserviced_request_expires_with_504() {
+    let service = Service::start(ServeConfig {
+        workers: 0,
+        queue_cap: 4,
+        cache_cap: 0,
+        cache_ttl: None,
+    });
+    let err = service
+        .schedule(&job("ghc", 1), Some(Duration::from_millis(50)))
+        .expect_err("no workers, must expire");
+    assert_eq!(err.code, 504, "{err:?}");
+    service.shutdown(false);
+}
+
+#[test]
+fn unknown_algorithm_is_404_locally_and_over_tcp() {
+    let service = Service::start(ServeConfig {
+        workers: 1,
+        queue_cap: 4,
+        cache_cap: 4,
+        cache_ttl: None,
+    });
+    let err = service
+        .schedule(&job("nope", 0), None)
+        .expect_err("unknown algorithm");
+    assert_eq!(err.code, 404, "{err:?}");
+    assert!(err.message.contains("alg2-central"), "{err:?}");
+    service.shutdown(true);
+
+    let server = Server::start("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = server.addr().to_string();
+    let mut tcp = TcpClient::connect(&addr).expect("connect");
+    match tcp.schedule(&job("nope", 0), None) {
+        Err(rfid_serve::ClientError::Remote(remote)) => {
+            assert_eq!(remote.code, 404, "{remote:?}")
+        }
+        other => panic!("expected remote 404, got {other:?}"),
+    }
+    server.shutdown();
+}
