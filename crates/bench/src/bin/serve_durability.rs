@@ -1,0 +1,260 @@
+//! Kill-restart durability benchmark for the `rfid-serve` daemon.
+//!
+//! Measures the cost and the payoff of the journal (DESIGN.md §10):
+//!
+//! 1. **Populate** — N distinct jobs solve cold against a durable
+//!    service (every solve appends one journal record).
+//! 2. **Kill** — the service handle is dropped without shutdown, the
+//!    state `kill -9` leaves behind: no drain, no compaction, just the
+//!    journal on disk.
+//! 3. **Recover** — a fresh service over the same data directory
+//!    replays the journal before accepting work; the replay wall time
+//!    and the recovered-entry count are the recovery figures.
+//! 4. **Warm** — the identical request sequence runs again; every
+//!    request must hit the recovered cache, and the warm-over-cold
+//!    speedup is the payoff figure.
+//!
+//! Usage:
+//!   serve_durability [--quick] [--jobs N] [--workers N] [--out PATH]
+//!   serve_durability --check PATH   # validate an existing report
+//!
+//! `--check` re-validates a committed `BENCH_serve_durability.json`
+//! (full recovery, all-warm restart, speedup ≥ the floor) without
+//! re-running.
+
+use rfid_model::{RadiusModel, Scenario, ScenarioKind};
+use rfid_serve::{JobSpec, ServeConfig, Service, Workload};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Acceptance floor for the warm-restart-over-cold speedup.
+const SPEEDUP_FLOOR: f64 = 3.0;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Phase {
+    wall_ms: f64,
+    requests_per_sec: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Recovery {
+    /// Wall time of the restart itself (open + replay + warm insert).
+    recovery_ms: f64,
+    recovered_entries: u64,
+    journal_appends: u64,
+    journal_append_errors: u64,
+    snapshots_written: u64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Report {
+    bench: String,
+    schema_version: u32,
+    jobs: usize,
+    workers: usize,
+    cold: Phase,
+    recovery: Recovery,
+    warm: Phase,
+    /// Warm requests/s over cold requests/s on the identical sequence.
+    warm_speedup: f64,
+    /// Cache hits during the warm phase (must equal `jobs`).
+    warm_hits: u64,
+}
+
+fn job(seed: u64) -> JobSpec {
+    let mut spec = JobSpec::new(Workload::Generated {
+        scenario: Scenario {
+            kind: ScenarioKind::UniformRandom,
+            n_readers: 48,
+            n_tags: 576,
+            region_side: 105.0,
+            radius_model: RadiusModel::PoissonPair {
+                lambda_interference: 14.0,
+                lambda_interrogation: 6.0,
+            },
+        },
+        seed,
+    });
+    spec.algorithm = "alg1".to_string();
+    spec
+}
+
+fn config(workers: usize, data_dir: &std::path::Path) -> ServeConfig {
+    ServeConfig {
+        workers,
+        queue_cap: 1024,
+        cache_cap: 8192,
+        cache_ttl: None,
+        data_dir: Some(data_dir.to_path_buf()),
+        // Never compact: the bench measures pure journal replay.
+        snapshot_every: 0,
+        peers: Vec::new(),
+    }
+}
+
+fn run_phase(service: &Service, jobs: &[JobSpec]) -> (Phase, u64) {
+    let start = Instant::now();
+    let mut hits = 0u64;
+    for spec in jobs {
+        let reply = service.schedule(spec, None).expect("schedule");
+        if reply.cached {
+            hits += 1;
+        }
+    }
+    let wall = start.elapsed();
+    (
+        Phase {
+            wall_ms: wall.as_secs_f64() * 1e3,
+            requests_per_sec: jobs.len() as f64 / wall.as_secs_f64(),
+        },
+        hits,
+    )
+}
+
+fn check(path: &str) -> Result<(), String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let report: Report = serde_json::from_str(&body).map_err(|e| format!("parse {path}: {e}"))?;
+    if report.bench != "serve_durability" {
+        return Err(format!("unexpected bench name {:?}", report.bench));
+    }
+    if report.recovery.recovered_entries != report.jobs as u64 {
+        return Err(format!(
+            "recovery incomplete: {} of {} entries",
+            report.recovery.recovered_entries, report.jobs
+        ));
+    }
+    if report.recovery.journal_append_errors != 0 {
+        return Err("journal append errors during populate".into());
+    }
+    if report.warm_hits != report.jobs as u64 {
+        return Err(format!(
+            "warm phase hit {} of {} requests — restart was not fully warm",
+            report.warm_hits, report.jobs
+        ));
+    }
+    if report.warm_speedup < SPEEDUP_FLOOR {
+        return Err(format!(
+            "warm speedup {:.2}× below the {SPEEDUP_FLOOR}× floor",
+            report.warm_speedup
+        ));
+    }
+    println!(
+        "OK: {} jobs recovered in {:.1} ms, warm speedup {:.1}×",
+        report.recovery.recovered_entries, report.recovery.recovery_ms, report.warm_speedup
+    );
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut jobs_n: Option<usize> = None;
+    let mut workers = 4usize;
+    let mut out = "results/BENCH_serve_durability.json".to_string();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--jobs" => jobs_n = Some(iter.next().and_then(|v| v.parse().ok()).expect("--jobs N")),
+            "--workers" => {
+                workers = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers N")
+            }
+            "--out" => out = iter.next().expect("--out PATH").clone(),
+            "--check" => {
+                let path = iter.next().expect("--check PATH");
+                if let Err(e) = check(path) {
+                    eprintln!("FAIL: {e}");
+                    std::process::exit(1);
+                }
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let total = jobs_n.unwrap_or(if quick { 24 } else { 96 });
+    let jobs: Vec<JobSpec> = (0..total as u64).map(job).collect();
+
+    let data_dir =
+        std::env::temp_dir().join(format!("rfid-serve-durability-{}", std::process::id()));
+    std::fs::remove_dir_all(&data_dir).ok();
+    std::fs::create_dir_all(&data_dir).expect("create data dir");
+
+    eprintln!(
+        "serve_durability: {total} jobs, {workers} workers, data dir {}",
+        data_dir.display()
+    );
+    eprintln!("phase 1/3: populate (cold solves, journal on)");
+    let service = Service::start(config(workers, &data_dir)).expect("start durable service");
+    let (cold, cold_hits) = run_phase(&service, &jobs);
+    assert_eq!(cold_hits, 0, "populate must be all misses");
+    let populated = service.stats();
+    eprintln!(
+        "  {:.0} req/s ({:.0} ms, {} journal appends)",
+        cold.requests_per_sec, cold.wall_ms, populated.journal_appends
+    );
+    // kill -9 semantics: drop the handle, no shutdown, no drain.
+    drop(service);
+
+    eprintln!("phase 2/3: restart + journal replay");
+    let restart = Instant::now();
+    let service = Service::start(config(workers, &data_dir)).expect("restart durable service");
+    let recovery_ms = restart.elapsed().as_secs_f64() * 1e3;
+    let recovered = service.stats();
+    eprintln!(
+        "  recovered {} entries in {recovery_ms:.1} ms",
+        recovered.recovered_entries
+    );
+
+    eprintln!("phase 3/3: identical sequence against the warm restart");
+    let (warm, warm_hits) = run_phase(&service, &jobs);
+    eprintln!(
+        "  {:.0} req/s ({:.0} ms, {warm_hits} hits)",
+        warm.requests_per_sec, warm.wall_ms
+    );
+    service.shutdown(true);
+    std::fs::remove_dir_all(&data_dir).ok();
+
+    let report = Report {
+        bench: "serve_durability".to_string(),
+        schema_version: 1,
+        jobs: total,
+        workers,
+        warm_speedup: warm.requests_per_sec / cold.requests_per_sec,
+        cold,
+        recovery: Recovery {
+            recovery_ms,
+            recovered_entries: recovered.recovered_entries,
+            journal_appends: populated.journal_appends,
+            journal_append_errors: populated.journal_append_errors,
+            snapshots_written: populated.snapshots_written,
+        },
+        warm,
+        warm_hits,
+    };
+    println!(
+        "recovery: {} entries in {:.1} ms; warm speedup {:.1}×",
+        report.recovery.recovered_entries, report.recovery.recovery_ms, report.warm_speedup
+    );
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&report).expect("serialize"),
+    )
+    .expect("write report");
+    eprintln!("wrote {out}");
+    if report.warm_speedup < SPEEDUP_FLOOR && !quick {
+        eprintln!(
+            "WARNING: warm speedup {:.2}× below the {SPEEDUP_FLOOR}× acceptance floor",
+            report.warm_speedup
+        );
+        std::process::exit(1);
+    }
+}

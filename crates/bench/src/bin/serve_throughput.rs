@@ -43,6 +43,10 @@ struct Leg {
     cache_cap: usize,
     wall_ms: f64,
     requests_per_sec: f64,
+    /// Client-observed per-request latency percentiles (ms).
+    latency_p50_ms: f64,
+    latency_p95_ms: f64,
+    latency_p99_ms: f64,
     /// Server-side counters after the leg.
     cache_hits: u64,
     cache_misses: u64,
@@ -50,6 +54,15 @@ struct Leg {
     coalesced: u64,
     solved: u64,
     errors: u64,
+}
+
+/// Nearest-rank percentile over an already-sorted sample (ms).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -118,6 +131,7 @@ fn run_leg(sequence: &Arc<Vec<JobSpec>>, clients: usize, workers: usize, cache_c
             queue_cap: 4096,
             cache_cap,
             cache_ttl: None,
+            ..ServeConfig::default()
         },
     )
     .expect("bind loopback");
@@ -131,25 +145,35 @@ fn run_leg(sequence: &Arc<Vec<JobSpec>>, clients: usize, workers: usize, cache_c
             let addr = addr.clone();
             std::thread::spawn(move || {
                 let mut client = TcpClient::connect(&addr).expect("connect");
+                let mut latencies_ms = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(spec) = sequence.get(i) else { break };
+                    let Some(spec) = sequence.get(i) else {
+                        break latencies_ms;
+                    };
+                    let sent = Instant::now();
                     client.schedule(spec, None).expect("schedule");
+                    latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
                 }
             })
         })
         .collect();
+    let mut latencies_ms = Vec::with_capacity(sequence.len());
     for t in threads {
-        t.join().expect("client thread");
+        latencies_ms.extend(t.join().expect("client thread"));
     }
     let wall = start.elapsed();
     let stats = server.service().stats();
     server.shutdown();
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
     let wall_ms = wall.as_secs_f64() * 1e3;
     Leg {
         cache_cap,
         wall_ms,
         requests_per_sec: sequence.len() as f64 / wall.as_secs_f64(),
+        latency_p50_ms: percentile(&latencies_ms, 50.0),
+        latency_p95_ms: percentile(&latencies_ms, 95.0),
+        latency_p99_ms: percentile(&latencies_ms, 99.0),
         cache_hits: stats.cache_hits,
         cache_misses: stats.cache_misses,
         coalesced: stats.coalesced,
@@ -173,6 +197,17 @@ fn check(path: &str) -> Result<(), String> {
             "cached leg hits+misses+coalesced ({total}) disagree with requests ({})",
             report.requests
         ));
+    }
+    for leg in [&report.cached, &report.uncached] {
+        if !(leg.latency_p50_ms <= leg.latency_p95_ms && leg.latency_p95_ms <= leg.latency_p99_ms) {
+            return Err(format!(
+                "latency percentiles out of order (p50 {} / p95 {} / p99 {})",
+                leg.latency_p50_ms, leg.latency_p95_ms, leg.latency_p99_ms
+            ));
+        }
+        if leg.latency_p99_ms <= 0.0 {
+            return Err("non-positive p99 latency".into());
+        }
     }
     if !(0.0..=1.0).contains(&report.measured_hit_rate) {
         return Err(format!(
@@ -250,14 +285,25 @@ fn main() {
     eprintln!("leg 1/2: cache disabled (every request solves)");
     let uncached = run_leg(&sequence, clients, workers, 0);
     eprintln!(
-        "  {:.0} req/s ({:.0} ms, {} solved)",
-        uncached.requests_per_sec, uncached.wall_ms, uncached.solved
+        "  {:.0} req/s ({:.0} ms, {} solved, p50/p95/p99 {:.2}/{:.2}/{:.2} ms)",
+        uncached.requests_per_sec,
+        uncached.wall_ms,
+        uncached.solved,
+        uncached.latency_p50_ms,
+        uncached.latency_p95_ms,
+        uncached.latency_p99_ms
     );
     eprintln!("leg 2/2: cache enabled");
     let cached = run_leg(&sequence, clients, workers, 1024);
     eprintln!(
-        "  {:.0} req/s ({:.0} ms, {} solved, {} hits)",
-        cached.requests_per_sec, cached.wall_ms, cached.solved, cached.cache_hits
+        "  {:.0} req/s ({:.0} ms, {} solved, {} hits, p50/p95/p99 {:.2}/{:.2}/{:.2} ms)",
+        cached.requests_per_sec,
+        cached.wall_ms,
+        cached.solved,
+        cached.cache_hits,
+        cached.latency_p50_ms,
+        cached.latency_p95_ms,
+        cached.latency_p99_ms
     );
 
     // Coalesced followers are served from the shared in-flight solve —
@@ -266,7 +312,7 @@ fn main() {
         / (cached.cache_hits + cached.cache_misses + cached.coalesced).max(1) as f64;
     let report = Report {
         bench: "serve_throughput".to_string(),
-        schema_version: 1,
+        schema_version: 2,
         requests: total,
         clients,
         workers,

@@ -21,7 +21,9 @@ use rfid_core::{
 use rfid_model::interference::interference_graph;
 use rfid_model::{Coverage, Deployment, RadiusModel, Scenario, ScenarioKind, TagSet};
 use rfid_obs::Recorder;
-use rfid_serve::{ClientError, JobSpec, ServeConfig, Server, TcpClient, Workload};
+use rfid_serve::{
+    ClientError, FailoverClient, JobSpec, ScheduleReply, ServeConfig, Server, TcpClient, Workload,
+};
 use rfid_sim::{aggregate_series, run_sweep, SweepAxis, SweepConfig};
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -191,6 +193,12 @@ pub enum Command {
         queue_cap: usize,
         /// Optional cache TTL in seconds.
         cache_ttl_secs: Option<u64>,
+        /// Directory for the cache journal + snapshots (omit = RAM-only).
+        data_dir: Option<String>,
+        /// Compact the journal after this many appends (0 = never).
+        snapshot_every: usize,
+        /// Comma-separated peer addresses to gossip cache entries to.
+        peers: Vec<String>,
     },
     /// Send one request to a running daemon.
     Request {
@@ -214,6 +222,10 @@ pub enum Command {
         stats: bool,
         /// Ask the daemon to shut down gracefully.
         shutdown: bool,
+        /// Comma-separated fallback addresses; schedule requests retry
+        /// against them (after `addr`) on connect failure, severed
+        /// responses or a draining server.
+        failover: Vec<String>,
     },
     /// Print usage.
     Help,
@@ -238,10 +250,11 @@ USAGE:
   mrrfid stats    --deployment FILE
   mrrfid verify   --deployment FILE --schedule FILE
   mrrfid serve    [--addr HOST:PORT] [--workers N] [--cache-cap N]
-                  [--queue-cap N] [--cache-ttl-secs S]
+                  [--queue-cap N] [--cache-ttl-secs S] [--data-dir DIR]
+                  [--snapshot-every N] [--peers HOST:PORT,HOST:PORT]
   mrrfid request  [--addr HOST:PORT] --scenario FILE [--algo NAME] [--seed S]
                   [--gen-seed G] [--deadline-ms D] [--resilient]
-                  [--payload-out FILE]
+                  [--payload-out FILE] [--failover HOST:PORT,HOST:PORT]
   mrrfid request  [--addr HOST:PORT] --stats
   mrrfid request  [--addr HOST:PORT] --shutdown
   mrrfid help
@@ -433,6 +446,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     None => None,
                     Some(_) => Some(get_parse(&f, "cache-ttl-secs", 0u64)?),
                 },
+                data_dir: f.get("data-dir").cloned(),
+                snapshot_every: get_parse(&f, "snapshot-every", defaults.snapshot_every)?,
+                peers: parse_addr_list(f.get("peers")),
             })
         }
         "request" => {
@@ -462,12 +478,27 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 payload_out: f.get("payload-out").cloned(),
                 stats,
                 shutdown,
+                failover: parse_addr_list(f.get("failover")),
             })
         }
         other => Err(CliError::Usage(format!(
             "unknown command '{other}'\n\n{USAGE}"
         ))),
     }
+}
+
+/// Splits a comma-separated address flag; `None` (flag absent) and empty
+/// segments both yield nothing.
+fn parse_addr_list(value: Option<&String>) -> Vec<String> {
+    value
+        .map(|v| {
+            v.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(String::from)
+                .collect()
+        })
+        .unwrap_or_default()
 }
 
 fn load_deployment(path: &str) -> Result<Deployment, CliError> {
@@ -816,23 +847,44 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             cache_cap,
             queue_cap,
             cache_ttl_secs,
+            data_dir,
+            snapshot_every,
+            peers,
         } => {
             let config = ServeConfig {
                 workers,
                 queue_cap,
                 cache_cap,
                 cache_ttl: cache_ttl_secs.map(Duration::from_secs),
+                data_dir: data_dir.clone().map(Into::into),
+                snapshot_every,
+                peers: peers.clone(),
             };
             let server = Server::start(&addr, config)
                 .map_err(|e| CliError::Remote(format!("bind {addr}: {e}")))?;
+            let recovered = server.service().stats().recovered_entries;
             // Announce readiness before blocking so wrappers (CI smoke)
             // know the port is live.
             println!(
-                "serving on {} ({} workers, queue {}, cache {})",
+                "serving on {} ({} workers, queue {}, cache {}{}{}{})",
                 server.addr(),
                 workers,
                 queue_cap,
-                cache_cap
+                cache_cap,
+                match &data_dir {
+                    Some(dir) => format!(", data dir {dir}, recovered {recovered}"),
+                    None => String::new(),
+                },
+                if peers.is_empty() {
+                    String::new()
+                } else {
+                    format!(", {} peers", peers.len())
+                },
+                if data_dir.is_some() && recovered > 0 {
+                    ", warm start"
+                } else {
+                    ""
+                },
             );
             use std::io::Write as _;
             let _ = std::io::stdout().flush();
@@ -850,10 +902,11 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             payload_out,
             stats,
             shutdown,
+            failover,
         } => {
-            let mut client = TcpClient::connect(&addr)
-                .map_err(|e| CliError::Remote(format!("connect {addr}: {e}")))?;
             if stats {
+                let mut client = TcpClient::connect(&addr)
+                    .map_err(|e| CliError::Remote(format!("connect {addr}: {e}")))?;
                 let (s, metrics) = client.stats()?;
                 return Ok(format!(
                     "requests:          {}\n\
@@ -862,6 +915,12 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                      coalesced:         {}\n\
                      cache evictions:   {}\n\
                      cache entries:     {}\n\
+                     recovered entries: {}\n\
+                     journal appends:   {} ({} errors)\n\
+                     snapshots:         {}\n\
+                     replicated out:    {} ({} dropped)\n\
+                     replicated in:     {}\n\
+                     deduped retries:   {}\n\
                      rejected (full):   {}\n\
                      rejected (stop):   {}\n\
                      deadline expired:  {}\n\
@@ -876,6 +935,14 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                     s.coalesced,
                     s.cache_evictions,
                     s.cache_entries,
+                    s.recovered_entries,
+                    s.journal_appends,
+                    s.journal_append_errors,
+                    s.snapshots_written,
+                    s.replicated_out,
+                    s.replication_dropped,
+                    s.replicated_in,
+                    s.deduped,
                     s.rejected_full,
                     s.rejected_shutdown,
                     s.deadline_expired,
@@ -886,12 +953,23 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 ));
             }
             if shutdown {
+                let mut client = TcpClient::connect(&addr)
+                    .map_err(|e| CliError::Remote(format!("connect {addr}: {e}")))?;
                 client.shutdown_server()?;
                 return Ok("server acknowledged shutdown\n".to_string());
             }
             let path = scenario.expect("parse() guarantees --scenario here");
             let job = load_job(&path, &algo, algo_seed, gen_seed, resilient)?;
-            let reply = client.schedule(&job, deadline_ms)?;
+            let reply: ScheduleReply = if failover.is_empty() {
+                let mut client = TcpClient::connect(&addr)
+                    .map_err(|e| CliError::Remote(format!("connect {addr}: {e}")))?;
+                client.schedule(&job, deadline_ms)?
+            } else {
+                let mut peers = Vec::with_capacity(1 + failover.len());
+                peers.push(addr.clone());
+                peers.extend(failover.iter().cloned());
+                FailoverClient::new(peers).schedule(&job, deadline_ms)?
+            };
             if let Some(out) = &payload_out {
                 std::fs::write(out, reply.payload.as_bytes())
                     .map_err(|e| CliError::io(out, "write", e))?;
@@ -1258,17 +1336,24 @@ mod serve_request_tests {
                 cache_cap,
                 queue_cap,
                 cache_ttl_secs,
+                data_dir,
+                snapshot_every,
+                peers,
             } => {
                 assert_eq!(addr, DEFAULT_ADDR);
                 assert_eq!(workers, defaults.workers);
                 assert_eq!(cache_cap, defaults.cache_cap);
                 assert_eq!(queue_cap, defaults.queue_cap);
                 assert_eq!(cache_ttl_secs, None);
+                assert_eq!(data_dir, None);
+                assert_eq!(snapshot_every, defaults.snapshot_every);
+                assert!(peers.is_empty());
             }
             other => panic!("wrong parse: {other:?}"),
         }
         match parse(&argv(
-            "serve --addr 127.0.0.1:0 --workers 2 --cache-cap 32 --queue-cap 8 --cache-ttl-secs 60",
+            "serve --addr 127.0.0.1:0 --workers 2 --cache-cap 32 --queue-cap 8 --cache-ttl-secs 60 \
+             --data-dir /tmp/rfid --snapshot-every 16 --peers 127.0.0.1:7402,127.0.0.1:7403",
         ))
         .unwrap()
         {
@@ -1278,10 +1363,16 @@ mod serve_request_tests {
                 cache_cap,
                 queue_cap,
                 cache_ttl_secs,
+                data_dir,
+                snapshot_every,
+                peers,
             } => {
                 assert_eq!(addr, "127.0.0.1:0");
                 assert_eq!((workers, cache_cap, queue_cap), (2, 32, 8));
                 assert_eq!(cache_ttl_secs, Some(60));
+                assert_eq!(data_dir.as_deref(), Some("/tmp/rfid"));
+                assert_eq!(snapshot_every, 16);
+                assert_eq!(peers, vec!["127.0.0.1:7402", "127.0.0.1:7403"]);
             }
             other => panic!("wrong parse: {other:?}"),
         }
@@ -1305,6 +1396,7 @@ mod serve_request_tests {
                 payload_out,
                 stats,
                 shutdown,
+                failover,
             } => {
                 assert_eq!(addr, DEFAULT_ADDR);
                 assert_eq!(scenario.as_deref(), Some("s.json"));
@@ -1314,6 +1406,17 @@ mod serve_request_tests {
                 assert!(resilient);
                 assert_eq!(payload_out.as_deref(), Some("p.json"));
                 assert!(!stats && !shutdown);
+                assert!(failover.is_empty());
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&argv(
+            "request --scenario s.json --failover 127.0.0.1:7402,127.0.0.1:7403",
+        ))
+        .unwrap()
+        {
+            Command::Request { failover, .. } => {
+                assert_eq!(failover, vec!["127.0.0.1:7402", "127.0.0.1:7403"])
             }
             other => panic!("wrong parse: {other:?}"),
         }

@@ -178,6 +178,35 @@ impl ScheduleCache {
         self.capacity > 0
     }
 
+    /// `true` when a live (non-expired) entry exists for `key`, without
+    /// touching the hit/miss counters or recency. The durability and
+    /// replication layers probe with this before applying journal or
+    /// gossip entries, so background inserts never distort the
+    /// `hits + misses + coalesced == requests` request accounting.
+    pub fn contains(&self, key: u64) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        let map = self.shard(key).read().expect("cache shard poisoned");
+        map.get(&key).is_some_and(|e| !self.expired(e))
+    }
+
+    /// All live entries, for snapshots and peer gossip. Payloads are
+    /// `Arc` clones (pointer copies); order is unspecified — consumers
+    /// that need determinism sort by key.
+    pub fn entries(&self) -> Vec<(u64, Arc<str>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let map = shard.read().expect("cache shard poisoned");
+            for (k, e) in map.iter() {
+                if !self.expired(e) {
+                    out.push((*k, Arc::clone(&e.payload)));
+                }
+            }
+        }
+        out
+    }
+
     /// Current number of live entries (counts expired-but-unreaped ones).
     pub fn len(&self) -> usize {
         self.shards
@@ -284,6 +313,25 @@ mod tests {
         assert_eq!(cache.insert(1, payload("uno")), 0);
         assert_eq!(cache.get(1).as_deref(), Some("uno"));
         assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn contains_and_entries_do_not_touch_counters() {
+        let cache = ScheduleCache::new(16, None);
+        cache.insert(1, payload("one"));
+        assert!(cache.contains(1));
+        assert!(!cache.contains(2));
+        let entries = cache.entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, 1);
+        assert_eq!(entries[0].1.as_ref(), "one");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 0), "probes must be counter-quiet");
+
+        let disabled = ScheduleCache::new(0, None);
+        disabled.insert(1, payload("one"));
+        assert!(!disabled.contains(1));
+        assert!(disabled.entries().is_empty());
     }
 
     #[test]

@@ -20,27 +20,42 @@
 //! 4. **Protocol** ([`protocol`], [`server`]) — JSON-lines over TCP
 //!    (`std::net` only, per the vendored-offline policy) plus an
 //!    in-process [`Client`] and a blocking [`TcpClient`].
+//! 5. **Durability + replication** (DESIGN.md §10) — an append-only
+//!    checksummed journal with compacted snapshots over an injectable
+//!    [`Storage`] trait ([`storage`], [`journal`], [`snapshot`]), so a
+//!    restarted daemon recovers a warm cache from the longest valid
+//!    journal prefix; push-only cache gossip between peer daemons and a
+//!    client-side [`FailoverClient`] that retries idempotent requests
+//!    against the next peer ([`replicate`]).
 //!
 //! The **determinism contract**: a response payload is the canonical
 //! JSON of a [`ScheduleOutcome`] and contains no wall-clock data, so a
-//! cold solve, a warm cache hit, the in-process client and the TCP
-//! client all return byte-identical payloads for the same request
-//! (enforced by `tests/serve.rs`).
+//! cold solve, a warm cache hit, the in-process client, the TCP
+//! client, a journal-recovered restart and a gossip-warmed peer all
+//! return byte-identical payloads for the same request (enforced by
+//! `tests/serve.rs` and `tests/serve_chaos.rs`).
 
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod codec;
+pub mod journal;
 pub mod protocol;
 pub mod queue;
+pub mod replicate;
 pub mod server;
 pub mod service;
+pub mod snapshot;
+pub mod storage;
 
 pub use cache::{CacheStats, ScheduleCache};
 pub use codec::{canonical_json, decode_job, fnv1a64, CanonicalJob, CodecError, JobSpec, Workload};
-pub use protocol::{Request, Response, ServiceStats};
+pub use journal::{DurableStats, DurableStore, RecoveryReport, ReplayReport};
+pub use protocol::{FrameRead, GossipEntry, Request, Response, ServiceStats};
 pub use queue::{PushError, ResponseSlot, WorkQueue};
+pub use replicate::{FailoverClient, FailoverPolicy, Replicator};
 pub use server::{ClientError, Server, TcpClient};
 pub use service::{
     Client, ScheduleOutcome, ScheduleReply, ServeConfig, Service, ServiceError, SlotSummary,
 };
+pub use storage::{DiskStorage, FaultyStorage, Storage, StorageFaults};

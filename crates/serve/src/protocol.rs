@@ -6,6 +6,17 @@
 //! [`Response`] frame on the same connection, in order. Errors are
 //! in-band [`Response::Error`] frames with HTTP-flavoured codes (the
 //! transport never closes to signal an application error).
+//!
+//! Two robustness additions ride on the same framing (DESIGN.md §10):
+//!
+//! * **Replication** — daemons exchange [`Request::Gossip`] /
+//!   [`Response::GossipAck`] frames carrying content-addressed cache
+//!   entries, so peers converge on a shared warm cache.
+//! * **Failover** — [`Request::Schedule`] carries an optional
+//!   `request_id` so a client retrying the (idempotent) request against
+//!   another peer can be deduplicated and counted server-side. The
+//!   `request_id` is optional on the wire, so pre-failover frames
+//!   still parse.
 
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, Write};
@@ -30,6 +41,17 @@ pub const CODE_SHUTTING_DOWN: u16 = 503;
 /// The request's deadline expired before a worker finished it.
 pub const CODE_DEADLINE: u16 = 504;
 
+/// One replicated cache entry: the content key (fixed-width hex) and the
+/// canonical payload it addresses. Pure function of the key, so
+/// applying a gossiped entry is always safe and idempotent.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GossipEntry {
+    /// Content key as fixed-width hex.
+    pub key: String,
+    /// Canonical JSON of the [`crate::ScheduleOutcome`] for that key.
+    pub payload: String,
+}
+
 /// Client→server frames.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
@@ -40,6 +62,18 @@ pub enum Request {
         /// Optional deadline in milliseconds; expiry yields a
         /// [`CODE_DEADLINE`] error frame.
         deadline_ms: Option<u64>,
+        /// Optional client-chosen id for failover retries of this
+        /// (idempotent) request: a server that has already seen the id
+        /// counts the repeat as a dedup instead of fresh demand.
+        /// Optional on the wire: frames without it parse as `None`.
+        request_id: Option<String>,
+    },
+    /// Replicate cache entries from a peer daemon. Entries are applied
+    /// idempotently and are **not** re-gossiped (push fan-out only, no
+    /// flooding loops).
+    Gossip {
+        /// The entries to apply.
+        entries: Vec<GossipEntry>,
     },
     /// Fetch service counters and the recorder's metrics snapshot.
     Stats,
@@ -61,6 +95,11 @@ pub enum Response {
         /// across cold solve, warm cache, in-process and TCP paths (the
         /// determinism contract).
         payload: String,
+    },
+    /// Acknowledges a [`Request::Gossip`].
+    GossipAck {
+        /// Entries newly applied (already-present ones are skipped).
+        applied: u64,
     },
     /// Service counters plus the `rfid-obs` metrics snapshot.
     Stats {
@@ -114,6 +153,25 @@ pub struct ServiceStats {
     pub queue_depth: u64,
     /// Worker threads serving the queue.
     pub workers: u64,
+    /// Cache entries recovered from the journal/snapshot at startup
+    /// (`0` on a cold start — the warm/cold discriminator).
+    pub recovered_entries: u64,
+    /// Journal records appended durably.
+    pub journal_appends: u64,
+    /// Journal appends that failed (entry stayed RAM-only).
+    pub journal_append_errors: u64,
+    /// Compaction snapshots written.
+    pub snapshots_written: u64,
+    /// Cache entries handed to the replicator for peer push.
+    pub replicated_out: u64,
+    /// Entries the replicator dropped (peer queue overflow) or gave up
+    /// on after bounded retries.
+    pub replication_dropped: u64,
+    /// Gossiped entries applied from peers.
+    pub replicated_in: u64,
+    /// Schedule requests whose `request_id` was already seen (failover
+    /// retries of an idempotent request).
+    pub deduped: u64,
 }
 
 /// Serialises one frame as a JSON line (no flush — callers batch).
@@ -134,18 +192,45 @@ pub fn decode_frame<T: Deserialize>(line: &str) -> Result<T, String> {
     serde_json::from_str(line.trim_end_matches(['\r', '\n'])).map_err(|e| e.to_string())
 }
 
-/// Reads one newline-terminated frame from a buffered reader. `Ok(None)`
-/// is a clean EOF; a parse failure is an `Err(String)` for the caller to
-/// answer with a [`CODE_BAD_REQUEST`] frame.
-pub fn read_frame<T: Deserialize, R: BufRead>(
-    r: &mut R,
-) -> std::io::Result<Option<Result<T, String>>> {
+/// What one read of the frame stream produced. Distinguishing a clean
+/// EOF from a connection severed **mid-frame** is what lets clients turn
+/// an abrupt peer death into a structured, retryable error instead of a
+/// raw I/O failure.
+#[derive(Debug, PartialEq)]
+pub enum FrameRead<T> {
+    /// A complete, well-formed frame.
+    Frame(T),
+    /// A complete line that did not parse (answer with
+    /// [`CODE_BAD_REQUEST`]).
+    Malformed(String),
+    /// Clean EOF on a frame boundary.
+    Eof,
+    /// The peer vanished mid-frame: bytes arrived but the line never
+    /// terminated before EOF.
+    SeveredMidFrame {
+        /// Bytes of the partial frame that did arrive.
+        partial_bytes: usize,
+    },
+}
+
+/// Reads one newline-terminated frame from a buffered reader,
+/// classifying clean EOF vs a connection severed mid-frame. I/O errors
+/// (timeouts, resets) stay `Err` for the caller to map.
+pub fn read_frame<T: Deserialize, R: BufRead>(r: &mut R) -> std::io::Result<FrameRead<T>> {
     let mut line = String::new();
     let n = r.read_line(&mut line)?;
     if n == 0 {
-        return Ok(None);
+        return Ok(FrameRead::Eof);
     }
-    Ok(Some(decode_frame(&line)))
+    if !line.ends_with('\n') {
+        return Ok(FrameRead::SeveredMidFrame {
+            partial_bytes: line.len(),
+        });
+    }
+    Ok(match decode_frame(&line) {
+        Ok(frame) => FrameRead::Frame(frame),
+        Err(m) => FrameRead::Malformed(m),
+    })
 }
 
 #[cfg(test)]
@@ -167,6 +252,13 @@ mod tests {
             Request::Schedule {
                 job: job(),
                 deadline_ms: Some(250),
+                request_id: Some("client-1-7".into()),
+            },
+            Request::Gossip {
+                entries: vec![GossipEntry {
+                    key: "00ff".into(),
+                    payload: r#"{"slots":3}"#.into(),
+                }],
             },
             Request::Stats,
             Request::Shutdown,
@@ -180,6 +272,19 @@ mod tests {
     }
 
     #[test]
+    fn pre_failover_schedule_frames_still_parse() {
+        // A frame from an older peer, without request_id.
+        let line = r#"{"Schedule":{"job":null,"deadline_ms":null}}"#
+            .replace("null,", "JOB,")
+            .replace("JOB", &serde_json::to_string(&job()).unwrap());
+        let back: Request = decode_frame(&line).unwrap();
+        match back {
+            Request::Schedule { request_id, .. } => assert_eq!(request_id, None),
+            other => panic!("wrong frame: {other:?}"),
+        }
+    }
+
+    #[test]
     fn response_frames_round_trip() {
         for frame in [
             Response::Schedule {
@@ -187,9 +292,11 @@ mod tests {
                 cached: true,
                 payload: r#"{"slots":3}"#.into(),
             },
+            Response::GossipAck { applied: 2 },
             Response::Stats {
                 stats: ServiceStats {
                     requests: 7,
+                    recovered_entries: 3,
                     ..ServiceStats::default()
                 },
                 metrics: "{}".into(),
@@ -214,20 +321,35 @@ mod tests {
         );
         let mut r = std::io::BufReader::new(text.as_bytes());
         assert_eq!(
-            read_frame::<Request, _>(&mut r).unwrap().unwrap().unwrap(),
-            Request::Stats
+            read_frame::<Request, _>(&mut r).unwrap(),
+            FrameRead::Frame(Request::Stats)
         );
         assert_eq!(
-            read_frame::<Request, _>(&mut r).unwrap().unwrap().unwrap(),
-            Request::Shutdown
+            read_frame::<Request, _>(&mut r).unwrap(),
+            FrameRead::Frame(Request::Shutdown)
         );
-        assert!(read_frame::<Request, _>(&mut r).unwrap().is_none());
+        assert_eq!(read_frame::<Request, _>(&mut r).unwrap(), FrameRead::Eof);
+    }
+
+    #[test]
+    fn severed_mid_frame_is_distinguished_from_clean_eof() {
+        let full = encode_frame(&Request::Stats);
+        let cut = &full.as_bytes()[..full.len() - 3]; // no newline
+        let mut r = std::io::BufReader::new(cut);
+        match read_frame::<Request, _>(&mut r).unwrap() {
+            FrameRead::SeveredMidFrame { partial_bytes } => {
+                assert_eq!(partial_bytes, full.len() - 3)
+            }
+            other => panic!("expected SeveredMidFrame, got {other:?}"),
+        }
     }
 
     #[test]
     fn garbage_lines_are_parse_errors_not_panics() {
         let mut r = std::io::BufReader::new(&b"not json\n"[..]);
-        let parsed = read_frame::<Request, _>(&mut r).unwrap().unwrap();
-        assert!(parsed.is_err());
+        match read_frame::<Request, _>(&mut r).unwrap() {
+            FrameRead::Malformed(_) => {}
+            other => panic!("expected Malformed, got {other:?}"),
+        }
     }
 }

@@ -16,7 +16,9 @@
 //! loop, then the service drains its queue before the workers exit —
 //! "drain, then stop".
 
-use crate::protocol::{decode_frame, read_frame, write_frame, Request, Response, ServiceStats};
+use crate::protocol::{
+    decode_frame, read_frame, write_frame, FrameRead, GossipEntry, Request, Response, ServiceStats,
+};
 use crate::service::{ScheduleReply, ServeConfig, Service, ServiceError};
 use crate::JobSpec;
 use std::io::{BufReader, Read};
@@ -62,7 +64,7 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            service: Service::start(config),
+            service: Service::start(config)?,
             addr: local,
             stop: AtomicBool::new(false),
             stopped: Mutex::new(false),
@@ -182,20 +184,34 @@ fn handle_conn(stream: TcpStream, shared: &Arc<Shared>) {
                 continue;
             }
             match decode_frame::<Request>(&line) {
-                Ok(Request::Schedule { job, deadline_ms }) => {
+                Ok(Request::Schedule {
+                    job,
+                    deadline_ms,
+                    request_id,
+                }) => {
                     let deadline = deadline_ms.map(Duration::from_millis);
-                    let response = match shared.service.schedule(&job, deadline) {
-                        Ok(reply) => Response::Schedule {
-                            key: reply.key,
-                            cached: reply.cached,
-                            payload: reply.payload.to_string(),
-                        },
-                        Err(err) => Response::Error {
-                            code: err.code,
-                            message: err.message,
-                        },
-                    };
+                    let response =
+                        match shared
+                            .service
+                            .schedule_with_id(&job, deadline, request_id.as_deref())
+                        {
+                            Ok(reply) => Response::Schedule {
+                                key: reply.key,
+                                cached: reply.cached,
+                                payload: reply.payload.to_string(),
+                            },
+                            Err(err) => Response::Error {
+                                code: err.code,
+                                message: err.message,
+                            },
+                        };
                     if write_frame(&mut writer, &response).is_err() {
+                        return;
+                    }
+                }
+                Ok(Request::Gossip { entries }) => {
+                    let applied = shared.service.absorb(&entries);
+                    if write_frame(&mut writer, &Response::GossipAck { applied }).is_err() {
                         return;
                     }
                 }
@@ -251,6 +267,11 @@ pub enum ClientError {
     Remote(ServiceError),
     /// The server answered with an unexpected or unparseable frame.
     Protocol(String),
+    /// The connection ended before a complete response arrived —
+    /// clean EOF with the request outstanding, or severed mid-frame.
+    /// Structured (and retryable via failover) rather than a raw io
+    /// error: the peer died, the request may be replayed elsewhere.
+    Disconnected(String),
 }
 
 impl std::fmt::Display for ClientError {
@@ -259,6 +280,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(m) => write!(f, "io error: {m}"),
             ClientError::Remote(e) => write!(f, "server error: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Disconnected(m) => write!(f, "server disconnected: {m}"),
         }
     }
 }
@@ -289,11 +311,16 @@ impl TcpClient {
     fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
         write_frame(self.reader.get_mut(), request)?;
         match read_frame::<Response, _>(&mut self.reader)? {
-            Some(Ok(response)) => Ok(response),
-            Some(Err(m)) => Err(ClientError::Protocol(m)),
-            None => Err(ClientError::Protocol(
+            FrameRead::Frame(response) => Ok(response),
+            FrameRead::Malformed(m) => Err(ClientError::Protocol(m)),
+            FrameRead::Eof => Err(ClientError::Disconnected(
                 "connection closed before response".into(),
             )),
+            FrameRead::SeveredMidFrame { partial_bytes } => {
+                Err(ClientError::Disconnected(format!(
+                    "connection severed mid-frame ({partial_bytes} bytes of a partial response)"
+                )))
+            }
         }
     }
 
@@ -303,9 +330,22 @@ impl TcpClient {
         job: &JobSpec,
         deadline_ms: Option<u64>,
     ) -> Result<ScheduleReply, ClientError> {
+        self.schedule_with_id(job, deadline_ms, None)
+    }
+
+    /// [`schedule`](Self::schedule) carrying a client request id, so a
+    /// failover retry of this idempotent request can be deduplicated
+    /// server-side.
+    pub fn schedule_with_id(
+        &mut self,
+        job: &JobSpec,
+        deadline_ms: Option<u64>,
+        request_id: Option<&str>,
+    ) -> Result<ScheduleReply, ClientError> {
         let request = Request::Schedule {
             job: job.clone(),
             deadline_ms,
+            request_id: request_id.map(String::from),
         };
         match self.round_trip(&request)? {
             Response::Schedule {
@@ -322,6 +362,23 @@ impl TcpClient {
             }
             other => Err(ClientError::Protocol(format!(
                 "expected Schedule frame, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Pushes cache entries to a peer daemon; returns how many the peer
+    /// newly applied. The replicator's delivery path.
+    pub fn gossip(&mut self, entries: &[GossipEntry]) -> Result<u64, ClientError> {
+        let request = Request::Gossip {
+            entries: entries.to_vec(),
+        };
+        match self.round_trip(&request)? {
+            Response::GossipAck { applied } => Ok(applied),
+            Response::Error { code, message } => {
+                Err(ClientError::Remote(ServiceError { code, message }))
+            }
+            other => Err(ClientError::Protocol(format!(
+                "expected GossipAck frame, got {other:?}"
             ))),
         }
     }
@@ -378,7 +435,7 @@ mod tests {
                 workers: 2,
                 queue_cap: 8,
                 cache_cap: 16,
-                cache_ttl: None,
+                ..ServeConfig::default()
             },
         )
         .unwrap()
@@ -408,11 +465,8 @@ mod tests {
         let mut client = TcpClient::connect(&addr).unwrap();
         // Hand-inject garbage, then a valid request on the same socket.
         writeln!(client.reader.get_mut(), "this is not json").unwrap();
-        match read_frame::<Response, _>(&mut client.reader)
-            .unwrap()
-            .unwrap()
-        {
-            Ok(Response::Error { code, .. }) => {
+        match read_frame::<Response, _>(&mut client.reader).unwrap() {
+            FrameRead::Frame(Response::Error { code, .. }) => {
                 assert_eq!(code, crate::protocol::CODE_BAD_REQUEST)
             }
             other => panic!("expected error frame, got {other:?}"),
@@ -436,6 +490,109 @@ mod tests {
         if let Ok(mut c) = TcpClient::connect(&addr) {
             assert!(c.stats().is_err());
         }
+    }
+
+    #[test]
+    fn severed_socket_mid_frame_is_a_structured_disconnect() {
+        // A fake "server" that reads the request, writes half a response
+        // frame (no newline) and slams the connection shut.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let fake = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            let _ = std::io::Read::read(&mut stream, &mut buf); // the request
+            let full = crate::protocol::encode_frame(&Response::Bye);
+            let cut = &full.as_bytes()[..full.len() / 2];
+            stream.write_all(cut).unwrap();
+            // Dropping the stream severs the connection mid-frame.
+        });
+        let mut client = TcpClient::connect(&addr).unwrap();
+        let err = client.schedule(&small_job(1), None).unwrap_err();
+        match err {
+            ClientError::Disconnected(m) => assert!(m.contains("mid-frame"), "{m}"),
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+        fake.join().unwrap();
+    }
+
+    #[test]
+    fn clean_eof_before_response_is_also_a_disconnect() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let fake = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            let _ = std::io::Read::read(&mut stream, &mut buf);
+            // Close without writing anything.
+        });
+        let mut client = TcpClient::connect(&addr).unwrap();
+        let err = client.schedule(&small_job(1), None).unwrap_err();
+        assert!(matches!(err, ClientError::Disconnected(_)), "{err:?}");
+        fake.join().unwrap();
+    }
+
+    #[test]
+    fn gossip_frames_warm_a_peer_cache() {
+        let source = test_server();
+        let sink = test_server();
+        let mut a = TcpClient::connect(&source.addr().to_string()).unwrap();
+        let cold = a.schedule(&small_job(11), None).unwrap();
+
+        // Hand-carry the entry, as the replicator would.
+        let mut b = TcpClient::connect(&sink.addr().to_string()).unwrap();
+        let entries = vec![GossipEntry {
+            key: cold.key.clone(),
+            payload: cold.payload.to_string(),
+        }];
+        assert_eq!(b.gossip(&entries).unwrap(), 1, "first push applies");
+        assert_eq!(b.gossip(&entries).unwrap(), 0, "re-push is idempotent");
+
+        // The sink now answers from cache with the identical bytes.
+        let warm = b.schedule(&small_job(11), None).unwrap();
+        assert!(warm.cached, "gossiped entry must be a warm hit");
+        assert_eq!(cold.payload, warm.payload);
+        let stats = sink.service().stats();
+        assert_eq!(stats.replicated_in, 1);
+        source.shutdown();
+        sink.shutdown();
+    }
+
+    #[test]
+    fn peered_servers_replicate_automatically() {
+        // sink first (to know its address), then source configured to
+        // gossip at it.
+        let sink = test_server();
+        let source = Server::start(
+            "127.0.0.1:0",
+            ServeConfig {
+                workers: 2,
+                queue_cap: 8,
+                cache_cap: 16,
+                peers: vec![sink.addr().to_string()],
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut a = TcpClient::connect(&source.addr().to_string()).unwrap();
+        let cold = a.schedule(&small_job(12), None).unwrap();
+
+        // Replication is asynchronous; poll the sink until it lands.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while sink.service().stats().replicated_in == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "gossip never reached the peer"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let mut b = TcpClient::connect(&sink.addr().to_string()).unwrap();
+        let warm = b.schedule(&small_job(12), None).unwrap();
+        assert!(warm.cached);
+        assert_eq!(cold.payload, warm.payload);
+        assert!(source.service().stats().replicated_out >= 1);
+        source.shutdown();
+        sink.shutdown();
     }
 
     #[test]

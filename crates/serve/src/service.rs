@@ -16,23 +16,32 @@
 
 use crate::cache::ScheduleCache;
 use crate::codec::{canonical_json, CanonicalJob, CodecError, JobSpec, Workload};
+use crate::journal::DurableStore;
 use crate::protocol::{
-    ServiceStats, CODE_BAD_REQUEST, CODE_DEADLINE, CODE_INTERNAL, CODE_QUEUE_FULL,
+    GossipEntry, ServiceStats, CODE_BAD_REQUEST, CODE_DEADLINE, CODE_INTERNAL, CODE_QUEUE_FULL,
     CODE_SHUTTING_DOWN, CODE_UNKNOWN_ALGORITHM, CODE_UNSOLVABLE,
 };
 use crate::queue::{PushError, ResponseSlot, WorkQueue};
+use crate::replicate::Replicator;
+use crate::storage::{DiskStorage, Storage};
 use rfid_core::mcs::{covering_schedule_with, CoveringSchedule, McsOptions};
 use rfid_core::SchedulerRegistry;
 use rfid_model::interference::interference_graph;
 use rfid_model::{Coverage, Deployment};
-use rfid_obs::{counter, Recorder, Subscriber};
+use rfid_obs::{counter, event, Recorder, Subscriber};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Bound on the failover-dedup id set; reaching it clears the set (a
+/// coarse generation swap — old ids simply stop being deduplicated,
+/// which is harmless because the requests are idempotent anyway).
+const SEEN_IDS_CAP: usize = 4096;
 
 /// A structured service error: an HTTP-flavoured code plus a cause.
 /// Every failure mode of the request path maps to exactly one code —
@@ -141,7 +150,7 @@ impl ScheduleReply {
 }
 
 /// Service construction parameters (the CLI's `serve` flags).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Worker threads solving cache misses. `0` is legal (nothing is
     /// ever solved — useful for backpressure tests).
@@ -152,6 +161,14 @@ pub struct ServeConfig {
     pub cache_cap: usize,
     /// Optional time-to-live for cache entries.
     pub cache_ttl: Option<Duration>,
+    /// Directory for the journal + snapshot (DESIGN.md §10). `None`
+    /// keeps the cache RAM-only (the pre-durability behaviour).
+    pub data_dir: Option<PathBuf>,
+    /// Compact the journal into a snapshot after this many appends
+    /// (`0` = never compact).
+    pub snapshot_every: usize,
+    /// Peer daemon addresses to gossip cache entries to.
+    pub peers: Vec<String>,
 }
 
 impl Default for ServeConfig {
@@ -163,6 +180,9 @@ impl Default for ServeConfig {
             queue_cap: 64,
             cache_cap: 256,
             cache_ttl: None,
+            data_dir: None,
+            snapshot_every: 64,
+            peers: Vec::new(),
         }
     }
 }
@@ -187,6 +207,13 @@ struct Inner {
     shutting_down: AtomicBool,
     workers: usize,
     handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Journal + snapshot persistence; `None` = RAM-only.
+    durable: Option<DurableStore>,
+    /// Gossip fan-out; `None` when no peers are configured. Taken (and
+    /// consumed) by shutdown, hence the `Mutex<Option<..>>`.
+    replicator: Mutex<Option<Replicator>>,
+    /// Request ids already served, for failover-retry dedup accounting.
+    seen_ids: Mutex<HashSet<String>>,
     // Counters not derivable from the cache or queue.
     requests: AtomicU64,
     coalesced: AtomicU64,
@@ -195,6 +222,30 @@ struct Inner {
     deadline_expired: AtomicU64,
     solved: AtomicU64,
     errors: AtomicU64,
+    recovered: AtomicU64,
+    replicated_in: AtomicU64,
+    deduped: AtomicU64,
+}
+
+impl Inner {
+    /// Journals and gossips one freshly published payload. Both paths
+    /// are best-effort and counter-backed; neither touches the request
+    /// accounting.
+    fn publish_durable(&self, key: u64, key_hex: &str, payload: &str) {
+        let sub: Option<&dyn Subscriber> = Some(&self.recorder);
+        if let Some(durable) = &self.durable {
+            if durable.persist(key, payload, &|| self.cache.entries()) {
+                counter!(sub, "serve.journal.append");
+            } else {
+                counter!(sub, "serve.journal.append_error");
+            }
+        }
+        let repl = self.replicator.lock().expect("replicator poisoned");
+        if let Some(repl) = repl.as_ref() {
+            repl.offer(key_hex, payload);
+            counter!(sub, "serve.replicate.out");
+        }
+    }
 }
 
 /// The scheduling service: shared-nothing from the caller's view, cheap
@@ -205,17 +256,38 @@ pub struct Service {
 }
 
 impl Service {
-    /// Starts the worker pool and returns the running service.
-    pub fn start(config: ServeConfig) -> Self {
+    /// Starts the worker pool and returns the running service. With
+    /// `data_dir` set, opens the directory (the only fallible step) and
+    /// recovers the cache from snapshot + journal before accepting work.
+    pub fn start(config: ServeConfig) -> std::io::Result<Self> {
+        let storage: Option<Arc<dyn Storage>> = match &config.data_dir {
+            Some(dir) => Some(Arc::new(DiskStorage::open(dir)?)),
+            None => None,
+        };
+        Ok(Self::start_with_storage(config, storage))
+    }
+
+    /// [`start`](Self::start) with an explicit [`Storage`] — the seam
+    /// the chaos harness injects a `FaultyStorage` through.
+    pub fn start_with_storage(config: ServeConfig, storage: Option<Arc<dyn Storage>>) -> Self {
+        let durable = storage.map(|s| DurableStore::new(s, config.snapshot_every));
+        let replicator = if config.peers.is_empty() {
+            None
+        } else {
+            Some(Replicator::start(&config.peers))
+        };
         let inner = Arc::new(Inner {
             registry: SchedulerRegistry::global(),
             cache: ScheduleCache::new(config.cache_cap, config.cache_ttl),
             queue: WorkQueue::new(config.queue_cap),
             inflight: Mutex::new(HashMap::new()),
-            recorder: Recorder::new(),
+            recorder: Recorder::with_events(),
             shutting_down: AtomicBool::new(false),
             workers: config.workers,
             handles: Mutex::new(Vec::new()),
+            durable,
+            replicator: Mutex::new(replicator),
+            seen_ids: Mutex::new(HashSet::new()),
             requests: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             rejected_full: AtomicU64::new(0),
@@ -223,7 +295,35 @@ impl Service {
             deadline_expired: AtomicU64::new(0),
             solved: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
+            replicated_in: AtomicU64::new(0),
+            deduped: AtomicU64::new(0),
         });
+        if let Some(durable) = &inner.durable {
+            // Warm the cache before the first request can arrive. Inserts
+            // go through the counter-quiet path (plain `insert`), so a
+            // recovered start does not distort hit/miss accounting.
+            let report = durable.recover();
+            let mut warmed = 0u64;
+            for (key, payload) in &report.entries {
+                inner.cache.insert(*key, Arc::from(payload.as_str()));
+                warmed += 1;
+            }
+            inner.recovered.store(warmed, Ordering::Relaxed);
+            let sub: Option<&dyn Subscriber> = Some(&inner.recorder);
+            counter!(sub, "serve.cache.recovered_entries", warmed);
+            event!(
+                sub,
+                "serve.recovery",
+                "entries" => warmed,
+                "snapshot_entries" => report.snapshot_entries,
+                "journal_records" => report.journal_records,
+                "dropped_bytes" => report.dropped_bytes,
+                "errors" => report.errors.len(),
+                "warm" => warmed > 0,
+            );
+            counter!(sub, "serve.recovery.errors", report.errors.len() as u64);
+        }
         let mut handles = Vec::with_capacity(config.workers);
         for i in 0..config.workers {
             let worker = Arc::clone(&inner);
@@ -245,8 +345,31 @@ impl Service {
     /// (bad request, unknown algorithm, queue full, shutting down,
     /// deadline expired, solver stall, worker panic).
     pub fn schedule(&self, spec: &JobSpec, deadline: Option<Duration>) -> JobResult {
+        self.schedule_with_id(spec, deadline, None)
+    }
+
+    /// [`schedule`](Self::schedule) with an optional client request id.
+    /// A repeated id (a failover retry of an idempotent request) is
+    /// served normally — content addressing already guarantees the same
+    /// bytes — but counted as a dedup instead of fresh demand.
+    pub fn schedule_with_id(
+        &self,
+        spec: &JobSpec,
+        deadline: Option<Duration>,
+        request_id: Option<&str>,
+    ) -> JobResult {
         let inner = &self.inner;
         let sub: Option<&dyn Subscriber> = Some(&inner.recorder);
+        if let Some(id) = request_id {
+            let mut seen = inner.seen_ids.lock().expect("seen ids poisoned");
+            if seen.len() >= SEEN_IDS_CAP {
+                seen.clear();
+            }
+            if !seen.insert(id.to_string()) {
+                inner.deduped.fetch_add(1, Ordering::Relaxed);
+                counter!(sub, "serve.failover.dedup");
+            }
+        }
         let canonical = CanonicalJob::new(spec, &inner.registry).map_err(|e| {
             inner.errors.fetch_add(1, Ordering::Relaxed);
             ServiceError::from(e)
@@ -346,10 +469,51 @@ impl Service {
         }
     }
 
-    /// Point-in-time counters across cache, queue and workers.
+    /// Applies gossiped cache entries from a peer: parse the hex key,
+    /// skip entries already cached (counter-quiet probe), insert and
+    /// journal the rest. Returns how many were newly applied. Absorbed
+    /// entries are **not** re-gossiped — fan-out is push-only, so a
+    /// full-mesh peer set converges without flooding loops.
+    pub fn absorb(&self, entries: &[GossipEntry]) -> u64 {
+        let inner = &self.inner;
+        let sub: Option<&dyn Subscriber> = Some(&inner.recorder);
+        let mut applied = 0u64;
+        for entry in entries {
+            let Ok(key) = u64::from_str_radix(&entry.key, 16) else {
+                continue;
+            };
+            if !inner.cache.is_enabled() || inner.cache.contains(key) {
+                continue;
+            }
+            inner.cache.insert(key, Arc::from(entry.payload.as_str()));
+            if let Some(durable) = &inner.durable {
+                durable.persist(key, &entry.payload, &|| inner.cache.entries());
+            }
+            applied += 1;
+        }
+        if applied > 0 {
+            inner.replicated_in.fetch_add(applied, Ordering::Relaxed);
+            counter!(sub, "serve.replicate.in", applied);
+        }
+        applied
+    }
+
+    /// Point-in-time counters across cache, queue, workers and the
+    /// durability/replication layers.
     pub fn stats(&self) -> ServiceStats {
         let inner = &self.inner;
         let cache = inner.cache.stats();
+        let durable = inner
+            .durable
+            .as_ref()
+            .map(|d| d.stats())
+            .unwrap_or_default();
+        let (replicated_out, replication_dropped) = {
+            let repl = inner.replicator.lock().expect("replicator poisoned");
+            repl.as_ref()
+                .map(|r| (r.offered(), r.dropped()))
+                .unwrap_or((0, 0))
+        };
         ServiceStats {
             requests: inner.requests.load(Ordering::Relaxed),
             coalesced: inner.coalesced.load(Ordering::Relaxed),
@@ -365,6 +529,14 @@ impl Service {
             errors: inner.errors.load(Ordering::Relaxed),
             queue_depth: inner.queue.len() as u64,
             workers: inner.workers as u64,
+            recovered_entries: inner.recovered.load(Ordering::Relaxed),
+            journal_appends: durable.appends,
+            journal_append_errors: durable.append_errors,
+            snapshots_written: durable.snapshots,
+            replicated_out,
+            replication_dropped,
+            replicated_in: inner.replicated_in.load(Ordering::Relaxed),
+            deduped: inner.deduped.load(Ordering::Relaxed),
         }
     }
 
@@ -410,6 +582,11 @@ impl Service {
         let handles = std::mem::take(&mut *inner.handles.lock().expect("handles poisoned"));
         for h in handles {
             let _ = h.join();
+        }
+        // Stop gossip last: queued entries from the drain still go out.
+        let replicator = inner.replicator.lock().expect("replicator poisoned").take();
+        if let Some(replicator) = replicator {
+            replicator.shutdown();
         }
     }
 }
@@ -460,6 +637,11 @@ fn worker_loop(inner: &Inner) {
             }
             inflight.remove(&key)
         };
+        // Journal + gossip outside the single-flight lock: disk and
+        // network latency must never extend the critical section.
+        if let Ok(reply) = &result {
+            inner.publish_durable(key, &reply.key, &reply.payload);
+        }
         match waiters {
             Some(waiters) => {
                 for (i, w) in waiters.into_iter().enumerate() {
@@ -598,13 +780,13 @@ mod tests {
             workers: 2,
             queue_cap: 16,
             cache_cap: 32,
-            cache_ttl: None,
+            ..ServeConfig::default()
         }
     }
 
     #[test]
     fn solve_then_cache_hit_returns_identical_bytes() {
-        let service = Service::start(quick_config());
+        let service = Service::start(quick_config()).unwrap();
         let job = small_job(3);
         let cold = service.schedule(&job, None).unwrap();
         assert!(!cold.cached);
@@ -623,7 +805,7 @@ mod tests {
 
     #[test]
     fn unknown_algorithm_is_structured_404() {
-        let service = Service::start(quick_config());
+        let service = Service::start(quick_config()).unwrap();
         let mut job = small_job(1);
         job.algorithm = "quantum-annealing".into();
         let err = service.schedule(&job, None).unwrap_err();
@@ -639,8 +821,9 @@ mod tests {
             workers: 0,
             queue_cap: 2,
             cache_cap: 0,
-            cache_ttl: None,
-        });
+            ..ServeConfig::default()
+        })
+        .unwrap();
         let svc = service.clone();
         let j1 = small_job(1);
         let t1 = std::thread::spawn(move || svc.schedule(&j1, None));
@@ -669,7 +852,7 @@ mod tests {
 
     #[test]
     fn concurrent_identical_requests_solve_once() {
-        let service = Service::start(quick_config());
+        let service = Service::start(quick_config()).unwrap();
         let job = small_job(7);
         let threads: Vec<_> = (0..6)
             .map(|_| {
@@ -699,8 +882,9 @@ mod tests {
             workers: 0,
             queue_cap: 1,
             cache_cap: 8,
-            cache_ttl: None,
-        });
+            ..ServeConfig::default()
+        })
+        .unwrap();
         let job = small_job(1);
         let threads: Vec<_> = (0..3)
             .map(|_| {
@@ -726,8 +910,9 @@ mod tests {
             workers: 0, // nothing will ever solve the job
             queue_cap: 4,
             cache_cap: 0,
-            cache_ttl: None,
-        });
+            ..ServeConfig::default()
+        })
+        .unwrap();
         let err = service
             .schedule(&small_job(1), Some(Duration::from_millis(30)))
             .unwrap_err();
@@ -738,7 +923,7 @@ mod tests {
 
     #[test]
     fn shutdown_rejects_new_requests_with_503() {
-        let service = Service::start(quick_config());
+        let service = Service::start(quick_config()).unwrap();
         service.shutdown(true);
         let err = service.schedule(&small_job(1), None).unwrap_err();
         assert_eq!(err.code, CODE_SHUTTING_DOWN);
@@ -748,7 +933,7 @@ mod tests {
 
     #[test]
     fn metrics_snapshot_sees_serve_counters() {
-        let service = Service::start(quick_config());
+        let service = Service::start(quick_config()).unwrap();
         let job = small_job(5);
         service.schedule(&job, None).unwrap();
         service.schedule(&job, None).unwrap();
@@ -761,7 +946,7 @@ mod tests {
 
     #[test]
     fn in_process_client_mirrors_the_service() {
-        let service = Service::start(quick_config());
+        let service = Service::start(quick_config()).unwrap();
         let client = Client::new(service.clone());
         let reply = client.schedule(&small_job(9), None).unwrap();
         assert!(!reply.cached);

@@ -1,0 +1,119 @@
+//! Compacted cache snapshots: one checksummed JSON document.
+//!
+//! A snapshot is the periodic compaction target of the journal
+//! ([`crate::journal`]): the full live cache contents rendered as a
+//! single canonical-JSON document with an FNV-1a 64 checksum over the
+//! entry list. It is always written through [`Storage::replace`]
+//! (temp-file + rename), so a crash leaves either the previous snapshot
+//! or the new one — never a torn file. Corruption (a flipped byte, a
+//! hand-edited file) is still detected by the checksum, and recovery
+//! then simply falls back to the journal.
+//!
+//! [`Storage::replace`]: crate::storage::Storage::replace
+
+use crate::codec::{canonical_json, fnv1a64};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Entry {
+    key: String,
+    payload: String,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct File {
+    crc: String,
+    entries: Vec<Entry>,
+}
+
+/// Renders entries as a checksummed snapshot document. Entries are
+/// sorted by key, so the same cache contents always produce the same
+/// bytes.
+pub fn encode(entries: &[(u64, Arc<str>)]) -> String {
+    let mut rows: Vec<Entry> = entries
+        .iter()
+        .map(|(k, p)| Entry {
+            key: format!("{k:016x}"),
+            payload: p.to_string(),
+        })
+        .collect();
+    rows.sort_by(|a, b| a.key.cmp(&b.key));
+    let body = canonical_json(&rows);
+    let file = File {
+        crc: format!("{:016x}", fnv1a64(body.as_bytes())),
+        entries: rows,
+    };
+    canonical_json(&file)
+}
+
+/// Parses and verifies a snapshot document.
+pub fn decode(bytes: &[u8]) -> Result<Vec<(u64, String)>, String> {
+    let text = std::str::from_utf8(bytes).map_err(|e| format!("not utf-8: {e}"))?;
+    let file: File = serde_json::from_str(text).map_err(|e| format!("malformed: {e}"))?;
+    let crc = u64::from_str_radix(&file.crc, 16).map_err(|e| format!("bad crc field: {e}"))?;
+    let body = canonical_json(&file.entries);
+    if crc != fnv1a64(body.as_bytes()) {
+        return Err("checksum mismatch".to_string());
+    }
+    file.entries
+        .into_iter()
+        .map(|e| {
+            u64::from_str_radix(&e.key, 16)
+                .map(|k| (k, e.payload))
+                .map_err(|err| format!("bad key {:?}: {err}", e.key))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries() -> Vec<(u64, Arc<str>)> {
+        vec![
+            (2, Arc::from(r#"{"slots":2}"#)),
+            (1, Arc::from(r#"{"slots":1}"#)),
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trips_sorted() {
+        let doc = encode(&entries());
+        let back = decode(doc.as_bytes()).unwrap();
+        assert_eq!(
+            back,
+            vec![
+                (1, r#"{"slots":1}"#.to_string()),
+                (2, r#"{"slots":2}"#.to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn encoding_is_deterministic_under_entry_order() {
+        let mut reversed = entries();
+        reversed.reverse();
+        assert_eq!(encode(&entries()), encode(&reversed));
+    }
+
+    #[test]
+    fn flipped_byte_fails_the_checksum() {
+        let mut doc = encode(&entries()).into_bytes();
+        let at = doc.len() - 10; // inside the last payload
+        doc[at] ^= 0x01;
+        let err = decode(&doc).unwrap_err();
+        assert!(
+            err.contains("checksum") || err.contains("malformed"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn garbage_is_a_structured_error() {
+        assert!(decode(b"not json").is_err());
+        assert!(decode(&[0xff, 0xfe]).is_err());
+        let empty = encode(&[]);
+        assert_eq!(decode(empty.as_bytes()).unwrap(), vec![]);
+    }
+}

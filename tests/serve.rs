@@ -34,7 +34,9 @@ fn payloads_identical_across_cold_warm_inproc_and_tcp() {
         queue_cap: 16,
         cache_cap: 64,
         cache_ttl: None,
-    });
+        ..ServeConfig::default()
+    })
+    .expect("start service");
     let cold = service.schedule(&spec, None).expect("cold solve");
     assert!(!cold.cached, "first request must miss");
     let warm = service.schedule(&spec, None).expect("warm hit");
@@ -54,7 +56,9 @@ fn payloads_identical_across_cold_warm_inproc_and_tcp() {
         queue_cap: 4,
         cache_cap: 0,
         cache_ttl: None,
-    });
+        ..ServeConfig::default()
+    })
+    .expect("start service");
     let uncached = uncached_service.schedule(&spec, None).expect("uncached");
     assert!(!uncached.cached);
     assert_eq!(cold.key, uncached.key, "content key is cache-independent");
@@ -69,6 +73,7 @@ fn payloads_identical_across_cold_warm_inproc_and_tcp() {
             queue_cap: 16,
             cache_cap: 64,
             cache_ttl: None,
+            ..ServeConfig::default()
         },
     )
     .expect("bind loopback");
@@ -94,7 +99,9 @@ fn algorithm_aliases_share_one_cache_entry() {
         queue_cap: 8,
         cache_cap: 32,
         cache_ttl: None,
-    });
+        ..ServeConfig::default()
+    })
+    .expect("start service");
     let cold = service.schedule(&job("alg2", 3), None).expect("cold");
     assert!(!cold.cached);
     for alias in ["ALG2", "central", "alg2-central"] {
@@ -115,7 +122,9 @@ fn full_queue_rejects_with_structured_429() {
         queue_cap: 2,
         cache_cap: 0,
         cache_ttl: None,
-    });
+        ..ServeConfig::default()
+    })
+    .expect("start service");
     let occupants: Vec<_> = (0..2)
         .map(|i| {
             let service = service.clone();
@@ -154,7 +163,9 @@ fn unserviced_request_expires_with_504() {
         queue_cap: 4,
         cache_cap: 0,
         cache_ttl: None,
-    });
+        ..ServeConfig::default()
+    })
+    .expect("start service");
     let err = service
         .schedule(&job("ghc", 1), Some(Duration::from_millis(50)))
         .expect_err("no workers, must expire");
@@ -169,7 +180,9 @@ fn unknown_algorithm_is_404_locally_and_over_tcp() {
         queue_cap: 4,
         cache_cap: 4,
         cache_ttl: None,
-    });
+        ..ServeConfig::default()
+    })
+    .expect("start service");
     let err = service
         .schedule(&job("nope", 0), None)
         .expect_err("unknown algorithm");
