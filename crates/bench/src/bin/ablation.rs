@@ -87,7 +87,7 @@ fn main() {
     println!("| ρ | weight | runtime ms |");
     println!("|---|---|---|");
     for rho in [1.1, 1.25, 1.5, 2.0] {
-        let (w, ms) = eval(s, seeds.clone(), LocalGreedy { rho, max_hops: 4 });
+        let (w, ms) = eval(s, seeds.clone(), LocalGreedy::new(rho, 4));
         println!("| {rho} | {w:.1} | {ms:.1} |");
     }
 

@@ -2,8 +2,9 @@
 //!
 //! Runs the full greedy covering schedule end to end at constant reader
 //! density (the paper's 50 readers / 100×100 region, 24 tags per reader)
-//! for n ∈ {200, 1000, 5000} and emits a machine-readable
-//! `BENCH_mcs.json` with wall time and slots/sec per (size, algorithm).
+//! for n ∈ {200, 1000, 5000, 20000, 100000} and emits a machine-readable
+//! `BENCH_mcs.json` with wall time, per-phase timings, peak RSS and
+//! slots/sec per (size, algorithm).
 //!
 //! The committed `results/BENCH_mcs_seed.json` is the pre-optimisation
 //! baseline recorded by this same binary; every later PR regenerates
@@ -13,6 +14,12 @@
 //!   mcs_scaling [--quick] [--sizes 200,1000] [--trials N] [--out PATH]
 //!               [--metrics-out PATH] [--trace]
 //!   mcs_scaling --check PATH            # validate an existing BENCH_mcs.json
+//!   mcs_scaling --check PATH --against SEED --min-speedup X
+//!                                       # additionally require X× speedup vs
+//!                                       # the seed baseline per (n, algorithm)
+//!   mcs_scaling --check PATH --max-ms LABEL:N:MS
+//!                                       # absolute wall-clock ceiling for one
+//!                                       # (algorithm, size) leg (repeatable)
 //!   mcs_scaling --check-metrics PATH [--schema PATH]
 //!                                       # validate a metrics JSON against the
 //!                                       # checked-in schema
@@ -22,6 +29,13 @@
 //! `rfid_obs::Recorder` and writes the counter/histogram snapshots plus
 //! per-slot records; the schedules themselves are bit-identical with or
 //! without the recorder (DESIGN.md §8).
+//!
+//! Schema v2 (this revision): adds per-phase timings (`generate_ms`,
+//! `coverage_ms`, `graph_ms` — the deployment/coverage/interference-graph
+//! build phases whose sum with `schedule_wall_ms` approximates
+//! `total_wall_ms`) and `peak_rss_kb` (the process peak resident set,
+//! `VmHWM`, sampled when the entry finishes — monotone across entries, so
+//! the largest legs dominate it; 0 where the platform offers no reading).
 
 use rfid_core::{covering_schedule_with, AlgorithmKind, McsOptions, SchedulerRegistry};
 use rfid_model::interference::interference_graph;
@@ -53,6 +67,15 @@ struct Entry {
     schedule_wall_ms: f64,
     /// Mean wall time including deployment + coverage + graph build.
     total_wall_ms: f64,
+    /// Mean wall time of the deployment generation phase.
+    generate_ms: f64,
+    /// Mean wall time of the `Coverage::build` phase.
+    coverage_ms: f64,
+    /// Mean wall time of the `interference_graph` phase.
+    graph_ms: f64,
+    /// Process peak RSS (`VmHWM`, kB) when this entry finished; monotone
+    /// across entries within one run, 0 when unavailable.
+    peak_rss_kb: u64,
     slots_per_sec: f64,
 }
 
@@ -82,6 +105,24 @@ fn scenario(n_readers: usize) -> Scenario {
     }
 }
 
+/// Process peak resident set size in kB (`VmHWM` from `/proc/self/status`),
+/// or 0 where unavailable. Monotone over the process lifetime.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status.lines().find_map(|line| {
+                line.strip_prefix("VmHWM:")?
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse()
+                    .ok()
+            })
+        })
+        .unwrap_or(0)
+}
+
 /// Observability records from one (size, algorithm) measurement: the last
 /// trial's deterministic counter snapshot and its per-slot metrics.
 struct RunMetrics {
@@ -97,6 +138,9 @@ fn measure(
 ) -> (Entry, Option<RunMetrics>) {
     let mut schedule_ms = 0.0;
     let mut total_ms = 0.0;
+    let mut generate_ms = 0.0;
+    let mut coverage_ms = 0.0;
+    let mut graph_ms = 0.0;
     let mut slots = 0;
     let mut tags_served = 0;
     let mut fallback_slots = 0;
@@ -104,9 +148,15 @@ fn measure(
     for trial in 0..trials {
         let seed = 42 + trial as u64;
         let total_start = Instant::now();
+        let phase = Instant::now();
         let deployment = scenario(n_readers).generate(seed);
+        generate_ms += phase.elapsed().as_secs_f64() * 1e3;
+        let phase = Instant::now();
         let coverage = Coverage::build(&deployment);
+        coverage_ms += phase.elapsed().as_secs_f64() * 1e3;
+        let phase = Instant::now();
         let graph = interference_graph(&deployment);
+        graph_ms += phase.elapsed().as_secs_f64() * 1e3;
         let mut scheduler = SchedulerRegistry::global().instantiate(kind, seed ^ 0x5eed);
         let recorder = observe.then(Recorder::new);
         let mut options = McsOptions::new().slot_metrics(observe);
@@ -142,6 +192,10 @@ fn measure(
         fallback_slots,
         schedule_wall_ms,
         total_wall_ms: total_ms / trials as f64,
+        generate_ms: generate_ms / trials as f64,
+        coverage_ms: coverage_ms / trials as f64,
+        graph_ms: graph_ms / trials as f64,
+        peak_rss_kb: peak_rss_kb(),
         slots_per_sec: slots as f64 / (schedule_wall_ms / 1e3),
     };
     (entry, metrics)
@@ -252,41 +306,127 @@ fn check_metrics(path: &PathBuf, schema_path: &PathBuf) -> Result<(), String> {
     Ok(())
 }
 
+/// One absolute wall-clock ceiling: `(algorithm label, n_readers, max ms)`.
+type MaxMs = (String, usize, f64);
+
+/// Parses a `--max-ms LABEL:N:MS` specification.
+fn parse_max_ms(spec: &str) -> MaxMs {
+    let parts: Vec<&str> = spec.split(':').collect();
+    assert!(
+        parts.len() == 3,
+        "--max-ms takes LABEL:N_READERS:MAX_MS, got {spec:?}"
+    );
+    (
+        parts[0].to_string(),
+        parts[1].parse().expect("--max-ms size must be an integer"),
+        parts[2].parse().expect("--max-ms bound must be a number"),
+    )
+}
+
 /// Validates a BENCH_mcs.json: parses, checks the schema and that every
-/// entry carries positive wall times. Exits non-zero on failure so CI can
-/// gate on it.
-fn check(path: &PathBuf) -> Result<(), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
-    let report: Report =
-        serde_json::from_str(&text).map_err(|e| format!("malformed {path:?}: {e}"))?;
-    if report.bench != "mcs_scaling" {
-        return Err(format!("wrong bench name {:?}", report.bench));
-    }
-    if report.schema_version != 1 {
-        return Err(format!("unknown schema_version {}", report.schema_version));
-    }
-    if report.entries.is_empty() {
-        return Err("no entries".into());
-    }
-    let positive = |x: f64| x.is_finite() && x > 0.0;
-    for e in &report.entries {
-        if !positive(e.schedule_wall_ms) || !positive(e.slots_per_sec) || e.slots == 0 {
+/// entry carries positive wall times. With `against`, additionally
+/// requires every (n, algorithm) leg present in both reports to be at
+/// least `min_speedup`× faster than the baseline — the anti-rot gate CI
+/// runs on the committed reports. `max_ms` entries pin absolute ceilings.
+/// Exits non-zero on failure so CI can gate on it.
+fn check(
+    path: &PathBuf,
+    against: Option<&PathBuf>,
+    min_speedup: f64,
+    max_ms: &[MaxMs],
+) -> Result<(), String> {
+    let load = |p: &PathBuf| -> Result<Report, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p:?}: {e}"))?;
+        let report: Report =
+            serde_json::from_str(&text).map_err(|e| format!("malformed {p:?}: {e}"))?;
+        if report.bench != "mcs_scaling" {
+            return Err(format!("wrong bench name {:?}", report.bench));
+        }
+        if report.schema_version != 2 {
+            return Err(format!("unknown schema_version {}", report.schema_version));
+        }
+        if report.entries.is_empty() {
+            return Err("no entries".into());
+        }
+        let positive = |x: f64| x.is_finite() && x > 0.0;
+        for e in &report.entries {
+            if !positive(e.schedule_wall_ms) || !positive(e.slots_per_sec) || e.slots == 0 {
+                return Err(format!(
+                    "degenerate entry for n={} {}: {e:?}",
+                    e.n_readers, e.algorithm
+                ));
+            }
+            let phases = [e.generate_ms, e.coverage_ms, e.graph_ms];
+            if phases.iter().any(|p| !p.is_finite() || *p < 0.0) {
+                return Err(format!(
+                    "negative or non-finite phase timing for n={} {}",
+                    e.n_readers, e.algorithm
+                ));
+            }
+            if e.total_wall_ms + 1e-9 < e.schedule_wall_ms {
+                return Err(format!(
+                    "total wall below schedule wall for n={} {}",
+                    e.n_readers, e.algorithm
+                ));
+            }
+        }
+        Ok(report)
+    };
+    let report = load(path)?;
+    let find = |r: &Report, n: usize, algo: &str| -> Option<f64> {
+        r.entries
+            .iter()
+            .find(|e| e.n_readers == n && e.algorithm == algo)
+            .map(|e| e.schedule_wall_ms)
+    };
+    if let Some(seed_path) = against {
+        let seed = load(seed_path)?;
+        let mut compared = 0usize;
+        for e in &report.entries {
+            let Some(base_ms) = find(&seed, e.n_readers, &e.algorithm) else {
+                continue;
+            };
+            compared += 1;
+            let speedup = base_ms / e.schedule_wall_ms;
+            if speedup < min_speedup {
+                return Err(format!(
+                    "n={} {}: {:.1} ms is only {:.2}× the seed baseline's {:.1} ms \
+                     (floor {min_speedup}×)",
+                    e.n_readers, e.algorithm, e.schedule_wall_ms, speedup, base_ms
+                ));
+            }
+        }
+        if compared == 0 {
             return Err(format!(
-                "degenerate entry for n={} {}: {e:?}",
-                e.n_readers, e.algorithm
+                "no (n, algorithm) leg of {path:?} appears in the baseline {seed_path:?}"
             ));
         }
+        println!("{compared} legs at or above the {min_speedup}× floor vs {seed_path:?}");
+    }
+    for (algo, n, bound) in max_ms {
+        let ms = find(&report, *n, algo)
+            .ok_or_else(|| format!("--max-ms {algo}:{n}: no such leg in {path:?}"))?;
+        if ms > *bound {
+            return Err(format!(
+                "n={n} {algo}: {ms:.1} ms exceeds the {bound:.1} ms ceiling"
+            ));
+        }
+        println!("n={n} {algo}: {ms:.1} ms within the {bound:.1} ms ceiling");
     }
     Ok(())
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut sizes = vec![200usize, 1000, 5000];
+    let mut sizes = vec![200usize, 1000, 5000, 20000, 100000];
     let mut trials = 1usize;
     let mut out = PathBuf::from("results/BENCH_mcs.json");
     let mut metrics_out: Option<PathBuf> = None;
     let mut trace = false;
+    let mut check_path: Option<PathBuf> = None;
+    let mut against: Option<PathBuf> = None;
+    let mut min_speedup = 1.0f64;
+    let mut max_ms: Vec<MaxMs> = Vec::new();
     let mut check_metrics_path: Option<PathBuf> = None;
     let mut schema_path = PathBuf::from("results/mcs_metrics.schema.json");
     let mut i = 0;
@@ -323,21 +463,35 @@ fn main() {
             }
             "--check" => {
                 i += 1;
-                let path = PathBuf::from(&args[i]);
-                match check(&path) {
-                    Ok(()) => {
-                        println!("{path:?} ok");
-                        return;
-                    }
-                    Err(e) => {
-                        eprintln!("BENCH check failed: {e}");
-                        std::process::exit(1);
-                    }
-                }
+                check_path = Some(PathBuf::from(&args[i]));
+            }
+            "--against" => {
+                i += 1;
+                against = Some(PathBuf::from(&args[i]));
+            }
+            "--min-speedup" => {
+                i += 1;
+                min_speedup = args[i].parse().expect("--min-speedup takes a number");
+            }
+            "--max-ms" => {
+                i += 1;
+                max_ms.push(parse_max_ms(&args[i]));
             }
             other => panic!("unknown argument {other}"),
         }
         i += 1;
+    }
+    if let Some(path) = check_path {
+        match check(&path, against.as_ref(), min_speedup, &max_ms) {
+            Ok(()) => {
+                println!("{path:?} ok");
+                return;
+            }
+            Err(e) => {
+                eprintln!("BENCH check failed: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     if let Some(path) = check_metrics_path {
         match check_metrics(&path, &schema_path) {
@@ -359,14 +513,19 @@ fn main() {
     let observe = trace || metrics_out.is_some();
     let mut entries = Vec::new();
     let mut runs: Vec<(usize, String, RunMetrics)> = Vec::new();
-    println!("| n | algorithm | slots | schedule ms | slots/sec |");
-    println!("|---|---|---|---|---|");
+    println!("| n | algorithm | slots | schedule ms | slots/sec | peak RSS MB |");
+    println!("|---|---|---|---|---|---|");
     for &n in &sizes {
         for &kind in &lineup {
             let (e, m) = measure(n, kind, trials, observe);
             println!(
-                "| {} | {} | {} | {:.1} | {:.1} |",
-                e.n_readers, e.algorithm, e.slots, e.schedule_wall_ms, e.slots_per_sec
+                "| {} | {} | {} | {:.1} | {:.1} | {:.1} |",
+                e.n_readers,
+                e.algorithm,
+                e.slots,
+                e.schedule_wall_ms,
+                e.slots_per_sec,
+                e.peak_rss_kb as f64 / 1024.0
             );
             if let Some(m) = m {
                 if trace {
@@ -380,7 +539,7 @@ fn main() {
     }
     let report = Report {
         bench: "mcs_scaling".into(),
-        schema_version: 1,
+        schema_version: 2,
         tags_per_reader: TAGS_PER_READER,
         lambda_interference: LAMBDA_INTERFERENCE,
         lambda_interrogation: LAMBDA_INTERROGATION,
@@ -394,7 +553,7 @@ fn main() {
         serde_json::to_string_pretty(&report).expect("serialize"),
     )
     .expect("write BENCH_mcs.json");
-    check(&out).expect("self-check of the just-written report");
+    check(&out, None, 1.0, &[]).expect("self-check of the just-written report");
     println!("wrote {out:?}");
     if let Some(metrics_path) = metrics_out {
         if let Some(dir) = metrics_path.parent() {

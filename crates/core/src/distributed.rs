@@ -365,7 +365,7 @@ impl ReaderAgent {
         }
         let coverage = Coverage::from_lists(alive_ids.len(), tag_readers);
         let unread = TagSet::all_unread(tag_local.len());
-        let alive = vec![true; alive_ids.len()];
+        let alive = crate::arena::AliveSet::all_alive(alive_ids.len());
         let me = local_of[&self.id];
         let (gamma, r) = grow_local_mwfs(&graph, &coverage, &unread, me, &alive, self.rho, self.c);
         // Removed ball N^{r̄+1}(me) over the alive local graph.

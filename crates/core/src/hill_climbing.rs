@@ -10,12 +10,20 @@
 //! current active set are candidates (an RTc-violating addition would zero
 //! out a victim reader, which the incremental weight model cannot express —
 //! and the paper's feasible-set definition forbids it anyway).
+//!
+//! The scan over candidates is a singly linked list threaded through the
+//! singleton-sorted order: a candidate that becomes active or blocked is
+//! unlinked the next time the scan passes it, and — both conditions being
+//! monotone within one call — never looked at again. Combined with the
+//! persistent [`rfid_model::IncrementalCore`] this turns the
+//! quadratic-leaning pick loop into `O(additions × live-prefix)` with an
+//! allocation-free warm path across covering-schedule slots.
 
 use crate::scheduler::{OneShotInput, OneShotScheduler};
-use rfid_model::{IncrementalWeight, ReaderId};
+use rfid_model::{IncrementalCore, ReaderId};
 use rfid_obs::{counter, histogram, span};
 
-/// The GHC baseline scheduler.
+/// The GHC baseline scheduler (plus its cross-call scratch).
 #[derive(Debug, Clone, Default)]
 pub struct HillClimbing {
     /// When `true`, stop only when the best incremental weight is strictly
@@ -23,6 +31,14 @@ pub struct HillClimbing {
     /// when `false` (default), stop at non-positive increments — a slightly
     /// stronger variant that avoids pointless RRc exposure.
     pub admit_zero_gain: bool,
+    inc: IncrementalCore,
+    blocked: Vec<bool>,
+    /// Candidate readers sorted by (singleton desc, id asc).
+    order: Vec<u32>,
+    /// `next[i]` = index into `order` of the next live candidate after
+    /// position `i` (`order.len()` terminates), maintained by unlinking.
+    next: Vec<u32>,
+    allocs: u64,
 }
 
 impl OneShotScheduler for HillClimbing {
@@ -34,38 +50,87 @@ impl OneShotScheduler for HillClimbing {
         let sub = input.subscriber();
         let _span = span!(sub, "ghc.schedule");
         let n = input.deployment.n_readers();
-        let mut inc = IncrementalWeight::new(input.coverage, input.unread);
-        let mut blocked = vec![false; n]; // adjacent to the active set
-                                          // Lazy bound scan: sub-additivity gives `delta_if_added(v) ≤
-                                          // w({v})`, and the singleton weights are fixed for the whole call,
-                                          // so scanning candidates in descending singleton order lets each
-                                          // pick stop as soon as the remaining singletons fall *strictly*
-                                          // below the best delta found — candidates that could still tie
-                                          // (singleton == best delta) are visited, preserving the id
-                                          // tie-break exactly.
+        self.inc.reset(input.coverage, input.unread);
+        if self.blocked.len() != n {
+            self.blocked = vec![false; n];
+            self.allocs += 1;
+        } else {
+            self.blocked.fill(false);
+        }
+        // Lazy bound scan: sub-additivity gives `delta_if_added(v) ≤
+        // w({v})`, and the singleton weights are fixed for the whole call,
+        // so scanning candidates in descending singleton order lets each
+        // pick stop as soon as the remaining singletons fall *strictly*
+        // below the best delta found — candidates that could still tie
+        // (singleton == best delta) are visited, preserving the id
+        // tie-break exactly.
         let singleton = input.singleton_or_compute();
-        let mut order: Vec<ReaderId> = (0..n).collect();
-        order.sort_unstable_by(|&a, &b| singleton[b].cmp(&singleton[a]).then(a.cmp(&b)));
+        self.order.clear();
+        if self.order.capacity() < n {
+            self.allocs += 1;
+            self.order.reserve(n);
+        }
+        if self.admit_zero_gain {
+            // Zero-gain additions are admissible, so zero-singleton
+            // readers (delta exactly 0) stay in the candidate pool.
+            self.order.extend(0..n as u32);
+        } else if let Some(p) = input.positive_readers() {
+            // The covering-schedule driver already maintains the positive
+            // set — reuse it and skip the O(n) scan.
+            self.order.extend(p.iter().map(|&v| v as u32));
+        } else {
+            // Strict mode adds only positive deltas; a zero-singleton
+            // reader's delta is always 0 and its presence never changes
+            // the selected best (a scan that would stop on it stops on
+            // the next candidate, or the list end, with the same state).
+            self.order
+                .extend((0..n as u32).filter(|&v| singleton[v as usize] > 0));
+        }
+        self.order.sort_unstable_by(|&a, &b| {
+            singleton[b as usize]
+                .cmp(&singleton[a as usize])
+                .then(a.cmp(&b))
+        });
+        let k = self.order.len();
+        self.next.clear();
+        if self.next.capacity() < n {
+            self.allocs += 1;
+            self.next.reserve(n);
+        }
+        self.next.extend(1..=k as u32);
+        let mut head = 0u32;
         loop {
             // Best feasible addition by incremental weight; ties by id
             // (explicit `(delta, Reverse(v))` order — the scan no longer
             // runs in id order, so first-max-wins is not enough).
             let mut best: Option<(isize, ReaderId)> = None;
-            for &v in &order {
+            let mut prev: Option<usize> = None;
+            let mut i = head as usize;
+            while i < k {
+                let v = self.order[i] as usize;
+                if self.blocked[v] || self.inc.is_active(v) {
+                    // Monotone within this call — unlink for good.
+                    let nx = self.next[i];
+                    match prev {
+                        None => head = nx,
+                        Some(p) => self.next[p] = nx,
+                    }
+                    i = nx as usize;
+                    continue;
+                }
                 if let Some((bd, _)) = best {
                     if (singleton[v] as isize) < bd {
                         break;
                     }
                 }
-                if blocked[v] || inc.is_active(v) {
-                    continue;
-                }
-                let delta = inc.delta_if_added(v);
+                let delta = self.inc.delta_if_added(input.coverage, v);
                 if best.is_none_or(|(bd, bv)| {
                     (delta, std::cmp::Reverse(v)) > (bd, std::cmp::Reverse(bv))
                 }) {
                     best = Some((delta, v));
                 }
+                prev = Some(i);
+                i = self.next[i] as usize;
             }
             let Some((delta, v)) = best else { break };
             let stop = if self.admit_zero_gain {
@@ -76,16 +141,20 @@ impl OneShotScheduler for HillClimbing {
             if stop {
                 break;
             }
-            inc.add(v);
+            self.inc.add(input.coverage, v);
             counter!(sub, "ghc.additions");
             histogram!(sub, "ghc.incremental_weight", delta as u64);
             for &t in input.graph.neighbors(v) {
-                blocked[t as usize] = true;
+                self.blocked[t as usize] = true;
             }
         }
-        let mut out = inc.active().to_vec();
+        let mut out = self.inc.active().to_vec();
         out.sort_unstable();
         out
+    }
+
+    fn take_scratch_allocations(&mut self) -> u64 {
+        std::mem::take(&mut self.allocs) + self.inc.take_allocs()
     }
 }
 
@@ -118,6 +187,13 @@ mod tests {
         (d, c)
     }
 
+    fn zero_gain() -> HillClimbing {
+        HillClimbing {
+            admit_zero_gain: true,
+            ..HillClimbing::default()
+        }
+    }
+
     #[test]
     fn figure2_ghc_gets_stuck_on_the_middle_reader() {
         // GHC picks B first (singleton weight 3 beats A/C's 2). Adding A or
@@ -132,10 +208,7 @@ mod tests {
         let strict = HillClimbing::default().schedule(&input);
         assert_eq!(strict, vec![1]);
         assert_eq!(input.weight_of(&strict), 3);
-        let literal = HillClimbing {
-            admit_zero_gain: true,
-        }
-        .schedule(&input);
+        let literal = zero_gain().schedule(&input);
         assert_eq!(literal, vec![0, 1, 2]);
         assert_eq!(input.weight_of(&literal), 3);
         assert!(d.is_feasible(&literal));
@@ -199,10 +272,45 @@ mod tests {
         let input = OneShotInput::new(&d, &c, &g, &unread);
         let strict = HillClimbing::default().schedule(&input);
         assert_eq!(strict, vec![0]);
-        let lax = HillClimbing {
-            admit_zero_gain: true,
-        }
-        .schedule(&input);
+        let lax = zero_gain().schedule(&input);
         assert_eq!(lax, vec![0, 1]);
+    }
+
+    #[test]
+    fn reused_instance_matches_fresh_instances_and_stops_allocating() {
+        use rfid_model::{RadiusModel, Scenario, ScenarioKind};
+        let d = Scenario {
+            kind: ScenarioKind::UniformRandom,
+            n_readers: 30,
+            n_tags: 250,
+            region_side: 90.0,
+            radius_model: RadiusModel::PoissonPair {
+                lambda_interference: 12.0,
+                lambda_interrogation: 6.0,
+            },
+        }
+        .generate(11);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let mut unread;
+        for mut warm in [HillClimbing::default(), zero_gain()] {
+            unread = TagSet::all_unread(d.n_tags());
+            for round in 0..4 {
+                let input = OneShotInput::new(&d, &c, &g, &unread);
+                let from_warm = warm.schedule(&input);
+                let mut fresh = HillClimbing {
+                    admit_zero_gain: warm.admit_zero_gain,
+                    ..HillClimbing::default()
+                };
+                assert_eq!(from_warm, fresh.schedule(&input), "round {round}");
+                if round == 0 {
+                    assert!(warm.take_scratch_allocations() > 0);
+                } else {
+                    assert_eq!(warm.take_scratch_allocations(), 0, "round {round}");
+                }
+                let served = rfid_model::WeightEvaluator::new(&c).well_covered(&from_warm, &unread);
+                unread.mark_all_read(&served);
+            }
+        }
     }
 }

@@ -37,6 +37,7 @@
 //! [`OneShotInput::builder`] or [`McsOptions::subscriber`]). Subscribers
 //! observe only: schedules are bit-identical with metrics on or off.
 
+pub mod arena;
 pub mod colorwave;
 pub mod distributed;
 pub mod exact;
@@ -52,6 +53,7 @@ pub mod registry;
 pub mod scheduler;
 pub mod verify;
 
+pub use arena::{AliveSet, BallScratch, SlotArena};
 pub use colorwave::Colorwave;
 pub use distributed::{DistributedScheduler, RunSummary, TraceEvent};
 pub use exact::ExactScheduler;

@@ -20,15 +20,22 @@
 //! Local MWFS computation uses the exact branch-and-bound of
 //! [`crate::exact`] on the (small, growth-bounded) hop ball — the paper's
 //! "by enumeration".
+//!
+//! The scheduler instance owns a [`SlotArena`]: weight cores, BFS state
+//! and the seed-order/alive buffers persist across `schedule` calls, so a
+//! covering-schedule slot pays a stamped reset (a packed-word memcpy)
+//! instead of an `O(n_tags + n_readers)` rebuild — the difference between
+//! minutes and sub-second at n = 100k.
 
-use crate::exact::{exact_mwfs_in, MwfsScratch, DEFAULT_NODE_BUDGET};
+use crate::arena::{AliveSet, BallScratch, SlotArena};
+use crate::exact::{exact_mwfs_weighted, MwfsScratch, DEFAULT_NODE_BUDGET};
 use crate::scheduler::{OneShotInput, OneShotScheduler};
 use rfid_graph::Csr;
 use rfid_model::{Coverage, ReaderId, TagSet};
 use rfid_obs::{counter, histogram, span};
 
-/// Algorithm 2 configuration.
-#[derive(Debug, Clone, Copy)]
+/// Algorithm 2 configuration plus its cross-call scratch arena.
+#[derive(Debug, Clone)]
 pub struct LocalGreedy {
     /// Growth threshold `ρ = 1 + ε > 1`. Larger ρ stops the hop growth
     /// earlier (cheaper, weaker guarantee `w ≥ OPT/ρ`).
@@ -36,78 +43,52 @@ pub struct LocalGreedy {
     /// Hard cap `c` on the growth radius `r̄` (Theorem 3 guarantees a
     /// constant bound exists; this is its concrete value).
     pub max_hops: u32,
+    arena: SlotArena,
+    /// Positive-singleton readers, sorted by (weight desc, id desc).
+    order: Vec<ReaderId>,
+    /// Counting-sort workspace: occupancy/placement cursor per weight.
+    counts: Vec<u32>,
+    /// Counting-sort output buffer, swapped into `order`.
+    sorted: Vec<ReaderId>,
+    alive: AliveSet,
+    /// Readers killed by the last call's ball removals — undone at the
+    /// start of the next call, so the alive reset costs `O(kills)`, not
+    /// `O(n)`.
+    killed: Vec<ReaderId>,
+    ball: Vec<usize>,
+    gamma: Vec<ReaderId>,
+    gamma_next: Vec<ReaderId>,
+}
+
+impl LocalGreedy {
+    /// A scheduler with the given growth parameters and an empty arena
+    /// (sized on the first [`schedule`](OneShotScheduler::schedule) call).
+    pub fn new(rho: f64, max_hops: u32) -> Self {
+        LocalGreedy {
+            rho,
+            max_hops,
+            arena: SlotArena::new(),
+            order: Vec::new(),
+            counts: Vec::new(),
+            sorted: Vec::new(),
+            alive: AliveSet::default(),
+            killed: Vec::new(),
+            ball: Vec::new(),
+            gamma: Vec::new(),
+            gamma_next: Vec::new(),
+        }
+    }
 }
 
 impl Default for LocalGreedy {
     fn default() -> Self {
-        LocalGreedy {
-            rho: 1.1,
-            max_hops: 3,
-        }
-    }
-}
-
-/// Reusable BFS state for [`ball_restricted`]: the `O(n)` distance array
-/// is allocated once and invalidated by a stamp bump instead of a clear,
-/// so each ball query costs only its output size. One instance serves a
-/// whole [`LocalGreedy::schedule`] run (hundreds of ball queries).
-pub(crate) struct BallScratch {
-    dist: Vec<u32>,
-    stamp_of: Vec<u64>,
-    stamp: u64,
-    queue: std::collections::VecDeque<usize>,
-}
-
-impl BallScratch {
-    pub(crate) fn new(n: usize) -> Self {
-        BallScratch {
-            dist: vec![0; n],
-            stamp_of: vec![0; n],
-            stamp: 0,
-            queue: std::collections::VecDeque::new(),
-        }
-    }
-
-    /// `N(src)^r` within the alive-induced subgraph, appended to `out`
-    /// (cleared first), sorted ascending. `src` must be alive.
-    pub(crate) fn ball_into(
-        &mut self,
-        g: &Csr,
-        src: usize,
-        r: u32,
-        alive: &[bool],
-        out: &mut Vec<usize>,
-    ) {
-        debug_assert!(alive[src]);
-        self.stamp += 1;
-        out.clear();
-        out.push(src);
-        self.dist[src] = 0;
-        self.stamp_of[src] = self.stamp;
-        self.queue.clear();
-        self.queue.push_back(src);
-        while let Some(v) = self.queue.pop_front() {
-            let d = self.dist[v];
-            if d == r {
-                continue;
-            }
-            for &t in g.neighbors(v) {
-                let t = t as usize;
-                if alive[t] && self.stamp_of[t] != self.stamp {
-                    self.stamp_of[t] = self.stamp;
-                    self.dist[t] = d + 1;
-                    out.push(t);
-                    self.queue.push_back(t);
-                }
-            }
-        }
-        out.sort_unstable();
+        LocalGreedy::new(1.1, 3)
     }
 }
 
 /// `N(v)^r` within the alive-induced subgraph: hop distances only traverse
 /// alive nodes. Sorted ascending. `src` must be alive.
-pub(crate) fn ball_restricted(g: &Csr, src: usize, r: u32, alive: &[bool]) -> Vec<usize> {
+pub(crate) fn ball_restricted(g: &Csr, src: usize, r: u32, alive: &AliveSet) -> Vec<usize> {
     let mut scratch = BallScratch::new(g.n());
     let mut out = Vec::new();
     scratch.ball_into(g, src, r, alive, &mut out);
@@ -124,49 +105,115 @@ pub(crate) fn grow_local_mwfs(
     coverage: &Coverage,
     unread: &TagSet,
     v: ReaderId,
-    alive: &[bool],
+    alive: &AliveSet,
     rho: f64,
     max_hops: u32,
 ) -> (Vec<ReaderId>, u32) {
     let mut mwfs = MwfsScratch::new(coverage, unread);
     let mut balls = BallScratch::new(graph.n());
-    grow_local_mwfs_in(
-        &mut mwfs, &mut balls, graph, unread, v, alive, rho, max_hops,
-    )
+    let mut ball = Vec::new();
+    let mut gamma = Vec::new();
+    let mut next = Vec::new();
+    let (r, _) = grow_local_mwfs_in(
+        &mut mwfs, &mut balls, &mut ball, &mut gamma, &mut next, coverage, graph, unread, None, v,
+        alive, rho, max_hops,
+    );
+    (gamma, r)
 }
 
 /// [`grow_local_mwfs`] against caller-owned scratch state, so a schedule
 /// run pays the `O(n_tags)` weight-structure setup once instead of once
-/// per seed. Bit-identical to the allocating form.
+/// per seed, and no per-seed heap allocation at all once warm.
+/// Bit-identical to the allocating form.
+///
+/// `Γ_{r̄}` is written into `gamma`; `next` is the double-buffer for the
+/// candidate of the following level. `singleton`, when given, must hold
+/// `w({u})` under `unread` for every reader (the driver's incremental
+/// array) — the seed's Γ_0 weight and the restricted search's bound keys
+/// then come from lookups instead of coverage rescans.
+///
+/// Returns `(r̄, ball_is_dead_ball)`: the flag is `true` exactly when the
+/// growth loop exited by failing the ρ-test, in which case `ball` already
+/// holds `N(v)^{r̄+1}` — the removal ball Algorithm 2 needs next — and the
+/// caller can skip recomputing it.
 #[allow(clippy::too_many_arguments)] // scratch split keeps borrows disjoint
 pub(crate) fn grow_local_mwfs_in(
-    mwfs: &mut MwfsScratch<'_>,
+    mwfs: &mut MwfsScratch,
     balls: &mut BallScratch,
+    ball: &mut Vec<usize>,
+    gamma: &mut Vec<ReaderId>,
+    next: &mut Vec<ReaderId>,
+    coverage: &Coverage,
     graph: &Csr,
     unread: &TagSet,
+    singleton: Option<&[usize]>,
     v: ReaderId,
-    alive: &[bool],
+    alive: &AliveSet,
     rho: f64,
     max_hops: u32,
-) -> (Vec<ReaderId>, u32) {
+) -> (u32, bool) {
     // Γ_0 = MWFS within N(v)^0 = {v}.
-    let mut cur = vec![v];
-    let mut cur_w = mwfs.weights.singleton_weight(v, unread);
+    gamma.clear();
+    gamma.push(v);
+    let mut cur_w = match singleton {
+        Some(s) => {
+            debug_assert_eq!(
+                s[v],
+                coverage
+                    .tags_of(v)
+                    .iter()
+                    .filter(|&&t| unread.is_unread(t as usize))
+                    .count(),
+                "stale singleton weight for seed {v}"
+            );
+            s[v]
+        }
+        None => coverage
+            .tags_of(v)
+            .iter()
+            .filter(|&&t| unread.is_unread(t as usize))
+            .count(),
+    };
     let mut r = 0u32;
-    let mut ball = Vec::new();
+    let mut ball_is_dead_ball = false;
     while r < max_hops {
-        balls.ball_into(graph, v, r + 1, alive, &mut ball);
-        let next = exact_mwfs_in(mwfs, graph, &ball, &[], DEFAULT_NODE_BUDGET).0;
-        let next_w = mwfs.weights.weight(&next, unread);
+        balls.ball_into(graph, v, r + 1, alive, ball);
+        ball_is_dead_ball = true;
+        // Sub-additive prefilter: the restricted search can never beat
+        // the ball's total singleton mass, so when even that bound falls
+        // short of ρ·cur_w the growth test is doomed — break with the
+        // removal ball already in hand and skip the search. Exactly the
+        // comparison the search result would lose: `next_w ≤ bound` and
+        // the conversion to f64 is monotone, so no boundary case can
+        // disagree with the full computation. Only taken when the driver
+        // supplies the singleton array; computing the weights from
+        // coverage here would cost what it saves.
+        if let Some(s) = singleton {
+            let bound: usize = ball.iter().map(|&u| s[u]).sum();
+            if (bound as f64) < rho * cur_w as f64 {
+                break;
+            }
+        }
+        let (next_w, _) = exact_mwfs_weighted(
+            mwfs,
+            coverage,
+            graph,
+            ball,
+            &[],
+            DEFAULT_NODE_BUDGET,
+            singleton,
+            next,
+        );
         if (next_w as f64) >= rho * cur_w as f64 && next_w > 0 {
-            cur = next;
+            std::mem::swap(gamma, next);
             cur_w = next_w;
             r += 1;
+            ball_is_dead_ball = false;
         } else {
             break;
         }
     }
-    (cur, r)
+    (r, ball_is_dead_ball)
 }
 
 impl OneShotScheduler for LocalGreedy {
@@ -188,48 +235,128 @@ impl OneShotScheduler for LocalGreedy {
         // Order: weight descending, ties towards the higher id — the same
         // strict (weight, id) order the distributed election uses, so
         // Algorithms 2 and 3 coincide when the distributed view covers the
-        // whole graph.
-        let mut order: Vec<ReaderId> = (0..n).collect();
-        order.sort_unstable_by(|&a, &b| singleton[b].cmp(&singleton[a]).then(b.cmp(&a)));
+        // whole graph. Zero-weight readers are dropped from the order (the
+        // eager loop broke on the first one, so they can never seed), but
+        // they stay *alive*: hop balls traverse them and the `N(v)^{r̄+1}`
+        // removal must still reach through them, or later ball shapes —
+        // and hence the schedule — would change.
+        let mut warm = 0u64;
+        self.order.clear();
+        if self.order.capacity() < n {
+            warm += 1;
+            self.order.reserve(n);
+        }
+        match input.positive_readers() {
+            // The covering-schedule driver maintains the positive set
+            // incrementally; trusting it replaces the per-slot O(n) scan.
+            Some(p) => self.order.extend_from_slice(p),
+            None => self.order.extend((0..n).filter(|&v| singleton[v] > 0)),
+        }
+        // Counting sort into (weight desc, id desc): `order` is ascending
+        // by id, so placing ids in reverse scan order lands each weight
+        // bucket in descending id. O(P + max_w) against the comparison
+        // sort's O(P log P) — the difference is material in the fat first
+        // slots where P is most of n.
+        let max_w = self.order.iter().map(|&v| singleton[v]).max().unwrap_or(0);
+        if self.counts.capacity() < max_w + 1 {
+            warm += 1;
+        }
+        self.counts.clear();
+        self.counts.resize(max_w + 1, 0);
+        for &v in &self.order {
+            self.counts[singleton[v]] += 1;
+        }
+        let mut start = 0u32;
+        for w in (1..=max_w).rev() {
+            let c = self.counts[w];
+            self.counts[w] = start;
+            start += c;
+        }
+        if self.sorted.capacity() < n {
+            warm += 1;
+            self.sorted.reserve(n);
+        }
+        self.sorted.clear();
+        self.sorted.resize(self.order.len(), 0);
+        for &v in self.order.iter().rev() {
+            let slot = &mut self.counts[singleton[v]];
+            self.sorted[*slot as usize] = v;
+            *slot += 1;
+        }
+        std::mem::swap(&mut self.order, &mut self.sorted);
+        // Alive reset: undo only last call's kills instead of refilling
+        // all n flags (`O(kills)`, and kills track the work actually done).
+        if self.alive.len() != n {
+            warm += 1;
+            self.alive.reset(n);
+            self.killed.clear();
+            self.killed.reserve(n);
+        } else {
+            for u in self.killed.drain(..) {
+                self.alive.revive(u);
+            }
+        }
+        // Ball output is bounded by n; reserving up front keeps later
+        // slots allocation-free even when their balls outgrow earlier ones.
+        if self.ball.capacity() < n {
+            warm += 1;
+            self.ball.reserve(n);
+        }
+        if self.gamma.capacity() < n {
+            warm += 1;
+            self.gamma.reserve(n);
+            self.gamma_next.reserve(n);
+        }
+        self.arena.prepare(input.coverage, input.unread, n);
+        self.arena.note_allocs(warm);
         let mut cursor = 0usize;
-        let mut alive = vec![true; n];
         let mut x: Vec<ReaderId> = Vec::new();
-        let mut mwfs = MwfsScratch::new(input.coverage, input.unread);
-        let mut balls = BallScratch::new(n);
-        let mut dead_ball = Vec::new();
         loop {
-            while cursor < n && !alive[order[cursor]] {
+            while cursor < self.order.len() && !self.alive.get(self.order[cursor]) {
                 cursor += 1;
             }
-            let Some(&v) = order.get(cursor) else { break };
-            if singleton[v] == 0 {
-                // No alive reader covers any unread tag; by sub-additivity
-                // nothing of positive weight remains anywhere.
+            let Some(&v) = self.order.get(cursor) else {
                 break;
-            }
-            let (gamma, r) = grow_local_mwfs_in(
-                &mut mwfs,
-                &mut balls,
+            };
+            let (r, ball_is_dead_ball) = grow_local_mwfs_in(
+                &mut self.arena.mwfs,
+                &mut self.arena.balls,
+                &mut self.ball,
+                &mut self.gamma,
+                &mut self.gamma_next,
+                input.coverage,
                 graph,
                 input.unread,
+                Some(&singleton),
                 v,
-                &alive,
+                &self.alive,
                 self.rho,
                 self.max_hops,
             );
             counter!(sub, "alg2.seeds");
             histogram!(sub, "alg2.growth_radius", r as u64);
-            counter!(sub, "alg2.committed_readers", gamma.len() as u64);
-            x.extend_from_slice(&gamma);
-            // Remove N(v)^{r̄+1} from the (alive-induced) graph.
-            balls.ball_into(graph, v, r + 1, &alive, &mut dead_ball);
-            for &u in &dead_ball {
-                alive[u] = false;
+            counter!(sub, "alg2.committed_readers", self.gamma.len() as u64);
+            x.extend_from_slice(&self.gamma);
+            // Remove N(v)^{r̄+1} from the (alive-induced) graph. When the
+            // growth loop's last failed probe already computed that ball,
+            // reuse it instead of repeating the BFS.
+            if !ball_is_dead_ball {
+                self.arena
+                    .balls
+                    .ball_into(graph, v, r + 1, &self.alive, &mut self.ball);
+            }
+            for &u in &self.ball {
+                self.alive.kill(u);
+                self.killed.push(u);
             }
         }
         x.sort_unstable();
         x.dedup();
         x
+    }
+
+    fn take_scratch_allocations(&mut self) -> u64 {
+        self.arena.take_allocs()
     }
 }
 
@@ -305,6 +432,31 @@ mod tests {
     }
 
     #[test]
+    fn reused_instance_matches_fresh_instances_and_stops_allocating() {
+        // Cross-call scratch reuse must be invisible in the output, and a
+        // warm instance must not grow its buffers again.
+        let d = paper_like(40, 5);
+        let c = Coverage::build(&d);
+        let g = interference_graph(&d);
+        let mut unread = rfid_model::TagSet::all_unread(d.n_tags());
+        let mut warm = LocalGreedy::default();
+        for round in 0..4 {
+            let input = OneShotInput::new(&d, &c, &g, &unread);
+            let from_warm = warm.schedule(&input);
+            let from_fresh = LocalGreedy::default().schedule(&input);
+            assert_eq!(from_warm, from_fresh, "round {round}");
+            if round == 0 {
+                assert!(warm.take_scratch_allocations() > 0, "cold call warms up");
+            } else {
+                assert_eq!(warm.take_scratch_allocations(), 0, "round {round}");
+            }
+            // Retire the tags just served so the next round differs.
+            let served = rfid_model::WeightEvaluator::new(&c).well_covered(&from_warm, &unread);
+            unread.mark_all_read(&served);
+        }
+    }
+
+    #[test]
     fn respects_theorem4_bound_against_exact() {
         // w(X) ≥ w(OPT)/ρ on instances small enough for the exact solver.
         for seed in 0..5 {
@@ -314,7 +466,7 @@ mod tests {
             let unread = rfid_model::TagSet::all_unread(d.n_tags());
             let input = OneShotInput::new(&d, &c, &g, &unread);
             let rho = 1.25;
-            let set = LocalGreedy { rho, max_hops: 4 }.schedule(&input);
+            let set = LocalGreedy::new(rho, 4).schedule(&input);
             let opt = crate::exact::ExactScheduler::default().schedule(&input);
             let w_set = input.weight_of(&set) as f64;
             let w_opt = input.weight_of(&opt) as f64;
@@ -331,7 +483,7 @@ mod tests {
         let c = Coverage::build(&d);
         let g = interference_graph(&d);
         let unread = rfid_model::TagSet::all_unread(d.n_tags());
-        let alive = vec![true; d.n_readers()];
+        let alive = AliveSet::all_alive(d.n_readers());
         let mut weights = rfid_model::WeightEvaluator::new(&c);
         let singleton = weights.all_singleton_weights(&unread);
         let v = (0..d.n_readers()).max_by_key(|&v| singleton[v]).unwrap();
@@ -363,7 +515,8 @@ mod tests {
     fn restricted_ball_ignores_dead_nodes() {
         // path 0-1-2-3; with node 1 dead, 0's 2-hop ball is just {0}.
         let g = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
-        let alive = [true, false, true, true];
+        let mut alive = AliveSet::all_alive(4);
+        alive.kill(1);
         assert_eq!(ball_restricted(&g, 0, 2, &alive), vec![0]);
         assert_eq!(ball_restricted(&g, 2, 1, &alive), vec![2, 3]);
     }

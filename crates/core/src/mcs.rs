@@ -18,13 +18,11 @@
 use crate::scheduler::{make_scheduler, AlgorithmKind, OneShotInput, OneShotScheduler};
 use rfid_graph::Csr;
 use rfid_model::{
-    audit_activation, Coverage, Deployment, ReaderId, SingletonWeights, TagId, TagSet,
-    WeightEvaluator,
+    audit_activation, Coverage, CoverageRows, Deployment, PlaneScratch, ReaderId, SingletonWeights,
+    TagId, TagSet,
 };
 use rfid_obs::{counter, histogram, span, SlotMetrics, Subscriber};
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::time::Instant;
 
 /// Lazily updated max-queue over singleton weights, shared by the
@@ -32,29 +30,39 @@ use std::time::Instant;
 ///
 /// Singleton weights only ever decrease as the covering schedule marks
 /// tags read (sub-additivity makes `w({v})` a monotone upper bound on any
-/// future contribution of `v`), so a heap entry's cached weight is always
-/// an upper bound on the reader's current weight. [`best`](Self::best)
-/// pops entries, re-pushing stale ones with their corrected weight, until
-/// the top is current — at that point it is the true maximum under the
+/// future contribution of `v`), so the structure is a monotone bucket
+/// queue: one bucket per cached weight, and a top cursor that only moves
+/// down. [`best`](Self::best) sweeps the top bucket, dropping each stale
+/// entry into the bucket of its corrected weight (an `O(1)` move, against
+/// the `O(log n)` re-push of a heap), until the bucket holds only current
+/// entries — the smallest id there is then the true maximum under the
 /// fallback order `(weight, Reverse(id))`, i.e. highest weight with ties
-/// towards the smallest id, exactly the order the eager
-/// `max_by_key` scan used. Total re-push work over a whole schedule is
-/// bounded by the number of (tag, reader) coverage incidences, replacing
-/// the per-fallback-slot `O(n)` rescan.
+/// towards the smallest id, exactly the order the eager `max_by_key` scan
+/// used. Total relocation work over a whole schedule is bounded by the
+/// number of (tag, reader) coverage incidences, replacing the
+/// per-fallback-slot `O(n)` rescan.
 struct LazyFallback {
-    /// One entry per reader, ordered by `(cached weight, Reverse(id))`.
-    heap: BinaryHeap<(usize, Reverse<ReaderId>)>,
-    /// Entries popped while excluded (crashed), to restore after a query.
-    deferred: Vec<(usize, Reverse<ReaderId>)>,
+    /// `buckets[w]` holds readers whose weight was `w` when last looked
+    /// at; entries above a reader's current weight are stale.
+    buckets: Vec<Vec<ReaderId>>,
+    /// Highest bucket that may still hold an entry. Weights never grow,
+    /// so this cursor only descends.
+    top: usize,
 }
 
 impl LazyFallback {
     fn new(singleton: &SingletonWeights<'_>) -> Self {
+        let max_w = (0..singleton.n_readers())
+            .map(|v| singleton.get(v))
+            .max()
+            .unwrap_or(0);
+        let mut buckets = vec![Vec::new(); max_w + 1];
+        for v in 0..singleton.n_readers() {
+            buckets[singleton.get(v)].push(v);
+        }
         LazyFallback {
-            heap: (0..singleton.n_readers())
-                .map(|v| (singleton.get(v), Reverse(v)))
-                .collect(),
-            deferred: Vec::new(),
+            buckets,
+            top: max_w,
         }
     }
 
@@ -69,34 +77,64 @@ impl LazyFallback {
         excluded: &[ReaderId],
         sub: Option<&dyn Subscriber>,
     ) -> Option<ReaderId> {
-        debug_assert!(self.deferred.is_empty());
         counter!(sub, "mcs.fallback.queries", 1);
-        let mut found = None;
-        while let Some((cached, Reverse(v))) = self.heap.pop() {
-            let current = singleton.get(v);
-            debug_assert!(current <= cached, "singleton weight increased");
-            if current < cached {
-                // A lazy miss: the cached key went stale since it was
-                // pushed; re-queue with the corrected weight.
-                counter!(sub, "mcs.fallback.stale_repush", 1);
-                self.heap.push((current, Reverse(v)));
-                continue;
-            }
-            if excluded.contains(&v) {
-                self.deferred.push((cached, Reverse(v)));
-                continue;
-            }
-            // Current and admissible: every remaining entry has a cached
-            // (hence current) key no greater than this one's.
-            counter!(sub, "mcs.fallback.hits", 1);
-            self.heap.push((cached, Reverse(v)));
-            found = Some(v);
-            break;
+        if self.buckets.is_empty() {
+            return None;
         }
-        self.heap.extend(self.deferred.drain(..));
-        found
+        let mut w = self.top;
+        loop {
+            // Relocate stale entries down to their current buckets.
+            let mut i = 0;
+            while i < self.buckets[w].len() {
+                let v = self.buckets[w][i];
+                let current = singleton.get(v);
+                debug_assert!(current <= w, "singleton weight increased");
+                if current < w {
+                    counter!(sub, "mcs.fallback.stale_repush", 1);
+                    self.buckets[w].swap_remove(i);
+                    self.buckets[current].push(v);
+                } else {
+                    i += 1;
+                }
+            }
+            if self.buckets[w].is_empty() {
+                // Nothing (current or stale) lives this high any more;
+                // the cursor can skip it for every future query too.
+                if w == 0 {
+                    self.top = 0;
+                    return None;
+                }
+                w -= 1;
+                self.top = w;
+                continue;
+            }
+            // Every entry here is current at weight `w`; the smallest
+            // admissible id is the exact `(weight, Reverse(id))` maximum.
+            self.top = w;
+            let pick = self.buckets[w]
+                .iter()
+                .copied()
+                .filter(|v| !excluded.contains(v))
+                .min();
+            match pick {
+                Some(v) => {
+                    counter!(sub, "mcs.fallback.hits", 1);
+                    return Some(v);
+                }
+                // The whole bucket is crashed: look lower, but leave
+                // `top` pointing here — these entries keep their weight.
+                None if w == 0 => return None,
+                None => w -= 1,
+            }
+        }
     }
 }
+
+/// Tag-space size (in packed words) below which the driver never builds
+/// parallel plane lanes: pool dispatch plus the lane merge costs on the
+/// order of the whole sequential build for small planes, and every unit-
+/// test instance stays on the sequential path.
+const PAR_PLANES_WORDS_MIN: usize = 16_384;
 
 /// Why a covering schedule could not be driven to completion.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -344,13 +382,85 @@ pub fn covering_schedule_with(
     let uncoverable: Vec<TagId> = (0..deployment.n_tags())
         .filter(|&t| !coverage.is_coverable(t))
         .collect();
-    let mut weights = WeightEvaluator::new(coverage);
+    // Packed coverage rows + per-slot bitplanes: well-covered extraction
+    // popcounts `u64` words instead of walking per-tag coverage counts, and
+    // the planes clear in `O(words touched last slot)`. Built once here and
+    // reused for every slot; the warmup allocations are drained into
+    // `mcs.alloc` up front so the per-slot histogram shows a flat zero.
+    let mut rows = CoverageRows::build(coverage);
+    let mut planes = PlaneScratch::new();
+    planes.ensure(rows.n_words());
+    // Per-worker lanes for the parallel plane build on heavyweight slots
+    // (empty when the tag space is small or the pool has one thread —
+    // then every slot takes the sequential path). Allocated up front so
+    // the per-slot alloc histogram stays flat.
+    let mut lanes: Vec<PlaneScratch> =
+        if rows.n_words() >= PAR_PLANES_WORDS_MIN && crate::par::threads() > 1 {
+            let mut lanes = vec![PlaneScratch::new(); crate::par::threads()];
+            for lane in &mut lanes {
+                lane.ensure(rows.n_words());
+            }
+            lanes
+        } else {
+            Vec::new()
+        };
+    let mut setup_allocs =
+        planes.take_allocs() + lanes.iter_mut().map(|l| l.take_allocs()).sum::<u64>();
     // Cross-slot incremental state: singleton weights are updated per
     // served tag (via `Coverage::readers_of`) instead of rescanned, feed
     // the one-shot schedulers through the input, and back the lazy
-    // fallback queue.
-    let mut singleton = SingletonWeights::new(coverage, &unread);
+    // fallback queue. Initial values come from row popcounts.
+    let mut singleton = SingletonWeights::from_rows(coverage, &rows, &unread);
+    // Readers that can still contribute anything, kept current alongside
+    // the singleton array (weights only decrease, so `positives` only
+    // shrinks — a retain per slot, never a rescan of all n). Passed to the
+    // schedulers so their seed order costs O(|positives|) per slot.
+    let mut positives: Vec<ReaderId> = (0..singleton.n_readers())
+        .filter(|&v| singleton.get(v) > 0)
+        .collect();
     let mut fallback_queue = LazyFallback::new(&singleton);
+    // Live-row compaction state: rows shrink as tags get served (see
+    // `CoverageRows::retain_unread`), so a reader activated in a late slot
+    // no longer decodes row words whose tags were read ten slots ago. The
+    // halving trigger bounds total compaction work at 2x the initial row
+    // mass while keeping decode work proportional to *live* coverage.
+    let mut live_incidences = rows.incidences();
+    let mut retired_incidences = 0usize;
+    // Any scratch the scheduler grew before this run belongs to setup, not
+    // to the first slot.
+    setup_allocs += scheduler.take_scratch_allocations();
+    counter!(sub, "mcs.alloc", setup_allocs);
+    let well_covered = |rows: &CoverageRows,
+                        planes: &mut PlaneScratch,
+                        lanes: &mut [PlaneScratch],
+                        active: &[ReaderId],
+                        unread: &TagSet| {
+        planes.clear();
+        let mass: usize = active.iter().map(|&v| rows.row_words(v)).sum();
+        if !lanes.is_empty() && mass * 2 >= rows.n_words() {
+            // Heavy activation: each worker builds private planes from
+            // its share of the active rows (private planes stay resident
+            // in per-core cache, unlike one shared pair under random row
+            // words), then a fixed-order saturating merge folds the
+            // lanes — bit-identical to the sequential build for every
+            // pool width, including one.
+            let chunk = active.len().div_ceil(lanes.len()).max(1);
+            crate::par::for_each_state(&mut lanes[..], |i, lane| {
+                lane.ensure(rows.n_words());
+                let lo = (i * chunk).min(active.len());
+                let hi = ((i + 1) * chunk).min(active.len());
+                lane.add_all(rows, &active[lo..hi]);
+            });
+            planes.make_dense();
+            let lane_planes: Vec<(&[u64], &[u64])> = lanes.iter().map(|l| l.planes()).collect();
+            crate::par::merge_planes(planes.planes_mut(), &lane_planes);
+        } else {
+            planes.add_all(rows, active);
+        }
+        let mut served = Vec::new();
+        planes.well_covered_into(unread.words(), &mut served);
+        served
+    };
     let mut slots = Vec::new();
     let mut slot_metrics = Vec::new();
     let coverable_total = coverage.coverable_count();
@@ -374,6 +484,7 @@ pub fn covering_schedule_with(
         let input = OneShotInput::builder(deployment, coverage, graph)
             .unread(&unread)
             .singleton_weights(singleton.as_slice())
+            .positive_readers(&positives)
             .maybe_subscriber(sub)
             .build();
         let mut active = scheduler.schedule(&input);
@@ -407,7 +518,7 @@ pub fn covering_schedule_with(
                 counter!(sub, "mcs.repaired_pairs", 1);
             }
         }
-        let mut served = weights.well_covered(&active, &unread);
+        let mut served = well_covered(&rows, &mut planes, &mut lanes, &active, &unread);
         let mut fallback = false;
         if served.is_empty() {
             // Progress guard: the best singleton always serves ≥ 1 tag
@@ -416,7 +527,7 @@ pub fn covering_schedule_with(
             match fallback_queue.best(&singleton, &crashed, sub) {
                 Some(best) => {
                     active = vec![best];
-                    served = weights.well_covered(&active, &unread);
+                    served = well_covered(&rows, &mut planes, &mut lanes, &active, &unread);
                     fallback = true;
                 }
                 None => served = Vec::new(),
@@ -438,20 +549,32 @@ pub fn covering_schedule_with(
         // into the scheduling state.
         counter!(sub, "mcs.slots", 1);
         counter!(sub, "mcs.tags_served", served.len());
+        // Scratch-growth account: arenas warm up in the first slot and then
+        // stay flat — `mcs.slot.alloc` max == sum is the observable proof.
+        let slot_allocs = scheduler.take_scratch_allocations()
+            + planes.take_allocs()
+            + lanes.iter_mut().map(|l| l.take_allocs()).sum::<u64>();
+        counter!(sub, "mcs.alloc", slot_allocs);
+        histogram!(sub, "mcs.slot.alloc", slot_allocs);
         if fallback {
             counter!(sub, "mcs.fallback_slots", 1);
         }
         histogram!(sub, "mcs.slot.active_readers", active.len());
         histogram!(sub, "mcs.slot.tags_served", served.len());
-        if rfid_obs::active(sub).is_some() {
-            // Each served tag retires one `readers_of` incidence list from
-            // the incremental singleton state — the delta-update work
-            // `SingletonWeights::mark_all_read` is about to do.
-            let deltas: usize = served.iter().map(|&t| coverage.readers_of(t).len()).sum();
-            counter!(sub, "mcs.singleton_weight_deltas", deltas);
-        }
+        // Each served tag retires one `readers_of` incidence list from the
+        // incremental singleton state — the delta-update work
+        // `SingletonWeights::mark_all_read` is about to do, and the decay
+        // signal that triggers live-row compaction below.
+        let retired: usize = served.iter().map(|&t| coverage.readers_of(t).len()).sum();
+        counter!(sub, "mcs.singleton_weight_deltas", retired);
         unread.mark_all_read(&served);
         singleton.mark_all_read(&served);
+        positives.retain(|&v| singleton.get(v) > 0);
+        retired_incidences += retired;
+        if retired_incidences * 2 >= live_incidences {
+            live_incidences = rows.retain_unread(unread.words());
+            retired_incidences = 0;
+        }
         served_total += served.len();
         if let Some(start) = slot_start {
             slot_metrics.push(SlotMetrics {

@@ -20,6 +20,22 @@
 //! Fine-grained callers pass a work estimate through the `min_work`
 //! thresholds so tiny instances (every unit test, the paper's n = 50
 //! evaluation) never pay pool-dispatch overhead.
+//!
+//! Chunk boundaries are rounded up to [`CHUNK_ALIGN`] elements so that
+//! workers writing adjacent output ranges (or popcounting adjacent bitset
+//! words) never share a cache line — an alignment choice, invisible in
+//! the results by the chunk-count-independence contract above.
+
+/// Elements per chunk-boundary alignment step. 64 covers a full cache
+/// line of `u8` flags and exactly one packed-bitset `u64` word of tags.
+pub const CHUNK_ALIGN: usize = 64;
+
+/// `len / chunks`, rounded up to a [`CHUNK_ALIGN`] multiple. Trailing
+/// chunks may be short or empty; reduction order makes that unobservable.
+#[cfg_attr(not(feature = "parallel"), allow(dead_code))]
+fn aligned_chunk_len(len: usize, chunks: usize) -> usize {
+    len.div_ceil(chunks).next_multiple_of(CHUNK_ALIGN)
+}
 
 /// Work threshold (in scored elements) below which index scans stay
 /// sequential. Pool dispatch costs a few microseconds per chunk; a scored
@@ -68,7 +84,7 @@ where
     }
     #[cfg(feature = "parallel")]
     {
-        let chunk_len = items.len().div_ceil(chunks);
+        let chunk_len = aligned_chunk_len(items.len(), chunks);
         let mut results: Vec<Vec<R>> = (0..chunks).map(|_| Vec::new()).collect();
         let f = &f;
         rayon::scope(|s| {
@@ -98,7 +114,7 @@ where
     }
     #[cfg(feature = "parallel")]
     {
-        let chunk_len = n.div_ceil(chunks);
+        let chunk_len = aligned_chunk_len(n, chunks);
         let mut results: Vec<Vec<R>> = (0..chunks).map(|_| Vec::new()).collect();
         let f = &f;
         rayon::scope(|s| {
@@ -136,7 +152,7 @@ where
     }
     #[cfg(feature = "parallel")]
     {
-        let chunk_len = items.len().div_ceil(chunks);
+        let chunk_len = aligned_chunk_len(items.len(), chunks);
         let mut results: Vec<Vec<R>> = (0..chunks).map(|_| Vec::new()).collect();
         let (init, f) = (&init, &f);
         rayon::scope(|s| {
@@ -153,6 +169,98 @@ where
     {
         let mut scratch = init();
         items.iter().map(|t| f(&mut scratch, t)).collect()
+    }
+}
+
+/// Runs `f(i, &mut states[i])` for every state, in parallel when the
+/// pool has threads to spare. The index→state assignment is fixed, so a
+/// caller that derives its work split from `i` (e.g. chunk `i` of a
+/// slice) gets the same partition — and therefore the same per-state
+/// result — at every pool width. Purely a scheduling primitive: it
+/// imposes no reduction; pair it with a fixed-order merge such as
+/// [`merge_planes`] for a deterministic fold.
+pub fn for_each_state<S, F>(states: &mut [S], f: F)
+where
+    S: Send,
+    F: Fn(usize, &mut S) + Sync,
+{
+    if states.len() <= 1 || threads() <= 1 {
+        for (i, s) in states.iter_mut().enumerate() {
+            f(i, s);
+        }
+        return;
+    }
+    #[cfg(feature = "parallel")]
+    {
+        let f = &f;
+        rayon::scope(|sc| {
+            for (i, s) in states.iter_mut().enumerate() {
+                sc.spawn(move |_| f(i, s));
+            }
+        });
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        for (i, s) in states.iter_mut().enumerate() {
+            f(i, s);
+        }
+    }
+}
+
+/// Folds per-lane saturating-counter bitplanes into `main`, column-
+/// parallel and bit-identical to the sequential fixed-order fold.
+///
+/// Each lane is a `(ge1, ge2)` pair of equal-length word planes encoding
+/// "covered ≥ 1 / ≥ 2 times" for a disjoint share of one activation; the
+/// merge accumulates them into `main` with the saturating-add recurrence
+///
+/// ```text
+/// g2 |= l2 | (g1 & l1);   g1 |= l1;
+/// ```
+///
+/// which is associative in lane order and processed in ascending lane
+/// order for every word — so the merged planes equal the planes a single
+/// sequential pass over all rows would have produced, regardless of how
+/// many workers split the word range. Word ranges are cut on
+/// [`CHUNK_ALIGN`] boundaries so workers never share a cache line.
+pub fn merge_planes(main: (&mut [u64], &mut [u64]), lanes: &[(&[u64], &[u64])]) {
+    let (g1, g2) = main;
+    debug_assert_eq!(g1.len(), g2.len());
+    fn merge_range(g1: &mut [u64], g2: &mut [u64], lanes: &[(&[u64], &[u64])], lo: usize) {
+        for (l1, l2) in lanes {
+            let (l1, l2) = (&l1[lo..lo + g1.len()], &l2[lo..lo + g1.len()]);
+            for w in 0..g1.len() {
+                g2[w] |= l2[w] | (g1[w] & l1[w]);
+                g1[w] |= l1[w];
+            }
+        }
+    }
+    let chunks = threads().max(1);
+    if chunks <= 1 || g1.len() < CHUNK_ALIGN {
+        merge_range(g1, g2, lanes, 0);
+        return;
+    }
+    #[cfg(feature = "parallel")]
+    {
+        let chunk_len = aligned_chunk_len(g1.len(), chunks);
+        rayon::scope(|sc| {
+            let mut lo = 0usize;
+            let (mut rest1, mut rest2) = (g1, g2);
+            while !rest1.is_empty() {
+                let cut = chunk_len.min(rest1.len());
+                let (c1, r1) = rest1.split_at_mut(cut);
+                let (c2, r2) = rest2.split_at_mut(cut);
+                let base = lo;
+                sc.spawn(move |_| merge_range(c1, c2, lanes, base));
+                rest1 = r1;
+                rest2 = r2;
+                lo += cut;
+            }
+        });
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        merge_range(g1, g2, lanes, 0);
     }
 }
 
@@ -204,7 +312,7 @@ where
     }
     #[cfg(feature = "parallel")]
     {
-        let chunk_len = n.div_ceil(chunks);
+        let chunk_len = aligned_chunk_len(n, chunks);
         let mut results: Vec<Option<(K, usize)>> = (0..chunks).map(|_| None).collect();
         let key = &key;
         rayon::scope(|s| {

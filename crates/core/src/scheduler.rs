@@ -30,6 +30,12 @@ pub struct OneShotInput<'a> {
     /// builder and [`with_singleton_weights`](Self::with_singleton_weights),
     /// which assert consistency.
     singleton: Option<&'a [usize]>,
+    /// Optional ascending list of exactly the readers with positive
+    /// singleton weight under `unread`, maintained incrementally by
+    /// drivers alongside `singleton`. Schedulers that only seed positive
+    /// readers (Algorithm 2, GHC's default mode) then skip their O(n)
+    /// per-slot scan. Private for the same reason as `singleton`.
+    positive: Option<&'a [ReaderId]>,
     /// Observation sink for the scheduler's spans/counters; `None` (the
     /// default) costs one branch per instrumentation site. Subscribers
     /// observe only — by the DESIGN.md §8 contract they never influence
@@ -45,6 +51,7 @@ pub struct OneShotInputBuilder<'a> {
     graph: &'a Csr,
     unread: Option<&'a TagSet>,
     singleton: Option<&'a [usize]>,
+    positive: Option<&'a [ReaderId]>,
     subscriber: Option<&'a dyn Subscriber>,
 }
 
@@ -64,6 +71,18 @@ impl<'a> OneShotInputBuilder<'a> {
     pub fn singleton_weights(mut self, weights: &'a [usize]) -> Self {
         debug_assert_eq!(weights.len(), self.deployment.n_readers());
         self.singleton = Some(weights);
+        self
+    }
+
+    /// Attaches the ascending list of exactly the readers whose singleton
+    /// weight is positive under the unread set (the caller's
+    /// responsibility, fully cross-checked against the attached singleton
+    /// weights in debug builds at [`build`](Self::build)). Schedulers
+    /// whose seed order admits only positive readers then skip their own
+    /// O(n) rescan. Requires [`singleton_weights`](Self::singleton_weights)
+    /// to also be attached.
+    pub fn positive_readers(mut self, positive: &'a [ReaderId]) -> Self {
+        self.positive = Some(positive);
         self
     }
 
@@ -88,17 +107,31 @@ impl<'a> OneShotInputBuilder<'a> {
         let unread = self
             .unread
             .expect("OneShotInput::builder requires .unread(...)");
+        assert!(
+            self.positive.is_none() || self.singleton.is_some(),
+            "positive_readers requires singleton_weights"
+        );
         let input = OneShotInput {
             deployment: self.deployment,
             coverage: self.coverage,
             graph: self.graph,
             unread,
             singleton: self.singleton,
+            positive: self.positive,
             subscriber: self.subscriber,
         };
         #[cfg(debug_assertions)]
         if let Some(weights) = input.singleton {
             input.debug_check_singleton(weights);
+            if let Some(positive) = input.positive {
+                debug_assert!(
+                    positive
+                        .iter()
+                        .copied()
+                        .eq((0..weights.len()).filter(|&v| weights[v] > 0)),
+                    "positive_readers must list exactly the positive-weight readers, ascending"
+                );
+            }
         }
         input
     }
@@ -121,6 +154,7 @@ impl<'a> OneShotInput<'a> {
             graph,
             unread: None,
             singleton: None,
+            positive: None,
             subscriber: None,
         }
     }
@@ -185,6 +219,12 @@ impl<'a> OneShotInput<'a> {
         self.singleton
     }
 
+    /// The attached positive-reader list, if any: exactly the readers
+    /// with positive singleton weight under `unread`, ascending.
+    pub fn positive_readers(&self) -> Option<&'a [ReaderId]> {
+        self.positive
+    }
+
     /// The attached observation sink, if any. Schedulers forward this to
     /// their instrumentation macros.
     pub fn subscriber(&self) -> Option<&'a dyn Subscriber> {
@@ -245,6 +285,15 @@ pub trait OneShotScheduler {
     /// Default: none (centralized algorithms don't model crashes).
     fn crashed_readers(&self) -> Vec<ReaderId> {
         Vec::new()
+    }
+
+    /// Scratch-buffer growth events during the most recent
+    /// [`schedule`](Self::schedule) call — the feed for the covering
+    /// driver's `mcs.alloc` counter. Schedulers with persistent arenas
+    /// (DESIGN.md §11) report warmup allocations here and zero once warm;
+    /// the default covers schedulers that don't track allocations.
+    fn take_scratch_allocations(&mut self) -> u64 {
+        0
     }
 }
 

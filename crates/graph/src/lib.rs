@@ -26,7 +26,7 @@ pub mod degeneracy;
 pub mod growth;
 pub mod mwis;
 
-pub use bfs::{diameter_radius, eccentricity, hop_distances, k_hop_ball, k_hop_ring};
+pub use bfs::{diameter_radius, eccentricity, hop_distances, k_hop_ball, k_hop_ring, BfsScratch};
 pub use coloring::{dsatur, greedy_coloring, is_proper_coloring};
 pub use components::connected_components;
 pub use csr::Csr;

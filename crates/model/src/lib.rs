@@ -24,6 +24,7 @@
 //!   and lattice variants used by the examples.
 
 pub mod analysis;
+pub mod bits;
 pub mod collisions;
 pub mod coverage;
 pub mod deployment;
@@ -36,6 +37,7 @@ pub mod tag;
 pub mod weight;
 
 pub use analysis::{deployment_stats, DeploymentStats};
+pub use bits::{AlignedWords, CoverageRows, PlaneScratch, CACHE_LINE};
 pub use collisions::{audit_activation, ActivationAudit};
 pub use coverage::Coverage;
 pub use deployment::Deployment;
@@ -44,4 +46,6 @@ pub use reader::{Reader, ReaderId};
 pub use scenario::{Scenario, ScenarioKind};
 pub use survey::{survey_impact, surveyed_interference_graph, SurveyError, SurveyImpact};
 pub use tag::{TagId, TagSet};
-pub use weight::{IncrementalWeight, SingletonWeights, WeightEvaluator};
+pub use weight::{
+    EvalScratch, IncrementalCore, IncrementalWeight, SingletonWeights, WeightEvaluator,
+};

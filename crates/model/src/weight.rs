@@ -12,10 +12,109 @@
 //! maintains an active set under add/remove/peek in `O(|tags(v)|)` per
 //! operation, which is what the Greedy Hill-Climbing baseline and the local
 //! searches in Algorithms 1–3 iterate on.
+//!
+//! Both evaluators are thin borrows over unborrowed cores
+//! ([`EvalScratch`], [`IncrementalCore`]) so long-lived scheduler scratch
+//! can persist across slots without a coverage lifetime: a core's
+//! [`IncrementalCore::reset`] re-snapshots the unread set as a packed-word
+//! memcpy plus a stamp bump — `O(n_tags / 64)`, not `O(n_tags)` — which is
+//! what keeps per-slot setup flat on the n = 100k scaling legs.
 
 use crate::coverage::Coverage;
 use crate::reader::ReaderId;
 use crate::tag::{TagId, TagSet};
+
+/// Unborrowed scratch behind [`WeightEvaluator`]: per-tag cover counts
+/// with stamp invalidation, so consecutive evaluations of different sets
+/// never pay a clear. Every method takes the coverage table explicitly;
+/// persistent scheduler state stores this core and borrows coverage per
+/// call.
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    /// Per-tag cover count for the set being evaluated, valid where
+    /// `stamp_of[t] == stamp`.
+    counts: Vec<u32>,
+    stamp_of: Vec<u64>,
+    stamp: u64,
+}
+
+impl EvalScratch {
+    /// Scratch sized for `n_tags` tags.
+    pub fn new(n_tags: usize) -> Self {
+        EvalScratch {
+            counts: vec![0; n_tags],
+            stamp_of: vec![0; n_tags],
+            stamp: 0,
+        }
+    }
+
+    /// Resizes for a different tag count (no-op when unchanged).
+    pub fn ensure(&mut self, n_tags: usize) {
+        if self.counts.len() != n_tags {
+            self.counts = vec![0; n_tags];
+            self.stamp_of = vec![0; n_tags];
+            self.stamp = 0;
+        }
+    }
+
+    #[inline]
+    fn bump(&mut self, t: usize) -> u32 {
+        if self.stamp_of[t] != self.stamp {
+            self.stamp_of[t] = self.stamp;
+            self.counts[t] = 1;
+        } else {
+            self.counts[t] += 1;
+        }
+        self.counts[t]
+    }
+
+    /// `w(X)` for a feasible set `X` against the given unread set — see
+    /// [`WeightEvaluator::weight`] for the contract.
+    pub fn weight(&mut self, coverage: &Coverage, set: &[ReaderId], unread: &TagSet) -> usize {
+        self.stamp += 1;
+        let mut exactly_once = 0usize;
+        for &v in set {
+            for &t in coverage.tags_of(v) {
+                let t = t as usize;
+                if !unread.is_unread(t) {
+                    continue;
+                }
+                match self.bump(t) {
+                    1 => exactly_once += 1,
+                    2 => exactly_once -= 1,
+                    _ => {}
+                }
+            }
+        }
+        exactly_once
+    }
+
+    /// The well-covered tags of a feasible set, sorted ascending — see
+    /// [`WeightEvaluator::well_covered`].
+    pub fn well_covered(
+        &mut self,
+        coverage: &Coverage,
+        set: &[ReaderId],
+        unread: &TagSet,
+    ) -> Vec<TagId> {
+        self.stamp += 1;
+        let mut candidates: Vec<TagId> = Vec::new();
+        for &v in set {
+            for &t in coverage.tags_of(v) {
+                let t = t as usize;
+                if !unread.is_unread(t) {
+                    continue;
+                }
+                if self.bump(t) == 1 {
+                    candidates.push(t);
+                }
+            }
+        }
+        candidates.retain(|&t| self.counts[t] == 1 && self.stamp_of[t] == self.stamp);
+        candidates.sort_unstable();
+        candidates
+    }
+}
 
 /// Batch evaluator for `w(X)` over a fixed coverage table.
 ///
@@ -36,11 +135,7 @@ use crate::tag::{TagId, TagSet};
 #[derive(Debug, Clone)]
 pub struct WeightEvaluator<'a> {
     coverage: &'a Coverage,
-    /// Per-tag cover count for the set being evaluated, valid where
-    /// `stamp_of[t] == stamp`.
-    counts: Vec<u32>,
-    stamp_of: Vec<u64>,
-    stamp: u64,
+    core: EvalScratch,
 }
 
 impl<'a> WeightEvaluator<'a> {
@@ -48,21 +143,8 @@ impl<'a> WeightEvaluator<'a> {
     pub fn new(coverage: &'a Coverage) -> Self {
         WeightEvaluator {
             coverage,
-            counts: vec![0; coverage.n_tags()],
-            stamp_of: vec![0; coverage.n_tags()],
-            stamp: 0,
+            core: EvalScratch::new(coverage.n_tags()),
         }
-    }
-
-    #[inline]
-    fn bump(&mut self, t: usize) -> u32 {
-        if self.stamp_of[t] != self.stamp {
-            self.stamp_of[t] = self.stamp;
-            self.counts[t] = 1;
-        } else {
-            self.counts[t] += 1;
-        }
-        self.counts[t]
     }
 
     /// `w(X)` for a feasible set `X` against the given unread set.
@@ -72,43 +154,13 @@ impl<'a> WeightEvaluator<'a> {
     /// exactly-once-covered count, but that number is not Definition 3's
     /// weight (see `crate::collisions` for the general Definition 1 audit).
     pub fn weight(&mut self, set: &[ReaderId], unread: &TagSet) -> usize {
-        self.stamp += 1;
-        let mut exactly_once = 0usize;
-        for &v in set {
-            for &t in self.coverage.tags_of(v) {
-                let t = t as usize;
-                if !unread.is_unread(t) {
-                    continue;
-                }
-                match self.bump(t) {
-                    1 => exactly_once += 1,
-                    2 => exactly_once -= 1,
-                    _ => {}
-                }
-            }
-        }
-        exactly_once
+        self.core.weight(self.coverage, set, unread)
     }
 
     /// The well-covered tags of a feasible set: unread tags covered by
     /// exactly one reader of `X`. Sorted ascending.
     pub fn well_covered(&mut self, set: &[ReaderId], unread: &TagSet) -> Vec<TagId> {
-        self.stamp += 1;
-        let mut candidates: Vec<TagId> = Vec::new();
-        for &v in set {
-            for &t in self.coverage.tags_of(v) {
-                let t = t as usize;
-                if !unread.is_unread(t) {
-                    continue;
-                }
-                if self.bump(t) == 1 {
-                    candidates.push(t);
-                }
-            }
-        }
-        candidates.retain(|&t| self.counts[t] == 1 && self.stamp_of[t] == self.stamp);
-        candidates.sort_unstable();
-        candidates
+        self.core.well_covered(self.coverage, set, unread)
     }
 
     /// `w({v})`: every unread tag in `v`'s interrogation region.
@@ -161,6 +213,22 @@ impl<'a> SingletonWeights<'a> {
                     .count()
             })
             .collect();
+        Self::with_weights(coverage, unread, weights)
+    }
+
+    /// As [`new`](Self::new), but computes the initial weights by
+    /// popcounting packed coverage rows against the unread words —
+    /// `O(row words)` instead of `O(incidences)`, same values.
+    pub fn from_rows(
+        coverage: &'a Coverage,
+        rows: &crate::bits::CoverageRows,
+        unread: &TagSet,
+    ) -> Self {
+        debug_assert_eq!(rows.n_readers(), coverage.n_readers());
+        Self::with_weights(coverage, unread, rows.all_singleton_weights(unread))
+    }
+
+    fn with_weights(coverage: &'a Coverage, unread: &TagSet, weights: Vec<usize>) -> Self {
         let read = (0..coverage.n_tags())
             .map(|t| !unread.is_unread(t))
             .collect();
@@ -207,45 +275,83 @@ impl<'a> SingletonWeights<'a> {
     }
 }
 
-/// Incrementally maintained `w(active)` under reader add/remove.
+/// Unborrowed core behind [`IncrementalWeight`]: `w(active)` under reader
+/// add/remove against a packed snapshot of the unread set.
 ///
-/// The unread set is fixed at construction ([`IncrementalWeight::new`]) or
-/// [`reset`](Self::reset); mutating the `TagSet` mid-stream invalidates the
-/// cached weight.
-#[derive(Debug, Clone)]
-pub struct IncrementalWeight<'a> {
-    coverage: &'a Coverage,
-    unread_snapshot: Vec<bool>,
+/// Designed for cross-slot reuse: [`reset`](Self::reset) costs a word
+/// memcpy of the unread snapshot plus `O(active)` teardown — counts are
+/// stamp-invalidated, never cleared. One warm core serves every slot of a
+/// covering schedule with zero allocations.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalCore {
+    /// Packed unread snapshot (same layout as [`TagSet::words`]).
+    unread: Vec<u64>,
+    /// Per-tag active-cover count, valid where `count_stamp[t] == stamp`.
     counts: Vec<u32>,
+    count_stamp: Vec<u64>,
+    stamp: u64,
     active: Vec<bool>,
     active_list: Vec<ReaderId>,
     weight: usize,
+    /// Fresh heap allocations (buffer growth events) since the last
+    /// [`take_allocs`](Self::take_allocs).
+    allocs: u64,
 }
 
-impl<'a> IncrementalWeight<'a> {
-    /// Starts with an empty active set.
-    pub fn new(coverage: &'a Coverage, unread: &TagSet) -> Self {
-        IncrementalWeight {
-            coverage,
-            unread_snapshot: (0..coverage.n_tags())
-                .map(|t| unread.is_unread(t))
-                .collect(),
-            counts: vec![0; coverage.n_tags()],
-            active: vec![false; coverage.n_readers()],
-            active_list: Vec::new(),
-            weight: 0,
-        }
+impl IncrementalCore {
+    /// An empty core; sized by the first [`reset`](Self::reset).
+    pub fn new() -> Self {
+        IncrementalCore::default()
     }
 
     /// Clears the active set and re-snapshots the unread tags.
-    pub fn reset(&mut self, unread: &TagSet) {
-        for t in 0..self.coverage.n_tags() {
-            self.unread_snapshot[t] = unread.is_unread(t);
-            self.counts[t] = 0;
+    pub fn reset(&mut self, coverage: &Coverage, unread: &TagSet) {
+        let words = unread.words();
+        if self.unread.len() != words.len()
+            || self.counts.len() != coverage.n_tags()
+            || self.active.len() != coverage.n_readers()
+        {
+            self.unread = vec![0; words.len()];
+            self.counts = vec![0; coverage.n_tags()];
+            self.count_stamp = vec![0; coverage.n_tags()];
+            self.stamp = 0;
+            self.active = vec![false; coverage.n_readers()];
+            self.allocs += 4;
         }
-        self.active.iter_mut().for_each(|a| *a = false);
-        self.active_list.clear();
+        self.unread.copy_from_slice(words);
+        self.stamp += 1;
+        for v in self.active_list.drain(..) {
+            self.active[v] = false;
+        }
         self.weight = 0;
+    }
+
+    /// Fresh heap allocations since the last call (the `mcs.alloc` feed).
+    pub fn take_allocs(&mut self) -> u64 {
+        std::mem::take(&mut self.allocs)
+    }
+
+    /// Whether tag `t` was unread in the snapshot taken at the last
+    /// [`reset`](Self::reset). Lets callers pre-filter coverage rows to
+    /// the tags that can ever contribute weight under this snapshot.
+    #[inline]
+    pub fn is_unread(&self, t: usize) -> bool {
+        self.unread[t / 64] >> (t % 64) & 1 == 1
+    }
+
+    #[inline]
+    fn count(&self, t: usize) -> u32 {
+        if self.count_stamp[t] == self.stamp {
+            self.counts[t]
+        } else {
+            0
+        }
+    }
+
+    #[inline]
+    fn set_count(&mut self, t: usize, c: u32) {
+        self.count_stamp[t] = self.stamp;
+        self.counts[t] = c;
     }
 
     /// Current `w(active)`.
@@ -265,24 +371,24 @@ impl<'a> IncrementalWeight<'a> {
     }
 
     /// `w({v})` against the snapshotted unread set.
-    pub fn singleton_weight(&self, v: ReaderId) -> usize {
-        self.coverage
+    pub fn singleton_weight(&self, coverage: &Coverage, v: ReaderId) -> usize {
+        coverage
             .tags_of(v)
             .iter()
-            .filter(|&&t| self.unread_snapshot[t as usize])
+            .filter(|&&t| self.is_unread(t as usize))
             .count()
     }
 
     /// Weight change if `v` were added, without committing.
-    pub fn delta_if_added(&self, v: ReaderId) -> isize {
+    pub fn delta_if_added(&self, coverage: &Coverage, v: ReaderId) -> isize {
         debug_assert!(!self.active[v], "delta_if_added on active reader {v}");
         let mut delta = 0isize;
-        for &t in self.coverage.tags_of(v) {
+        for &t in coverage.tags_of(v) {
             let t = t as usize;
-            if !self.unread_snapshot[t] {
+            if !self.is_unread(t) {
                 continue;
             }
-            match self.counts[t] {
+            match self.count(t) {
                 0 => delta += 1,
                 1 => delta -= 1,
                 _ => {}
@@ -292,16 +398,17 @@ impl<'a> IncrementalWeight<'a> {
     }
 
     /// Adds `v` to the active set; returns the weight delta.
-    pub fn add(&mut self, v: ReaderId) -> isize {
+    pub fn add(&mut self, coverage: &Coverage, v: ReaderId) -> isize {
         assert!(!self.active[v], "reader {v} already active");
         let before = self.weight as isize;
-        for &t in self.coverage.tags_of(v) {
+        for &t in coverage.tags_of(v) {
             let t = t as usize;
-            if !self.unread_snapshot[t] {
+            if !self.is_unread(t) {
                 continue;
             }
-            self.counts[t] += 1;
-            match self.counts[t] {
+            let c = self.count(t) + 1;
+            self.set_count(t, c);
+            match c {
                 1 => self.weight += 1,
                 2 => self.weight -= 1,
                 _ => {}
@@ -313,16 +420,17 @@ impl<'a> IncrementalWeight<'a> {
     }
 
     /// Removes `v`; returns the weight delta.
-    pub fn remove(&mut self, v: ReaderId) -> isize {
+    pub fn remove(&mut self, coverage: &Coverage, v: ReaderId) -> isize {
         assert!(self.active[v], "reader {v} not active");
         let before = self.weight as isize;
-        for &t in self.coverage.tags_of(v) {
+        for &t in coverage.tags_of(v) {
             let t = t as usize;
-            if !self.unread_snapshot[t] {
+            if !self.is_unread(t) {
                 continue;
             }
-            self.counts[t] -= 1;
-            match self.counts[t] {
+            let c = self.count(t) - 1;
+            self.set_count(t, c);
+            match c {
                 0 => self.weight -= 1,
                 1 => self.weight += 1,
                 _ => {}
@@ -331,6 +439,67 @@ impl<'a> IncrementalWeight<'a> {
         self.active[v] = false;
         self.active_list.retain(|&x| x != v);
         self.weight as isize - before
+    }
+}
+
+/// Incrementally maintained `w(active)` under reader add/remove.
+///
+/// The unread set is fixed at construction ([`IncrementalWeight::new`]) or
+/// [`reset`](Self::reset); mutating the `TagSet` mid-stream invalidates the
+/// cached weight.
+#[derive(Debug, Clone)]
+pub struct IncrementalWeight<'a> {
+    coverage: &'a Coverage,
+    core: IncrementalCore,
+}
+
+impl<'a> IncrementalWeight<'a> {
+    /// Starts with an empty active set.
+    pub fn new(coverage: &'a Coverage, unread: &TagSet) -> Self {
+        let mut core = IncrementalCore::new();
+        core.reset(coverage, unread);
+        IncrementalWeight { coverage, core }
+    }
+
+    /// Clears the active set and re-snapshots the unread tags.
+    pub fn reset(&mut self, unread: &TagSet) {
+        self.core.reset(self.coverage, unread);
+    }
+
+    /// Current `w(active)`.
+    #[inline]
+    pub fn weight(&self) -> usize {
+        self.core.weight()
+    }
+
+    /// Current active readers in insertion order.
+    pub fn active(&self) -> &[ReaderId] {
+        self.core.active()
+    }
+
+    /// `true` iff `v` is active.
+    pub fn is_active(&self, v: ReaderId) -> bool {
+        self.core.is_active(v)
+    }
+
+    /// `w({v})` against the snapshotted unread set.
+    pub fn singleton_weight(&self, v: ReaderId) -> usize {
+        self.core.singleton_weight(self.coverage, v)
+    }
+
+    /// Weight change if `v` were added, without committing.
+    pub fn delta_if_added(&self, v: ReaderId) -> isize {
+        self.core.delta_if_added(self.coverage, v)
+    }
+
+    /// Adds `v` to the active set; returns the weight delta.
+    pub fn add(&mut self, v: ReaderId) -> isize {
+        self.core.add(self.coverage, v)
+    }
+
+    /// Removes `v`; returns the weight delta.
+    pub fn remove(&mut self, v: ReaderId) -> isize {
+        self.core.remove(self.coverage, v)
     }
 }
 
@@ -484,6 +653,23 @@ mod tests {
     }
 
     #[test]
+    fn core_reset_is_allocation_free_when_warm() {
+        let (_, c) = figure2();
+        let unread = TagSet::all_unread(5);
+        let mut core = IncrementalCore::new();
+        core.reset(&c, &unread);
+        assert!(core.take_allocs() > 0, "cold reset must size the buffers");
+        for _ in 0..5 {
+            core.add(&c, 0);
+            core.add(&c, 2);
+            core.reset(&c, &unread);
+        }
+        assert_eq!(core.take_allocs(), 0, "warm resets must not allocate");
+        core.add(&c, 0);
+        assert_eq!(core.weight(), 2);
+    }
+
+    #[test]
     fn singleton_tracker_matches_full_recompute() {
         let (_, c) = figure2();
         let mut unread = TagSet::all_unread(5);
@@ -524,6 +710,17 @@ mod tests {
         assert_eq!(tracker.as_slice(), full.all_singleton_weights(&unread));
         assert_eq!(tracker.n_readers(), 3);
         assert_eq!(tracker.get(0), 1);
+    }
+
+    #[test]
+    fn rows_constructor_matches_the_scalar_one() {
+        let (_, c) = figure2();
+        let rows = crate::bits::CoverageRows::build(&c);
+        let mut unread = TagSet::all_unread(5);
+        unread.mark_read(3);
+        let scalar = SingletonWeights::new(&c, &unread);
+        let popcnt = SingletonWeights::from_rows(&c, &rows, &unread);
+        assert_eq!(scalar.as_slice(), popcnt.as_slice());
     }
 
     #[test]

@@ -35,7 +35,7 @@ fn main() {
 
     // Centralized reference point (same ρ).
     let rho = 1.1;
-    let central = LocalGreedy { rho, max_hops: 4 }.schedule(&input);
+    let central = LocalGreedy::new(rho, 4).schedule(&input);
     println!(
         "\ncentralized Algorithm 2 (ρ = {rho}): {} readers active, w = {}\n",
         central.len(),

@@ -91,7 +91,7 @@ fn matches_centralized_with_global_view() {
         // c = 10 ⇒ every component of a 20-node graph fits in the gathered
         // (2c+2)-hop ball, so head elections replicate the global argmax.
         let dist = DistributedScheduler::with_params(rho, 10).schedule(&input);
-        let central = LocalGreedy { rho, max_hops: 10 }.schedule(&input);
+        let central = LocalGreedy::new(rho, 10).schedule(&input);
         assert_eq!(dist, central, "seed {seed}");
     }
 }
@@ -115,7 +115,7 @@ fn fault_matrix_tracks_centralized_within_rho() {
     // c = 10 ⇒ the gathered ball spans the graph, so a clean distributed
     // run replicates the centralized election (see
     // `matches_centralized_with_global_view`).
-    let w_central = input.weight_of(&LocalGreedy { rho, max_hops: 10 }.schedule(&input));
+    let w_central = input.weight_of(&LocalGreedy::new(rho, 10).schedule(&input));
     let mut clean_cells = 0usize;
     for &loss in &[0.0, 0.15, 0.3] {
         for &delay in &[0u64, 2] {

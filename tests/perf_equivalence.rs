@@ -12,19 +12,28 @@
 //!   deployments, radius mixes, schedulers and crash sets;
 //! * every scheduler must return the same set with and without the
 //!   driver-provided singleton weights attached to its input;
+//! * the packed-bitset scoring layer ([`CoverageRows`]/[`PlaneScratch`])
+//!   must agree element-wise with the eager per-tag [`WeightEvaluator`]
+//!   on weights, well-covered sets, singleton rows and add-deltas;
 //! * the `rfid_core::par` facade must be chunk-count invisible: 1, 2 and
-//!   pool-many chunks agree element-wise.
+//!   pool-many chunks agree element-wise (chunk boundaries are rounded to
+//!   cache-line multiples — still invisible);
+//! * per-slot scratch allocation must be *flat*: the `mcs.alloc` feed
+//!   shows warmup confined to the first slot and zero on a warm rerun,
+//!   including on the resilient audit/repair path.
 
 use proptest::prelude::*;
 use rfid_core::{
-    covering_schedule_with, make_scheduler, par, AlgorithmKind, CoveringSchedule, McsOptions,
-    OneShotInput, OneShotScheduler, ResilientSchedule, ScheduleError, SlotRecord,
+    covering_schedule_with, make_scheduler, par, AlgorithmKind, AliveSet, BallScratch,
+    CoveringSchedule, McsOptions, OneShotInput, OneShotScheduler, ResilientSchedule, ScheduleError,
+    SlotRecord,
 };
 use rfid_graph::Csr;
 use rfid_model::interference::interference_graph;
 use rfid_model::scenario::{Scenario, ScenarioKind};
 use rfid_model::{
-    audit_activation, Coverage, Deployment, RadiusModel, ReaderId, TagId, TagSet, WeightEvaluator,
+    audit_activation, Coverage, CoverageRows, Deployment, PlaneScratch, RadiusModel, ReaderId,
+    TagId, TagSet, WeightEvaluator,
 };
 
 fn scenario(n_readers: usize, li: f64, lr: f64) -> Scenario {
@@ -235,6 +244,9 @@ impl OneShotScheduler for Crashy {
     fn crashed_readers(&self) -> Vec<ReaderId> {
         self.crashed.clone()
     }
+    fn take_scratch_allocations(&mut self) -> u64 {
+        self.inner.take_scratch_allocations()
+    }
 }
 
 /// A scheduler that never proposes anything, driving every slot through
@@ -351,27 +363,330 @@ proptest! {
         prop_assert_eq!(a, b, "{:?} seed {}", kind, seed);
     }
 
-    /// The par facade is chunk-count invisible: 1, 2 and pool-many chunks
-    /// agree for order-preserving maps and index argmax.
+    /// The par facade is chunk-count invisible: 1, 2, several and
+    /// pool-many chunks agree for order-preserving maps and index argmax.
+    /// Chunk boundaries snap to `par::CHUNK_ALIGN` multiples, so odd chunk
+    /// counts over non-aligned lengths exercise short and empty tails.
     #[test]
     fn par_facade_is_chunk_count_invisible(
         items in proptest::collection::vec(0u64..1_000_000, 0..400),
     ) {
         let expect: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(2654435761) >> 7).collect();
-        for chunks in [Some(1), Some(2), None] {
+        for chunks in [Some(1), Some(2), Some(3), Some(5), None] {
             let got = par::map_chunked(&items, chunks, |&x| x.wrapping_mul(2654435761) >> 7);
             prop_assert_eq!(&got, &expect, "chunks {:?}", chunks);
         }
         let n = items.len();
         let key = |i: usize| (items[i] % 97 != 0).then(|| items[i] % 13);
         let expect_max = par::argmax_chunked(n, Some(1), 0, key);
-        for chunks in [Some(1), Some(2), None] {
+        for chunks in [Some(1), Some(2), Some(3), Some(5), None] {
             // min_work of usize::MAX forces the parallel path even for
             // tiny inputs.
             let got = par::argmax_chunked(n, chunks, usize::MAX, key);
             prop_assert_eq!(got, expect_max, "chunks {:?}", chunks);
         }
     }
+
+    /// The packed-bitset scoring layer agrees with the eager per-tag
+    /// evaluator on every quantity the drivers consume: set weight, the
+    /// well-covered tag list (same order), all singleton weights, and the
+    /// popcount add-delta `Δ(v) = w(S ∪ {v}) − w(S)`.
+    #[test]
+    fn bitset_layer_matches_eager_evaluator(
+        seed in 0u64..1000,
+        n_readers in 4usize..32,
+        read_tags in proptest::collection::vec(0usize..300, 0..60),
+        active_sel in proptest::collection::vec(0usize..32, 0..10),
+    ) {
+        let d = scenario(n_readers, 12.0, 6.0).generate(seed);
+        let c = Coverage::build(&d);
+        let mut unread = TagSet::all_unread(d.n_tags());
+        for t in read_tags {
+            unread.mark_read(t % d.n_tags());
+        }
+        let mut active: Vec<ReaderId> =
+            active_sel.into_iter().map(|v| v % n_readers).collect();
+        active.sort_unstable();
+        active.dedup();
+        let rows = CoverageRows::build(&c);
+        let mut planes = PlaneScratch::new();
+        planes.ensure(rows.n_words());
+        planes.clear();
+        for &v in &active {
+            planes.add(&rows, v);
+        }
+        let mut eager = WeightEvaluator::new(&c);
+        prop_assert_eq!(planes.weight(unread.words()), eager.weight(&active, &unread));
+        let mut got = Vec::new();
+        planes.well_covered_into(unread.words(), &mut got);
+        prop_assert_eq!(&got, &eager.well_covered(&active, &unread));
+        prop_assert_eq!(
+            rows.all_singleton_weights(&unread),
+            eager.all_singleton_weights(&unread)
+        );
+        let base = eager.weight(&active, &unread) as isize;
+        for v in 0..n_readers {
+            if active.contains(&v) {
+                continue;
+            }
+            let mut with_v = active.clone();
+            with_v.push(v);
+            let expect = eager.weight(&with_v, &unread) as isize - base;
+            prop_assert_eq!(
+                planes.delta_if_added(&rows, v, unread.words()),
+                expect,
+                "reader {}",
+                v
+            );
+        }
+    }
+
+    /// Live-row compaction is invisible downstream: planes built from
+    /// rows compacted against *any* intermediate unread snapshot extract
+    /// the same well-covered set and weight against the current unread
+    /// words as planes built from the pristine rows — the positions a
+    /// compaction drops are exactly the ones the final intersection
+    /// zeroes. Compacted rows must also stay structurally sound (counts
+    /// match popcounts, incidences shrink monotonically).
+    #[test]
+    fn row_compaction_never_changes_extraction(
+        seed in 0u64..1000,
+        n_readers in 4usize..32,
+        early_read in proptest::collection::vec(0usize..300, 0..80),
+        late_read in proptest::collection::vec(0usize..300, 0..80),
+        active_sel in proptest::collection::vec(0usize..32, 0..12),
+    ) {
+        let d = scenario(n_readers, 12.0, 6.0).generate(seed);
+        let c = Coverage::build(&d);
+        // Snapshot the compaction happens against…
+        let mut snapshot = TagSet::all_unread(d.n_tags());
+        for &t in &early_read {
+            snapshot.mark_read(t % d.n_tags());
+        }
+        // …and the (further-read) unread set extraction runs against.
+        let mut now = snapshot.clone();
+        for &t in &late_read {
+            now.mark_read(t % d.n_tags());
+        }
+        let mut active: Vec<ReaderId> =
+            active_sel.into_iter().map(|v| v % n_readers).collect();
+        active.sort_unstable();
+        active.dedup();
+        let pristine = CoverageRows::build(&c);
+        let mut compacted = pristine.clone();
+        let before = compacted.incidences();
+        let live = compacted.retain_unread(snapshot.words());
+        prop_assert_eq!(live, compacted.incidences(), "returned live count must match");
+        prop_assert!(live <= before, "compaction can only shrink");
+        let extract = |rows: &CoverageRows| {
+            let mut planes = PlaneScratch::new();
+            planes.ensure(rows.n_words());
+            planes.add_all(rows, &active);
+            let mut out = Vec::new();
+            planes.well_covered_into(now.words(), &mut out);
+            (planes.weight(now.words()), out)
+        };
+        prop_assert_eq!(extract(&pristine), extract(&compacted));
+    }
+
+    /// The radius-0/1 fast paths of `ball_into` agree with the generic
+    /// BFS on the same alive-restricted graph, and with a from-scratch
+    /// reference BFS at every radius.
+    #[test]
+    fn hop_balls_match_reference_bfs(
+        seed in 0u64..1000,
+        n_readers in 4usize..40,
+        dead_sel in proptest::collection::vec(0usize..40, 0..20),
+        r in 0u32..4,
+    ) {
+        let d = scenario(n_readers, 14.0, 6.0).generate(seed);
+        let g = interference_graph(&d);
+        let mut alive = AliveSet::all_alive(n_readers);
+        for v in dead_sel {
+            alive.kill(v % n_readers);
+        }
+        let mut balls = BallScratch::new(n_readers);
+        let mut out = Vec::new();
+        for src in 0..n_readers {
+            if !alive.get(src) {
+                continue;
+            }
+            // Reference: textbook BFS over the alive-induced subgraph.
+            let mut dist = vec![u32::MAX; n_readers];
+            dist[src] = 0;
+            let mut queue = std::collections::VecDeque::from([src]);
+            while let Some(v) = queue.pop_front() {
+                if dist[v] == r {
+                    continue;
+                }
+                for &t in g.neighbors(v) {
+                    let t = t as usize;
+                    if alive.get(t) && dist[t] == u32::MAX {
+                        dist[t] = dist[v] + 1;
+                        queue.push_back(t);
+                    }
+                }
+            }
+            let expect: Vec<usize> =
+                (0..n_readers).filter(|&v| dist[v] != u32::MAX).collect();
+            balls.ball_into(&g, src, r, &alive, &mut out);
+            prop_assert_eq!(&out, &expect, "src {} r {}", src, r);
+        }
+    }
+
+    /// The column-parallel lane merge is partition-invisible: any split
+    /// of the active set across any number of lanes, merged in lane
+    /// order, equals the sequential plane build bit for bit — including
+    /// lanes left completely empty.
+    #[test]
+    fn lane_merge_matches_sequential_build(
+        seed in 0u64..1000,
+        n_readers in 4usize..32,
+        active_sel in proptest::collection::vec(0usize..32, 0..16),
+        n_lanes in 1usize..5,
+    ) {
+        let d = scenario(n_readers, 12.0, 6.0).generate(seed);
+        let c = Coverage::build(&d);
+        let rows = CoverageRows::build(&c);
+        let mut active: Vec<ReaderId> =
+            active_sel.into_iter().map(|v| v % n_readers).collect();
+        active.sort_unstable();
+        active.dedup();
+        let mut sequential = PlaneScratch::new();
+        sequential.ensure(rows.n_words());
+        sequential.add_all(&rows, &active);
+        let mut lanes: Vec<PlaneScratch> = vec![PlaneScratch::new(); n_lanes];
+        let chunk = active.len().div_ceil(n_lanes).max(1);
+        par::for_each_state(&mut lanes, |i, lane| {
+            lane.ensure(rows.n_words());
+            let lo = (i * chunk).min(active.len());
+            let hi = ((i + 1) * chunk).min(active.len());
+            lane.add_all(&rows, &active[lo..hi]);
+        });
+        let mut merged = PlaneScratch::new();
+        merged.ensure(rows.n_words());
+        merged.make_dense();
+        let lane_planes: Vec<(&[u64], &[u64])> =
+            lanes.iter().map(|l| l.planes()).collect();
+        par::merge_planes(merged.planes_mut(), &lane_planes);
+        prop_assert_eq!(sequential.planes(), merged.planes());
+        // And the merged scratch extracts identically.
+        let unread = TagSet::all_unread(d.n_tags());
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        sequential.well_covered_into(unread.words(), &mut a);
+        merged.well_covered_into(unread.words(), &mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Dense mode is a strategy, not a semantics: forcing it (or letting
+    /// `add_all` choose it) yields the same planes and extraction as
+    /// sparse per-reader adds, and the scratch survives mode round-trips
+    /// across reuse.
+    #[test]
+    fn dense_and_sparse_plane_modes_agree(
+        seed in 0u64..1000,
+        n_readers in 4usize..32,
+        active_sel in proptest::collection::vec(0usize..32, 0..12),
+        read_tags in proptest::collection::vec(0usize..300, 0..60),
+    ) {
+        let d = scenario(n_readers, 12.0, 6.0).generate(seed);
+        let c = Coverage::build(&d);
+        let rows = CoverageRows::build(&c);
+        let mut unread = TagSet::all_unread(d.n_tags());
+        for t in read_tags {
+            unread.mark_read(t % d.n_tags());
+        }
+        let mut active: Vec<ReaderId> =
+            active_sel.into_iter().map(|v| v % n_readers).collect();
+        active.sort_unstable();
+        active.dedup();
+        let mut sparse = PlaneScratch::new();
+        sparse.ensure(rows.n_words());
+        for &v in &active {
+            sparse.add(&rows, v);
+        }
+        let mut dense = PlaneScratch::new();
+        dense.ensure(rows.n_words());
+        dense.make_dense();
+        for &v in &active {
+            dense.add(&rows, v);
+        }
+        prop_assert_eq!(sparse.planes(), dense.planes());
+        prop_assert_eq!(sparse.weight(unread.words()), dense.weight(unread.words()));
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        sparse.well_covered_into(unread.words(), &mut a);
+        dense.well_covered_into(unread.words(), &mut b);
+        prop_assert_eq!(&a, &b);
+        // Mode round-trip: a dense clear resets the planes completely, so
+        // a sparse rebuild on the same scratch matches a fresh one.
+        dense.clear();
+        for &v in &active {
+            dense.add(&rows, v);
+        }
+        prop_assert_eq!(sparse.planes(), dense.planes());
+    }
+}
+
+/// Per-slot scratch allocation must be flat, observed through the
+/// `mcs.slot.alloc` histogram on the resilient (audit + crash-strip)
+/// path: warmup confined to the first slot of a cold run, zero on every
+/// slot of a warm rerun — and the warm rerun byte-identical.
+#[test]
+fn scratch_allocation_is_flat_across_slots_on_the_resilient_path() {
+    let d = scenario(24, 12.0, 6.0).generate(9);
+    let c = Coverage::build(&d);
+    let g = interference_graph(&d);
+    let mut s = Crashy {
+        inner: Box::new(rfid_core::LocalGreedy::default()),
+        crashed: vec![1, 3],
+    };
+    let rec = rfid_obs::Recorder::new();
+    let run = covering_schedule_with(
+        &d,
+        &c,
+        &g,
+        &mut s,
+        &McsOptions::new()
+            .max_slots(10_000)
+            .resilient()
+            .subscriber(&rec),
+    )
+    .unwrap();
+    assert!(
+        run.schedule.size() > 1,
+        "need multiple slots to audit flatness"
+    );
+    let snap = rec.snapshot();
+    let h = &snap.histograms["mcs.slot.alloc"];
+    assert_eq!(h.count, run.schedule.size() as u64);
+    assert!(h.sum > 0, "a cold scheduler must warm its arena");
+    assert_eq!(
+        h.max, h.sum,
+        "scratch growth must be confined to a single (the first) slot"
+    );
+    assert!(
+        snap.counter("mcs.alloc") >= h.sum,
+        "the mcs.alloc counter covers setup plus every slot"
+    );
+    // Warm rerun: same scheduler instance, fresh recorder.
+    let rec2 = rfid_obs::Recorder::new();
+    let rerun = covering_schedule_with(
+        &d,
+        &c,
+        &g,
+        &mut s,
+        &McsOptions::new()
+            .max_slots(10_000)
+            .resilient()
+            .subscriber(&rec2),
+    )
+    .unwrap();
+    assert_eq!(
+        rerun.schedule, run.schedule,
+        "warm rerun must be byte-identical"
+    );
+    let h2 = &rec2.snapshot().histograms["mcs.slot.alloc"];
+    assert_eq!(h2.sum, 0, "a warm scheduler must not allocate in any slot");
 }
 
 /// Non-property pin: one mid-sized paper-default instance per scheduler,
