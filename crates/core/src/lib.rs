@@ -26,9 +26,9 @@
 //! marking well-covered tags as served, until every coverable tag has
 //! been read — the paper's `log n`-approximation backbone (Theorem 1).
 //! [`McsOptions`] selects the algorithm, the [`mcs::FaultPolicy`] and the
-//! observation sinks (DESIGN.md §8); the old
-//! `greedy`/`try_greedy`/`resilient_covering_schedule` triple remains as
-//! deprecated shims over it.
+//! observation sinks (DESIGN.md §8); it is the only covering-schedule
+//! entry point — the pre-0.1 `greedy`/`try_greedy`/
+//! `resilient_covering_schedule` shims were removed.
 //!
 //! ## Observability
 //!
@@ -63,10 +63,6 @@ pub use local_search::{improve_schedule, ImprovementReport};
 pub use mcs::{
     covering_schedule, covering_schedule_with, CoveringSchedule, FaultPolicy, McsOptions, McsRun,
     ResilientSchedule, ScheduleError, SlotRecord,
-};
-#[allow(deprecated)]
-pub use mcs::{
-    greedy_covering_schedule, resilient_covering_schedule, try_greedy_covering_schedule,
 };
 pub use multichannel::{
     multichannel_covering_schedule, ChannelAssignment, MultiChannelGreedy, MultiChannelSchedule,

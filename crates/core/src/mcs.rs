@@ -337,8 +337,9 @@ impl McsRun {
 
 /// Runs the greedy covering-schedule loop, instantiating the one-shot
 /// scheduler selected by [`McsOptions::algorithm`]. This is the single
-/// entry point replacing `greedy_covering_schedule`,
-/// `try_greedy_covering_schedule` and `resilient_covering_schedule`.
+/// entry point for strict, fallible and resilient runs alike; the
+/// pre-0.1 `greedy`/`try_greedy`/`resilient_covering_schedule` triple it
+/// replaced has been removed.
 ///
 /// ```
 /// use rfid_core::{covering_schedule, AlgorithmKind, McsOptions};
@@ -609,40 +610,9 @@ pub fn covering_schedule_with(
     })
 }
 
-/// Runs the greedy covering-schedule loop with the given one-shot
-/// scheduler, panicking on stall or budget exhaustion.
-#[deprecated(
-    since = "0.1.0",
-    note = "use covering_schedule_with with McsOptions (strict policy panics become Err)"
-)]
-pub fn greedy_covering_schedule(
-    deployment: &Deployment,
-    coverage: &Coverage,
-    graph: &Csr,
-    scheduler: &mut dyn OneShotScheduler,
-    max_slots: usize,
-) -> CoveringSchedule {
-    let options = McsOptions::new().max_slots(max_slots);
-    covering_schedule_with(deployment, coverage, graph, scheduler, &options)
-        .map(|run| run.schedule)
-        .unwrap_or_else(|e| panic!("{e}"))
-}
-
-/// The fallible form of [`greedy_covering_schedule`].
-#[deprecated(since = "0.1.0", note = "use covering_schedule_with with McsOptions")]
-pub fn try_greedy_covering_schedule(
-    deployment: &Deployment,
-    coverage: &Coverage,
-    graph: &Csr,
-    scheduler: &mut dyn OneShotScheduler,
-    max_slots: usize,
-) -> Result<CoveringSchedule, ScheduleError> {
-    let options = McsOptions::new().max_slots(max_slots);
-    covering_schedule_with(deployment, coverage, graph, scheduler, &options).map(|run| run.schedule)
-}
-
-/// Outcome of a [`resilient_covering_schedule`] run: the schedule plus an
-/// account of every degradation the loop absorbed.
+/// Outcome of a resilient (`McsOptions::resilient`) run flattened into a
+/// plain struct: the schedule plus an account of every degradation the
+/// loop absorbed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResilientSchedule {
     /// The (possibly partial) covering schedule; every slot is feasible.
@@ -661,29 +631,6 @@ impl ResilientSchedule {
     /// `true` when every coverable tag was served despite the faults.
     pub fn complete(&self) -> bool {
         self.abandoned_tags.is_empty()
-    }
-}
-
-/// The crash-tolerant covering-schedule loop.
-#[deprecated(
-    since = "0.1.0",
-    note = "use covering_schedule_with with McsOptions::new().resilient()"
-)]
-pub fn resilient_covering_schedule(
-    deployment: &Deployment,
-    coverage: &Coverage,
-    graph: &Csr,
-    scheduler: &mut dyn OneShotScheduler,
-    max_slots: usize,
-) -> ResilientSchedule {
-    let options = McsOptions::new().max_slots(max_slots).resilient();
-    let run = covering_schedule_with(deployment, coverage, graph, scheduler, &options)
-        .expect("resilient runs never error");
-    ResilientSchedule {
-        schedule: run.schedule,
-        repaired_pairs: run.repaired_pairs,
-        crashed_dropped: run.crashed_dropped,
-        abandoned_tags: run.abandoned_tags,
     }
 }
 
@@ -955,27 +902,6 @@ mod tests {
             res.schedule.tags_served() + res.abandoned_tags.len(),
             c.coverable_count()
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_unified_entry_point() {
-        let d = small_scenario(5);
-        let c = Coverage::build(&d);
-        let g = interference_graph(&d);
-        let via_shim = greedy_covering_schedule(&d, &c, &g, &mut HillClimbing::default(), 10_000);
-        let via_new = greedy(&d, &c, &g, &mut HillClimbing::default(), 10_000);
-        assert_eq!(via_shim, via_new);
-        let res_shim =
-            resilient_covering_schedule(&d, &c, &g, &mut HillClimbing::default(), 10_000);
-        let res_new = resilient(&d, &c, &g, &mut HillClimbing::default(), 10_000);
-        assert_eq!(res_shim.schedule, res_new.schedule);
-        assert_eq!(res_shim.repaired_pairs, res_new.repaired_pairs);
-        assert_eq!(res_shim.crashed_dropped, res_new.crashed_dropped);
-        assert_eq!(res_shim.abandoned_tags, res_new.abandoned_tags);
-        let try_shim =
-            try_greedy_covering_schedule(&d, &c, &g, &mut HillClimbing::default(), 10_000);
-        assert_eq!(try_shim.unwrap(), via_new);
     }
 
     #[test]

@@ -18,8 +18,11 @@
 //!    reject, never a hang or a silent drop), per-request deadlines and
 //!    graceful drain-then-stop shutdown.
 //! 4. **Protocol** ([`protocol`], [`server`]) — JSON-lines over TCP
-//!    (`std::net` only, per the vendored-offline policy) plus an
-//!    in-process [`Client`] and a blocking [`TcpClient`].
+//!    (`std::net` only, per the vendored-offline policy), served by a
+//!    nonblocking readiness loop ([`reactor`]) with request pipelining,
+//!    and consumed through one unified [`ClientBuilder`] /
+//!    [`ServeClient`] surface ([`client`]) over in-process, TCP and
+//!    failover transports.
 //! 5. **Durability + replication** (DESIGN.md §10) — an append-only
 //!    checksummed journal with compacted snapshots over an injectable
 //!    [`Storage`] trait ([`storage`], [`journal`], [`snapshot`]), so a
@@ -27,6 +30,11 @@
 //!    journal prefix; push-only cache gossip between peer daemons and a
 //!    client-side [`FailoverClient`] that retries idempotent requests
 //!    against the next peer ([`replicate`]).
+//! 6. **Sharding** ([`ring`], [`router`]) — a consistent-hash ring over
+//!    the FNV-1a content keys and a thin `mrrfid route` process that
+//!    fans requests out across N daemon instances, with stats
+//!    aggregation and gossip partitioning, so cache capacity and solve
+//!    throughput scale horizontally.
 //!
 //! The **determinism contract**: a response payload is the canonical
 //! JSON of a [`ScheduleOutcome`] and contains no wall-clock data, so a
@@ -38,24 +46,33 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod client;
 pub mod codec;
 pub mod journal;
 pub mod protocol;
 pub mod queue;
+pub mod reactor;
 pub mod replicate;
+pub mod ring;
+pub mod router;
 pub mod server;
 pub mod service;
 pub mod snapshot;
 pub mod storage;
 
 pub use cache::{CacheStats, ScheduleCache};
+pub use client::{BuiltClient, ClientBuilder, ServeClient};
 pub use codec::{canonical_json, decode_job, fnv1a64, CanonicalJob, CodecError, JobSpec, Workload};
 pub use journal::{DurableStats, DurableStore, RecoveryReport, ReplayReport};
-pub use protocol::{FrameRead, GossipEntry, Request, Response, ServiceStats};
+pub use protocol::{FrameRead, GossipEntry, Request, Response, ServiceStats, PROTOCOL_VERSION};
 pub use queue::{PushError, ResponseSlot, WorkQueue};
 pub use replicate::{FailoverClient, FailoverPolicy, Replicator};
+pub use ring::HashRing;
+pub use router::{Router, RouterConfig};
 pub use server::{ClientError, Server, TcpClient};
+#[allow(deprecated)]
+pub use service::Client;
 pub use service::{
-    Client, ScheduleOutcome, ScheduleReply, ServeConfig, Service, ServiceError, SlotSummary,
+    ScheduleOutcome, ScheduleReply, ServeConfig, Service, ServiceError, SlotSummary, Submission,
 };
 pub use storage::{DiskStorage, FaultyStorage, Storage, StorageFaults};

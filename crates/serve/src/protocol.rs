@@ -23,6 +23,26 @@ use std::io::{BufRead, Write};
 
 use crate::codec::JobSpec;
 
+/// The protocol generation this build speaks.
+///
+/// * **v1** — the PR-4/PR-5 wire format: no `v` field anywhere. Frames
+///   without a `v` field parse as `None` and are treated as v1.
+/// * **v2** — adds the optional `v` field on [`Request::Schedule`] /
+///   [`Request::Gossip`], the [`Request::Hello`] negotiation frame and
+///   request pipelining (many in-flight requests per connection,
+///   responses strictly in request order).
+///
+/// Servers answer frames claiming a **newer** major generation with a
+/// structured [`CODE_UPGRADE_REQUIRED`] error instead of guessing;
+/// older (or absent) versions are always accepted — the format is
+/// backward compatible by construction (new fields are optional).
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// The frame declared a protocol version newer than this server speaks
+/// (HTTP 426 Upgrade Required): upgrade the server or downgrade the
+/// client.
+pub const CODE_UPGRADE_REQUIRED: u16 = 426;
+
 /// Admission reject: the work queue is full (backpressure) — retry
 /// later.
 pub const CODE_QUEUE_FULL: u16 = 429;
@@ -55,6 +75,14 @@ pub struct GossipEntry {
 /// Client→server frames.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
+    /// Explicit version negotiation: the client declares the protocol
+    /// generation it speaks. Servers answer [`Response::HelloAck`] with
+    /// their own [`PROTOCOL_VERSION`], or a [`CODE_UPGRADE_REQUIRED`]
+    /// error when the client is newer than they can serve.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        v: u32,
+    },
     /// Solve (or fetch from cache) one scheduling job.
     Schedule {
         /// The job to schedule.
@@ -67,6 +95,11 @@ pub enum Request {
         /// counts the repeat as a dedup instead of fresh demand.
         /// Optional on the wire: frames without it parse as `None`.
         request_id: Option<String>,
+        /// Protocol version the sender speaks. Optional on the wire:
+        /// v1 frames (no field) parse as `None` and are always served;
+        /// a version newer than [`PROTOCOL_VERSION`] draws a
+        /// [`CODE_UPGRADE_REQUIRED`] error frame.
+        v: Option<u32>,
     },
     /// Replicate cache entries from a peer daemon. Entries are applied
     /// idempotently and are **not** re-gossiped (push fan-out only, no
@@ -74,6 +107,9 @@ pub enum Request {
     Gossip {
         /// The entries to apply.
         entries: Vec<GossipEntry>,
+        /// Protocol version of the gossiping peer (same rules as
+        /// [`Request::Schedule::v`]).
+        v: Option<u32>,
     },
     /// Fetch service counters and the recorder's metrics snapshot.
     Stats,
@@ -82,9 +118,28 @@ pub enum Request {
     Shutdown,
 }
 
+/// Checks a frame's declared protocol version. Returns the structured
+/// [`CODE_UPGRADE_REQUIRED`] error frame to send when the peer speaks a
+/// newer generation than this build; `None` means the frame is
+/// serveable (absent version = v1, always accepted).
+pub fn version_gate(v: Option<u32>) -> Option<Response> {
+    match v {
+        Some(v) if v > PROTOCOL_VERSION => Some(Response::Error {
+            code: CODE_UPGRADE_REQUIRED,
+            message: format!("frame speaks protocol v{v}, this server speaks v{PROTOCOL_VERSION}"),
+        }),
+        _ => None,
+    }
+}
+
 /// Server→client frames.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Response {
+    /// Acknowledges a [`Request::Hello`] with the server's version.
+    HelloAck {
+        /// The server's [`PROTOCOL_VERSION`].
+        v: u32,
+    },
     /// A solved (or cached) schedule.
     Schedule {
         /// The job's content key as fixed-width hex — the cache address.
@@ -249,16 +304,21 @@ mod tests {
     #[test]
     fn request_frames_round_trip() {
         for frame in [
+            Request::Hello {
+                v: PROTOCOL_VERSION,
+            },
             Request::Schedule {
                 job: job(),
                 deadline_ms: Some(250),
                 request_id: Some("client-1-7".into()),
+                v: Some(PROTOCOL_VERSION),
             },
             Request::Gossip {
                 entries: vec![GossipEntry {
                     key: "00ff".into(),
                     payload: r#"{"slots":3}"#.into(),
                 }],
+                v: Some(PROTOCOL_VERSION),
             },
             Request::Stats,
             Request::Shutdown,
@@ -273,20 +333,40 @@ mod tests {
 
     #[test]
     fn pre_failover_schedule_frames_still_parse() {
-        // A frame from an older peer, without request_id.
+        // A v1 frame from an older peer: no request_id, no v field.
         let line = r#"{"Schedule":{"job":null,"deadline_ms":null}}"#
             .replace("null,", "JOB,")
             .replace("JOB", &serde_json::to_string(&job()).unwrap());
         let back: Request = decode_frame(&line).unwrap();
         match back {
-            Request::Schedule { request_id, .. } => assert_eq!(request_id, None),
+            Request::Schedule { request_id, v, .. } => {
+                assert_eq!(request_id, None);
+                assert_eq!(v, None, "absent version parses as v1");
+            }
             other => panic!("wrong frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_gate_accepts_current_and_older_rejects_newer() {
+        assert_eq!(version_gate(None), None);
+        assert_eq!(version_gate(Some(1)), None);
+        assert_eq!(version_gate(Some(PROTOCOL_VERSION)), None);
+        match version_gate(Some(PROTOCOL_VERSION + 1)) {
+            Some(Response::Error { code, message }) => {
+                assert_eq!(code, CODE_UPGRADE_REQUIRED);
+                assert!(message.contains(&format!("v{PROTOCOL_VERSION}")));
+            }
+            other => panic!("expected 426 error frame, got {other:?}"),
         }
     }
 
     #[test]
     fn response_frames_round_trip() {
         for frame in [
+            Response::HelloAck {
+                v: PROTOCOL_VERSION,
+            },
             Response::Schedule {
                 key: "00ff".into(),
                 cached: true,

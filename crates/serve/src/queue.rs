@@ -160,6 +160,31 @@ impl<T> ResponseSlot<T> {
         )
     }
 
+    /// Non-blocking poll: takes the result if it is in, else returns
+    /// `None` with the slot left pending. This is the reactor's wait
+    /// primitive — the event loop polls slots between socket scans
+    /// instead of parking a thread per request.
+    pub fn try_take(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("slot poisoned");
+        if let SlotState::Done(_) = *state {
+            match std::mem::replace(&mut *state, SlotState::Abandoned) {
+                SlotState::Done(value) => Some(value),
+                _ => unreachable!("matched Done above"),
+            }
+        } else {
+            None
+        }
+    }
+
+    /// Gives up on the slot without blocking: a result delivered later
+    /// is discarded, exactly as after a [`wait`](Self::wait) timeout.
+    pub fn abandon(&self) {
+        let mut state = self.state.lock().expect("slot poisoned");
+        if matches!(*state, SlotState::Pending) {
+            *state = SlotState::Abandoned;
+        }
+    }
+
     /// Blocks for the result, up to `deadline` when one is given.
     /// `None` means the deadline expired — the slot flips to abandoned
     /// so a late [`fulfill`](Self::fulfill) is discarded, never leaked
@@ -272,5 +297,24 @@ mod tests {
         let slot = ResponseSlot::new();
         assert!(slot.fulfill(7));
         assert_eq!(slot.wait(None), Some(7));
+    }
+
+    #[test]
+    fn try_take_polls_without_blocking() {
+        let slot = ResponseSlot::new();
+        assert_eq!(slot.try_take(), None);
+        assert_eq!(slot.try_take(), None, "polling leaves the slot pending");
+        assert!(slot.fulfill(9));
+        assert_eq!(slot.try_take(), Some(9));
+        assert_eq!(slot.try_take(), None, "one-shot: taken at most once");
+    }
+
+    #[test]
+    fn abandon_discards_late_results_like_a_timeout() {
+        let slot = ResponseSlot::new();
+        slot.abandon();
+        assert!(slot.is_abandoned());
+        assert!(!slot.fulfill(42), "late result must be discarded");
+        assert_eq!(slot.try_take(), None);
     }
 }

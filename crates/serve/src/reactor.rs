@@ -1,0 +1,615 @@
+//! A zero-dependency nonblocking readiness loop with request pipelining.
+//!
+//! The PR-4 daemon parked one thread per connection in a blocking read
+//! — fine at tens of clients, a wall at thousands (a stack and a
+//! scheduler slot per idle socket, a 200 ms poll tick per read). This
+//! module replaces that with **one** event thread over nonblocking
+//! `std::net` sockets (per the vendored-offline policy: no mio, no
+//! epoll binding — a readiness *scan* with an idle sleep, which on
+//! loopback benches within noise of a real poller for the connection
+//! counts we target):
+//!
+//! * Each connection owns a read buffer and a write buffer. The loop
+//!   try-reads every socket, slices complete JSON lines out of the read
+//!   buffer, and hands them to the [`FrameHandler`].
+//! * The handler answers [`Reply::Now`] (bytes ready — a cache hit, an
+//!   admission error) or [`Reply::Pending`] (a poll object — the job is
+//!   queued behind the worker pool). Replies join a per-connection FIFO
+//!   and are flushed **strictly in request order**, so clients may
+//!   pipeline many requests on one connection and still match
+//!   responses to requests positionally — the protocol's ordering
+//!   guarantee, now load-bearing.
+//! * Backpressure is structural: a connection with [`MAX_PIPELINE`]
+//!   undelivered replies is not read from until its queue drains, so a
+//!   client that floods requests fills its own TCP window, not our
+//!   memory.
+//!
+//! The worker pool is untouched: solving still happens on
+//! [`crate::WorkQueue`] workers; the reactor polls each job's
+//! [`crate::ResponseSlot`] (via the handler's pending closure) between
+//! socket scans instead of blocking a thread on it.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Undelivered replies per connection before the reactor stops reading
+/// from it (resumes as the queue drains).
+pub const MAX_PIPELINE: usize = 1024;
+
+/// Read-buffer cap per connection: a single line longer than this is a
+/// protocol abuse and drops the connection.
+const MAX_LINE_BYTES: usize = 32 * 1024 * 1024;
+
+/// How long the final drain (flush-out after `finish`) may take before
+/// remaining connections are dropped.
+const DRAIN_CAP: Duration = Duration::from_secs(10);
+
+/// Sleep when a full scan made no progress (no readable socket, no
+/// writable byte, no resolved reply). Short enough that a worker
+/// finishing a solve is picked up promptly; long enough that an idle
+/// daemon burns no measurable CPU.
+const IDLE_SLEEP: Duration = Duration::from_micros(500);
+
+/// One response, possibly not ready yet.
+pub enum Reply {
+    /// The full response frame (newline-terminated), ready to send.
+    Now(String),
+    /// The response is being produced (a queued solve); the reactor
+    /// polls the object each pass until it yields the frame.
+    Pending(Box<dyn PendingReply>),
+}
+
+/// A reply still in flight: polled by the event loop between socket
+/// scans. Implementations must be cheap (a `try_take` on a slot plus a
+/// deadline check) and must eventually yield — the deadline path exists
+/// precisely so an abandoned solve still answers with a `504` frame.
+pub trait PendingReply: Send {
+    /// `Some(frame)` once the response bytes are ready.
+    fn poll(&mut self) -> Option<String>;
+}
+
+impl<F: FnMut() -> Option<String> + Send> PendingReply for F {
+    fn poll(&mut self) -> Option<String> {
+        self()
+    }
+}
+
+/// What the handler wants done with one request line.
+pub enum Action {
+    /// Queue the reply on this connection.
+    Reply(Reply),
+    /// Queue the reply, then close the connection once it is flushed
+    /// (fatal protocol abuse).
+    ReplyClose(Reply),
+    /// Queue the reply (typically `Bye`), then initiate process-wide
+    /// shutdown. The reactor keeps flushing so the reply is delivered;
+    /// the owner observes the shutdown request and tears down.
+    ReplyShutdown(Reply),
+}
+
+/// The application half of the event loop: turns one request line into
+/// an [`Action`]. One instance is shared by every connection, so
+/// implementations hold their state behind `Arc`s (the daemon's handler
+/// wraps [`crate::Service`], the router's wraps its forwarding pool).
+pub trait FrameHandler: Send + Sync + 'static {
+    /// Handles one complete, newline-stripped request line.
+    fn on_line(&self, line: &str) -> Action;
+
+    /// The frame sent in place of a reply still pending when the final
+    /// drain gives up on it (shutdown with the result not ready).
+    fn drain_fallback(&self) -> String;
+}
+
+enum Slot {
+    Ready(String),
+    Pending(Box<dyn PendingReply>),
+}
+
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet parsed into lines.
+    rdbuf: Vec<u8>,
+    /// Offset into `rdbuf` already scanned for a newline.
+    scanned: usize,
+    /// Bytes of encoded replies not yet written to the socket.
+    wrbuf: Vec<u8>,
+    /// Replies not yet moved into `wrbuf`, strictly in request order.
+    replies: VecDeque<Slot>,
+    /// Peer half-closed its write side: serve what is buffered, flush,
+    /// then drop.
+    eof: bool,
+    /// Close once every queued reply is flushed.
+    close_after_flush: bool,
+    /// Socket error or protocol abuse: drop now.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            rdbuf: Vec::new(),
+            scanned: 0,
+            wrbuf: Vec::new(),
+            replies: VecDeque::new(),
+            eof: false,
+            close_after_flush: false,
+            dead: false,
+        }
+    }
+
+    fn drained(&self) -> bool {
+        self.replies.is_empty() && self.wrbuf.is_empty()
+    }
+}
+
+struct Flags {
+    /// Stop accepting connections and stop reading new frames.
+    stop: AtomicBool,
+    /// Resolve leftovers, flush, exit.
+    finish: AtomicBool,
+    /// A handler returned [`Action::ReplyShutdown`].
+    shutdown_seen: AtomicBool,
+    /// Connections accepted over the reactor's lifetime.
+    accepted: AtomicU64,
+}
+
+/// The running event loop. Owns the listener and every connection;
+/// dropped (or [`Reactor::stop`]ped) it resolves outstanding replies,
+/// flushes and exits.
+pub struct Reactor {
+    flags: Arc<Flags>,
+    addr: SocketAddr,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Reactor {
+    /// Starts the event thread over a bound listener.
+    pub fn spawn<H: FrameHandler>(
+        listener: TcpListener,
+        handler: Arc<H>,
+    ) -> std::io::Result<Reactor> {
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let flags = Arc::new(Flags {
+            stop: AtomicBool::new(false),
+            finish: AtomicBool::new(false),
+            shutdown_seen: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+        });
+        let loop_flags = Arc::clone(&flags);
+        let handle = std::thread::Builder::new()
+            .name("serve-reactor".into())
+            .spawn(move || event_loop(listener, handler, &loop_flags))?;
+        Ok(Reactor {
+            flags,
+            addr,
+            handle: Some(handle),
+        })
+    }
+
+    /// The listener's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `true` once a connection sent a shutdown-requesting frame.
+    pub fn shutdown_requested(&self) -> bool {
+        self.flags.shutdown_seen.load(Ordering::SeqCst)
+    }
+
+    /// Connections accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.flags.accepted.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting connections and reading new frames. Already
+    /// queued replies keep flushing. Idempotent.
+    pub fn pause_intake(&self) {
+        self.flags.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Ends the loop: intake stops, every pending reply is given one
+    /// last poll (the handler's drain fallback answers for any still
+    /// not ready), buffers are flushed (bounded by an internal cap) and
+    /// the thread exits. Blocks until it has.
+    pub fn stop(mut self) {
+        self.flags.stop.store(true, Ordering::SeqCst);
+        self.flags.finish.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        self.flags.stop.store(true, Ordering::SeqCst);
+        self.flags.finish.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn event_loop<H: FrameHandler>(listener: TcpListener, handler: Arc<H>, flags: &Flags) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut drain_started: Option<Instant> = None;
+    loop {
+        let finishing = flags.finish.load(Ordering::SeqCst);
+        if finishing && drain_started.is_none() {
+            drain_started = Some(Instant::now());
+            for conn in &mut conns {
+                resolve_for_drain(conn, handler.as_ref());
+            }
+        }
+        let mut progress = false;
+
+        if !flags.stop.load(Ordering::SeqCst) {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        flags.accepted.fetch_add(1, Ordering::SeqCst);
+                        conns.push(Conn::new(stream));
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(_) => break, // transient (EMFILE, aborted handshake)
+                }
+            }
+        }
+
+        let reading_allowed = !flags.stop.load(Ordering::SeqCst);
+        for conn in &mut conns {
+            if conn.dead {
+                continue;
+            }
+            if reading_allowed && !conn.close_after_flush {
+                progress |= read_and_dispatch(conn, handler.as_ref(), flags);
+            }
+            progress |= pump_replies(conn);
+            progress |= flush(conn);
+        }
+        // A connection is kept unless it died, or finished a requested
+        // close, or hit EOF with nothing left to answer or parse.
+        conns.retain(|c| {
+            let closed = c.close_after_flush && c.drained();
+            let exhausted = c.eof && c.drained() && c.scanned >= c.rdbuf.len();
+            !(c.dead || closed || exhausted)
+        });
+
+        if finishing {
+            let done = conns.iter().all(|c| c.drained());
+            let capped = drain_started
+                .map(|t| t.elapsed() > DRAIN_CAP)
+                .unwrap_or(true);
+            if done || capped {
+                return;
+            }
+        }
+        if !progress {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+}
+
+/// Nonblocking read + line dispatch. Returns `true` on any progress.
+fn read_and_dispatch<H: FrameHandler>(conn: &mut Conn, handler: &H, flags: &Flags) -> bool {
+    if conn.replies.len() >= MAX_PIPELINE {
+        return false; // backpressure: let the client's TCP window fill
+    }
+    let mut buf = [0u8; 16 * 1024];
+    let mut progress = false;
+    while !conn.eof {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                conn.eof = true;
+                progress = true;
+                break;
+            }
+            Ok(n) => {
+                conn.rdbuf.extend_from_slice(&buf[..n]);
+                progress = true;
+                if conn.rdbuf.len() > MAX_LINE_BYTES {
+                    conn.dead = true;
+                    return true;
+                }
+                if conn.replies.len() >= MAX_PIPELINE {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return true;
+            }
+        }
+    }
+    // Slice out complete lines; partial tail stays buffered.
+    while let Some(nl) = find_newline(conn) {
+        let line: Vec<u8> = conn.rdbuf.drain(..=nl).collect();
+        conn.scanned = 0;
+        let line = String::from_utf8_lossy(&line);
+        if line.trim().is_empty() {
+            continue;
+        }
+        progress = true;
+        let action = handler.on_line(&line);
+        let reply = match action {
+            Action::Reply(r) => r,
+            Action::ReplyClose(r) => {
+                conn.close_after_flush = true;
+                r
+            }
+            Action::ReplyShutdown(r) => {
+                flags.shutdown_seen.store(true, Ordering::SeqCst);
+                r
+            }
+        };
+        conn.replies.push_back(match reply {
+            Reply::Now(frame) => Slot::Ready(frame),
+            Reply::Pending(p) => Slot::Pending(p),
+        });
+        if conn.close_after_flush {
+            break; // nothing after a fatal frame is served
+        }
+    }
+    progress
+}
+
+fn find_newline(conn: &mut Conn) -> Option<usize> {
+    let start = conn.scanned;
+    match conn.rdbuf[start..].iter().position(|&b| b == b'\n') {
+        Some(off) => Some(start + off),
+        None => {
+            conn.scanned = conn.rdbuf.len();
+            None
+        }
+    }
+}
+
+/// Moves ready replies (in order) from the FIFO into the write buffer.
+/// A pending head blocks everything behind it — that is the ordering
+/// guarantee.
+fn pump_replies(conn: &mut Conn) -> bool {
+    let mut progress = false;
+    while let Some(head) = conn.replies.front_mut() {
+        match head {
+            Slot::Ready(frame) => {
+                conn.wrbuf.extend_from_slice(frame.as_bytes());
+                conn.replies.pop_front();
+                progress = true;
+            }
+            Slot::Pending(p) => match p.poll() {
+                Some(frame) => {
+                    conn.wrbuf.extend_from_slice(frame.as_bytes());
+                    conn.replies.pop_front();
+                    progress = true;
+                }
+                None => break,
+            },
+        }
+    }
+    progress
+}
+
+fn flush(conn: &mut Conn) -> bool {
+    let mut progress = false;
+    while !conn.wrbuf.is_empty() {
+        match conn.stream.write(&conn.wrbuf) {
+            Ok(0) => {
+                conn.dead = true;
+                return true;
+            }
+            Ok(n) => {
+                conn.wrbuf.drain(..n);
+                progress = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return true;
+            }
+        }
+    }
+    progress
+}
+
+/// Final-drain policy: each pending reply gets one last poll; those
+/// still unresolved answer with the handler's fallback frame (the
+/// worker that would have fulfilled them is gone or going).
+fn resolve_for_drain<H: FrameHandler>(conn: &mut Conn, handler: &H) {
+    for slot in conn.replies.iter_mut() {
+        if let Slot::Pending(p) = slot {
+            let frame = p.poll().unwrap_or_else(|| handler.drain_fallback());
+            *slot = Slot::Ready(frame);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+    use std::sync::Mutex;
+
+    /// Echoes `ok:<line>`; `slow:<n>` answers after `n` polls; `close`
+    /// closes; `stop` requests shutdown.
+    struct EchoHandler {
+        polls_left: Mutex<Vec<u32>>,
+    }
+
+    impl FrameHandler for EchoHandler {
+        fn on_line(&self, line: &str) -> Action {
+            let line = line.trim().to_string();
+            if line == "close" {
+                return Action::ReplyClose(Reply::Now("bye\n".into()));
+            }
+            if line == "stop" {
+                return Action::ReplyShutdown(Reply::Now("stopping\n".into()));
+            }
+            if let Some(n) = line.strip_prefix("slow:") {
+                let mut left: u32 = n.parse().unwrap();
+                let tag = line.clone();
+                return Action::Reply(Reply::Pending(Box::new(move || {
+                    if left == 0 {
+                        Some(format!("ok:{tag}\n"))
+                    } else {
+                        left -= 1;
+                        None
+                    }
+                })));
+            }
+            self.polls_left.lock().unwrap().push(0);
+            Action::Reply(Reply::Now(format!("ok:{line}\n")))
+        }
+
+        fn drain_fallback(&self) -> String {
+            "drained\n".into()
+        }
+    }
+
+    fn echo_reactor() -> (Reactor, String) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handler = Arc::new(EchoHandler {
+            polls_left: Mutex::new(Vec::new()),
+        });
+        let reactor = Reactor::spawn(listener, handler).unwrap();
+        let addr = reactor.addr().to_string();
+        (reactor, addr)
+    }
+
+    #[test]
+    fn round_trips_one_frame() {
+        let (reactor, addr) = echo_reactor();
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut reader = BufReader::new(stream);
+        reader.get_mut().write_all(b"hello\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "ok:hello\n");
+        reactor.stop();
+    }
+
+    #[test]
+    fn pipelined_frames_answer_in_request_order_despite_slow_heads() {
+        let (reactor, addr) = echo_reactor();
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut reader = BufReader::new(stream);
+        // The slow head must NOT be overtaken by the fast followers.
+        reader
+            .get_mut()
+            .write_all(b"slow:40\nfast1\nfast2\nslow:2\nfast3\n")
+            .unwrap();
+        let mut lines = Vec::new();
+        for _ in 0..5 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            lines.push(line.trim().to_string());
+        }
+        assert_eq!(
+            lines,
+            vec![
+                "ok:slow:40",
+                "ok:fast1",
+                "ok:fast2",
+                "ok:slow:2",
+                "ok:fast3"
+            ]
+        );
+        reactor.stop();
+    }
+
+    #[test]
+    fn many_connections_multiplex_on_one_thread() {
+        let (reactor, addr) = echo_reactor();
+        let mut readers: Vec<BufReader<TcpStream>> = (0..32)
+            .map(|_| BufReader::new(TcpStream::connect(&addr).unwrap()))
+            .collect();
+        for (i, r) in readers.iter_mut().enumerate() {
+            r.get_mut()
+                .write_all(format!("conn{i}\n").as_bytes())
+                .unwrap();
+        }
+        for (i, r) in readers.iter_mut().enumerate().rev() {
+            let mut line = String::new();
+            r.read_line(&mut line).unwrap();
+            assert_eq!(line, format!("ok:conn{i}\n"));
+        }
+        reactor.stop();
+    }
+
+    #[test]
+    fn reply_close_flushes_then_drops() {
+        let (reactor, addr) = echo_reactor();
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut reader = BufReader::new(stream);
+        reader.get_mut().write_all(b"close\nafter\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "bye\n");
+        // The connection is closed; "after" is never served.
+        let mut rest = String::new();
+        reader.read_line(&mut rest).unwrap();
+        assert_eq!(rest, "", "EOF after the fatal frame");
+        reactor.stop();
+    }
+
+    #[test]
+    fn shutdown_action_raises_the_flag_and_still_delivers_the_reply() {
+        let (reactor, addr) = echo_reactor();
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut reader = BufReader::new(stream);
+        reader.get_mut().write_all(b"stop\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "stopping\n");
+        assert!(reactor.shutdown_requested());
+        reactor.stop();
+    }
+
+    #[test]
+    fn finish_resolves_unready_pendings_with_the_fallback() {
+        let (reactor, addr) = echo_reactor();
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut reader = BufReader::new(stream);
+        // A reply that would take ~forever (1e9 polls) to resolve.
+        reader.get_mut().write_all(b"slow:1000000000\n").unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        reactor.stop(); // must not hang: fallback answers
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "drained\n");
+    }
+
+    #[test]
+    fn half_close_still_gets_all_responses() {
+        let (reactor, addr) = echo_reactor();
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut reader = BufReader::new(stream);
+        reader.get_mut().write_all(b"a\nslow:5\nb\n").unwrap();
+        reader
+            .get_mut()
+            .shutdown(std::net::Shutdown::Write)
+            .unwrap();
+        let mut lines = Vec::new();
+        for _ in 0..3 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            lines.push(line.trim().to_string());
+        }
+        assert_eq!(lines, vec!["ok:a", "ok:slow:5", "ok:b"]);
+        reactor.stop();
+    }
+}

@@ -199,11 +199,31 @@ static CLIENT_COUNTER: AtomicU64 = AtomicU64::new(0);
 impl FailoverClient {
     /// A client over `peers` (tried in order, wrapping) with the default
     /// policy.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use ClientBuilder::new().addrs(peers).build()"
+    )]
     pub fn new(peers: Vec<String>) -> FailoverClient {
+        Self::from_parts(peers, FailoverPolicy::default())
+    }
+
+    /// Overrides the retry policy.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use ClientBuilder::new().addrs(peers).policy(policy).build()"
+    )]
+    pub fn with_policy(mut self, policy: FailoverPolicy) -> FailoverClient {
+        self.policy = policy;
+        self
+    }
+
+    /// The [`crate::ClientBuilder`]'s constructor: peers plus policy in
+    /// one step, no deprecation churn in-tree.
+    pub(crate) fn from_parts(peers: Vec<String>, policy: FailoverPolicy) -> FailoverClient {
         assert!(!peers.is_empty(), "failover needs at least one peer");
         FailoverClient {
             peers,
-            policy: FailoverPolicy::default(),
+            policy,
             client_id: format!(
                 "c{}-{}",
                 std::process::id(),
@@ -211,12 +231,6 @@ impl FailoverClient {
             ),
             seq: AtomicU64::new(0),
         }
-    }
-
-    /// Overrides the retry policy.
-    pub fn with_policy(mut self, policy: FailoverPolicy) -> FailoverClient {
-        self.policy = policy;
-        self
     }
 
     /// The peer list, in preference order.
@@ -231,11 +245,25 @@ impl FailoverClient {
         job: &JobSpec,
         deadline_ms: Option<u64>,
     ) -> Result<ScheduleReply, ClientError> {
-        let request_id = format!(
-            "{}-{}",
-            self.client_id,
-            self.seq.fetch_add(1, Ordering::Relaxed)
-        );
+        self.schedule_as(job, deadline_ms, None)
+    }
+
+    /// [`schedule`](Self::schedule) with a caller-chosen request id
+    /// (generated per call when `None`) — the [`crate::ServeClient`]
+    /// entry point.
+    pub(crate) fn schedule_as(
+        &self,
+        job: &JobSpec,
+        deadline_ms: Option<u64>,
+        request_id: Option<&str>,
+    ) -> Result<ScheduleReply, ClientError> {
+        let request_id = request_id.map(String::from).unwrap_or_else(|| {
+            format!(
+                "{}-{}",
+                self.client_id,
+                self.seq.fetch_add(1, Ordering::Relaxed)
+            )
+        });
         let mut last: Option<ClientError> = None;
         for attempt in 0..self.policy.attempts {
             if attempt > 0 {
@@ -318,7 +346,7 @@ mod tests {
             l.local_addr().unwrap().to_string()
         };
         let client =
-            FailoverClient::new(vec![dead, server.addr().to_string()]).with_policy(fast_policy());
+            FailoverClient::from_parts(vec![dead, server.addr().to_string()], fast_policy());
         let reply = client.schedule(&small_job(1), None).unwrap();
         assert!(!reply.cached);
         server.shutdown();
@@ -330,11 +358,14 @@ mod tests {
             let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
             l.local_addr().unwrap().to_string()
         };
-        let client = FailoverClient::new(vec![dead]).with_policy(FailoverPolicy {
-            attempts: 2,
-            backoff: Duration::from_millis(1),
-            max_backoff: Duration::from_millis(2),
-        });
+        let client = FailoverClient::from_parts(
+            vec![dead],
+            FailoverPolicy {
+                attempts: 2,
+                backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+            },
+        );
         let err = client.schedule(&small_job(1), None).unwrap_err();
         assert!(matches!(err, ClientError::Io(_)), "{err}");
     }
@@ -342,8 +373,7 @@ mod tests {
     #[test]
     fn deterministic_errors_do_not_fail_over() {
         let server = Server::start("127.0.0.1:0", quick()).unwrap();
-        let client =
-            FailoverClient::new(vec![server.addr().to_string()]).with_policy(fast_policy());
+        let client = FailoverClient::from_parts(vec![server.addr().to_string()], fast_policy());
         let mut job = small_job(1);
         job.algorithm = "quantum-annealing".into();
         let err = client.schedule(&job, None).unwrap_err();

@@ -1,0 +1,171 @@
+//! A consistent-hash ring over the FNV-1a content-key space.
+//!
+//! The router places [`VNODES`] virtual points per shard on the u64
+//! ring (hashing `"{addr}#{i}"` with the same [`crate::fnv1a64`] that
+//! addresses cache entries) and assigns a content key to the first
+//! point at or clockwise-after it. The properties that make this the
+//! right structure for shard routing:
+//!
+//! * **Stability** — a key's shard is a pure function of the shard
+//!   list; every router instance with the same `--shards` flag routes
+//!   identically, so shard-local caches stay disjoint and hot.
+//! * **Bounded remap** — adding a shard to `n` existing ones moves
+//!   ~`1/(n+1)` of the keyspace (only keys whose successor point is now
+//!   one of the new shard's vnodes), and every moved key moves **to the
+//!   new shard**; removing a shard moves only that shard's keys.
+//!   Verified by the proptests in `crates/serve/tests/ring_props.rs`.
+
+use crate::codec::fnv1a64;
+
+/// Virtual points per shard. 64 keeps the expected per-shard load
+/// within a few percent of uniform for small clusters while the ring
+/// stays tiny (a few KiB).
+pub const VNODES: usize = 64;
+
+/// Finalising bit mixer (the 64-bit murmur3 `fmix64`). FNV-1a hashes of
+/// strings that differ only in a short trailing counter — exactly the
+/// `"{addr}#{v}"` vnode names — come out nearly sequential (the last few
+/// input bytes barely avalanche), which would collapse a shard's vnodes
+/// into one cluster and ruin the load balance. One mixing round spreads
+/// them uniformly over the u64 ring.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^= x >> 33;
+    x
+}
+
+/// An immutable consistent-hash ring mapping u64 content keys to shard
+/// indices.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, shard_index)`, sorted by point.
+    points: Vec<(u64, usize)>,
+    shards: Vec<String>,
+}
+
+impl HashRing {
+    /// Builds the ring for an ordered shard list (typically daemon
+    /// addresses). Order only names the indices; the mapping of keys to
+    /// *addresses* is order-independent.
+    pub fn new(shards: &[String]) -> HashRing {
+        Self::with_vnodes(shards, VNODES)
+    }
+
+    /// [`new`](Self::new) with an explicit vnode count (tests).
+    pub fn with_vnodes(shards: &[String], vnodes: usize) -> HashRing {
+        let mut points = Vec::with_capacity(shards.len() * vnodes);
+        for (index, shard) in shards.iter().enumerate() {
+            for v in 0..vnodes {
+                points.push((mix64(fnv1a64(format!("{shard}#{v}").as_bytes())), index));
+            }
+        }
+        // Identical points (hash collisions across shards) resolve by
+        // shard index — deterministic for every builder of this list.
+        points.sort_unstable();
+        HashRing {
+            points,
+            shards: shards.to_vec(),
+        }
+    }
+
+    /// Number of shards on the ring.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// `true` when the ring has no shards (nothing can be routed).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The shard addresses, in index order.
+    pub fn shards(&self) -> &[String] {
+        &self.shards
+    }
+
+    /// The shard index owning a content key: the first vnode at or
+    /// clockwise-after the key, wrapping at the top of the u64 space.
+    ///
+    /// # Panics
+    /// On an empty ring.
+    pub fn shard_of(&self, key: u64) -> usize {
+        assert!(!self.points.is_empty(), "shard_of on an empty ring");
+        let i = self.points.partition_point(|&(p, _)| p < key);
+        if i == self.points.len() {
+            self.points[0].1 // wrap around
+        } else {
+            self.points[i].1
+        }
+    }
+
+    /// The shard address owning a content key.
+    pub fn addr_of(&self, key: u64) -> &str {
+        &self.shards[self.shard_of(key)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shards(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 7500 + i)).collect()
+    }
+
+    #[test]
+    fn same_list_same_mapping() {
+        let a = HashRing::new(&shards(3));
+        let b = HashRing::new(&shards(3));
+        for key in (0..20_000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)) {
+            assert_eq!(a.shard_of(key), b.shard_of(key));
+        }
+    }
+
+    #[test]
+    fn all_shards_get_a_reasonable_share() {
+        let ring = HashRing::new(&shards(4));
+        let mut counts = [0usize; 4];
+        let samples = 40_000u64;
+        for key in (0..samples).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)) {
+            counts[ring.shard_of(key)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let share = c as f64 / samples as f64;
+            assert!(
+                (0.10..=0.45).contains(&share),
+                "shard {i} got {share:.3} of the keyspace"
+            );
+        }
+    }
+
+    #[test]
+    fn adding_a_shard_moves_keys_only_to_it() {
+        let before = HashRing::new(&shards(3));
+        let mut grown = shards(3);
+        grown.push("127.0.0.1:7999".into());
+        let after = HashRing::new(&grown);
+        let samples = 20_000u64;
+        let mut moved = 0usize;
+        for key in (0..samples).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)) {
+            let a = before.addr_of(key).to_string();
+            let b = after.addr_of(key).to_string();
+            if a != b {
+                moved += 1;
+                assert_eq!(b, "127.0.0.1:7999", "moved keys go to the new shard");
+            }
+        }
+        let frac = moved as f64 / samples as f64;
+        // Expected 1/4; allow generous vnode variance.
+        assert!(frac < 0.45, "remap fraction {frac:.3} too high");
+        assert!(frac > 0.05, "remap fraction {frac:.3} suspiciously low");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty ring")]
+    fn empty_ring_panics() {
+        HashRing::new(&[]).shard_of(7);
+    }
+}

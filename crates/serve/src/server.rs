@@ -1,61 +1,161 @@
 //! The zero-dependency TCP daemon and its blocking client.
 //!
-//! `std::net` only, per the vendored-offline policy: a blocking
-//! `TcpListener` accept loop hands each connection to its own thread,
-//! which speaks the JSON-lines protocol ([`crate::protocol`]). Two
-//! plumbing details carry the graceful-shutdown story:
+//! `std::net` only, per the vendored-offline policy. Since PR 8 the
+//! daemon is event-driven: one [`crate::reactor`] thread owns every
+//! connection (nonblocking sockets, per-connection read/write buffers,
+//! request pipelining with strictly ordered responses) and the
+//! [`Service`] worker pool stays the solve executor behind it. The old
+//! thread-per-connection model — a parked thread and a 200 ms poll tick
+//! per socket — is gone.
 //!
-//! * The accept loop blocks in `accept()`; [`Server::request_shutdown`]
-//!   wakes it with a loopback self-connection after raising the stop
-//!   flag (no `select`/`poll` needed).
-//! * Connection threads read with a 200 ms timeout and re-check the stop
-//!   flag between reads, preserving any partial line across timeouts so
-//!   slow writers are never corrupted.
-//!
-//! A `Shutdown` frame (or [`Server::request_shutdown`]) stops the accept
-//! loop, then the service drains its queue before the workers exit —
-//! "drain, then stop".
+//! Graceful shutdown is a three-step handshake: a `Shutdown` frame (or
+//! [`Server::request_shutdown`]) raises the stop flag;
+//! [`Server::run_until_shutdown`] pauses reactor intake and drains the
+//! work queue (workers fulfill every admitted job, the reactor flushes
+//! every reply); then the reactor resolves anything still unready with
+//! a structured `503` frame and exits — "drain, then stop".
 
 use crate::protocol::{
-    decode_frame, read_frame, write_frame, FrameRead, GossipEntry, Request, Response, ServiceStats,
+    decode_frame, encode_frame, read_frame, version_gate, FrameRead, GossipEntry, Request,
+    Response, ServiceStats, CODE_SHUTTING_DOWN, PROTOCOL_VERSION,
 };
-use crate::service::{ScheduleReply, ServeConfig, Service, ServiceError};
+use crate::reactor::{Action, FrameHandler, Reactor, Reply};
+use crate::service::{ScheduleReply, ServeConfig, Service, ServiceError, Submission};
 use crate::JobSpec;
-use std::io::{BufReader, Read};
+use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
-use std::time::Duration;
-
-const READ_POLL: Duration = Duration::from_millis(200);
+use std::time::{Duration, Instant};
 
 struct Shared {
     service: Service,
-    addr: SocketAddr,
-    stop: AtomicBool,
     stopped: Mutex<bool>,
     stopped_cv: Condvar,
 }
 
 impl Shared {
     fn request_shutdown(&self) {
-        if self.stop.swap(true, Ordering::SeqCst) {
-            return; // already requested
+        let mut stopped = self.stopped.lock().expect("stop flag poisoned");
+        if !*stopped {
+            *stopped = true;
+            self.stopped_cv.notify_all();
         }
-        *self.stopped.lock().expect("stop flag poisoned") = true;
-        self.stopped_cv.notify_all();
-        // Wake the blocking accept() with a throwaway self-connection.
-        let _ = TcpStream::connect(self.addr);
     }
 }
 
-/// A running daemon: accept loop + per-connection threads over a
-/// [`Service`].
+/// The daemon's [`FrameHandler`]: admission runs inline on the event
+/// thread (cache hits and errors answer immediately), queued solves
+/// become pending replies the reactor polls.
+struct ServeHandler {
+    shared: Arc<Shared>,
+}
+
+impl ServeHandler {
+    fn schedule_action(
+        &self,
+        job: &JobSpec,
+        deadline_ms: Option<u64>,
+        request_id: Option<&str>,
+    ) -> Action {
+        match self.shared.service.submit_with_id(job, request_id) {
+            Submission::Ready(result) => Action::Reply(Reply::Now(schedule_frame(result))),
+            Submission::Queued(slot) => {
+                let service = self.shared.service.clone();
+                let give_up_at = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+                let deadline_desc = format!("{:?}", deadline_ms.map(Duration::from_millis));
+                Action::Reply(Reply::Pending(Box::new(move || {
+                    if let Some(result) = slot.try_take() {
+                        return Some(schedule_frame(result));
+                    }
+                    if let Some(at) = give_up_at {
+                        if Instant::now() >= at {
+                            slot.abandon();
+                            // The worker may have fulfilled between the
+                            // poll and the abandon — honour that result.
+                            if let Some(result) = slot.try_take() {
+                                return Some(schedule_frame(result));
+                            }
+                            return Some(schedule_frame(Err(
+                                service.deadline_expired(&deadline_desc)
+                            )));
+                        }
+                    }
+                    None
+                })))
+            }
+        }
+    }
+}
+
+impl FrameHandler for ServeHandler {
+    fn on_line(&self, line: &str) -> Action {
+        match decode_frame::<Request>(line) {
+            Ok(Request::Hello { v }) => match version_gate(Some(v)) {
+                Some(err) => Action::Reply(Reply::Now(encode_frame(&err))),
+                None => Action::Reply(Reply::Now(encode_frame(&Response::HelloAck {
+                    v: PROTOCOL_VERSION,
+                }))),
+            },
+            Ok(Request::Schedule {
+                job,
+                deadline_ms,
+                request_id,
+                v,
+            }) => match version_gate(v) {
+                Some(err) => Action::Reply(Reply::Now(encode_frame(&err))),
+                None => self.schedule_action(&job, deadline_ms, request_id.as_deref()),
+            },
+            Ok(Request::Gossip { entries, v }) => match version_gate(v) {
+                Some(err) => Action::Reply(Reply::Now(encode_frame(&err))),
+                None => {
+                    let applied = self.shared.service.absorb(&entries);
+                    Action::Reply(Reply::Now(encode_frame(&Response::GossipAck { applied })))
+                }
+            },
+            Ok(Request::Stats) => Action::Reply(Reply::Now(encode_frame(&Response::Stats {
+                stats: self.shared.service.stats(),
+                metrics: self.shared.service.metrics_json(),
+            }))),
+            Ok(Request::Shutdown) => {
+                self.shared.request_shutdown();
+                Action::ReplyShutdown(Reply::Now(encode_frame(&Response::Bye)))
+            }
+            Err(message) => Action::Reply(Reply::Now(encode_frame(&Response::Error {
+                code: crate::protocol::CODE_BAD_REQUEST,
+                message: format!("unparseable frame: {message}"),
+            }))),
+        }
+    }
+
+    fn drain_fallback(&self) -> String {
+        encode_frame(&Response::Error {
+            code: CODE_SHUTTING_DOWN,
+            message: "service stopped before the result was ready".into(),
+        })
+    }
+}
+
+fn schedule_frame(result: Result<ScheduleReply, ServiceError>) -> String {
+    let response = match result {
+        Ok(reply) => Response::Schedule {
+            key: reply.key,
+            cached: reply.cached,
+            payload: reply.payload.to_string(),
+        },
+        Err(err) => Response::Error {
+            code: err.code,
+            message: err.message,
+        },
+    };
+    encode_frame(&response)
+}
+
+/// A running daemon: one reactor thread multiplexing every connection
+/// over a [`Service`].
 pub struct Server {
     shared: Arc<Shared>,
-    accept_handle: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    reactor: Option<Reactor>,
+    addr: SocketAddr,
 }
 
 impl Server {
@@ -65,27 +165,23 @@ impl Server {
         let local = listener.local_addr()?;
         let shared = Arc::new(Shared {
             service: Service::start(config)?,
-            addr: local,
-            stop: AtomicBool::new(false),
             stopped: Mutex::new(false),
             stopped_cv: Condvar::new(),
         });
-        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let accept_shared = Arc::clone(&shared);
-        let accept_conns = Arc::clone(&conns);
-        let accept_handle = std::thread::Builder::new()
-            .name("serve-accept".into())
-            .spawn(move || accept_loop(&listener, &accept_shared, &accept_conns))?;
+        let handler = Arc::new(ServeHandler {
+            shared: Arc::clone(&shared),
+        });
+        let reactor = Reactor::spawn(listener, handler)?;
         Ok(Server {
             shared,
-            accept_handle: Some(accept_handle),
-            conns,
+            reactor: Some(reactor),
+            addr: local,
         })
     }
 
     /// The bound address (useful with port 0).
     pub fn addr(&self) -> SocketAddr {
-        self.shared.addr
+        self.addr
     }
 
     /// The underlying service (stats, direct in-process scheduling).
@@ -93,17 +189,17 @@ impl Server {
         self.shared.service.clone()
     }
 
-    /// Raises the stop flag and wakes the accept loop. Non-blocking;
-    /// idempotent. [`run_until_shutdown`](Self::run_until_shutdown)
-    /// observes it and finishes the teardown.
+    /// Raises the stop flag. Non-blocking; idempotent.
+    /// [`run_until_shutdown`](Self::run_until_shutdown) observes it and
+    /// finishes the teardown.
     pub fn request_shutdown(&self) {
         self.shared.request_shutdown();
     }
 
     /// Blocks until shutdown is requested (by a `Shutdown` frame or
     /// [`request_shutdown`](Self::request_shutdown)), then tears down:
-    /// stop accepting, drain and stop the worker pool, join every
-    /// connection thread.
+    /// pause intake, drain and stop the worker pool (the reactor keeps
+    /// flushing results to their clients meanwhile), stop the reactor.
     pub fn run_until_shutdown(mut self) {
         {
             let mut stopped = self.shared.stopped.lock().expect("stop flag poisoned");
@@ -115,15 +211,15 @@ impl Server {
                     .expect("stop flag poisoned");
             }
         }
-        if let Some(h) = self.accept_handle.take() {
-            let _ = h.join();
+        let reactor = self.reactor.take();
+        if let Some(r) = &reactor {
+            r.pause_intake();
         }
-        // Drain-then-stop: queued jobs are solved (their conn threads are
-        // blocked waiting on response slots), then the workers exit.
+        // Drain-then-stop: every admitted job is solved and its reply
+        // flushed by the still-running reactor before the loop exits.
         self.shared.service.shutdown(true);
-        let handles = std::mem::take(&mut *self.conns.lock().expect("conns poisoned"));
-        for h in handles {
-            let _ = h.join();
+        if let Some(r) = reactor {
+            r.stop();
         }
     }
 
@@ -132,129 +228,6 @@ impl Server {
     pub fn shutdown(self) {
         self.request_shutdown();
         self.run_until_shutdown();
-    }
-}
-
-fn accept_loop(
-    listener: &TcpListener,
-    shared: &Arc<Shared>,
-    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if shared.stop.load(Ordering::SeqCst) {
-                    break; // the wake-up self-connection, or a racer
-                }
-                let conn_shared = Arc::clone(shared);
-                if let Ok(handle) = std::thread::Builder::new()
-                    .name("serve-conn".into())
-                    .spawn(move || handle_conn(stream, &conn_shared))
-                {
-                    conns.lock().expect("conns poisoned").push(handle);
-                }
-            }
-            Err(_) => {
-                if shared.stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                // Transient accept error (EMFILE, aborted handshake):
-                // keep serving.
-            }
-        }
-    }
-}
-
-fn handle_conn(stream: TcpStream, shared: &Arc<Shared>) {
-    let _ = stream.set_read_timeout(Some(READ_POLL));
-    let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = stream;
-    let mut pending: Vec<u8> = Vec::new();
-    let mut buf = [0u8; 4096];
-    loop {
-        // Serve every complete line already buffered.
-        while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
-            let line: Vec<u8> = pending.drain(..=pos).collect();
-            let line = String::from_utf8_lossy(&line);
-            if line.trim().is_empty() {
-                continue;
-            }
-            match decode_frame::<Request>(&line) {
-                Ok(Request::Schedule {
-                    job,
-                    deadline_ms,
-                    request_id,
-                }) => {
-                    let deadline = deadline_ms.map(Duration::from_millis);
-                    let response =
-                        match shared
-                            .service
-                            .schedule_with_id(&job, deadline, request_id.as_deref())
-                        {
-                            Ok(reply) => Response::Schedule {
-                                key: reply.key,
-                                cached: reply.cached,
-                                payload: reply.payload.to_string(),
-                            },
-                            Err(err) => Response::Error {
-                                code: err.code,
-                                message: err.message,
-                            },
-                        };
-                    if write_frame(&mut writer, &response).is_err() {
-                        return;
-                    }
-                }
-                Ok(Request::Gossip { entries }) => {
-                    let applied = shared.service.absorb(&entries);
-                    if write_frame(&mut writer, &Response::GossipAck { applied }).is_err() {
-                        return;
-                    }
-                }
-                Ok(Request::Stats) => {
-                    let response = Response::Stats {
-                        stats: shared.service.stats(),
-                        metrics: shared.service.metrics_json(),
-                    };
-                    if write_frame(&mut writer, &response).is_err() {
-                        return;
-                    }
-                }
-                Ok(Request::Shutdown) => {
-                    let _ = write_frame(&mut writer, &Response::Bye);
-                    shared.request_shutdown();
-                    return;
-                }
-                Err(message) => {
-                    let response = Response::Error {
-                        code: crate::protocol::CODE_BAD_REQUEST,
-                        message: format!("unparseable frame: {message}"),
-                    };
-                    if write_frame(&mut writer, &response).is_err() {
-                        return;
-                    }
-                }
-            }
-        }
-        if shared.stop.load(Ordering::SeqCst) {
-            return;
-        }
-        match reader.read(&mut buf) {
-            Ok(0) => return, // clean EOF
-            Ok(n) => pending.extend_from_slice(&buf[..n]),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                // Poll tick: loop back to re-check the stop flag. Any
-                // partial line stays in `pending`.
-            }
-            Err(_) => return,
-        }
     }
 }
 
@@ -308,8 +281,7 @@ impl TcpClient {
         })
     }
 
-    fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
-        write_frame(self.reader.get_mut(), request)?;
+    fn read_response(&mut self) -> Result<Response, ClientError> {
         match read_frame::<Response, _>(&mut self.reader)? {
             FrameRead::Frame(response) => Ok(response),
             FrameRead::Malformed(m) => Err(ClientError::Protocol(m)),
@@ -321,6 +293,27 @@ impl TcpClient {
                     "connection severed mid-frame ({partial_bytes} bytes of a partial response)"
                 )))
             }
+        }
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        crate::protocol::write_frame(self.reader.get_mut(), request)?;
+        self.read_response()
+    }
+
+    /// Declares this client's protocol version; returns the server's.
+    /// A server that cannot serve us answers a structured 426 error.
+    pub fn hello(&mut self) -> Result<u32, ClientError> {
+        match self.round_trip(&Request::Hello {
+            v: PROTOCOL_VERSION,
+        })? {
+            Response::HelloAck { v } => Ok(v),
+            Response::Error { code, message } => {
+                Err(ClientError::Remote(ServiceError { code, message }))
+            }
+            other => Err(ClientError::Protocol(format!(
+                "expected HelloAck frame, got {other:?}"
+            ))),
         }
     }
 
@@ -346,6 +339,7 @@ impl TcpClient {
             job: job.clone(),
             deadline_ms,
             request_id: request_id.map(String::from),
+            v: Some(PROTOCOL_VERSION),
         };
         match self.round_trip(&request)? {
             Response::Schedule {
@@ -366,11 +360,60 @@ impl TcpClient {
         }
     }
 
+    /// Pipelines a batch of schedule requests on this one connection:
+    /// all frames are written before any response is read, and the
+    /// server answers them strictly in request order (the reactor's
+    /// ordering guarantee). Per-request application errors come back as
+    /// inner `Err`s; a transport failure fails the whole batch.
+    pub fn schedule_batch(
+        &mut self,
+        jobs: &[JobSpec],
+        deadline_ms: Option<u64>,
+    ) -> Result<Vec<Result<ScheduleReply, ServiceError>>, ClientError> {
+        let mut batch = String::new();
+        for job in jobs {
+            batch.push_str(&encode_frame(&Request::Schedule {
+                job: job.clone(),
+                deadline_ms,
+                request_id: None,
+                v: Some(PROTOCOL_VERSION),
+            }));
+        }
+        {
+            use std::io::Write;
+            let w = self.reader.get_mut();
+            w.write_all(batch.as_bytes())?;
+            w.flush()?;
+        }
+        let mut replies = Vec::with_capacity(jobs.len());
+        for _ in jobs {
+            replies.push(match self.read_response()? {
+                Response::Schedule {
+                    key,
+                    cached,
+                    payload,
+                } => Ok(ScheduleReply {
+                    key,
+                    cached,
+                    payload: payload.into(),
+                }),
+                Response::Error { code, message } => Err(ServiceError { code, message }),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected Schedule frame, got {other:?}"
+                    )))
+                }
+            });
+        }
+        Ok(replies)
+    }
+
     /// Pushes cache entries to a peer daemon; returns how many the peer
     /// newly applied. The replicator's delivery path.
     pub fn gossip(&mut self, entries: &[GossipEntry]) -> Result<u64, ClientError> {
         let request = Request::Gossip {
             entries: entries.to_vec(),
+            v: Some(PROTOCOL_VERSION),
         };
         match self.round_trip(&request)? {
             Response::GossipAck { applied } => Ok(applied),
@@ -412,6 +455,7 @@ impl TcpClient {
 mod tests {
     use super::*;
     use crate::codec::Workload;
+    use crate::protocol::CODE_UPGRADE_REQUIRED;
     use rfid_model::{RadiusModel, Scenario, ScenarioKind};
     use std::io::Write;
 
@@ -455,6 +499,79 @@ mod tests {
         assert_eq!(stats.cache_hits, 1);
         assert_eq!(stats.solved, 1);
         assert!(metrics.contains("serve.cache.hit"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn hello_negotiates_and_newer_versions_draw_426() {
+        let server = test_server();
+        let addr = server.addr().to_string();
+        let mut client = TcpClient::connect(&addr).unwrap();
+        assert_eq!(client.hello().unwrap(), PROTOCOL_VERSION);
+        // A frame from the future: Schedule claiming v+1.
+        let request = Request::Schedule {
+            job: small_job(1),
+            deadline_ms: None,
+            request_id: None,
+            v: Some(PROTOCOL_VERSION + 1),
+        };
+        match client.round_trip(&request).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, CODE_UPGRADE_REQUIRED),
+            other => panic!("expected 426 error frame, got {other:?}"),
+        }
+        // The connection survives and serves current-version frames.
+        assert!(client.schedule(&small_job(1), None).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn v1_frames_without_version_field_still_serve() {
+        let server = test_server();
+        let addr = server.addr().to_string();
+        let mut client = TcpClient::connect(&addr).unwrap();
+        let job_json = serde_json::to_string(&small_job(3)).unwrap();
+        let line = format!(r#"{{"Schedule":{{"job":{job_json},"deadline_ms":null}}}}"#);
+        let w = client.reader.get_mut();
+        w.write_all(line.as_bytes()).unwrap();
+        w.write_all(b"\n").unwrap();
+        match client.read_response().unwrap() {
+            Response::Schedule { cached, .. } => assert!(!cached),
+            other => panic!("expected Schedule frame, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_answer_in_order_on_one_connection() {
+        let server = test_server();
+        let addr = server.addr().to_string();
+        let mut client = TcpClient::connect(&addr).unwrap();
+        // Mix of distinct jobs and repeats (hits + coalesced followers).
+        let jobs: Vec<JobSpec> = vec![
+            small_job(10),
+            small_job(11),
+            small_job(10),
+            small_job(12),
+            small_job(11),
+            small_job(10),
+        ];
+        let replies = client.schedule_batch(&jobs, None).unwrap();
+        assert_eq!(replies.len(), jobs.len());
+        let keys: Vec<String> = replies
+            .iter()
+            .map(|r| r.as_ref().unwrap().key.clone())
+            .collect();
+        // Positional matching: response i answers request i.
+        assert_eq!(keys[0], keys[2]);
+        assert_eq!(keys[0], keys[5]);
+        assert_eq!(keys[1], keys[4]);
+        assert_ne!(keys[0], keys[1]);
+        assert_ne!(keys[0], keys[3]);
+        // Identical payloads for identical jobs, whatever the path.
+        assert_eq!(
+            replies[0].as_ref().unwrap().payload,
+            replies[2].as_ref().unwrap().payload
+        );
         server.shutdown();
     }
 

@@ -189,6 +189,19 @@ impl Default for ServeConfig {
 
 type JobResult = Result<ScheduleReply, ServiceError>;
 
+/// What [`Service::submit_with_id`] decided without blocking.
+pub enum Submission {
+    /// Answered synchronously: a cache hit, or a structured admission
+    /// error (bad request, 404, 429, 503).
+    Ready(JobResult),
+    /// Admitted: the job is queued behind a worker (leader) or
+    /// coalesced onto an identical in-flight solve (follower). The slot
+    /// delivers the result; poll it with
+    /// [`ResponseSlot::try_take`](crate::queue::ResponseSlot::try_take)
+    /// or block on [`ResponseSlot::wait`](crate::queue::ResponseSlot::wait).
+    Queued(Arc<ResponseSlot<JobResult>>),
+}
+
 struct Job {
     canonical: CanonicalJob,
     slot: Arc<ResponseSlot<JobResult>>,
@@ -358,6 +371,35 @@ impl Service {
         deadline: Option<Duration>,
         request_id: Option<&str>,
     ) -> JobResult {
+        match self.submit_with_id(spec, request_id) {
+            Submission::Ready(result) => result,
+            Submission::Queued(slot) => match slot.wait(deadline) {
+                Some(result) => result,
+                None => Err(self.deadline_expired(&format!("{deadline:?}"))),
+            },
+        }
+    }
+
+    /// Counts a deadline expiry and builds its structured `504` error.
+    /// Callers (the blocking wait above, the reactor's slot polling)
+    /// must have abandoned the slot first so a late result is dropped.
+    pub(crate) fn deadline_expired(&self, waited: &str) -> ServiceError {
+        let inner = &self.inner;
+        let sub: Option<&dyn Subscriber> = Some(&inner.recorder);
+        inner.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        counter!(sub, "serve.deadline_expired");
+        ServiceError::new(CODE_DEADLINE, format!("deadline expired after {waited}"))
+    }
+
+    /// The non-blocking half of [`schedule_with_id`](Self::schedule_with_id):
+    /// runs admission (dedup, canonicalization, cache probe,
+    /// single-flight, queueing) and returns without waiting. A cache hit
+    /// or admission error is [`Submission::Ready`]; queued leaders and
+    /// coalesced followers get [`Submission::Queued`] with the slot the
+    /// worker will fulfill. This is the entry point the event-driven
+    /// server uses — the reactor polls the slot instead of parking a
+    /// thread on it.
+    pub fn submit_with_id(&self, spec: &JobSpec, request_id: Option<&str>) -> Submission {
         let inner = &self.inner;
         let sub: Option<&dyn Subscriber> = Some(&inner.recorder);
         if let Some(id) = request_id {
@@ -370,10 +412,13 @@ impl Service {
                 counter!(sub, "serve.failover.dedup");
             }
         }
-        let canonical = CanonicalJob::new(spec, &inner.registry).map_err(|e| {
-            inner.errors.fetch_add(1, Ordering::Relaxed);
-            ServiceError::from(e)
-        })?;
+        let canonical = match CanonicalJob::new(spec, &inner.registry) {
+            Ok(canonical) => canonical,
+            Err(e) => {
+                inner.errors.fetch_add(1, Ordering::Relaxed);
+                return Submission::Ready(Err(ServiceError::from(e)));
+            }
+        };
         inner.requests.fetch_add(1, Ordering::Relaxed);
         counter!(sub, "serve.request");
         let shutting_down = || {
@@ -395,15 +440,15 @@ impl Service {
                 drop(inflight);
             } else if let Some(payload) = inner.cache.get(canonical.key) {
                 counter!(sub, "serve.cache.hit");
-                return Ok(ScheduleReply {
+                return Submission::Ready(Ok(ScheduleReply {
                     key: canonical.key_hex(),
                     cached: true,
                     payload,
-                });
+                }));
             } else {
                 counter!(sub, "serve.cache.miss");
                 if inner.shutting_down.load(Ordering::SeqCst) {
-                    return Err(shutting_down());
+                    return Submission::Ready(Err(shutting_down()));
                 }
                 let key = canonical.key;
                 let job = Job {
@@ -414,7 +459,7 @@ impl Service {
                     Ok(()) => {
                         inflight.insert(key, vec![Arc::clone(&slot)]);
                     }
-                    Err(e) => return Err(self.reject(e)),
+                    Err(e) => return Submission::Ready(Err(self.reject(e))),
                 }
             }
         } else {
@@ -423,27 +468,17 @@ impl Service {
             let _ = inner.cache.get(canonical.key);
             counter!(sub, "serve.cache.miss");
             if inner.shutting_down.load(Ordering::SeqCst) {
-                return Err(shutting_down());
+                return Submission::Ready(Err(shutting_down()));
             }
             let job = Job {
                 canonical,
                 slot: Arc::clone(&slot),
             };
             if let Err(e) = inner.queue.try_push(job) {
-                return Err(self.reject(e));
+                return Submission::Ready(Err(self.reject(e)));
             }
         }
-        match slot.wait(deadline) {
-            Some(result) => result,
-            None => {
-                inner.deadline_expired.fetch_add(1, Ordering::Relaxed);
-                counter!(sub, "serve.deadline_expired");
-                Err(ServiceError::new(
-                    CODE_DEADLINE,
-                    format!("deadline expired after {deadline:?}"),
-                ))
-            }
-        }
+        Submission::Queued(slot)
     }
 
     /// Maps a queue-admission failure to its structured error.
@@ -729,11 +764,16 @@ fn solve(inner: &Inner, canonical: &CanonicalJob) -> JobResult {
 /// The in-process client: the same request surface as [`crate::TcpClient`],
 /// minus the socket. Tests and embedded callers use it to prove the
 /// transport adds nothing to (and removes nothing from) a response.
+#[deprecated(
+    since = "0.2.0",
+    note = "use ClientBuilder::new().in_process(service).build()"
+)]
 #[derive(Clone)]
 pub struct Client {
     service: Service,
 }
 
+#[allow(deprecated)]
 impl Client {
     /// A client bound to a running service.
     pub fn new(service: Service) -> Self {
@@ -945,6 +985,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn in_process_client_mirrors_the_service() {
         let service = Service::start(quick_config()).unwrap();
         let client = Client::new(service.clone());

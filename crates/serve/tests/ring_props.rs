@@ -1,0 +1,163 @@
+//! Property-based tests for the consistent-hash ring.
+//!
+//! The properties that make [`HashRing`] the right router substrate:
+//!
+//! * **Stability** — a key's shard is a pure function of the shard
+//!   list: every router built from the same `--shards` flag routes
+//!   identically, and re-building changes nothing.
+//! * **Moved keys go to the new shard only** — growing the fleet never
+//!   shuffles keys between surviving shards; shrinking it moves only
+//!   the removed shard's keys. Shard-local caches stay hot through
+//!   membership changes.
+//! * **Bounded remap** — adding one shard to `n` moves roughly
+//!   `1/(n+1)` of the keyspace, not all of it.
+
+use proptest::prelude::*;
+use rfid_serve::HashRing;
+
+/// Distinct plausible shard addresses from an index set.
+fn addrs(ports: &[u16]) -> Vec<String> {
+    ports.iter().map(|p| format!("10.0.0.1:{p}")).collect()
+}
+
+fn arb_ports(max_len: usize) -> impl Strategy<Value = Vec<u16>> {
+    ports_between(1, max_len)
+}
+
+/// At least two shards (for removal/spread properties).
+fn arb_ports2(max_len: usize) -> impl Strategy<Value = Vec<u16>> {
+    ports_between(2, max_len)
+}
+
+fn ports_between(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<u16>> {
+    proptest::collection::btree_set(1024u16..u16::MAX, min_len..=max_len)
+        .prop_map(|set| set.into_iter().collect())
+}
+
+/// A spread of sample keys covering the whole u64 ring (golden-ratio
+/// stride from a random offset).
+fn sample_keys(offset: u64, n: u64) -> impl Iterator<Item = u64> {
+    (0..n).map(move |i| offset.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Two rings built from the same list agree on every key, whatever
+    /// the list.
+    #[test]
+    fn same_shard_list_routes_identically(
+        ports in arb_ports(9),
+        offset in proptest::num::u64::ANY,
+    ) {
+        let shards = addrs(&ports);
+        let a = HashRing::new(&shards);
+        let b = HashRing::new(&shards);
+        for key in sample_keys(offset, 512) {
+            prop_assert_eq!(a.shard_of(key), b.shard_of(key));
+            prop_assert_eq!(a.addr_of(key), b.addr_of(key));
+        }
+    }
+
+    /// Adding a shard moves keys *only onto the new shard* — no key
+    /// ever moves between two surviving shards.
+    #[test]
+    fn grown_ring_moves_keys_only_to_the_new_shard(
+        ports in arb_ports(8),
+        new_port in 1u16..1024,
+        offset in proptest::num::u64::ANY,
+    ) {
+        let before = HashRing::new(&addrs(&ports));
+        let mut grown_ports = ports.clone();
+        grown_ports.push(new_port);
+        let after = HashRing::new(&addrs(&grown_ports));
+        let new_addr = format!("10.0.0.1:{new_port}");
+        for key in sample_keys(offset, 512) {
+            let old_owner = before.addr_of(key);
+            let new_owner = after.addr_of(key);
+            if old_owner != new_owner {
+                prop_assert_eq!(
+                    new_owner, new_addr.as_str(),
+                    "a moved key may only move to the new shard"
+                );
+            }
+        }
+    }
+
+    /// Removing a shard relocates exactly that shard's keys; everything
+    /// else stays put.
+    #[test]
+    fn shrunk_ring_moves_only_the_removed_shards_keys(
+        ports in arb_ports2(8),
+        victim in proptest::num::usize::ANY,
+        offset in proptest::num::u64::ANY,
+    ) {
+        let victim = victim % ports.len();
+        let full = addrs(&ports);
+        let removed = full[victim].clone();
+        let mut rest = full.clone();
+        rest.remove(victim);
+        let before = HashRing::new(&full);
+        let after = HashRing::new(&rest);
+        for key in sample_keys(offset, 512) {
+            let old_owner = before.addr_of(key);
+            if old_owner != removed {
+                prop_assert_eq!(
+                    after.addr_of(key), old_owner,
+                    "surviving shards keep their keys"
+                );
+            }
+        }
+    }
+
+    /// Adding one shard to `n` remaps a bounded fraction of the
+    /// keyspace — near the ideal `1/(n+1)`, never a wholesale reshuffle.
+    #[test]
+    fn remap_fraction_is_bounded(
+        ports in arb_ports(6),
+        new_port in 1u16..1024,
+        offset in proptest::num::u64::ANY,
+    ) {
+        let n = ports.len();
+        let before = HashRing::new(&addrs(&ports));
+        let mut grown_ports = ports.clone();
+        grown_ports.push(new_port);
+        let after = HashRing::new(&addrs(&grown_ports));
+        let samples = 4096u64;
+        let moved = sample_keys(offset, samples)
+            .filter(|&k| before.shard_of(k) != after.shard_of(k))
+            .count();
+        let frac = moved as f64 / samples as f64;
+        let ideal = 1.0 / (n as f64 + 1.0);
+        // Generous slack for vnode variance at 64 points/shard; the
+        // claim being defended is "bounded", not "exact".
+        prop_assert!(
+            frac <= (3.0 * ideal).min(0.9),
+            "remap fraction {frac:.3} far above ideal {ideal:.3} for n={n}"
+        );
+    }
+
+    /// Every shard owns a nonempty, non-dominant slice of the keyspace
+    /// (no starved shard, no shard holding almost everything).
+    #[test]
+    fn load_spreads_across_all_shards(
+        ports in arb_ports2(6),
+        offset in proptest::num::u64::ANY,
+    ) {
+        let shards = addrs(&ports);
+        let ring = HashRing::new(&shards);
+        let samples = 4096u64;
+        let mut counts = vec![0u64; shards.len()];
+        for key in sample_keys(offset, samples) {
+            counts[ring.shard_of(key)] += 1;
+        }
+        let even = samples as f64 / shards.len() as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let ratio = c as f64 / even;
+            prop_assert!(
+                (0.2..=2.5).contains(&ratio),
+                "shard {i} holds {ratio:.2}x its even share"
+            );
+        }
+    }
+}

@@ -10,9 +10,16 @@
 //! * **Deadlines** — an unserviced request expires with `504`.
 //! * **Alias convergence** — `alg2`, `ALG2` and `alg2-central` address
 //!   the same cache entry.
+//! * **Sharding** — the same contracts hold through the consistent-hash
+//!   router: byte-identical payloads, and the fleet-wide
+//!   `hits + misses + coalesced == requests` invariant summed at the
+//!   router.
 
 use rfid_integration_tests::scenario;
-use rfid_serve::{Client, JobSpec, ServeConfig, Server, Service, TcpClient, Workload};
+use rfid_serve::{
+    ClientBuilder, JobSpec, Router, RouterConfig, ServeClient, ServeConfig, Server, Service,
+    TcpClient, Workload,
+};
 use std::time::Duration;
 
 fn job(algorithm: &str, seed: u64) -> JobSpec {
@@ -44,8 +51,11 @@ fn payloads_identical_across_cold_warm_inproc_and_tcp() {
     assert_eq!(cold.key, warm.key);
     assert_eq!(cold.payload.as_bytes(), warm.payload.as_bytes());
 
-    // In-process client over the same service.
-    let client = Client::new(service.clone());
+    // In-process client over the same service, via the one builder.
+    let mut client = ClientBuilder::new()
+        .in_process(service.clone())
+        .build()
+        .expect("build in-process client");
     let inproc = client.schedule(&spec, None).expect("in-process");
     assert_eq!(cold.payload.as_bytes(), inproc.payload.as_bytes());
 
@@ -200,4 +210,131 @@ fn unknown_algorithm_is_404_locally_and_over_tcp() {
         other => panic!("expected remote 404, got {other:?}"),
     }
     server.shutdown();
+}
+
+fn shard_config() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        queue_cap: 32,
+        cache_cap: 64,
+        cache_ttl: None,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn payloads_identical_through_the_router_and_invariant_holds_fleet_wide() {
+    let shard_a = Server::start("127.0.0.1:0", shard_config()).expect("shard a");
+    let shard_b = Server::start("127.0.0.1:0", shard_config()).expect("shard b");
+    let standalone = Server::start("127.0.0.1:0", shard_config()).expect("standalone");
+    let router = Router::start(
+        "127.0.0.1:0",
+        RouterConfig {
+            shards: vec![shard_a.addr().to_string(), shard_b.addr().to_string()],
+            ..RouterConfig::default()
+        },
+    )
+    .expect("start router");
+
+    let mut via_router = ClientBuilder::new()
+        .addr(router.addr().to_string())
+        .build()
+        .expect("router client");
+    let mut direct = ClientBuilder::new()
+        .addr(standalone.addr().to_string())
+        .build()
+        .expect("direct client");
+
+    // 20 distinct jobs, each requested twice through the router and once
+    // against an unsharded daemon: same key, same bytes, every path.
+    let jobs: Vec<JobSpec> = (0..20).map(|seed| job("ghc", seed)).collect();
+    for spec in &jobs {
+        let cold = via_router.schedule(spec, None).expect("cold via router");
+        assert!(!cold.cached, "first routed request must miss");
+        let warm = via_router.schedule(spec, None).expect("warm via router");
+        assert!(warm.cached, "second routed request must hit its shard");
+        let local = direct.schedule(spec, None).expect("direct");
+        assert_eq!(cold.key, warm.key);
+        assert_eq!(cold.key, local.key, "content key is topology-independent");
+        assert_eq!(cold.payload.as_bytes(), warm.payload.as_bytes());
+        assert_eq!(
+            cold.payload.as_bytes(),
+            local.payload.as_bytes(),
+            "determinism contract holds through the router"
+        );
+    }
+
+    // The routed load actually split across both shards.
+    let routed = router.routed_per_shard();
+    assert_eq!(routed.iter().sum::<u64>(), 40);
+    assert!(
+        routed.iter().all(|&n| n > 0),
+        "both shards must take load: {routed:?}"
+    );
+    assert_eq!(router.forward_errors(), 0);
+
+    // Fleet-wide counters summed at the router keep the queue invariant.
+    let stats = via_router.stats().expect("aggregated stats");
+    assert_eq!(stats.requests, 40);
+    assert_eq!(
+        stats.cache_hits + stats.cache_misses + stats.coalesced,
+        stats.requests,
+        "hits + misses + coalesced == requests must hold through the router"
+    );
+    assert_eq!(stats.cache_hits, 20);
+    assert_eq!(stats.solved, 20);
+
+    router.shutdown();
+    shard_a.shutdown();
+    shard_b.shutdown();
+    standalone.shutdown();
+}
+
+#[test]
+fn severed_mid_pipeline_surfaces_after_the_delivered_responses() {
+    use std::io::{Read, Write};
+
+    // A fake server that accepts a pipelined batch of three requests,
+    // answers the first completely, starts the second, and dies
+    // mid-frame. The client must get response 1 cleanly and then a
+    // structured mid-frame disconnect — not a hang, not a raw error.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind fake");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let fake = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accept");
+        let mut buf = [0u8; 64 * 1024];
+        let mut seen = Vec::new();
+        // Read until all three request lines have arrived.
+        while seen.iter().filter(|&&b| b == b'\n').count() < 3 {
+            let n = stream.read(&mut buf).expect("read requests");
+            if n == 0 {
+                break;
+            }
+            seen.extend_from_slice(&buf[..n]);
+        }
+        let first = concat!(
+            r#"{"Schedule":{"key":"00000000000000ff","cached":false,"payload":"{}"}}"#,
+            "\n"
+        );
+        let second = r#"{"Schedule":{"key":"00000000000001ff","ca"#; // cut mid-frame
+        stream.write_all(first.as_bytes()).expect("reply 1");
+        stream
+            .write_all(second.as_bytes())
+            .expect("half of reply 2");
+        // Dropping the stream severs the connection with reply 2 torn
+        // and reply 3 never written.
+    });
+
+    let mut client = TcpClient::connect(&addr).expect("connect");
+    let jobs: Vec<JobSpec> = (0..3).map(|seed| job("ghc", seed)).collect();
+    let err = client
+        .schedule_batch(&jobs, None)
+        .expect_err("torn batch must fail");
+    match err {
+        rfid_serve::ClientError::Disconnected(m) => {
+            assert!(m.contains("mid-frame"), "severed mid-pipeline: {m}")
+        }
+        other => panic!("expected a mid-frame disconnect, got {other:?}"),
+    }
+    fake.join().expect("fake server");
 }
