@@ -1,0 +1,373 @@
+//! Incremental repair vs cold re-solve — the delta subsystem's perf claim.
+//!
+//! A serve node that already holds a solved base scenario can answer a
+//! delta request two ways: patch the previous run with
+//! `rfid_delta::repair_schedule` (coverage rows carried over, base slots
+//! replayed, greedy suffix over the dirty tail) or rebuild everything
+//! and solve cold. This bench measures both paths on the paper-density
+//! scenario across dirty fractions and emits `results/BENCH_delta.json`.
+//!
+//! The op streams are pure tag churn (AddTag/RemoveTag, 50/50, seeded)
+//! so the requested dirty fraction maps one-to-one onto the engine's
+//! dirty-tag count; reader moves dirty whole interrogation disks at
+//! once and would make the x-axis lumpy.
+//!
+//! Usage:
+//!   delta_repair [--quick] [--sizes 833] [--fractions 0.001,0.01]
+//!                [--trials N] [--out PATH]
+//!   delta_repair --check PATH                  # validate a report
+//!   delta_repair --check PATH --min-speedup X --max-dirty F
+//!       # additionally require repair ≥ X× faster than cold on every
+//!       # leg with dirty_fraction ≤ F — the CI floor for the committed
+//!       # report (ISSUE 9: ≥ 5× at n ≈ 20k tags, ≤ 1% dirty).
+//!
+//! `--quick` restricts to n_readers = 100 (the CI smoke configuration).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rfid_core::{covering_schedule, McsOptions};
+use rfid_delta::{apply_ops, repair_schedule, RepairOptions, ScenarioDelta};
+use rfid_model::interference::interference_graph;
+use rfid_model::{Coverage, RadiusModel, Scenario, ScenarioKind};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Paper density, matching `mcs_scaling`: 50 readers per 100×100 region,
+/// 24 tags per reader. 833 readers ≈ 20k tags — the acceptance size.
+const BASE_READERS: f64 = 50.0;
+const BASE_REGION: f64 = 100.0;
+const TAGS_PER_READER: usize = 24;
+
+/// One (size, dirty fraction) measurement.
+#[derive(Debug, Serialize, Deserialize)]
+struct Entry {
+    n_readers: usize,
+    n_tags: usize,
+    /// Requested fraction of the tag population churned by the ops.
+    dirty_fraction: f64,
+    /// Ops in the delta (adds + removes).
+    ops: usize,
+    /// Dirty tags as counted by the repair engine's invalidation pass.
+    dirty_tags: usize,
+    trials: usize,
+    /// Best-of-trials wall time of `apply_ops` + `repair_schedule`
+    /// (includes the patched coverage/graph builds the repair path
+    /// performs). Minimum, not mean: the workload is deterministic, so
+    /// the fastest trial is the least noise-contaminated one.
+    repair_ms: f64,
+    /// Best-of-trials wall time of the cold path: `apply_ops` (a cold
+    /// answer to a delta request must materialise the patched
+    /// deployment too) + full `Coverage::build` + `interference_graph`
+    /// + `covering_schedule`.
+    cold_ms: f64,
+    /// `cold_ms / repair_ms`.
+    speedup: f64,
+    /// Base slots the replay kept / slots the greedy suffix appended.
+    kept_slots: usize,
+    appended_slots: usize,
+    /// Whether a guard tripped and the repair degenerated to cold.
+    cold_fallback: bool,
+    repair_slots: usize,
+    cold_slots: usize,
+    /// Process peak RSS (`VmHWM`, kB) when this entry finished.
+    peak_rss_kb: u64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Report {
+    bench: String,
+    schema_version: u32,
+    tags_per_reader: usize,
+    entries: Vec<Entry>,
+}
+
+fn scenario(n_readers: usize) -> Scenario {
+    Scenario {
+        kind: ScenarioKind::UniformRandom,
+        n_readers,
+        n_tags: n_readers * TAGS_PER_READER,
+        region_side: BASE_REGION * (n_readers as f64 / BASE_READERS).sqrt(),
+        radius_model: RadiusModel::PoissonPair {
+            lambda_interference: 14.0,
+            lambda_interrogation: 6.0,
+        },
+    }
+}
+
+/// Seeded tag churn totalling `ceil(fraction × m)` ops, half arrivals
+/// half departures (arrival-biased on odd counts).
+fn churn_ops(d: &rfid_model::Deployment, fraction: f64, seed: u64) -> Vec<ScenarioDelta> {
+    let region = d.region();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let k = ((fraction * d.n_tags() as f64).ceil() as usize).max(1);
+    let mut m = d.n_tags() as u32;
+    let mut ops = Vec::with_capacity(k);
+    for i in 0..k {
+        if i % 2 == 0 || m == 0 {
+            m += 1;
+            ops.push(ScenarioDelta::AddTag {
+                x: region.min_x + rng.random::<f64>() * region.width(),
+                y: region.min_y + rng.random::<f64>() * region.height(),
+            });
+        } else {
+            m -= 1;
+            ops.push(ScenarioDelta::RemoveTag {
+                tag: rng.random_range(0..m + 1),
+            });
+        }
+    }
+    ops
+}
+
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status.lines().find_map(|line| {
+                line.strip_prefix("VmHWM:")?
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse()
+                    .ok()
+            })
+        })
+        .unwrap_or(0)
+}
+
+fn measure(n_readers: usize, fraction: f64, trials: usize) -> Entry {
+    // The base solve is amortised across every delta a real node serves;
+    // it is set up once, outside both timed paths.
+    let base = scenario(n_readers).generate(42);
+    let base_coverage = Coverage::build(&base);
+    let base_graph = interference_graph(&base);
+    let base_run = covering_schedule(&base, &base_coverage, &base_graph, &McsOptions::new())
+        .expect("base scenario solves");
+
+    let mut repair_ms = f64::INFINITY;
+    let mut cold_ms = f64::INFINITY;
+    let mut last = None;
+    for trial in 0..trials {
+        let ops = churn_ops(&base, fraction, 0xde17a + trial as u64);
+
+        // Both paths answer the same delta request, so both pay for
+        // materialising the patched deployment.
+        let start = Instant::now();
+        let patch = apply_ops(&base, &ops).expect("churn ops are in range");
+        let apply = start.elapsed().as_secs_f64() * 1e3;
+
+        let start = Instant::now();
+        let report = repair_schedule(
+            &base,
+            &base_coverage,
+            &base_graph,
+            &base_run,
+            &patch,
+            &RepairOptions::default(),
+        )
+        .expect("repair completes");
+        repair_ms = repair_ms.min(apply + start.elapsed().as_secs_f64() * 1e3);
+
+        let start = Instant::now();
+        let coverage = Coverage::build(&patch.deployment);
+        let graph = interference_graph(&patch.deployment);
+        let cold = covering_schedule(&patch.deployment, &coverage, &graph, &McsOptions::new())
+            .expect("patched scenario solves");
+        cold_ms = cold_ms.min(apply + start.elapsed().as_secs_f64() * 1e3);
+
+        assert_eq!(
+            report.run.schedule.tags_served(),
+            cold.schedule.tags_served(),
+            "repair and cold must serve the same tag set"
+        );
+        last = Some((ops.len(), report, cold));
+    }
+    let (ops, report, cold) = last.expect("at least one trial");
+    Entry {
+        n_readers,
+        n_tags: base.n_tags(),
+        dirty_fraction: fraction,
+        ops,
+        dirty_tags: report.dirty_tags,
+        trials,
+        repair_ms,
+        cold_ms,
+        speedup: cold_ms / repair_ms,
+        kept_slots: report.kept_slots,
+        appended_slots: report.appended_slots,
+        cold_fallback: report.cold_fallback,
+        repair_slots: report.run.schedule.size(),
+        cold_slots: cold.schedule.size(),
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+/// Validates a BENCH_delta.json; with `min_speedup`, every entry at
+/// `dirty_fraction ≤ max_dirty` must clear the floor.
+fn check(path: &PathBuf, min_speedup: Option<f64>, max_dirty: f64) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let report: Report =
+        serde_json::from_str(&text).map_err(|e| format!("malformed {path:?}: {e}"))?;
+    if report.bench != "delta_repair" {
+        return Err(format!("wrong bench name {:?}", report.bench));
+    }
+    if report.schema_version != 1 {
+        return Err(format!("unknown schema_version {}", report.schema_version));
+    }
+    if report.entries.is_empty() {
+        return Err("no entries".into());
+    }
+    let positive = |x: f64| x.is_finite() && x > 0.0;
+    for e in &report.entries {
+        if !positive(e.repair_ms) || !positive(e.cold_ms) || !positive(e.speedup) {
+            return Err(format!(
+                "degenerate timings for n={} f={}: {e:?}",
+                e.n_readers, e.dirty_fraction
+            ));
+        }
+        if e.ops == 0 || e.dirty_tags == 0 || e.repair_slots == 0 || e.cold_slots == 0 {
+            return Err(format!(
+                "empty measurement for n={} f={}: {e:?}",
+                e.n_readers, e.dirty_fraction
+            ));
+        }
+        if e.cold_fallback {
+            return Err(format!(
+                "n={} f={}: repair fell back to cold — the fractions under \
+                 test must exercise the incremental path",
+                e.n_readers, e.dirty_fraction
+            ));
+        }
+    }
+    if let Some(floor) = min_speedup {
+        let mut gated = 0usize;
+        for e in &report.entries {
+            if e.dirty_fraction > max_dirty {
+                continue;
+            }
+            gated += 1;
+            if e.speedup < floor {
+                return Err(format!(
+                    "n={} f={}: repair {:.2} ms vs cold {:.2} ms is only \
+                     {:.2}× (floor {floor}×)",
+                    e.n_readers, e.dirty_fraction, e.repair_ms, e.cold_ms, e.speedup
+                ));
+            }
+        }
+        if gated == 0 {
+            return Err(format!(
+                "no entry of {path:?} has dirty_fraction ≤ {max_dirty}"
+            ));
+        }
+        println!("{gated} legs at or above the {floor}× repair-speedup floor");
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut sizes = vec![833usize]; // ≈ 20k tags at paper density
+    let mut fractions = vec![0.001f64, 0.01, 0.05, 0.10];
+    let mut trials = 8usize;
+    let mut out = PathBuf::from("results/BENCH_delta.json");
+    let mut check_path: Option<PathBuf> = None;
+    let mut min_speedup: Option<f64> = None;
+    let mut max_dirty = 0.01f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                sizes = vec![100];
+                fractions = vec![0.01, 0.10];
+                trials = 1;
+            }
+            "--sizes" => {
+                i += 1;
+                sizes = args[i]
+                    .split(',')
+                    .map(|s| s.parse().expect("--sizes takes comma-separated integers"))
+                    .collect();
+            }
+            "--fractions" => {
+                i += 1;
+                fractions = args[i]
+                    .split(',')
+                    .map(|s| s.parse().expect("--fractions takes comma-separated floats"))
+                    .collect();
+            }
+            "--trials" => {
+                i += 1;
+                trials = args[i].parse().expect("--trials takes a number");
+            }
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(&args[i]);
+            }
+            "--check" => {
+                i += 1;
+                check_path = Some(PathBuf::from(&args[i]));
+            }
+            "--min-speedup" => {
+                i += 1;
+                min_speedup = Some(args[i].parse().expect("--min-speedup takes a number"));
+            }
+            "--max-dirty" => {
+                i += 1;
+                max_dirty = args[i].parse().expect("--max-dirty takes a number");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    if let Some(path) = check_path {
+        match check(&path, min_speedup, max_dirty) {
+            Ok(()) => {
+                println!("{path:?} ok");
+                return;
+            }
+            Err(e) => {
+                eprintln!("BENCH check failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    assert!(trials > 0, "need at least one trial");
+
+    let mut entries = Vec::new();
+    println!("| n_tags | dirty | ops | repair ms | cold ms | speedup | kept/appended |");
+    println!("|---|---|---|---|---|---|---|");
+    for &n in &sizes {
+        for &f in &fractions {
+            let e = measure(n, f, trials);
+            println!(
+                "| {} | {:.3} | {} | {:.2} | {:.2} | {:.1}× | {}/{} |",
+                e.n_tags,
+                e.dirty_fraction,
+                e.ops,
+                e.repair_ms,
+                e.cold_ms,
+                e.speedup,
+                e.kept_slots,
+                e.appended_slots
+            );
+            entries.push(e);
+        }
+    }
+    let report = Report {
+        bench: "delta_repair".into(),
+        schema_version: 1,
+        tags_per_reader: TAGS_PER_READER,
+        entries,
+    };
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&report).expect("serialize"),
+    )
+    .expect("write BENCH_delta.json");
+    check(&out, None, max_dirty).expect("self-check of the just-written report");
+    println!("wrote {out:?}");
+}

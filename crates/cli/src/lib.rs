@@ -18,12 +18,13 @@ use rfid_core::{
     covering_schedule_with, AlgorithmKind, McsOptions, OneShotInput, OneShotScheduler,
     SchedulerRegistry,
 };
+use rfid_delta::{apply_ops, derived_key, key_hex, ScenarioDelta};
 use rfid_model::interference::interference_graph;
 use rfid_model::{Coverage, Deployment, RadiusModel, Scenario, ScenarioKind, TagSet};
 use rfid_obs::Recorder;
 use rfid_serve::{
-    ClientBuilder, ClientError, JobSpec, Router, RouterConfig, ScheduleReply, ServeClient,
-    ServeConfig, Server, TcpClient, Workload,
+    CanonicalJob, ClientBuilder, ClientError, JobSpec, Router, RouterConfig, ScheduleReply,
+    ServeClient, ServeConfig, Server, TcpClient, Workload,
 };
 use rfid_sim::{aggregate_series, run_sweep, SweepAxis, SweepConfig};
 use std::collections::BTreeMap;
@@ -237,6 +238,30 @@ pub enum Command {
         /// against them (after `addr`) on connect failure, severed
         /// responses or a draining server.
         failover: Vec<String>,
+        /// Path to a `ScenarioDelta` ops JSON array — sends a protocol
+        /// v3 delta frame instead of a full scenario.
+        delta: Option<String>,
+        /// Base content key (fixed-width hex) the delta applies to.
+        base: Option<String>,
+    },
+    /// Apply a delta ops file to a base job locally, mirroring the
+    /// server's canonicalise → materialise → patch pipeline: write the
+    /// patched deployment and print the base and derived content keys.
+    Patch {
+        /// Base scenario (or deployment) JSON path.
+        scenario: String,
+        /// `ScenarioDelta` ops JSON array path.
+        ops: String,
+        /// Output path for the patched deployment JSON.
+        out: String,
+        /// Algorithm of the base job (part of its content key).
+        algo: String,
+        /// Algorithm seed of the base job.
+        algo_seed: u64,
+        /// Generation seed of the base job (Generated workloads).
+        gen_seed: u64,
+        /// Resilient flag of the base job.
+        resilient: bool,
     },
     /// Print usage.
     Help,
@@ -268,8 +293,13 @@ USAGE:
   mrrfid request  [--addr HOST:PORT] --scenario FILE [--algo NAME] [--seed S]
                   [--gen-seed G] [--deadline-ms D] [--resilient]
                   [--payload-out FILE] [--failover HOST:PORT,HOST:PORT]
+  mrrfid request  [--addr HOST:PORT] --delta OPS.json --base KEY
+                  [--deadline-ms D] [--payload-out FILE]
+                  [--failover HOST:PORT,HOST:PORT]
   mrrfid request  [--addr HOST:PORT] --stats
   mrrfid request  [--addr HOST:PORT] --shutdown
+  mrrfid patch    --scenario FILE --ops OPS.json --out FILE
+                  [--algo NAME] [--seed S] [--gen-seed G] [--resilient]
   mrrfid help
 
 ALGORITHMS: alg1 (PTAS) | alg2 (centralized) | alg3 (distributed)
@@ -491,9 +521,24 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let stats = f.contains_key("stats");
             let shutdown = f.contains_key("shutdown");
             let scenario = f.get("scenario").cloned();
-            if !stats && !shutdown && scenario.is_none() {
+            let delta = f.get("delta").cloned();
+            let base = f.get("base").cloned();
+            if !stats && !shutdown && scenario.is_none() && delta.is_none() {
                 return Err(CliError::Usage(
-                    "request needs --scenario FILE, --stats or --shutdown".to_string(),
+                    "request needs --scenario FILE, --delta OPS.json, --stats or --shutdown"
+                        .to_string(),
+                ));
+            }
+            if delta.is_some() && base.is_none() {
+                return Err(CliError::Usage(
+                    "--delta requires --base KEY (the base scenario's content key)".to_string(),
+                ));
+            }
+            if delta.is_some() && scenario.is_some() {
+                return Err(CliError::Usage(
+                    "--delta and --scenario are mutually exclusive: a delta frame \
+                     references its base by content key"
+                        .to_string(),
                 ));
             }
             Ok(Command::Request {
@@ -514,6 +559,20 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 stats,
                 shutdown,
                 failover: parse_addr_list(f.get("failover")),
+                delta,
+                base,
+            })
+        }
+        "patch" => {
+            let f = flags(rest)?;
+            Ok(Command::Patch {
+                scenario: require(&f, "scenario", "patch")?,
+                ops: require(&f, "ops", "patch")?,
+                out: require(&f, "out", "patch")?,
+                algo: f.get("algo").cloned().unwrap_or_else(|| "alg2".to_string()),
+                algo_seed: get_parse(&f, "seed", 0)?,
+                gen_seed: get_parse(&f, "gen-seed", 0)?,
+                resilient: f.contains_key("resilient"),
             })
         }
         other => Err(CliError::Usage(format!(
@@ -961,6 +1020,8 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             stats,
             shutdown,
             failover,
+            delta,
+            base,
         } => {
             if stats {
                 let mut client = TcpClient::connect(&addr)
@@ -1016,8 +1077,6 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 client.shutdown_server()?;
                 return Ok("server acknowledged shutdown\n".to_string());
             }
-            let path = scenario.expect("parse() guarantees --scenario here");
-            let job = load_job(&path, &algo, algo_seed, gen_seed, resilient)?;
             // One builder covers both shapes: a single --addr is plain
             // TCP, --failover extras make it a retrying failover client.
             let mut targets = Vec::with_capacity(1 + failover.len());
@@ -1027,7 +1086,15 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 .addrs(targets)
                 .build()
                 .map_err(|e| CliError::Remote(format!("connect {addr}: {e}")))?;
-            let reply: ScheduleReply = client.schedule(&job, deadline_ms)?;
+            let reply: ScheduleReply = if let Some(ops_path) = &delta {
+                let ops = load_ops(ops_path)?;
+                let base = base.expect("parse() guarantees --base here");
+                client.schedule_delta(&base, &ops, deadline_ms, None)?
+            } else {
+                let path = scenario.expect("parse() guarantees --scenario here");
+                let job = load_job(&path, &algo, algo_seed, gen_seed, resilient)?;
+                client.schedule(&job, deadline_ms)?
+            };
             if let Some(out) = &payload_out {
                 std::fs::write(out, reply.payload.as_bytes())
                     .map_err(|e| CliError::io(out, "write", e))?;
@@ -1044,7 +1111,47 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 outcome.complete
             ))
         }
+        Command::Patch {
+            scenario,
+            ops,
+            out,
+            algo,
+            algo_seed,
+            gen_seed,
+            resilient,
+        } => {
+            let job = load_job(&scenario, &algo, algo_seed, gen_seed, resilient)?;
+            // Same pipeline as the daemon's delta path: canonicalise the
+            // base job (aliases resolved, tags sorted — the form delta op
+            // indices refer to), materialise its deployment, patch it.
+            let canonical = CanonicalJob::new(&job, &SchedulerRegistry::global())
+                .map_err(|e| CliError::Data(format!("canonicalize {scenario}: {e}")))?;
+            let base_deployment = match &canonical.spec.workload {
+                Workload::Generated { scenario, seed } => scenario.generate(*seed),
+                Workload::Explicit { deployment } => deployment.clone(),
+            };
+            let ops_list = load_ops(&ops)?;
+            let patched = apply_ops(&base_deployment, &ops_list)
+                .map_err(|e| CliError::Data(format!("apply {ops}: {e}")))?;
+            let body = serde_json::to_string_pretty(&patched.deployment)
+                .map_err(|e| CliError::Data(format!("encode patched deployment: {e}")))?;
+            std::fs::write(&out, &body).map_err(|e| CliError::io(&out, "write", e))?;
+            Ok(format!(
+                "base key:    {}\nderived key: {}\npatched: {} readers, {} tags -> {}\n",
+                canonical.key_hex(),
+                key_hex(derived_key(canonical.key, &ops_list)),
+                patched.deployment.n_readers(),
+                patched.deployment.n_tags(),
+                out
+            ))
+        }
     }
+}
+
+/// Loads a `ScenarioDelta` ops file: a JSON array of delta operations.
+fn load_ops(path: &str) -> Result<Vec<ScenarioDelta>, CliError> {
+    let body = std::fs::read_to_string(path).map_err(|e| CliError::io(path, "read", e))?;
+    serde_json::from_str(&body).map_err(|e| CliError::Data(format!("parse {path}: {e}")))
 }
 
 /// Builds a [`JobSpec`] from a file holding either a [`Scenario`] (the
@@ -1477,6 +1584,8 @@ mod serve_request_tests {
                 stats,
                 shutdown,
                 failover,
+                delta,
+                base,
             } => {
                 assert_eq!(addr, DEFAULT_ADDR);
                 assert_eq!(scenario.as_deref(), Some("s.json"));
@@ -1487,6 +1596,7 @@ mod serve_request_tests {
                 assert_eq!(payload_out.as_deref(), Some("p.json"));
                 assert!(!stats && !shutdown);
                 assert!(failover.is_empty());
+                assert!(delta.is_none() && base.is_none());
             }
             other => panic!("wrong parse: {other:?}"),
         }
@@ -1601,6 +1711,157 @@ mod serve_request_tests {
 
         let bye = run(parse(&argv(&format!("request --addr {addr} --shutdown"))).unwrap()).unwrap();
         assert!(bye.contains("shutdown"), "{bye}");
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parses_delta_and_patch_variants() {
+        match parse(&argv(
+            "request --delta ops.json --base 00000000deadbeef --deadline-ms 250",
+        ))
+        .unwrap()
+        {
+            Command::Request {
+                delta,
+                base,
+                scenario,
+                deadline_ms,
+                ..
+            } => {
+                assert_eq!(delta.as_deref(), Some("ops.json"));
+                assert_eq!(base.as_deref(), Some("00000000deadbeef"));
+                assert!(scenario.is_none());
+                assert_eq!(deadline_ms, Some(250));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // --delta without --base, or combined with --scenario, is a
+        // usage error, not a confusing remote failure later.
+        let err = parse(&argv("request --delta ops.json")).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        assert!(err.to_string().contains("--base"), "{err}");
+        let err = parse(&argv(
+            "request --delta ops.json --base ab --scenario s.json",
+        ))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+
+        match parse(&argv(
+            "patch --scenario s.json --ops ops.json --out p.json --algo ghc --seed 4",
+        ))
+        .unwrap()
+        {
+            Command::Patch {
+                scenario,
+                ops,
+                out,
+                algo,
+                algo_seed,
+                gen_seed,
+                resilient,
+            } => {
+                assert_eq!(scenario, "s.json");
+                assert_eq!(ops, "ops.json");
+                assert_eq!(out, "p.json");
+                assert_eq!(algo, "ghc");
+                assert_eq!((algo_seed, gen_seed), (4, 0));
+                assert!(!resilient);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let err = parse(&argv("patch --scenario s.json --ops o.json")).unwrap_err();
+        assert!(err.to_string().contains("--out"), "{err}");
+    }
+
+    #[test]
+    fn delta_request_round_trip_matches_patched_cold_solve() {
+        let dir = std::env::temp_dir().join("rfid_cli_delta_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let scen = dir.join("scenario.json");
+        let scenario = Scenario {
+            kind: ScenarioKind::UniformRandom,
+            n_readers: 10,
+            n_tags: 60,
+            region_side: 100.0,
+            radius_model: RadiusModel::paper_default(),
+        };
+        std::fs::write(&scen, serde_json::to_string(&scenario).unwrap()).unwrap();
+        let scen = scen.to_string_lossy().into_owned();
+        let ops = dir.join("ops.json");
+        std::fs::write(
+            &ops,
+            serde_json::to_string(&vec![
+                ScenarioDelta::AddTag { x: 42.0, y: 17.0 },
+                ScenarioDelta::RemoveTag { tag: 3 },
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let ops = ops.to_string_lossy().into_owned();
+
+        let server = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let addr = server.addr().to_string();
+
+        // Full request establishes the base; its printed key feeds the
+        // delta frame.
+        let full = run(parse(&argv(&format!(
+            "request --addr {addr} --scenario {scen} --algo ghc"
+        )))
+        .unwrap())
+        .unwrap();
+        let base = full
+            .lines()
+            .find_map(|l| l.strip_prefix("key: "))
+            .expect("full request prints its key")
+            .to_string();
+
+        let delta_payload = dir.join("delta_payload.json");
+        let out = run(parse(&argv(&format!(
+            "request --addr {addr} --delta {ops} --base {base} --payload-out {}",
+            delta_payload.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("cached: false"), "{out}");
+
+        // `mrrfid patch` reproduces the patched deployment locally; a
+        // full request for it must return byte-identical payload bytes.
+        let patched = dir.join("patched.json");
+        let patch_out = run(parse(&argv(&format!(
+            "patch --scenario {scen} --ops {ops} --out {} --algo ghc",
+            patched.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(
+            patch_out.contains(&format!("base key:    {base}")),
+            "{patch_out}"
+        );
+        let cold_payload = dir.join("cold_payload.json");
+        run(parse(&argv(&format!(
+            "request --addr {addr} --scenario {} --algo ghc --payload-out {}",
+            patched.display(),
+            cold_payload.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&delta_payload).unwrap(),
+            std::fs::read(&cold_payload).unwrap(),
+            "delta reply must be byte-identical to a cold solve of the patched scenario"
+        );
+
+        // An unknown base is the structured base-miss, surfaced as a
+        // Remote error telling the client to send the full scenario.
+        let err = run(parse(&argv(&format!(
+            "request --addr {addr} --delta {ops} --base 1111111111111111"
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 5, "{err}");
+        assert!(err.to_string().contains("base-miss"), "{err}");
+
         server.shutdown();
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -1,0 +1,501 @@
+//! Incremental schedule repair: patch the previous run, don't re-solve.
+//!
+//! Given the base scenario, its covering schedule and an applied delta,
+//! [`repair_schedule`] produces a valid covering schedule for the
+//! *patched* scenario in three steps:
+//!
+//! 1. **Patch the derived structures.** Coverage comes from
+//!    [`Coverage::patched`] (old rows carried over, touched readers
+//!    re-tested) and the interference graph from an edge-level patch of
+//!    the base CSR — both skip the full geometric rebuild, which at
+//!    scale costs as much as the greedy solve itself.
+//! 2. **Replay the base activation sequence.** Each base slot is
+//!    re-audited against the patched geometry: dead readers drop out,
+//!    slots containing touched readers get their feasibility repaired
+//!    (the lower-singleton-weight member of each RTc pair is dropped),
+//!    and the served set is recomputed by multiplicity counting over the
+//!    slot's coverage rows — so a slot whose well-covered set changed
+//!    serves exactly what Definition 1 still grants it, and untouched
+//!    slots replay at memory speed. Slots left serving nothing are
+//!    elided.
+//! 3. **Append a greedy suffix.** Whatever the replay left unread
+//!    (departed coverage, newly arrived tags) is handed to the ordinary
+//!    lazy-greedy driver seeded with the replay's unread set
+//!    (`McsOptions::initial_unread`), which completes the cover.
+//!
+//! Two guards bound the quality loss against a cold solve: when the
+//! *dirty fraction* (tags added, removed, or with changed coverage rows
+//! over the patched tag count) exceeds
+//! [`RepairOptions::max_dirty_fraction`], or when the merged schedule
+//! ends up longer than ρ× the base schedule, the engine falls back to a
+//! cold solve of the patched scenario and reports it.
+
+use crate::ops::PatchedScenario;
+use rfid_core::{
+    covering_schedule, AlgorithmKind, CoveringSchedule, McsOptions, McsRun, ScheduleError,
+    SlotRecord,
+};
+use rfid_graph::Csr;
+use rfid_model::interference::interference_graph;
+use rfid_model::{audit_activation, Coverage, Deployment, TagSet};
+
+/// Tuning knobs for [`repair_schedule`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairOptions {
+    /// Algorithm used for the appended suffix and any cold fallback.
+    pub algorithm: AlgorithmKind,
+    /// Seed for randomised algorithms.
+    pub seed: u64,
+    /// Cold-solve when more than this fraction of the patched tag set is
+    /// dirty (added, removed, or covered differently). `0.0` forces the
+    /// cold path for any non-trivial delta.
+    pub max_dirty_fraction: f64,
+    /// Quality bound ρ: cold-solve when the repaired schedule exceeds
+    /// `ρ × base_size + 1` slots.
+    pub rho: f64,
+}
+
+impl Default for RepairOptions {
+    fn default() -> Self {
+        RepairOptions {
+            algorithm: AlgorithmKind::default(),
+            seed: 0,
+            max_dirty_fraction: 0.25,
+            rho: 1.5,
+        }
+    }
+}
+
+/// What [`repair_schedule`] did and produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairReport {
+    /// The run for the patched scenario (valid covering schedule).
+    pub run: McsRun,
+    /// Base slots that survived the replay (possibly with repaired
+    /// activation sets).
+    pub kept_slots: usize,
+    /// Slots the greedy suffix added.
+    pub appended_slots: usize,
+    /// Tags counted dirty by the invalidation pass (added + removed +
+    /// coverage-row changes).
+    pub dirty_tags: usize,
+    /// `true` when a guard tripped and the result is a cold solve.
+    pub cold_fallback: bool,
+}
+
+/// Repairs `base_run` into a covering schedule for `patch.deployment`.
+///
+/// `base_coverage` and `base_graph` must be the structures `base_run`
+/// was solved with. Errors only if a (cold or suffix) solve exhausts the
+/// driver's slot budget — impossible for ordinary scenarios.
+pub fn repair_schedule(
+    base: &Deployment,
+    base_coverage: &Coverage,
+    base_graph: &Csr,
+    base_run: &McsRun,
+    patch: &PatchedScenario,
+    options: &RepairOptions,
+) -> Result<RepairReport, ScheduleError> {
+    let d = &patch.deployment;
+    let m_new = d.n_tags();
+    let coverage = Coverage::patched(d, base_coverage, &patch.old_index, &patch.touched_readers);
+
+    // Dirty-tag invalidation: anything added, removed, or whose coverage
+    // row could differ (covered by a touched reader before or after).
+    let added = patch.old_index.iter().filter(|src| src.is_none()).count();
+    let removed = base.n_tags() - (patch.old_index.len() - added);
+    let dirty_tags = if patch.touched_readers.is_empty() {
+        // Pure tag churn: survivor rows are untouched by construction,
+        // so the dirty set is exactly the adds and removes.
+        added + removed
+    } else {
+        let mut new_index = vec![u32::MAX; base.n_tags()];
+        let mut dirty = vec![false; m_new];
+        for (t_new, &src) in patch.old_index.iter().enumerate() {
+            match src {
+                Some(t_old) => new_index[t_old as usize] = t_new as u32,
+                None => dirty[t_new] = true,
+            }
+        }
+        for &i in &patch.touched_readers {
+            for &t_old in base_coverage.tags_of(i as usize) {
+                let t_new = new_index[t_old as usize];
+                if t_new != u32::MAX {
+                    dirty[t_new as usize] = true;
+                }
+            }
+            for &t_new in coverage.tags_of(i as usize) {
+                dirty[t_new as usize] = true;
+            }
+        }
+        dirty.iter().filter(|&&b| b).count() + removed
+    };
+    let dirty_fraction = dirty_tags as f64 / m_new.max(1) as f64;
+
+    let cold = |coverage: &Coverage, dirty_tags: usize| -> Result<RepairReport, ScheduleError> {
+        let graph = interference_graph(d);
+        let run = covering_schedule(
+            d,
+            coverage,
+            &graph,
+            &McsOptions::new()
+                .algorithm(options.algorithm)
+                .seed(options.seed),
+        )?;
+        let appended = run.schedule.size();
+        Ok(RepairReport {
+            run,
+            kept_slots: 0,
+            appended_slots: appended,
+            dirty_tags,
+            cold_fallback: true,
+        })
+    };
+    if dirty_fraction > options.max_dirty_fraction {
+        return cold(&coverage, dirty_tags);
+    }
+
+    // Replay the base activation sequence against the patched scenario.
+    // A slot's activation set is small, so per-slot multiplicity
+    // counting over its coverage rows beats building the popcount-plane
+    // machinery the full solver amortises across its whole greedy loop.
+    let singleton = |v: usize, unread: &TagSet| {
+        coverage
+            .tags_of(v)
+            .iter()
+            .filter(|&&t| unread.is_unread(t as usize))
+            .count()
+    };
+    let mut touched = vec![false; d.n_readers()];
+    for &i in &patch.touched_readers {
+        touched[i as usize] = true;
+    }
+    let mut unread = TagSet::all_unread(m_new);
+    let mut kept: Vec<SlotRecord> = Vec::with_capacity(base_run.schedule.size());
+    let mut repaired_pairs = 0usize;
+    let mut count = vec![0u8; m_new];
+    let mut covered: Vec<u32> = Vec::new();
+    let mut served_bits = vec![0u64; m_new.div_ceil(64)];
+    let mut served = Vec::new();
+    let mut served_total = 0usize;
+    for slot in &base_run.schedule.slots {
+        // Mute readers (dead, or retuned to r = 0) serve nothing; drop
+        // them before the feasibility audit.
+        let mut active: Vec<usize> = slot
+            .active
+            .iter()
+            .copied()
+            .filter(|&v| d.interrogation_radii()[v] > 0.0)
+            .collect();
+        // Geometry changes can only break feasibility through a touched
+        // member; untouched slots replay without the O(|X|²) audit.
+        if active.iter().any(|&v| touched[v]) {
+            while !d.is_feasible(&active) {
+                let audit = audit_activation(d, &coverage, &active, &unread);
+                let (v, u) = audit.rtc_pairs[0];
+                let loser = if singleton(v, &unread) <= singleton(u, &unread) {
+                    v
+                } else {
+                    u
+                };
+                active.retain(|&r| r != loser);
+                repaired_pairs += 1;
+            }
+        }
+        // Definition 1: a tag is read iff exactly one active reader
+        // covers it. Count multiplicities, then reset only what was
+        // touched so the scratch array stays clean across slots.
+        covered.clear();
+        for &v in &active {
+            for &t in coverage.tags_of(v) {
+                let c = &mut count[t as usize];
+                if *c == 0 {
+                    covered.push(t);
+                }
+                *c = c.saturating_add(1);
+            }
+        }
+        let mut any = false;
+        for &t in &covered {
+            if count[t as usize] == 1 && unread.is_unread(t as usize) {
+                served_bits[t as usize / 64] |= 1u64 << (t % 64);
+                any = true;
+            }
+            count[t as usize] = 0;
+        }
+        if !any {
+            continue;
+        }
+        // Bitmap extraction gives the canonical ascending order —
+        // matching the solver's, keeping the empty-delta replay
+        // byte-identical — without sorting the served list.
+        served.clear();
+        for (w, word) in served_bits.iter_mut().enumerate() {
+            let mut bits = std::mem::take(word);
+            while bits != 0 {
+                served.push(w * 64 + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+        }
+        unread.mark_all_read(&served);
+        served_total += served.len();
+        kept.push(SlotRecord {
+            active,
+            served: std::mem::take(&mut served),
+            fallback: slot.fallback,
+        });
+    }
+
+    // Greedy suffix over whatever the replay left unread. Everything
+    // the replay served is coverable, so the remaining coverable count
+    // falls out of the served tally — no per-tag unread scan.
+    let uncoverable: Vec<usize> = coverage
+        .tag_degrees()
+        .enumerate()
+        .filter_map(|(t, deg)| (deg == 0).then_some(t))
+        .collect();
+    let remaining_coverable = m_new - uncoverable.len() - served_total;
+    let (mut slots, mut run_tail) = (kept, None);
+    if remaining_coverable > 0 {
+        // The interference graph only feeds the suffix solve; a replay
+        // that already covers everything never pays for it.
+        let graph = patched_graph(base_graph, d, &patch.touched_readers);
+        let suffix = covering_schedule(
+            d,
+            &coverage,
+            &graph,
+            &McsOptions::new()
+                .algorithm(options.algorithm)
+                .seed(options.seed)
+                .initial_unread(&unread),
+        )?;
+        run_tail = Some(suffix);
+    }
+    let kept_slots = slots.len();
+    let mut appended_slots = 0;
+    let (mut crashed_dropped, mut abandoned_tags) = (0, Vec::new());
+    if let Some(suffix) = run_tail {
+        appended_slots = suffix.schedule.size();
+        repaired_pairs += suffix.repaired_pairs;
+        crashed_dropped = suffix.crashed_dropped;
+        abandoned_tags = suffix.abandoned_tags;
+        slots.extend(suffix.schedule.slots);
+    }
+
+    // Quality gate: a repair that drifted past ρ× the base size loses to
+    // re-solving; do that instead.
+    let bound = (options.rho * base_run.schedule.size() as f64).ceil() as usize + 1;
+    if slots.len() > bound {
+        return cold(&coverage, dirty_tags);
+    }
+
+    Ok(RepairReport {
+        run: McsRun {
+            schedule: CoveringSchedule { slots, uncoverable },
+            slot_metrics: Vec::new(),
+            repaired_pairs,
+            crashed_dropped,
+            abandoned_tags,
+        },
+        kept_slots,
+        appended_slots,
+        dirty_tags,
+        cold_fallback: false,
+    })
+}
+
+/// Patches the base interference CSR for the touched readers: edges
+/// between untouched pairs carry over; every edge incident to a touched
+/// reader is recomputed from Definition 2 against the new geometry.
+fn patched_graph(base_graph: &Csr, d: &Deployment, touched_readers: &[u32]) -> Csr {
+    if touched_readers.is_empty() {
+        return base_graph.clone();
+    }
+    let n = d.n_readers();
+    let mut touched = vec![false; n];
+    for &i in touched_readers {
+        touched[i as usize] = true;
+    }
+    let mut edges: Vec<(usize, usize)> = base_graph
+        .edges()
+        .into_iter()
+        .filter(|&(a, b)| !touched[a] && !touched[b])
+        .collect();
+    for &i in touched_readers {
+        let i = i as usize;
+        for j in 0..n {
+            if j != i && !d.independent(i, j) {
+                // `Csr::from_edges` merges the duplicate when both
+                // endpoints are touched.
+                edges.push((i, j));
+            }
+        }
+    }
+    Csr::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{apply_ops, ScenarioDelta};
+    use rfid_core::verify_covering_schedule;
+    use rfid_model::{RadiusModel, Scenario, ScenarioKind};
+
+    fn scenario(seed: u64) -> Deployment {
+        Scenario {
+            kind: ScenarioKind::UniformRandom,
+            n_readers: 20,
+            n_tags: 200,
+            region_side: 80.0,
+            radius_model: RadiusModel::PoissonPair {
+                lambda_interference: 12.0,
+                lambda_interrogation: 6.0,
+            },
+        }
+        .generate(seed)
+    }
+
+    fn solve(d: &Deployment) -> (Coverage, Csr, McsRun) {
+        let coverage = Coverage::build(d);
+        let graph = interference_graph(d);
+        let run = covering_schedule(d, &coverage, &graph, &McsOptions::new()).unwrap();
+        (coverage, graph, run)
+    }
+
+    #[test]
+    fn identity_delta_replays_the_base_schedule() {
+        let d = scenario(3);
+        let (coverage, graph, run) = solve(&d);
+        let patch = apply_ops(&d, &[]).unwrap();
+        let report = repair_schedule(
+            &d,
+            &coverage,
+            &graph,
+            &run,
+            &patch,
+            &RepairOptions::default(),
+        )
+        .unwrap();
+        assert!(!report.cold_fallback);
+        assert_eq!(report.dirty_tags, 0);
+        assert_eq!(report.appended_slots, 0);
+        assert_eq!(report.run.schedule, run.schedule);
+    }
+
+    #[test]
+    fn repaired_schedules_verify_against_the_patched_deployment() {
+        for seed in 0..3u64 {
+            let d = scenario(seed);
+            let (coverage, graph, run) = solve(&d);
+            let ops = vec![
+                ScenarioDelta::AddTag { x: 11.0, y: 13.0 },
+                ScenarioDelta::AddTag { x: 60.0, y: 55.0 },
+                ScenarioDelta::RemoveTag { tag: 5 },
+                ScenarioDelta::MoveReader {
+                    reader: 2,
+                    x: 30.0,
+                    y: 30.0,
+                },
+                ScenarioDelta::SetReaderAlive {
+                    reader: 7,
+                    alive: false,
+                },
+            ];
+            let patch = apply_ops(&d, &ops).unwrap();
+            let report = repair_schedule(
+                &d,
+                &coverage,
+                &graph,
+                &run,
+                &patch,
+                &RepairOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(
+                verify_covering_schedule(&patch.deployment, &report.run.schedule),
+                Ok(()),
+                "seed {seed}"
+            );
+            assert!(report.dirty_tags > 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn forced_fallback_is_exactly_the_cold_solve() {
+        let d = scenario(1);
+        let (coverage, graph, run) = solve(&d);
+        let ops = vec![ScenarioDelta::AddTag { x: 40.0, y: 40.0 }];
+        let patch = apply_ops(&d, &ops).unwrap();
+        let forced = RepairOptions {
+            max_dirty_fraction: 0.0,
+            ..RepairOptions::default()
+        };
+        let report = repair_schedule(&d, &coverage, &graph, &run, &patch, &forced).unwrap();
+        assert!(report.cold_fallback);
+        assert_eq!(report.kept_slots, 0);
+        let cold_cov = Coverage::build(&patch.deployment);
+        let cold_graph = interference_graph(&patch.deployment);
+        let cold = covering_schedule(
+            &patch.deployment,
+            &cold_cov,
+            &cold_graph,
+            &McsOptions::new(),
+        )
+        .unwrap();
+        assert_eq!(report.run, cold);
+    }
+
+    #[test]
+    fn repair_quality_stays_within_rho_of_cold() {
+        let d = scenario(4);
+        let (coverage, graph, run) = solve(&d);
+        let ops = vec![
+            ScenarioDelta::AddTag { x: 20.0, y: 20.0 },
+            ScenarioDelta::RemoveTag { tag: 0 },
+        ];
+        let patch = apply_ops(&d, &ops).unwrap();
+        let options = RepairOptions::default();
+        let report = repair_schedule(&d, &coverage, &graph, &run, &patch, &options).unwrap();
+        let cold_cov = Coverage::build(&patch.deployment);
+        let cold_graph = interference_graph(&patch.deployment);
+        let cold = covering_schedule(
+            &patch.deployment,
+            &cold_cov,
+            &cold_graph,
+            &McsOptions::new(),
+        )
+        .unwrap();
+        let bound = (options.rho * cold.schedule.size() as f64).ceil() as usize + 1;
+        assert!(
+            report.run.schedule.size() <= bound,
+            "repair {} vs cold {}",
+            report.run.schedule.size(),
+            cold.schedule.size()
+        );
+    }
+
+    #[test]
+    fn patched_graph_matches_full_rebuild() {
+        let d = scenario(2);
+        let base_graph = interference_graph(&d);
+        let ops = vec![
+            ScenarioDelta::MoveReader {
+                reader: 0,
+                x: 70.0,
+                y: 70.0,
+            },
+            ScenarioDelta::Retune {
+                reader: 3,
+                interference: 20.0,
+                interrogation: 5.0,
+            },
+            ScenarioDelta::SetReaderAlive {
+                reader: 9,
+                alive: false,
+            },
+        ];
+        let patch = apply_ops(&d, &ops).unwrap();
+        let patched = patched_graph(&base_graph, &patch.deployment, &patch.touched_readers);
+        assert_eq!(patched, interference_graph(&patch.deployment));
+    }
+}

@@ -7,26 +7,28 @@
 //! different call shape. This module collapses them behind:
 //!
 //! * [`ServeClient`] — the request surface every transport speaks:
-//!   `schedule` / `schedule_with_id` / `stats`. Code written against
-//!   `&mut dyn ServeClient` runs unchanged over any transport.
+//!   `schedule` / `schedule_with_id` / `schedule_delta` / `stats`. Code
+//!   written against `&mut dyn ServeClient` runs unchanged over any
+//!   transport.
 //! * [`ClientBuilder`] — the one constructor. What it builds follows
 //!   from what you give it: an in-process [`Service`] handle, a single
 //!   address (plain TCP), or several addresses and/or a
 //!   [`FailoverPolicy`] (failover with retries). A default deadline set
 //!   on the builder applies to every call that does not carry its own.
 //!
-//! The old types remain as the underlying transports; their direct
-//! constructors are deprecated shims for one release
-//! ([`crate::Client`], [`FailoverClient::new`]). [`TcpClient`] itself
-//! stays public undeprecated — it *is* the wire transport the builder
-//! hands back for single-address targets, and lower layers (the
-//! replicator, the router's forwarders) use it directly.
+//! The old types remain as the underlying transports, constructed only
+//! through the builder (the one-release deprecated shims —
+//! `Client::new`, `FailoverClient::new` — are gone). [`TcpClient`]
+//! itself stays public — it *is* the wire transport the builder hands
+//! back for single-address targets, and lower layers (the replicator,
+//! the router's forwarders) use it directly.
 
 use crate::codec::JobSpec;
 use crate::protocol::ServiceStats;
 use crate::replicate::{FailoverClient, FailoverPolicy};
 use crate::server::{ClientError, TcpClient};
 use crate::service::{ScheduleReply, Service};
+use rfid_delta::ScenarioDelta;
 use std::time::Duration;
 
 /// The request surface shared by every transport: schedule a job, fetch
@@ -51,6 +53,19 @@ pub trait ServeClient {
         request_id: Option<&str>,
     ) -> Result<ScheduleReply, ClientError>;
 
+    /// Schedules a **delta** job: `ops` applied to the scenario the
+    /// server already holds under the `base` content key (protocol v3).
+    /// A server that never saw the base answers a structured `404`
+    /// whose message starts with `base-miss` — re-send the full
+    /// scenario via [`schedule`](Self::schedule) in that case.
+    fn schedule_delta(
+        &mut self,
+        base: &str,
+        ops: &[ScenarioDelta],
+        deadline_ms: Option<u64>,
+        request_id: Option<&str>,
+    ) -> Result<ScheduleReply, ClientError>;
+
     /// Service counters (fleet-wide when the target is a router).
     fn stats(&mut self) -> Result<ServiceStats, ClientError>;
 }
@@ -63,6 +78,16 @@ impl ServeClient for TcpClient {
         request_id: Option<&str>,
     ) -> Result<ScheduleReply, ClientError> {
         TcpClient::schedule_with_id(self, job, deadline_ms, request_id)
+    }
+
+    fn schedule_delta(
+        &mut self,
+        base: &str,
+        ops: &[ScenarioDelta],
+        deadline_ms: Option<u64>,
+        request_id: Option<&str>,
+    ) -> Result<ScheduleReply, ClientError> {
+        TcpClient::schedule_delta(self, base, ops, deadline_ms, request_id)
     }
 
     fn stats(&mut self) -> Result<ServiceStats, ClientError> {
@@ -105,6 +130,30 @@ impl ServeClient for BuiltClient {
                 .map_err(ClientError::Remote),
             Transport::Tcp(client) => client.schedule_with_id(job, deadline_ms, request_id),
             Transport::Failover(client) => client.schedule_as(job, deadline_ms, request_id),
+        }
+    }
+
+    fn schedule_delta(
+        &mut self,
+        base: &str,
+        ops: &[ScenarioDelta],
+        deadline_ms: Option<u64>,
+        request_id: Option<&str>,
+    ) -> Result<ScheduleReply, ClientError> {
+        let deadline_ms = deadline_ms.or(self.default_deadline_ms);
+        match &mut self.transport {
+            Transport::InProcess(service) => service
+                .schedule_delta(
+                    base,
+                    ops,
+                    deadline_ms.map(Duration::from_millis),
+                    request_id,
+                )
+                .map_err(ClientError::Remote),
+            Transport::Tcp(client) => client.schedule_delta(base, ops, deadline_ms, request_id),
+            Transport::Failover(client) => {
+                client.schedule_delta_as(base, ops, deadline_ms, request_id)
+            }
         }
     }
 
@@ -338,6 +387,58 @@ mod tests {
         let reply = client.schedule(&small_job(8), None).unwrap();
         assert!(!reply.cached);
         service.shutdown(true);
+    }
+
+    #[test]
+    fn schedule_delta_works_on_every_transport() {
+        let service = Service::start(quick()).unwrap();
+        let server = Server::start("127.0.0.1:0", quick()).unwrap();
+        let ops = vec![ScenarioDelta::AddTag { x: 8.0, y: 9.0 }];
+        let mut local = ClientBuilder::new()
+            .in_process(service.clone())
+            .build()
+            .unwrap();
+        let mut remote = ClientBuilder::new()
+            .addr(server.addr().to_string())
+            .build()
+            .unwrap();
+        let mut failover = ClientBuilder::new()
+            .addr(server.addr().to_string())
+            .policy(FailoverPolicy {
+                attempts: 2,
+                backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+            })
+            .build()
+            .unwrap();
+        let job = small_job(13);
+        let a_base = local.schedule(&job, None).unwrap();
+        let b_base = remote.schedule(&job, None).unwrap();
+        let a = local.schedule_delta(&a_base.key, &ops, None, None).unwrap();
+        let b = remote
+            .schedule_delta(&b_base.key, &ops, None, None)
+            .unwrap();
+        let c = failover
+            .schedule_delta(&b_base.key, &ops, None, None)
+            .unwrap();
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.payload, b.payload, "one contract across transports");
+        assert_eq!(b.payload, c.payload);
+        // The base-miss → full-request fallback pattern, spelled out:
+        let err = remote
+            .schedule_delta("ffffffffffffffff", &ops, None, None)
+            .unwrap_err();
+        match err {
+            ClientError::Remote(e) => {
+                assert_eq!(e.code, crate::protocol::CODE_BASE_MISS);
+                assert!(e.message.starts_with("base-miss"), "{}", e.message);
+                // ... at which point a client re-sends the full job:
+                assert!(remote.schedule(&job, None).unwrap().cached);
+            }
+            other => panic!("expected a base-miss, got {other:?}"),
+        }
+        service.shutdown(true);
+        server.shutdown();
     }
 
     #[test]

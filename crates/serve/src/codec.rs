@@ -20,7 +20,13 @@
 
 use rfid_core::SchedulerRegistry;
 use rfid_model::{Deployment, Scenario};
-use serde::{Content, Deserialize, Serialize};
+use serde::{Deserialize, Serialize};
+
+// The canonical renderer and content hash moved to `rfid-delta` (the
+// delta key derivation needs them without a serve dependency); they are
+// re-exported here so existing `rfid_serve::codec::{canonical_json,
+// fnv1a64}` callers keep working.
+pub use rfid_delta::{canonical_json, fnv1a64};
 
 /// Upper bounds on untrusted workload sizes, so a single request cannot
 /// ask the daemon to materialise an absurd deployment.
@@ -235,7 +241,13 @@ fn canonical_deployment(d: &Deployment) -> Result<Deployment, CodecError> {
     for i in 0..n {
         let big = d.interference_radii()[i];
         let small = d.interrogation_radii()[i];
-        if !(big.is_finite() && small.is_finite() && small > 0.0 && small <= big) {
+        // A fully dead reader (both radii zero — how the delta op
+        // `SetReaderAlive(false)` is materialised) is valid; otherwise
+        // the interrogation radius must be positive and bounded by the
+        // interference radius.
+        let dead = big == 0.0 && small == 0.0;
+        let alive_ok = big.is_finite() && small.is_finite() && small > 0.0 && small <= big;
+        if !(dead || alive_ok) {
             return Err(CodecError::InvalidWorkload(format!(
                 "reader {i} radii out of range: interference {big}, interrogation {small}"
             )));
@@ -250,44 +262,6 @@ fn canonical_deployment(d: &Deployment) -> Result<Deployment, CodecError> {
         d.interrogation_radii().to_vec(),
         tags,
     ))
-}
-
-/// Renders any serialisable value as canonical JSON: compact, with every
-/// object's keys sorted. Two semantically equal content trees always
-/// produce byte-identical text.
-pub fn canonical_json<T: Serialize + ?Sized>(value: &T) -> String {
-    let mut content = value.to_content();
-    sort_maps(&mut content);
-    serde_json::to_string(&serde_json::Value(content)).expect("canonical render cannot fail")
-}
-
-fn sort_maps(content: &mut Content) {
-    match content {
-        Content::Map(entries) => {
-            for (_, v) in entries.iter_mut() {
-                sort_maps(v);
-            }
-            entries.sort_by(|(a, _), (b, _)| a.cmp(b));
-        }
-        Content::Seq(items) => {
-            for item in items {
-                sort_maps(item);
-            }
-        }
-        _ => {}
-    }
-}
-
-/// 64-bit FNV-1a — the cache's content hash. Hand-rolled so the key is
-/// stable across platforms, processes and Rust versions (unlike
-/// `DefaultHasher`, which is seeded per process).
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
 }
 
 /// A canonicalised job together with its canonical encoding and content
@@ -458,6 +432,23 @@ mod tests {
         let spec = JobSpec::new(Workload::Explicit { deployment: d });
         let err = CanonicalJob::new(&spec, &registry()).unwrap_err();
         assert!(matches!(err, CodecError::InvalidWorkload(_)), "{err}");
+    }
+
+    #[test]
+    fn dead_readers_with_zeroed_radii_are_accepted() {
+        // `SetReaderAlive(false)` materialises as both radii zero; the
+        // validator must admit such deployments. A zero interrogation
+        // radius with a nonzero interference radius stays rejected.
+        let d = Deployment::new(
+            Rect::square(20.0),
+            vec![Point::new(5.0, 5.0), Point::new(15.0, 15.0)],
+            vec![6.0, 0.0],
+            vec![3.0, 0.0],
+            vec![Point::new(4.0, 4.0)],
+        );
+        let spec = JobSpec::new(Workload::Explicit { deployment: d });
+        let job = CanonicalJob::new(&spec, &registry()).unwrap();
+        assert_eq!(job.spec, job.spec.canonicalize(&registry()).unwrap());
     }
 
     #[test]

@@ -35,6 +35,13 @@
 //!    fans requests out across N daemon instances, with stats
 //!    aggregation and gossip partitioning, so cache capacity and solve
 //!    throughput scale horizontally.
+//! 7. **Incremental scheduling** (protocol v3 `Delta` frames, DESIGN.md
+//!    §13) — a client holding a base content key sends `{base, ops}`
+//!    instead of a full scenario; the service resolves the base spec
+//!    (structured `404` base-miss otherwise), patches it through
+//!    [`rfid_delta`] and publishes the reply under the derived content
+//!    key, which caches, journals, gossips and routes exactly like a
+//!    full request.
 //!
 //! The **determinism contract**: a response payload is the canonical
 //! JSON of a [`ScheduleOutcome`] and contains no wall-clock data, so a
@@ -67,11 +74,10 @@ pub use journal::{DurableStats, DurableStore, RecoveryReport, ReplayReport};
 pub use protocol::{FrameRead, GossipEntry, Request, Response, ServiceStats, PROTOCOL_VERSION};
 pub use queue::{PushError, ResponseSlot, WorkQueue};
 pub use replicate::{FailoverClient, FailoverPolicy, Replicator};
+pub use rfid_delta::ScenarioDelta;
 pub use ring::HashRing;
 pub use router::{Router, RouterConfig};
 pub use server::{ClientError, Server, TcpClient};
-#[allow(deprecated)]
-pub use service::Client;
 pub use service::{
     ScheduleOutcome, ScheduleReply, ServeConfig, Service, ServiceError, SlotSummary, Submission,
 };

@@ -22,6 +22,7 @@ use serde::{Deserialize, Serialize};
 use std::io::{BufRead, Write};
 
 use crate::codec::JobSpec;
+use rfid_delta::ScenarioDelta;
 
 /// The protocol generation this build speaks.
 ///
@@ -31,12 +32,17 @@ use crate::codec::JobSpec;
 ///   [`Request::Gossip`], the [`Request::Hello`] negotiation frame and
 ///   request pipelining (many in-flight requests per connection,
 ///   responses strictly in request order).
+/// * **v3** — adds [`Request::Delta`]: schedule a scenario described as
+///   a base content key plus a [`ScenarioDelta`] op list. Servers that
+///   no longer hold the base answer a structured [`CODE_BASE_MISS`]
+///   error telling the client to fall back to a full request.
 ///
 /// Servers answer frames claiming a **newer** major generation with a
 /// structured [`CODE_UPGRADE_REQUIRED`] error instead of guessing;
 /// older (or absent) versions are always accepted — the format is
-/// backward compatible by construction (new fields are optional).
-pub const PROTOCOL_VERSION: u32 = 2;
+/// backward compatible by construction (new fields are optional and
+/// new frame variants are opt-in).
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// The frame declared a protocol version newer than this server speaks
 /// (HTTP 426 Upgrade Required): upgrade the server or downgrade the
@@ -50,6 +56,11 @@ pub const CODE_QUEUE_FULL: u16 = 429;
 pub const CODE_BAD_REQUEST: u16 = 400;
 /// The algorithm label matched no registry row.
 pub const CODE_UNKNOWN_ALGORITHM: u16 = 404;
+/// A [`Request::Delta`] named a base content key this server cannot
+/// resolve to a scenario (same 404 family as
+/// [`CODE_UNKNOWN_ALGORITHM`]; the message always starts with
+/// `base-miss` and tells the client to send the full scenario instead).
+pub const CODE_BASE_MISS: u16 = 404;
 /// The solver could not complete the schedule (strict-policy stall or
 /// slot-budget exhaustion).
 pub const CODE_UNSOLVABLE: u16 = 422;
@@ -99,6 +110,31 @@ pub enum Request {
         /// v1 frames (no field) parse as `None` and are always served;
         /// a version newer than [`PROTOCOL_VERSION`] draws a
         /// [`CODE_UPGRADE_REQUIRED`] error frame.
+        v: Option<u32>,
+    },
+    /// Solve a scenario described *incrementally* (protocol v3): the
+    /// content key of a previously scheduled base job plus a
+    /// [`ScenarioDelta`] op list to apply to it. The server resolves
+    /// the base from its spec store, applies the ops, solves (or
+    /// fetches) the patched scenario and answers a normal
+    /// [`Response::Schedule`] whose `key` is the *derived* key
+    /// ([`rfid_delta::derived_key`]) — so a follow-up delta can chain
+    /// off it. A server that cannot resolve `base` answers a
+    /// [`CODE_BASE_MISS`] error; the client falls back to a full
+    /// [`Request::Schedule`].
+    Delta {
+        /// Content key of the base job, fixed-width hex.
+        base: String,
+        /// The edits to apply to the base scenario, in order.
+        ops: Vec<ScenarioDelta>,
+        /// Optional deadline in milliseconds; expiry yields a
+        /// [`CODE_DEADLINE`] error frame.
+        deadline_ms: Option<u64>,
+        /// Optional client-chosen id for failover retries (same
+        /// semantics as [`Request::Schedule::request_id`]).
+        request_id: Option<String>,
+        /// Protocol version the sender speaks (same rules as
+        /// [`Request::Schedule::v`]).
         v: Option<u32>,
     },
     /// Replicate cache entries from a peer daemon. Entries are applied
@@ -311,6 +347,19 @@ mod tests {
                 job: job(),
                 deadline_ms: Some(250),
                 request_id: Some("client-1-7".into()),
+                v: Some(PROTOCOL_VERSION),
+            },
+            Request::Delta {
+                base: "00000000000000ff".into(),
+                ops: vec![
+                    ScenarioDelta::AddTag { x: 1.0, y: 2.0 },
+                    ScenarioDelta::SetReaderAlive {
+                        reader: 3,
+                        alive: false,
+                    },
+                ],
+                deadline_ms: None,
+                request_id: Some("client-2-1".into()),
                 v: Some(PROTOCOL_VERSION),
             },
             Request::Gossip {

@@ -197,28 +197,10 @@ pub struct FailoverClient {
 static CLIENT_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 impl FailoverClient {
-    /// A client over `peers` (tried in order, wrapping) with the default
-    /// policy.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use ClientBuilder::new().addrs(peers).build()"
-    )]
-    pub fn new(peers: Vec<String>) -> FailoverClient {
-        Self::from_parts(peers, FailoverPolicy::default())
-    }
-
-    /// Overrides the retry policy.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use ClientBuilder::new().addrs(peers).policy(policy).build()"
-    )]
-    pub fn with_policy(mut self, policy: FailoverPolicy) -> FailoverClient {
-        self.policy = policy;
-        self
-    }
-
     /// The [`crate::ClientBuilder`]'s constructor: peers plus policy in
-    /// one step, no deprecation churn in-tree.
+    /// one step. Construction goes through the builder
+    /// (`ClientBuilder::new().addrs(peers).policy(policy).build()`) —
+    /// the old direct `new`/`with_policy` constructors are gone.
     pub(crate) fn from_parts(peers: Vec<String>, policy: FailoverPolicy) -> FailoverClient {
         assert!(!peers.is_empty(), "failover needs at least one peer");
         FailoverClient {
@@ -277,6 +259,47 @@ impl FailoverClient {
             let result = TcpClient::connect(addr)
                 .map_err(ClientError::from)
                 .and_then(|mut c| c.schedule_with_id(job, deadline_ms, Some(&request_id)));
+            match result {
+                Ok(reply) => return Ok(reply),
+                Err(e) if retryable(&e) => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or(ClientError::Protocol("no attempt was made".into())))
+    }
+
+    /// The delta twin of [`schedule_as`](Self::schedule_as): same retry
+    /// loop, same dedup id per attempt. A structured base-miss is
+    /// **final**, not retried — a peer that never saw the base answers
+    /// deterministically, and the caller's documented recovery is to
+    /// re-send the full scenario.
+    pub(crate) fn schedule_delta_as(
+        &self,
+        base: &str,
+        ops: &[rfid_delta::ScenarioDelta],
+        deadline_ms: Option<u64>,
+        request_id: Option<&str>,
+    ) -> Result<ScheduleReply, ClientError> {
+        let request_id = request_id.map(String::from).unwrap_or_else(|| {
+            format!(
+                "{}-{}",
+                self.client_id,
+                self.seq.fetch_add(1, Ordering::Relaxed)
+            )
+        });
+        let mut last: Option<ClientError> = None;
+        for attempt in 0..self.policy.attempts {
+            if attempt > 0 {
+                let exp = self
+                    .policy
+                    .backoff
+                    .saturating_mul(1u32 << (attempt - 1).min(16));
+                std::thread::sleep(exp.min(self.policy.max_backoff));
+            }
+            let addr = &self.peers[attempt as usize % self.peers.len()];
+            let result = TcpClient::connect(addr)
+                .map_err(ClientError::from)
+                .and_then(|mut c| c.schedule_delta(base, ops, deadline_ms, Some(&request_id)));
             match result {
                 Ok(reply) => return Ok(reply),
                 Err(e) if retryable(&e) => last = Some(e),

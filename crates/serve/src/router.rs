@@ -15,6 +15,9 @@
 //!   along, and the shard's reply (its exact canonical payload bytes)
 //!   rides back. The determinism contract therefore holds through the
 //!   router: same key, same bytes, whichever path served it.
+//! * **Delta** frames route by their **base** key: the shard that
+//!   solved the base holds its spec, so it alone can patch it (or
+//!   answer a structured base-miss).
 //! * **Gossip** entries are partitioned by key and forwarded only to
 //!   the shards that own them; the acks sum.
 //! * **Stats** fans out to every shard and sums the counters, so the
@@ -162,7 +165,27 @@ impl RouteHandler {
                 })));
             }
         };
-        let shard = shared.ring.shard_of(canonical.key);
+        self.forward_to_shard(line, shared.ring.shard_of(canonical.key))
+    }
+
+    /// Delta frames route by the **base** content key: the shard that
+    /// solved the base holds its spec, so it is the one node that can
+    /// patch it. The derived payload is cached there too, so a repeated
+    /// delta against the same base is a warm hit on the owning shard.
+    fn route_delta(&self, line: &str, base: &str) -> Action {
+        let Some(base_key) = rfid_delta::parse_key_hex(base) else {
+            return Action::Reply(Reply::Now(encode_frame(&Response::Error {
+                code: CODE_BAD_REQUEST,
+                message: format!("malformed base key {base:?}: expected 16 hex digits"),
+            })));
+        };
+        self.forward_to_shard(line, self.shared.ring.shard_of(base_key))
+    }
+
+    /// Counts the route and forwards the raw line verbatim; the shard's
+    /// exact reply bytes ride back through a pending reply.
+    fn forward_to_shard(&self, line: &str, shard: usize) -> Action {
+        let shared = &self.shared;
         shared.routed[shard].fetch_add(1, Ordering::Relaxed);
         let mut frame = line.trim_end_matches(['\r', '\n']).to_string();
         frame.push('\n');
@@ -265,6 +288,10 @@ impl FrameHandler for RouteHandler {
             Ok(Request::Schedule { ref job, v, .. }) => match version_gate(v) {
                 Some(err) => Action::Reply(Reply::Now(encode_frame(&err))),
                 None => self.route_schedule(line, job),
+            },
+            Ok(Request::Delta { ref base, v, .. }) => match version_gate(v) {
+                Some(err) => Action::Reply(Reply::Now(encode_frame(&err))),
+                None => self.route_delta(line, base),
             },
             Ok(Request::Gossip { entries, v }) => match version_gate(v) {
                 Some(err) => Action::Reply(Reply::Now(encode_frame(&err))),
@@ -685,6 +712,37 @@ mod tests {
         assert!(router.forward_errors() > 0);
         router.shutdown();
         a.shutdown();
+    }
+
+    #[test]
+    fn delta_frames_route_to_the_shard_owning_the_base() {
+        use rfid_delta::ScenarioDelta;
+        let a = daemon();
+        let b = daemon();
+        let router = Router::start(
+            "127.0.0.1:0",
+            RouterConfig {
+                shards: vec![a.addr().to_string(), b.addr().to_string()],
+                conns_per_shard: 2,
+                ..RouterConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = TcpClient::connect(&router.addr().to_string()).unwrap();
+        let ops = vec![ScenarioDelta::AddTag { x: 10.0, y: 10.0 }];
+        for seed in 0..8 {
+            let base = client.schedule(&small_job(seed), None).unwrap();
+            // The delta must land on the shard that solved the base —
+            // any other shard would answer a base-miss.
+            let patched = client.schedule_delta(&base.key, &ops, None, None).unwrap();
+            assert_ne!(patched.key, base.key);
+            let again = client.schedule_delta(&base.key, &ops, None, None).unwrap();
+            assert!(again.cached, "derived key must be warm on the base shard");
+            assert_eq!(again.payload, patched.payload);
+        }
+        router.shutdown();
+        a.shutdown();
+        b.shutdown();
     }
 
     #[test]

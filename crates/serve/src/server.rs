@@ -85,6 +85,48 @@ impl ServeHandler {
             }
         }
     }
+
+    /// The delta twin of [`schedule_action`](Self::schedule_action):
+    /// admission resolves the base and patches it inline; every result
+    /// — immediate or polled — passes through
+    /// [`Service::finish_delta`] so the reply is addressed (and the
+    /// payload aliased) under the derived key.
+    fn delta_action(
+        &self,
+        base: &str,
+        ops: &[rfid_delta::ScenarioDelta],
+        deadline_ms: Option<u64>,
+        request_id: Option<&str>,
+    ) -> Action {
+        let service = self.shared.service.clone();
+        let (derived, submission) = service.submit_delta(base, ops, request_id);
+        match submission {
+            Submission::Ready(result) => Action::Reply(Reply::Now(schedule_frame(
+                service.finish_delta(derived, result),
+            ))),
+            Submission::Queued(slot) => {
+                let give_up_at = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+                let deadline_desc = format!("{:?}", deadline_ms.map(Duration::from_millis));
+                Action::Reply(Reply::Pending(Box::new(move || {
+                    if let Some(result) = slot.try_take() {
+                        return Some(schedule_frame(service.finish_delta(derived, result)));
+                    }
+                    if let Some(at) = give_up_at {
+                        if Instant::now() >= at {
+                            slot.abandon();
+                            if let Some(result) = slot.try_take() {
+                                return Some(schedule_frame(service.finish_delta(derived, result)));
+                            }
+                            return Some(schedule_frame(Err(
+                                service.deadline_expired(&deadline_desc)
+                            )));
+                        }
+                    }
+                    None
+                })))
+            }
+        }
+    }
 }
 
 impl FrameHandler for ServeHandler {
@@ -104,6 +146,16 @@ impl FrameHandler for ServeHandler {
             }) => match version_gate(v) {
                 Some(err) => Action::Reply(Reply::Now(encode_frame(&err))),
                 None => self.schedule_action(&job, deadline_ms, request_id.as_deref()),
+            },
+            Ok(Request::Delta {
+                base,
+                ops,
+                deadline_ms,
+                request_id,
+                v,
+            }) => match version_gate(v) {
+                Some(err) => Action::Reply(Reply::Now(encode_frame(&err))),
+                None => self.delta_action(&base, &ops, deadline_ms, request_id.as_deref()),
             },
             Ok(Request::Gossip { entries, v }) => match version_gate(v) {
                 Some(err) => Action::Reply(Reply::Now(encode_frame(&err))),
@@ -337,6 +389,44 @@ impl TcpClient {
     ) -> Result<ScheduleReply, ClientError> {
         let request = Request::Schedule {
             job: job.clone(),
+            deadline_ms,
+            request_id: request_id.map(String::from),
+            v: Some(PROTOCOL_VERSION),
+        };
+        match self.round_trip(&request)? {
+            Response::Schedule {
+                key,
+                cached,
+                payload,
+            } => Ok(ScheduleReply {
+                key,
+                cached,
+                payload: payload.into(),
+            }),
+            Response::Error { code, message } => {
+                Err(ClientError::Remote(ServiceError { code, message }))
+            }
+            other => Err(ClientError::Protocol(format!(
+                "expected Schedule frame, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Schedules a **delta** job: `ops` applied to the scenario the
+    /// server already knows under the `base` content key. A server that
+    /// never saw the base answers a structured `404` whose message
+    /// starts with `base-miss` — the caller's cue to re-send the full
+    /// scenario.
+    pub fn schedule_delta(
+        &mut self,
+        base: &str,
+        ops: &[rfid_delta::ScenarioDelta],
+        deadline_ms: Option<u64>,
+        request_id: Option<&str>,
+    ) -> Result<ScheduleReply, ClientError> {
+        let request = Request::Delta {
+            base: base.to_string(),
+            ops: ops.to_vec(),
             deadline_ms,
             request_id: request_id.map(String::from),
             v: Some(PROTOCOL_VERSION),
@@ -710,6 +800,45 @@ mod tests {
         assert!(source.service().stats().replicated_out >= 1);
         source.shutdown();
         sink.shutdown();
+    }
+
+    #[test]
+    fn delta_round_trip_over_tcp() {
+        use rfid_delta::ScenarioDelta;
+        let server = test_server();
+        let addr = server.addr().to_string();
+        let mut client = TcpClient::connect(&addr).unwrap();
+        let base = client.schedule(&small_job(21), None).unwrap();
+        let ops = vec![
+            ScenarioDelta::AddTag { x: 12.0, y: 13.0 },
+            ScenarioDelta::SetReaderAlive {
+                reader: 3,
+                alive: false,
+            },
+        ];
+        let patched = client.schedule_delta(&base.key, &ops, None, None).unwrap();
+        assert_ne!(patched.key, base.key);
+        assert_ne!(patched.payload, base.payload);
+
+        // Replay: second ask for the same delta is a warm hit with the
+        // same bytes (derived-key alias).
+        let again = client.schedule_delta(&base.key, &ops, None, None).unwrap();
+        assert!(again.cached);
+        assert_eq!(again.key, patched.key);
+        assert_eq!(again.payload, patched.payload);
+
+        // Unknown base → structured base-miss 404.
+        let err = client
+            .schedule_delta("1111111111111111", &ops, None, None)
+            .unwrap_err();
+        match err {
+            ClientError::Remote(e) => {
+                assert_eq!(e.code, crate::protocol::CODE_BASE_MISS);
+                assert!(e.message.starts_with("base-miss"), "{}", e.message);
+            }
+            other => panic!("expected Remote base-miss, got {other:?}"),
+        }
+        server.shutdown();
     }
 
     #[test]

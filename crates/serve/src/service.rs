@@ -18,14 +18,15 @@ use crate::cache::ScheduleCache;
 use crate::codec::{canonical_json, CanonicalJob, CodecError, JobSpec, Workload};
 use crate::journal::DurableStore;
 use crate::protocol::{
-    GossipEntry, ServiceStats, CODE_BAD_REQUEST, CODE_DEADLINE, CODE_INTERNAL, CODE_QUEUE_FULL,
-    CODE_SHUTTING_DOWN, CODE_UNKNOWN_ALGORITHM, CODE_UNSOLVABLE,
+    GossipEntry, ServiceStats, CODE_BAD_REQUEST, CODE_BASE_MISS, CODE_DEADLINE, CODE_INTERNAL,
+    CODE_QUEUE_FULL, CODE_SHUTTING_DOWN, CODE_UNKNOWN_ALGORITHM, CODE_UNSOLVABLE,
 };
 use crate::queue::{PushError, ResponseSlot, WorkQueue};
 use crate::replicate::Replicator;
 use crate::storage::{DiskStorage, Storage};
 use rfid_core::mcs::{covering_schedule_with, CoveringSchedule, McsOptions};
 use rfid_core::SchedulerRegistry;
+use rfid_delta::{apply_ops, derived_key, key_hex, parse_key_hex, ScenarioDelta};
 use rfid_model::interference::interference_graph;
 use rfid_model::{Coverage, Deployment};
 use rfid_obs::{counter, event, Recorder, Subscriber};
@@ -42,6 +43,12 @@ use std::time::Duration;
 /// coarse generation swap — old ids simply stop being deduplicated,
 /// which is harmless because the requests are idempotent anyway).
 const SEEN_IDS_CAP: usize = 4096;
+
+/// Bound on the canonical-spec store that resolves delta bases; reaching
+/// it clears the store (same coarse generation swap as [`SEEN_IDS_CAP`]).
+/// A cleared base simply answers the next delta with a structured
+/// base-miss, and the client re-sends the full scenario.
+const SPEC_STORE_CAP: usize = 1024;
 
 /// A structured service error: an HTTP-flavoured code plus a cause.
 /// Every failure mode of the request path maps to exactly one code —
@@ -227,6 +234,11 @@ struct Inner {
     replicator: Mutex<Option<Replicator>>,
     /// Request ids already served, for failover-retry dedup accounting.
     seen_ids: Mutex<HashSet<String>>,
+    /// Canonical job specs by content key — the bases a delta request
+    /// can patch. Populated on every canonicalised submission (full or
+    /// delta), so any scenario this node has *seen* can serve as a base;
+    /// gossiped payloads arrive without specs and therefore base-miss.
+    specs: Mutex<HashMap<u64, Arc<JobSpec>>>,
     // Counters not derivable from the cache or queue.
     requests: AtomicU64,
     coalesced: AtomicU64,
@@ -258,6 +270,15 @@ impl Inner {
             repl.offer(key_hex, payload);
             counter!(sub, "serve.replicate.out");
         }
+    }
+
+    /// Registers a canonical spec as a delta base under `key`.
+    fn store_spec(&self, key: u64, spec: &Arc<JobSpec>) {
+        let mut specs = self.specs.lock().expect("specs poisoned");
+        if specs.len() >= SPEC_STORE_CAP && !specs.contains_key(&key) {
+            specs.clear();
+        }
+        specs.entry(key).or_insert_with(|| Arc::clone(spec));
     }
 }
 
@@ -301,6 +322,7 @@ impl Service {
             durable,
             replicator: Mutex::new(replicator),
             seen_ids: Mutex::new(HashSet::new()),
+            specs: Mutex::new(HashMap::new()),
             requests: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             rejected_full: AtomicU64::new(0),
@@ -419,6 +441,7 @@ impl Service {
                 return Submission::Ready(Err(ServiceError::from(e)));
             }
         };
+        inner.store_spec(canonical.key, &Arc::new(canonical.spec.clone()));
         inner.requests.fetch_add(1, Ordering::Relaxed);
         counter!(sub, "serve.request");
         let shutting_down = || {
@@ -502,6 +525,151 @@ impl Service {
                 ServiceError::new(CODE_SHUTTING_DOWN, "service is shutting down")
             }
         }
+    }
+
+    /// Schedules a **delta** job: `ops` applied to the already-seen base
+    /// scenario addressed by `base` (fixed-width hex content key),
+    /// blocking up to `deadline`. The reply is addressed by the
+    /// [`derived_key`] of `(base, ops)` and is byte-identical to sending
+    /// the patched scenario as a full request.
+    pub fn schedule_delta(
+        &self,
+        base: &str,
+        ops: &[ScenarioDelta],
+        deadline: Option<Duration>,
+        request_id: Option<&str>,
+    ) -> JobResult {
+        let (derived, submission) = self.submit_delta(base, ops, request_id);
+        let result = match submission {
+            Submission::Ready(result) => result,
+            Submission::Queued(slot) => match slot.wait(deadline) {
+                Some(result) => result,
+                None => Err(self.deadline_expired(&format!("{deadline:?}"))),
+            },
+        };
+        self.finish_delta(derived, result)
+    }
+
+    /// The non-blocking half of [`schedule_delta`](Self::schedule_delta):
+    /// resolves the base spec (structured `404` "base-miss" when this
+    /// node has never seen it), applies the ops, and admits the patched
+    /// scenario through the normal submission path — cache, coalescing,
+    /// queue and all. Returns the derived key alongside the submission;
+    /// the caller must pass the eventual result through
+    /// [`finish_delta`](Self::finish_delta) to alias the payload under
+    /// that key.
+    pub fn submit_delta(
+        &self,
+        base: &str,
+        ops: &[ScenarioDelta],
+        request_id: Option<&str>,
+    ) -> (u64, Submission) {
+        let inner = &self.inner;
+        let sub: Option<&dyn Subscriber> = Some(&inner.recorder);
+        counter!(sub, "serve.delta.request");
+        let Some(base_key) = parse_key_hex(base) else {
+            inner.errors.fetch_add(1, Ordering::Relaxed);
+            return (
+                0,
+                Submission::Ready(Err(ServiceError::new(
+                    CODE_BAD_REQUEST,
+                    format!("malformed base key {base:?}: expected 16 hex digits"),
+                ))),
+            );
+        };
+        let derived = derived_key(base_key, ops);
+        // Fast path: the derived scenario was already solved here (or a
+        // previous delta aliased it) — answer straight from the cache.
+        if inner.cache.is_enabled() {
+            if let Some(payload) = inner.cache.get(derived) {
+                inner.requests.fetch_add(1, Ordering::Relaxed);
+                counter!(sub, "serve.cache.hit");
+                return (
+                    derived,
+                    Submission::Ready(Ok(ScheduleReply {
+                        key: key_hex(derived),
+                        cached: true,
+                        payload,
+                    })),
+                );
+            }
+        }
+        let spec = {
+            let specs = inner.specs.lock().expect("specs poisoned");
+            specs.get(&base_key).cloned()
+        };
+        let Some(spec) = spec else {
+            inner.errors.fetch_add(1, Ordering::Relaxed);
+            counter!(sub, "serve.delta.base_miss");
+            return (
+                derived,
+                Submission::Ready(Err(ServiceError::new(
+                    CODE_BASE_MISS,
+                    format!(
+                        "base-miss: scenario {base} is not resident on this node; \
+                         send the full scenario"
+                    ),
+                ))),
+            );
+        };
+        // Ops index tags and readers in the *canonical* base deployment
+        // (the form the base's own reply was computed from), so
+        // materialise that and patch it.
+        let base_deployment: Deployment = match &spec.workload {
+            Workload::Generated { scenario, seed } => scenario.generate(*seed),
+            Workload::Explicit { deployment } => deployment.clone(),
+        };
+        let patched = match apply_ops(&base_deployment, ops) {
+            Ok(patched) => patched,
+            Err(e) => {
+                inner.errors.fetch_add(1, Ordering::Relaxed);
+                return (
+                    derived,
+                    Submission::Ready(Err(ServiceError::new(
+                        CODE_BAD_REQUEST,
+                        format!("invalid delta: {e}"),
+                    ))),
+                );
+            }
+        };
+        let mut patched_spec = (*spec).clone();
+        patched_spec.workload = Workload::Explicit {
+            deployment: patched.deployment,
+        };
+        // Canonicalise once up front so the derived key can serve as a
+        // base for *chained* deltas (ops against the canonical patched
+        // form), then submit the canonical spec — canonicalisation is
+        // idempotent, so the inner pass lands on the same content key.
+        let canonical = match CanonicalJob::new(&patched_spec, &inner.registry) {
+            Ok(canonical) => canonical,
+            Err(e) => {
+                inner.errors.fetch_add(1, Ordering::Relaxed);
+                return (derived, Submission::Ready(Err(ServiceError::from(e))));
+            }
+        };
+        let canonical_spec = Arc::new(canonical.spec.clone());
+        inner.store_spec(derived, &canonical_spec);
+        (derived, self.submit_with_id(&canonical.spec, request_id))
+    }
+
+    /// Completes a delta request: aliases a successful payload under the
+    /// derived key (cache + journal + gossip, exactly like a full
+    /// solve) and re-addresses the reply to it. Errors pass through.
+    pub fn finish_delta(&self, derived: u64, result: JobResult) -> JobResult {
+        let reply = result?;
+        let inner = &self.inner;
+        let derived_hex = key_hex(derived);
+        if reply.key != derived_hex {
+            if inner.cache.is_enabled() && !inner.cache.contains(derived) {
+                inner.cache.insert(derived, Arc::clone(&reply.payload));
+            }
+            inner.publish_durable(derived, &derived_hex, &reply.payload);
+        }
+        Ok(ScheduleReply {
+            key: derived_hex,
+            cached: reply.cached,
+            payload: reply.payload,
+        })
     }
 
     /// Applies gossiped cache entries from a peer: parse the hex key,
@@ -761,41 +929,6 @@ fn solve(inner: &Inner, canonical: &CanonicalJob) -> JobResult {
     })
 }
 
-/// The in-process client: the same request surface as [`crate::TcpClient`],
-/// minus the socket. Tests and embedded callers use it to prove the
-/// transport adds nothing to (and removes nothing from) a response.
-#[deprecated(
-    since = "0.2.0",
-    note = "use ClientBuilder::new().in_process(service).build()"
-)]
-#[derive(Clone)]
-pub struct Client {
-    service: Service,
-}
-
-#[allow(deprecated)]
-impl Client {
-    /// A client bound to a running service.
-    pub fn new(service: Service) -> Self {
-        Client { service }
-    }
-
-    /// Schedules one job (see [`Service::schedule`]).
-    pub fn schedule(&self, spec: &JobSpec, deadline: Option<Duration>) -> JobResult {
-        self.service.schedule(spec, deadline)
-    }
-
-    /// Service counters.
-    pub fn stats(&self) -> ServiceStats {
-        self.service.stats()
-    }
-
-    /// Recorder metrics snapshot (deterministic JSON).
-    pub fn metrics_json(&self) -> String {
-        self.service.metrics_json()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -984,14 +1117,126 @@ mod tests {
         service.shutdown(true);
     }
 
+    /// An explicit deployment whose tags are already in canonical
+    /// (ascending `(x, y)`) order, so local [`apply_ops`] sees the same
+    /// indices the server does.
+    fn explicit_job() -> (JobSpec, Deployment) {
+        use rfid_geometry::{Point, Rect};
+        let tags: Vec<Point> = (0..20)
+            .map(|i| Point::new(1.0 + (i as f64) * 0.9, 2.0 + ((i * 7) % 17) as f64))
+            .collect();
+        let deployment = Deployment::new(
+            Rect::square(20.0),
+            vec![
+                Point::new(5.0, 5.0),
+                Point::new(15.0, 5.0),
+                Point::new(5.0, 15.0),
+                Point::new(15.0, 15.0),
+            ],
+            vec![9.0; 4],
+            vec![7.0; 4],
+            tags,
+        );
+        let spec = JobSpec::new(Workload::Explicit {
+            deployment: deployment.clone(),
+        });
+        (spec, deployment)
+    }
+
+    fn sample_ops() -> Vec<rfid_delta::ScenarioDelta> {
+        use rfid_delta::ScenarioDelta::*;
+        vec![
+            AddTag { x: 11.5, y: 3.5 },
+            RemoveTag { tag: 2 },
+            MoveReader {
+                reader: 1,
+                x: 14.0,
+                y: 6.0,
+            },
+        ]
+    }
+
     #[test]
-    #[allow(deprecated)]
-    fn in_process_client_mirrors_the_service() {
+    fn delta_reply_matches_cold_solve_of_patched_scenario() {
+        let (spec, deployment) = explicit_job();
         let service = Service::start(quick_config()).unwrap();
-        let client = Client::new(service.clone());
-        let reply = client.schedule(&small_job(9), None).unwrap();
-        assert!(!reply.cached);
-        assert_eq!(client.stats().solved, 1);
+        let base = service.schedule(&spec, None).unwrap();
+        let ops = sample_ops();
+        let via_delta = service.schedule_delta(&base.key, &ops, None, None).unwrap();
+
+        // Cold-solve the patched scenario on a *fresh* service: the
+        // bytes must match exactly (the determinism contract).
+        let patched = apply_ops(&deployment, &ops).unwrap();
+        let patched_spec = JobSpec::new(Workload::Explicit {
+            deployment: patched.deployment,
+        });
+        let cold_service = Service::start(quick_config()).unwrap();
+        let cold = cold_service.schedule(&patched_spec, None).unwrap();
+        assert_eq!(via_delta.payload, cold.payload);
+
+        // The reply is addressed by the derived key, and asking again
+        // hits the derived-key cache alias.
+        let base_key = parse_key_hex(&base.key).unwrap();
+        assert_eq!(via_delta.key, key_hex(derived_key(base_key, &ops)));
+        let again = service.schedule_delta(&base.key, &ops, None, None).unwrap();
+        assert!(again.cached);
+        assert_eq!(again.payload, via_delta.payload);
+        service.shutdown(true);
+        cold_service.shutdown(true);
+    }
+
+    #[test]
+    fn delta_chains_off_a_derived_key() {
+        let (spec, _) = explicit_job();
+        let service = Service::start(quick_config()).unwrap();
+        let base = service.schedule(&spec, None).unwrap();
+        let first = service
+            .schedule_delta(&base.key, &sample_ops(), None, None)
+            .unwrap();
+        let more = vec![rfid_delta::ScenarioDelta::SetReaderAlive {
+            reader: 0,
+            alive: false,
+        }];
+        let second = service
+            .schedule_delta(&first.key, &more, None, None)
+            .unwrap();
+        assert_ne!(second.payload, first.payload);
+        assert!(second.outcome().is_ok());
+        service.shutdown(true);
+    }
+
+    #[test]
+    fn delta_against_unknown_base_is_a_structured_base_miss() {
+        let service = Service::start(quick_config()).unwrap();
+        let err = service
+            .schedule_delta("00000000deadbeef", &sample_ops(), None, None)
+            .unwrap_err();
+        assert_eq!(err.code, CODE_BASE_MISS);
+        assert!(err.message.starts_with("base-miss"), "{}", err.message);
+        assert!(err.message.contains("send the full scenario"));
+
+        let err = service
+            .schedule_delta("not-a-key", &[], None, None)
+            .unwrap_err();
+        assert_eq!(err.code, CODE_BAD_REQUEST);
+        service.shutdown(true);
+    }
+
+    #[test]
+    fn delta_with_out_of_range_op_is_a_bad_request() {
+        let (spec, _) = explicit_job();
+        let service = Service::start(quick_config()).unwrap();
+        let base = service.schedule(&spec, None).unwrap();
+        let err = service
+            .schedule_delta(
+                &base.key,
+                &[rfid_delta::ScenarioDelta::RemoveTag { tag: 10_000 }],
+                None,
+                None,
+            )
+            .unwrap_err();
+        assert_eq!(err.code, CODE_BAD_REQUEST);
+        assert!(err.message.contains("invalid delta"), "{}", err.message);
         service.shutdown(true);
     }
 }

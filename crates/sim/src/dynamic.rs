@@ -12,6 +12,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rfid_core::{OneShotInput, OneShotScheduler};
+use rfid_delta::ScenarioDelta;
 use rfid_geometry::Point;
 use rfid_model::interference::interference_graph;
 use rfid_model::{Coverage, Deployment, TagSet, WeightEvaluator};
@@ -45,6 +46,37 @@ pub struct DynamicReport {
     pub backlog: usize,
     /// Mean served per slot over the measured window.
     pub throughput: f64,
+}
+
+/// The arrival process of [`run_dynamic`] as a per-slot
+/// [`ScenarioDelta`] stream: element `s` holds the `AddTag` ops for the
+/// tags that arrive in slot `s`, in the exact order `run_dynamic`
+/// appends them (the same seeded RNG draw sequence — one Poisson draw
+/// then `k` uniform placements per slot). Folding the stream over a
+/// tag-free copy of `readers` with [`rfid_delta::apply_ops`] therefore
+/// reproduces the tag population `run_dynamic` schedules against, which
+/// is what lets a serve client follow a dynamic run with delta frames
+/// instead of re-sending the whole scenario every slot.
+pub fn dynamic_delta_stream(
+    readers: &Deployment,
+    config: DynamicConfig,
+) -> Vec<Vec<ScenarioDelta>> {
+    assert!(config.arrival_rate >= 0.0 && config.slots > 0);
+    let region = readers.region();
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut stream = Vec::with_capacity(config.slots);
+    for _ in 0..config.slots {
+        let k = rfid_geometry::sampling::poisson(&mut rng, config.arrival_rate) as usize;
+        let mut ops = Vec::with_capacity(k);
+        for _ in 0..k {
+            ops.push(ScenarioDelta::AddTag {
+                x: region.min_x + rng.random::<f64>() * region.width(),
+                y: region.min_y + rng.random::<f64>() * region.height(),
+            });
+        }
+        stream.push(ops);
+    }
+    stream
 }
 
 /// Runs continuous slots with Poisson tag arrivals on a fixed reader
@@ -247,5 +279,51 @@ mod tests {
             run_dynamic(&d, config(4.0), s.as_mut())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn delta_stream_reproduces_the_arrival_population() {
+        let d = readers(6);
+        let cfg = config(4.0);
+        let stream = dynamic_delta_stream(&d, cfg);
+        assert_eq!(stream.len(), cfg.slots);
+        assert!(stream
+            .iter()
+            .flatten()
+            .all(|op| matches!(op, ScenarioDelta::AddTag { .. })));
+
+        // Fold the stream over the (tag-free) base deployment with the
+        // real delta engine...
+        let mut current = d.clone();
+        for ops in &stream {
+            current = rfid_delta::apply_ops(&current, ops)
+                .expect("stream ops are in range")
+                .deployment;
+        }
+        // ...and replay the arrival half of `run_dynamic` directly:
+        // same seed, same draw order, so the populations must agree
+        // bit-for-bit (order included — delta tags append).
+        let region = d.region();
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut expected: Vec<Point> = Vec::new();
+        for _ in 0..cfg.slots {
+            let k = rfid_geometry::sampling::poisson(&mut rng, cfg.arrival_rate) as usize;
+            for _ in 0..k {
+                expected.push(Point::new(
+                    region.min_x + rng.random::<f64>() * region.width(),
+                    region.min_y + rng.random::<f64>() * region.height(),
+                ));
+            }
+        }
+        assert!(!expected.is_empty(), "rate 4.0 over 60 slots must arrive");
+        assert_eq!(current.tag_positions(), expected.as_slice());
+        assert_eq!(current.reader_positions(), d.reader_positions());
+    }
+
+    #[test]
+    fn zero_rate_stream_is_all_empty() {
+        let d = readers(2);
+        let stream = dynamic_delta_stream(&d, config(0.0));
+        assert!(stream.iter().all(Vec::is_empty));
     }
 }

@@ -28,7 +28,7 @@ pub mod sweep;
 pub mod table;
 pub mod timetable;
 
-pub use dynamic::{run_dynamic, DynamicConfig, DynamicReport};
+pub use dynamic::{dynamic_delta_stream, run_dynamic, DynamicConfig, DynamicReport};
 pub use metrics::{aggregate_series, SeriesPoint, TrialRecord};
 pub use mobility::{MobilityModel, MobilityReport, MobilitySim};
 pub use placement::{coverage_fraction, greedy_placement};

@@ -18,6 +18,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rfid_core::{OneShotInput, OneShotScheduler};
+use rfid_delta::ScenarioDelta;
 use rfid_geometry::{Point, Rect};
 use rfid_model::interference::interference_graph;
 use rfid_model::{Coverage, Deployment, TagSet, WeightEvaluator};
@@ -145,6 +146,40 @@ impl MobilitySim {
         }
     }
 
+    /// The first `epochs` epoch transitions as [`ScenarioDelta`]
+    /// streams: element `e` holds the `MoveReader` ops that turn the
+    /// epoch-`e` deployment into the epoch-`e+1` one (readers that did
+    /// not move emit nothing). The movement RNG is dedicated and seeded
+    /// from `self.seed` exactly as in [`run`](MobilitySim::run), so
+    /// folding the stream over `initial` with
+    /// [`rfid_delta::apply_ops`] reproduces the precise reader
+    /// trajectories the simulation schedules against — a serve client
+    /// can follow a mobile deployment with one delta frame per epoch.
+    pub fn delta_stream(&self, epochs: usize) -> Vec<Vec<ScenarioDelta>> {
+        let region = self.initial.region();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut positions = self.initial.reader_positions().to_vec();
+        let mut waypoints = positions.clone();
+        let mut stream = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let before = positions.clone();
+            self.advance(&mut rng, region, &mut positions, &mut waypoints);
+            stream.push(
+                positions
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, p)| *p != before[i])
+                    .map(|(i, p)| ScenarioDelta::MoveReader {
+                        reader: i as u32,
+                        x: p.x,
+                        y: p.y,
+                    })
+                    .collect(),
+            );
+        }
+        stream
+    }
+
     fn advance(
         &self,
         rng: &mut ChaCha8Rng,
@@ -265,6 +300,46 @@ mod tests {
         let report = s.run(scheduler.as_mut());
         assert_eq!(report.total_served, static_coverable);
         assert!(report.epochs_to_drain().is_none() || report.remaining_unread == 0);
+    }
+
+    #[test]
+    fn delta_stream_reproduces_the_reader_trajectory() {
+        let s = sim(MobilityModel::RandomWaypoint { speed: 9.0 }, 11);
+        let epochs = 6;
+        let stream = s.delta_stream(epochs);
+        assert_eq!(stream.len(), epochs);
+        assert!(stream
+            .iter()
+            .flatten()
+            .all(|op| matches!(op, ScenarioDelta::MoveReader { .. })));
+
+        // Replay the movement directly (same dedicated RNG) and check
+        // that folding each epoch's ops with the real delta engine
+        // lands every reader on the identical position.
+        let region = s.initial.region();
+        let mut rng = ChaCha8Rng::seed_from_u64(s.seed);
+        let mut positions = s.initial.reader_positions().to_vec();
+        let mut waypoints = positions.clone();
+        let mut current = s.initial.clone();
+        for ops in &stream {
+            s.advance(&mut rng, region, &mut positions, &mut waypoints);
+            current = rfid_delta::apply_ops(&current, ops)
+                .expect("stream ops are in range")
+                .deployment;
+            assert_eq!(current.reader_positions(), positions.as_slice());
+        }
+        assert!(
+            stream.iter().any(|ops| !ops.is_empty()),
+            "waypoint motion at speed 9 must move someone"
+        );
+        // Tags never move in this model.
+        assert_eq!(current.tag_positions(), s.initial.tag_positions());
+    }
+
+    #[test]
+    fn zero_speed_stream_is_all_empty() {
+        let s = sim(MobilityModel::RandomWaypoint { speed: 0.0 }, 4);
+        assert!(s.delta_stream(8).iter().all(Vec::is_empty));
     }
 
     #[test]

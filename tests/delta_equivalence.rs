@@ -1,0 +1,225 @@
+//! Differential properties of the incremental repair engine.
+//!
+//! The delta subsystem's core promise: repairing the previous run under
+//! a scenario delta yields a *valid* covering schedule for the patched
+//! scenario, never quality-drifts past the ρ guard, and degrades to a
+//! cold solve (bit-for-bit) when the guards trip. These tests drive
+//! `repair_schedule` with seeded random op streams — arrivals,
+//! departures, reader moves, failures, retunes — and check every result
+//! from first principles with `verify_covering_schedule`, then compare
+//! against an independent cold solve of the patched deployment.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rfid_core::{covering_schedule, verify_covering_schedule, McsOptions, McsRun};
+use rfid_delta::{apply_ops, repair_schedule, RepairOptions, ScenarioDelta};
+use rfid_graph::Csr;
+use rfid_integration_tests::scenario;
+use rfid_model::interference::interference_graph;
+use rfid_model::{Coverage, Deployment};
+
+fn base_deployment(seed: u64) -> Deployment {
+    scenario(15, 220, 12.0, 6.0).generate(seed)
+}
+
+fn solve(d: &Deployment, algo_seed: u64) -> (Coverage, Csr, McsRun) {
+    let coverage = Coverage::build(d);
+    let graph = interference_graph(d);
+    let run = covering_schedule(d, &coverage, &graph, &McsOptions::new().seed(algo_seed))
+        .expect("solvable scenario");
+    (coverage, graph, run)
+}
+
+/// A seeded op stream covering every delta kind, with indices kept in
+/// range against the *evolving* tag population (RemoveTag shifts later
+/// indices down, so validity depends on op order).
+fn op_stream(d: &Deployment, seed: u64, len: usize) -> Vec<ScenarioDelta> {
+    let region = d.region();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut m = d.n_tags() as u32;
+    let n = d.n_readers() as u32;
+    let mut ops = Vec::with_capacity(len);
+    for _ in 0..len {
+        let kind = rng.random_range(0..5u8);
+        let x = region.min_x + rng.random::<f64>() * region.width();
+        let y = region.min_y + rng.random::<f64>() * region.height();
+        ops.push(match kind {
+            1 if m > 0 => {
+                m -= 1;
+                ScenarioDelta::RemoveTag {
+                    tag: rng.random_range(0..m + 1),
+                }
+            }
+            2 => ScenarioDelta::MoveReader {
+                reader: rng.random_range(0..n),
+                x,
+                y,
+            },
+            3 => ScenarioDelta::SetReaderAlive {
+                reader: rng.random_range(0..n),
+                alive: rng.random::<bool>(),
+            },
+            4 => {
+                let interference = 4.0 + rng.random::<f64>() * 12.0;
+                ScenarioDelta::Retune {
+                    reader: rng.random_range(0..n),
+                    interference,
+                    interrogation: rng.random::<f64>() * interference,
+                }
+            }
+            _ => {
+                m += 1;
+                ScenarioDelta::AddTag { x, y }
+            }
+        });
+    }
+    ops
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Repair under a random delta always yields a schedule that stands
+    /// up to first-principles verification of the *patched* deployment,
+    /// serves everything a cold solve serves, and — when it did not
+    /// fall back — respects the ρ quality guard.
+    #[test]
+    fn repaired_schedule_is_a_valid_cover_within_rho(
+        scen_seed in 0u64..12,
+        op_seed in 0u64..1_000_000_000,
+        n_ops in 1usize..16,
+    ) {
+        let d = base_deployment(scen_seed);
+        let (coverage, graph, base_run) = solve(&d, 0);
+        let ops = op_stream(&d, op_seed, n_ops);
+        let patch = apply_ops(&d, &ops).expect("stream ops are in range");
+        let options = RepairOptions::default();
+        let report = repair_schedule(&d, &coverage, &graph, &base_run, &patch, &options)
+            .expect("repair never exhausts the slot budget here");
+
+        prop_assert_eq!(
+            verify_covering_schedule(&patch.deployment, &report.run.schedule),
+            Ok(()),
+            "repair produced an invalid schedule"
+        );
+
+        let (_, _, cold) = solve(&patch.deployment, 0);
+        prop_assert_eq!(
+            report.run.schedule.tags_served(),
+            cold.schedule.tags_served(),
+            "repair must serve exactly the coverable tags"
+        );
+        if report.cold_fallback {
+            // A fallback *is* the cold solve (same algorithm + seed).
+            prop_assert_eq!(&report.run.schedule, &cold.schedule);
+        } else {
+            let bound =
+                (options.rho * base_run.schedule.size() as f64).ceil() as usize + 1;
+            prop_assert!(
+                report.run.schedule.size() <= bound,
+                "repair kept {} slots past the ρ guard of {bound}",
+                report.run.schedule.size()
+            );
+            prop_assert_eq!(
+                report.kept_slots + report.appended_slots,
+                report.run.schedule.size()
+            );
+        }
+    }
+
+    /// `max_dirty_fraction = 0` forces the cold path for any delta that
+    /// dirties at least one tag; the result must be bit-identical to an
+    /// independent cold solve of the patched deployment.
+    #[test]
+    fn forced_fallback_equals_the_cold_solve(
+        scen_seed in 0u64..12,
+        op_seed in 0u64..1_000_000_000,
+    ) {
+        let d = base_deployment(scen_seed);
+        let (coverage, graph, base_run) = solve(&d, 0);
+        // Guarantee at least one dirty tag regardless of the stream.
+        let mut ops = vec![ScenarioDelta::AddTag { x: 1.0, y: 1.0 }];
+        ops.extend(op_stream(&d, op_seed, 4));
+        let patch = apply_ops(&d, &ops).expect("stream ops are in range");
+        let options = RepairOptions {
+            max_dirty_fraction: 0.0,
+            ..RepairOptions::default()
+        };
+        let report = repair_schedule(&d, &coverage, &graph, &base_run, &patch, &options)
+            .expect("cold path is a plain solve");
+        prop_assert!(report.cold_fallback);
+        prop_assert_eq!(report.kept_slots, 0);
+        let (_, _, cold) = solve(&patch.deployment, 0);
+        prop_assert_eq!(report.run.schedule, cold.schedule);
+    }
+}
+
+/// The empty delta is the strongest differential case: nothing is
+/// dirty, so the repair must replay the base schedule unchanged.
+#[test]
+fn empty_delta_replays_the_base_schedule_exactly() {
+    for seed in 0..4u64 {
+        let d = base_deployment(seed);
+        let (coverage, graph, base_run) = solve(&d, 0);
+        let patch = apply_ops(&d, &[]).unwrap();
+        let report = repair_schedule(
+            &d,
+            &coverage,
+            &graph,
+            &base_run,
+            &patch,
+            &RepairOptions::default(),
+        )
+        .unwrap();
+        assert!(!report.cold_fallback);
+        assert_eq!(report.appended_slots, 0, "seed {seed}");
+        assert_eq!(report.run.schedule, base_run.schedule, "seed {seed}");
+    }
+}
+
+/// Chained repair across a mobile epoch stream: each epoch's
+/// `MoveReader` ops repair the previous epoch's schedule, and every
+/// intermediate schedule must verify against its epoch's deployment.
+#[test]
+fn mobility_delta_stream_chains_through_repair() {
+    let initial = scenario(12, 150, 12.0, 6.0).generate(9);
+    let sim = rfid_sim::MobilitySim {
+        initial: initial.clone(),
+        model: rfid_sim::MobilityModel::RandomWalk { sigma: 2.0 },
+        slots_per_epoch: 2,
+        max_epochs: 4,
+        seed: 9,
+    };
+    let stream = sim.delta_stream(4);
+    let mut d = initial;
+    let (mut coverage, mut graph, mut run) = solve(&d, 0);
+    let mut repaired_epochs = 0usize;
+    for ops in &stream {
+        let patch = apply_ops(&d, ops).unwrap();
+        let report = repair_schedule(
+            &d,
+            &coverage,
+            &graph,
+            &run,
+            &patch,
+            &RepairOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            verify_covering_schedule(&patch.deployment, &report.run.schedule),
+            Ok(())
+        );
+        if !report.cold_fallback {
+            repaired_epochs += 1;
+        }
+        d = patch.deployment;
+        coverage = Coverage::build(&d);
+        graph = interference_graph(&d);
+        run = report.run;
+    }
+    assert!(
+        repaired_epochs > 0,
+        "σ=2 walks must leave at least one epoch repairable"
+    );
+}
