@@ -1,24 +1,35 @@
 //! Closed-loop and pipelined TCP throughput benchmark for the
 //! `rfid-serve` daemon, plus a multi-process consistent-hash router leg.
 //!
-//! Four legs, all over loopback TCP:
+//! Six legs, all over loopback TCP:
 //!
 //! 1. **Uncached closed-loop** — `--clients` threads, one request in
 //!    flight each, cache disabled: every request solves.
 //! 2. **Cached closed-loop** — identical sequence, cache enabled. The
 //!    workload is production-ish skewed: 90% of requests cycle a small
 //!    hot pool, 10% long tail with modest reuse (`TAIL_REUSE`).
-//! 3. **Cached pipelined** — one connection, cache prewarmed, requests
-//!    written in batches of [`PIPELINE_BATCH`] before any response is
-//!    read. This is the reactor's headline number: no per-request RTT
-//!    stall, throughput bounded by codec + cache lookup alone.
-//! 4. **Router scaling** — shard daemons spawned as *separate
+//! 3. **Full-frame pipelined** — one raw connection, cache prewarmed,
+//!    precomputed `Schedule` frames written in batches of
+//!    [`PIPELINE_BATCH`] before any response is read. The server walks
+//!    its full hot path per request: serde parse, canonicalise, hash,
+//!    cache lookup, payload re-render.
+//! 4. **Key pipelined** — byte-for-byte the same harness, but the
+//!    precomputed frames are protocol-v4 `Key` frames. The server
+//!    shallow-scans the key and splices pre-rendered payload bytes into
+//!    the reply; the two legs differ *only* in the server-side path, so
+//!    their ratio ([`KEY_SPEEDUP_FLOOR`]) is the fast path's price tag.
+//! 5. **Router scaling** — shard daemons spawned as *separate
 //!    processes* (`--shard-daemon`, a hidden self-exec flag), fronted
-//!    by an in-process consistent-hash [`Router`]. The same cold
-//!    workload runs through 1 shard and then 2; the report records the
+//!    by an in-process consistent-hash [`Router`]. Each leg first
+//!    prewarms every shard cache through the router (untimed), then
+//!    times warm passes over the job set — so 1-vs-2-shard compares
+//!    *forwarding* capacity, not solver time (schema 3 pushed cold
+//!    jobs and measured the solver instead). The report records the
 //!    throughput ratio and the fleet-wide counter invariant
 //!    (`hits + misses + coalesced == requests`) aggregated at the
 //!    router.
+//! 6. **Router key path** — the same prewarmed 2-shard fleet driven
+//!    with `Key` frames, which the router forwards by shallow scan.
 //!
 //! Usage:
 //!   serve_throughput [--quick] [--requests N] [--clients N] [--workers N]
@@ -26,17 +37,24 @@
 //!   serve_throughput --check PATH   # validate an existing report
 //!
 //! `--check` re-validates a committed `BENCH_serve.json` (schema fields,
-//! counter invariants, the pipelined floor, router scaling) without
-//! re-running. The scaling floor is host-aware: near-linear (≥
+//! counter invariants, the pipelined floors, router scaling) without
+//! re-running. The key-path floor is relative to the full-frame leg *in
+//! the same report*, which makes it host-aware by construction — both
+//! legs ran back-to-back on the same box. The scaling floor is
+//! host-aware too: a healthy warm-forwarding ratio (≥
 //! [`SCALING_FLOOR_MULTICORE`]) is demanded only of reports generated
-//! on ≥ 4 CPUs — on a 1-core box two CPU-bound shard processes time-slice
+//! on ≥ 4 CPUs — on a 1-core box three CPU-bound processes time-slice
 //! one core and the honest ratio is ~1.0, so the floor there is "adding
 //! a shard must not collapse throughput" (≥ [`SCALING_FLOOR_1CORE`]).
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rfid_model::{RadiusModel, Scenario, ScenarioKind};
-use rfid_serve::{JobSpec, Router, RouterConfig, ServeConfig, Server, TcpClient, Workload};
+use rfid_serve::protocol::encode_frame;
+use rfid_serve::{
+    JobSpec, Request, Router, RouterConfig, ServeConfig, Server, TcpClient, Workload,
+    PROTOCOL_VERSION,
+};
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -53,14 +71,24 @@ const TAIL_REUSE: usize = 4;
 /// the floor guards against the cache *stopping to matter*, not against
 /// the solver getting faster.
 const SPEEDUP_FLOOR: f64 = 3.0;
-/// Acceptance floor for the cached pipelined leg (req/s).
+/// Acceptance floor for the full-frame pipelined leg (req/s).
 const PIPELINED_FLOOR: f64 = 10_000.0;
+/// Acceptance floor for the key pipelined leg, as a multiple of the
+/// full-frame pipelined leg in the same report. Relative rather than
+/// absolute so it holds on any host: both legs share the harness and
+/// the box, and the only difference is the server-side request path.
+const KEY_SPEEDUP_FLOOR: f64 = 3.0;
 /// Requests written per pipelined batch (under the reactor's
 /// per-connection backpressure cap).
 const PIPELINE_BATCH: usize = 256;
-/// Router scaling floor on hosts with ≥ 4 CPUs: near-linear (2 shards
-/// of [`SHARD_WORKERS`] workers each vs 1).
-const SCALING_FLOOR_MULTICORE: f64 = 1.3;
+/// Timed warm passes over the router job set per router leg.
+const ROUTER_PASSES: usize = 16;
+/// Router scaling floor on hosts with ≥ 4 CPUs. Warm forwarding splits
+/// the per-request work between the router (parse + forward) and the
+/// shard (parse + canonicalise + render); with the shard the heavier
+/// half, a second shard process must buy real throughput before the
+/// router serialises.
+const SCALING_FLOOR_MULTICORE: f64 = 1.2;
 /// Router scaling floor on smaller hosts: no collapse.
 const SCALING_FLOOR_1CORE: f64 = 0.6;
 /// Workers per shard *process* in the router legs — deliberately below
@@ -86,14 +114,26 @@ struct Leg {
     errors: u64,
 }
 
-/// The single-connection pipelined leg (cache prewarmed outside the
-/// timed window).
+/// One single-connection pipelined leg (cache prewarmed outside the
+/// timed window; frames precomputed so the client's only timed work is
+/// write/read syscalls and the two modes differ solely in the
+/// server-side path).
 #[derive(Debug, Serialize, Deserialize)]
 struct PipelinedLeg {
+    /// `"full-frame"` (`Schedule` frames) or `"key"` (v4 `Key` frames).
+    mode: String,
     requests: usize,
     batch: usize,
     wall_ms: f64,
     requests_per_sec: f64,
+    /// Per-reply latency percentiles (ms), measured from each batch's
+    /// last written byte to the reply line coming back. Pipelined
+    /// latency is queueing-dominated — position in the batch, not
+    /// server work, sets the tail — so read these as "time to drain a
+    /// [`PIPELINE_BATCH`] burst", comparable across modes.
+    latency_p50_ms: f64,
+    latency_p95_ms: f64,
+    latency_p99_ms: f64,
     /// Admitted requests per the server (timed window + prewarm).
     admitted: u64,
     cache_hits: u64,
@@ -102,13 +142,22 @@ struct PipelinedLeg {
     errors: u64,
 }
 
-/// One router leg: `shards` daemon *processes* behind one router.
+/// One router leg: `shards` daemon *processes* behind one router, every
+/// shard cache prewarmed through the router before the timed window.
 #[derive(Debug, Serialize, Deserialize)]
 struct RouterLeg {
     shards: usize,
+    /// `"full-frame"` or `"key"` — what the timed window sent.
+    mode: String,
+    /// Untimed cold solves pushed through the router to warm the
+    /// shards (= the distinct job count).
+    prewarm_requests: u64,
+    /// Timed warm requests (`passes` passes over the jobs).
+    timed_requests: u64,
     wall_ms: f64,
     requests_per_sec: f64,
-    /// Fleet-wide counters aggregated by the router after the leg.
+    /// Fleet-wide counters aggregated by the router after the leg
+    /// (prewarm + timed window).
     fleet_requests: u64,
     fleet_hits: u64,
     fleet_misses: u64,
@@ -118,10 +167,14 @@ struct RouterLeg {
 
 #[derive(Debug, Serialize, Deserialize)]
 struct RouterScaling {
-    /// Distinct cold jobs pushed through each leg.
+    /// Distinct jobs prewarmed into each leg's fleet.
     jobs: usize,
+    /// Timed passes over the job set per leg.
+    passes: usize,
     one_shard: RouterLeg,
     two_shards: RouterLeg,
+    /// The prewarmed 2-shard fleet driven with v4 `Key` frames.
+    two_shards_key: RouterLeg,
     /// `two_shards.requests_per_sec / one_shard.requests_per_sec`.
     scaling: f64,
 }
@@ -152,6 +205,9 @@ struct Report {
     uncached: Leg,
     speedup: f64,
     pipelined: PipelinedLeg,
+    pipelined_key: PipelinedLeg,
+    /// `pipelined_key.requests_per_sec / pipelined.requests_per_sec`.
+    key_speedup: f64,
     router: RouterScaling,
 }
 
@@ -173,7 +229,7 @@ fn job(seed: u64) -> JobSpec {
     spec
 }
 
-/// The pipelined leg's hot job: a compact deployment so the measurement
+/// The pipelined legs' hot job: a compact deployment so the measurement
 /// is transport-and-cache-bound rather than payload-size-bound (the
 /// closed-loop legs keep the full-size [`job`]). Interactive planners
 /// polling a dashboard look like this: small scenario, high repeat rate.
@@ -251,6 +307,35 @@ fn hammer(addr: &str, sequence: &Arc<Vec<JobSpec>>, clients: usize) -> (Duration
     (start.elapsed(), latencies_ms)
 }
 
+/// Closed-loop hammer over v4 `Key` frames: every request must come
+/// back as a warm cache hit (the keys were prewarmed).
+fn hammer_keys(addr: &str, sequence: &Arc<Vec<String>>, clients: usize) -> Duration {
+    let next = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|_| {
+            let sequence = Arc::clone(sequence);
+            let next = Arc::clone(&next);
+            let addr = addr.to_string();
+            std::thread::spawn(move || {
+                let mut client = TcpClient::connect(&addr).expect("connect");
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(key) = sequence.get(i) else {
+                        break;
+                    };
+                    let reply = client.schedule_by_key(key, &[]).expect("key request");
+                    assert!(reply.cached, "prewarmed key {key} answered uncached");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    start.elapsed()
+}
+
 /// One closed-loop leg against a fresh in-process daemon.
 fn run_leg(sequence: &Arc<Vec<JobSpec>>, clients: usize, workers: usize, cache_cap: usize) -> Leg {
     let server = Server::start(
@@ -283,9 +368,50 @@ fn run_leg(sequence: &Arc<Vec<JobSpec>>, clients: usize, workers: usize, cache_c
     }
 }
 
-/// The pipelined leg: one connection, hot pool prewarmed, then `total`
-/// requests written in batches before any response is read.
-fn run_pipelined_leg(total: usize, workers: usize) -> PipelinedLeg {
+/// Writes precomputed request lines in batches over one raw TCP
+/// connection, reading all replies between batches. Returns wall time
+/// and per-reply latencies (measured from the batch write). Replies are
+/// sanity-checked to be `Schedule` frames but deliberately not parsed:
+/// both pipelined modes pay identical client-side costs, so the mode
+/// delta isolates the server's request path.
+fn raw_pipelined(addr: &str, lines: &[String], total: usize, batch: usize) -> (Duration, Vec<f64>) {
+    let stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = std::io::BufReader::new(stream);
+    let mut latencies_ms = Vec::with_capacity(total);
+    let mut reply = String::new();
+    let start = Instant::now();
+    let mut done = 0usize;
+    while done < total {
+        let n = batch.min(total - done);
+        let mut wire = String::new();
+        for i in 0..n {
+            wire.push_str(&lines[(done + i) % lines.len()]);
+        }
+        writer.write_all(wire.as_bytes()).expect("batch write");
+        let sent = Instant::now();
+        for _ in 0..n {
+            reply.clear();
+            let read = reader.read_line(&mut reply).expect("batch reply");
+            assert!(read > 0, "server closed mid-batch");
+            assert!(
+                reply.starts_with("{\"Schedule\""),
+                "unexpected reply: {}",
+                reply.trim_end()
+            );
+            latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+        }
+        done += n;
+    }
+    (start.elapsed(), latencies_ms)
+}
+
+/// One pipelined leg: prewarm the hot pool through a normal client,
+/// then drive `total` precomputed frames through [`raw_pipelined`].
+/// `key_mode` swaps the precomputed frames from full `Schedule` frames
+/// to v4 `Key` frames addressing the prewarmed entries.
+fn run_pipelined_leg(key_mode: bool, total: usize, workers: usize) -> PipelinedLeg {
     let server = Server::start(
         "127.0.0.1:0",
         ServeConfig {
@@ -297,34 +423,51 @@ fn run_pipelined_leg(total: usize, workers: usize) -> PipelinedLeg {
         },
     )
     .expect("bind loopback");
-    let mut client = TcpClient::connect(&server.addr().to_string()).expect("connect");
+    let addr = server.addr().to_string();
     let pool: Vec<JobSpec> = (0..POPULAR_POOL).map(|s| compact_job(s as u64)).collect();
-    for spec in &pool {
-        client.schedule(spec, None).expect("prewarm");
-    }
-    let start = Instant::now();
-    let mut done = 0usize;
-    while done < total {
-        let n = PIPELINE_BATCH.min(total - done);
-        let batch: Vec<JobSpec> = (0..n)
-            .map(|i| pool[(done + i) % pool.len()].clone())
-            .collect();
-        let replies = client
-            .schedule_batch(&batch, None)
-            .expect("pipelined batch");
-        for reply in replies {
-            reply.expect("pipelined reply");
+    let mut keys = Vec::with_capacity(pool.len());
+    {
+        let mut client = TcpClient::connect(&addr).expect("connect");
+        for spec in &pool {
+            keys.push(client.schedule(spec, None).expect("prewarm").key);
         }
-        done += n;
     }
-    let wall = start.elapsed();
+    let lines: Vec<String> = if key_mode {
+        keys.iter()
+            .map(|key| {
+                encode_frame(&Request::Key {
+                    key: key.clone(),
+                    ops: None,
+                    request_id: None,
+                    v: Some(PROTOCOL_VERSION),
+                })
+            })
+            .collect()
+    } else {
+        pool.iter()
+            .map(|job| {
+                encode_frame(&Request::Schedule {
+                    job: job.clone(),
+                    deadline_ms: None,
+                    request_id: None,
+                    v: Some(PROTOCOL_VERSION),
+                })
+            })
+            .collect()
+    };
+    let (wall, mut latencies_ms) = raw_pipelined(&addr, &lines, total, PIPELINE_BATCH);
     let stats = server.service().stats();
     server.shutdown();
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
     PipelinedLeg {
+        mode: if key_mode { "key" } else { "full-frame" }.to_string(),
         requests: total,
         batch: PIPELINE_BATCH,
         wall_ms: wall.as_secs_f64() * 1e3,
         requests_per_sec: total as f64 / wall.as_secs_f64(),
+        latency_p50_ms: percentile(&latencies_ms, 50.0),
+        latency_p95_ms: percentile(&latencies_ms, 95.0),
+        latency_p99_ms: percentile(&latencies_ms, 99.0),
         admitted: stats.requests,
         cache_hits: stats.cache_hits,
         cache_misses: stats.cache_misses,
@@ -377,9 +520,18 @@ fn shard_daemon_main(workers: usize) -> ! {
     std::process::exit(0);
 }
 
-/// One router leg: `n_shards` daemon processes behind a fresh router,
-/// the shared cold sequence pushed through closed-loop clients.
-fn run_router_leg(n_shards: usize, jobs: &Arc<Vec<JobSpec>>, clients: usize) -> RouterLeg {
+/// One router leg: `n_shards` daemon processes behind a fresh router.
+/// Every job is first solved once *through the router* (untimed) so the
+/// shard caches are warm, then `passes` passes over the job set are
+/// timed — as full `Schedule` frames, or as v4 `Key` frames when
+/// `key_mode` is set.
+fn run_router_leg(
+    n_shards: usize,
+    jobs: &Arc<Vec<JobSpec>>,
+    clients: usize,
+    passes: usize,
+    key_mode: bool,
+) -> RouterLeg {
     let mut children = Vec::with_capacity(n_shards);
     let mut addrs = Vec::with_capacity(n_shards);
     for _ in 0..n_shards {
@@ -395,8 +547,29 @@ fn run_router_leg(n_shards: usize, jobs: &Arc<Vec<JobSpec>>, clients: usize) -> 
         },
     )
     .expect("start router");
-    let (wall, _latencies) = hammer(&router.addr().to_string(), jobs, clients);
-    let mut stats_client = TcpClient::connect(&router.addr().to_string()).expect("stats connect");
+    let router_addr = router.addr().to_string();
+    // Prewarm: one cold solve per job, sequentially through the router,
+    // collecting each job's content key for the key-mode timed window.
+    let mut keys = Vec::with_capacity(jobs.len());
+    {
+        let mut client = TcpClient::connect(&router_addr).expect("prewarm connect");
+        for spec in jobs.iter() {
+            keys.push(client.schedule(spec, None).expect("prewarm").key);
+        }
+    }
+    let timed_total = jobs.len() * passes;
+    let wall = if key_mode {
+        let sequence: Vec<String> = (0..timed_total)
+            .map(|i| keys[i % keys.len()].clone())
+            .collect();
+        hammer_keys(&router_addr, &Arc::new(sequence), clients)
+    } else {
+        let sequence: Vec<JobSpec> = (0..timed_total)
+            .map(|i| jobs[i % jobs.len()].clone())
+            .collect();
+        hammer(&router_addr, &Arc::new(sequence), clients).0
+    };
+    let mut stats_client = TcpClient::connect(&router_addr).expect("stats connect");
     let (fleet, _metrics) = stats_client.stats().expect("aggregated stats");
     drop(stats_client);
     router.shutdown();
@@ -409,8 +582,11 @@ fn run_router_leg(n_shards: usize, jobs: &Arc<Vec<JobSpec>>, clients: usize) -> 
     }
     RouterLeg {
         shards: n_shards,
+        mode: if key_mode { "key" } else { "full-frame" }.to_string(),
+        prewarm_requests: jobs.len() as u64,
+        timed_requests: timed_total as u64,
         wall_ms: wall.as_secs_f64() * 1e3,
-        requests_per_sec: jobs.len() as f64 / wall.as_secs_f64(),
+        requests_per_sec: timed_total as f64 / wall.as_secs_f64(),
         fleet_requests: fleet.requests,
         fleet_hits: fleet.cache_hits,
         fleet_misses: fleet.cache_misses,
@@ -425,14 +601,14 @@ fn check(path: &str) -> Result<(), String> {
     if report.bench != "serve_throughput" {
         return Err(format!("unexpected bench name {:?}", report.bench));
     }
-    if report.schema_version < 3 {
+    if report.schema_version < 4 {
         return Err(format!(
-            "schema version {} predates the pipelined/router legs",
+            "schema version {} predates the key-path legs",
             report.schema_version
         ));
     }
-    if report.cached.errors != 0 || report.uncached.errors != 0 || report.pipelined.errors != 0 {
-        return Err("request errors recorded in a leg".into());
+    if report.cached.errors != 0 || report.uncached.errors != 0 {
+        return Err("request errors recorded in a closed-loop leg".into());
     }
     let total = report.cached.cache_hits + report.cached.cache_misses + report.cached.coalesced;
     if total != report.requests as u64 {
@@ -464,36 +640,88 @@ fn check(path: &str) -> Result<(), String> {
             report.speedup
         ));
     }
-    // Pipelined leg: the counter invariant must hold and the floor is
-    // unconditional — this is the single-daemon acceptance number.
-    let p = &report.pipelined;
-    if p.cache_hits + p.cache_misses + p.coalesced != p.admitted {
+    // Pipelined legs: counter invariants, latency ordering, and the two
+    // floors — an absolute full-frame floor (the single-daemon
+    // acceptance number) and the key leg's relative floor against the
+    // full-frame leg of the *same report* (same harness, same host).
+    for p in [&report.pipelined, &report.pipelined_key] {
+        if p.errors != 0 {
+            return Err(format!(
+                "request errors recorded in the {} pipelined leg",
+                p.mode
+            ));
+        }
+        if p.cache_hits + p.cache_misses + p.coalesced != p.admitted {
+            return Err(format!(
+                "{} pipelined leg hits+misses+coalesced ({}) disagree with admitted ({})",
+                p.mode,
+                p.cache_hits + p.cache_misses + p.coalesced,
+                p.admitted
+            ));
+        }
+        if !(p.latency_p50_ms <= p.latency_p95_ms && p.latency_p95_ms <= p.latency_p99_ms) {
+            return Err(format!(
+                "{} pipelined latency percentiles out of order (p50 {} / p95 {} / p99 {})",
+                p.mode, p.latency_p50_ms, p.latency_p95_ms, p.latency_p99_ms
+            ));
+        }
+        if p.latency_p99_ms <= 0.0 {
+            return Err(format!("non-positive {} pipelined p99 latency", p.mode));
+        }
+        // Every timed pipelined request hits the prewarmed pool.
+        if p.cache_hits < p.requests as u64 {
+            return Err(format!(
+                "{} pipelined leg recorded {} hits for {} warm requests",
+                p.mode, p.cache_hits, p.requests
+            ));
+        }
+    }
+    if report.pipelined.requests_per_sec < PIPELINED_FLOOR {
         return Err(format!(
-            "pipelined leg hits+misses+coalesced ({}) disagree with admitted ({})",
-            p.cache_hits + p.cache_misses + p.coalesced,
-            p.admitted
+            "pipelined full-frame leg {:.0} req/s below the {PIPELINED_FLOOR:.0} req/s floor",
+            report.pipelined.requests_per_sec
         ));
     }
-    if p.requests_per_sec < PIPELINED_FLOOR {
+    let key_ratio = report.pipelined_key.requests_per_sec / report.pipelined.requests_per_sec;
+    if key_ratio < KEY_SPEEDUP_FLOOR {
         return Err(format!(
-            "pipelined cached leg {:.0} req/s below the {PIPELINED_FLOOR:.0} req/s floor",
-            p.requests_per_sec
+            "key pipelined leg {:.0} req/s is only {key_ratio:.2}× the full-frame leg \
+             ({:.0} req/s) — below the {KEY_SPEEDUP_FLOOR}× floor",
+            report.pipelined_key.requests_per_sec, report.pipelined.requests_per_sec
         ));
     }
-    // Router legs: the fleet-wide invariant must survive aggregation.
-    for leg in [&report.router.one_shard, &report.router.two_shards] {
+    // Router legs: the fleet-wide invariant must survive aggregation,
+    // and the timed window must have been pure warm forwarding — every
+    // timed request a hit, every miss confined to the prewarm.
+    let r = &report.router;
+    for leg in [&r.one_shard, &r.two_shards, &r.two_shards_key] {
         if leg.fleet_hits + leg.fleet_misses + leg.fleet_coalesced != leg.fleet_requests {
             return Err(format!(
-                "router leg ({} shards): fleet hits+misses+coalesced ({}) disagree with requests ({})",
+                "router leg ({} shards, {}): fleet hits+misses+coalesced ({}) disagree with requests ({})",
                 leg.shards,
+                leg.mode,
                 leg.fleet_hits + leg.fleet_misses + leg.fleet_coalesced,
                 leg.fleet_requests
             ));
         }
-        if leg.fleet_requests != report.router.jobs as u64 {
+        if leg.fleet_requests != leg.prewarm_requests + leg.timed_requests {
             return Err(format!(
-                "router leg ({} shards) admitted {} of {} jobs",
-                leg.shards, leg.fleet_requests, report.router.jobs
+                "router leg ({} shards, {}) admitted {} of {} prewarm + {} timed requests",
+                leg.shards, leg.mode, leg.fleet_requests, leg.prewarm_requests, leg.timed_requests
+            ));
+        }
+        if leg.fleet_hits != leg.timed_requests {
+            return Err(format!(
+                "router leg ({} shards, {}): {} fleet hits for {} warm timed requests — \
+                 the timed window was not forwarding-bound",
+                leg.shards, leg.mode, leg.fleet_hits, leg.timed_requests
+            ));
+        }
+        if leg.prewarm_requests != r.jobs as u64 || leg.timed_requests != (r.jobs * r.passes) as u64
+        {
+            return Err(format!(
+                "router leg ({} shards, {}) ran {}+{} requests for {} jobs × {} passes",
+                leg.shards, leg.mode, leg.prewarm_requests, leg.timed_requests, r.jobs, r.passes
             ));
         }
     }
@@ -502,19 +730,22 @@ fn check(path: &str) -> Result<(), String> {
     } else {
         SCALING_FLOOR_1CORE
     };
-    if report.router.scaling < scaling_floor {
+    if r.scaling < scaling_floor {
         return Err(format!(
             "router scaling {:.2}× below the {scaling_floor:.2}× floor for a {}-CPU host",
-            report.router.scaling, report.host_cpus
+            r.scaling, report.host_cpus
         ));
     }
     println!(
-        "OK: {} requests, hit rate {:.1}%, speedup {:.1}×, pipelined {:.0} req/s, router scaling {:.2}× ({} CPUs)",
+        "OK: {} requests, hit rate {:.1}%, speedup {:.1}×, pipelined {:.0} req/s, \
+         key {:.0} req/s ({:.1}×), router scaling {:.2}× ({} CPUs)",
         report.requests,
         report.measured_hit_rate * 100.0,
         report.speedup,
         report.pipelined.requests_per_sec,
-        report.router.scaling,
+        report.pipelined_key.requests_per_sec,
+        key_ratio,
+        r.scaling,
         report.host_cpus
     );
     Ok(())
@@ -578,7 +809,7 @@ fn main() {
         "serve_throughput: {total} requests ({distinct} distinct), {clients} clients, {workers} workers, {host_cpus} CPUs"
     );
 
-    eprintln!("leg 1/4: cache disabled (every request solves)");
+    eprintln!("leg 1/6: cache disabled (every request solves)");
     let uncached = run_leg(&sequence, clients, workers, 0);
     eprintln!(
         "  {:.0} req/s ({:.0} ms, {} solved, p50/p95/p99 {:.2}/{:.2}/{:.2} ms)",
@@ -589,7 +820,7 @@ fn main() {
         uncached.latency_p95_ms,
         uncached.latency_p99_ms
     );
-    eprintln!("leg 2/4: cache enabled");
+    eprintln!("leg 2/6: cache enabled");
     let cached = run_leg(&sequence, clients, workers, 1024);
     eprintln!(
         "  {:.0} req/s ({:.0} ms, {} solved, {} hits, p50/p95/p99 {:.2}/{:.2}/{:.2} ms)",
@@ -603,36 +834,60 @@ fn main() {
     );
 
     let pipelined_total = if quick { 5_000 } else { 30_000 };
-    eprintln!("leg 3/4: cached pipelined ({pipelined_total} requests, one connection)");
-    let pipelined = run_pipelined_leg(pipelined_total, workers);
+    eprintln!("leg 3/6: full-frame pipelined ({pipelined_total} requests, one connection)");
+    let pipelined = run_pipelined_leg(false, pipelined_total, workers);
     eprintln!(
-        "  {:.0} req/s ({:.0} ms, {} hits)",
-        pipelined.requests_per_sec, pipelined.wall_ms, pipelined.cache_hits
+        "  {:.0} req/s ({:.0} ms, {} hits, p50/p95/p99 {:.2}/{:.2}/{:.2} ms)",
+        pipelined.requests_per_sec,
+        pipelined.wall_ms,
+        pipelined.cache_hits,
+        pipelined.latency_p50_ms,
+        pipelined.latency_p95_ms,
+        pipelined.latency_p99_ms
+    );
+    eprintln!("leg 4/6: key pipelined ({pipelined_total} requests, one connection)");
+    let pipelined_key = run_pipelined_leg(true, pipelined_total, workers);
+    eprintln!(
+        "  {:.0} req/s ({:.0} ms, {} hits, p50/p95/p99 {:.2}/{:.2}/{:.2} ms)",
+        pipelined_key.requests_per_sec,
+        pipelined_key.wall_ms,
+        pipelined_key.cache_hits,
+        pipelined_key.latency_p50_ms,
+        pipelined_key.latency_p95_ms,
+        pipelined_key.latency_p99_ms
     );
 
     let router_jobs = if quick { 24 } else { 64 };
-    // All-distinct cold jobs: the scaling regime is solver-bound, the
-    // one the router exists to spread across machines.
+    let router_passes = if quick { 8 } else { ROUTER_PASSES };
     let jobs: Vec<JobSpec> = (0..router_jobs).map(|i| job(5000 + i as u64)).collect();
     let jobs = Arc::new(jobs);
     eprintln!(
-        "leg 4/4: router scaling ({router_jobs} cold jobs, {SHARD_WORKERS}-worker shard processes)"
+        "leg 5/6: router scaling ({router_jobs} prewarmed jobs × {router_passes} passes, \
+         {SHARD_WORKERS}-worker shard processes)"
     );
-    let one_shard = run_router_leg(1, &jobs, clients);
+    let one_shard = run_router_leg(1, &jobs, clients, router_passes, false);
     eprintln!(
         "  1 shard:  {:.0} req/s ({:.0} ms)",
         one_shard.requests_per_sec, one_shard.wall_ms
     );
-    let two_shards = run_router_leg(2, &jobs, clients);
+    let two_shards = run_router_leg(2, &jobs, clients, router_passes, false);
     eprintln!(
         "  2 shards: {:.0} req/s ({:.0} ms)",
         two_shards.requests_per_sec, two_shards.wall_ms
     );
+    eprintln!("leg 6/6: router key path (2 shards, v4 Key frames)");
+    let two_shards_key = run_router_leg(2, &jobs, clients, router_passes, true);
+    eprintln!(
+        "  2 shards: {:.0} req/s ({:.0} ms)",
+        two_shards_key.requests_per_sec, two_shards_key.wall_ms
+    );
     let router = RouterScaling {
         jobs: router_jobs,
+        passes: router_passes,
         scaling: two_shards.requests_per_sec / one_shard.requests_per_sec,
         one_shard,
         two_shards,
+        two_shards_key,
     };
 
     // Coalesced followers are served from the shared in-flight solve —
@@ -641,7 +896,7 @@ fn main() {
         / (cached.cache_hits + cached.cache_misses + cached.coalesced).max(1) as f64;
     let report = Report {
         bench: "serve_throughput".to_string(),
-        schema_version: 3,
+        schema_version: 4,
         host_cpus,
         requests: total,
         clients,
@@ -650,16 +905,21 @@ fn main() {
         nominal_popular_pct: 90.0,
         measured_hit_rate,
         speedup: cached.requests_per_sec / uncached.requests_per_sec,
+        key_speedup: pipelined_key.requests_per_sec / pipelined.requests_per_sec,
         cached,
         uncached,
         pipelined,
+        pipelined_key,
         router,
     };
     println!(
-        "speedup: {:.1}× (hit rate {:.1}%), pipelined {:.0} req/s, router scaling {:.2}×",
+        "speedup: {:.1}× (hit rate {:.1}%), pipelined {:.0} req/s, key {:.0} req/s ({:.1}×), \
+         router scaling {:.2}×",
         report.speedup,
         report.measured_hit_rate * 100.0,
         report.pipelined.requests_per_sec,
+        report.pipelined_key.requests_per_sec,
+        report.key_speedup,
         report.router.scaling
     );
     if let Some(dir) = std::path::Path::new(&out).parent() {
@@ -671,11 +931,20 @@ fn main() {
     )
     .expect("write report");
     eprintln!("wrote {out}");
-    if report.speedup < SPEEDUP_FLOOR && !quick {
-        eprintln!(
-            "WARNING: speedup {:.2}× below the {SPEEDUP_FLOOR}× acceptance floor",
-            report.speedup
-        );
-        std::process::exit(1);
+    if !quick {
+        if report.speedup < SPEEDUP_FLOOR {
+            eprintln!(
+                "WARNING: speedup {:.2}× below the {SPEEDUP_FLOOR}× acceptance floor",
+                report.speedup
+            );
+            std::process::exit(1);
+        }
+        if report.key_speedup < KEY_SPEEDUP_FLOOR {
+            eprintln!(
+                "WARNING: key-path speedup {:.2}× below the {KEY_SPEEDUP_FLOOR}× acceptance floor",
+                report.key_speedup
+            );
+            std::process::exit(1);
+        }
     }
 }

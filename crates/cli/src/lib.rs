@@ -243,6 +243,10 @@ pub enum Command {
         delta: Option<String>,
         /// Base content key (fixed-width hex) the delta applies to.
         base: Option<String>,
+        /// Content key (fixed-width hex) — sends a protocol v4 key
+        /// frame: the server answers from cache without re-reading the
+        /// scenario, or a structured `key-miss` 404.
+        key: Option<String>,
     },
     /// Apply a delta ops file to a base job locally, mirroring the
     /// server's canonicalise → materialise → patch pipeline: write the
@@ -296,6 +300,7 @@ USAGE:
   mrrfid request  [--addr HOST:PORT] --delta OPS.json --base KEY
                   [--deadline-ms D] [--payload-out FILE]
                   [--failover HOST:PORT,HOST:PORT]
+  mrrfid request  [--addr HOST:PORT] --key KEY [--payload-out FILE]
   mrrfid request  [--addr HOST:PORT] --stats
   mrrfid request  [--addr HOST:PORT] --shutdown
   mrrfid patch    --scenario FILE --ops OPS.json --out FILE
@@ -523,9 +528,18 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let scenario = f.get("scenario").cloned();
             let delta = f.get("delta").cloned();
             let base = f.get("base").cloned();
-            if !stats && !shutdown && scenario.is_none() && delta.is_none() {
+            let key = f.get("key").cloned();
+            if !stats && !shutdown && scenario.is_none() && delta.is_none() && key.is_none() {
                 return Err(CliError::Usage(
-                    "request needs --scenario FILE, --delta OPS.json, --stats or --shutdown"
+                    "request needs --scenario FILE, --delta OPS.json, --key KEY, --stats \
+                     or --shutdown"
+                        .to_string(),
+                ));
+            }
+            if key.is_some() && (scenario.is_some() || delta.is_some()) {
+                return Err(CliError::Usage(
+                    "--key is exclusive with --scenario/--delta: a key frame carries \
+                     nothing but the content key"
                         .to_string(),
                 ));
             }
@@ -561,6 +575,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 failover: parse_addr_list(f.get("failover")),
                 delta,
                 base,
+                key,
             })
         }
         "patch" => {
@@ -1022,6 +1037,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             failover,
             delta,
             base,
+            key,
         } => {
             if stats {
                 let mut client = TcpClient::connect(&addr)
@@ -1086,6 +1102,30 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 .addrs(targets)
                 .build()
                 .map_err(|e| CliError::Remote(format!("connect {addr}: {e}")))?;
+            // A key request is deliberately NOT routed through the
+            // builder's memo: the caller asked for the key path, so a
+            // key-miss surfaces as a structured remote error (exit 5)
+            // instead of silently re-solving.
+            if let Some(key) = &key {
+                let mut client = TcpClient::connect(&addr)
+                    .map_err(|e| CliError::Remote(format!("connect {addr}: {e}")))?;
+                let reply = client.schedule_by_key(key, &[])?;
+                if let Some(out) = &payload_out {
+                    std::fs::write(out, reply.payload.as_bytes())
+                        .map_err(|e| CliError::io(out, "write", e))?;
+                }
+                let outcome = reply.outcome().map_err(CliError::Data)?;
+                return Ok(format!(
+                    "key: {}\ncached: {}\n{}: {} slots, {} tags served, {} unreachable, complete: {}\n",
+                    reply.key,
+                    reply.cached,
+                    outcome.algorithm,
+                    outcome.slots,
+                    outcome.tags_served,
+                    outcome.uncoverable,
+                    outcome.complete
+                ));
+            }
             let reply: ScheduleReply = if let Some(ops_path) = &delta {
                 let ops = load_ops(ops_path)?;
                 let base = base.expect("parse() guarantees --base here");
@@ -1586,6 +1626,7 @@ mod serve_request_tests {
                 failover,
                 delta,
                 base,
+                key,
             } => {
                 assert_eq!(addr, DEFAULT_ADDR);
                 assert_eq!(scenario.as_deref(), Some("s.json"));
@@ -1596,7 +1637,7 @@ mod serve_request_tests {
                 assert_eq!(payload_out.as_deref(), Some("p.json"));
                 assert!(!stats && !shutdown);
                 assert!(failover.is_empty());
-                assert!(delta.is_none() && base.is_none());
+                assert!(delta.is_none() && base.is_none() && key.is_none());
             }
             other => panic!("wrong parse: {other:?}"),
         }
@@ -1618,6 +1659,27 @@ mod serve_request_tests {
             parse(&argv("request --shutdown")).unwrap(),
             Command::Request { shutdown: true, .. }
         ));
+    }
+
+    #[test]
+    fn parses_key_request_variants() {
+        match parse(&argv("request --key 00000000deadbeef")).unwrap() {
+            Command::Request { key, scenario, .. } => {
+                assert_eq!(key.as_deref(), Some("00000000deadbeef"));
+                assert!(scenario.is_none());
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // --key carries nothing else: combining it with the full or
+        // delta shapes is a usage error, not a confusing remote one.
+        for bad in [
+            "request --key ab --scenario s.json",
+            "request --key ab --delta ops.json --base cd",
+        ] {
+            let err = parse(&argv(bad)).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{err}");
+            assert!(err.to_string().contains("--key"), "{err}");
+        }
     }
 
     #[test]
@@ -1706,8 +1768,26 @@ mod serve_request_tests {
         .unwrap();
         assert!(out2.contains("cached: true"), "{out2}");
 
+        // Address the cached schedule by content key alone (protocol v4).
+        let key_hex = out2
+            .lines()
+            .find_map(|l| l.strip_prefix("key: "))
+            .expect("reply prints the content key");
+        let by_key =
+            run(parse(&argv(&format!("request --addr {addr} --key {key_hex}"))).unwrap()).unwrap();
+        assert!(by_key.contains("cached: true"), "{by_key}");
+        assert!(by_key.contains(&format!("key: {key_hex}")), "{by_key}");
+        // An unknown key is a structured remote error (exit 5, key-miss).
+        let err = run(parse(&argv(&format!(
+            "request --addr {addr} --key 00000000000000ee"
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 5, "{err}");
+        assert!(err.to_string().contains("key-miss"), "{err}");
+
         let stats = run(parse(&argv(&format!("request --addr {addr} --stats"))).unwrap()).unwrap();
-        assert!(stats.contains("cache hits:        1"), "{stats}");
+        assert!(stats.contains("cache hits:        2"), "{stats}");
 
         let bye = run(parse(&argv(&format!("request --addr {addr} --shutdown"))).unwrap()).unwrap();
         assert!(bye.contains("shutdown"), "{bye}");

@@ -17,17 +17,33 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
 const SHARDS: usize = 8;
 
 struct Entry {
     payload: Arc<str>,
+    /// The payload pre-rendered as a JSON string literal (quotes and
+    /// escapes included), built lazily on the first wire probe and
+    /// reused by every later one — the request-by-key fast path splices
+    /// these bytes straight into the reply envelope, so a hit never
+    /// re-serialises the payload.
+    wire: OnceLock<Arc<str>>,
     /// Last-touched tick from the global clock (atomic so hits can bump
     /// it under the shard's read lock).
     stamp: AtomicU64,
     inserted: Instant,
+}
+
+impl Entry {
+    fn wire(&self) -> Arc<str> {
+        Arc::clone(self.wire.get_or_init(|| {
+            let rendered = serde_json::to_string(self.payload.as_ref())
+                .expect("string serialisation cannot fail");
+            Arc::from(rendered)
+        }))
+    }
 }
 
 /// Point-in-time cache counters, reported through the service's stats
@@ -137,6 +153,7 @@ impl ScheduleCache {
         let mut map = self.shard(key).write().expect("cache shard poisoned");
         let fresh = Entry {
             payload,
+            wire: OnceLock::new(),
             stamp: AtomicU64::new(tick),
             inserted: Instant::now(),
         };
@@ -170,6 +187,32 @@ impl ScheduleCache {
             }
         }
         evicted
+    }
+
+    /// The request-by-key probe: on a hit, returns the payload together
+    /// with its pre-rendered wire form (the payload as a JSON string
+    /// literal), counting the hit and refreshing recency exactly like
+    /// [`ScheduleCache::get`]. A **miss is counter-quiet**: a key
+    /// request that finds nothing is answered as a structured key-miss
+    /// and the client retries with a full frame — counting that probe
+    /// as a cache miss would double-count the one logical request and
+    /// break `hits + misses + coalesced == requests`. Expired entries
+    /// miss quietly too (left for `get`/`insert` to reap — the fast
+    /// path never takes a write lock).
+    pub fn probe_wire(&self, key: u64) -> Option<(Arc<str>, Arc<str>)> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let map = self.shard(key).read().expect("cache shard poisoned");
+        match map.get(&key) {
+            Some(entry) if !self.expired(entry) => {
+                let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+                entry.stamp.store(tick, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some((Arc::clone(&entry.payload), entry.wire()))
+            }
+            _ => None,
+        }
     }
 
     /// `false` when the cache was built with capacity 0 (caching and the
@@ -332,6 +375,52 @@ mod tests {
         disabled.insert(1, payload("one"));
         assert!(!disabled.contains(1));
         assert!(disabled.entries().is_empty());
+    }
+
+    #[test]
+    fn probe_wire_hits_count_and_misses_stay_quiet() {
+        let cache = ScheduleCache::new(16, None);
+        cache.insert(1, payload(r#"{"slots":3,"label":"a\"b"}"#));
+        // Miss: counter-quiet (the caller answers a structured key-miss
+        // and the retried full frame will do the counting).
+        assert!(cache.probe_wire(2).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 0));
+        // Hit: counted like a normal get, wire form is the payload as a
+        // JSON string literal, rendered once and shared afterwards.
+        let (p, w) = cache.probe_wire(1).unwrap();
+        assert_eq!(p.as_ref(), r#"{"slots":3,"label":"a\"b"}"#);
+        assert_eq!(w.as_ref(), serde_json::to_string(p.as_ref()).unwrap());
+        let (_, w2) = cache.probe_wire(1).unwrap();
+        assert!(Arc::ptr_eq(&w, &w2), "wire bytes are rendered once");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (2, 0));
+
+        // Disabled cache: quiet miss.
+        let disabled = ScheduleCache::new(0, None);
+        assert!(disabled.probe_wire(1).is_none());
+        assert_eq!(disabled.stats().misses, 0);
+    }
+
+    #[test]
+    fn probe_wire_refreshes_recency() {
+        let cache = ScheduleCache::new(16, None); // 2 entries per shard
+        let (a, b, c) = (0u64, 1u64, 2u64); // all in shard 0
+        cache.insert(a, payload("a"));
+        cache.insert(b, payload("b"));
+        assert!(cache.probe_wire(a).is_some());
+        cache.insert(c, payload("c"));
+        assert!(cache.get(a).is_some(), "probed entry must survive");
+        assert!(cache.get(b).is_none(), "untouched entry is the victim");
+    }
+
+    #[test]
+    fn expired_entries_probe_as_quiet_misses() {
+        let cache = ScheduleCache::new(16, Some(Duration::ZERO));
+        cache.insert(1, payload("one"));
+        assert!(cache.probe_wire(1).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 0));
     }
 
     #[test]

@@ -23,13 +23,64 @@
 //! back for single-address targets, and lower layers (the replicator,
 //! the router's forwarders) use it directly.
 
+//! Since protocol v4 the built client also keeps a **key memo**: once a
+//! job (or delta) has round-tripped in full, repeat submissions address
+//! the cached schedule by content key alone — a tiny `Key` frame the
+//! server answers without touching the scenario codec. A server that no
+//! longer holds the key answers a structured `key-miss` 404 and the
+//! client transparently falls back to the full frame, so callers never
+//! see the fast path, only the latency.
+
 use crate::codec::JobSpec;
 use crate::protocol::ServiceStats;
 use crate::replicate::{FailoverClient, FailoverPolicy};
 use crate::server::{ClientError, TcpClient};
 use crate::service::{ScheduleReply, Service};
-use rfid_delta::ScenarioDelta;
+use rfid_delta::{fnv1a64, ScenarioDelta};
+use std::collections::{HashMap, HashSet};
 use std::time::Duration;
+
+/// Memoised identities per built client before the memo resets (the
+/// same wholesale-clear policy as the server's dedup window: bounded
+/// memory, no per-entry bookkeeping on the hot path).
+const MEMO_CAP: usize = 1024;
+
+/// The client-side record of what the server has already been sent in
+/// full, keyed by cheap frame-identity hashes. A stale entry is
+/// harmless: the key path misses and the full frame repopulates it.
+#[derive(Default)]
+struct KeyMemo {
+    /// Job identity → the content key the server answered with.
+    jobs: HashMap<u64, String>,
+    /// Delta identities (base key + ops) already solved server-side.
+    deltas: HashSet<u64>,
+}
+
+impl KeyMemo {
+    fn job_identity(job: &JobSpec) -> u64 {
+        let encoded = serde_json::to_string(job).expect("job serialisation cannot fail");
+        fnv1a64(encoded.as_bytes())
+    }
+
+    fn delta_identity(base: &str, ops: &[ScenarioDelta]) -> u64 {
+        let encoded = serde_json::to_string(ops).expect("ops serialisation cannot fail");
+        fnv1a64(format!("{base}:{encoded}").as_bytes())
+    }
+
+    fn remember_job(&mut self, identity: u64, key: &str) {
+        if self.jobs.len() >= MEMO_CAP {
+            self.jobs.clear();
+        }
+        self.jobs.insert(identity, key.to_string());
+    }
+
+    fn remember_delta(&mut self, identity: u64) {
+        if self.deltas.len() >= MEMO_CAP {
+            self.deltas.clear();
+        }
+        self.deltas.insert(identity);
+    }
+}
 
 /// The request surface shared by every transport: schedule a job, fetch
 /// fleet counters. `deadline_ms = None` means "no deadline, unless the
@@ -107,12 +158,38 @@ enum Transport {
 pub struct BuiltClient {
     transport: Transport,
     default_deadline_ms: Option<u64>,
+    memo: KeyMemo,
 }
 
 impl BuiltClient {
     /// `true` when requests stay in-process (no socket involved).
     pub fn is_in_process(&self) -> bool {
         matches!(self.transport, Transport::InProcess(_))
+    }
+
+    /// One attempt down the request-by-key fast path. `Ok(Some)` is a
+    /// hit; `Ok(None)` means "send the full frame" — a structured
+    /// key-miss, or a transport without the path (failover retries may
+    /// land on peers that never saw the key, so it always goes full).
+    /// Anything else is a real error.
+    fn try_key_path(
+        &mut self,
+        key: &str,
+        ops: &[ScenarioDelta],
+    ) -> Result<Option<ScheduleReply>, ClientError> {
+        let result = match &mut self.transport {
+            Transport::InProcess(service) => service
+                .request_by_key(key, ops)
+                .map(|hit| hit.into_reply())
+                .map_err(ClientError::Remote),
+            Transport::Tcp(client) => client.schedule_by_key(key, ops),
+            Transport::Failover(_) => return Ok(None),
+        };
+        match result {
+            Ok(reply) => Ok(Some(reply)),
+            Err(ClientError::Remote(e)) if e.message.starts_with("key-miss") => Ok(None),
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -123,14 +200,25 @@ impl ServeClient for BuiltClient {
         deadline_ms: Option<u64>,
         request_id: Option<&str>,
     ) -> Result<ScheduleReply, ClientError> {
+        // Known job → address it by key alone; a miss (server dropped
+        // the entry) falls through to the full frame below.
+        let identity = KeyMemo::job_identity(job);
+        if let Some(key) = self.memo.jobs.get(&identity).cloned() {
+            if let Some(reply) = self.try_key_path(&key, &[])? {
+                return Ok(reply);
+            }
+            self.memo.jobs.remove(&identity);
+        }
         let deadline_ms = deadline_ms.or(self.default_deadline_ms);
-        match &mut self.transport {
+        let reply = match &mut self.transport {
             Transport::InProcess(service) => service
                 .schedule_with_id(job, deadline_ms.map(Duration::from_millis), request_id)
                 .map_err(ClientError::Remote),
             Transport::Tcp(client) => client.schedule_with_id(job, deadline_ms, request_id),
             Transport::Failover(client) => client.schedule_as(job, deadline_ms, request_id),
-        }
+        }?;
+        self.memo.remember_job(identity, &reply.key);
+        Ok(reply)
     }
 
     fn schedule_delta(
@@ -140,8 +228,17 @@ impl ServeClient for BuiltClient {
         deadline_ms: Option<u64>,
         request_id: Option<&str>,
     ) -> Result<ScheduleReply, ClientError> {
+        // A delta the server solved before answers from cache via a
+        // key+ops frame — no base resolution, no patching.
+        let identity = KeyMemo::delta_identity(base, ops);
+        if self.memo.deltas.contains(&identity) {
+            if let Some(reply) = self.try_key_path(base, ops)? {
+                return Ok(reply);
+            }
+            self.memo.deltas.remove(&identity);
+        }
         let deadline_ms = deadline_ms.or(self.default_deadline_ms);
-        match &mut self.transport {
+        let reply = match &mut self.transport {
             Transport::InProcess(service) => service
                 .schedule_delta(
                     base,
@@ -154,7 +251,9 @@ impl ServeClient for BuiltClient {
             Transport::Failover(client) => {
                 client.schedule_delta_as(base, ops, deadline_ms, request_id)
             }
-        }
+        }?;
+        self.memo.remember_delta(identity);
+        Ok(reply)
     }
 
     fn stats(&mut self) -> Result<ServiceStats, ClientError> {
@@ -271,6 +370,7 @@ impl ClientBuilder {
         Ok(BuiltClient {
             transport,
             default_deadline_ms: self.deadline_ms,
+            memo: KeyMemo::default(),
         })
     }
 }
@@ -439,6 +539,77 @@ mod tests {
         }
         service.shutdown(true);
         server.shutdown();
+    }
+
+    fn key_hits(service: &Service) -> u64 {
+        let metrics: serde_json::Value = serde_json::from_str(&service.metrics_json()).unwrap();
+        metrics["counters"]["serve.key.hit"].as_f64().unwrap_or(0.0) as u64
+    }
+
+    #[test]
+    fn repeat_submissions_take_the_key_fast_path() {
+        let service = Service::start(quick()).unwrap();
+        let server = Server::start("127.0.0.1:0", quick()).unwrap();
+        let mut local = ClientBuilder::new()
+            .in_process(service.clone())
+            .build()
+            .unwrap();
+        let mut remote = ClientBuilder::new()
+            .addr(server.addr().to_string())
+            .build()
+            .unwrap();
+        let job = small_job(21);
+        let cold_l = local.schedule(&job, None).unwrap();
+        let warm_l = local.schedule(&job, None).unwrap();
+        assert!(warm_l.cached);
+        assert_eq!(warm_l.payload, cold_l.payload);
+        assert_eq!(key_hits(&service), 1, "second submission went by key");
+
+        let cold_r = remote.schedule(&job, None).unwrap();
+        let warm_r = remote.schedule(&job, None).unwrap();
+        assert!(warm_r.cached);
+        assert_eq!(warm_r.payload, cold_r.payload);
+        assert_eq!(key_hits(&server.service()), 1);
+
+        // Deltas memoise too: a repeated delta is a key+ops hit.
+        let ops = vec![ScenarioDelta::AddTag { x: 1.0, y: 2.0 }];
+        let first = local.schedule_delta(&cold_l.key, &ops, None, None).unwrap();
+        let again = local.schedule_delta(&cold_l.key, &ops, None, None).unwrap();
+        assert!(again.cached);
+        assert_eq!(again.payload, first.payload);
+        assert_eq!(key_hits(&service), 2);
+        service.shutdown(true);
+        server.shutdown();
+    }
+
+    #[test]
+    fn evicted_keys_fall_back_to_the_full_frame_transparently() {
+        let service = Service::start(ServeConfig {
+            workers: 2,
+            queue_cap: 64,
+            cache_cap: 8,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let mut client = ClientBuilder::new()
+            .in_process(service.clone())
+            .build()
+            .unwrap();
+        let job = small_job(50);
+        let cold = client.schedule(&job, None).unwrap();
+        // Evict it: enough distinct jobs to flush an 8-entry cache.
+        for seed in 51..60 {
+            client.schedule(&small_job(seed), None).unwrap();
+        }
+        // The memoised key now misses server-side; the client re-sends
+        // the full frame and the caller sees only a solved reply.
+        let again = client.schedule(&job, None).unwrap();
+        assert_eq!(
+            again.payload, cold.payload,
+            "determinism across the fallback"
+        );
+        assert!(!again.cached, "re-solved after eviction");
+        service.shutdown(true);
     }
 
     #[test]

@@ -297,6 +297,248 @@ pub fn decode_job(text: &str) -> Result<JobSpec, CodecError> {
     serde_json::from_str(text).map_err(|e| CodecError::Malformed(e.to_string()))
 }
 
+/// What the shallow scan of a request-by-key frame extracted — borrowed
+/// slices of the wire line, no allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyFrameScan<'a> {
+    /// The `key` field, exactly as it appears on the wire (validated
+    /// downstream via [`rfid_delta::parse_key_hex`]).
+    pub key: &'a str,
+    /// The declared protocol version, `None` when absent or `null`.
+    pub v: Option<u32>,
+    /// The `request_id` field when present and escape-free.
+    pub request_id: Option<&'a str>,
+    /// Whether a non-empty `ops` array is present — the caller must run
+    /// the full parse to materialise the ops.
+    pub has_ops: bool,
+}
+
+/// Shallowly scans one wire line for a `{"Key":{...}}` frame, extracting
+/// the frame type, `key`, `v` and `request_id` without a `serde_json`
+/// parse (no allocation, no number/string materialisation). This is the
+/// admission path for the protocol-v4 request-by-key fast path: key
+/// frames are tiny and their hot fields are flat strings, so a full
+/// recursive parse is pure overhead.
+///
+/// The scanner is deliberately conservative: anything it cannot prove
+/// unambiguous — escapes in a field it needs, unknown fields, trailing
+/// bytes, malformed structure — returns `None` and the caller falls back
+/// to the ordinary `serde_json` decode. It never mis-extracts: string
+/// values are skipped with full escape handling, so a hostile
+/// `request_id` containing `"key":"…"` cannot spoof the key.
+pub fn scan_key_frame(line: &str) -> Option<KeyFrameScan<'_>> {
+    let mut s = Scanner::new(line.as_bytes());
+    s.skip_ws();
+    s.eat(b'{')?;
+    s.skip_ws();
+    let (tag, escaped) = s.string(line)?;
+    if escaped || tag != "Key" {
+        return None;
+    }
+    s.skip_ws();
+    s.eat(b':')?;
+    s.skip_ws();
+    s.eat(b'{')?;
+    let mut key = None;
+    let mut v = None;
+    let mut request_id = None;
+    let mut has_ops = false;
+    s.skip_ws();
+    if !s.try_eat(b'}') {
+        loop {
+            s.skip_ws();
+            let (name, escaped) = s.string(line)?;
+            if escaped {
+                return None;
+            }
+            s.skip_ws();
+            s.eat(b':')?;
+            s.skip_ws();
+            match name {
+                "key" => {
+                    let (val, escaped) = s.string(line)?;
+                    if escaped {
+                        return None; // content keys are plain hex
+                    }
+                    key = Some(val);
+                }
+                "v" => v = s.opt_u32()?,
+                "request_id" => {
+                    if s.try_literal(b"null") {
+                        request_id = None;
+                    } else {
+                        let (val, escaped) = s.string(line)?;
+                        if escaped {
+                            return None; // exotic id: let serde handle it
+                        }
+                        request_id = Some(val);
+                    }
+                }
+                "ops" => {
+                    if s.try_literal(b"null") {
+                        has_ops = false;
+                    } else {
+                        has_ops = s.skip_array()?;
+                    }
+                }
+                _ => return None, // unknown field: full parse decides
+            }
+            s.skip_ws();
+            if s.try_eat(b',') {
+                continue;
+            }
+            s.eat(b'}')?;
+            break;
+        }
+    }
+    s.skip_ws();
+    s.eat(b'}')?;
+    s.skip_ws();
+    if !s.at_end() {
+        return None; // trailing bytes: not one clean frame
+    }
+    Some(KeyFrameScan {
+        key: key?,
+        v,
+        request_id,
+        has_ops,
+    })
+}
+
+/// Byte cursor for [`scan_key_frame`]. Every method returns `None` on
+/// the first byte that does not match the expected shape.
+struct Scanner<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(b: &'a [u8]) -> Self {
+        Scanner { b, i: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&c) = self.b.get(self.i) {
+            if matches!(c, b' ' | b'\t' | b'\r' | b'\n') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.b.len()
+    }
+
+    fn eat(&mut self, c: u8) -> Option<()> {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn try_eat(&mut self, c: u8) -> bool {
+        self.eat(c).is_some()
+    }
+
+    fn try_literal(&mut self, lit: &[u8]) -> bool {
+        if self.b[self.i..].starts_with(lit) {
+            self.i += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes a JSON string, returning the raw slice between the
+    /// quotes and whether it contained any escape sequences. The slice
+    /// indexes back into `line` (the `&str` the bytes came from), so the
+    /// result is guaranteed valid UTF-8 on char boundaries whenever
+    /// `escaped` is false.
+    fn string(&mut self, line: &'a str) -> Option<(&'a str, bool)> {
+        self.eat(b'"')?;
+        let start = self.i;
+        let mut escaped = false;
+        loop {
+            match self.b.get(self.i)? {
+                b'"' => {
+                    let raw = line.get(start..self.i)?;
+                    self.i += 1;
+                    return Some((raw, escaped));
+                }
+                b'\\' => {
+                    escaped = true;
+                    self.i += 2; // skip the escape; \uXXXX digits are plain bytes
+                }
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    /// Consumes `null` or a plain unsigned integer (the only shapes a
+    /// protocol version takes). Fractions, exponents and signs bail.
+    fn opt_u32(&mut self) -> Option<Option<u32>> {
+        if self.try_literal(b"null") {
+            return Some(None);
+        }
+        let start = self.i;
+        while self.b.get(self.i).is_some_and(u8::is_ascii_digit) {
+            self.i += 1;
+        }
+        if self.i == start || matches!(self.b.get(self.i), Some(b'.' | b'e' | b'E')) {
+            return None;
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).ok()?;
+        Some(Some(text.parse().ok()?))
+    }
+
+    /// Skips a complete JSON array with bracket matching (strings are
+    /// skipped escape-aware so brackets inside them don't count).
+    /// Returns whether the array held anything but whitespace.
+    fn skip_array(&mut self) -> Option<bool> {
+        self.eat(b'[')?;
+        let mut depth = 1usize;
+        let mut nonempty = false;
+        while depth > 0 {
+            match self.b.get(self.i)? {
+                b'"' => {
+                    self.i += 1;
+                    loop {
+                        match self.b.get(self.i)? {
+                            b'"' => {
+                                self.i += 1;
+                                break;
+                            }
+                            b'\\' => self.i += 2,
+                            _ => self.i += 1,
+                        }
+                    }
+                    nonempty = true;
+                }
+                b'[' | b'{' => {
+                    depth += 1;
+                    self.i += 1;
+                    nonempty = true;
+                }
+                b']' | b'}' => {
+                    depth -= 1;
+                    self.i += 1;
+                }
+                c => {
+                    if !matches!(c, b' ' | b'\t' | b'\r' | b'\n') {
+                        nonempty = true;
+                    }
+                    self.i += 1;
+                }
+            }
+        }
+        Some(nonempty)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -459,6 +701,86 @@ mod tests {
             canonical_json(&v),
             r#"{"a":{"w":4,"z":[{"x":3,"y":2}]},"b":1}"#
         );
+    }
+
+    #[test]
+    fn scan_extracts_key_v_and_request_id_from_wire_frames() {
+        use crate::protocol::{encode_frame, Request, PROTOCOL_VERSION};
+        let frame = Request::Key {
+            key: "00000000000000ff".into(),
+            ops: None,
+            request_id: Some("c1-42".into()),
+            v: Some(PROTOCOL_VERSION),
+        };
+        let line = encode_frame(&frame);
+        let scan = scan_key_frame(&line).expect("wire frame must scan");
+        assert_eq!(scan.key, "00000000000000ff");
+        assert_eq!(scan.v, Some(PROTOCOL_VERSION));
+        assert_eq!(scan.request_id, Some("c1-42"));
+        assert!(!scan.has_ops);
+
+        let frame = Request::Key {
+            key: "00000000000000ff".into(),
+            ops: Some(vec![rfid_delta::ScenarioDelta::AddTag { x: 1.5, y: 2.5 }]),
+            request_id: None,
+            v: None,
+        };
+        let line = encode_frame(&frame);
+        let scan = scan_key_frame(&line).unwrap();
+        assert_eq!(scan.key, "00000000000000ff");
+        assert_eq!(scan.v, None);
+        assert_eq!(scan.request_id, None);
+        assert!(scan.has_ops, "non-empty ops must force the full parse");
+
+        // Empty ops array: nothing to materialise, fast path stays open.
+        let scan = scan_key_frame(r#"{"Key":{"key":"00000000000000ff","ops":[],"v":4}}"#).unwrap();
+        assert!(!scan.has_ops);
+    }
+
+    #[test]
+    fn scan_rejects_non_key_and_malformed_frames() {
+        use crate::protocol::{encode_frame, Request};
+        assert_eq!(scan_key_frame(&encode_frame(&Request::Stats)), None);
+        assert_eq!(
+            scan_key_frame(&encode_frame(&Request::Hello { v: 4 })),
+            None
+        );
+        for bad in [
+            "",
+            "{",
+            r#"{"Key":"#,
+            r#"{"Key":{"key":"ff"}"#,            // unterminated outer object
+            r#"{"Key":{"key":"ff"}}{"Key":{}}"#, // trailing bytes
+            r#"{"Key":{"keg":"ff"}}"#,           // unknown field
+            r#"{"Key":{"key":"ff","v":4.5}}"#,   // non-integer version
+            r#"{"Key":{"v":4}}"#,                // no key at all
+            r#"{"Key":{"key":"ff" "v":4}}"#,     // missing comma
+            r#"{"Key":[1,2]}"#,                  // wrong value shape
+        ] {
+            assert_eq!(scan_key_frame(bad), None, "must bail on {bad:?}");
+        }
+    }
+
+    #[test]
+    fn scan_cannot_be_spoofed_by_hostile_string_values() {
+        // A request_id whose *content* looks like a key field: the
+        // escape-aware string skip must not let it shadow the real key.
+        let line = r#"{"Key":{"key":"00000000000000aa","request_id":"x\",\"key\":\"00000000000000bb","v":4}}"#;
+        // The id contains escapes, so the scanner bails to the full
+        // parse rather than guessing — and serde agrees on the real key.
+        assert_eq!(scan_key_frame(line), None);
+        let parsed: crate::protocol::Request = crate::protocol::decode_frame(line).unwrap();
+        match parsed {
+            crate::protocol::Request::Key { key, .. } => assert_eq!(key, "00000000000000aa"),
+            other => panic!("wrong frame: {other:?}"),
+        }
+        // Same trick inside an ops array: the array is skipped
+        // escape-aware, the scanned key stays the real one.
+        let line =
+            r#"{"Key":{"key":"00000000000000aa","ops":["\",\"key\":\"00000000000000bb"],"v":4}}"#;
+        let scan = scan_key_frame(line).unwrap();
+        assert_eq!(scan.key, "00000000000000aa");
+        assert!(scan.has_ops);
     }
 
     #[test]

@@ -42,6 +42,14 @@
 //!    [`rfid_delta`] and publishes the reply under the derived content
 //!    key, which caches, journals, gossips and routes exactly like a
 //!    full request.
+//! 8. **Request by key** (protocol v4 `Key` frames, DESIGN.md §14) — a
+//!    client that already round-tripped a job addresses the cached
+//!    schedule by content key alone: a shallow frame scan
+//!    ([`codec::scan_key_frame`]) extracts the key without a serde
+//!    parse, the cache answers with pre-rendered payload bytes spliced
+//!    into the reply envelope ([`reactor::SplicedFrame`]), and a
+//!    structured `404` key-miss makes [`ClientBuilder`] clients fall
+//!    back to the full frame transparently.
 //!
 //! The **determinism contract**: a response payload is the canonical
 //! JSON of a [`ScheduleOutcome`] and contains no wall-clock data, so a
@@ -69,7 +77,10 @@ pub mod storage;
 
 pub use cache::{CacheStats, ScheduleCache};
 pub use client::{BuiltClient, ClientBuilder, ServeClient};
-pub use codec::{canonical_json, decode_job, fnv1a64, CanonicalJob, CodecError, JobSpec, Workload};
+pub use codec::{
+    canonical_json, decode_job, fnv1a64, scan_key_frame, CanonicalJob, CodecError, JobSpec,
+    KeyFrameScan, Workload,
+};
 pub use journal::{DurableStats, DurableStore, RecoveryReport, ReplayReport};
 pub use protocol::{FrameRead, GossipEntry, Request, Response, ServiceStats, PROTOCOL_VERSION};
 pub use queue::{PushError, ResponseSlot, WorkQueue};
@@ -79,6 +90,7 @@ pub use ring::HashRing;
 pub use router::{Router, RouterConfig};
 pub use server::{ClientError, Server, TcpClient};
 pub use service::{
-    ScheduleOutcome, ScheduleReply, ServeConfig, Service, ServiceError, SlotSummary, Submission,
+    KeyHit, ScheduleOutcome, ScheduleReply, ServeConfig, Service, ServiceError, SlotSummary,
+    Submission,
 };
 pub use storage::{DiskStorage, FaultyStorage, Storage, StorageFaults};

@@ -36,13 +36,18 @@ use rfid_delta::ScenarioDelta;
 ///   a base content key plus a [`ScenarioDelta`] op list. Servers that
 ///   no longer hold the base answer a structured [`CODE_BASE_MISS`]
 ///   error telling the client to fall back to a full request.
+/// * **v4** — adds [`Request::Key`]: address an already-cached schedule
+///   by content key alone (optionally key + ops for a cached delta
+///   derivation), skipping the scenario codec entirely. Servers that do
+///   not hold the key answer a structured [`CODE_KEY_MISS`] error and
+///   the client falls back to the full frame.
 ///
 /// Servers answer frames claiming a **newer** major generation with a
 /// structured [`CODE_UPGRADE_REQUIRED`] error instead of guessing;
 /// older (or absent) versions are always accepted — the format is
 /// backward compatible by construction (new fields are optional and
 /// new frame variants are opt-in).
-pub const PROTOCOL_VERSION: u32 = 3;
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// The frame declared a protocol version newer than this server speaks
 /// (HTTP 426 Upgrade Required): upgrade the server or downgrade the
@@ -61,6 +66,11 @@ pub const CODE_UNKNOWN_ALGORITHM: u16 = 404;
 /// [`CODE_UNKNOWN_ALGORITHM`]; the message always starts with
 /// `base-miss` and tells the client to send the full scenario instead).
 pub const CODE_BASE_MISS: u16 = 404;
+/// A [`Request::Key`] named a content key (or key + ops derivation)
+/// that is not resident in this server's cache (same 404 family; the
+/// message always starts with `key-miss` and tells the client to fall
+/// back to the full frame).
+pub const CODE_KEY_MISS: u16 = 404;
 /// The solver could not complete the schedule (strict-policy stall or
 /// slot-budget exhaustion).
 pub const CODE_UNSOLVABLE: u16 = 422;
@@ -132,6 +142,33 @@ pub enum Request {
         deadline_ms: Option<u64>,
         /// Optional client-chosen id for failover retries (same
         /// semantics as [`Request::Schedule::request_id`]).
+        request_id: Option<String>,
+        /// Protocol version the sender speaks (same rules as
+        /// [`Request::Schedule::v`]).
+        v: Option<u32>,
+    },
+    /// Fetch an already-cached schedule by content key alone (protocol
+    /// v4) — the request-by-key fast path. After one full submission
+    /// the client knows the job's content key from the reply; repeats
+    /// address the cache directly and the server never touches the
+    /// scenario codec. With `ops`, the server answers from the cache
+    /// entry under [`rfid_delta::derived_key`]`(key, ops)` — the warm
+    /// path for a previously solved delta. A key (or derivation) that
+    /// is not resident draws a structured [`CODE_KEY_MISS`] error and
+    /// the client falls back to the full [`Request::Schedule`] /
+    /// [`Request::Delta`] frame. Key requests are answered immediately
+    /// (hit or miss), so they carry no deadline.
+    Key {
+        /// Content key as fixed-width hex, exactly as returned in
+        /// [`Response::Schedule::key`].
+        key: String,
+        /// Optional delta ops: address the cache under the key
+        /// *derived* from `key` + `ops` instead of `key` itself.
+        ops: Option<Vec<ScenarioDelta>>,
+        /// Optional client-chosen id (same wire shape as
+        /// [`Request::Schedule::request_id`]). Key requests are pure
+        /// cache probes, so the id is carried for symmetry and logging
+        /// but never deduplicated — a retried probe is already free.
         request_id: Option<String>,
         /// Protocol version the sender speaks (same rules as
         /// [`Request::Schedule::v`]).
@@ -360,6 +397,18 @@ mod tests {
                 ],
                 deadline_ms: None,
                 request_id: Some("client-2-1".into()),
+                v: Some(PROTOCOL_VERSION),
+            },
+            Request::Key {
+                key: "00000000000000ff".into(),
+                ops: None,
+                request_id: None,
+                v: Some(PROTOCOL_VERSION),
+            },
+            Request::Key {
+                key: "00000000000000ff".into(),
+                ops: Some(vec![ScenarioDelta::AddTag { x: 1.0, y: 2.0 }]),
+                request_id: Some("client-3-9".into()),
                 v: Some(PROTOCOL_VERSION),
             },
             Request::Gossip {

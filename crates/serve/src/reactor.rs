@@ -30,7 +30,7 @@
 //! socket scans instead of blocking a thread on it.
 
 use std::collections::VecDeque;
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -44,6 +44,20 @@ pub const MAX_PIPELINE: usize = 1024;
 /// Read-buffer cap per connection: a single line longer than this is a
 /// protocol abuse and drops the connection.
 const MAX_LINE_BYTES: usize = 32 * 1024 * 1024;
+
+/// Consumed-prefix size at which the read buffer is compacted (one
+/// `copy_within` of the partial tail) instead of merely advancing the
+/// offset. Matches the read chunk size: compaction happens at most once
+/// per read batch, never once per line.
+const RD_COMPACT_AT: usize = 16 * 1024;
+
+/// Largest recycled write chunk kept per connection. A chunk that grew
+/// beyond this (one giant burst) is dropped back to the allocator
+/// rather than pinned forever.
+const SPARE_CHUNK_CAP: usize = 64 * 1024;
+
+/// Segments per `write_vectored` call.
+const MAX_IOV: usize = 16;
 
 /// How long the final drain (flush-out after `finish`) may take before
 /// remaining connections are dropped.
@@ -59,9 +73,27 @@ const IDLE_SLEEP: Duration = Duration::from_micros(500);
 pub enum Reply {
     /// The full response frame (newline-terminated), ready to send.
     Now(String),
+    /// A frame assembled from pre-rendered segments: a small envelope
+    /// prefix, a shared payload (typically a cache entry's pre-escaped
+    /// bytes) and a static suffix. The reactor writes the three
+    /// segments with vectored I/O — the payload is never copied into a
+    /// per-reply `String`, which is what makes the request-by-key hit
+    /// path serde- and memcpy-free on the server side.
+    Spliced(SplicedFrame),
     /// The response is being produced (a queued solve); the reactor
     /// polls the object each pass until it yields the frame.
     Pending(Box<dyn PendingReply>),
+}
+
+/// The segments of a [`Reply::Spliced`] frame: bytes on the wire are
+/// exactly `prefix + payload + suffix`.
+pub struct SplicedFrame {
+    /// Envelope up to (and including) the opening of the payload field.
+    pub prefix: String,
+    /// The shared payload bytes, spliced in by reference.
+    pub payload: Arc<str>,
+    /// Envelope close, newline included.
+    pub suffix: &'static str,
 }
 
 /// A reply still in flight: polled by the event loop between socket
@@ -107,18 +139,155 @@ pub trait FrameHandler: Send + Sync + 'static {
 
 enum Slot {
     Ready(String),
+    Spliced(SplicedFrame),
     Pending(Box<dyn PendingReply>),
+}
+
+/// One span of queued outgoing bytes. Small frames coalesce into reused
+/// `Chunk` buffers; shared payloads ride as `Arc` slices so the reply
+/// path never copies them.
+enum OutSeg {
+    Chunk(Vec<u8>),
+    Shared(Arc<str>),
+}
+
+impl OutSeg {
+    fn as_bytes(&self) -> &[u8] {
+        match self {
+            OutSeg::Chunk(v) => v,
+            OutSeg::Shared(s) => s.as_bytes(),
+        }
+    }
+}
+
+/// The per-connection write path: a segment queue flushed with vectored
+/// writes. Consecutive small frames append into one `Chunk` (whose
+/// backing `Vec` is recycled after a full flush instead of reallocated
+/// per frame), while spliced payloads are chained in by reference.
+struct OutQueue {
+    segs: VecDeque<OutSeg>,
+    /// Bytes of the front segment already written to the socket.
+    front_written: usize,
+    /// A drained chunk kept for reuse.
+    spare: Option<Vec<u8>>,
+}
+
+impl OutQueue {
+    fn new() -> Self {
+        OutQueue {
+            segs: VecDeque::new(),
+            front_written: 0,
+            spare: None,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    fn push_bytes(&mut self, bytes: &[u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        // Appending to the tail chunk is safe even when it is also the
+        // partially-written front: `front_written` indexes from the
+        // start and writes only consume, never reorder.
+        if let Some(OutSeg::Chunk(chunk)) = self.segs.back_mut() {
+            chunk.extend_from_slice(bytes);
+            return;
+        }
+        let mut chunk = self.spare.take().unwrap_or_default();
+        chunk.extend_from_slice(bytes);
+        self.segs.push_back(OutSeg::Chunk(chunk));
+    }
+
+    fn push_shared(&mut self, payload: Arc<str>) {
+        if !payload.is_empty() {
+            self.segs.push_back(OutSeg::Shared(payload));
+        }
+    }
+
+    /// Consumes `n` written bytes off the front of the queue.
+    fn advance(&mut self, mut n: usize) {
+        while n > 0 {
+            let Some(front) = self.segs.front() else {
+                break;
+            };
+            let remaining = front.as_bytes().len() - self.front_written;
+            if n >= remaining {
+                n -= remaining;
+                self.front_written = 0;
+                if let Some(OutSeg::Chunk(chunk)) = self.segs.pop_front() {
+                    self.recycle(chunk);
+                }
+            } else {
+                self.front_written += n;
+                n = 0;
+            }
+        }
+    }
+
+    fn recycle(&mut self, mut chunk: Vec<u8>) {
+        if chunk.capacity() == 0 || chunk.capacity() > SPARE_CHUNK_CAP {
+            return;
+        }
+        chunk.clear();
+        let better = match &self.spare {
+            Some(spare) => chunk.capacity() > spare.capacity(),
+            None => true,
+        };
+        if better {
+            self.spare = Some(chunk);
+        }
+    }
+
+    /// Writes as much as the socket accepts, gathering up to [`MAX_IOV`]
+    /// segments per syscall. Returns `(progress, dead)`.
+    fn flush(&mut self, stream: &mut TcpStream) -> (bool, bool) {
+        let mut progress = false;
+        loop {
+            if self.segs.is_empty() {
+                return (progress, false);
+            }
+            let mut iov: [IoSlice<'_>; MAX_IOV] = [IoSlice::new(&[]); MAX_IOV];
+            let mut n_iov = 0;
+            for (i, seg) in self.segs.iter().enumerate().take(MAX_IOV) {
+                let bytes = seg.as_bytes();
+                iov[n_iov] = IoSlice::new(if i == 0 {
+                    &bytes[self.front_written..]
+                } else {
+                    bytes
+                });
+                n_iov += 1;
+            }
+            match stream.write_vectored(&iov[..n_iov]) {
+                Ok(0) => return (true, true),
+                Ok(n) => {
+                    self.advance(n);
+                    progress = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return (progress, false),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return (true, true),
+            }
+        }
+    }
 }
 
 struct Conn {
     stream: TcpStream,
-    /// Bytes read but not yet parsed into lines.
+    /// Bytes read but not yet parsed into lines. Consumed lines advance
+    /// `rdstart` instead of draining the buffer — the per-line memmove
+    /// and reallocation are reclaimed in one batch by `reclaim_rdbuf`.
     rdbuf: Vec<u8>,
-    /// Offset into `rdbuf` already scanned for a newline.
+    /// Offset of the first unconsumed byte in `rdbuf`.
+    rdstart: usize,
+    /// Offset into `rdbuf` already scanned for a newline (absolute,
+    /// `>= rdstart`).
     scanned: usize,
-    /// Bytes of encoded replies not yet written to the socket.
-    wrbuf: Vec<u8>,
-    /// Replies not yet moved into `wrbuf`, strictly in request order.
+    /// The vectored write path: encoded replies not yet on the socket.
+    out: OutQueue,
+    /// Replies not yet moved into `out`, strictly in request order.
     replies: VecDeque<Slot>,
     /// Peer half-closed its write side: serve what is buffered, flush,
     /// then drop.
@@ -134,8 +303,9 @@ impl Conn {
         Conn {
             stream,
             rdbuf: Vec::new(),
+            rdstart: 0,
             scanned: 0,
-            wrbuf: Vec::new(),
+            out: OutQueue::new(),
             replies: VecDeque::new(),
             eof: false,
             close_after_flush: false,
@@ -144,7 +314,7 @@ impl Conn {
     }
 
     fn drained(&self) -> bool {
-        self.replies.is_empty() && self.wrbuf.is_empty()
+        self.replies.is_empty() && self.out.is_empty()
     }
 }
 
@@ -319,7 +489,7 @@ fn read_and_dispatch<H: FrameHandler>(conn: &mut Conn, handler: &H, flags: &Flag
             Ok(n) => {
                 conn.rdbuf.extend_from_slice(&buf[..n]);
                 progress = true;
-                if conn.rdbuf.len() > MAX_LINE_BYTES {
+                if conn.rdbuf.len() - conn.rdstart > MAX_LINE_BYTES {
                     conn.dead = true;
                     return true;
                 }
@@ -335,11 +505,13 @@ fn read_and_dispatch<H: FrameHandler>(conn: &mut Conn, handler: &H, flags: &Flag
             }
         }
     }
-    // Slice out complete lines; partial tail stays buffered.
+    // Slice out complete lines in place — each consumed line advances
+    // `rdstart`; the buffer itself is reclaimed once, after the loop.
     while let Some(nl) = find_newline(conn) {
-        let line: Vec<u8> = conn.rdbuf.drain(..=nl).collect();
-        conn.scanned = 0;
-        let line = String::from_utf8_lossy(&line);
+        let start = conn.rdstart;
+        conn.rdstart = nl + 1;
+        conn.scanned = nl + 1;
+        let line = String::from_utf8_lossy(&conn.rdbuf[start..nl]);
         if line.trim().is_empty() {
             continue;
         }
@@ -358,17 +530,19 @@ fn read_and_dispatch<H: FrameHandler>(conn: &mut Conn, handler: &H, flags: &Flag
         };
         conn.replies.push_back(match reply {
             Reply::Now(frame) => Slot::Ready(frame),
+            Reply::Spliced(frame) => Slot::Spliced(frame),
             Reply::Pending(p) => Slot::Pending(p),
         });
         if conn.close_after_flush {
             break; // nothing after a fatal frame is served
         }
     }
+    reclaim_rdbuf(conn);
     progress
 }
 
 fn find_newline(conn: &mut Conn) -> Option<usize> {
-    let start = conn.scanned;
+    let start = conn.scanned.max(conn.rdstart);
     match conn.rdbuf[start..].iter().position(|&b| b == b'\n') {
         Some(off) => Some(start + off),
         None => {
@@ -378,50 +552,58 @@ fn find_newline(conn: &mut Conn) -> Option<usize> {
     }
 }
 
-/// Moves ready replies (in order) from the FIFO into the write buffer.
+/// Reclaims the consumed prefix of the read buffer: cleared outright
+/// when fully consumed (capacity retained for the next read batch),
+/// compacted with one `copy_within` once the dead prefix crosses
+/// [`RD_COMPACT_AT`], left alone otherwise — a small partial tail is
+/// cheaper to carry than to move every pass.
+fn reclaim_rdbuf(conn: &mut Conn) {
+    if conn.rdstart == 0 {
+        return;
+    }
+    if conn.rdstart >= conn.rdbuf.len() {
+        conn.rdbuf.clear();
+    } else if conn.rdstart >= RD_COMPACT_AT {
+        let len = conn.rdbuf.len();
+        conn.rdbuf.copy_within(conn.rdstart..len, 0);
+        conn.rdbuf.truncate(len - conn.rdstart);
+    } else {
+        return;
+    }
+    conn.scanned -= conn.rdstart;
+    conn.rdstart = 0;
+}
+
+/// Moves ready replies (in order) from the FIFO into the write queue.
 /// A pending head blocks everything behind it — that is the ordering
-/// guarantee.
+/// guarantee. Spliced frames enqueue their payload by reference.
 fn pump_replies(conn: &mut Conn) -> bool {
     let mut progress = false;
     while let Some(head) = conn.replies.front_mut() {
-        match head {
-            Slot::Ready(frame) => {
-                conn.wrbuf.extend_from_slice(frame.as_bytes());
-                conn.replies.pop_front();
-                progress = true;
-            }
-            Slot::Pending(p) => match p.poll() {
-                Some(frame) => {
-                    conn.wrbuf.extend_from_slice(frame.as_bytes());
-                    conn.replies.pop_front();
-                    progress = true;
-                }
+        if let Slot::Pending(p) = head {
+            match p.poll() {
+                Some(frame) => *head = Slot::Ready(frame),
                 None => break,
-            },
+            }
         }
+        match conn.replies.pop_front().expect("head exists") {
+            Slot::Ready(frame) => conn.out.push_bytes(frame.as_bytes()),
+            Slot::Spliced(frame) => {
+                conn.out.push_bytes(frame.prefix.as_bytes());
+                conn.out.push_shared(frame.payload);
+                conn.out.push_bytes(frame.suffix.as_bytes());
+            }
+            Slot::Pending(_) => unreachable!("resolved above"),
+        }
+        progress = true;
     }
     progress
 }
 
 fn flush(conn: &mut Conn) -> bool {
-    let mut progress = false;
-    while !conn.wrbuf.is_empty() {
-        match conn.stream.write(&conn.wrbuf) {
-            Ok(0) => {
-                conn.dead = true;
-                return true;
-            }
-            Ok(n) => {
-                conn.wrbuf.drain(..n);
-                progress = true;
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            Err(_) => {
-                conn.dead = true;
-                return true;
-            }
-        }
+    let (progress, dead) = conn.out.flush(&mut conn.stream);
+    if dead {
+        conn.dead = true;
     }
     progress
 }
@@ -444,15 +626,20 @@ mod tests {
     use std::io::{BufRead, BufReader};
     use std::sync::Mutex;
 
-    /// Echoes `ok:<line>`; `slow:<n>` answers after `n` polls; `close`
-    /// closes; `stop` requests shutdown.
+    /// Echoes `ok:<line>`; `slow:<n>` answers after `n` polls; `key:<x>`
+    /// and `big` answer with spliced frames; `gated:<x>` answers once
+    /// the shared gate opens; `close` closes; `stop` requests shutdown.
     struct EchoHandler {
-        polls_left: Mutex<Vec<u32>>,
+        /// Every line that reached `on_line`, in order.
+        seen: Mutex<Vec<String>>,
+        /// While `false`, `gated:` replies stay pending.
+        gate: Arc<AtomicBool>,
     }
 
     impl FrameHandler for EchoHandler {
         fn on_line(&self, line: &str) -> Action {
             let line = line.trim().to_string();
+            self.seen.lock().unwrap().push(line.clone());
             if line == "close" {
                 return Action::ReplyClose(Reply::Now("bye\n".into()));
             }
@@ -471,7 +658,28 @@ mod tests {
                     }
                 })));
             }
-            self.polls_left.lock().unwrap().push(0);
+            if let Some(tag) = line.strip_prefix("gated:") {
+                let gate = Arc::clone(&self.gate);
+                let tag = tag.to_string();
+                return Action::Reply(Reply::Pending(Box::new(move || {
+                    gate.load(Ordering::SeqCst)
+                        .then(|| format!("ok:gated:{tag}\n"))
+                })));
+            }
+            if let Some(tag) = line.strip_prefix("key:") {
+                return Action::Reply(Reply::Spliced(SplicedFrame {
+                    prefix: format!("{{\"k\":\"{tag}\",\"p\":"),
+                    payload: Arc::from(format!("\"payload-{tag}\"")),
+                    suffix: "}\n",
+                }));
+            }
+            if line == "big" {
+                return Action::Reply(Reply::Spliced(SplicedFrame {
+                    prefix: "big:".into(),
+                    payload: Arc::from("x".repeat(4 * 1024 * 1024)),
+                    suffix: ":end\n",
+                }));
+            }
             Action::Reply(Reply::Now(format!("ok:{line}\n")))
         }
 
@@ -480,19 +688,20 @@ mod tests {
         }
     }
 
-    fn echo_reactor() -> (Reactor, String) {
+    fn echo_reactor() -> (Reactor, String, Arc<EchoHandler>) {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let handler = Arc::new(EchoHandler {
-            polls_left: Mutex::new(Vec::new()),
+            seen: Mutex::new(Vec::new()),
+            gate: Arc::new(AtomicBool::new(false)),
         });
-        let reactor = Reactor::spawn(listener, handler).unwrap();
+        let reactor = Reactor::spawn(listener, Arc::clone(&handler)).unwrap();
         let addr = reactor.addr().to_string();
-        (reactor, addr)
+        (reactor, addr, handler)
     }
 
     #[test]
     fn round_trips_one_frame() {
-        let (reactor, addr) = echo_reactor();
+        let (reactor, addr, _) = echo_reactor();
         let stream = TcpStream::connect(&addr).unwrap();
         let mut reader = BufReader::new(stream);
         reader.get_mut().write_all(b"hello\n").unwrap();
@@ -504,7 +713,7 @@ mod tests {
 
     #[test]
     fn pipelined_frames_answer_in_request_order_despite_slow_heads() {
-        let (reactor, addr) = echo_reactor();
+        let (reactor, addr, _) = echo_reactor();
         let stream = TcpStream::connect(&addr).unwrap();
         let mut reader = BufReader::new(stream);
         // The slow head must NOT be overtaken by the fast followers.
@@ -533,7 +742,7 @@ mod tests {
 
     #[test]
     fn many_connections_multiplex_on_one_thread() {
-        let (reactor, addr) = echo_reactor();
+        let (reactor, addr, _) = echo_reactor();
         let mut readers: Vec<BufReader<TcpStream>> = (0..32)
             .map(|_| BufReader::new(TcpStream::connect(&addr).unwrap()))
             .collect();
@@ -552,7 +761,7 @@ mod tests {
 
     #[test]
     fn reply_close_flushes_then_drops() {
-        let (reactor, addr) = echo_reactor();
+        let (reactor, addr, _) = echo_reactor();
         let stream = TcpStream::connect(&addr).unwrap();
         let mut reader = BufReader::new(stream);
         reader.get_mut().write_all(b"close\nafter\n").unwrap();
@@ -568,7 +777,7 @@ mod tests {
 
     #[test]
     fn shutdown_action_raises_the_flag_and_still_delivers_the_reply() {
-        let (reactor, addr) = echo_reactor();
+        let (reactor, addr, _) = echo_reactor();
         let stream = TcpStream::connect(&addr).unwrap();
         let mut reader = BufReader::new(stream);
         reader.get_mut().write_all(b"stop\n").unwrap();
@@ -581,7 +790,7 @@ mod tests {
 
     #[test]
     fn finish_resolves_unready_pendings_with_the_fallback() {
-        let (reactor, addr) = echo_reactor();
+        let (reactor, addr, _) = echo_reactor();
         let stream = TcpStream::connect(&addr).unwrap();
         let mut reader = BufReader::new(stream);
         // A reply that would take ~forever (1e9 polls) to resolve.
@@ -595,7 +804,7 @@ mod tests {
 
     #[test]
     fn half_close_still_gets_all_responses() {
-        let (reactor, addr) = echo_reactor();
+        let (reactor, addr, _) = echo_reactor();
         let stream = TcpStream::connect(&addr).unwrap();
         let mut reader = BufReader::new(stream);
         reader.get_mut().write_all(b"a\nslow:5\nb\n").unwrap();
@@ -610,6 +819,97 @@ mod tests {
             lines.push(line.trim().to_string());
         }
         assert_eq!(lines, vec!["ok:a", "ok:slow:5", "ok:b"]);
+        reactor.stop();
+    }
+
+    #[test]
+    fn spliced_frames_survive_partial_writes_to_a_slow_reader() {
+        let (reactor, addr, _) = echo_reactor();
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut reader = BufReader::new(stream);
+        reader.get_mut().write_all(b"before\nbig\nafter\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "ok:before\n");
+        // The 4 MB spliced frame dwarfs the loopback send buffer, so
+        // the envelope+payload+suffix splice is forced through many
+        // partial vectored writes while we drain at BufReader pace.
+        std::thread::sleep(Duration::from_millis(20));
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, format!("big:{}:end\n", "x".repeat(4 * 1024 * 1024)));
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "ok:after\n");
+        reactor.stop();
+    }
+
+    #[test]
+    fn backpressure_with_interleaved_key_and_full_frames_keeps_order() {
+        let (reactor, addr, handler) = echo_reactor();
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut reader = BufReader::new(stream);
+        // A gated head plus enough followers to cross MAX_PIPELINE, key
+        // and full frames interleaved.
+        let total = MAX_PIPELINE + 200;
+        let mut batch = String::from("gated:head\n");
+        for i in 1..total {
+            if i % 3 == 0 {
+                batch.push_str(&format!("key:{i}\n"));
+            } else {
+                batch.push_str(&format!("full{i}\n"));
+            }
+        }
+        let mut wr = reader.get_ref().try_clone().unwrap();
+        let writer = std::thread::spawn(move || {
+            wr.write_all(batch.as_bytes()).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        handler.gate.store(true, Ordering::SeqCst);
+        let mut lines = Vec::new();
+        for _ in 0..total {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            lines.push(line);
+        }
+        writer.join().unwrap();
+        assert_eq!(lines[0], "ok:gated:head\n");
+        for (i, line) in lines.iter().enumerate().skip(1) {
+            let expect = if i % 3 == 0 {
+                format!("{{\"k\":\"{i}\",\"p\":\"payload-{i}\"}}\n")
+            } else {
+                format!("ok:full{i}\n")
+            };
+            assert_eq!(*line, expect, "frame {i} out of order");
+        }
+        reactor.stop();
+    }
+
+    #[test]
+    fn connection_severed_mid_key_frame_never_reaches_the_handler() {
+        let (reactor, addr, handler) = echo_reactor();
+        {
+            let stream = TcpStream::connect(&addr).unwrap();
+            let mut reader = BufReader::new(stream);
+            reader
+                .get_mut()
+                .write_all(b"whole\n{\"Key\":{\"key\":\"0123456789abcdef\"")
+                .unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line, "ok:whole\n");
+        } // dropped: the key frame is severed mid-bytes, no newline
+        std::thread::sleep(Duration::from_millis(50));
+        // A fresh connection is served as if nothing happened...
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut reader = BufReader::new(stream);
+        reader.get_mut().write_all(b"next\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "ok:next\n");
+        // ...and the half-frame never reached the handler.
+        let seen = handler.seen.lock().unwrap();
+        assert_eq!(*seen, vec!["whole".to_string(), "next".to_string()]);
         reactor.stop();
     }
 }

@@ -30,7 +30,7 @@
 //! slice of the keyspace: N daemons give N× the cache capacity and N×
 //! the solve throughput, at one extra network hop of latency.
 
-use crate::codec::{CanonicalJob, JobSpec};
+use crate::codec::{scan_key_frame, CanonicalJob, JobSpec};
 use crate::protocol::{
     decode_frame, encode_frame, read_frame, version_gate, FrameRead, GossipEntry, Request,
     Response, ServiceStats, CODE_BAD_REQUEST, CODE_QUEUE_FULL, CODE_SHUTTING_DOWN,
@@ -182,6 +182,21 @@ impl RouteHandler {
         self.forward_to_shard(line, self.shared.ring.shard_of(base_key))
     }
 
+    /// Key frames route by the key in the frame — which is the **base**
+    /// key even when ops ride along (derived schedules are cached on
+    /// the base's shard). No canonicalisation, no codec: the key is all
+    /// the ring needs, so the shallow scan suffices and the line
+    /// forwards verbatim.
+    fn route_key(&self, line: &str, key: &str) -> Action {
+        let Some(base_key) = rfid_delta::parse_key_hex(key) else {
+            return Action::Reply(Reply::Now(encode_frame(&Response::Error {
+                code: CODE_BAD_REQUEST,
+                message: format!("malformed key {key:?}: expected 16 hex digits"),
+            })));
+        };
+        self.forward_to_shard(line, self.shared.ring.shard_of(base_key))
+    }
+
     /// Counts the route and forwards the raw line verbatim; the shard's
     /// exact reply bytes ride back through a pending reply.
     fn forward_to_shard(&self, line: &str, shard: usize) -> Action {
@@ -278,6 +293,16 @@ impl RouteHandler {
 
 impl FrameHandler for RouteHandler {
     fn on_line(&self, line: &str) -> Action {
+        // Key frames need only the key to route (ops or not), so the
+        // shallow scan skips the serde parse entirely; anything the
+        // scanner finds ambiguous falls through to the full decode,
+        // whose `Request::Key` arm routes identically.
+        if let Some(scan) = scan_key_frame(line) {
+            return match version_gate(scan.v) {
+                Some(err) => Action::Reply(Reply::Now(encode_frame(&err))),
+                None => self.route_key(line, scan.key),
+            };
+        }
         match decode_frame::<Request>(line) {
             Ok(Request::Hello { v }) => match version_gate(Some(v)) {
                 Some(err) => Action::Reply(Reply::Now(encode_frame(&err))),
@@ -292,6 +317,10 @@ impl FrameHandler for RouteHandler {
             Ok(Request::Delta { ref base, v, .. }) => match version_gate(v) {
                 Some(err) => Action::Reply(Reply::Now(encode_frame(&err))),
                 None => self.route_delta(line, base),
+            },
+            Ok(Request::Key { ref key, v, .. }) => match version_gate(v) {
+                Some(err) => Action::Reply(Reply::Now(encode_frame(&err))),
+                None => self.route_key(line, key),
             },
             Ok(Request::Gossip { entries, v }) => match version_gate(v) {
                 Some(err) => Action::Reply(Reply::Now(encode_frame(&err))),
@@ -740,6 +769,54 @@ mod tests {
             assert!(again.cached, "derived key must be warm on the base shard");
             assert_eq!(again.payload, patched.payload);
         }
+        router.shutdown();
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn key_frames_route_to_the_owning_shard_with_identical_bytes() {
+        use rfid_delta::ScenarioDelta;
+        let a = daemon();
+        let b = daemon();
+        let router = Router::start(
+            "127.0.0.1:0",
+            RouterConfig {
+                shards: vec![a.addr().to_string(), b.addr().to_string()],
+                conns_per_shard: 2,
+                ..RouterConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = TcpClient::connect(&router.addr().to_string()).unwrap();
+        // Warm both shards, then address every schedule by key alone:
+        // the router must land each key frame on its owning shard.
+        let replies: Vec<_> = (0..16)
+            .map(|seed| client.schedule(&small_job(seed), None).unwrap())
+            .collect();
+        for reply in &replies {
+            let hit = client.schedule_by_key(&reply.key, &[]).unwrap();
+            assert!(hit.cached, "owning shard must hold {}", reply.key);
+            assert_eq!(hit.key, reply.key);
+            assert_eq!(hit.payload, reply.payload, "identical bytes via key path");
+        }
+        // Key+ops frames route by the base key (the derived schedule is
+        // cached on the base's shard).
+        let ops = vec![ScenarioDelta::AddTag { x: 3.0, y: 4.0 }];
+        for reply in replies.iter().take(4) {
+            let patched = client.schedule_delta(&reply.key, &ops, None, None).unwrap();
+            let hit = client.schedule_by_key(&reply.key, &ops).unwrap();
+            assert!(hit.cached);
+            assert_eq!(hit.key, patched.key);
+            assert_eq!(hit.payload, patched.payload);
+        }
+        // An uncached key answers the shard's structured key-miss.
+        let err = client.schedule_by_key("00000000000000bb", &[]).unwrap_err();
+        assert!(
+            matches!(&err, ClientError::Remote(e) if e.message.starts_with("key-miss")),
+            "{err:?}"
+        );
+        assert_eq!(router.forward_errors(), 0);
         router.shutdown();
         a.shutdown();
         b.shutdown();

@@ -15,12 +15,13 @@
 //! every reply); then the reactor resolves anything still unready with
 //! a structured `503` frame and exits — "drain, then stop".
 
+use crate::codec::scan_key_frame;
 use crate::protocol::{
     decode_frame, encode_frame, read_frame, version_gate, FrameRead, GossipEntry, Request,
     Response, ServiceStats, CODE_SHUTTING_DOWN, PROTOCOL_VERSION,
 };
-use crate::reactor::{Action, FrameHandler, Reactor, Reply};
-use crate::service::{ScheduleReply, ServeConfig, Service, ServiceError, Submission};
+use crate::reactor::{Action, FrameHandler, Reactor, Reply, SplicedFrame};
+use crate::service::{KeyHit, ScheduleReply, ServeConfig, Service, ServiceError, Submission};
 use crate::JobSpec;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -127,10 +128,37 @@ impl ServeHandler {
             }
         }
     }
+
+    /// The request-by-key path: answer from the cache by content key
+    /// alone — a hit splices the entry's pre-rendered payload bytes
+    /// into the reply envelope (no serde re-serialization, no payload
+    /// copy); a miss is a structured `404` whose message starts with
+    /// `key-miss`, the client's cue to fall back to the full frame.
+    fn key_action(&self, key: &str, ops: &[rfid_delta::ScenarioDelta]) -> Action {
+        match self.shared.service.request_by_key(key, ops) {
+            Ok(hit) => Action::Reply(Reply::Spliced(spliced_schedule_frame(&hit))),
+            Err(err) => Action::Reply(Reply::Now(encode_frame(&Response::Error {
+                code: err.code,
+                message: err.message,
+            }))),
+        }
+    }
 }
 
 impl FrameHandler for ServeHandler {
     fn on_line(&self, line: &str) -> Action {
+        // Fast path: a shallow scan answers ops-free key frames without
+        // a full serde parse. Frames carrying ops (their deltas need
+        // real decoding) and anything the scanner finds ambiguous take
+        // the decode below — `Request::Key` handles both identically.
+        if let Some(scan) = scan_key_frame(line) {
+            if !scan.has_ops {
+                return match version_gate(scan.v) {
+                    Some(err) => Action::Reply(Reply::Now(encode_frame(&err))),
+                    None => self.key_action(scan.key, &[]),
+                };
+            }
+        }
         match decode_frame::<Request>(line) {
             Ok(Request::Hello { v }) => match version_gate(Some(v)) {
                 Some(err) => Action::Reply(Reply::Now(encode_frame(&err))),
@@ -156,6 +184,15 @@ impl FrameHandler for ServeHandler {
             }) => match version_gate(v) {
                 Some(err) => Action::Reply(Reply::Now(encode_frame(&err))),
                 None => self.delta_action(&base, &ops, deadline_ms, request_id.as_deref()),
+            },
+            Ok(Request::Key {
+                key,
+                ops,
+                request_id: _,
+                v,
+            }) => match version_gate(v) {
+                Some(err) => Action::Reply(Reply::Now(encode_frame(&err))),
+                None => self.key_action(&key, ops.as_deref().unwrap_or(&[])),
             },
             Ok(Request::Gossip { entries, v }) => match version_gate(v) {
                 Some(err) => Action::Reply(Reply::Now(encode_frame(&err))),
@@ -184,6 +221,21 @@ impl FrameHandler for ServeHandler {
             code: CODE_SHUTTING_DOWN,
             message: "service stopped before the result was ready".into(),
         })
+    }
+}
+
+/// Assembles the `Response::Schedule` envelope around a cache entry's
+/// pre-rendered payload bytes, byte-for-byte what
+/// `encode_frame(&Response::Schedule { .. })` would produce — pinned by
+/// differential tests so the splice can never drift from serde.
+fn spliced_schedule_frame(hit: &KeyHit) -> SplicedFrame {
+    SplicedFrame {
+        prefix: format!(
+            "{{\"Schedule\":{{\"key\":\"{}\",\"cached\":true,\"payload\":",
+            hit.key_hex
+        ),
+        payload: Arc::clone(&hit.wire),
+        suffix: "}}\n",
     }
 }
 
@@ -429,6 +481,42 @@ impl TcpClient {
             ops: ops.to_vec(),
             deadline_ms,
             request_id: request_id.map(String::from),
+            v: Some(PROTOCOL_VERSION),
+        };
+        match self.round_trip(&request)? {
+            Response::Schedule {
+                key,
+                cached,
+                payload,
+            } => Ok(ScheduleReply {
+                key,
+                cached,
+                payload: payload.into(),
+            }),
+            Response::Error { code, message } => {
+                Err(ClientError::Remote(ServiceError { code, message }))
+            }
+            other => Err(ClientError::Protocol(format!(
+                "expected Schedule frame, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Requests a schedule by **content key alone** (protocol v4): the
+    /// server answers from cache without touching the scenario codec.
+    /// Non-empty `ops` address the delta derived from `key` (cached on
+    /// the base key's node). A key the server does not hold answers a
+    /// structured `404` whose message starts with `key-miss` — the cue
+    /// to fall back to the full `Schedule`/`Delta` frame.
+    pub fn schedule_by_key(
+        &mut self,
+        key: &str,
+        ops: &[rfid_delta::ScenarioDelta],
+    ) -> Result<ScheduleReply, ClientError> {
+        let request = Request::Key {
+            key: key.to_string(),
+            ops: (!ops.is_empty()).then(|| ops.to_vec()),
+            request_id: None,
             v: Some(PROTOCOL_VERSION),
         };
         match self.round_trip(&request)? {
@@ -838,6 +926,98 @@ mod tests {
             }
             other => panic!("expected Remote base-miss, got {other:?}"),
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn key_requests_answer_byte_identical_frames_to_full_requests() {
+        let server = test_server();
+        let addr = server.addr().to_string();
+        let mut client = TcpClient::connect(&addr).unwrap();
+        let cold = client.schedule(&small_job(31), None).unwrap();
+
+        // Raw wire bytes: the warm full-frame reply (serde-rendered)...
+        let full = Request::Schedule {
+            job: small_job(31),
+            deadline_ms: None,
+            request_id: None,
+            v: Some(PROTOCOL_VERSION),
+        };
+        client
+            .reader
+            .get_mut()
+            .write_all(encode_frame(&full).as_bytes())
+            .unwrap();
+        let mut full_line = String::new();
+        std::io::BufRead::read_line(&mut client.reader, &mut full_line).unwrap();
+
+        // ...and the spliced key-frame reply must be identical bytes.
+        let key_req = Request::Key {
+            key: cold.key.clone(),
+            ops: None,
+            request_id: None,
+            v: Some(PROTOCOL_VERSION),
+        };
+        client
+            .reader
+            .get_mut()
+            .write_all(encode_frame(&key_req).as_bytes())
+            .unwrap();
+        let mut key_line = String::new();
+        std::io::BufRead::read_line(&mut client.reader, &mut key_line).unwrap();
+        assert_eq!(full_line, key_line);
+
+        let hit = client.schedule_by_key(&cold.key, &[]).unwrap();
+        assert!(hit.cached);
+        assert_eq!(hit.key, cold.key);
+        assert_eq!(hit.payload, cold.payload);
+        server.shutdown();
+    }
+
+    #[test]
+    fn key_miss_is_a_structured_404_and_the_connection_survives() {
+        let server = test_server();
+        let addr = server.addr().to_string();
+        let mut client = TcpClient::connect(&addr).unwrap();
+        let err = client.schedule_by_key("00000000000000aa", &[]).unwrap_err();
+        match err {
+            ClientError::Remote(e) => {
+                assert_eq!(e.code, crate::protocol::CODE_KEY_MISS);
+                assert!(e.message.starts_with("key-miss"), "{}", e.message);
+            }
+            other => panic!("expected Remote key-miss, got {other:?}"),
+        }
+        // Fall back to the full frame on the same connection...
+        let reply = client.schedule(&small_job(32), None).unwrap();
+        assert!(!reply.cached);
+        // ...after which the key path hits.
+        let hit = client.schedule_by_key(&reply.key, &[]).unwrap();
+        assert!(hit.cached);
+        assert_eq!(hit.payload, reply.payload);
+        server.shutdown();
+    }
+
+    #[test]
+    fn key_frames_with_ops_address_the_derived_schedule() {
+        use rfid_delta::ScenarioDelta;
+        let server = test_server();
+        let addr = server.addr().to_string();
+        let mut client = TcpClient::connect(&addr).unwrap();
+        let base = client.schedule(&small_job(33), None).unwrap();
+        let ops = vec![ScenarioDelta::AddTag { x: 5.0, y: 6.0 }];
+        // Cold derived schedule: the key+ops frame misses...
+        let err = client.schedule_by_key(&base.key, &ops).unwrap_err();
+        assert!(
+            matches!(&err, ClientError::Remote(e) if e.message.starts_with("key-miss")),
+            "{err:?}"
+        );
+        // ...the delta frame solves it...
+        let patched = client.schedule_delta(&base.key, &ops, None, None).unwrap();
+        // ...and now the same key+ops frame answers the identical bytes.
+        let hit = client.schedule_by_key(&base.key, &ops).unwrap();
+        assert!(hit.cached);
+        assert_eq!(hit.key, patched.key);
+        assert_eq!(hit.payload, patched.payload);
         server.shutdown();
     }
 

@@ -19,7 +19,7 @@ use crate::codec::{canonical_json, CanonicalJob, CodecError, JobSpec, Workload};
 use crate::journal::DurableStore;
 use crate::protocol::{
     GossipEntry, ServiceStats, CODE_BAD_REQUEST, CODE_BASE_MISS, CODE_DEADLINE, CODE_INTERNAL,
-    CODE_QUEUE_FULL, CODE_SHUTTING_DOWN, CODE_UNKNOWN_ALGORITHM, CODE_UNSOLVABLE,
+    CODE_KEY_MISS, CODE_QUEUE_FULL, CODE_SHUTTING_DOWN, CODE_UNKNOWN_ALGORITHM, CODE_UNSOLVABLE,
 };
 use crate::queue::{PushError, ResponseSlot, WorkQueue};
 use crate::replicate::Replicator;
@@ -156,6 +156,34 @@ impl ScheduleReply {
     }
 }
 
+/// A request-by-key cache hit: the payload plus its pre-rendered wire
+/// form (the payload as a JSON string literal) so the transport can
+/// splice the reply envelope together without re-serialising anything.
+#[derive(Debug, Clone)]
+pub struct KeyHit {
+    /// The content key the payload is cached under (the derived key
+    /// when the request carried ops), fixed-width hex.
+    pub key_hex: String,
+    /// Canonical JSON of a [`ScheduleOutcome`] — the same bytes a full
+    /// submission returns.
+    pub payload: Arc<str>,
+    /// `payload` pre-escaped as a JSON string literal, rendered once
+    /// per cache entry (see [`ScheduleCache::probe_wire`]).
+    pub wire: Arc<str>,
+}
+
+impl KeyHit {
+    /// The reply as the transport-agnostic [`ScheduleReply`] (key hits
+    /// are by definition cached).
+    pub fn into_reply(self) -> ScheduleReply {
+        ScheduleReply {
+            key: self.key_hex,
+            cached: true,
+            payload: self.payload,
+        }
+    }
+}
+
 /// Service construction parameters (the CLI's `serve` flags).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
@@ -235,9 +263,11 @@ struct Inner {
     /// Request ids already served, for failover-retry dedup accounting.
     seen_ids: Mutex<HashSet<String>>,
     /// Canonical job specs by content key — the bases a delta request
-    /// can patch. Populated on every canonicalised submission (full or
-    /// delta), so any scenario this node has *seen* can serve as a base;
-    /// gossiped payloads arrive without specs and therefore base-miss.
+    /// can patch. Populated on every *admitted* submission (full or
+    /// delta) — cache hits skip the spec clone to keep the hot path
+    /// allocation-free, which is fine because the entry they hit was
+    /// itself admitted here (or gossiped in, which never had a spec and
+    /// therefore base-misses either way).
     specs: Mutex<HashMap<u64, Arc<JobSpec>>>,
     // Counters not derivable from the cache or queue.
     requests: AtomicU64,
@@ -424,12 +454,14 @@ impl Service {
     pub fn submit_with_id(&self, spec: &JobSpec, request_id: Option<&str>) -> Submission {
         let inner = &self.inner;
         let sub: Option<&dyn Subscriber> = Some(&inner.recorder);
+        // Dedup *check* only — a `&str` set lookup, no clone. Recording
+        // the id (which allocates) is deferred to the miss path via
+        // `note_admitted`: a retried request that hits the cache is
+        // already free, so paying an allocation to count it as a dedup
+        // would tax exactly the path we keep hot.
         if let Some(id) = request_id {
-            let mut seen = inner.seen_ids.lock().expect("seen ids poisoned");
-            if seen.len() >= SEEN_IDS_CAP {
-                seen.clear();
-            }
-            if !seen.insert(id.to_string()) {
+            let seen = inner.seen_ids.lock().expect("seen ids poisoned");
+            if seen.contains(id) {
                 inner.deduped.fetch_add(1, Ordering::Relaxed);
                 counter!(sub, "serve.failover.dedup");
             }
@@ -441,7 +473,6 @@ impl Service {
                 return Submission::Ready(Err(ServiceError::from(e)));
             }
         };
-        inner.store_spec(canonical.key, &Arc::new(canonical.spec.clone()));
         inner.requests.fetch_add(1, Ordering::Relaxed);
         counter!(sub, "serve.request");
         let shutting_down = || {
@@ -461,6 +492,7 @@ impl Service {
                 inner.coalesced.fetch_add(1, Ordering::Relaxed);
                 counter!(sub, "serve.coalesced");
                 drop(inflight);
+                note_admitted(inner, sub, request_id, &canonical);
             } else if let Some(payload) = inner.cache.get(canonical.key) {
                 counter!(sub, "serve.cache.hit");
                 return Submission::Ready(Ok(ScheduleReply {
@@ -473,6 +505,7 @@ impl Service {
                 if inner.shutting_down.load(Ordering::SeqCst) {
                     return Submission::Ready(Err(shutting_down()));
                 }
+                note_admitted(inner, sub, request_id, &canonical);
                 let key = canonical.key;
                 let job = Job {
                     canonical,
@@ -493,6 +526,7 @@ impl Service {
             if inner.shutting_down.load(Ordering::SeqCst) {
                 return Submission::Ready(Err(shutting_down()));
             }
+            note_admitted(inner, sub, request_id, &canonical);
             let job = Job {
                 canonical,
                 slot: Arc::clone(&slot),
@@ -502,6 +536,55 @@ impl Service {
             }
         }
         Submission::Queued(slot)
+    }
+
+    /// The protocol-v4 **request-by-key** fast path: answer an
+    /// already-cached schedule addressed by content key alone — no
+    /// scenario parse, no canonicalisation, no re-render. With `ops`,
+    /// the probe targets [`derived_key`]`(key, ops)`, the warm path for
+    /// a previously solved delta.
+    ///
+    /// A hit counts as a normal request + cache hit (so
+    /// `hits + misses + coalesced == requests` keeps holding); a miss is
+    /// a **counter-quiet** probe answered with a structured
+    /// [`CODE_KEY_MISS`] error whose message starts with `key-miss` —
+    /// the client falls back to the full frame, and *that* submission
+    /// does the request accounting.
+    pub fn request_by_key(&self, key: &str, ops: &[ScenarioDelta]) -> Result<KeyHit, ServiceError> {
+        let inner = &self.inner;
+        let sub: Option<&dyn Subscriber> = Some(&inner.recorder);
+        let Some(base) = parse_key_hex(key) else {
+            inner.errors.fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::new(
+                CODE_BAD_REQUEST,
+                format!("malformed key {key:?}: expected 16 hex digits"),
+            ));
+        };
+        let target = if ops.is_empty() {
+            base
+        } else {
+            derived_key(base, ops)
+        };
+        if let Some((payload, wire)) = inner.cache.probe_wire(target) {
+            inner.requests.fetch_add(1, Ordering::Relaxed);
+            counter!(sub, "serve.request");
+            counter!(sub, "serve.cache.hit");
+            counter!(sub, "serve.key.hit");
+            return Ok(KeyHit {
+                key_hex: key_hex(target),
+                payload,
+                wire,
+            });
+        }
+        inner.errors.fetch_add(1, Ordering::Relaxed);
+        counter!(sub, "serve.key.miss");
+        Err(ServiceError::new(
+            CODE_KEY_MISS,
+            format!(
+                "key-miss: schedule {} is not cached on this node; send the full frame",
+                key_hex(target)
+            ),
+        ))
     }
 
     /// Maps a queue-admission failure to its structured error.
@@ -792,6 +875,31 @@ impl Service {
             replicator.shutdown();
         }
     }
+}
+
+/// Miss-path admission bookkeeping, deliberately **not** run on cache
+/// hits: records the request id for failover-retry dedup (allocates the
+/// id's `String`) and registers the canonical spec as a delta base
+/// (clones the spec). Both allocations are pinned by the
+/// `serve.admission.alloc` counter so a regression that re-runs them on
+/// the hit path fails a test instead of quietly taxing every request.
+fn note_admitted(
+    inner: &Inner,
+    sub: Option<&dyn Subscriber>,
+    request_id: Option<&str>,
+    canonical: &CanonicalJob,
+) {
+    if let Some(id) = request_id {
+        let mut seen = inner.seen_ids.lock().expect("seen ids poisoned");
+        if seen.len() >= SEEN_IDS_CAP {
+            seen.clear();
+        }
+        if seen.insert(id.to_string()) {
+            counter!(sub, "serve.admission.alloc");
+        }
+    }
+    inner.store_spec(canonical.key, &Arc::new(canonical.spec.clone()));
+    counter!(sub, "serve.admission.alloc");
 }
 
 fn worker_loop(inner: &Inner) {
@@ -1154,6 +1262,101 @@ mod tests {
                 y: 6.0,
             },
         ]
+    }
+
+    fn counter_value(service: &Service, name: &str) -> u64 {
+        let metrics: serde_json::Value = serde_json::from_str(&service.metrics_json()).unwrap();
+        metrics["counters"][name].as_f64().unwrap_or(0.0) as u64
+    }
+
+    #[test]
+    fn request_by_key_answers_identical_bytes_and_counts_as_hit() {
+        let service = Service::start(quick_config()).unwrap();
+        let job = small_job(11);
+        let cold = service.schedule(&job, None).unwrap();
+        let hit = service.request_by_key(&cold.key, &[]).unwrap();
+        assert_eq!(hit.key_hex, cold.key);
+        assert_eq!(hit.payload, cold.payload, "determinism contract");
+        assert_eq!(
+            hit.wire.as_ref(),
+            serde_json::to_string(cold.payload.as_ref()).unwrap(),
+            "wire form is the payload as a JSON string literal"
+        );
+        let reply = hit.into_reply();
+        assert!(reply.cached);
+        let stats = service.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.cache_hits, 1, "key hits count as hits");
+        assert_eq!(
+            stats.cache_hits + stats.cache_misses + stats.coalesced,
+            stats.requests,
+            "request accounting must hold through the key path"
+        );
+        service.shutdown(true);
+    }
+
+    #[test]
+    fn request_by_key_miss_is_structured_and_counter_quiet() {
+        let service = Service::start(quick_config()).unwrap();
+        let err = service.request_by_key("00000000deadbeef", &[]).unwrap_err();
+        assert_eq!(err.code, CODE_KEY_MISS);
+        assert!(err.message.starts_with("key-miss"), "{}", err.message);
+        assert!(err.message.contains("send the full frame"));
+        let stats = service.stats();
+        assert_eq!(stats.requests, 0, "a key-miss is not a request");
+        assert_eq!(stats.cache_misses, 0, "a key-miss is not a cache miss");
+        assert_eq!(stats.errors, 1);
+
+        let err = service.request_by_key("not-hex", &[]).unwrap_err();
+        assert_eq!(err.code, CODE_BAD_REQUEST);
+        service.shutdown(true);
+    }
+
+    #[test]
+    fn request_by_key_with_ops_matches_the_delta_path() {
+        let (spec, _) = explicit_job();
+        let service = Service::start(quick_config()).unwrap();
+        let base = service.schedule(&spec, None).unwrap();
+        let ops = sample_ops();
+        // Cold: the derivation is not cached yet — structured key-miss,
+        // the client falls back to a full delta frame.
+        let err = service.request_by_key(&base.key, &ops).unwrap_err();
+        assert_eq!(err.code, CODE_KEY_MISS);
+        let via_delta = service.schedule_delta(&base.key, &ops, None, None).unwrap();
+        // Warm: key+ops answers from the derived-key alias, same bytes.
+        let hit = service.request_by_key(&base.key, &ops).unwrap();
+        assert_eq!(hit.key_hex, via_delta.key);
+        assert_eq!(hit.payload, via_delta.payload);
+        service.shutdown(true);
+    }
+
+    #[test]
+    fn admission_allocations_are_gated_behind_the_miss_path() {
+        let service = Service::start(quick_config()).unwrap();
+        let job = small_job(21);
+        service
+            .schedule_with_id(&job, None, Some("retry-1"))
+            .unwrap();
+        // Cold solve: one id recorded + one spec clone.
+        let after_miss = counter_value(&service, "serve.admission.alloc");
+        assert_eq!(after_miss, 2);
+        // Pure cache hits — same id, same spec — must not allocate: the
+        // counter pins the id clone and the spec clone to the miss path.
+        for _ in 0..3 {
+            let warm = service
+                .schedule_with_id(&job, None, Some("retry-1"))
+                .unwrap();
+            assert!(warm.cached);
+        }
+        assert_eq!(counter_value(&service, "serve.admission.alloc"), after_miss);
+        // Key-path hits stay allocation-free too.
+        let key = service.schedule(&job, None).unwrap().key;
+        service.request_by_key(&key, &[]).unwrap();
+        assert_eq!(counter_value(&service, "serve.admission.alloc"), after_miss);
+        // The dedup *check* still runs on the hit path: the recorded id
+        // was seen again, so the retries above counted as dedups.
+        assert_eq!(service.stats().deduped, 3);
+        service.shutdown(true);
     }
 
     #[test]

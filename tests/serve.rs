@@ -14,11 +14,15 @@
 //!   router: byte-identical payloads, and the fleet-wide
 //!   `hits + misses + coalesced == requests` invariant summed at the
 //!   router.
+//! * **Request by key** — a protocol-v4 `Key` frame answers the exact
+//!   bytes a full frame answers (direct, derived-delta and routed), and
+//!   a key the server does not hold is a structured `404` key-miss that
+//!   leaves the connection serviceable.
 
 use rfid_integration_tests::scenario;
 use rfid_serve::{
-    ClientBuilder, JobSpec, Router, RouterConfig, ServeClient, ServeConfig, Server, Service,
-    TcpClient, Workload,
+    ClientBuilder, JobSpec, Router, RouterConfig, ScenarioDelta, ServeClient, ServeConfig, Server,
+    Service, TcpClient, Workload,
 };
 use std::time::Duration;
 
@@ -288,6 +292,106 @@ fn payloads_identical_through_the_router_and_invariant_holds_fleet_wide() {
     shard_a.shutdown();
     shard_b.shutdown();
     standalone.shutdown();
+}
+
+#[test]
+fn key_requests_are_byte_identical_and_key_misses_are_structured() {
+    let server = Server::start("127.0.0.1:0", shard_config()).expect("bind loopback");
+    let mut tcp = TcpClient::connect(&server.addr().to_string()).expect("connect");
+
+    // Full frame first, then the same schedule addressed by key alone:
+    // the spliced fast-path reply must carry the exact same bytes.
+    let spec = job("ghc", 11);
+    let cold = tcp.schedule(&spec, None).expect("cold");
+    let by_key = tcp.schedule_by_key(&cold.key, &[]).expect("by key");
+    assert!(by_key.cached, "key request must answer from cache");
+    assert_eq!(cold.key, by_key.key);
+    assert_eq!(
+        cold.payload.as_bytes(),
+        by_key.payload.as_bytes(),
+        "key path must answer the full frame's bytes"
+    );
+
+    // A previously solved delta is addressable as `{key, ops}` under
+    // the derived content key, with the same byte guarantee.
+    let ops = vec![ScenarioDelta::AddTag { x: 42.0, y: 17.0 }];
+    let derived = tcp
+        .schedule_delta(&cold.key, &ops, None, None)
+        .expect("delta solve");
+    let derived_by_key = tcp.schedule_by_key(&cold.key, &ops).expect("delta by key");
+    assert!(derived_by_key.cached);
+    assert_eq!(derived.key, derived_by_key.key);
+    assert_eq!(
+        derived.payload.as_bytes(),
+        derived_by_key.payload.as_bytes()
+    );
+
+    // A non-resident key is a structured 404 key-miss — and the
+    // connection stays serviceable afterwards.
+    match tcp.schedule_by_key("00000000000000aa", &[]) {
+        Err(rfid_serve::ClientError::Remote(remote)) => {
+            assert_eq!(remote.code, 404, "{remote:?}");
+            assert!(remote.message.starts_with("key-miss"), "{remote:?}");
+        }
+        other => panic!("expected a remote key-miss, got {other:?}"),
+    }
+    let again = tcp.schedule_by_key(&cold.key, &[]).expect("still serving");
+    assert_eq!(cold.payload.as_bytes(), again.payload.as_bytes());
+    server.shutdown();
+}
+
+#[test]
+fn key_requests_through_the_router_match_the_owning_shard() {
+    let shard_a = Server::start("127.0.0.1:0", shard_config()).expect("shard a");
+    let shard_b = Server::start("127.0.0.1:0", shard_config()).expect("shard b");
+    let router = Router::start(
+        "127.0.0.1:0",
+        RouterConfig {
+            shards: vec![shard_a.addr().to_string(), shard_b.addr().to_string()],
+            ..RouterConfig::default()
+        },
+    )
+    .expect("start router");
+    let mut via_router = TcpClient::connect(&router.addr().to_string()).expect("connect");
+
+    // Enough distinct jobs to land on both shards: the router must
+    // forward each key frame to the shard that cached the schedule and
+    // relay its spliced bytes untouched.
+    let jobs: Vec<JobSpec> = (0..12).map(|seed| job("ghc", 30 + seed)).collect();
+    for spec in &jobs {
+        let cold = via_router.schedule(spec, None).expect("cold via router");
+        let by_key = via_router
+            .schedule_by_key(&cold.key, &[])
+            .expect("by key via router");
+        assert!(by_key.cached, "routed key request must hit the owner");
+        assert_eq!(cold.key, by_key.key);
+        assert_eq!(
+            cold.payload.as_bytes(),
+            by_key.payload.as_bytes(),
+            "byte-for-byte through the router"
+        );
+    }
+    let routed = router.routed_per_shard();
+    assert!(
+        routed.iter().all(|&n| n > 0),
+        "both shards must take load: {routed:?}"
+    );
+    assert_eq!(router.forward_errors(), 0);
+
+    // Key hits count as cache hits in the fleet-wide invariant.
+    let mut stats_client = TcpClient::connect(&router.addr().to_string()).expect("stats");
+    let (stats, _metrics) = stats_client.stats().expect("aggregated stats");
+    assert_eq!(stats.requests, 24);
+    assert_eq!(stats.cache_hits, 12);
+    assert_eq!(
+        stats.cache_hits + stats.cache_misses + stats.coalesced,
+        stats.requests,
+        "hits + misses + coalesced == requests must hold with key hits"
+    );
+
+    router.shutdown();
+    shard_a.shutdown();
+    shard_b.shutdown();
 }
 
 #[test]
